@@ -1,0 +1,213 @@
+//! The Ocelot execution context: device + lazily evaluated queue + Memory
+//! Manager, plus typed column handles.
+
+use crate::memory_manager::MemoryManager;
+use ocelot_kernel::{Buffer, Device, GpuConfig, LaunchConfig, Queue, Result};
+use std::sync::Arc;
+
+/// A handle to a column that lives in device memory.
+///
+/// The buffer holds `len` four-byte values; how they are interpreted
+/// (`i32`, `f32`, OID) is decided by the operator that consumes them, which
+/// mirrors how OpenCL kernels see untyped `cl_mem` objects.
+#[derive(Debug, Clone)]
+pub struct DevColumn {
+    /// The device buffer holding the values.
+    pub buffer: Buffer,
+    /// Number of logical values (may be smaller than `buffer.len()`).
+    pub len: usize,
+}
+
+impl DevColumn {
+    /// Wraps a buffer holding `len` values.
+    pub fn new(buffer: Buffer, len: usize) -> DevColumn {
+        assert!(buffer.len() >= len, "DevColumn: buffer shorter than declared length");
+        DevColumn { buffer, len }
+    }
+
+    /// Whether the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Bundles everything an Ocelot operator needs: the device, its command
+/// queue and the Memory Manager (paper Figure 2).
+pub struct OcelotContext {
+    device: Device,
+    queue: Arc<Queue>,
+    memory: MemoryManager,
+}
+
+impl OcelotContext {
+    /// Context on the multi-core CPU driver (the paper's "Ocelot on CPU").
+    pub fn cpu() -> OcelotContext {
+        Self::with_device(Device::cpu_multicore())
+    }
+
+    /// Context on the sequential CPU driver (useful for debugging and as a
+    /// deterministic baseline in tests).
+    pub fn cpu_sequential() -> OcelotContext {
+        Self::with_device(Device::cpu_sequential())
+    }
+
+    /// Context on the simulated discrete GPU with default parameters
+    /// (the paper's "Ocelot on GPU").
+    pub fn gpu() -> OcelotContext {
+        Self::with_device(Device::simulated_gpu(GpuConfig::default()))
+    }
+
+    /// Context on the simulated GPU with an explicit configuration (used by
+    /// benchmarks that downscale the device memory).
+    pub fn gpu_with(config: GpuConfig) -> OcelotContext {
+        Self::with_device(Device::simulated_gpu(config))
+    }
+
+    /// Context on an arbitrary device.
+    pub fn with_device(device: Device) -> OcelotContext {
+        let queue = Arc::new(device.create_queue());
+        let memory = MemoryManager::new(device.clone(), Arc::clone(&queue));
+        OcelotContext { device, queue, memory }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The lazily evaluated command queue.
+    pub fn queue(&self) -> &Queue {
+        &self.queue
+    }
+
+    /// The Memory Manager.
+    pub fn memory(&self) -> &MemoryManager {
+        &self.memory
+    }
+
+    /// Default launch configuration for `n` elements (delegates to the
+    /// driver's heuristic — operators never pick their own group sizes).
+    pub fn launch(&self, n: usize) -> LaunchConfig {
+        self.device.launch_config(n)
+    }
+
+    /// Launch configuration with `local_words` words of per-group local
+    /// memory.
+    pub fn launch_with_local(&self, n: usize, local_words: usize) -> LaunchConfig {
+        self.device.launch_config_with_local(n, local_words)
+    }
+
+    /// Allocates a result buffer of `words` values, evicting cached BATs if
+    /// the device is out of memory.
+    pub fn alloc(&self, words: usize, label: &str) -> Result<Buffer> {
+        self.memory.alloc_result(words, label)
+    }
+
+    /// Uploads host integers into a fresh device column.
+    pub fn upload_i32(&self, values: &[i32], label: &str) -> Result<DevColumn> {
+        let buffer = self.alloc(values.len(), label)?;
+        buffer.copy_from_i32(values);
+        self.queue.enqueue_write(&buffer, &[])?;
+        Ok(DevColumn::new(buffer, values.len()))
+    }
+
+    /// Uploads host floats into a fresh device column.
+    pub fn upload_f32(&self, values: &[f32], label: &str) -> Result<DevColumn> {
+        let buffer = self.alloc(values.len(), label)?;
+        buffer.copy_from_f32(values);
+        self.queue.enqueue_write(&buffer, &[])?;
+        Ok(DevColumn::new(buffer, values.len()))
+    }
+
+    /// Uploads host 32-bit words (OIDs) into a fresh device column.
+    pub fn upload_u32(&self, values: &[u32], label: &str) -> Result<DevColumn> {
+        let buffer = self.alloc(values.len(), label)?;
+        buffer.copy_from_u32(values);
+        self.queue.enqueue_write(&buffer, &[])?;
+        Ok(DevColumn::new(buffer, values.len()))
+    }
+
+    /// Flushes outstanding work and reads a column back as integers.
+    pub fn download_i32(&self, column: &DevColumn) -> Result<Vec<i32>> {
+        self.queue.enqueue_read(&column.buffer, &[])?;
+        self.queue.flush()?;
+        Ok(column.buffer.prefix_i32(column.len))
+    }
+
+    /// Flushes outstanding work and reads a column back as floats.
+    pub fn download_f32(&self, column: &DevColumn) -> Result<Vec<f32>> {
+        self.queue.enqueue_read(&column.buffer, &[])?;
+        self.queue.flush()?;
+        Ok(column.buffer.prefix_f32(column.len))
+    }
+
+    /// Flushes outstanding work and reads a column back as raw words.
+    pub fn download_u32(&self, column: &DevColumn) -> Result<Vec<u32>> {
+        self.queue.enqueue_read(&column.buffer, &[])?;
+        self.queue.flush()?;
+        Ok(column.buffer.prefix_u32(column.len))
+    }
+
+    /// Flushes every scheduled operation (the `sync` operator's core).
+    pub fn sync(&self) -> Result<ocelot_kernel::FlushStats> {
+        self.queue.flush()
+    }
+}
+
+impl std::fmt::Debug for OcelotContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OcelotContext").field("device", self.device.info()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_download_round_trip() {
+        for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
+            let ints = ctx.upload_i32(&[1, -2, 3], "ints").unwrap();
+            assert_eq!(ctx.download_i32(&ints).unwrap(), vec![1, -2, 3]);
+            let floats = ctx.upload_f32(&[0.5, 2.5], "floats").unwrap();
+            assert_eq!(ctx.download_f32(&floats).unwrap(), vec![0.5, 2.5]);
+            let words = ctx.upload_u32(&[7, 9], "words").unwrap();
+            assert_eq!(ctx.download_u32(&words).unwrap(), vec![7, 9]);
+        }
+    }
+
+    #[test]
+    fn dev_column_checks_length() {
+        let ctx = OcelotContext::cpu_sequential();
+        let buffer = ctx.alloc(10, "buf").unwrap();
+        let col = DevColumn::new(buffer.clone(), 5);
+        assert_eq!(col.len, 5);
+        assert!(!col.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than declared")]
+    fn dev_column_rejects_overlong_claim() {
+        let ctx = OcelotContext::cpu_sequential();
+        let buffer = ctx.alloc(2, "buf").unwrap();
+        DevColumn::new(buffer, 5);
+    }
+
+    #[test]
+    fn launch_delegates_to_driver() {
+        let ctx = OcelotContext::cpu();
+        let launch = ctx.launch(100);
+        assert_eq!(launch.num_groups, ctx.device().info().compute_cores);
+        let with_local = ctx.launch_with_local(100, 64);
+        assert_eq!(with_local.local_mem_words, 64);
+    }
+
+    #[test]
+    fn sync_flushes_pending_work() {
+        let ctx = OcelotContext::cpu();
+        let _col = ctx.upload_i32(&[1, 2, 3], "c").unwrap();
+        assert!(ctx.queue().pending_ops() > 0);
+        ctx.sync().unwrap();
+        assert_eq!(ctx.queue().pending_ops(), 0);
+    }
+}

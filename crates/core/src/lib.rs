@@ -1,0 +1,50 @@
+//! # ocelot-core — hardware-oblivious relational operators
+//!
+//! This crate is the Rust reproduction of the paper's primary contribution:
+//! a *single* set of relational operators written against the kernel
+//! programming model ([`ocelot_kernel`]), with no inherent reliance on any
+//! particular hardware architecture. The same operator code runs unchanged
+//! on the sequential CPU driver, the multi-core CPU driver and the simulated
+//! discrete GPU — the only device-dependent decisions (launch configuration
+//! and preferred memory-access pattern) are made by the driver, exactly as
+//! the paper prescribes (§4.2).
+//!
+//! The crate is organised the way Figure 2 of the paper draws the system:
+//!
+//! * [`context::OcelotContext`] — bundles a device, its lazily evaluated
+//!   command queue and the Memory Manager (the paper's "OpenCL context
+//!   management" + "memory manager" boxes).
+//! * [`memory_manager::MemoryManager`] — transparently turns MonetDB-style
+//!   BATs into device buffers, caches them on the device, evicts in LRU
+//!   order under memory pressure, supports pinning, offloads intermediates
+//!   to the host, and tracks producer/consumer events per buffer (§3.3).
+//! * [`primitives`] — the data-parallel building blocks the operators are
+//!   composed of: prefix sums, gather, reduction, bitmaps and the two-phase
+//!   "count, scan, write" pattern used whenever result sizes are unknown.
+//! * [`ops`] — the operators themselves: bitmap selection, projection /
+//!   fetch join, radix sort, the optimistic/pessimistic parallel hash table,
+//!   hash and nested-loop joins, grouping and aggregation (§4.1).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ocelot_core::context::OcelotContext;
+//! use ocelot_core::ops;
+//!
+//! // The same code runs on any device — swap in `OcelotContext::gpu()` or
+//! // `OcelotContext::cpu_sequential()` and nothing else changes.
+//! let ctx = OcelotContext::cpu();
+//! let column = ctx.upload_i32(&[5, 1, 9, 3, 7, 3], "values").unwrap();
+//! let bitmap = ops::select::select_range_i32(&ctx, &column, 3, 7).unwrap();
+//! let oids = ops::select::materialize_bitmap(&ctx, &bitmap).unwrap();
+//! assert_eq!(ctx.download_u32(&oids).unwrap(), vec![0, 3, 4, 5]);
+//! ```
+
+pub mod context;
+pub mod memory_manager;
+pub mod ops;
+pub mod primitives;
+
+pub use context::{DevColumn, OcelotContext};
+pub use memory_manager::{MemoryManager, MemoryStats};
+pub use primitives::bitmap::Bitmap;

@@ -1,0 +1,497 @@
+//! The Memory Manager (paper §3.3).
+//!
+//! The Memory Manager is the storage interface between Ocelot and the BAT
+//! world: operators never allocate device memory themselves, they request
+//! buffers for BATs and result columns here. Responsibilities reproduced
+//! from the paper:
+//!
+//! * **BAT registry / device cache** — the first request for a BAT uploads
+//!   it and registers the buffer; later requests are served from the cache.
+//!   On unified-memory devices the "upload" is zero-copy (no transfer cost);
+//!   on the simulated GPU it is charged PCIe transfer time.
+//! * **LRU eviction** — when an allocation does not fit, unpinned,
+//!   not-in-use cache entries are evicted in least-recently-used order and
+//!   the allocation is retried.
+//! * **Pinning & reference counting** — pinned BATs are never evicted;
+//!   entries whose buffer handle is still held by a running operator are
+//!   skipped as well (the `handle_count` check).
+//! * **Host offload** — intermediate result buffers can be offloaded to the
+//!   host and restored later instead of being recomputed.
+//! * **Producer/consumer events** — every buffer's pending writes and reads
+//!   are tracked so operators can build wait-lists for the lazy queue
+//!   (paper §3.4).
+//! * **Hash-table cache** — hash tables built over base-table columns are
+//!   cached for reuse across queries (paper §5.2.6).
+
+use crate::ops::hash_table::OcelotHashTable;
+use ocelot_kernel::{Buffer, Device, EventId, HostCopy, KernelError, Queue, Result};
+use ocelot_storage::BatRef;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache/transfer statistics, used by benchmarks (Figure 7b/7d swapping
+/// analysis) and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Cache hits when requesting a BAT buffer.
+    pub cache_hits: u64,
+    /// Cache misses (uploads).
+    pub cache_misses: u64,
+    /// Number of cache entries evicted under memory pressure.
+    pub evictions: u64,
+    /// Bytes uploaded host → device for BATs.
+    pub bytes_uploaded: u64,
+    /// Bytes of intermediates offloaded to the host.
+    pub bytes_offloaded: u64,
+    /// Hash-table cache hits.
+    pub hash_cache_hits: u64,
+}
+
+struct CacheEntry {
+    buffer: Buffer,
+    /// Keeps the BAT alive while it is cached: the cache key is the BAT's
+    /// allocation address, so the registry must hold a reference to prevent
+    /// a later BAT from reusing the address and aliasing the entry.
+    #[allow(dead_code)]
+    bat: BatRef,
+    last_used: u64,
+    pinned: bool,
+}
+
+#[derive(Default)]
+struct EventEntry {
+    producers: Vec<EventId>,
+    consumers: Vec<EventId>,
+}
+
+struct State {
+    cache: HashMap<usize, CacheEntry>,
+    clock: u64,
+    stats: MemoryStats,
+    events: HashMap<u64, EventEntry>,
+    hash_tables: HashMap<usize, Arc<OcelotHashTable>>,
+    offloaded: HashMap<u64, HostCopy>,
+}
+
+/// The Memory Manager. One instance per [`crate::OcelotContext`].
+pub struct MemoryManager {
+    device: Device,
+    queue: Arc<Queue>,
+    state: Mutex<State>,
+}
+
+/// Stable cache key for a BAT: the address of its shared allocation.
+fn bat_key(bat: &BatRef) -> usize {
+    Arc::as_ptr(bat) as usize
+}
+
+impl MemoryManager {
+    /// Creates a Memory Manager for the given device and queue.
+    pub fn new(device: Device, queue: Arc<Queue>) -> MemoryManager {
+        MemoryManager {
+            device,
+            queue,
+            state: Mutex::new(State {
+                cache: HashMap::new(),
+                clock: 0,
+                stats: MemoryStats::default(),
+                events: HashMap::new(),
+                hash_tables: HashMap::new(),
+                offloaded: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> MemoryStats {
+        self.state.lock().stats
+    }
+
+    /// Number of BATs currently cached on the device.
+    pub fn cached_entries(&self) -> usize {
+        self.state.lock().cache.len()
+    }
+
+    /// Bytes of device memory currently used by cached BATs.
+    pub fn cached_bytes(&self) -> usize {
+        self.state.lock().cache.values().map(|e| e.buffer.bytes()).sum()
+    }
+
+    /// Returns the device buffer for a BAT, uploading it on first use
+    /// (paper: "when a BAT is requested, the corresponding buffer object is
+    /// returned from this registry").
+    pub fn get_or_upload(&self, bat: &BatRef) -> Result<Buffer> {
+        let key = bat_key(bat);
+        {
+            let mut state = self.state.lock();
+            state.clock += 1;
+            let clock = state.clock;
+            let cached = state.cache.get_mut(&key).map(|entry| {
+                entry.last_used = clock;
+                entry.buffer.clone()
+            });
+            if let Some(buffer) = cached {
+                state.stats.cache_hits += 1;
+                return Ok(buffer);
+            }
+        }
+        // Miss: allocate (with eviction retries), fill, and schedule the
+        // host-to-device transfer.
+        let words = bat.to_words();
+        let buffer = self.alloc_with_eviction(words.len(), bat.name())?;
+        buffer.copy_from_u32(&words);
+        let event = self.queue.enqueue_write(&buffer, &[])?;
+        let mut state = self.state.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        state.stats.cache_misses += 1;
+        if !self.device.is_unified() {
+            state.stats.bytes_uploaded += buffer.bytes() as u64;
+        }
+        state.events.entry(buffer.id()).or_default().producers.push(event);
+        state.cache.insert(
+            key,
+            CacheEntry { buffer: buffer.clone(), bat: bat.clone(), last_used: clock, pinned: false },
+        );
+        Ok(buffer)
+    }
+
+    /// Allocates a result buffer, evicting cached BATs in LRU order until
+    /// the allocation fits.
+    pub fn alloc_result(&self, words: usize, label: &str) -> Result<Buffer> {
+        self.alloc_with_eviction(words, label)
+    }
+
+    fn alloc_with_eviction(&self, words: usize, label: &str) -> Result<Buffer> {
+        loop {
+            match self.device.alloc(words, label) {
+                Ok(buffer) => return Ok(buffer),
+                Err(KernelError::OutOfDeviceMemory { .. }) => {
+                    if !self.evict_one()? {
+                        return Err(KernelError::OutOfDeviceMemory {
+                            requested: words * 4,
+                            available: self.device.memory().available(),
+                        });
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Evicts the least-recently-used unpinned, not-in-use cache entry.
+    /// Returns `false` when nothing can be evicted.
+    fn evict_one(&self) -> Result<bool> {
+        // Make sure pending work on cached buffers has executed before we
+        // drop one of them.
+        self.queue.flush()?;
+        let mut state = self.state.lock();
+        let victim = state
+            .cache
+            .iter()
+            .filter(|(_, e)| !e.pinned && e.buffer.handle_count() <= 1)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k);
+        match victim {
+            Some(key) => {
+                if let Some(entry) = state.cache.remove(&key) {
+                    state.events.remove(&entry.buffer.id());
+                    state.stats.evictions += 1;
+                }
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Pins a BAT so it is never evicted (paper: "this mechanism can be used
+    /// to pin frequently accessed BATs permanently to the device").
+    pub fn pin(&self, bat: &BatRef) -> Result<()> {
+        let buffer = self.get_or_upload(bat)?;
+        let key = bat_key(bat);
+        let mut state = self.state.lock();
+        if let Some(entry) = state.cache.get_mut(&key) {
+            entry.pinned = true;
+        }
+        drop(buffer);
+        Ok(())
+    }
+
+    /// Unpins a previously pinned BAT.
+    pub fn unpin(&self, bat: &BatRef) {
+        let key = bat_key(bat);
+        let mut state = self.state.lock();
+        if let Some(entry) = state.cache.get_mut(&key) {
+            entry.pinned = false;
+        }
+    }
+
+    /// Drops the cached buffer of a BAT (the callback MonetDB invokes when a
+    /// BAT is deleted or recycled, paper §4.3).
+    pub fn invalidate(&self, bat: &BatRef) {
+        let key = bat_key(bat);
+        let mut state = self.state.lock();
+        if let Some(entry) = state.cache.remove(&key) {
+            state.events.remove(&entry.buffer.id());
+        }
+        state.hash_tables.remove(&key);
+    }
+
+    /// Clears the whole cache (used between benchmark configurations).
+    pub fn clear(&self) {
+        let mut state = self.state.lock();
+        state.cache.clear();
+        state.events.clear();
+        state.hash_tables.clear();
+        state.offloaded.clear();
+    }
+
+    // ---- producer / consumer event tracking (paper §3.4) ----
+
+    /// Records that `event` produces (writes) `buffer`.
+    pub fn record_producer(&self, buffer: &Buffer, event: EventId) {
+        self.state.lock().events.entry(buffer.id()).or_default().producers.push(event);
+    }
+
+    /// Records that `event` consumes (reads) `buffer`.
+    pub fn record_consumer(&self, buffer: &Buffer, event: EventId) {
+        self.state.lock().events.entry(buffer.id()).or_default().consumers.push(event);
+    }
+
+    /// Wait-list for an operation that wants to *read* `buffer`: all of its
+    /// producers.
+    pub fn wait_for_read(&self, buffer: &Buffer) -> Vec<EventId> {
+        self.state
+            .lock()
+            .events
+            .get(&buffer.id())
+            .map(|e| e.producers.clone())
+            .unwrap_or_default()
+    }
+
+    /// Wait-list for an operation that wants to *overwrite* `buffer`: its
+    /// producers and consumers.
+    pub fn wait_for_write(&self, buffer: &Buffer) -> Vec<EventId> {
+        self.state
+            .lock()
+            .events
+            .get(&buffer.id())
+            .map(|e| {
+                let mut all = e.producers.clone();
+                all.extend(e.consumers.iter().copied());
+                all
+            })
+            .unwrap_or_default()
+    }
+
+    // ---- host offload of intermediates (paper §3.3) ----
+
+    /// Offloads an intermediate buffer to host memory and frees its device
+    /// allocation. Returns a token to restore it later.
+    pub fn offload_intermediate(&self, buffer: Buffer) -> Result<u64> {
+        // All pending producers must have executed before we snapshot.
+        self.queue.flush()?;
+        let id = buffer.id();
+        let copy = buffer.offload_to_host();
+        let bytes = copy.bytes() as u64;
+        let mut state = self.state.lock();
+        state.stats.bytes_offloaded += bytes;
+        state.offloaded.insert(id, copy);
+        // Dropping the buffer releases its device memory.
+        drop(buffer);
+        Ok(id)
+    }
+
+    /// Restores a previously offloaded intermediate into a fresh device
+    /// buffer (re-paying the transfer).
+    pub fn restore_intermediate(&self, token: u64) -> Result<Buffer> {
+        let copy = self
+            .state
+            .lock()
+            .offloaded
+            .remove(&token)
+            .ok_or_else(|| KernelError::Internal(format!("unknown offload token {token}")))?;
+        let buffer = self.alloc_with_eviction(copy.len(), copy.label())?;
+        copy.restore_into(&buffer);
+        let event = self.queue.enqueue_write(&buffer, &[])?;
+        self.record_producer(&buffer, event);
+        Ok(buffer)
+    }
+
+    // ---- hash-table cache (paper §5.2.6) ----
+
+    /// Returns the cached hash table for a base-table BAT, if one was built
+    /// before.
+    pub fn cached_hash_table(&self, bat: &BatRef) -> Option<Arc<OcelotHashTable>> {
+        let mut state = self.state.lock();
+        let found = state.hash_tables.get(&bat_key(bat)).cloned();
+        if found.is_some() {
+            state.stats.hash_cache_hits += 1;
+        }
+        found
+    }
+
+    /// Stores a hash table built over a base-table BAT for later reuse.
+    pub fn cache_hash_table(&self, bat: &BatRef, table: Arc<OcelotHashTable>) {
+        self.state.lock().hash_tables.insert(bat_key(bat), table);
+    }
+}
+
+impl std::fmt::Debug for MemoryManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("MemoryManager")
+            .field("cached_entries", &state.cache.len())
+            .field("stats", &state.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_kernel::GpuConfig;
+    use ocelot_storage::Bat;
+
+    fn gpu_manager(mem_bytes: usize) -> (Device, Arc<Queue>, MemoryManager) {
+        let device = Device::simulated_gpu(GpuConfig::default().with_global_mem(mem_bytes));
+        let queue = Arc::new(device.create_queue());
+        let mm = MemoryManager::new(device.clone(), Arc::clone(&queue));
+        (device, queue, mm)
+    }
+
+    fn bat(n: usize, name: &str) -> BatRef {
+        Bat::from_i32(name, (0..n as i32).collect()).into_ref()
+    }
+
+    #[test]
+    fn caches_uploaded_bats() {
+        let (_, _, mm) = gpu_manager(1 << 20);
+        let b = bat(100, "a");
+        let first = mm.get_or_upload(&b).unwrap();
+        let second = mm.get_or_upload(&b).unwrap();
+        assert_eq!(first.id(), second.id());
+        let stats = mm.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.bytes_uploaded, 400);
+        assert_eq!(mm.cached_entries(), 1);
+        assert_eq!(mm.cached_bytes(), 400);
+    }
+
+    #[test]
+    fn uploads_preserve_contents() {
+        let (_, queue, mm) = gpu_manager(1 << 20);
+        let b = Bat::from_f32("f", vec![1.5, -2.5]).into_ref();
+        let buffer = mm.get_or_upload(&b).unwrap();
+        queue.flush().unwrap();
+        assert_eq!(buffer.prefix_f32(2), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    fn evicts_lru_under_pressure() {
+        // Device fits two 100-word BATs but not three.
+        let (_, _, mm) = gpu_manager(1000);
+        let a = bat(100, "a");
+        let b = bat(100, "b");
+        let c = bat(100, "c");
+        drop(mm.get_or_upload(&a).unwrap());
+        drop(mm.get_or_upload(&b).unwrap());
+        // Touch `a` so `b` becomes the LRU victim.
+        drop(mm.get_or_upload(&a).unwrap());
+        drop(mm.get_or_upload(&c).unwrap());
+        assert_eq!(mm.stats().evictions, 1);
+        assert_eq!(mm.cached_entries(), 2);
+        // `b` was evicted; re-requesting it is a miss again.
+        let misses_before = mm.stats().cache_misses;
+        drop(mm.get_or_upload(&b).unwrap());
+        assert_eq!(mm.stats().cache_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn pinned_bats_are_never_evicted() {
+        let (_, _, mm) = gpu_manager(1000);
+        let a = bat(100, "a");
+        let b = bat(100, "b");
+        mm.pin(&a).unwrap();
+        drop(mm.get_or_upload(&b).unwrap());
+        // Allocating more than fits must evict `b`, not the pinned `a`.
+        let _big = mm.alloc_result(100, "scratch").unwrap();
+        assert_eq!(mm.cached_entries(), 1);
+        let hits_before = mm.stats().cache_hits;
+        drop(mm.get_or_upload(&a).unwrap());
+        assert_eq!(mm.stats().cache_hits, hits_before + 1, "pinned BAT still cached");
+        mm.unpin(&a);
+    }
+
+    #[test]
+    fn in_use_buffers_are_not_evicted() {
+        let (_, _, mm) = gpu_manager(1000);
+        let a = bat(100, "a");
+        let held = mm.get_or_upload(&a).unwrap();
+        // Allocation pressure cannot evict `a` because we hold its buffer.
+        let err = mm.alloc_result(200, "big").unwrap_err();
+        assert!(matches!(err, KernelError::OutOfDeviceMemory { .. }));
+        drop(held);
+        assert!(mm.alloc_result(150, "big").is_ok());
+    }
+
+    #[test]
+    fn allocation_failure_when_nothing_to_evict() {
+        let (_, _, mm) = gpu_manager(100);
+        let err = mm.alloc_result(1000, "huge").unwrap_err();
+        assert!(matches!(err, KernelError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn invalidate_removes_cache_entry() {
+        let (_, _, mm) = gpu_manager(1 << 20);
+        let a = bat(10, "a");
+        drop(mm.get_or_upload(&a).unwrap());
+        assert_eq!(mm.cached_entries(), 1);
+        mm.invalidate(&a);
+        assert_eq!(mm.cached_entries(), 0);
+    }
+
+    #[test]
+    fn producer_consumer_wait_lists() {
+        let (device, queue, mm) = gpu_manager(1 << 20);
+        let buffer = device.alloc(10, "x").unwrap();
+        let write = queue.enqueue_write(&buffer, &[]).unwrap();
+        mm.record_producer(&buffer, write);
+        assert_eq!(mm.wait_for_read(&buffer), vec![write]);
+        let read = queue.enqueue_read(&buffer, &mm.wait_for_read(&buffer)).unwrap();
+        mm.record_consumer(&buffer, read);
+        let write_wait = mm.wait_for_write(&buffer);
+        assert!(write_wait.contains(&write));
+        assert!(write_wait.contains(&read));
+        queue.flush().unwrap();
+    }
+
+    #[test]
+    fn offload_and_restore_round_trip() {
+        let (device, queue, mm) = gpu_manager(1 << 20);
+        let buffer = device.alloc(4, "intermediate").unwrap();
+        buffer.copy_from_i32(&[9, 8, 7, 6]);
+        queue.enqueue_write(&buffer, &[]).unwrap();
+        let used_before = device.memory().used();
+        let token = mm.offload_intermediate(buffer).unwrap();
+        assert!(device.memory().used() < used_before, "device memory was released");
+        assert_eq!(mm.stats().bytes_offloaded, 16);
+        let restored = mm.restore_intermediate(token).unwrap();
+        queue.flush().unwrap();
+        assert_eq!(restored.prefix_i32(4), vec![9, 8, 7, 6]);
+        assert!(mm.restore_intermediate(token).is_err(), "token is single-use");
+    }
+
+    #[test]
+    fn unified_memory_devices_report_no_upload_bytes() {
+        let device = Device::cpu_multicore_with(2);
+        let queue = Arc::new(device.create_queue());
+        let mm = MemoryManager::new(device, queue);
+        let b = bat(50, "a");
+        drop(mm.get_or_upload(&b).unwrap());
+        assert_eq!(mm.stats().bytes_uploaded, 0, "zero-copy on unified memory");
+    }
+}

@@ -1,0 +1,396 @@
+//! Aggregation operators (paper §4.1.7).
+//!
+//! * **Ungrouped aggregation** delegates to the hierarchical parallel
+//!   reduction in [`crate::primitives::reduce`].
+//! * **Grouped aggregation** accumulates into a table of atomically updated
+//!   accumulators. To reduce contention when there are only a few groups,
+//!   each group's value is spread over multiple accumulators (their number
+//!   chosen inversely proportional to the number of groups, exactly as the
+//!   paper describes); a final kernel folds the accumulators of each group
+//!   into the result. Floating-point atomics are emulated with CAS on
+//!   integer words (paper footnote 7).
+
+use crate::context::{DevColumn, OcelotContext};
+use crate::primitives::reduce;
+use ocelot_kernel::atomic::{atomic_add_f32, atomic_max_f32, atomic_min_f32};
+use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+pub use crate::primitives::reduce::{max_f32, max_i32, min_f32, min_i32, sum_f32, sum_i32};
+
+/// Which grouped aggregate to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupedAgg {
+    /// Per-group sum of an `f32` column.
+    SumF32,
+    /// Per-group minimum of an `f32` column.
+    MinF32,
+    /// Per-group maximum of an `f32` column.
+    MaxF32,
+    /// Per-group row count (the value column is ignored).
+    Count,
+}
+
+impl GroupedAgg {
+    fn identity_word(self) -> u32 {
+        match self {
+            GroupedAgg::SumF32 | GroupedAgg::Count => 0f32.to_bits(),
+            GroupedAgg::MinF32 => f32::INFINITY.to_bits(),
+            GroupedAgg::MaxF32 => f32::NEG_INFINITY.to_bits(),
+        }
+    }
+
+    fn combine(self, a: f32, b: f32) -> f32 {
+        match self {
+            GroupedAgg::SumF32 | GroupedAgg::Count => a + b,
+            GroupedAgg::MinF32 => a.min(b),
+            GroupedAgg::MaxF32 => a.max(b),
+        }
+    }
+}
+
+/// The accumulation kernel: every row atomically folds its value into one of
+/// its group's accumulators, selected by the work-item id to spread
+/// contention (paper: "the values for each group are aggregated across
+/// multiple accumulators").
+struct GroupedAccumulateKernel {
+    values: Option<Buffer>,
+    gids: Buffer,
+    accumulators: Buffer,
+    num_accumulators: usize,
+    agg: GroupedAgg,
+}
+
+impl Kernel for GroupedAccumulateKernel {
+    fn name(&self) -> &str {
+        "grouped_accumulate"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let accumulator_lane = item.global_id % self.num_accumulators;
+            for idx in item.assigned() {
+                let gid = self.gids.get_u32(idx) as usize;
+                let slot = gid * self.num_accumulators + accumulator_lane;
+                let value = match (&self.values, self.agg) {
+                    (_, GroupedAgg::Count) => 1.0,
+                    (Some(values), _) => values.get_f32(idx),
+                    (None, _) => 0.0,
+                };
+                let cell = self.accumulators.cell(slot);
+                match self.agg {
+                    GroupedAgg::SumF32 | GroupedAgg::Count => {
+                        atomic_add_f32(cell, value);
+                    }
+                    GroupedAgg::MinF32 => {
+                        atomic_min_f32(cell, value);
+                    }
+                    GroupedAgg::MaxF32 => {
+                        atomic_max_f32(cell, value);
+                    }
+                }
+            }
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) * 8, (launch.n as u64) * 4, launch.n as u64, launch.n as u64)
+    }
+}
+
+/// Folds the accumulators of each group into the final per-group value.
+struct FoldAccumulatorsKernel {
+    accumulators: Buffer,
+    output: Buffer,
+    num_accumulators: usize,
+    num_groups: usize,
+    agg: GroupedAgg,
+}
+
+impl Kernel for FoldAccumulatorsKernel {
+    fn name(&self) -> &str {
+        "grouped_fold"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for gid in item.assigned() {
+                if gid >= self.num_groups {
+                    continue;
+                }
+                let mut acc = f32::from_bits(self.agg.identity_word());
+                for lane in 0..self.num_accumulators {
+                    let value = self.accumulators.get_f32(gid * self.num_accumulators + lane);
+                    acc = self.agg.combine(acc, value);
+                }
+                self.output.set_f32(gid, acc);
+            }
+        }
+    }
+}
+
+/// Number of accumulators per group: inversely proportional to the group
+/// count, capped so the accumulator table stays small (paper §4.1.7).
+fn accumulators_for(num_groups: usize) -> usize {
+    if num_groups == 0 {
+        return 1;
+    }
+    (4096 / num_groups).clamp(1, 64)
+}
+
+fn grouped_aggregate(
+    ctx: &OcelotContext,
+    values: Option<&DevColumn>,
+    gids: &DevColumn,
+    num_groups: usize,
+    agg: GroupedAgg,
+) -> Result<DevColumn> {
+    if let Some(values) = values {
+        assert_eq!(values.len, gids.len, "grouped aggregate: length mismatch");
+    }
+    let output = ctx.alloc(num_groups.max(1), "grouped_output")?;
+    if num_groups == 0 {
+        return Ok(DevColumn::new(output, 0));
+    }
+    let num_accumulators = accumulators_for(num_groups);
+    let accumulators = ctx.alloc(num_groups * num_accumulators, "grouped_accumulators")?;
+    // Initialise the accumulators with the aggregate's identity.
+    for slot in 0..num_groups * num_accumulators {
+        accumulators.cell(slot).store(agg.identity_word(), Ordering::Relaxed);
+    }
+    ctx.queue().enqueue_write(&accumulators, &[])?;
+
+    if gids.len > 0 {
+        let mut wait = ctx.memory().wait_for_read(&gids.buffer);
+        if let Some(values) = values {
+            wait.extend(ctx.memory().wait_for_read(&values.buffer));
+        }
+        ctx.queue().enqueue_kernel(
+            Arc::new(GroupedAccumulateKernel {
+                values: values.map(|v| v.buffer.clone()),
+                gids: gids.buffer.clone(),
+                accumulators: accumulators.clone(),
+                num_accumulators,
+                agg,
+            }),
+            ctx.launch(gids.len),
+            &wait,
+        )?;
+    }
+    let fold_event = ctx.queue().enqueue_kernel(
+        Arc::new(FoldAccumulatorsKernel {
+            accumulators,
+            output: output.clone(),
+            num_accumulators,
+            num_groups,
+            agg,
+        }),
+        ctx.launch(num_groups),
+        &[],
+    )?;
+    ctx.memory().record_producer(&output, fold_event);
+    Ok(DevColumn::new(output, num_groups))
+}
+
+/// Per-group sums of a float column.
+pub fn grouped_sum_f32(
+    ctx: &OcelotContext,
+    values: &DevColumn,
+    gids: &DevColumn,
+    num_groups: usize,
+) -> Result<DevColumn> {
+    grouped_aggregate(ctx, Some(values), gids, num_groups, GroupedAgg::SumF32)
+}
+
+/// Per-group minima of a float column (`+∞` for empty groups).
+pub fn grouped_min_f32(
+    ctx: &OcelotContext,
+    values: &DevColumn,
+    gids: &DevColumn,
+    num_groups: usize,
+) -> Result<DevColumn> {
+    grouped_aggregate(ctx, Some(values), gids, num_groups, GroupedAgg::MinF32)
+}
+
+/// Per-group maxima of a float column (`-∞` for empty groups).
+pub fn grouped_max_f32(
+    ctx: &OcelotContext,
+    values: &DevColumn,
+    gids: &DevColumn,
+    num_groups: usize,
+) -> Result<DevColumn> {
+    grouped_aggregate(ctx, Some(values), gids, num_groups, GroupedAgg::MaxF32)
+}
+
+/// Per-group row counts, returned as a float column (the four-byte engine
+/// representation; counts stay exactly representable up to 2^24 rows).
+pub fn grouped_count(
+    ctx: &OcelotContext,
+    gids: &DevColumn,
+    num_groups: usize,
+) -> Result<DevColumn> {
+    grouped_aggregate(ctx, None, gids, num_groups, GroupedAgg::Count)
+}
+
+/// Per-group averages of a float column (0 for empty groups).
+pub fn grouped_avg_f32(
+    ctx: &OcelotContext,
+    values: &DevColumn,
+    gids: &DevColumn,
+    num_groups: usize,
+) -> Result<DevColumn> {
+    let sums = grouped_sum_f32(ctx, values, gids, num_groups)?;
+    let counts = grouped_count(ctx, gids, num_groups)?;
+    let output = ctx.alloc(num_groups.max(1), "grouped_avg")?;
+    if num_groups == 0 {
+        return Ok(DevColumn::new(output, 0));
+    }
+    ctx.queue().enqueue_kernel(
+        Arc::new(DivideKernel {
+            numerator: sums.buffer.clone(),
+            denominator: counts.buffer.clone(),
+            output: output.clone(),
+        }),
+        ctx.launch(num_groups),
+        &[],
+    )?;
+    Ok(DevColumn::new(output, num_groups))
+}
+
+struct DivideKernel {
+    numerator: Buffer,
+    denominator: Buffer,
+    output: Buffer,
+}
+
+impl Kernel for DivideKernel {
+    fn name(&self) -> &str {
+        "grouped_divide"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for idx in item.assigned() {
+                let denom = self.denominator.get_f32(idx);
+                let value =
+                    if denom == 0.0 { 0.0 } else { self.numerator.get_f32(idx) / denom };
+                self.output.set_f32(idx, value);
+            }
+        }
+    }
+}
+
+/// Number of rows in a column (trivial, provided for interface completeness).
+pub fn count(column: &DevColumn) -> i64 {
+    column.len as i64
+}
+
+/// Average of a float column (`None` for an empty column).
+pub fn avg_f32(ctx: &OcelotContext, values: &DevColumn) -> Result<Option<f32>> {
+    if values.len == 0 {
+        return Ok(None);
+    }
+    let total = reduce::sum_f32(ctx, values)?;
+    Ok(Some(total / values.len as f32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OcelotContext;
+    use ocelot_monet::sequential as monet;
+
+    fn setup(n: usize, groups: u32) -> (Vec<f32>, Vec<u32>) {
+        let values: Vec<f32> = (0..n).map(|i| ((i * 13 + 5) % 101) as f32 * 0.5).collect();
+        let gids: Vec<u32> = (0..n).map(|i| (i as u32 * 7 + 3) % groups).collect();
+        (values, gids)
+    }
+
+    #[test]
+    fn grouped_sum_matches_monet_on_all_devices() {
+        let (values, gids) = setup(10_000, 37);
+        let expected = monet::grouped_sum_f32(&values, &gids, 37);
+        for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
+            let v = ctx.upload_f32(&values, "v").unwrap();
+            let g = ctx.upload_u32(&gids, "g").unwrap();
+            let sums = ctx.download_f32(&grouped_sum_f32(&ctx, &v, &g, 37).unwrap()).unwrap();
+            for (a, b) in sums.iter().zip(expected.iter()) {
+                assert!((a - b).abs() < 0.5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_min_max_count_avg() {
+        let (values, gids) = setup(5_000, 11);
+        let ctx = OcelotContext::cpu();
+        let v = ctx.upload_f32(&values, "v").unwrap();
+        let g = ctx.upload_u32(&gids, "g").unwrap();
+
+        assert_eq!(
+            ctx.download_f32(&grouped_min_f32(&ctx, &v, &g, 11).unwrap()).unwrap(),
+            monet::grouped_min_f32(&values, &gids, 11)
+        );
+        assert_eq!(
+            ctx.download_f32(&grouped_max_f32(&ctx, &v, &g, 11).unwrap()).unwrap(),
+            monet::grouped_max_f32(&values, &gids, 11)
+        );
+        let counts = ctx.download_f32(&grouped_count(&ctx, &g, 11).unwrap()).unwrap();
+        let expected_counts = monet::grouped_count(&gids, 11);
+        for (a, b) in counts.iter().zip(expected_counts.iter()) {
+            assert_eq!(*a as i64, *b);
+        }
+        let avgs = ctx.download_f32(&grouped_avg_f32(&ctx, &v, &g, 11).unwrap()).unwrap();
+        let expected_avgs = monet::grouped_avg_f32(&values, &gids, 11);
+        for (a, b) in avgs.iter().zip(expected_avgs.iter()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn few_groups_use_many_accumulators() {
+        assert_eq!(accumulators_for(1), 64);
+        assert_eq!(accumulators_for(100), 40);
+        assert_eq!(accumulators_for(10_000), 1);
+        assert_eq!(accumulators_for(0), 1);
+    }
+
+    #[test]
+    fn single_group_aggregation_is_exact_for_counts() {
+        let ctx = OcelotContext::gpu();
+        let gids = vec![0u32; 5_000];
+        let g = ctx.upload_u32(&gids, "g").unwrap();
+        let counts = ctx.download_f32(&grouped_count(&ctx, &g, 1).unwrap()).unwrap();
+        assert_eq!(counts, vec![5_000.0]);
+    }
+
+    #[test]
+    fn ungrouped_aggregates_re_exported() {
+        let ctx = OcelotContext::cpu();
+        let v = ctx.upload_f32(&[1.0, 2.0, 3.0], "v").unwrap();
+        assert_eq!(sum_f32(&ctx, &v).unwrap(), 6.0);
+        assert_eq!(min_f32(&ctx, &v).unwrap(), 1.0);
+        assert_eq!(max_f32(&ctx, &v).unwrap(), 3.0);
+        assert_eq!(avg_f32(&ctx, &v).unwrap(), Some(2.0));
+        assert_eq!(count(&v), 3);
+        let empty = ctx.upload_f32(&[], "e").unwrap();
+        assert_eq!(avg_f32(&ctx, &empty).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_group_identities() {
+        let ctx = OcelotContext::cpu();
+        let v = ctx.upload_f32(&[1.0], "v").unwrap();
+        let g = ctx.upload_u32(&[2], "g").unwrap();
+        let mins = ctx.download_f32(&grouped_min_f32(&ctx, &v, &g, 4).unwrap()).unwrap();
+        assert_eq!(mins[0], f32::INFINITY);
+        assert_eq!(mins[2], 1.0);
+        let counts = ctx.download_f32(&grouped_count(&ctx, &g, 4).unwrap()).unwrap();
+        assert_eq!(counts, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_groups() {
+        let ctx = OcelotContext::cpu();
+        let v = ctx.upload_f32(&[], "v").unwrap();
+        let g = ctx.upload_u32(&[], "g").unwrap();
+        assert_eq!(grouped_sum_f32(&ctx, &v, &g, 0).unwrap().len, 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Element-wise arithmetic map operators — the hardware-oblivious analogue
+//! of MonetDB's `batcalc` module.
+//!
+//! TPC-H expressions like `l_extendedprice * (1 - l_discount)` become chains
+//! of these kernels. Every kernel is a trivial streaming map (the paper's
+//! Listing 1 is exactly this shape), so the default [`KernelCost`] applies.
+
+use crate::context::{DevColumn, OcelotContext};
+use ocelot_kernel::{Buffer, Kernel, Result, WorkGroupCtx};
+use ocelot_storage::types::days_to_date;
+use std::sync::Arc;
+
+/// The element-wise operation a [`MapKernel`] applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MapOp {
+    /// `out = a * b` (f32).
+    MulF32,
+    /// `out = a + b` (f32).
+    AddF32,
+    /// `out = a - b` (f32).
+    SubF32,
+    /// `out = c - a` (f32).
+    ConstMinusF32(f32),
+    /// `out = c + a` (f32).
+    ConstPlusF32(f32),
+    /// `out = a * c` (f32).
+    MulConstF32(f32),
+    /// `out = (f32) a` for an i32 column.
+    CastI32F32,
+    /// `out = year(a)` for a day-number date column.
+    ExtractYear,
+}
+
+struct MapKernel {
+    a: Buffer,
+    b: Option<Buffer>,
+    output: Buffer,
+    op: MapOp,
+}
+
+impl Kernel for MapKernel {
+    fn name(&self) -> &str {
+        match self.op {
+            MapOp::MulF32 => "calc_mul_f32",
+            MapOp::AddF32 => "calc_add_f32",
+            MapOp::SubF32 => "calc_sub_f32",
+            MapOp::ConstMinusF32(_) => "calc_const_minus_f32",
+            MapOp::ConstPlusF32(_) => "calc_const_plus_f32",
+            MapOp::MulConstF32(_) => "calc_mul_const_f32",
+            MapOp::CastI32F32 => "calc_cast_i32_f32",
+            MapOp::ExtractYear => "calc_extract_year",
+        }
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for idx in item.assigned() {
+                match self.op {
+                    MapOp::MulF32 => {
+                        let b = self.b.as_ref().expect("binary op requires b");
+                        self.output.set_f32(idx, self.a.get_f32(idx) * b.get_f32(idx));
+                    }
+                    MapOp::AddF32 => {
+                        let b = self.b.as_ref().expect("binary op requires b");
+                        self.output.set_f32(idx, self.a.get_f32(idx) + b.get_f32(idx));
+                    }
+                    MapOp::SubF32 => {
+                        let b = self.b.as_ref().expect("binary op requires b");
+                        self.output.set_f32(idx, self.a.get_f32(idx) - b.get_f32(idx));
+                    }
+                    MapOp::ConstMinusF32(c) => self.output.set_f32(idx, c - self.a.get_f32(idx)),
+                    MapOp::ConstPlusF32(c) => self.output.set_f32(idx, c + self.a.get_f32(idx)),
+                    MapOp::MulConstF32(c) => self.output.set_f32(idx, self.a.get_f32(idx) * c),
+                    MapOp::CastI32F32 => self.output.set_f32(idx, self.a.get_i32(idx) as f32),
+                    MapOp::ExtractYear => {
+                        let (year, _, _) = days_to_date(self.a.get_i32(idx));
+                        self.output.set_i32(idx, year);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_map(
+    ctx: &OcelotContext,
+    a: &DevColumn,
+    b: Option<&DevColumn>,
+    op: MapOp,
+) -> Result<DevColumn> {
+    if let Some(b) = b {
+        assert_eq!(a.len, b.len, "calc: input length mismatch");
+    }
+    let output = ctx.alloc(a.len.max(1), "calc_output")?;
+    if a.len == 0 {
+        return Ok(DevColumn::new(output, 0));
+    }
+    let mut wait = ctx.memory().wait_for_read(&a.buffer);
+    if let Some(b) = b {
+        wait.extend(ctx.memory().wait_for_read(&b.buffer));
+    }
+    let event = ctx.queue().enqueue_kernel(
+        Arc::new(MapKernel {
+            a: a.buffer.clone(),
+            b: b.map(|col| col.buffer.clone()),
+            output: output.clone(),
+            op,
+        }),
+        ctx.launch(a.len),
+        &wait,
+    )?;
+    ctx.memory().record_producer(&output, event);
+    Ok(DevColumn::new(output, a.len))
+}
+
+/// Element-wise `a * b` over float columns.
+pub fn mul_f32(ctx: &OcelotContext, a: &DevColumn, b: &DevColumn) -> Result<DevColumn> {
+    run_map(ctx, a, Some(b), MapOp::MulF32)
+}
+
+/// Element-wise `a + b` over float columns.
+pub fn add_f32(ctx: &OcelotContext, a: &DevColumn, b: &DevColumn) -> Result<DevColumn> {
+    run_map(ctx, a, Some(b), MapOp::AddF32)
+}
+
+/// Element-wise `a - b` over float columns.
+pub fn sub_f32(ctx: &OcelotContext, a: &DevColumn, b: &DevColumn) -> Result<DevColumn> {
+    run_map(ctx, a, Some(b), MapOp::SubF32)
+}
+
+/// Element-wise `constant - a` (e.g. `1 - l_discount`).
+pub fn const_minus_f32(ctx: &OcelotContext, constant: f32, a: &DevColumn) -> Result<DevColumn> {
+    run_map(ctx, a, None, MapOp::ConstMinusF32(constant))
+}
+
+/// Element-wise `constant + a` (e.g. `1 + l_tax`).
+pub fn const_plus_f32(ctx: &OcelotContext, constant: f32, a: &DevColumn) -> Result<DevColumn> {
+    run_map(ctx, a, None, MapOp::ConstPlusF32(constant))
+}
+
+/// Element-wise `a * constant`.
+pub fn mul_const_f32(ctx: &OcelotContext, a: &DevColumn, constant: f32) -> Result<DevColumn> {
+    run_map(ctx, a, None, MapOp::MulConstF32(constant))
+}
+
+/// Casts an integer column to float.
+pub fn cast_i32_f32(ctx: &OcelotContext, a: &DevColumn) -> Result<DevColumn> {
+    run_map(ctx, a, None, MapOp::CastI32F32)
+}
+
+/// Extracts the calendar year from a day-number date column.
+pub fn extract_year(ctx: &OcelotContext, a: &DevColumn) -> Result<DevColumn> {
+    run_map(ctx, a, None, MapOp::ExtractYear)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OcelotContext;
+    use ocelot_monet::sequential as monet;
+    use ocelot_storage::types::date_to_days;
+
+    #[test]
+    fn binary_maps_match_monet_on_all_devices() {
+        let a: Vec<f32> = (0..3_000).map(|i| i as f32 * 0.25).collect();
+        let b: Vec<f32> = (0..3_000).map(|i| (i % 13) as f32).collect();
+        for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
+            let ca = ctx.upload_f32(&a, "a").unwrap();
+            let cb = ctx.upload_f32(&b, "b").unwrap();
+            assert_eq!(
+                ctx.download_f32(&mul_f32(&ctx, &ca, &cb).unwrap()).unwrap(),
+                monet::mul_f32(&a, &b)
+            );
+            assert_eq!(
+                ctx.download_f32(&add_f32(&ctx, &ca, &cb).unwrap()).unwrap(),
+                monet::add_f32(&a, &b)
+            );
+            assert_eq!(
+                ctx.download_f32(&sub_f32(&ctx, &ca, &cb).unwrap()).unwrap(),
+                monet::sub_f32(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn unary_maps() {
+        let ctx = OcelotContext::cpu();
+        let a: Vec<f32> = vec![0.1, 0.5, 0.9];
+        let ca = ctx.upload_f32(&a, "a").unwrap();
+        assert_eq!(
+            ctx.download_f32(&const_minus_f32(&ctx, 1.0, &ca).unwrap()).unwrap(),
+            monet::const_minus_f32(1.0, &a)
+        );
+        assert_eq!(
+            ctx.download_f32(&const_plus_f32(&ctx, 1.0, &ca).unwrap()).unwrap(),
+            monet::const_plus_f32(1.0, &a)
+        );
+        assert_eq!(
+            ctx.download_f32(&mul_const_f32(&ctx, &ca, 2.0).unwrap()).unwrap(),
+            monet::mul_const_f32(&a, 2.0)
+        );
+
+        let ints: Vec<i32> = vec![3, -4, 5];
+        let ci = ctx.upload_i32(&ints, "i").unwrap();
+        assert_eq!(
+            ctx.download_f32(&cast_i32_f32(&ctx, &ci).unwrap()).unwrap(),
+            vec![3.0, -4.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn year_extraction_matches_monet() {
+        let days: Vec<i32> = (0..2_000)
+            .map(|i| date_to_days(1992 + (i % 7), 1 + (i % 12) as u32, 1 + (i % 28) as u32))
+            .collect();
+        let ctx = OcelotContext::gpu();
+        let col = ctx.upload_i32(&days, "dates").unwrap();
+        assert_eq!(
+            ctx.download_i32(&extract_year(&ctx, &col).unwrap()).unwrap(),
+            monet::extract_year(&days)
+        );
+    }
+
+    #[test]
+    fn tpch_q1_style_expression_chain() {
+        // extendedprice * (1 - discount) * (1 + tax)
+        let price = vec![100.0f32, 200.0, 50.0];
+        let discount = vec![0.1f32, 0.0, 0.5];
+        let tax = vec![0.05f32, 0.1, 0.0];
+        let ctx = OcelotContext::cpu();
+        let p = ctx.upload_f32(&price, "p").unwrap();
+        let d = ctx.upload_f32(&discount, "d").unwrap();
+        let t = ctx.upload_f32(&tax, "t").unwrap();
+        let one_minus_d = const_minus_f32(&ctx, 1.0, &d).unwrap();
+        let one_plus_t = const_plus_f32(&ctx, 1.0, &t).unwrap();
+        let disc_price = mul_f32(&ctx, &p, &one_minus_d).unwrap();
+        let charge = mul_f32(&ctx, &disc_price, &one_plus_t).unwrap();
+        let result = ctx.download_f32(&charge).unwrap();
+        let expected: Vec<f32> = (0..3)
+            .map(|i| price[i] * (1.0 - discount[i]) * (1.0 + tax[i]))
+            .collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let ctx = OcelotContext::cpu();
+        let a = ctx.upload_f32(&[1.0], "a").unwrap();
+        let b = ctx.upload_f32(&[1.0, 2.0], "b").unwrap();
+        let _ = mul_f32(&ctx, &a, &b);
+    }
+
+    #[test]
+    fn empty_columns() {
+        let ctx = OcelotContext::cpu();
+        let a = ctx.upload_f32(&[], "a").unwrap();
+        let b = ctx.upload_f32(&[], "b").unwrap();
+        assert!(ctx.download_f32(&mul_f32(&ctx, &a, &b).unwrap()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! The group-by operator (paper §4.1.6).
+//!
+//! Produces a column assigning a *dense group id* to every tuple. Two
+//! implementations are provided, chosen by the caller based on the BAT's
+//! `sorted` descriptor flag:
+//!
+//! * **Sorted path** — every thread compares its values with their
+//!   successors to find group boundaries; a prefix sum over the boundary
+//!   flags yields dense ids.
+//! * **Hash path** — a parallel hash table over the keys yields dense ids
+//!   through lookups (the path whose atomic-heavy build dominates the
+//!   grouping microbenchmark, Figure 5g/5h).
+//!
+//! Multi-column grouping recursively combines the dense ids of two grouping
+//! columns and groups the combined ids again, exactly as described in the
+//! paper.
+
+use crate::context::{DevColumn, OcelotContext};
+use crate::ops::hash_table::OcelotHashTable;
+use crate::primitives::prefix_sum::exclusive_scan_u32;
+use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use std::sync::Arc;
+
+/// Result of a grouping operation.
+#[derive(Debug, Clone)]
+pub struct GroupBy {
+    /// Dense group id per input row.
+    pub gids: DevColumn,
+    /// Number of distinct groups.
+    pub num_groups: usize,
+    /// Representative row per group (the smallest row id of the group),
+    /// used to project the grouping key values into the result set.
+    pub representatives: DevColumn,
+}
+
+/// Group-by over an unsorted key column using the parallel hash table.
+/// `distinct_hint` sizes the initial table.
+pub fn group_by_hash(
+    ctx: &OcelotContext,
+    keys: &DevColumn,
+    distinct_hint: usize,
+) -> Result<GroupBy> {
+    let table = OcelotHashTable::build(ctx, keys, distinct_hint)?;
+    let gids = table.probe_gids(ctx, keys)?;
+    Ok(GroupBy { gids, num_groups: table.num_distinct(), representatives: table.representatives() })
+}
+
+// ---- sorted fast path ----
+
+struct BoundaryKernel {
+    keys: Buffer,
+    flags: Buffer,
+}
+
+impl Kernel for BoundaryKernel {
+    fn name(&self) -> &str {
+        "group_boundaries"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for idx in item.assigned() {
+                let flag = if idx == 0 {
+                    0
+                } else {
+                    u32::from(self.keys.get_u32(idx) != self.keys.get_u32(idx - 1))
+                };
+                self.flags.set_u32(idx, flag);
+            }
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) * 8, (launch.n as u64) * 4, launch.n as u64, 0)
+    }
+
+}
+
+struct RepresentativeFromBoundariesKernel {
+    gids: Buffer,
+    flags: Buffer,
+    representatives: Buffer,
+    n: usize,
+}
+
+impl Kernel for RepresentativeFromBoundariesKernel {
+    fn name(&self) -> &str {
+        "group_sorted_representatives"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for idx in item.assigned() {
+                if idx >= self.n {
+                    continue;
+                }
+                if idx == 0 || self.flags.get_u32(idx) == 1 {
+                    let gid = self.gids.get_u32(idx) as usize;
+                    self.representatives.set_u32(gid, idx as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Group-by over a key column that is known to be sorted: boundary flags +
+/// prefix sum (no hash table, no atomics).
+pub fn group_by_sorted(ctx: &OcelotContext, keys: &DevColumn) -> Result<GroupBy> {
+    let n = keys.len;
+    if n == 0 {
+        let empty = ctx.alloc(1, "group_empty")?;
+        return Ok(GroupBy {
+            gids: DevColumn::new(empty.clone(), 0),
+            num_groups: 0,
+            representatives: DevColumn::new(empty, 0),
+        });
+    }
+    let flags = ctx.alloc(n, "group_flags")?;
+    let wait = ctx.memory().wait_for_read(&keys.buffer);
+    ctx.queue().enqueue_kernel(
+        Arc::new(BoundaryKernel { keys: keys.buffer.clone(), flags: flags.clone() }),
+        ctx.launch(n),
+        &wait,
+    )?;
+    let flags_col = DevColumn::new(flags.clone(), n);
+    // Inclusive group id of row i = exclusive_scan(flags)[i] + flags[i]; but
+    // because flags[0] is 0 and boundaries carry a 1 exactly where a new
+    // group starts, the *inclusive* scan is the group id. We get it from the
+    // exclusive scan shifted by the flag itself.
+    let (exclusive, total) = exclusive_scan_u32(ctx, &flags_col)?;
+    let gids = ctx.alloc(n, "group_gids")?;
+    ctx.queue().enqueue_kernel(
+        Arc::new(InclusiveFixupKernel {
+            exclusive: exclusive.buffer.clone(),
+            flags: flags.clone(),
+            gids: gids.clone(),
+        }),
+        ctx.launch(n),
+        &[],
+    )?;
+    let num_groups = (total as usize) + 1;
+    let representatives = ctx.alloc(num_groups, "group_reps")?;
+    ctx.queue().enqueue_kernel(
+        Arc::new(RepresentativeFromBoundariesKernel {
+            gids: gids.clone(),
+            flags,
+            representatives: representatives.clone(),
+            n,
+        }),
+        ctx.launch(n),
+        &[],
+    )?;
+    ctx.queue().flush()?;
+    Ok(GroupBy {
+        gids: DevColumn::new(gids, n),
+        num_groups,
+        representatives: DevColumn::new(representatives, num_groups),
+    })
+}
+
+struct InclusiveFixupKernel {
+    exclusive: Buffer,
+    flags: Buffer,
+    gids: Buffer,
+}
+
+impl Kernel for InclusiveFixupKernel {
+    fn name(&self) -> &str {
+        "group_inclusive_fixup"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for idx in item.assigned() {
+                let gid = self.exclusive.get_u32(idx) + self.flags.get_u32(idx);
+                self.gids.set_u32(idx, gid);
+            }
+        }
+    }
+}
+
+// ---- multi-column grouping ----
+
+struct CombineGidKernel {
+    previous: Buffer,
+    next: Buffer,
+    combined: Buffer,
+    next_groups: u32,
+}
+
+impl Kernel for CombineGidKernel {
+    fn name(&self) -> &str {
+        "group_combine_gids"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for idx in item.assigned() {
+                let combined =
+                    self.previous.get_u32(idx) * self.next_groups + self.next.get_u32(idx);
+                self.combined.set_u32(idx, combined);
+            }
+        }
+    }
+}
+
+/// Refines an existing grouping with an additional key column: the column is
+/// grouped on its own, the two dense-id columns are combined into a single
+/// id, and the combined ids are grouped again (paper §4.1.6).
+pub fn group_refine(
+    ctx: &OcelotContext,
+    previous: &GroupBy,
+    keys: &DevColumn,
+    distinct_hint: usize,
+) -> Result<GroupBy> {
+    assert_eq!(previous.gids.len, keys.len, "group_refine: length mismatch");
+    let next = group_by_hash(ctx, keys, distinct_hint)?;
+    let n = keys.len;
+    if n == 0 {
+        return Ok(next);
+    }
+    let combined_product = (previous.num_groups as u64) * (next.num_groups as u64);
+    assert!(
+        combined_product < u32::MAX as u64,
+        "group_refine: combined group id space overflows 32 bits ({combined_product})"
+    );
+    let combined = ctx.alloc(n, "group_combined_ids")?;
+    ctx.queue().enqueue_kernel(
+        Arc::new(CombineGidKernel {
+            previous: previous.gids.buffer.clone(),
+            next: next.gids.buffer.clone(),
+            combined: combined.clone(),
+            next_groups: next.num_groups.max(1) as u32,
+        }),
+        ctx.launch(n),
+        &[],
+    )?;
+    let combined_col = DevColumn::new(combined, n);
+    let hint = (previous.num_groups * next.num_groups).max(1).min(n.max(1));
+    group_by_hash(ctx, &combined_col, hint)
+}
+
+/// Groups by several key columns at once (repeated refinement).
+pub fn group_by_columns(
+    ctx: &OcelotContext,
+    columns: &[&DevColumn],
+    distinct_hint: usize,
+) -> Result<GroupBy> {
+    assert!(!columns.is_empty(), "group_by_columns: need at least one column");
+    let mut result = group_by_hash(ctx, columns[0], distinct_hint)?;
+    for column in &columns[1..] {
+        result = group_refine(ctx, &result, column, distinct_hint)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OcelotContext;
+    use ocelot_monet::sequential as monet;
+
+    fn check_same_partition(values: &[i32], gids: &[u32], expected_groups: usize) {
+        let reference = monet::group_by_i32(values);
+        assert_eq!(expected_groups, reference.num_groups);
+        for i in (0..values.len()).step_by(37) {
+            for j in (0..values.len()).step_by(41) {
+                assert_eq!(
+                    reference.gids[i] == reference.gids[j],
+                    gids[i] == gids[j],
+                    "rows {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_grouping_matches_monet_on_all_devices() {
+        let values: Vec<i32> = (0..8_000).map(|i| ((i * 131 + 7) % 100) as i32).collect();
+        for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
+            let col = ctx.upload_i32(&values, "keys").unwrap();
+            let result = group_by_hash(&ctx, &col, 100).unwrap();
+            assert_eq!(result.num_groups, 100);
+            let gids = ctx.download_u32(&result.gids).unwrap();
+            check_same_partition(&values, &gids, result.num_groups);
+        }
+    }
+
+    #[test]
+    fn sorted_grouping_matches_hash_grouping() {
+        let mut values: Vec<i32> = (0..5_000).map(|i| ((i * 17 + 3) % 50) as i32).collect();
+        values.sort_unstable();
+        let ctx = OcelotContext::cpu();
+        let col = ctx.upload_i32(&values, "keys").unwrap();
+        let sorted = group_by_sorted(&ctx, &col).unwrap();
+        assert_eq!(sorted.num_groups, 50);
+        let gids = ctx.download_u32(&sorted.gids).unwrap();
+        // Sorted input: group ids must be non-decreasing and dense.
+        assert!(gids.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] + 1));
+        assert_eq!(*gids.last().unwrap() as usize, sorted.num_groups - 1);
+        check_same_partition(&values, &gids, sorted.num_groups);
+        // Representatives point at the first row of each group.
+        let reps = ctx.download_u32(&sorted.representatives).unwrap();
+        for (gid, rep) in reps.iter().enumerate() {
+            assert_eq!(gids[*rep as usize] as usize, gid);
+            assert!(*rep == 0 || gids[(*rep - 1) as usize] as usize == gid - 1);
+        }
+    }
+
+    #[test]
+    fn representatives_carry_group_keys() {
+        let values: Vec<i32> = (0..3_000).map(|i| ((i * 7) % 31) as i32).collect();
+        let ctx = OcelotContext::gpu();
+        let col = ctx.upload_i32(&values, "keys").unwrap();
+        let result = group_by_hash(&ctx, &col, 31).unwrap();
+        let gids = ctx.download_u32(&result.gids).unwrap();
+        let reps = ctx.download_u32(&result.representatives).unwrap();
+        for (row, gid) in gids.iter().enumerate() {
+            assert_eq!(values[reps[*gid as usize] as usize], values[row]);
+        }
+    }
+
+    #[test]
+    fn multi_column_grouping() {
+        let a: Vec<i32> = (0..4_000).map(|i| (i % 4) as i32).collect();
+        let b: Vec<i32> = (0..4_000).map(|i| (i % 6) as i32).collect();
+        let ctx = OcelotContext::cpu();
+        let ca = ctx.upload_i32(&a, "a").unwrap();
+        let cb = ctx.upload_i32(&b, "b").unwrap();
+        let result = group_by_columns(&ctx, &[&ca, &cb], 32).unwrap();
+        // lcm(4, 6) = 12 distinct pairs.
+        assert_eq!(result.num_groups, 12);
+        let gids = ctx.download_u32(&result.gids).unwrap();
+        for i in (0..a.len()).step_by(17) {
+            for j in (0..a.len()).step_by(23) {
+                assert_eq!((a[i], b[i]) == (a[j], b[j]), gids[i] == gids[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_group_and_empty_inputs() {
+        let ctx = OcelotContext::cpu();
+        let uniform = ctx.upload_i32(&[7; 100], "u").unwrap();
+        let result = group_by_hash(&ctx, &uniform, 4).unwrap();
+        assert_eq!(result.num_groups, 1);
+        assert!(ctx.download_u32(&result.gids).unwrap().iter().all(|g| *g == 0));
+
+        let empty = ctx.upload_i32(&[], "e").unwrap();
+        assert_eq!(group_by_hash(&ctx, &empty, 4).unwrap().num_groups, 0);
+        assert_eq!(group_by_sorted(&ctx, &empty).unwrap().num_groups, 0);
+    }
+}

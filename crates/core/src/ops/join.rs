@@ -1,0 +1,474 @@
+//! Join operators (paper §4.1.5).
+//!
+//! Equi-joins are hash joins against an [`OcelotHashTable`] built over the
+//! (unique-key) build side; theta-joins use a nested-loop kernel. Both use
+//! the two-step scheme to produce compact results without synchronisation:
+//! every work-item first counts the result tuples it will emit, a prefix sum
+//! turns the counts into unique write offsets, and a second pass performs
+//! the join writing at those offsets. When the caller knows every probe row
+//! matches (e.g. a PK-FK join against an unfiltered key column), the
+//! counting pass is skipped and the aligned lookup is returned directly —
+//! the paper's "execute the join directly, omitting the additional
+//! overhead" optimisation.
+
+use crate::context::{DevColumn, OcelotContext};
+use crate::ops::hash_table::{OcelotHashTable, NOT_FOUND};
+use crate::primitives::prefix_sum::exclusive_scan_u32;
+use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use std::sync::Arc;
+
+/// A compacted join result: aligned probe-side and build-side OID columns.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// OIDs into the probe (left) input, one per result tuple.
+    pub probe_oids: DevColumn,
+    /// OIDs into the build (right) input, aligned with `probe_oids`.
+    pub build_oids: DevColumn,
+}
+
+impl JoinResult {
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
+        self.probe_oids.len
+    }
+
+    /// Whether the join produced no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---- compaction of aligned lookups (shared by hash join / semi / anti) ----
+
+struct CountMatchesKernel {
+    lookups: Buffer,
+    counts: Buffer,
+    keep_found: bool,
+    n: usize,
+}
+
+impl Kernel for CountMatchesKernel {
+    fn name(&self) -> &str {
+        "join_count_matches"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.n);
+            let mut count = 0u32;
+            for idx in start..end {
+                let found = self.lookups.get_u32(idx) != NOT_FOUND;
+                if found == self.keep_found {
+                    count += 1;
+                }
+            }
+            self.counts.set_u32(item.global_id, count);
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) * 4, launch.total_items() as u64 * 4, launch.n as u64, 0)
+    }
+}
+
+struct WriteMatchesKernel {
+    lookups: Buffer,
+    offsets: Buffer,
+    probe_out: Buffer,
+    build_out: Option<Buffer>,
+    keep_found: bool,
+    n: usize,
+}
+
+impl Kernel for WriteMatchesKernel {
+    fn name(&self) -> &str {
+        "join_write_matches"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.n);
+            let mut cursor = self.offsets.get_u32(item.global_id) as usize;
+            for idx in start..end {
+                let lookup = self.lookups.get_u32(idx);
+                let found = lookup != NOT_FOUND;
+                if found == self.keep_found {
+                    self.probe_out.set_u32(cursor, idx as u32);
+                    if let Some(build_out) = &self.build_out {
+                        build_out.set_u32(cursor, lookup);
+                    }
+                    cursor += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Compacts an aligned lookup column (`NOT_FOUND` = miss) into the probe
+/// OIDs whose lookup status matches `keep_found`, optionally emitting the
+/// matching build OIDs as well.
+fn compact_lookups(
+    ctx: &OcelotContext,
+    lookups: &DevColumn,
+    keep_found: bool,
+    emit_build: bool,
+) -> Result<(DevColumn, Option<DevColumn>)> {
+    let n = lookups.len;
+    if n == 0 {
+        let empty = ctx.alloc(1, "join_empty")?;
+        let build = if emit_build { Some(DevColumn::new(ctx.alloc(1, "join_empty_b")?, 0)) } else { None };
+        return Ok((DevColumn::new(empty, 0), build));
+    }
+    let launch = ctx.launch(n);
+    let counts = ctx.alloc(launch.total_items(), "join_counts")?;
+    let wait = ctx.memory().wait_for_read(&lookups.buffer);
+    ctx.queue().enqueue_kernel(
+        Arc::new(CountMatchesKernel {
+            lookups: lookups.buffer.clone(),
+            counts: counts.clone(),
+            keep_found,
+            n,
+        }),
+        launch.clone(),
+        &wait,
+    )?;
+    let counts_col = DevColumn::new(counts, launch.total_items());
+    let (offsets, total) = exclusive_scan_u32(ctx, &counts_col)?;
+    let total = total as usize;
+
+    let probe_out = ctx.alloc(total.max(1), "join_probe_oids")?;
+    let build_out = if emit_build { Some(ctx.alloc(total.max(1), "join_build_oids")?) } else { None };
+    let event = ctx.queue().enqueue_kernel(
+        Arc::new(WriteMatchesKernel {
+            lookups: lookups.buffer.clone(),
+            offsets: offsets.buffer.clone(),
+            probe_out: probe_out.clone(),
+            build_out: build_out.clone(),
+            keep_found,
+            n,
+        }),
+        launch,
+        &[],
+    )?;
+    ctx.memory().record_producer(&probe_out, event);
+    Ok((
+        DevColumn::new(probe_out, total),
+        build_out.map(|b| DevColumn::new(b, total)),
+    ))
+}
+
+/// Hash equi-join of a probe column against a table built over a unique key
+/// column. Probe rows without a partner are dropped.
+pub fn hash_join(
+    ctx: &OcelotContext,
+    probe: &DevColumn,
+    table: &OcelotHashTable,
+) -> Result<JoinResult> {
+    let lookups = table.probe_representatives(ctx, probe)?;
+    let (probe_oids, build_oids) = compact_lookups(ctx, &lookups, true, true)?;
+    Ok(JoinResult { probe_oids, build_oids: build_oids.expect("build side requested") })
+}
+
+/// Aligned PK-FK lookup: for every probe row the matching build OID
+/// (`NOT_FOUND` when missing). This is the "known result size" fast path the
+/// paper uses when joining against a key column.
+pub fn hash_join_aligned(
+    ctx: &OcelotContext,
+    probe: &DevColumn,
+    table: &OcelotHashTable,
+) -> Result<DevColumn> {
+    table.probe_representatives(ctx, probe)
+}
+
+/// Semi join (`EXISTS`): probe OIDs that have at least one partner.
+pub fn semi_join(
+    ctx: &OcelotContext,
+    probe: &DevColumn,
+    table: &OcelotHashTable,
+) -> Result<DevColumn> {
+    let lookups = table.probe_representatives(ctx, probe)?;
+    let (oids, _) = compact_lookups(ctx, &lookups, true, false)?;
+    Ok(oids)
+}
+
+/// Anti join (`NOT EXISTS`): probe OIDs without any partner.
+pub fn anti_join(
+    ctx: &OcelotContext,
+    probe: &DevColumn,
+    table: &OcelotHashTable,
+) -> Result<DevColumn> {
+    let lookups = table.probe_representatives(ctx, probe)?;
+    let (oids, _) = compact_lookups(ctx, &lookups, false, false)?;
+    Ok(oids)
+}
+
+// ---- nested-loop theta join ----
+
+/// Comparison used by the nested-loop theta join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThetaOp {
+    /// `left < right`
+    Less,
+    /// `left <= right`
+    LessEqual,
+    /// `left > right`
+    Greater,
+    /// `left >= right`
+    GreaterEqual,
+    /// `left != right`
+    NotEqual,
+}
+
+impl ThetaOp {
+    #[inline]
+    fn matches(self, left: i32, right: i32) -> bool {
+        match self {
+            ThetaOp::Less => left < right,
+            ThetaOp::LessEqual => left <= right,
+            ThetaOp::Greater => left > right,
+            ThetaOp::GreaterEqual => left >= right,
+            ThetaOp::NotEqual => left != right,
+        }
+    }
+}
+
+struct NestedLoopCountKernel {
+    left: Buffer,
+    right: Buffer,
+    counts: Buffer,
+    op: ThetaOp,
+    left_len: usize,
+    right_len: usize,
+}
+
+impl Kernel for NestedLoopCountKernel {
+    fn name(&self) -> &str {
+        "nested_loop_count"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.left_len);
+            let mut count = 0u32;
+            for l in start..end {
+                let lv = self.left.get_i32(l);
+                for r in 0..self.right_len {
+                    if self.op.matches(lv, self.right.get_i32(r)) {
+                        count += 1;
+                    }
+                }
+            }
+            self.counts.set_u32(item.global_id, count);
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        let pairs = (launch.n as u64) * self.right_len as u64;
+        KernelCost::new(pairs * 8, launch.total_items() as u64 * 4, pairs, 0)
+    }
+}
+
+struct NestedLoopWriteKernel {
+    left: Buffer,
+    right: Buffer,
+    offsets: Buffer,
+    left_out: Buffer,
+    right_out: Buffer,
+    op: ThetaOp,
+    left_len: usize,
+    right_len: usize,
+}
+
+impl Kernel for NestedLoopWriteKernel {
+    fn name(&self) -> &str {
+        "nested_loop_write"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.left_len);
+            let mut cursor = self.offsets.get_u32(item.global_id) as usize;
+            for l in start..end {
+                let lv = self.left.get_i32(l);
+                for r in 0..self.right_len {
+                    if self.op.matches(lv, self.right.get_i32(r)) {
+                        self.left_out.set_u32(cursor, l as u32);
+                        self.right_out.set_u32(cursor, r as u32);
+                        cursor += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Nested-loop theta join producing every `(left_oid, right_oid)` pair whose
+/// values satisfy `op`.
+pub fn nested_loop_join(
+    ctx: &OcelotContext,
+    left: &DevColumn,
+    right: &DevColumn,
+    op: ThetaOp,
+) -> Result<JoinResult> {
+    let n = left.len;
+    if n == 0 || right.len == 0 {
+        let empty_l = ctx.alloc(1, "nlj_empty_l")?;
+        let empty_r = ctx.alloc(1, "nlj_empty_r")?;
+        return Ok(JoinResult {
+            probe_oids: DevColumn::new(empty_l, 0),
+            build_oids: DevColumn::new(empty_r, 0),
+        });
+    }
+    let launch = ctx.launch(n);
+    let counts = ctx.alloc(launch.total_items(), "nlj_counts")?;
+    let mut wait = ctx.memory().wait_for_read(&left.buffer);
+    wait.extend(ctx.memory().wait_for_read(&right.buffer));
+    ctx.queue().enqueue_kernel(
+        Arc::new(NestedLoopCountKernel {
+            left: left.buffer.clone(),
+            right: right.buffer.clone(),
+            counts: counts.clone(),
+            op,
+            left_len: n,
+            right_len: right.len,
+        }),
+        launch.clone(),
+        &wait,
+    )?;
+    let counts_col = DevColumn::new(counts, launch.total_items());
+    let (offsets, total) = exclusive_scan_u32(ctx, &counts_col)?;
+    let total = total as usize;
+    let left_out = ctx.alloc(total.max(1), "nlj_left_oids")?;
+    let right_out = ctx.alloc(total.max(1), "nlj_right_oids")?;
+    ctx.queue().enqueue_kernel(
+        Arc::new(NestedLoopWriteKernel {
+            left: left.buffer.clone(),
+            right: right.buffer.clone(),
+            offsets: offsets.buffer.clone(),
+            left_out: left_out.clone(),
+            right_out: right_out.clone(),
+            op,
+            left_len: n,
+            right_len: right.len,
+        }),
+        launch,
+        &[],
+    )?;
+    Ok(JoinResult {
+        probe_oids: DevColumn::new(left_out, total),
+        build_oids: DevColumn::new(right_out, total),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OcelotContext;
+    use ocelot_monet::sequential as monet;
+    use ocelot_monet::MonetHashTable;
+
+    fn contexts() -> Vec<OcelotContext> {
+        vec![OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()]
+    }
+
+    #[test]
+    fn pkfk_hash_join_matches_monet_on_all_devices() {
+        let pk: Vec<i32> = (0..200).collect();
+        let fk: Vec<i32> = (0..5_000).map(|i| ((i * 17 + 3) % 200) as i32).collect();
+        let reference_table = MonetHashTable::build(&pk);
+        let (expected_fk, expected_pk) = monet::pkfk_join_i32(&fk, &reference_table);
+        for ctx in contexts() {
+            let build = ctx.upload_i32(&pk, "pk").unwrap();
+            let probe = ctx.upload_i32(&fk, "fk").unwrap();
+            let table = OcelotHashTable::build(&ctx, &build, pk.len()).unwrap();
+            let result = hash_join(&ctx, &probe, &table).unwrap();
+            assert_eq!(ctx.download_u32(&result.probe_oids).unwrap(), expected_fk);
+            assert_eq!(ctx.download_u32(&result.build_oids).unwrap(), expected_pk);
+            assert_eq!(result.len(), fk.len());
+        }
+    }
+
+    #[test]
+    fn probe_rows_without_partner_are_dropped() {
+        let ctx = OcelotContext::cpu();
+        let build = ctx.upload_i32(&[10, 20, 30], "pk").unwrap();
+        let probe = ctx.upload_i32(&[20, 99, 30, 55, 10], "fk").unwrap();
+        let table = OcelotHashTable::build(&ctx, &build, 3).unwrap();
+        let result = hash_join(&ctx, &probe, &table).unwrap();
+        assert_eq!(ctx.download_u32(&result.probe_oids).unwrap(), vec![0, 2, 4]);
+        assert_eq!(ctx.download_u32(&result.build_oids).unwrap(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn aligned_lookup_fast_path() {
+        let ctx = OcelotContext::cpu();
+        let build = ctx.upload_i32(&[5, 6, 7], "pk").unwrap();
+        let probe = ctx.upload_i32(&[7, 5, 7, 6], "fk").unwrap();
+        let table = OcelotHashTable::build(&ctx, &build, 3).unwrap();
+        let aligned = hash_join_aligned(&ctx, &probe, &table).unwrap();
+        assert_eq!(ctx.download_u32(&aligned).unwrap(), vec![2, 0, 2, 1]);
+    }
+
+    #[test]
+    fn semi_and_anti_join_match_monet() {
+        let left: Vec<i32> = (0..3_000).map(|i| ((i * 31 + 1) % 400) as i32).collect();
+        let right: Vec<i32> = (0..120).map(|i| (i * 3) as i32).collect();
+        let expected_semi = monet::semi_join_i32(&left, &right);
+        let expected_anti = monet::anti_join_i32(&left, &right);
+        for ctx in contexts() {
+            let l = ctx.upload_i32(&left, "l").unwrap();
+            let r = ctx.upload_i32(&right, "r").unwrap();
+            let table = OcelotHashTable::build(&ctx, &r, right.len()).unwrap();
+            assert_eq!(
+                ctx.download_u32(&semi_join(&ctx, &l, &table).unwrap()).unwrap(),
+                expected_semi
+            );
+            assert_eq!(
+                ctx.download_u32(&anti_join(&ctx, &l, &table).unwrap()).unwrap(),
+                expected_anti
+            );
+        }
+    }
+
+    #[test]
+    fn nested_loop_theta_join_matches_monet() {
+        let left: Vec<i32> = (0..150).map(|i| (i % 40) as i32).collect();
+        let right: Vec<i32> = (0..60).map(|i| (i % 25) as i32).collect();
+        let (expected_l, expected_r) = monet::nested_loop_join_i32(&left, &right, |a, b| a < b);
+        let ctx = OcelotContext::cpu();
+        let l = ctx.upload_i32(&left, "l").unwrap();
+        let r = ctx.upload_i32(&right, "r").unwrap();
+        let result = nested_loop_join(&ctx, &l, &r, ThetaOp::Less).unwrap();
+        let mut expected: Vec<(u32, u32)> =
+            expected_l.into_iter().zip(expected_r).collect();
+        let mut got: Vec<(u32, u32)> = ctx
+            .download_u32(&result.probe_oids)
+            .unwrap()
+            .into_iter()
+            .zip(ctx.download_u32(&result.build_oids).unwrap())
+            .collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn theta_ops_cover_all_comparisons() {
+        assert!(ThetaOp::Less.matches(1, 2));
+        assert!(ThetaOp::LessEqual.matches(2, 2));
+        assert!(ThetaOp::Greater.matches(3, 2));
+        assert!(ThetaOp::GreaterEqual.matches(2, 2));
+        assert!(ThetaOp::NotEqual.matches(1, 2));
+        assert!(!ThetaOp::NotEqual.matches(2, 2));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ctx = OcelotContext::cpu();
+        let empty = ctx.upload_i32(&[], "e").unwrap();
+        let table = OcelotHashTable::build(&ctx, &empty, 4).unwrap();
+        let probe = ctx.upload_i32(&[1, 2], "p").unwrap();
+        let result = hash_join(&ctx, &probe, &table).unwrap();
+        assert!(result.is_empty());
+        assert_eq!(
+            ctx.download_u32(&anti_join(&ctx, &probe, &table).unwrap()).unwrap(),
+            vec![0, 1]
+        );
+        let nlj = nested_loop_join(&ctx, &empty, &probe, ThetaOp::Less).unwrap();
+        assert!(nlj.is_empty());
+    }
+}

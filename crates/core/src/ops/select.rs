@@ -1,0 +1,342 @@
+//! The selection operator (paper §4.1.1).
+//!
+//! Following Wu et al., the selection result is encoded as a bitmap: every
+//! work-item evaluates the predicate on a small chunk of the input and emits
+//! whole bitmap words. Bitmaps keep the result size independent of the
+//! selectivity (the effect Figure 5b measures) and let complex predicates be
+//! assembled from per-predicate bitmaps with bit operations
+//! ([`crate::primitives::bitmap::combine`]).
+//!
+//! Bitmaps are internal: [`materialize_bitmap`] converts them to the OID
+//! lists MonetDB-style operators expect, using the two-step
+//! count-scan-write pattern (per-item bit counts, exclusive scan, position
+//! writes).
+
+use crate::context::{DevColumn, OcelotContext};
+use crate::primitives::bitmap::Bitmap;
+use crate::primitives::prefix_sum::exclusive_scan_u32;
+use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use std::sync::Arc;
+
+/// The comparison a selection kernel evaluates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Predicate {
+    /// `low <= value <= high` over `i32`.
+    RangeI32 { low: i32, high: i32 },
+    /// `low <= value <= high` over `f32`.
+    RangeF32 { low: f32, high: f32 },
+    /// `value == needle` over `i32`.
+    EqI32 { needle: i32 },
+    /// `value != needle` over `i32`.
+    NeI32 { needle: i32 },
+}
+
+impl Predicate {
+    #[inline]
+    fn matches(self, word: u32) -> bool {
+        match self {
+            Predicate::RangeI32 { low, high } => {
+                let v = word as i32;
+                v >= low && v <= high
+            }
+            Predicate::RangeF32 { low, high } => {
+                let v = f32::from_bits(word);
+                v >= low && v <= high
+            }
+            Predicate::EqI32 { needle } => word as i32 == needle,
+            Predicate::NeI32 { needle } => word as i32 != needle,
+        }
+    }
+}
+
+/// Selection kernel: each work-item produces whole bitmap words for its
+/// chunk of the input (the paper found one result byte — eight values — per
+/// thread iteration to work well; one 32-bit word per iteration is the same
+/// idea on word granularity).
+struct SelectKernel {
+    input: Buffer,
+    bitmap: Buffer,
+    predicate: Predicate,
+    n: usize,
+}
+
+impl Kernel for SelectKernel {
+    fn name(&self) -> &str {
+        "select_bitmap"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        let words = Bitmap::words_for(self.n);
+        for item in group.items() {
+            // Each item owns a contiguous range of bitmap *words* so that a
+            // word is written by exactly one item.
+            let (start_word, end_word) = item.chunk_bounds(words);
+            for word_idx in start_word..end_word {
+                let mut word = 0u32;
+                let base = word_idx * 32;
+                let limit = (base + 32).min(self.n);
+                for row in base..limit {
+                    if self.predicate.matches(self.input.get_u32(row)) {
+                        word |= 1 << (row - base);
+                    }
+                }
+                self.bitmap.set_u32(word_idx, word);
+            }
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) * 4, (launch.n as u64) / 8, launch.n as u64, 0)
+    }
+}
+
+fn run_select(ctx: &OcelotContext, input: &DevColumn, predicate: Predicate) -> Result<Bitmap> {
+    let bitmap = Bitmap::zeroed(ctx, input.len)?;
+    if input.len == 0 {
+        return Ok(bitmap);
+    }
+    let wait = ctx.memory().wait_for_read(&input.buffer);
+    let event = ctx.queue().enqueue_kernel(
+        Arc::new(SelectKernel {
+            input: input.buffer.clone(),
+            bitmap: bitmap.buffer.clone(),
+            predicate,
+            n: input.len,
+        }),
+        ctx.launch(input.len),
+        &wait,
+    )?;
+    ctx.memory().record_producer(&bitmap.buffer, event);
+    ctx.memory().record_consumer(&input.buffer, event);
+    Ok(bitmap)
+}
+
+/// Inclusive range selection over an integer column.
+pub fn select_range_i32(
+    ctx: &OcelotContext,
+    input: &DevColumn,
+    low: i32,
+    high: i32,
+) -> Result<Bitmap> {
+    run_select(ctx, input, Predicate::RangeI32 { low, high })
+}
+
+/// Inclusive range selection over a float column.
+pub fn select_range_f32(
+    ctx: &OcelotContext,
+    input: &DevColumn,
+    low: f32,
+    high: f32,
+) -> Result<Bitmap> {
+    run_select(ctx, input, Predicate::RangeF32 { low, high })
+}
+
+/// Equality selection over an integer column (also serves dictionary-encoded
+/// strings and dates).
+pub fn select_eq_i32(ctx: &OcelotContext, input: &DevColumn, needle: i32) -> Result<Bitmap> {
+    run_select(ctx, input, Predicate::EqI32 { needle })
+}
+
+/// Inequality selection over an integer column.
+pub fn select_ne_i32(ctx: &OcelotContext, input: &DevColumn, needle: i32) -> Result<Bitmap> {
+    run_select(ctx, input, Predicate::NeI32 { needle })
+}
+
+// ---- bitmap materialisation (paper §4.1.2) ----
+
+struct CountBitsKernel {
+    bitmap: Buffer,
+    counts: Buffer,
+    words: usize,
+}
+
+impl Kernel for CountBitsKernel {
+    fn name(&self) -> &str {
+        "materialize_count"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.words);
+            let mut count = 0u32;
+            for word_idx in start..end {
+                count += self.bitmap.get_u32(word_idx).count_ones();
+            }
+            self.counts.set_u32(item.global_id, count);
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) / 8, launch.total_items() as u64 * 4, launch.n as u64, 0)
+    }
+}
+
+struct WritePositionsKernel {
+    bitmap: Buffer,
+    offsets: Buffer,
+    output: Buffer,
+    words: usize,
+    n: usize,
+}
+
+impl Kernel for WritePositionsKernel {
+    fn name(&self) -> &str {
+        "materialize_write"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.words);
+            let mut cursor = self.offsets.get_u32(item.global_id) as usize;
+            for word_idx in start..end {
+                let word = self.bitmap.get_u32(word_idx);
+                if word == 0 {
+                    continue;
+                }
+                let base = word_idx * 32;
+                let limit = (base + 32).min(self.n);
+                for row in base..limit {
+                    if word & (1 << (row - base)) != 0 {
+                        self.output.set_u32(cursor, row as u32);
+                        cursor += 1;
+                    }
+                }
+            }
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) / 8, (launch.n as u64) * 4, launch.n as u64, 0)
+    }
+}
+
+/// Materialises a bitmap into the sorted list of qualifying OIDs, using the
+/// two-step prefix-sum scheme from §4.1.2: per-item bit counts, exclusive
+/// scan for unique write offsets, then position writes.
+pub fn materialize_bitmap(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<DevColumn> {
+    let words = bitmap.words();
+    if words == 0 {
+        let empty = ctx.alloc(1, "materialized_oids")?;
+        return Ok(DevColumn::new(empty, 0));
+    }
+    let launch = ctx.launch(words);
+    let counts_buffer = ctx.alloc(launch.total_items(), "materialize_counts")?;
+    let wait = ctx.memory().wait_for_read(&bitmap.buffer);
+    let count_event = ctx.queue().enqueue_kernel(
+        Arc::new(CountBitsKernel {
+            bitmap: bitmap.buffer.clone(),
+            counts: counts_buffer.clone(),
+            words,
+        }),
+        launch.clone(),
+        &wait,
+    )?;
+    ctx.memory().record_producer(&counts_buffer, count_event);
+
+    let counts = DevColumn::new(counts_buffer, launch.total_items());
+    let (offsets, total) = exclusive_scan_u32(ctx, &counts)?;
+
+    let output = ctx.alloc((total as usize).max(1), "materialized_oids")?;
+    let write_event = ctx.queue().enqueue_kernel(
+        Arc::new(WritePositionsKernel {
+            bitmap: bitmap.buffer.clone(),
+            offsets: offsets.buffer.clone(),
+            output: output.clone(),
+            words,
+            n: bitmap.n_bits,
+        }),
+        launch,
+        &ctx.memory().wait_for_read(&offsets.buffer),
+    )?;
+    ctx.memory().record_producer(&output, write_event);
+    Ok(DevColumn::new(output, total as usize))
+}
+
+/// Number of qualifying rows of a selection result.
+pub fn selected_count(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<u64> {
+    crate::primitives::bitmap::count_ones(ctx, bitmap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OcelotContext;
+    use ocelot_monet::sequential as monet;
+
+    fn contexts() -> Vec<OcelotContext> {
+        vec![OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()]
+    }
+
+    #[test]
+    fn range_selection_matches_monet_on_all_devices() {
+        let values: Vec<i32> = (0..10_000).map(|i| ((i * 37 + 11) % 1000) as i32).collect();
+        let expected: Vec<u32> = monet::select_range_i32(&values, 100, 300);
+        for ctx in contexts() {
+            let col = ctx.upload_i32(&values, "v").unwrap();
+            let bitmap = select_range_i32(&ctx, &col, 100, 300).unwrap();
+            let oids = materialize_bitmap(&ctx, &bitmap).unwrap();
+            assert_eq!(ctx.download_u32(&oids).unwrap(), expected);
+            assert_eq!(selected_count(&ctx, &bitmap).unwrap() as usize, expected.len());
+        }
+    }
+
+    #[test]
+    fn float_range_selection() {
+        let values: Vec<f32> = (0..5_000).map(|i| (i % 997) as f32 * 0.1).collect();
+        let expected = monet::select_range_f32(&values, 10.0, 20.0);
+        let ctx = OcelotContext::cpu();
+        let col = ctx.upload_f32(&values, "v").unwrap();
+        let bitmap = select_range_f32(&ctx, &col, 10.0, 20.0).unwrap();
+        let oids = materialize_bitmap(&ctx, &bitmap).unwrap();
+        assert_eq!(ctx.download_u32(&oids).unwrap(), expected);
+    }
+
+    #[test]
+    fn equality_and_inequality_selection() {
+        let values: Vec<i32> = (0..3_000).map(|i| (i % 17) as i32).collect();
+        let ctx = OcelotContext::cpu();
+        let col = ctx.upload_i32(&values, "v").unwrap();
+
+        let eq = select_eq_i32(&ctx, &col, 5).unwrap();
+        let eq_oids = materialize_bitmap(&ctx, &eq).unwrap();
+        assert_eq!(ctx.download_u32(&eq_oids).unwrap(), monet::select_eq_i32(&values, 5));
+
+        let ne = select_ne_i32(&ctx, &col, 5).unwrap();
+        assert_eq!(
+            selected_count(&ctx, &ne).unwrap() as usize,
+            values.iter().filter(|v| **v != 5).count()
+        );
+    }
+
+    #[test]
+    fn conjunction_via_bitmap_and() {
+        use crate::primitives::bitmap::{combine, BitmapCombine};
+        let values: Vec<i32> = (0..2_000).map(|i| (i % 100) as i32).collect();
+        let ctx = OcelotContext::cpu();
+        let col = ctx.upload_i32(&values, "v").unwrap();
+        let a = select_range_i32(&ctx, &col, 10, 60).unwrap();
+        let b = select_range_i32(&ctx, &col, 40, 90).unwrap();
+        let both = combine(&ctx, &a, &b, BitmapCombine::And).unwrap();
+        let oids = materialize_bitmap(&ctx, &both).unwrap();
+        assert_eq!(ctx.download_u32(&oids).unwrap(), monet::select_range_i32(&values, 40, 60));
+    }
+
+    #[test]
+    fn negative_values_and_extremes() {
+        let values = vec![-100, -1, 0, 1, 100, i32::MIN, i32::MAX];
+        let ctx = OcelotContext::cpu_sequential();
+        let col = ctx.upload_i32(&values, "v").unwrap();
+        let bitmap = select_range_i32(&ctx, &col, -1, 1).unwrap();
+        let oids = materialize_bitmap(&ctx, &bitmap).unwrap();
+        assert_eq!(ctx.download_u32(&oids).unwrap(), vec![1, 2, 3]);
+        let all = select_range_i32(&ctx, &col, i32::MIN, i32::MAX).unwrap();
+        assert_eq!(selected_count(&ctx, &all).unwrap(), 7);
+    }
+
+    #[test]
+    fn empty_and_no_match() {
+        let ctx = OcelotContext::cpu();
+        let empty = ctx.upload_i32(&[], "v").unwrap();
+        let bitmap = select_range_i32(&ctx, &empty, 0, 10).unwrap();
+        assert_eq!(materialize_bitmap(&ctx, &bitmap).unwrap().len, 0);
+
+        let col = ctx.upload_i32(&[1, 2, 3], "v").unwrap();
+        let none = select_range_i32(&ctx, &col, 100, 200).unwrap();
+        let oids = materialize_bitmap(&ctx, &none).unwrap();
+        assert_eq!(oids.len, 0);
+    }
+}

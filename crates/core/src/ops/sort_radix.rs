@@ -1,0 +1,383 @@
+//! The sort operator: a binary radix sort (paper §4.1.3, §5.2.7).
+//!
+//! Least-significant-digit radix sort with an 8-bit radix (four passes over
+//! 32-bit keys). Every pass runs three steps, all expressed as kernels:
+//!
+//! 1. **Histogram** — every work-item counts the digit occurrences of its
+//!    slice into a digit-major count table (`counts[digit][item]`).
+//! 2. **Scan** — an exclusive prefix sum over the count table yields, for
+//!    every `(digit, item)` pair, the first output position of that item's
+//!    elements with that digit (this is the "shuffle the histograms so that
+//!    all buckets for the same radix are laid out consecutively" step).
+//! 3. **Scatter** — every work-item replays its slice in order and writes
+//!    each element (key and its OID) to its reserved position.
+//!
+//! Negative integers and floats are handled by an order-preserving key
+//! transformation (sign-bit flip / IEEE-754 total-order transform), matching
+//! the paper's "minor modifications to handle arbitrary input sizes and
+//! negative values".
+//!
+//! Work-items always walk *contiguous* slices here (regardless of the
+//! device's preferred access pattern): LSD radix sort requires a stable
+//! element order per pass, and the strided interleaving would interleave
+//! items' elements non-monotonically.
+
+use crate::context::{DevColumn, OcelotContext};
+use crate::primitives::prefix_sum::exclusive_scan_u32;
+use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use std::sync::Arc;
+
+const RADIX_BITS: usize = 8;
+const RADIX_SIZE: usize = 1 << RADIX_BITS;
+const PASSES: usize = 32 / RADIX_BITS;
+
+/// How raw column words map to sortable unsigned keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyTransform {
+    /// Signed integers: flip the sign bit.
+    I32,
+    /// IEEE-754 floats: flip all bits of negatives, set the sign bit of
+    /// positives (total order).
+    F32,
+}
+
+impl KeyTransform {
+    #[inline]
+    fn encode(self, word: u32) -> u32 {
+        match self {
+            KeyTransform::I32 => word ^ 0x8000_0000,
+            KeyTransform::F32 => {
+                if word & 0x8000_0000 != 0 {
+                    !word
+                } else {
+                    word | 0x8000_0000
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn decode(self, key: u32) -> u32 {
+        match self {
+            KeyTransform::I32 => key ^ 0x8000_0000,
+            KeyTransform::F32 => {
+                if key & 0x8000_0000 != 0 {
+                    key & 0x7FFF_FFFF
+                } else {
+                    !key
+                }
+            }
+        }
+    }
+}
+
+struct TransformKernel {
+    input: Buffer,
+    keys: Buffer,
+    oids: Buffer,
+    transform: KeyTransform,
+}
+
+impl Kernel for TransformKernel {
+    fn name(&self) -> &str {
+        "radix_transform"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for idx in item.assigned() {
+                self.keys.set_u32(idx, self.transform.encode(self.input.get_u32(idx)));
+                self.oids.set_u32(idx, idx as u32);
+            }
+        }
+    }
+}
+
+struct HistogramKernel {
+    keys: Buffer,
+    counts: Buffer,
+    shift: usize,
+    total_items: usize,
+    n: usize,
+}
+
+impl Kernel for HistogramKernel {
+    fn name(&self) -> &str {
+        "radix_histogram"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.n);
+            let mut local = [0u32; RADIX_SIZE];
+            for idx in start..end {
+                let digit = ((self.keys.get_u32(idx) >> self.shift) as usize) & (RADIX_SIZE - 1);
+                local[digit] += 1;
+            }
+            for (digit, count) in local.iter().enumerate() {
+                self.counts.set_u32(digit * self.total_items + item.global_id, *count);
+            }
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new(
+            (launch.n as u64) * 4,
+            (launch.total_items() * RADIX_SIZE) as u64 * 4,
+            launch.n as u64,
+            0,
+        )
+    }
+}
+
+struct ScatterKernel {
+    keys_in: Buffer,
+    oids_in: Buffer,
+    keys_out: Buffer,
+    oids_out: Buffer,
+    offsets: Buffer,
+    shift: usize,
+    total_items: usize,
+    n: usize,
+}
+
+impl Kernel for ScatterKernel {
+    fn name(&self) -> &str {
+        "radix_scatter"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.n);
+            if start >= end {
+                continue;
+            }
+            let mut cursors = [0u32; RADIX_SIZE];
+            for (digit, cursor) in cursors.iter_mut().enumerate() {
+                *cursor = self.offsets.get_u32(digit * self.total_items + item.global_id);
+            }
+            for idx in start..end {
+                let key = self.keys_in.get_u32(idx);
+                let digit = ((key >> self.shift) as usize) & (RADIX_SIZE - 1);
+                let position = cursors[digit] as usize;
+                self.keys_out.set_u32(position, key);
+                self.oids_out.set_u32(position, self.oids_in.get_u32(idx));
+                cursors[digit] += 1;
+            }
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) * 8, (launch.n as u64) * 8, launch.n as u64, 0)
+    }
+}
+
+struct DecodeKernel {
+    keys: Buffer,
+    output: Buffer,
+    transform: KeyTransform,
+}
+
+impl Kernel for DecodeKernel {
+    fn name(&self) -> &str {
+        "radix_decode"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for idx in item.assigned() {
+                self.output.set_u32(idx, self.transform.decode(self.keys.get_u32(idx)));
+            }
+        }
+    }
+}
+
+/// The result of a sort: the sorted values and the permutation of input OIDs
+/// that produces them (used to reorder dependent columns with a fetch join).
+#[derive(Debug, Clone)]
+pub struct SortResult {
+    /// The sorted values.
+    pub values: DevColumn,
+    /// `order[i]` = OID of the input row at sorted position `i`.
+    pub order: DevColumn,
+}
+
+fn radix_sort(
+    ctx: &OcelotContext,
+    input: &DevColumn,
+    transform: KeyTransform,
+) -> Result<SortResult> {
+    let n = input.len;
+    if n == 0 {
+        let empty_v = ctx.alloc(1, "sort_values")?;
+        let empty_o = ctx.alloc(1, "sort_order")?;
+        return Ok(SortResult {
+            values: DevColumn::new(empty_v, 0),
+            order: DevColumn::new(empty_o, 0),
+        });
+    }
+    let launch = ctx.launch(n);
+    let total_items = launch.total_items();
+
+    let mut keys_a = ctx.alloc(n, "sort_keys_a")?;
+    let mut oids_a = ctx.alloc(n, "sort_oids_a")?;
+    let mut keys_b = ctx.alloc(n, "sort_keys_b")?;
+    let mut oids_b = ctx.alloc(n, "sort_oids_b")?;
+
+    let wait = ctx.memory().wait_for_read(&input.buffer);
+    ctx.queue().enqueue_kernel(
+        Arc::new(TransformKernel {
+            input: input.buffer.clone(),
+            keys: keys_a.clone(),
+            oids: oids_a.clone(),
+            transform,
+        }),
+        launch.clone(),
+        &wait,
+    )?;
+
+    for pass in 0..PASSES {
+        let shift = pass * RADIX_BITS;
+        let counts = ctx.alloc(RADIX_SIZE * total_items, "sort_counts")?;
+        ctx.queue().enqueue_kernel(
+            Arc::new(HistogramKernel {
+                keys: keys_a.clone(),
+                counts: counts.clone(),
+                shift,
+                total_items,
+                n,
+            }),
+            launch.clone(),
+            &[],
+        )?;
+        let counts_col = DevColumn::new(counts, RADIX_SIZE * total_items);
+        let (offsets, total) = exclusive_scan_u32(ctx, &counts_col)?;
+        debug_assert_eq!(total as usize, n);
+        ctx.queue().enqueue_kernel(
+            Arc::new(ScatterKernel {
+                keys_in: keys_a.clone(),
+                oids_in: oids_a.clone(),
+                keys_out: keys_b.clone(),
+                oids_out: oids_b.clone(),
+                offsets: offsets.buffer.clone(),
+                shift,
+                total_items,
+                n,
+            }),
+            launch.clone(),
+            &[],
+        )?;
+        std::mem::swap(&mut keys_a, &mut keys_b);
+        std::mem::swap(&mut oids_a, &mut oids_b);
+    }
+
+    let values = ctx.alloc(n, "sort_values")?;
+    let decode_event = ctx.queue().enqueue_kernel(
+        Arc::new(DecodeKernel { keys: keys_a, output: values.clone(), transform }),
+        launch,
+        &[],
+    )?;
+    ctx.memory().record_producer(&values, decode_event);
+    ctx.memory().record_producer(&oids_a, decode_event);
+    Ok(SortResult { values: DevColumn::new(values, n), order: DevColumn::new(oids_a, n) })
+}
+
+/// Sorts an integer column ascending.
+pub fn sort_i32(ctx: &OcelotContext, input: &DevColumn) -> Result<SortResult> {
+    radix_sort(ctx, input, KeyTransform::I32)
+}
+
+/// Sorts a float column ascending (IEEE total order).
+pub fn sort_f32(ctx: &OcelotContext, input: &DevColumn) -> Result<SortResult> {
+    radix_sort(ctx, input, KeyTransform::F32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OcelotContext;
+    use ocelot_monet::sequential as monet;
+
+    fn contexts() -> Vec<OcelotContext> {
+        vec![OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()]
+    }
+
+    #[test]
+    fn integer_sort_matches_monet_on_all_devices() {
+        let values: Vec<i32> =
+            (0..20_000).map(|i| ((i * 73 + 19) % 8191) as i32 - 4000).collect();
+        let (expected, _) = monet::sort_i32(&values);
+        for ctx in contexts() {
+            let col = ctx.upload_i32(&values, "v").unwrap();
+            let result = sort_i32(&ctx, &col).unwrap();
+            assert_eq!(ctx.download_i32(&result.values).unwrap(), expected);
+            // The order column is a permutation producing the sorted output.
+            let order = ctx.download_u32(&result.order).unwrap();
+            let mut seen = vec![false; values.len()];
+            for (pos, oid) in order.iter().enumerate() {
+                assert_eq!(values[*oid as usize], expected[pos]);
+                assert!(!seen[*oid as usize]);
+                seen[*oid as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn float_sort_matches_monet() {
+        let values: Vec<f32> =
+            (0..10_000).map(|i| (((i * 37 + 5) % 999) as f32 - 500.0) * 0.25).collect();
+        let (expected, _) = monet::sort_f32(&values);
+        let ctx = OcelotContext::gpu();
+        let col = ctx.upload_f32(&values, "v").unwrap();
+        let result = sort_f32(&ctx, &col).unwrap();
+        assert_eq!(ctx.download_f32(&result.values).unwrap(), expected);
+    }
+
+    #[test]
+    fn negative_and_extreme_integers() {
+        let values = vec![0, -1, i32::MIN, i32::MAX, 42, -42, 1, i32::MIN + 1];
+        let ctx = OcelotContext::cpu();
+        let col = ctx.upload_i32(&values, "v").unwrap();
+        let result = sort_i32(&ctx, &col).unwrap();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        assert_eq!(ctx.download_i32(&result.values).unwrap(), expected);
+    }
+
+    #[test]
+    fn sort_is_stable_within_equal_keys() {
+        // Duplicate keys: the order column must preserve input order.
+        let values: Vec<i32> = (0..1_000).map(|i| (i % 10) as i32).collect();
+        let ctx = OcelotContext::cpu();
+        let col = ctx.upload_i32(&values, "v").unwrap();
+        let result = sort_i32(&ctx, &col).unwrap();
+        let order = ctx.download_u32(&result.order).unwrap();
+        for window in order.windows(2) {
+            let (a, b) = (window[0] as usize, window[1] as usize);
+            if values[a] == values[b] {
+                assert!(a < b, "stability violated for equal keys: {a} before {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn already_sorted_reverse_and_uniform() {
+        let ctx = OcelotContext::cpu();
+        let asc: Vec<i32> = (0..500).collect();
+        let desc: Vec<i32> = (0..500).rev().collect();
+        let uniform = vec![7i32; 500];
+        for input in [asc.clone(), desc, uniform] {
+            let col = ctx.upload_i32(&input, "v").unwrap();
+            let result = sort_i32(&ctx, &col).unwrap();
+            let mut expected = input.clone();
+            expected.sort_unstable();
+            assert_eq!(ctx.download_i32(&result.values).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_element() {
+        let ctx = OcelotContext::cpu();
+        let empty = ctx.upload_i32(&[], "v").unwrap();
+        let result = sort_i32(&ctx, &empty).unwrap();
+        assert_eq!(result.values.len, 0);
+        let single = ctx.upload_i32(&[-5], "v").unwrap();
+        let result = sort_i32(&ctx, &single).unwrap();
+        assert_eq!(ctx.download_i32(&result.values).unwrap(), vec![-5]);
+        assert_eq!(ctx.download_u32(&result.order).unwrap(), vec![0]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Bitmaps — Ocelot's internal representation of selection results
+//! (paper §4.1.1).
+//!
+//! Encoding selection results as bitmaps has two advantages the paper
+//! exploits: the result size is independent of the selectivity (Figure 5b),
+//! and complex predicates can be evaluated by combining per-predicate
+//! bitmaps with cheap bit operations. Bitmaps never appear in the BAT
+//! interface; they are materialised into OID lists only when a MonetDB-side
+//! operator needs them (`ops::select::materialize_bitmap`).
+//!
+//! Layout: one `u32` word per 32 input rows, bit `i % 32` of word `i / 32`
+//! set iff row `i` qualifies.
+
+use crate::context::OcelotContext;
+use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use std::sync::Arc;
+
+/// A device-resident bitmap over `n_bits` rows.
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    /// Backing buffer (one word per 32 rows, zero-padded).
+    pub buffer: Buffer,
+    /// Number of rows covered.
+    pub n_bits: usize,
+}
+
+impl Bitmap {
+    /// Number of `u32` words needed to cover `n_bits` rows.
+    pub fn words_for(n_bits: usize) -> usize {
+        n_bits.div_ceil(32)
+    }
+
+    /// Allocates an all-zero bitmap for `n_bits` rows.
+    pub fn zeroed(ctx: &OcelotContext, n_bits: usize) -> Result<Bitmap> {
+        let buffer = ctx.alloc(Self::words_for(n_bits).max(1), "bitmap")?;
+        Ok(Bitmap { buffer, n_bits })
+    }
+
+    /// Builds a bitmap from host booleans (test and host-integration helper).
+    pub fn from_bools(ctx: &OcelotContext, bits: &[bool]) -> Result<Bitmap> {
+        let bitmap = Self::zeroed(ctx, bits.len())?;
+        for (i, bit) in bits.iter().enumerate() {
+            if *bit {
+                let word = bitmap.buffer.get_u32(i / 32);
+                bitmap.buffer.set_u32(i / 32, word | (1 << (i % 32)));
+            }
+        }
+        ctx.queue().enqueue_write(&bitmap.buffer, &[])?;
+        Ok(bitmap)
+    }
+
+    /// Reads the bitmap back as host booleans (flushes the queue).
+    pub fn to_bools(&self, ctx: &OcelotContext) -> Result<Vec<bool>> {
+        ctx.queue().flush()?;
+        let mut out = Vec::with_capacity(self.n_bits);
+        for i in 0..self.n_bits {
+            let word = self.buffer.get_u32(i / 32);
+            out.push(word & (1 << (i % 32)) != 0);
+        }
+        Ok(out)
+    }
+
+    /// Number of backing words.
+    pub fn words(&self) -> usize {
+        Self::words_for(self.n_bits)
+    }
+}
+
+/// How to combine two bitmaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitmapCombine {
+    /// Logical conjunction of the predicates.
+    And,
+    /// Logical disjunction of the predicates.
+    Or,
+}
+
+struct CombineKernel {
+    left: Buffer,
+    right: Buffer,
+    output: Buffer,
+    mode: BitmapCombine,
+}
+
+impl Kernel for CombineKernel {
+    fn name(&self) -> &str {
+        match self.mode {
+            BitmapCombine::And => "bitmap_and",
+            BitmapCombine::Or => "bitmap_or",
+        }
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            for idx in item.assigned() {
+                let l = self.left.get_u32(idx);
+                let r = self.right.get_u32(idx);
+                let combined = match self.mode {
+                    BitmapCombine::And => l & r,
+                    BitmapCombine::Or => l | r,
+                };
+                self.output.set_u32(idx, combined);
+            }
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) * 8, (launch.n as u64) * 4, launch.n as u64, 0)
+    }
+}
+
+/// Combines two bitmaps of equal length with AND or OR.
+pub fn combine(
+    ctx: &OcelotContext,
+    left: &Bitmap,
+    right: &Bitmap,
+    mode: BitmapCombine,
+) -> Result<Bitmap> {
+    assert_eq!(left.n_bits, right.n_bits, "bitmap combine: length mismatch");
+    let output = Bitmap::zeroed(ctx, left.n_bits)?;
+    let words = left.words();
+    if words == 0 {
+        return Ok(output);
+    }
+    let mut wait = ctx.memory().wait_for_read(&left.buffer);
+    wait.extend(ctx.memory().wait_for_read(&right.buffer));
+    let event = ctx.queue().enqueue_kernel(
+        Arc::new(CombineKernel {
+            left: left.buffer.clone(),
+            right: right.buffer.clone(),
+            output: output.buffer.clone(),
+            mode,
+        }),
+        ctx.launch(words),
+        &wait,
+    )?;
+    ctx.memory().record_producer(&output.buffer, event);
+    Ok(output)
+}
+
+struct PopcountKernel {
+    bitmap: Buffer,
+    counts: Buffer,
+    words: usize,
+}
+
+impl Kernel for PopcountKernel {
+    fn name(&self) -> &str {
+        "bitmap_popcount"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let mut count: u32 = 0;
+            for idx in item.assigned() {
+                if idx < self.words {
+                    count += self.bitmap.get_u32(idx).count_ones();
+                }
+            }
+            self.counts.set_u32(item.global_id, count);
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) * 4, launch.total_items() as u64 * 4, launch.n as u64, 0)
+    }
+}
+
+/// Counts the set bits of a bitmap (the selection's result cardinality).
+pub fn count_ones(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<u64> {
+    let words = bitmap.words();
+    if words == 0 {
+        return Ok(0);
+    }
+    let launch = ctx.launch(words);
+    let counts = ctx.alloc(launch.total_items(), "popcount_partials")?;
+    let wait = ctx.memory().wait_for_read(&bitmap.buffer);
+    let event = ctx.queue().enqueue_kernel(
+        Arc::new(PopcountKernel { bitmap: bitmap.buffer.clone(), counts: counts.clone(), words }),
+        launch.clone(),
+        &wait,
+    )?;
+    ctx.memory().record_consumer(&bitmap.buffer, event);
+    ctx.queue().flush()?;
+    let mut total = 0u64;
+    for i in 0..launch.total_items() {
+        total += counts.get_u32(i) as u64;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OcelotContext;
+
+    #[test]
+    fn round_trip_bools() {
+        let ctx = OcelotContext::cpu();
+        let bits: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let bitmap = Bitmap::from_bools(&ctx, &bits).unwrap();
+        assert_eq!(bitmap.to_bools(&ctx).unwrap(), bits);
+        assert_eq!(bitmap.words(), 4);
+        assert_eq!(Bitmap::words_for(0), 0);
+        assert_eq!(Bitmap::words_for(32), 1);
+        assert_eq!(Bitmap::words_for(33), 2);
+    }
+
+    #[test]
+    fn combine_and_or() {
+        let ctx = OcelotContext::cpu();
+        let a: Vec<bool> = (0..70).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..70).map(|i| i % 3 == 0).collect();
+        let ba = Bitmap::from_bools(&ctx, &a).unwrap();
+        let bb = Bitmap::from_bools(&ctx, &b).unwrap();
+        let and = combine(&ctx, &ba, &bb, BitmapCombine::And).unwrap();
+        let or = combine(&ctx, &ba, &bb, BitmapCombine::Or).unwrap();
+        let expected_and: Vec<bool> = a.iter().zip(&b).map(|(x, y)| *x && *y).collect();
+        let expected_or: Vec<bool> = a.iter().zip(&b).map(|(x, y)| *x || *y).collect();
+        assert_eq!(and.to_bools(&ctx).unwrap(), expected_and);
+        assert_eq!(or.to_bools(&ctx).unwrap(), expected_or);
+    }
+
+    #[test]
+    fn popcount_on_all_devices() {
+        let bits: Vec<bool> = (0..1_000).map(|i| (i * 7) % 11 < 4).collect();
+        let expected = bits.iter().filter(|b| **b).count() as u64;
+        for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
+            let bitmap = Bitmap::from_bools(&ctx, &bits).unwrap();
+            assert_eq!(count_ones(&ctx, &bitmap).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let ctx = OcelotContext::cpu();
+        let bitmap = Bitmap::zeroed(&ctx, 0).unwrap();
+        assert_eq!(count_ones(&ctx, &bitmap).unwrap(), 0);
+        assert!(bitmap.to_bools(&ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn combine_length_mismatch_panics() {
+        let ctx = OcelotContext::cpu();
+        let a = Bitmap::zeroed(&ctx, 10).unwrap();
+        let b = Bitmap::zeroed(&ctx, 20).unwrap();
+        let _ = combine(&ctx, &a, &b, BitmapCombine::And);
+    }
+}

@@ -1,0 +1,213 @@
+//! Exclusive prefix sums (scans).
+//!
+//! The scan is the workhorse behind every operator whose result size is not
+//! known upfront: bitmap materialisation, the two-step join output scheme,
+//! radix-sort offsets and sorted-input grouping all compute per-work-item
+//! counts, scan them to obtain unique write offsets, and then write without
+//! synchronisation (paper §4.1.2, §4.1.5, citing Sengupta et al.'s scan
+//! primitives).
+//!
+//! The implementation is the classic three-phase scheme: (1) every work-item
+//! reduces its assigned slice to a partial sum, (2) the per-item partials —
+//! a tiny array of `num_groups × group_size` values — are scanned by a
+//! single work-item, (3) every work-item rescans its slice, adding its
+//! partial offset.
+//!
+//! Work-items always walk *contiguous* slices here (via
+//! [`ocelot_kernel::WorkItem::chunk_bounds`]) independent of the device's
+//! preferred access pattern: a scan is order-sensitive, so the strided
+//! interleaving used for coalesced reads would compute prefixes in the wrong
+//! element order.
+
+use crate::context::{DevColumn, OcelotContext};
+use ocelot_kernel::{Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use std::sync::Arc;
+
+/// Phase 1: per-work-item partial sums.
+struct PartialSumKernel {
+    input: ocelot_kernel::Buffer,
+    partials: ocelot_kernel::Buffer,
+    n: usize,
+}
+
+impl Kernel for PartialSumKernel {
+    fn name(&self) -> &str {
+        "scan_partial_sums"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.n);
+            let mut sum: u32 = 0;
+            for idx in start..end {
+                sum = sum.wrapping_add(self.input.get_u32(idx));
+            }
+            self.partials.set_u32(item.global_id, sum);
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) * 4, launch.total_items() as u64 * 4, launch.n as u64, 0)
+    }
+}
+
+/// Phase 2: scan the per-item partials (single work-item — the partial array
+/// has only `total_items` entries).
+struct ScanPartialsKernel {
+    partials: ocelot_kernel::Buffer,
+    total: ocelot_kernel::Buffer,
+    count: usize,
+}
+
+impl Kernel for ScanPartialsKernel {
+    fn name(&self) -> &str {
+        "scan_partials"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        if group.group_id() != 0 {
+            return;
+        }
+        let mut running: u32 = 0;
+        for i in 0..self.count {
+            let value = self.partials.get_u32(i);
+            self.partials.set_u32(i, running);
+            running = running.wrapping_add(value);
+        }
+        self.total.set_u32(0, running);
+    }
+    fn cost(&self, _launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new(self.count as u64 * 4, self.count as u64 * 4, self.count as u64, 0)
+    }
+}
+
+/// Phase 3: every work-item rewalks its slice writing the exclusive prefix.
+struct WritePrefixKernel {
+    input: ocelot_kernel::Buffer,
+    partials: ocelot_kernel::Buffer,
+    output: ocelot_kernel::Buffer,
+    n: usize,
+}
+
+impl Kernel for WritePrefixKernel {
+    fn name(&self) -> &str {
+        "scan_write_prefix"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let (start, end) = item.chunk_bounds(self.n);
+            let mut running = self.partials.get_u32(item.global_id);
+            for idx in start..end {
+                let value = self.input.get_u32(idx);
+                self.output.set_u32(idx, running);
+                running = running.wrapping_add(value);
+            }
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::streaming(launch.n)
+    }
+}
+
+/// Computes the exclusive prefix sum of a `u32` column. Returns the scanned
+/// column and the total sum of the input.
+pub fn exclusive_scan_u32(ctx: &OcelotContext, input: &DevColumn) -> Result<(DevColumn, u32)> {
+    let n = input.len;
+    let output = ctx.alloc(n.max(1), "scan_output")?;
+    if n == 0 {
+        return Ok((DevColumn::new(output, 0), 0));
+    }
+    let launch = ctx.launch(n);
+    let partials = ctx.alloc(launch.total_items(), "scan_partials")?;
+    let total = ctx.alloc(1, "scan_total")?;
+
+    let queue = ctx.queue();
+    let wait = ctx.memory().wait_for_read(&input.buffer);
+    let e1 = queue.enqueue_kernel(
+        Arc::new(PartialSumKernel { input: input.buffer.clone(), partials: partials.clone(), n }),
+        launch.clone(),
+        &wait,
+    )?;
+    let e2 = queue.enqueue_kernel(
+        Arc::new(ScanPartialsKernel {
+            partials: partials.clone(),
+            total: total.clone(),
+            count: launch.total_items(),
+        }),
+        ctx.launch(launch.total_items()),
+        &[e1],
+    )?;
+    let e3 = queue.enqueue_kernel(
+        Arc::new(WritePrefixKernel {
+            input: input.buffer.clone(),
+            partials,
+            output: output.clone(),
+            n,
+        }),
+        launch,
+        &[e2],
+    )?;
+    ctx.memory().record_producer(&output, e3);
+    // The caller almost always needs the total on the host to size result
+    // buffers, which forces a flush here (the one synchronisation point the
+    // lazy execution model cannot avoid).
+    queue.flush()?;
+    let total_value = total.get_u32(0);
+    Ok((DevColumn::new(output, n), total_value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OcelotContext;
+
+    fn scan_on(ctx: &OcelotContext, values: &[u32]) -> (Vec<u32>, u32) {
+        let input = ctx.upload_u32(values, "input").unwrap();
+        let (output, total) = exclusive_scan_u32(ctx, &input).unwrap();
+        (ctx.download_u32(&output).unwrap(), total)
+    }
+
+    fn reference_scan(values: &[u32]) -> (Vec<u32>, u32) {
+        let mut out = Vec::with_capacity(values.len());
+        let mut running = 0u32;
+        for v in values {
+            out.push(running);
+            running = running.wrapping_add(*v);
+        }
+        (out, running)
+    }
+
+    #[test]
+    fn matches_reference_on_all_devices() {
+        let values: Vec<u32> = (0..5_000).map(|i| (i * 7 + 3) % 11).collect();
+        let (expected, expected_total) = reference_scan(&values);
+        for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
+            let (got, total) = scan_on(&ctx, &values);
+            assert_eq!(got, expected);
+            assert_eq!(total, expected_total);
+        }
+    }
+
+    #[test]
+    fn handles_small_and_empty_inputs() {
+        let ctx = OcelotContext::cpu();
+        assert_eq!(scan_on(&ctx, &[]), (vec![], 0));
+        assert_eq!(scan_on(&ctx, &[5]), (vec![0], 5));
+        assert_eq!(scan_on(&ctx, &[1, 1, 1]), (vec![0, 1, 2], 3));
+    }
+
+    #[test]
+    fn all_zero_input() {
+        let ctx = OcelotContext::cpu();
+        let (out, total) = scan_on(&ctx, &[0; 100]);
+        assert_eq!(out, vec![0; 100]);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn input_not_multiple_of_items() {
+        let ctx = OcelotContext::cpu();
+        let values: Vec<u32> = (0..1_013).map(|i| i % 3).collect();
+        let (expected, expected_total) = reference_scan(&values);
+        let (got, total) = scan_on(&ctx, &values);
+        assert_eq!(got, expected);
+        assert_eq!(total, expected_total);
+    }
+}

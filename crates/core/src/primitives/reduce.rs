@@ -1,0 +1,216 @@
+//! Hierarchical parallel reductions for ungrouped aggregation
+//! (paper §4.1.7, "implemented using a parallel binary reduction strategy").
+//!
+//! Phase 1: every work-item reduces its assigned slice into a private
+//! accumulator and writes it to a partials buffer. Phase 2: a single
+//! work-item reduces the partials (there are only `num_groups × group_size`
+//! of them). The same two kernels serve SUM/MIN/MAX over `i32` and `f32` by
+//! switching on a [`ReduceOp`] tag, exactly like an OpenCL kernel would
+//! switch on a preprocessor constant.
+
+use crate::context::{DevColumn, OcelotContext};
+use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use std::sync::Arc;
+
+/// Which reduction to perform and over which element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of `f32` values.
+    SumF32,
+    /// Minimum of `f32` values.
+    MinF32,
+    /// Maximum of `f32` values.
+    MaxF32,
+    /// Sum of `i32` values (wrapping).
+    SumI32,
+    /// Minimum of `i32` values.
+    MinI32,
+    /// Maximum of `i32` values.
+    MaxI32,
+}
+
+impl ReduceOp {
+    /// The identity element of the reduction, as a raw 32-bit word.
+    fn identity_word(self) -> u32 {
+        match self {
+            ReduceOp::SumF32 => 0f32.to_bits(),
+            ReduceOp::MinF32 => f32::INFINITY.to_bits(),
+            ReduceOp::MaxF32 => f32::NEG_INFINITY.to_bits(),
+            ReduceOp::SumI32 => 0,
+            ReduceOp::MinI32 => i32::MAX as u32,
+            ReduceOp::MaxI32 => i32::MIN as u32,
+        }
+    }
+
+    /// Combines two raw words according to the operation.
+    fn combine(self, a: u32, b: u32) -> u32 {
+        match self {
+            ReduceOp::SumF32 => (f32::from_bits(a) + f32::from_bits(b)).to_bits(),
+            ReduceOp::MinF32 => f32::from_bits(a).min(f32::from_bits(b)).to_bits(),
+            ReduceOp::MaxF32 => f32::from_bits(a).max(f32::from_bits(b)).to_bits(),
+            ReduceOp::SumI32 => (a as i32).wrapping_add(b as i32) as u32,
+            ReduceOp::MinI32 => (a as i32).min(b as i32) as u32,
+            ReduceOp::MaxI32 => (a as i32).max(b as i32) as u32,
+        }
+    }
+}
+
+struct PartialReduceKernel {
+    input: Buffer,
+    partials: Buffer,
+    op: ReduceOp,
+}
+
+impl Kernel for PartialReduceKernel {
+    fn name(&self) -> &str {
+        "reduce_partials"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        for item in group.items() {
+            let mut acc = self.op.identity_word();
+            for idx in item.assigned() {
+                acc = self.op.combine(acc, self.input.get_u32(idx));
+            }
+            self.partials.set_u32(item.global_id, acc);
+        }
+    }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new((launch.n as u64) * 4, launch.total_items() as u64 * 4, launch.n as u64, 0)
+    }
+}
+
+struct FinalReduceKernel {
+    partials: Buffer,
+    output: Buffer,
+    count: usize,
+    op: ReduceOp,
+}
+
+impl Kernel for FinalReduceKernel {
+    fn name(&self) -> &str {
+        "reduce_final"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        if group.group_id() != 0 {
+            return;
+        }
+        let mut acc = self.op.identity_word();
+        for i in 0..self.count {
+            acc = self.op.combine(acc, self.partials.get_u32(i));
+        }
+        self.output.set_u32(0, acc);
+    }
+    fn cost(&self, _launch: &LaunchConfig) -> KernelCost {
+        KernelCost::new(self.count as u64 * 4, 4, self.count as u64, 0)
+    }
+}
+
+/// Reduces a column to a single raw 32-bit word. Returns the identity
+/// element for empty inputs.
+pub fn reduce_word(ctx: &OcelotContext, input: &DevColumn, op: ReduceOp) -> Result<u32> {
+    if input.len == 0 {
+        return Ok(op.identity_word());
+    }
+    let launch = ctx.launch(input.len);
+    let partials = ctx.alloc(launch.total_items(), "reduce_partials")?;
+    let output = ctx.alloc(1, "reduce_output")?;
+    let queue = ctx.queue();
+    let wait = ctx.memory().wait_for_read(&input.buffer);
+    let e1 = queue.enqueue_kernel(
+        Arc::new(PartialReduceKernel { input: input.buffer.clone(), partials: partials.clone(), op }),
+        launch.clone(),
+        &wait,
+    )?;
+    let e2 = queue.enqueue_kernel(
+        Arc::new(FinalReduceKernel {
+            partials,
+            output: output.clone(),
+            count: launch.total_items(),
+            op,
+        }),
+        ctx.launch(launch.total_items()),
+        &[e1],
+    )?;
+    ctx.memory().record_consumer(&input.buffer, e2);
+    queue.flush()?;
+    Ok(output.get_u32(0))
+}
+
+/// Sum of a float column.
+pub fn sum_f32(ctx: &OcelotContext, input: &DevColumn) -> Result<f32> {
+    reduce_word(ctx, input, ReduceOp::SumF32).map(f32::from_bits)
+}
+
+/// Minimum of a float column (`+∞` for an empty column).
+pub fn min_f32(ctx: &OcelotContext, input: &DevColumn) -> Result<f32> {
+    reduce_word(ctx, input, ReduceOp::MinF32).map(f32::from_bits)
+}
+
+/// Maximum of a float column (`-∞` for an empty column).
+pub fn max_f32(ctx: &OcelotContext, input: &DevColumn) -> Result<f32> {
+    reduce_word(ctx, input, ReduceOp::MaxF32).map(f32::from_bits)
+}
+
+/// Sum of an integer column (wrapping, like the four-byte engine type).
+pub fn sum_i32(ctx: &OcelotContext, input: &DevColumn) -> Result<i32> {
+    reduce_word(ctx, input, ReduceOp::SumI32).map(|w| w as i32)
+}
+
+/// Minimum of an integer column (`i32::MAX` for an empty column).
+pub fn min_i32(ctx: &OcelotContext, input: &DevColumn) -> Result<i32> {
+    reduce_word(ctx, input, ReduceOp::MinI32).map(|w| w as i32)
+}
+
+/// Maximum of an integer column (`i32::MIN` for an empty column).
+pub fn max_i32(ctx: &OcelotContext, input: &DevColumn) -> Result<i32> {
+    reduce_word(ctx, input, ReduceOp::MaxI32).map(|w| w as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OcelotContext;
+
+    #[test]
+    fn integer_reductions_match_reference_on_all_devices() {
+        let values: Vec<i32> = (0..10_000).map(|i| ((i * 37 + 11) % 2001) as i32 - 1000).collect();
+        for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
+            let col = ctx.upload_i32(&values, "v").unwrap();
+            assert_eq!(sum_i32(&ctx, &col).unwrap(), values.iter().sum::<i32>());
+            assert_eq!(min_i32(&ctx, &col).unwrap(), *values.iter().min().unwrap());
+            assert_eq!(max_i32(&ctx, &col).unwrap(), *values.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn float_reductions() {
+        let ctx = OcelotContext::cpu();
+        let values: Vec<f32> = (0..5_000).map(|i| ((i % 101) as f32) * 0.25).collect();
+        let col = ctx.upload_f32(&values, "v").unwrap();
+        let total = sum_f32(&ctx, &col).unwrap();
+        let expected: f32 = values.iter().sum();
+        assert!((total - expected).abs() / expected < 1e-3, "{total} vs {expected}");
+        assert_eq!(min_f32(&ctx, &col).unwrap(), 0.0);
+        assert_eq!(max_f32(&ctx, &col).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn empty_inputs_return_identities() {
+        let ctx = OcelotContext::cpu();
+        let col = ctx.upload_i32(&[], "v").unwrap();
+        assert_eq!(sum_i32(&ctx, &col).unwrap(), 0);
+        assert_eq!(min_i32(&ctx, &col).unwrap(), i32::MAX);
+        assert_eq!(max_i32(&ctx, &col).unwrap(), i32::MIN);
+        let fcol = ctx.upload_f32(&[], "v").unwrap();
+        assert_eq!(min_f32(&ctx, &fcol).unwrap(), f32::INFINITY);
+    }
+
+    #[test]
+    fn single_element() {
+        let ctx = OcelotContext::gpu();
+        let col = ctx.upload_i32(&[-7], "v").unwrap();
+        assert_eq!(sum_i32(&ctx, &col).unwrap(), -7);
+        assert_eq!(min_i32(&ctx, &col).unwrap(), -7);
+        assert_eq!(max_i32(&ctx, &col).unwrap(), -7);
+    }
+}

@@ -1,0 +1,199 @@
+//! The logical operator interface shared by all four evaluated
+//! configurations.
+//!
+//! A [`Backend`] owns columns of an opaque handle type (`Backend::Column`):
+//! host vectors for the MonetDB-style baselines, device buffers for Ocelot.
+//! Queries written against this trait therefore run unchanged on every
+//! configuration, and data stays wherever the backend keeps it (in
+//! particular, Ocelot's device cache is only flushed when the query reads
+//! results back — the `sync` boundary of the paper).
+//!
+//! Selections return OID candidate lists. Ocelot internally evaluates them
+//! as bitmaps and materialises the OID list at the interface, exactly like
+//! the paper's Ocelot does when a MonetDB operator consumes a selection
+//! result.
+
+use ocelot_storage::BatRef;
+
+/// A grouping produced by [`Backend::group_by`].
+#[derive(Debug, Clone)]
+pub struct GroupHandle<C> {
+    /// Dense group id per input row.
+    pub gids: C,
+    /// Number of groups.
+    pub num_groups: usize,
+    /// Representative row OID per group (carries the grouping key values).
+    pub representatives: C,
+}
+
+/// The single set of logical operators every configuration implements.
+pub trait Backend {
+    /// Opaque column handle.
+    type Column: Clone;
+
+    /// Human-readable configuration name (`MS`, `MP`, `Ocelot CPU`, …).
+    fn name(&self) -> &str;
+
+    // ---- data movement ----
+
+    /// Wraps a base-table BAT as a backend column (Ocelot routes this
+    /// through the Memory Manager's device cache).
+    fn bat(&self, bat: &BatRef) -> Self::Column;
+    /// Lifts host integers into a backend column.
+    fn lift_i32(&self, values: Vec<i32>) -> Self::Column;
+    /// Lifts host floats into a backend column.
+    fn lift_f32(&self, values: Vec<f32>) -> Self::Column;
+    /// Lifts host OIDs into a backend column.
+    fn lift_oids(&self, values: Vec<u32>) -> Self::Column;
+    /// Reads a column back as integers (a `sync` boundary for Ocelot).
+    fn to_i32(&self, col: &Self::Column) -> Vec<i32>;
+    /// Reads a column back as floats.
+    fn to_f32(&self, col: &Self::Column) -> Vec<f32>;
+    /// Reads a column back as OIDs.
+    fn to_oids(&self, col: &Self::Column) -> Vec<u32>;
+    /// Number of values in a column.
+    fn len(&self, col: &Self::Column) -> usize;
+    /// Whether a column is empty.
+    fn is_empty(&self, col: &Self::Column) -> bool {
+        self.len(col) == 0
+    }
+
+    // ---- selection (candidate lists of OIDs) ----
+
+    /// `low <= col <= high` over integers, optionally restricted to
+    /// candidates.
+    fn select_range_i32(
+        &self,
+        col: &Self::Column,
+        low: i32,
+        high: i32,
+        cands: Option<&Self::Column>,
+    ) -> Self::Column;
+    /// `low <= col <= high` over floats.
+    fn select_range_f32(
+        &self,
+        col: &Self::Column,
+        low: f32,
+        high: f32,
+        cands: Option<&Self::Column>,
+    ) -> Self::Column;
+    /// Equality selection over integers (also dictionary-coded strings).
+    fn select_eq_i32(
+        &self,
+        col: &Self::Column,
+        needle: i32,
+        cands: Option<&Self::Column>,
+    ) -> Self::Column;
+    /// Inequality selection over integers.
+    fn select_ne_i32(
+        &self,
+        col: &Self::Column,
+        needle: i32,
+        cands: Option<&Self::Column>,
+    ) -> Self::Column;
+    /// Union of two sorted candidate lists (`IN (a, b)` style predicates).
+    fn union_oids(&self, a: &Self::Column, b: &Self::Column) -> Self::Column;
+
+    // ---- projection / fetch join ----
+
+    /// `col[oid]` for every OID — the left fetch join.
+    fn fetch(&self, col: &Self::Column, oids: &Self::Column) -> Self::Column;
+
+    // ---- arithmetic maps ----
+
+    /// Element-wise `a * b` over floats.
+    fn mul_f32(&self, a: &Self::Column, b: &Self::Column) -> Self::Column;
+    /// Element-wise `a + b` over floats.
+    fn add_f32(&self, a: &Self::Column, b: &Self::Column) -> Self::Column;
+    /// Element-wise `a - b` over floats.
+    fn sub_f32(&self, a: &Self::Column, b: &Self::Column) -> Self::Column;
+    /// Element-wise `c - a`.
+    fn const_minus_f32(&self, constant: f32, a: &Self::Column) -> Self::Column;
+    /// Element-wise `c + a`.
+    fn const_plus_f32(&self, constant: f32, a: &Self::Column) -> Self::Column;
+    /// Element-wise `a * c`.
+    fn mul_const_f32(&self, a: &Self::Column, constant: f32) -> Self::Column;
+    /// Casts integers to floats.
+    fn cast_i32_f32(&self, a: &Self::Column) -> Self::Column;
+    /// Extracts the calendar year from a day-number date column.
+    fn extract_year(&self, a: &Self::Column) -> Self::Column;
+
+    // ---- joins ----
+
+    /// Hash equi-join of a foreign-key column against a (unique) primary-key
+    /// column. Returns aligned `(fk_oids, pk_oids)`; FK rows without a
+    /// partner are dropped.
+    fn pkfk_join(&self, fk: &Self::Column, pk: &Self::Column) -> (Self::Column, Self::Column);
+    /// Semi join (`EXISTS`): OIDs of left rows with at least one match.
+    fn semi_join(&self, left: &Self::Column, right: &Self::Column) -> Self::Column;
+    /// Anti join (`NOT EXISTS`): OIDs of left rows without a match.
+    fn anti_join(&self, left: &Self::Column, right: &Self::Column) -> Self::Column;
+
+    // ---- grouping ----
+
+    /// Multi-column group-by producing dense group ids.
+    fn group_by(&self, keys: &[&Self::Column]) -> GroupHandle<Self::Column>;
+
+    // ---- grouped aggregation (float results, the engine's 4-byte model) ----
+
+    /// Per-group sums.
+    fn grouped_sum_f32(
+        &self,
+        values: &Self::Column,
+        groups: &GroupHandle<Self::Column>,
+    ) -> Self::Column;
+    /// Per-group counts (as floats).
+    fn grouped_count(&self, groups: &GroupHandle<Self::Column>) -> Self::Column;
+    /// Per-group minima.
+    fn grouped_min_f32(
+        &self,
+        values: &Self::Column,
+        groups: &GroupHandle<Self::Column>,
+    ) -> Self::Column;
+    /// Per-group maxima.
+    fn grouped_max_f32(
+        &self,
+        values: &Self::Column,
+        groups: &GroupHandle<Self::Column>,
+    ) -> Self::Column;
+    /// Per-group averages.
+    fn grouped_avg_f32(
+        &self,
+        values: &Self::Column,
+        groups: &GroupHandle<Self::Column>,
+    ) -> Self::Column;
+
+    // ---- ungrouped aggregation ----
+
+    /// Sum of a float column.
+    fn sum_f32(&self, values: &Self::Column) -> f32;
+    /// Minimum of a float column (`+∞` when empty).
+    fn min_f32(&self, values: &Self::Column) -> f32;
+    /// Maximum of a float column (`-∞` when empty).
+    fn max_f32(&self, values: &Self::Column) -> f32;
+    /// Minimum of an integer column (`i32::MAX` when empty).
+    fn min_i32(&self, values: &Self::Column) -> i32;
+    /// Average of a float column (`0` when empty).
+    fn avg_f32(&self, values: &Self::Column) -> f32;
+    /// Row count.
+    fn count(&self, values: &Self::Column) -> usize {
+        self.len(values)
+    }
+
+    // ---- sorting ----
+
+    /// The permutation of OIDs that sorts an integer column (ascending or
+    /// descending).
+    fn sort_order_i32(&self, col: &Self::Column, descending: bool) -> Self::Column;
+    /// The permutation of OIDs that sorts a float column.
+    fn sort_order_f32(&self, col: &Self::Column, descending: bool) -> Self::Column;
+
+    // ---- timing ----
+
+    /// Starts (or restarts) the configuration's timer. For Ocelot this also
+    /// flushes outstanding device work so the measurement starts clean.
+    fn begin_timing(&self);
+    /// Nanoseconds elapsed since [`Backend::begin_timing`]: wall-clock for
+    /// CPU configurations, modeled device time for the simulated GPU.
+    fn elapsed_ns(&self) -> u64;
+}

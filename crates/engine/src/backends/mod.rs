@@ -1,0 +1,111 @@
+//! The four evaluated configurations behind the [`crate::Backend`] trait.
+
+pub mod monet_par;
+pub mod monet_seq;
+pub mod ocelot;
+
+pub use monet_par::MonetParBackend;
+pub use monet_seq::MonetSeqBackend;
+pub use ocelot::OcelotBackend;
+
+use ocelot_storage::Oid;
+use std::sync::Arc;
+
+/// Host-side column representation shared by the two MonetDB-style
+/// baselines: a typed, reference-counted vector.
+#[derive(Debug, Clone)]
+pub enum HostColumn {
+    /// 32-bit integers (also dates and dictionary codes).
+    I32(Arc<Vec<i32>>),
+    /// 32-bit floats.
+    F32(Arc<Vec<f32>>),
+    /// Tuple identifiers.
+    Oid(Arc<Vec<Oid>>),
+}
+
+impl HostColumn {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            HostColumn::I32(v) => v.len(),
+            HostColumn::F32(v) => v.len(),
+            HostColumn::Oid(v) => v.len(),
+        }
+    }
+
+    /// Whether the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Integer view (panics if this is not an integer column).
+    pub fn as_i32(&self) -> &[i32] {
+        match self {
+            HostColumn::I32(v) => v,
+            other => panic!("expected an i32 column, found {other:?}"),
+        }
+    }
+
+    /// Float view (panics if this is not a float column).
+    pub fn as_f32(&self) -> &[f32] {
+        match self {
+            HostColumn::F32(v) => v,
+            other => panic!("expected an f32 column, found {other:?}"),
+        }
+    }
+
+    /// OID view (panics if this is not an OID column).
+    pub fn as_oids(&self) -> &[Oid] {
+        match self {
+            HostColumn::Oid(v) => v,
+            other => panic!("expected an OID column, found {other:?}"),
+        }
+    }
+}
+
+/// Converts a BAT into the host column representation used by the baselines.
+pub(crate) fn host_column_from_bat(bat: &ocelot_storage::BatRef) -> HostColumn {
+    if let Some(values) = bat.as_i32() {
+        HostColumn::I32(Arc::new(values.to_vec()))
+    } else if let Some(values) = bat.as_f32() {
+        HostColumn::F32(Arc::new(values.to_vec()))
+    } else if let Some(values) = bat.as_oid() {
+        HostColumn::Oid(Arc::new(values.to_vec()))
+    } else {
+        unreachable!("BATs always expose one of the three typed views")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_column_views() {
+        let ints = HostColumn::I32(Arc::new(vec![1, 2]));
+        assert_eq!(ints.len(), 2);
+        assert_eq!(ints.as_i32(), &[1, 2]);
+        let floats = HostColumn::F32(Arc::new(vec![0.5]));
+        assert_eq!(floats.as_f32(), &[0.5]);
+        let oids = HostColumn::Oid(Arc::new(vec![7, 8, 9]));
+        assert_eq!(oids.as_oids(), &[7, 8, 9]);
+        assert!(!oids.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected an i32 column")]
+    fn wrong_view_panics() {
+        HostColumn::F32(Arc::new(vec![0.5])).as_i32();
+    }
+
+    #[test]
+    fn bat_conversion_preserves_type() {
+        use ocelot_storage::Bat;
+        let ints = host_column_from_bat(&Bat::from_i32("a", vec![3]).into_ref());
+        assert_eq!(ints.as_i32(), &[3]);
+        let floats = host_column_from_bat(&Bat::from_f32("b", vec![1.5]).into_ref());
+        assert_eq!(floats.as_f32(), &[1.5]);
+        let oids = host_column_from_bat(&Bat::from_oids("c", vec![9]).into_ref());
+        assert_eq!(oids.as_oids(), &[9]);
+    }
+}

@@ -1,0 +1,369 @@
+//! The "MP" configuration: parallel MonetDB-style execution (mitosis
+//! partitioning across all cores), backed by `ocelot_monet::parallel`.
+
+use crate::backend::{Backend, GroupHandle};
+use crate::backends::{host_column_from_bat, HostColumn};
+use ocelot_monet::parallel as par;
+use ocelot_monet::sequential as seq;
+use ocelot_storage::BatRef;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Parallel MonetDB baseline (the paper's `MP` series).
+pub struct MonetParBackend {
+    threads: usize,
+    timer: Mutex<Instant>,
+}
+
+impl Default for MonetParBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonetParBackend {
+    /// Creates the backend with the machine's available parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self::with_threads(threads)
+    }
+
+    /// Creates the backend with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        MonetParBackend { threads: threads.max(1), timer: Mutex::new(Instant::now()) }
+    }
+
+    /// The degree of parallelism used by every operator.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Backend for MonetParBackend {
+    type Column = HostColumn;
+
+    fn name(&self) -> &str {
+        "MP (parallel MonetDB)"
+    }
+
+    fn bat(&self, bat: &BatRef) -> HostColumn {
+        host_column_from_bat(bat)
+    }
+    fn lift_i32(&self, values: Vec<i32>) -> HostColumn {
+        HostColumn::I32(Arc::new(values))
+    }
+    fn lift_f32(&self, values: Vec<f32>) -> HostColumn {
+        HostColumn::F32(Arc::new(values))
+    }
+    fn lift_oids(&self, values: Vec<u32>) -> HostColumn {
+        HostColumn::Oid(Arc::new(values))
+    }
+    fn to_i32(&self, col: &HostColumn) -> Vec<i32> {
+        col.as_i32().to_vec()
+    }
+    fn to_f32(&self, col: &HostColumn) -> Vec<f32> {
+        col.as_f32().to_vec()
+    }
+    fn to_oids(&self, col: &HostColumn) -> Vec<u32> {
+        col.as_oids().to_vec()
+    }
+    fn len(&self, col: &HostColumn) -> usize {
+        col.len()
+    }
+
+    fn select_range_i32(
+        &self,
+        col: &HostColumn,
+        low: i32,
+        high: i32,
+        cands: Option<&HostColumn>,
+    ) -> HostColumn {
+        let oids = match cands {
+            None => par::par_select_range_i32(col.as_i32(), low, high, self.threads),
+            Some(cands) => par::par_select_range_i32_cand(
+                col.as_i32(),
+                cands.as_oids(),
+                low,
+                high,
+                self.threads,
+            ),
+        };
+        HostColumn::Oid(Arc::new(oids))
+    }
+
+    fn select_range_f32(
+        &self,
+        col: &HostColumn,
+        low: f32,
+        high: f32,
+        cands: Option<&HostColumn>,
+    ) -> HostColumn {
+        let oids = match cands {
+            None => par::par_select_range_f32(col.as_f32(), low, high, self.threads),
+            Some(cands) => par::par_select_range_f32_cand(
+                col.as_f32(),
+                cands.as_oids(),
+                low,
+                high,
+                self.threads,
+            ),
+        };
+        HostColumn::Oid(Arc::new(oids))
+    }
+
+    fn select_eq_i32(
+        &self,
+        col: &HostColumn,
+        needle: i32,
+        cands: Option<&HostColumn>,
+    ) -> HostColumn {
+        let oids = match cands {
+            None => par::par_select_eq_i32(col.as_i32(), needle, self.threads),
+            Some(cands) => {
+                par::par_select_eq_i32_cand(col.as_i32(), cands.as_oids(), needle, self.threads)
+            }
+        };
+        HostColumn::Oid(Arc::new(oids))
+    }
+
+    fn select_ne_i32(
+        &self,
+        col: &HostColumn,
+        needle: i32,
+        cands: Option<&HostColumn>,
+    ) -> HostColumn {
+        let all;
+        let cands = match cands {
+            Some(cands) => cands.as_oids(),
+            None => {
+                all = (0..col.len() as u32).collect::<Vec<u32>>();
+                &all
+            }
+        };
+        HostColumn::Oid(Arc::new(seq::select_ne_i32_cand(col.as_i32(), cands, needle)))
+    }
+
+    fn union_oids(&self, a: &HostColumn, b: &HostColumn) -> HostColumn {
+        HostColumn::Oid(Arc::new(seq::union_oids(a.as_oids(), b.as_oids())))
+    }
+
+    fn fetch(&self, col: &HostColumn, oids: &HostColumn) -> HostColumn {
+        let ids = oids.as_oids();
+        match col {
+            HostColumn::I32(v) => HostColumn::I32(Arc::new(par::par_fetch_i32(v, ids, self.threads))),
+            HostColumn::F32(v) => HostColumn::F32(Arc::new(par::par_fetch_f32(v, ids, self.threads))),
+            HostColumn::Oid(v) => HostColumn::Oid(Arc::new(par::par_fetch_oid(v, ids, self.threads))),
+        }
+    }
+
+    fn mul_f32(&self, a: &HostColumn, b: &HostColumn) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_mul_f32(a.as_f32(), b.as_f32(), self.threads)))
+    }
+    fn add_f32(&self, a: &HostColumn, b: &HostColumn) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_add_f32(a.as_f32(), b.as_f32(), self.threads)))
+    }
+    fn sub_f32(&self, a: &HostColumn, b: &HostColumn) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_sub_f32(a.as_f32(), b.as_f32(), self.threads)))
+    }
+    fn const_minus_f32(&self, constant: f32, a: &HostColumn) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_const_minus_f32(constant, a.as_f32(), self.threads)))
+    }
+    fn const_plus_f32(&self, constant: f32, a: &HostColumn) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_const_plus_f32(constant, a.as_f32(), self.threads)))
+    }
+    fn mul_const_f32(&self, a: &HostColumn, constant: f32) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_mul_f32(
+            a.as_f32(),
+            &vec![constant; a.len()],
+            self.threads,
+        )))
+    }
+    fn cast_i32_f32(&self, a: &HostColumn) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_cast_i32_f32(a.as_i32(), self.threads)))
+    }
+    fn extract_year(&self, a: &HostColumn) -> HostColumn {
+        HostColumn::I32(Arc::new(par::par_extract_year(a.as_i32(), self.threads)))
+    }
+
+    fn pkfk_join(&self, fk: &HostColumn, pk: &HostColumn) -> (HostColumn, HostColumn) {
+        let table = ocelot_monet::MonetHashTable::build(pk.as_i32());
+        let (fk_oids, pk_oids) = par::par_pkfk_join_i32(fk.as_i32(), &table, self.threads);
+        (HostColumn::Oid(Arc::new(fk_oids)), HostColumn::Oid(Arc::new(pk_oids)))
+    }
+    fn semi_join(&self, left: &HostColumn, right: &HostColumn) -> HostColumn {
+        HostColumn::Oid(Arc::new(par::par_semi_join_i32(
+            left.as_i32(),
+            right.as_i32(),
+            self.threads,
+        )))
+    }
+    fn anti_join(&self, left: &HostColumn, right: &HostColumn) -> HostColumn {
+        HostColumn::Oid(Arc::new(par::par_anti_join_i32(
+            left.as_i32(),
+            right.as_i32(),
+            self.threads,
+        )))
+    }
+
+    fn group_by(&self, keys: &[&HostColumn]) -> GroupHandle<HostColumn> {
+        let columns: Vec<&[i32]> = keys.iter().map(|k| k.as_i32()).collect();
+        let result = par::par_group_by_columns(&columns, self.threads);
+        GroupHandle {
+            gids: HostColumn::Oid(Arc::new(result.gids)),
+            num_groups: result.num_groups,
+            representatives: HostColumn::Oid(Arc::new(result.representatives)),
+        }
+    }
+
+    fn grouped_sum_f32(&self, values: &HostColumn, groups: &GroupHandle<HostColumn>) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_grouped_sum_f32(
+            values.as_f32(),
+            groups.gids.as_oids(),
+            groups.num_groups,
+            self.threads,
+        )))
+    }
+    fn grouped_count(&self, groups: &GroupHandle<HostColumn>) -> HostColumn {
+        let counts = par::par_grouped_count(groups.gids.as_oids(), groups.num_groups, self.threads);
+        HostColumn::F32(Arc::new(counts.into_iter().map(|c| c as f32).collect()))
+    }
+    fn grouped_min_f32(&self, values: &HostColumn, groups: &GroupHandle<HostColumn>) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_grouped_min_f32(
+            values.as_f32(),
+            groups.gids.as_oids(),
+            groups.num_groups,
+            self.threads,
+        )))
+    }
+    fn grouped_max_f32(&self, values: &HostColumn, groups: &GroupHandle<HostColumn>) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_grouped_max_f32(
+            values.as_f32(),
+            groups.gids.as_oids(),
+            groups.num_groups,
+            self.threads,
+        )))
+    }
+    fn grouped_avg_f32(&self, values: &HostColumn, groups: &GroupHandle<HostColumn>) -> HostColumn {
+        HostColumn::F32(Arc::new(par::par_grouped_avg_f32(
+            values.as_f32(),
+            groups.gids.as_oids(),
+            groups.num_groups,
+            self.threads,
+        )))
+    }
+
+    fn sum_f32(&self, values: &HostColumn) -> f32 {
+        par::par_sum_f32(values.as_f32(), self.threads)
+    }
+    fn min_f32(&self, values: &HostColumn) -> f32 {
+        par::par_min_f32(values.as_f32(), self.threads).unwrap_or(f32::INFINITY)
+    }
+    fn max_f32(&self, values: &HostColumn) -> f32 {
+        par::par_max_f32(values.as_f32(), self.threads).unwrap_or(f32::NEG_INFINITY)
+    }
+    fn min_i32(&self, values: &HostColumn) -> i32 {
+        par::par_min_i32(values.as_i32(), self.threads).unwrap_or(i32::MAX)
+    }
+    fn avg_f32(&self, values: &HostColumn) -> f32 {
+        par::par_avg_f32(values.as_f32(), self.threads).unwrap_or(0.0)
+    }
+
+    fn sort_order_i32(&self, col: &HostColumn, descending: bool) -> HostColumn {
+        let (_, mut order) = par::par_sort_i32(col.as_i32(), self.threads);
+        if descending {
+            order.reverse();
+        }
+        HostColumn::Oid(Arc::new(order))
+    }
+    fn sort_order_f32(&self, col: &HostColumn, descending: bool) -> HostColumn {
+        let (_, mut order) = par::par_sort_f32(col.as_f32(), self.threads);
+        if descending {
+            order.reverse();
+        }
+        HostColumn::Oid(Arc::new(order))
+    }
+
+    fn begin_timing(&self) {
+        *self.timer.lock() = Instant::now();
+    }
+    fn elapsed_ns(&self) -> u64 {
+        self.timer.lock().elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::MonetSeqBackend;
+
+    #[test]
+    fn matches_sequential_backend_on_a_mini_pipeline() {
+        let seq_backend = MonetSeqBackend::new();
+        let par_backend = MonetParBackend::with_threads(4);
+        let values: Vec<i32> = (0..5_000).map(|i| ((i * 31 + 7) % 500) as i32).collect();
+        let payload: Vec<f32> = (0..5_000).map(|i| i as f32 * 0.5).collect();
+
+        let run = |b: &dyn Fn() -> (Vec<u32>, f32)| b();
+        let seq_result = run(&|| {
+            let v = seq_backend.lift_i32(values.clone());
+            let p = seq_backend.lift_f32(payload.clone());
+            let sel = seq_backend.select_range_i32(&v, 100, 200, None);
+            let proj = seq_backend.fetch(&p, &sel);
+            (seq_backend.to_oids(&sel), seq_backend.sum_f32(&proj))
+        });
+        let par_result = run(&|| {
+            let v = par_backend.lift_i32(values.clone());
+            let p = par_backend.lift_f32(payload.clone());
+            let sel = par_backend.select_range_i32(&v, 100, 200, None);
+            let proj = par_backend.fetch(&p, &sel);
+            (par_backend.to_oids(&sel), par_backend.sum_f32(&proj))
+        });
+        assert_eq!(seq_result.0, par_result.0);
+        assert!((seq_result.1 - par_result.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn grouped_aggregation_matches_sequential() {
+        let seq_backend = MonetSeqBackend::new();
+        let par_backend = MonetParBackend::with_threads(3);
+        let keys: Vec<i32> = (0..3_000).map(|i| (i % 13) as i32).collect();
+        let values: Vec<f32> = (0..3_000).map(|i| (i % 7) as f32).collect();
+
+        let kseq = seq_backend.lift_i32(keys.clone());
+        let vseq = seq_backend.lift_f32(values.clone());
+        let gseq = seq_backend.group_by(&[&kseq]);
+        let mut seq_pairs: Vec<(i32, f32)> = seq_backend
+            .to_i32(&seq_backend.fetch(&kseq, &gseq.representatives))
+            .into_iter()
+            .zip(seq_backend.to_f32(&seq_backend.grouped_sum_f32(&vseq, &gseq)))
+            .collect();
+
+        let kpar = par_backend.lift_i32(keys);
+        let vpar = par_backend.lift_f32(values);
+        let gpar = par_backend.group_by(&[&kpar]);
+        let mut par_pairs: Vec<(i32, f32)> = par_backend
+            .to_i32(&par_backend.fetch(&kpar, &gpar.representatives))
+            .into_iter()
+            .zip(par_backend.to_f32(&par_backend.grouped_sum_f32(&vpar, &gpar)))
+            .collect();
+
+        seq_pairs.sort_by_key(|(k, _)| *k);
+        par_pairs.sort_by_key(|(k, _)| *k);
+        assert_eq!(seq_pairs.len(), par_pairs.len());
+        for ((ka, va), (kb, vb)) in seq_pairs.iter().zip(par_pairs.iter()) {
+            assert_eq!(ka, kb);
+            assert!((va - vb).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn timing_reports_wall_clock() {
+        let backend = MonetParBackend::with_threads(2);
+        backend.begin_timing();
+        let col = backend.lift_i32((0..100_000).collect());
+        let _ = backend.select_range_i32(&col, 0, 50_000, None);
+        assert!(backend.elapsed_ns() > 0);
+        assert_eq!(backend.threads(), 2);
+    }
+}

@@ -1,0 +1,473 @@
+//! The Ocelot configurations: the hardware-oblivious operator set from
+//! `ocelot-core` running on any kernel-model device ("Ocelot CPU" when the
+//! context uses the multi-core CPU driver, "Ocelot GPU" on the simulated
+//! discrete GPU).
+
+use crate::backend::{Backend, GroupHandle};
+use ocelot_core::ops::{aggregate, calc, groupby, hash_table::OcelotHashTable, join, project, select, sort_radix};
+use ocelot_core::primitives::gather;
+use ocelot_core::{DevColumn, OcelotContext};
+use ocelot_kernel::GpuConfig;
+use ocelot_storage::BatRef;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Which 32-bit interpretation a column carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    I32,
+    F32,
+    Oid,
+}
+
+/// A device column plus its logical type.
+#[derive(Debug, Clone)]
+pub struct OcelotColumn {
+    col: DevColumn,
+    kind: ColKind,
+}
+
+/// The Ocelot backend (paper's "CPU" and "GPU" series, depending on the
+/// device the context was created with).
+pub struct OcelotBackend {
+    ctx: OcelotContext,
+    label: String,
+    timer: Mutex<(Instant, u64)>,
+    /// Default sizing hint for hash tables built by group-by and joins.
+    distinct_hint: usize,
+}
+
+impl OcelotBackend {
+    /// Ocelot on the multi-core CPU driver.
+    pub fn cpu() -> Self {
+        Self::with_context(OcelotContext::cpu(), "Ocelot CPU")
+    }
+
+    /// Ocelot on the sequential CPU driver.
+    pub fn cpu_sequential() -> Self {
+        Self::with_context(OcelotContext::cpu_sequential(), "Ocelot CPU (sequential)")
+    }
+
+    /// Ocelot on the simulated discrete GPU with default parameters.
+    pub fn gpu() -> Self {
+        Self::with_context(OcelotContext::gpu(), "Ocelot GPU")
+    }
+
+    /// Ocelot on a simulated GPU with an explicit configuration (used by the
+    /// memory-pressure benchmarks).
+    pub fn gpu_with(config: GpuConfig) -> Self {
+        Self::with_context(OcelotContext::gpu_with(config), "Ocelot GPU")
+    }
+
+    /// Wraps an existing context.
+    pub fn with_context(ctx: OcelotContext, label: &str) -> Self {
+        OcelotBackend {
+            ctx,
+            label: label.to_string(),
+            timer: Mutex::new((Instant::now(), 0)),
+            distinct_hint: 1024,
+        }
+    }
+
+    /// The underlying Ocelot context (device, queue, Memory Manager).
+    pub fn context(&self) -> &OcelotContext {
+        &self.ctx
+    }
+
+    fn upload_bat(&self, bat: &BatRef) -> OcelotColumn {
+        let kind = if bat.as_f32().is_some() {
+            ColKind::F32
+        } else if bat.as_oid().is_some() {
+            ColKind::Oid
+        } else {
+            ColKind::I32
+        };
+        let col = project::device_column_for_bat(&self.ctx, bat).expect("device upload failed");
+        OcelotColumn { col, kind }
+    }
+
+    /// Selection helper: evaluates a predicate bitmap over either the full
+    /// column or the candidate subset, returning an OID candidate list.
+    fn select_with<F>(&self, col: &OcelotColumn, cands: Option<&OcelotColumn>, pred: F) -> OcelotColumn
+    where
+        F: Fn(&OcelotContext, &DevColumn) -> ocelot_kernel::Result<ocelot_core::Bitmap>,
+    {
+        match cands {
+            None => {
+                let bitmap = pred(&self.ctx, &col.col).expect("selection failed");
+                let oids =
+                    select::materialize_bitmap(&self.ctx, &bitmap).expect("materialize failed");
+                OcelotColumn { col: oids, kind: ColKind::Oid }
+            }
+            Some(cands) => {
+                // Evaluate the predicate on the candidate rows' values, then
+                // map the qualifying positions back to the original OIDs.
+                let values = gather::gather(&self.ctx, &col.col, &cands.col)
+                    .expect("candidate gather failed");
+                let bitmap = pred(&self.ctx, &values).expect("selection failed");
+                let positions =
+                    select::materialize_bitmap(&self.ctx, &bitmap).expect("materialize failed");
+                let oids = gather::gather(&self.ctx, &cands.col, &positions)
+                    .expect("candidate remap failed");
+                OcelotColumn { col: oids, kind: ColKind::Oid }
+            }
+        }
+    }
+}
+
+impl Backend for OcelotBackend {
+    type Column = OcelotColumn;
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn bat(&self, bat: &BatRef) -> OcelotColumn {
+        self.upload_bat(bat)
+    }
+    fn lift_i32(&self, values: Vec<i32>) -> OcelotColumn {
+        let col = self.ctx.upload_i32(&values, "lifted_i32").expect("upload failed");
+        OcelotColumn { col, kind: ColKind::I32 }
+    }
+    fn lift_f32(&self, values: Vec<f32>) -> OcelotColumn {
+        let col = self.ctx.upload_f32(&values, "lifted_f32").expect("upload failed");
+        OcelotColumn { col, kind: ColKind::F32 }
+    }
+    fn lift_oids(&self, values: Vec<u32>) -> OcelotColumn {
+        let col = self.ctx.upload_u32(&values, "lifted_oids").expect("upload failed");
+        OcelotColumn { col, kind: ColKind::Oid }
+    }
+    fn to_i32(&self, col: &OcelotColumn) -> Vec<i32> {
+        self.ctx.download_i32(&col.col).expect("download failed")
+    }
+    fn to_f32(&self, col: &OcelotColumn) -> Vec<f32> {
+        self.ctx.download_f32(&col.col).expect("download failed")
+    }
+    fn to_oids(&self, col: &OcelotColumn) -> Vec<u32> {
+        self.ctx.download_u32(&col.col).expect("download failed")
+    }
+    fn len(&self, col: &OcelotColumn) -> usize {
+        col.col.len
+    }
+
+    fn select_range_i32(
+        &self,
+        col: &OcelotColumn,
+        low: i32,
+        high: i32,
+        cands: Option<&OcelotColumn>,
+    ) -> OcelotColumn {
+        self.select_with(col, cands, |ctx, values| select::select_range_i32(ctx, values, low, high))
+    }
+    fn select_range_f32(
+        &self,
+        col: &OcelotColumn,
+        low: f32,
+        high: f32,
+        cands: Option<&OcelotColumn>,
+    ) -> OcelotColumn {
+        self.select_with(col, cands, |ctx, values| select::select_range_f32(ctx, values, low, high))
+    }
+    fn select_eq_i32(
+        &self,
+        col: &OcelotColumn,
+        needle: i32,
+        cands: Option<&OcelotColumn>,
+    ) -> OcelotColumn {
+        self.select_with(col, cands, |ctx, values| select::select_eq_i32(ctx, values, needle))
+    }
+    fn select_ne_i32(
+        &self,
+        col: &OcelotColumn,
+        needle: i32,
+        cands: Option<&OcelotColumn>,
+    ) -> OcelotColumn {
+        self.select_with(col, cands, |ctx, values| select::select_ne_i32(ctx, values, needle))
+    }
+
+    fn union_oids(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
+        // Candidate lists are sorted; the union is a small host-side merge
+        // (the paper's union operator similarly runs on materialised OID
+        // lists when feeding MonetDB operators).
+        let left = self.to_oids(a);
+        let right = self.to_oids(b);
+        let merged = ocelot_monet::sequential::union_oids(&left, &right);
+        self.lift_oids(merged)
+    }
+
+    fn fetch(&self, col: &OcelotColumn, oids: &OcelotColumn) -> OcelotColumn {
+        let out = project::fetch_join(&self.ctx, &col.col, &oids.col).expect("fetch join failed");
+        OcelotColumn { col: out, kind: col.kind }
+    }
+
+    fn mul_f32(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
+        OcelotColumn {
+            col: calc::mul_f32(&self.ctx, &a.col, &b.col).expect("calc failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn add_f32(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
+        OcelotColumn {
+            col: calc::add_f32(&self.ctx, &a.col, &b.col).expect("calc failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn sub_f32(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
+        OcelotColumn {
+            col: calc::sub_f32(&self.ctx, &a.col, &b.col).expect("calc failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn const_minus_f32(&self, constant: f32, a: &OcelotColumn) -> OcelotColumn {
+        OcelotColumn {
+            col: calc::const_minus_f32(&self.ctx, constant, &a.col).expect("calc failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn const_plus_f32(&self, constant: f32, a: &OcelotColumn) -> OcelotColumn {
+        OcelotColumn {
+            col: calc::const_plus_f32(&self.ctx, constant, &a.col).expect("calc failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn mul_const_f32(&self, a: &OcelotColumn, constant: f32) -> OcelotColumn {
+        OcelotColumn {
+            col: calc::mul_const_f32(&self.ctx, &a.col, constant).expect("calc failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn cast_i32_f32(&self, a: &OcelotColumn) -> OcelotColumn {
+        OcelotColumn {
+            col: calc::cast_i32_f32(&self.ctx, &a.col).expect("calc failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn extract_year(&self, a: &OcelotColumn) -> OcelotColumn {
+        OcelotColumn {
+            col: calc::extract_year(&self.ctx, &a.col).expect("calc failed"),
+            kind: ColKind::I32,
+        }
+    }
+
+    fn pkfk_join(&self, fk: &OcelotColumn, pk: &OcelotColumn) -> (OcelotColumn, OcelotColumn) {
+        let table = OcelotHashTable::build(&self.ctx, &pk.col, pk.col.len.max(1))
+            .expect("hash table build failed");
+        let result = join::hash_join(&self.ctx, &fk.col, &table).expect("hash join failed");
+        (
+            OcelotColumn { col: result.probe_oids, kind: ColKind::Oid },
+            OcelotColumn { col: result.build_oids, kind: ColKind::Oid },
+        )
+    }
+    fn semi_join(&self, left: &OcelotColumn, right: &OcelotColumn) -> OcelotColumn {
+        let table = OcelotHashTable::build(&self.ctx, &right.col, right.col.len.max(1))
+            .expect("hash table build failed");
+        OcelotColumn {
+            col: join::semi_join(&self.ctx, &left.col, &table).expect("semi join failed"),
+            kind: ColKind::Oid,
+        }
+    }
+    fn anti_join(&self, left: &OcelotColumn, right: &OcelotColumn) -> OcelotColumn {
+        let table = OcelotHashTable::build(&self.ctx, &right.col, right.col.len.max(1))
+            .expect("hash table build failed");
+        OcelotColumn {
+            col: join::anti_join(&self.ctx, &left.col, &table).expect("anti join failed"),
+            kind: ColKind::Oid,
+        }
+    }
+
+    fn group_by(&self, keys: &[&OcelotColumn]) -> GroupHandle<OcelotColumn> {
+        let columns: Vec<&DevColumn> = keys.iter().map(|k| &k.col).collect();
+        let hint = self.distinct_hint.min(keys.first().map(|k| k.col.len).unwrap_or(1).max(1));
+        let result =
+            groupby::group_by_columns(&self.ctx, &columns, hint).expect("group by failed");
+        GroupHandle {
+            gids: OcelotColumn { col: result.gids, kind: ColKind::Oid },
+            num_groups: result.num_groups,
+            representatives: OcelotColumn { col: result.representatives, kind: ColKind::Oid },
+        }
+    }
+
+    fn grouped_sum_f32(
+        &self,
+        values: &OcelotColumn,
+        groups: &GroupHandle<OcelotColumn>,
+    ) -> OcelotColumn {
+        OcelotColumn {
+            col: aggregate::grouped_sum_f32(&self.ctx, &values.col, &groups.gids.col, groups.num_groups)
+                .expect("grouped sum failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn grouped_count(&self, groups: &GroupHandle<OcelotColumn>) -> OcelotColumn {
+        OcelotColumn {
+            col: aggregate::grouped_count(&self.ctx, &groups.gids.col, groups.num_groups)
+                .expect("grouped count failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn grouped_min_f32(
+        &self,
+        values: &OcelotColumn,
+        groups: &GroupHandle<OcelotColumn>,
+    ) -> OcelotColumn {
+        OcelotColumn {
+            col: aggregate::grouped_min_f32(&self.ctx, &values.col, &groups.gids.col, groups.num_groups)
+                .expect("grouped min failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn grouped_max_f32(
+        &self,
+        values: &OcelotColumn,
+        groups: &GroupHandle<OcelotColumn>,
+    ) -> OcelotColumn {
+        OcelotColumn {
+            col: aggregate::grouped_max_f32(&self.ctx, &values.col, &groups.gids.col, groups.num_groups)
+                .expect("grouped max failed"),
+            kind: ColKind::F32,
+        }
+    }
+    fn grouped_avg_f32(
+        &self,
+        values: &OcelotColumn,
+        groups: &GroupHandle<OcelotColumn>,
+    ) -> OcelotColumn {
+        OcelotColumn {
+            col: aggregate::grouped_avg_f32(&self.ctx, &values.col, &groups.gids.col, groups.num_groups)
+                .expect("grouped avg failed"),
+            kind: ColKind::F32,
+        }
+    }
+
+    fn sum_f32(&self, values: &OcelotColumn) -> f32 {
+        aggregate::sum_f32(&self.ctx, &values.col).expect("sum failed")
+    }
+    fn min_f32(&self, values: &OcelotColumn) -> f32 {
+        aggregate::min_f32(&self.ctx, &values.col).expect("min failed")
+    }
+    fn max_f32(&self, values: &OcelotColumn) -> f32 {
+        aggregate::max_f32(&self.ctx, &values.col).expect("max failed")
+    }
+    fn min_i32(&self, values: &OcelotColumn) -> i32 {
+        aggregate::min_i32(&self.ctx, &values.col).expect("min failed")
+    }
+    fn avg_f32(&self, values: &OcelotColumn) -> f32 {
+        aggregate::avg_f32(&self.ctx, &values.col).expect("avg failed").unwrap_or(0.0)
+    }
+
+    fn sort_order_i32(&self, col: &OcelotColumn, descending: bool) -> OcelotColumn {
+        let result = sort_radix::sort_i32(&self.ctx, &col.col).expect("sort failed");
+        let mut order = self.ctx.download_u32(&result.order).expect("download failed");
+        if descending {
+            order.reverse();
+        }
+        self.lift_oids(order)
+    }
+    fn sort_order_f32(&self, col: &OcelotColumn, descending: bool) -> OcelotColumn {
+        let result = sort_radix::sort_f32(&self.ctx, &col.col).expect("sort failed");
+        let mut order = self.ctx.download_u32(&result.order).expect("download failed");
+        if descending {
+            order.reverse();
+        }
+        self.lift_oids(order)
+    }
+
+    fn begin_timing(&self) {
+        // Drain outstanding work so it is not attributed to the measurement.
+        self.ctx.sync().expect("sync failed");
+        let stats = self.ctx.queue().total_stats();
+        *self.timer.lock() = (Instant::now(), stats.modeled_ns);
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.ctx.sync().expect("sync failed");
+        let (started, modeled_at_start) = *self.timer.lock();
+        if self.ctx.device().is_unified() {
+            started.elapsed().as_nanos() as u64
+        } else {
+            self.ctx.queue().total_stats().modeled_ns - modeled_at_start
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::MonetSeqBackend;
+    use ocelot_storage::Bat;
+
+    fn mini_pipeline<B: Backend>(backend: &B) -> (Vec<u32>, Vec<(i32, f32)>) {
+        let a = backend.bat(&Bat::from_i32("a", (0..2_000).map(|i| i % 100).collect()).into_ref());
+        let b = backend
+            .bat(&Bat::from_f32("b", (0..2_000).map(|i| i as f32 * 0.5).collect()).into_ref());
+        let c = backend.bat(&Bat::from_i32("c", (0..2_000).map(|i| i % 7).collect()).into_ref());
+
+        let sel = backend.select_range_i32(&a, 10, 39, None);
+        let b_sel = backend.fetch(&b, &sel);
+        let c_sel = backend.fetch(&c, &sel);
+        let groups = backend.group_by(&[&c_sel]);
+        let sums = backend.to_f32(&backend.grouped_sum_f32(&b_sel, &groups));
+        let keys = backend.to_i32(&backend.fetch(&c_sel, &groups.representatives));
+        let mut pairs: Vec<(i32, f32)> = keys.into_iter().zip(sums).collect();
+        pairs.sort_by_key(|(k, _)| *k);
+        (backend.to_oids(&sel), pairs)
+    }
+
+    #[test]
+    fn ocelot_matches_monet_reference_on_cpu_and_gpu() {
+        let reference = mini_pipeline(&MonetSeqBackend::new());
+        for backend in [OcelotBackend::cpu(), OcelotBackend::gpu(), OcelotBackend::cpu_sequential()]
+        {
+            let result = mini_pipeline(&backend);
+            assert_eq!(result.0, reference.0, "{}", backend.name());
+            assert_eq!(result.1.len(), reference.1.len());
+            for ((ka, va), (kb, vb)) in result.1.iter().zip(reference.1.iter()) {
+                assert_eq!(ka, kb);
+                assert!((va - vb).abs() < 1.0, "{} vs {}", va, vb);
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_selection_composes() {
+        let backend = OcelotBackend::cpu();
+        let reference = MonetSeqBackend::new();
+        let values: Vec<i32> = (0..3_000).map(|i| (i % 50) as i32).collect();
+        let other: Vec<i32> = (0..3_000).map(|i| (i % 11) as i32).collect();
+
+        let oc_v = backend.lift_i32(values.clone());
+        let oc_o = backend.lift_i32(other.clone());
+        let first = backend.select_range_i32(&oc_v, 5, 30, None);
+        let second = backend.select_eq_i32(&oc_o, 3, Some(&first));
+
+        let ms_v = reference.lift_i32(values);
+        let ms_o = reference.lift_i32(other);
+        let ms_first = reference.select_range_i32(&ms_v, 5, 30, None);
+        let ms_second = reference.select_eq_i32(&ms_o, 3, Some(&ms_first));
+
+        assert_eq!(backend.to_oids(&second), reference.to_oids(&ms_second));
+    }
+
+    #[test]
+    fn gpu_timing_reports_modeled_time() {
+        let backend = OcelotBackend::gpu();
+        backend.begin_timing();
+        let col = backend.lift_i32((0..100_000).collect());
+        let _ = backend.select_range_i32(&col, 0, 50_000, None);
+        let elapsed = backend.elapsed_ns();
+        assert!(elapsed > 0, "modeled time must be accounted");
+    }
+
+    #[test]
+    fn joins_match_reference() {
+        let backend = OcelotBackend::cpu();
+        let reference = MonetSeqBackend::new();
+        let fk: Vec<i32> = (0..2_000).map(|i| (i % 150) as i32).collect();
+        let pk: Vec<i32> = (0..150).collect();
+
+        let (of, op) = backend.pkfk_join(&backend.lift_i32(fk.clone()), &backend.lift_i32(pk.clone()));
+        let (mf, mp) = reference.pkfk_join(&reference.lift_i32(fk), &reference.lift_i32(pk));
+        assert_eq!(backend.to_oids(&of), reference.to_oids(&mf));
+        assert_eq!(backend.to_oids(&op), reference.to_oids(&mp));
+    }
+}

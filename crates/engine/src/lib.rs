@@ -1,0 +1,32 @@
+//! # ocelot-engine — the query layer
+//!
+//! The paper evaluates four configurations that all execute *the same
+//! logical plans*: sequential MonetDB (MS), parallel MonetDB (MP), Ocelot on
+//! the CPU and Ocelot on the GPU (§5.1). This crate provides the layer that
+//! makes that possible in the reproduction:
+//!
+//! * [`backend::Backend`] — a single logical operator interface
+//!   (selection, projection, arithmetic maps, joins, grouping, aggregation,
+//!   sorting). TPC-H queries in `ocelot-tpch` are written once against this
+//!   trait, mirroring how Ocelot's operators are drop-in replacements behind
+//!   MonetDB's operator interface.
+//! * [`backends`] — the four implementations: [`backends::MonetSeqBackend`]
+//!   (MS), [`backends::MonetParBackend`] (MP), and [`backends::OcelotBackend`]
+//!   over any `ocelot-core` device (Ocelot CPU / Ocelot GPU).
+//! * [`mal`] — a miniature MAL-like plan representation, the Ocelot query
+//!   rewriter that reroutes plan instructions from the `algebra`/`batcalc`
+//!   modules to their `ocelot` counterparts and inserts explicit `sync`
+//!   instructions at ownership boundaries (paper §3.4), and an interpreter
+//!   that executes plans against any [`backend::Backend`].
+//!
+//! Timing is part of the interface: [`backend::Backend::begin_timing`] /
+//! [`backend::Backend::elapsed_ns`] report wall-clock time for the CPU
+//! configurations and modeled device time for the simulated GPU, which is
+//! what the benchmark harness records for every figure.
+
+pub mod backend;
+pub mod backends;
+pub mod mal;
+
+pub use backend::{Backend, GroupHandle};
+pub use backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};

@@ -1,0 +1,325 @@
+//! A miniature MAL layer: plan representation, the Ocelot query rewriter and
+//! a plan interpreter.
+//!
+//! MonetDB compiles SQL into MAL (MonetDB Assembly Language) programs whose
+//! instructions name the module implementing them (`algebra.select`,
+//! `batcalc.*`, `aggr.sum`, …). Ocelot advertises its operators under an
+//! `ocelot` module and the *query rewriter* reroutes instructions to those
+//! implementations and inserts explicit `ocelot.sync` instructions wherever
+//! ownership of a BAT passes back to MonetDB (paper §3.1, §3.4).
+//!
+//! The reproduction keeps this layer intentionally small — enough to show
+//! the architecture end-to-end: a [`MalPlan`] built from a handful of
+//! instruction kinds, [`rewrite_for_ocelot`] performing the module rewrite
+//! and sync insertion, and [`execute`] interpreting a plan against any
+//! [`Backend`]. The TPC-H workload itself is written directly against the
+//! `Backend` trait (see `ocelot-tpch`), which is equivalent in effect: the
+//! same logical plan runs on every configuration.
+
+use crate::backend::Backend;
+use ocelot_storage::Catalog;
+use std::collections::HashMap;
+
+/// A virtual register holding an intermediate column.
+pub type Var = usize;
+
+/// The module an instruction is routed to. MonetDB modules (`algebra`,
+/// `batcalc`, `aggr`) are replaced by `ocelot` during rewriting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Module {
+    /// MonetDB's relational algebra module.
+    Algebra,
+    /// MonetDB's column arithmetic module.
+    Batcalc,
+    /// MonetDB's aggregation module.
+    Aggr,
+    /// The BAT/storage module (binds base columns; never rewritten).
+    Bat,
+    /// Ocelot's drop-in operator module.
+    Ocelot,
+}
+
+/// One MAL instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MalInstr {
+    /// `out := bat.bind(table, column)`
+    Bind { module: Module, table: String, column: String, out: Var },
+    /// `out := <module>.select(input, low, high)` (inclusive integer range).
+    SelectRangeI32 { module: Module, input: Var, low: i32, high: i32, out: Var },
+    /// `out := <module>.projection(oids, values)` (left fetch join).
+    Fetch { module: Module, values: Var, oids: Var, out: Var },
+    /// `out := <module>.mul(a, b)` over floats.
+    MulF32 { module: Module, a: Var, b: Var, out: Var },
+    /// `out := <module>.sum(values)` (scalar float result).
+    SumF32 { module: Module, values: Var, out: Var },
+    /// `ocelot.sync(vars)` — waits for the producers of `vars` and hands
+    /// ownership back to MonetDB. Inserted by the rewriter.
+    Sync { vars: Vec<Var> },
+    /// Marks `vars` as the plan's result set.
+    Result { vars: Vec<Var> },
+}
+
+impl MalInstr {
+    /// The module executing this instruction, if it has one.
+    pub fn module(&self) -> Option<Module> {
+        match self {
+            MalInstr::Bind { module, .. }
+            | MalInstr::SelectRangeI32 { module, .. }
+            | MalInstr::Fetch { module, .. }
+            | MalInstr::MulF32 { module, .. }
+            | MalInstr::SumF32 { module, .. } => Some(*module),
+            MalInstr::Sync { .. } | MalInstr::Result { .. } => None,
+        }
+    }
+
+    fn with_module(mut self, new_module: Module) -> MalInstr {
+        match &mut self {
+            MalInstr::Bind { module, .. }
+            | MalInstr::SelectRangeI32 { module, .. }
+            | MalInstr::Fetch { module, .. }
+            | MalInstr::MulF32 { module, .. }
+            | MalInstr::SumF32 { module, .. } => *module = new_module,
+            MalInstr::Sync { .. } | MalInstr::Result { .. } => {}
+        }
+        self
+    }
+}
+
+/// A straight-line MAL program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MalPlan {
+    /// The instructions in execution order.
+    pub instructions: Vec<MalInstr>,
+}
+
+impl MalPlan {
+    /// Creates an empty plan.
+    pub fn new() -> MalPlan {
+        MalPlan::default()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instruction: MalInstr) -> &mut Self {
+        self.instructions.push(instruction);
+        self
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+}
+
+/// The Ocelot query rewriter: reroutes every `algebra`/`batcalc`/`aggr`
+/// instruction to the `ocelot` module and inserts an `ocelot.sync` on the
+/// result variables immediately before the `result` instruction — the point
+/// where ownership returns to MonetDB (paper §3.4).
+pub fn rewrite_for_ocelot(plan: &MalPlan) -> MalPlan {
+    let mut rewritten = MalPlan::new();
+    for instruction in &plan.instructions {
+        match instruction {
+            MalInstr::Result { vars } => {
+                rewritten.push(MalInstr::Sync { vars: vars.clone() });
+                rewritten.push(instruction.clone());
+            }
+            other => {
+                let instr = match other.module() {
+                    Some(Module::Algebra) | Some(Module::Batcalc) | Some(Module::Aggr) => {
+                        other.clone().with_module(Module::Ocelot)
+                    }
+                    _ => other.clone(),
+                };
+                rewritten.push(instr);
+            }
+        }
+    }
+    rewritten
+}
+
+/// A value produced by plan execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MalValue {
+    /// A float scalar (from ungrouped aggregation).
+    Scalar(f32),
+    /// A materialised integer column.
+    IntColumn(Vec<i32>),
+    /// A materialised float column.
+    FloatColumn(Vec<f32>),
+    /// A materialised OID column.
+    OidColumn(Vec<u32>),
+}
+
+/// Executes a plan against a backend and returns the materialised result
+/// variables in the order the `result` instruction lists them.
+pub fn execute<B: Backend>(
+    plan: &MalPlan,
+    backend: &B,
+    catalog: &Catalog,
+) -> Result<Vec<MalValue>, String> {
+    enum Slot<C> {
+        Column(C),
+        Scalar(f32),
+    }
+    let mut registers: HashMap<Var, Slot<B::Column>> = HashMap::new();
+    let mut results = Vec::new();
+
+    let column = |registers: &HashMap<Var, Slot<B::Column>>, var: Var| -> Result<B::Column, String> {
+        match registers.get(&var) {
+            Some(Slot::Column(c)) => Ok(c.clone()),
+            Some(Slot::Scalar(_)) => Err(format!("variable {var} holds a scalar, expected a column")),
+            None => Err(format!("variable {var} is undefined")),
+        }
+    };
+
+    for instruction in &plan.instructions {
+        match instruction {
+            MalInstr::Bind { table, column: col_name, out, .. } => {
+                let bat = catalog
+                    .column(table, col_name)
+                    .ok_or_else(|| format!("unknown column {table}.{col_name}"))?;
+                registers.insert(*out, Slot::Column(backend.bat(bat)));
+            }
+            MalInstr::SelectRangeI32 { input, low, high, out, .. } => {
+                let input = column(&registers, *input)?;
+                registers
+                    .insert(*out, Slot::Column(backend.select_range_i32(&input, *low, *high, None)));
+            }
+            MalInstr::Fetch { values, oids, out, .. } => {
+                let values = column(&registers, *values)?;
+                let oids = column(&registers, *oids)?;
+                registers.insert(*out, Slot::Column(backend.fetch(&values, &oids)));
+            }
+            MalInstr::MulF32 { a, b, out, .. } => {
+                let a = column(&registers, *a)?;
+                let b = column(&registers, *b)?;
+                registers.insert(*out, Slot::Column(backend.mul_f32(&a, &b)));
+            }
+            MalInstr::SumF32 { values, out, .. } => {
+                let values = column(&registers, *values)?;
+                registers.insert(*out, Slot::Scalar(backend.sum_f32(&values)));
+            }
+            MalInstr::Sync { .. } => {
+                // Execution through the Backend trait synchronises implicitly
+                // when columns are materialised; the instruction documents
+                // the ownership boundary in the plan.
+            }
+            MalInstr::Result { vars } => {
+                for var in vars {
+                    let value = match registers.get(var) {
+                        Some(Slot::Scalar(s)) => MalValue::Scalar(*s),
+                        Some(Slot::Column(c)) => MalValue::FloatColumn(backend.to_f32(c)),
+                        None => return Err(format!("result variable {var} is undefined")),
+                    };
+                    results.push(value);
+                }
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Builds the example plan used throughout the paper's Figure 3:
+/// `SELECT sum(b * b) FROM t WHERE a BETWEEN low AND high`.
+pub fn example_plan(table: &str, a: &str, b: &str, low: i32, high: i32) -> MalPlan {
+    let mut plan = MalPlan::new();
+    plan.push(MalInstr::Bind { module: Module::Bat, table: table.into(), column: a.into(), out: 0 })
+        .push(MalInstr::Bind { module: Module::Bat, table: table.into(), column: b.into(), out: 1 })
+        .push(MalInstr::SelectRangeI32 { module: Module::Algebra, input: 0, low, high, out: 2 })
+        .push(MalInstr::Fetch { module: Module::Algebra, values: 1, oids: 2, out: 3 })
+        .push(MalInstr::MulF32 { module: Module::Batcalc, a: 3, b: 3, out: 4 })
+        .push(MalInstr::SumF32 { module: Module::Aggr, values: 4, out: 5 })
+        .push(MalInstr::Result { vars: vec![5] });
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{MonetSeqBackend, OcelotBackend};
+    use ocelot_storage::{Bat, Catalog, Table};
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        let table = Table::new("t")
+            .with_column("a", Bat::from_i32("a", (0..1_000).map(|i| i % 50).collect()).into_ref())
+            .with_column(
+                "b",
+                Bat::from_f32("b", (0..1_000).map(|i| i as f32 * 0.1).collect()).into_ref(),
+            );
+        catalog.add_table(table);
+        catalog
+    }
+
+    #[test]
+    fn rewriter_reroutes_modules_and_inserts_sync() {
+        let plan = example_plan("t", "a", "b", 10, 20);
+        let rewritten = rewrite_for_ocelot(&plan);
+        assert_eq!(rewritten.len(), plan.len() + 1, "one sync instruction inserted");
+        // Every algebra/batcalc/aggr instruction is now an ocelot instruction.
+        for instruction in &rewritten.instructions {
+            if let Some(module) = instruction.module() {
+                assert!(
+                    module == Module::Ocelot || module == Module::Bat,
+                    "unexpected module {module:?} after rewriting"
+                );
+            }
+        }
+        // The sync is placed directly before the result.
+        let n = rewritten.instructions.len();
+        assert!(matches!(rewritten.instructions[n - 2], MalInstr::Sync { .. }));
+        assert!(matches!(rewritten.instructions[n - 1], MalInstr::Result { .. }));
+        // Bind instructions keep their module.
+        assert_eq!(rewritten.instructions[0].module(), Some(Module::Bat));
+    }
+
+    #[test]
+    fn rewritten_plan_produces_identical_results() {
+        let catalog = catalog();
+        let plan = example_plan("t", "a", "b", 10, 20);
+        let reference = execute(&plan, &MonetSeqBackend::new(), &catalog).unwrap();
+
+        let rewritten = rewrite_for_ocelot(&plan);
+        for backend in [OcelotBackend::cpu(), OcelotBackend::gpu()] {
+            let result = execute(&rewritten, &backend, &catalog).unwrap();
+            assert_eq!(result.len(), 1);
+            match (&reference[0], &result[0]) {
+                (MalValue::Scalar(a), MalValue::Scalar(b)) => {
+                    assert!((a - b).abs() / a.abs().max(1.0) < 1e-3, "{a} vs {b}");
+                }
+                other => panic!("unexpected result shapes: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn execution_errors_are_reported() {
+        let catalog = catalog();
+        let mut plan = MalPlan::new();
+        plan.push(MalInstr::Bind {
+            module: Module::Bat,
+            table: "missing".into(),
+            column: "a".into(),
+            out: 0,
+        });
+        let err = execute(&plan, &MonetSeqBackend::new(), &catalog).unwrap_err();
+        assert!(err.contains("unknown column"));
+
+        let mut plan = MalPlan::new();
+        plan.push(MalInstr::SumF32 { module: Module::Aggr, values: 42, out: 0 });
+        let err = execute(&plan, &MonetSeqBackend::new(), &catalog).unwrap_err();
+        assert!(err.contains("undefined"));
+    }
+
+    #[test]
+    fn plan_builders() {
+        let mut plan = MalPlan::new();
+        assert!(plan.is_empty());
+        plan.push(MalInstr::Result { vars: vec![] });
+        assert_eq!(plan.len(), 1);
+    }
+}

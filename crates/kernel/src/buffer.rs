@@ -1,0 +1,331 @@
+//! Device buffers — the `cl_mem` analogue.
+//!
+//! A [`Buffer`] is a flat array of 32-bit words. The paper restricts Ocelot
+//! to four-byte integer and floating point data (§3.1), so a single word
+//! type with typed accessors (`i32`, `f32`, `u32`/OID) covers everything the
+//! operators need. All words are stored as [`AtomicU32`] cells: regular
+//! reads and writes use relaxed loads/stores (different work-items always
+//! touch disjoint indices), and the hashing/aggregation kernels additionally
+//! perform CAS and fetch-add on the very same cells, mirroring OpenCL global
+//! atomics.
+//!
+//! Buffers are charged against the owning device's [`MemAccountant`] and
+//! release their bytes when dropped, which is what allows the Memory Manager
+//! in `ocelot-core` to free device memory by evicting cache entries.
+
+use crate::device::MemAccountant;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+struct BufferInner {
+    id: u64,
+    label: String,
+    data: Box<[AtomicU32]>,
+    accountant: Option<Arc<MemAccountant>>,
+}
+
+impl Drop for BufferInner {
+    fn drop(&mut self) {
+        if let Some(acc) = &self.accountant {
+            acc.release(self.data.len() * 4);
+        }
+    }
+}
+
+/// A shared handle to a device buffer of 32-bit words.
+///
+/// Cloning the handle is cheap; the underlying storage is dropped (and the
+/// device memory released) when the last handle goes away.
+#[derive(Clone)]
+pub struct Buffer {
+    inner: Arc<BufferInner>,
+}
+
+impl std::fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Buffer")
+            .field("id", &self.inner.id)
+            .field("label", &self.inner.label)
+            .field("len", &self.inner.data.len())
+            .finish()
+    }
+}
+
+impl Buffer {
+    pub(crate) fn new(
+        id: u64,
+        words: usize,
+        label: &str,
+        accountant: Option<Arc<MemAccountant>>,
+    ) -> Buffer {
+        let data: Box<[AtomicU32]> = (0..words).map(|_| AtomicU32::new(0)).collect();
+        Buffer { inner: Arc::new(BufferInner { id, label: label.to_string(), data, accountant }) }
+    }
+
+    /// Creates a buffer that is not charged against any device (useful for
+    /// tests and host-side scratch space).
+    pub fn host_scratch(words: usize, label: &str) -> Buffer {
+        Buffer::new(0, words, label, None)
+    }
+
+    /// Unique id of this buffer on its device.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Human-readable label given at allocation time.
+    pub fn label(&self) -> &str {
+        &self.inner.label
+    }
+
+    /// Number of 32-bit words in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.data.len()
+    }
+
+    /// Whether the buffer holds zero words.
+    pub fn is_empty(&self) -> bool {
+        self.inner.data.is_empty()
+    }
+
+    /// Size of the buffer in bytes.
+    pub fn bytes(&self) -> usize {
+        self.len() * 4
+    }
+
+    /// Number of live handles to this buffer (used by the Memory Manager's
+    /// reference-counting eviction guard, paper §3.3).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Direct access to the atomic cell at `idx` (for CAS/fetch-add kernels).
+    #[inline]
+    pub fn cell(&self, idx: usize) -> &AtomicU32 {
+        &self.inner.data[idx]
+    }
+
+    /// Raw word load.
+    #[inline]
+    pub fn get_u32(&self, idx: usize) -> u32 {
+        self.inner.data[idx].load(Ordering::Relaxed)
+    }
+
+    /// Raw word store.
+    #[inline]
+    pub fn set_u32(&self, idx: usize, value: u32) {
+        self.inner.data[idx].store(value, Ordering::Relaxed);
+    }
+
+    /// Signed-integer load.
+    #[inline]
+    pub fn get_i32(&self, idx: usize) -> i32 {
+        self.get_u32(idx) as i32
+    }
+
+    /// Signed-integer store.
+    #[inline]
+    pub fn set_i32(&self, idx: usize, value: i32) {
+        self.set_u32(idx, value as u32);
+    }
+
+    /// Floating-point load (bit reinterpretation of the stored word).
+    #[inline]
+    pub fn get_f32(&self, idx: usize) -> f32 {
+        f32::from_bits(self.get_u32(idx))
+    }
+
+    /// Floating-point store.
+    #[inline]
+    pub fn set_f32(&self, idx: usize, value: f32) {
+        self.set_u32(idx, value.to_bits());
+    }
+
+    /// Fills every word of the buffer with `value`.
+    pub fn fill_u32(&self, value: u32) {
+        for cell in self.inner.data.iter() {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies `values` into the first `values.len()` words of the buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer is shorter than `values`.
+    pub fn copy_from_i32(&self, values: &[i32]) {
+        assert!(values.len() <= self.len(), "copy_from_i32: buffer too small");
+        for (idx, v) in values.iter().enumerate() {
+            self.set_i32(idx, *v);
+        }
+    }
+
+    /// Copies `values` into the buffer as floats.
+    pub fn copy_from_f32(&self, values: &[f32]) {
+        assert!(values.len() <= self.len(), "copy_from_f32: buffer too small");
+        for (idx, v) in values.iter().enumerate() {
+            self.set_f32(idx, *v);
+        }
+    }
+
+    /// Copies `values` into the buffer as raw words.
+    pub fn copy_from_u32(&self, values: &[u32]) {
+        assert!(values.len() <= self.len(), "copy_from_u32: buffer too small");
+        for (idx, v) in values.iter().enumerate() {
+            self.set_u32(idx, *v);
+        }
+    }
+
+    /// Reads the whole buffer into a `Vec<i32>`.
+    pub fn to_vec_i32(&self) -> Vec<i32> {
+        (0..self.len()).map(|i| self.get_i32(i)).collect()
+    }
+
+    /// Reads the whole buffer into a `Vec<f32>`.
+    pub fn to_vec_f32(&self) -> Vec<f32> {
+        (0..self.len()).map(|i| self.get_f32(i)).collect()
+    }
+
+    /// Reads the whole buffer into a `Vec<u32>`.
+    pub fn to_vec_u32(&self) -> Vec<u32> {
+        (0..self.len()).map(|i| self.get_u32(i)).collect()
+    }
+
+    /// Reads a prefix of the buffer into a `Vec<i32>`.
+    pub fn prefix_i32(&self, count: usize) -> Vec<i32> {
+        (0..count.min(self.len())).map(|i| self.get_i32(i)).collect()
+    }
+
+    /// Reads a prefix of the buffer into a `Vec<f32>`.
+    pub fn prefix_f32(&self, count: usize) -> Vec<f32> {
+        (0..count.min(self.len())).map(|i| self.get_f32(i)).collect()
+    }
+
+    /// Reads a prefix of the buffer into a `Vec<u32>`.
+    pub fn prefix_u32(&self, count: usize) -> Vec<u32> {
+        (0..count.min(self.len())).map(|i| self.get_u32(i)).collect()
+    }
+
+    /// Snapshots the buffer contents into a host-side copy that is *not*
+    /// charged against any device. The Memory Manager uses this to offload
+    /// intermediate results to the host when device memory runs out
+    /// (paper §3.3).
+    pub fn offload_to_host(&self) -> HostCopy {
+        HostCopy { label: self.inner.label.clone(), words: self.to_vec_u32() }
+    }
+}
+
+/// A host-resident snapshot of a buffer's contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostCopy {
+    label: String,
+    words: Vec<u32>,
+}
+
+impl HostCopy {
+    /// Creates a host copy from raw words.
+    pub fn from_words(label: &str, words: Vec<u32>) -> HostCopy {
+        HostCopy { label: label.to_string(), words }
+    }
+
+    /// The label the originating buffer carried.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of 32-bit words held.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the copy holds zero words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// The raw words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Restores the snapshot into an already-allocated device buffer.
+    ///
+    /// # Panics
+    /// Panics if the target buffer is smaller than the snapshot.
+    pub fn restore_into(&self, target: &Buffer) {
+        assert!(target.len() >= self.words.len(), "restore_into: target buffer too small");
+        target.copy_from_u32(&self.words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let buf = Buffer::host_scratch(4, "t");
+        buf.set_i32(0, -42);
+        buf.set_f32(1, 3.5);
+        buf.set_u32(2, u32::MAX);
+        assert_eq!(buf.get_i32(0), -42);
+        assert_eq!(buf.get_f32(1), 3.5);
+        assert_eq!(buf.get_u32(2), u32::MAX);
+        assert_eq!(buf.get_u32(3), 0, "buffers start zeroed");
+    }
+
+    #[test]
+    fn fill_and_vectors() {
+        let buf = Buffer::host_scratch(3, "t");
+        buf.fill_u32(7);
+        assert_eq!(buf.to_vec_u32(), vec![7, 7, 7]);
+        buf.copy_from_i32(&[1, -2, 3]);
+        assert_eq!(buf.to_vec_i32(), vec![1, -2, 3]);
+        assert_eq!(buf.prefix_i32(2), vec![1, -2]);
+        assert_eq!(buf.prefix_i32(100), vec![1, -2, 3], "prefix clamps to len");
+    }
+
+    #[test]
+    fn bytes_and_len() {
+        let buf = Buffer::host_scratch(10, "t");
+        assert_eq!(buf.len(), 10);
+        assert_eq!(buf.bytes(), 40);
+        assert!(!buf.is_empty());
+        assert!(Buffer::host_scratch(0, "e").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too small")]
+    fn copy_too_large_panics() {
+        let buf = Buffer::host_scratch(1, "t");
+        buf.copy_from_i32(&[1, 2]);
+    }
+
+    #[test]
+    fn offload_and_restore() {
+        let buf = Buffer::host_scratch(4, "data");
+        buf.copy_from_i32(&[10, 20, 30, 40]);
+        let copy = buf.offload_to_host();
+        assert_eq!(copy.len(), 4);
+        assert_eq!(copy.bytes(), 16);
+        assert_eq!(copy.label(), "data");
+
+        let restored = Buffer::host_scratch(4, "data");
+        copy.restore_into(&restored);
+        assert_eq!(restored.to_vec_i32(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn handle_count_tracks_clones() {
+        let buf = Buffer::host_scratch(1, "t");
+        assert_eq!(buf.handle_count(), 1);
+        let clone = buf.clone();
+        assert_eq!(buf.handle_count(), 2);
+        drop(clone);
+        assert_eq!(buf.handle_count(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for the kernel runtime.
+
+use std::fmt;
+
+/// Convenience alias used across the kernel crate.
+pub type Result<T> = std::result::Result<T, KernelError>;
+
+/// Errors raised by the kernel runtime.
+///
+/// These mirror the error classes an OpenCL host program has to handle:
+/// allocation failures against limited device memory, invalid launch
+/// configurations, and waiting on events the runtime does not know about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A buffer allocation exceeded the device's remaining global memory.
+    ///
+    /// The Memory Manager in `ocelot-core` reacts to this by evicting cached
+    /// buffers in LRU order and retrying (paper §3.3).
+    OutOfDeviceMemory {
+        /// Bytes the allocation asked for.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+    },
+    /// The launch configuration is inconsistent (zero-sized groups, etc.).
+    InvalidLaunchConfig(String),
+    /// An operation referenced an event id the queue has never issued.
+    UnknownEvent(u64),
+    /// A wait-list references an event that has not completed at flush time.
+    ///
+    /// Because the queue executes in submission order this indicates a
+    /// programming error (an event from a *different* queue, or a cycle).
+    IncompleteDependency(u64),
+    /// A kernel argument buffer was smaller than the launch required.
+    BufferTooSmall {
+        /// Human-readable buffer label.
+        label: String,
+        /// Number of 32-bit words the buffer holds.
+        len: usize,
+        /// Number of 32-bit words the kernel needed.
+        required: usize,
+    },
+    /// Generic invariant violation inside the runtime.
+    Internal(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::OutOfDeviceMemory { requested, available } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} bytes available"
+            ),
+            KernelError::InvalidLaunchConfig(msg) => {
+                write!(f, "invalid launch configuration: {msg}")
+            }
+            KernelError::UnknownEvent(id) => write!(f, "unknown event id {id}"),
+            KernelError::IncompleteDependency(id) => {
+                write!(f, "dependency event {id} has not completed")
+            }
+            KernelError::BufferTooSmall { label, len, required } => write!(
+                f,
+                "buffer '{label}' holds {len} words but the kernel requires {required}"
+            ),
+            KernelError::Internal(msg) => write!(f, "internal kernel runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_memory() {
+        let err = KernelError::OutOfDeviceMemory { requested: 100, available: 10 };
+        let msg = err.to_string();
+        assert!(msg.contains("100"));
+        assert!(msg.contains("10"));
+    }
+
+    #[test]
+    fn display_buffer_too_small() {
+        let err = KernelError::BufferTooSmall { label: "probe".into(), len: 4, required: 8 };
+        assert!(err.to_string().contains("probe"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(KernelError::UnknownEvent(3), KernelError::UnknownEvent(3));
+        assert_ne!(KernelError::UnknownEvent(3), KernelError::UnknownEvent(4));
+    }
+}

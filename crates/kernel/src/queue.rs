@@ -1,0 +1,446 @@
+//! Lazily evaluated command queues (paper §3.4).
+//!
+//! Ocelot operators never execute work directly: they *enqueue* kernel
+//! invocations and host/device transfers together with wait-lists of
+//! [`EventId`]s and immediately return. Nothing runs until [`Queue::flush`]
+//! (or [`Queue::finish`]) is called — typically by the explicit `sync`
+//! operator that hands result ownership back to MonetDB, or by the Memory
+//! Manager before it evicts a buffer.
+//!
+//! The queue executes operations in submission order, which is always a
+//! valid topological order because wait-lists can only reference events that
+//! were issued earlier. Per-operation timings are recorded in the
+//! [`EventRegistry`] and, when profiling is enabled, as [`KernelProfile`]
+//! entries.
+
+use crate::buffer::Buffer;
+use crate::device::Device;
+use crate::error::{KernelError, Result};
+use crate::event::{EventId, EventKind, EventRegistry};
+use crate::kernel::Kernel;
+use crate::scheduling::LaunchConfig;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+enum PendingOp {
+    Kernel { kernel: Arc<dyn Kernel>, launch: LaunchConfig, wait: Vec<EventId>, event: EventId },
+    Write { buffer: Buffer, wait: Vec<EventId>, event: EventId },
+    Read { buffer: Buffer, wait: Vec<EventId>, event: EventId },
+    Marker { wait: Vec<EventId>, event: EventId },
+}
+
+impl PendingOp {
+    fn event(&self) -> EventId {
+        match self {
+            PendingOp::Kernel { event, .. }
+            | PendingOp::Write { event, .. }
+            | PendingOp::Read { event, .. }
+            | PendingOp::Marker { event, .. } => *event,
+        }
+    }
+
+    fn wait_list(&self) -> &[EventId] {
+        match self {
+            PendingOp::Kernel { wait, .. }
+            | PendingOp::Write { wait, .. }
+            | PendingOp::Read { wait, .. }
+            | PendingOp::Marker { wait, .. } => wait,
+        }
+    }
+}
+
+/// Statistics of a single [`Queue::flush`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Number of kernel invocations executed.
+    pub kernels: usize,
+    /// Number of host/device transfers executed.
+    pub transfers: usize,
+    /// Wall-clock nanoseconds spent executing on the host.
+    pub host_ns: u64,
+    /// Modeled nanoseconds on the device (kernels + transfers).
+    pub modeled_ns: u64,
+    /// Bytes moved host → device.
+    pub bytes_to_device: u64,
+    /// Bytes moved device → host.
+    pub bytes_from_device: u64,
+}
+
+impl FlushStats {
+    /// Adds another stats record into this one.
+    pub fn merge(&mut self, other: &FlushStats) {
+        self.kernels += other.kernels;
+        self.transfers += other.transfers;
+        self.host_ns += other.host_ns;
+        self.modeled_ns += other.modeled_ns;
+        self.bytes_to_device += other.bytes_to_device;
+        self.bytes_from_device += other.bytes_from_device;
+    }
+
+    /// The time the benchmarks should report for the device that produced
+    /// these stats: wall-clock for real (unified-memory CPU) devices,
+    /// modeled time for the simulated discrete GPU.
+    pub fn reported_ns(&self, unified_memory: bool) -> u64 {
+        if unified_memory {
+            self.host_ns
+        } else {
+            self.modeled_ns
+        }
+    }
+}
+
+/// Per-kernel profiling record (enable with [`Queue::enable_profiling`]).
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// Wall-clock nanoseconds on the host.
+    pub host_ns: u64,
+    /// Modeled nanoseconds on the device.
+    pub modeled_ns: u64,
+    /// Number of work-groups launched.
+    pub num_groups: usize,
+    /// Work-items per group.
+    pub group_size: usize,
+    /// Logical problem size.
+    pub n: usize,
+}
+
+/// A lazily evaluated, in-order command queue bound to one [`Device`].
+pub struct Queue {
+    device: Device,
+    events: Arc<EventRegistry>,
+    pending: Mutex<Vec<PendingOp>>,
+    profiling: AtomicBool,
+    profiles: Mutex<Vec<KernelProfile>>,
+    totals: Mutex<FlushStats>,
+}
+
+impl Queue {
+    pub(crate) fn new(device: Device) -> Queue {
+        Queue {
+            device,
+            events: Arc::new(EventRegistry::new()),
+            pending: Mutex::new(Vec::new()),
+            profiling: AtomicBool::new(false),
+            profiles: Mutex::new(Vec::new()),
+            totals: Mutex::new(FlushStats::default()),
+        }
+    }
+
+    /// The device this queue schedules onto.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The queue's event registry.
+    pub fn events(&self) -> &EventRegistry {
+        &self.events
+    }
+
+    /// Number of operations waiting to be flushed.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Enables per-kernel profiling.
+    pub fn enable_profiling(&self) {
+        self.profiling.store(true, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the collected kernel profiles.
+    pub fn profiles(&self) -> Vec<KernelProfile> {
+        self.profiles.lock().clone()
+    }
+
+    /// Accumulated statistics over every flush of this queue.
+    pub fn total_stats(&self) -> FlushStats {
+        *self.totals.lock()
+    }
+
+    fn check_wait_list(&self, wait: &[EventId]) -> Result<()> {
+        for id in wait {
+            if !self.events.contains(*id) {
+                return Err(KernelError::UnknownEvent(id.0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedules a kernel invocation. Returns the event tied to it.
+    pub fn enqueue_kernel(
+        &self,
+        kernel: Arc<dyn Kernel>,
+        launch: LaunchConfig,
+        wait: &[EventId],
+    ) -> Result<EventId> {
+        launch.validate()?;
+        self.check_wait_list(wait)?;
+        let event = self.events.issue(EventKind::Kernel(kernel.name().to_string()));
+        self.pending.lock().push(PendingOp::Kernel {
+            kernel,
+            launch,
+            wait: wait.to_vec(),
+            event,
+        });
+        Ok(event)
+    }
+
+    /// Schedules a host-to-device transfer of `buffer`.
+    ///
+    /// On unified-memory devices this is a zero-copy no-op that only records
+    /// an event; on the simulated GPU it accounts PCIe transfer time and
+    /// bytes.
+    pub fn enqueue_write(&self, buffer: &Buffer, wait: &[EventId]) -> Result<EventId> {
+        self.check_wait_list(wait)?;
+        let event = self.events.issue(EventKind::WriteBuffer);
+        self.pending.lock().push(PendingOp::Write {
+            buffer: buffer.clone(),
+            wait: wait.to_vec(),
+            event,
+        });
+        Ok(event)
+    }
+
+    /// Schedules a device-to-host transfer of `buffer`.
+    pub fn enqueue_read(&self, buffer: &Buffer, wait: &[EventId]) -> Result<EventId> {
+        self.check_wait_list(wait)?;
+        let event = self.events.issue(EventKind::ReadBuffer);
+        self.pending.lock().push(PendingOp::Read {
+            buffer: buffer.clone(),
+            wait: wait.to_vec(),
+            event,
+        });
+        Ok(event)
+    }
+
+    /// Schedules a marker that completes once every event in `wait` has
+    /// completed — the building block of the explicit `sync` operator.
+    pub fn enqueue_marker(&self, wait: &[EventId]) -> Result<EventId> {
+        self.check_wait_list(wait)?;
+        let event = self.events.issue(EventKind::Marker);
+        self.pending.lock().push(PendingOp::Marker { wait: wait.to_vec(), event });
+        Ok(event)
+    }
+
+    /// Executes every pending operation in submission order and returns the
+    /// statistics of this flush.
+    pub fn flush(&self) -> Result<FlushStats> {
+        let ops: Vec<PendingOp> = std::mem::take(&mut *self.pending.lock());
+        let mut stats = FlushStats::default();
+        for op in ops {
+            // Wait-list sanity: in-order execution means every dependency
+            // issued by this queue has either completed in a previous flush
+            // or earlier in this loop.
+            for dep in op.wait_list() {
+                if !self.events.is_complete(*dep) {
+                    return Err(KernelError::IncompleteDependency(dep.0));
+                }
+            }
+            let event = op.event();
+            match op {
+                PendingOp::Kernel { kernel, launch, .. } => {
+                    let report = self.device.execute_kernel(&kernel, &launch);
+                    self.events.complete(event, report.host_ns, report.modeled_ns);
+                    stats.kernels += 1;
+                    stats.host_ns += report.host_ns;
+                    stats.modeled_ns += report.modeled_ns;
+                    if self.profiling.load(Ordering::Relaxed) {
+                        self.profiles.lock().push(KernelProfile {
+                            name: kernel.name().to_string(),
+                            host_ns: report.host_ns,
+                            modeled_ns: report.modeled_ns,
+                            num_groups: launch.num_groups,
+                            group_size: launch.group_size,
+                            n: launch.n,
+                        });
+                    }
+                }
+                PendingOp::Write { buffer, .. } => {
+                    let ns = self.device.transfer_ns(buffer.bytes());
+                    self.events.complete(event, 0, ns);
+                    stats.transfers += 1;
+                    stats.modeled_ns += ns;
+                    if !self.device.is_unified() {
+                        stats.bytes_to_device += buffer.bytes() as u64;
+                    }
+                }
+                PendingOp::Read { buffer, .. } => {
+                    let ns = self.device.transfer_ns(buffer.bytes());
+                    self.events.complete(event, 0, ns);
+                    stats.transfers += 1;
+                    stats.modeled_ns += ns;
+                    if !self.device.is_unified() {
+                        stats.bytes_from_device += buffer.bytes() as u64;
+                    }
+                }
+                PendingOp::Marker { .. } => {
+                    self.events.complete(event, 0, 0);
+                }
+            }
+        }
+        self.totals.lock().merge(&stats);
+        Ok(stats)
+    }
+
+    /// Flushes and additionally asserts that every issued event has
+    /// completed — the moral equivalent of `clFinish`.
+    pub fn finish(&self) -> Result<FlushStats> {
+        self.flush()
+    }
+}
+
+impl std::fmt::Debug for Queue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Queue")
+            .field("device", &self.device)
+            .field("pending", &self.pending_ops())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::gpu_sim::GpuConfig;
+    use crate::kernel::{Kernel, WorkGroupCtx};
+
+    struct Increment {
+        buf: Buffer,
+    }
+
+    impl Kernel for Increment {
+        fn name(&self) -> &str {
+            "increment"
+        }
+        fn run_group(&self, group: &mut WorkGroupCtx) {
+            for item in group.items() {
+                for idx in item.assigned() {
+                    self.buf.set_i32(idx, self.buf.get_i32(idx) + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_execution_until_flush() {
+        let device = Device::cpu_multicore_with(2);
+        let buf = device.alloc_from_i32(&[0; 100], "b").unwrap();
+        let queue = device.create_queue();
+        let launch = device.launch_config(100);
+        let ev =
+            queue.enqueue_kernel(Arc::new(Increment { buf: buf.clone() }), launch, &[]).unwrap();
+
+        // Nothing has run yet.
+        assert_eq!(queue.pending_ops(), 1);
+        assert!(!queue.events().is_complete(ev));
+        assert_eq!(buf.get_i32(0), 0);
+
+        let stats = queue.flush().unwrap();
+        assert_eq!(stats.kernels, 1);
+        assert!(queue.events().is_complete(ev));
+        assert_eq!(buf.get_i32(0), 1);
+        assert_eq!(queue.pending_ops(), 0);
+    }
+
+    #[test]
+    fn wait_lists_chain_operations() {
+        let device = Device::cpu_sequential();
+        let buf = device.alloc_from_i32(&[0; 10], "b").unwrap();
+        let queue = device.create_queue();
+        let launch = device.launch_config(10);
+        let first = queue
+            .enqueue_kernel(Arc::new(Increment { buf: buf.clone() }), launch.clone(), &[])
+            .unwrap();
+        let second = queue
+            .enqueue_kernel(Arc::new(Increment { buf: buf.clone() }), launch, &[first])
+            .unwrap();
+        let marker = queue.enqueue_marker(&[second]).unwrap();
+        queue.flush().unwrap();
+        assert!(queue.events().is_complete(marker));
+        assert_eq!(buf.get_i32(5), 2);
+    }
+
+    #[test]
+    fn unknown_wait_event_is_rejected() {
+        let device = Device::cpu_sequential();
+        let queue = device.create_queue();
+        let err = queue.enqueue_marker(&[EventId(4242)]).unwrap_err();
+        assert_eq!(err, KernelError::UnknownEvent(4242));
+    }
+
+    #[test]
+    fn invalid_launch_is_rejected() {
+        let device = Device::cpu_sequential();
+        let buf = device.alloc(4, "b").unwrap();
+        let queue = device.create_queue();
+        let bad = LaunchConfig::new(0, 1, 4, crate::AccessPattern::Contiguous);
+        let err = queue.enqueue_kernel(Arc::new(Increment { buf }), bad, &[]).unwrap_err();
+        assert!(matches!(err, KernelError::InvalidLaunchConfig(_)));
+    }
+
+    #[test]
+    fn gpu_transfers_are_accounted() {
+        let gpu = Device::simulated_gpu(GpuConfig::default());
+        let buf = gpu.alloc(1024, "b").unwrap();
+        let queue = gpu.create_queue();
+        queue.enqueue_write(&buf, &[]).unwrap();
+        queue.enqueue_read(&buf, &[]).unwrap();
+        let stats = queue.flush().unwrap();
+        assert_eq!(stats.transfers, 2);
+        assert_eq!(stats.bytes_to_device, 4096);
+        assert_eq!(stats.bytes_from_device, 4096);
+        assert!(stats.modeled_ns > 0);
+    }
+
+    #[test]
+    fn cpu_transfers_are_zero_copy() {
+        let cpu = Device::cpu_multicore_with(2);
+        let buf = cpu.alloc(1024, "b").unwrap();
+        let queue = cpu.create_queue();
+        queue.enqueue_write(&buf, &[]).unwrap();
+        let stats = queue.flush().unwrap();
+        assert_eq!(stats.bytes_to_device, 0);
+        assert_eq!(stats.modeled_ns, 0);
+    }
+
+    #[test]
+    fn profiling_collects_kernel_names() {
+        let device = Device::cpu_sequential();
+        let buf = device.alloc_from_i32(&[0; 16], "b").unwrap();
+        let queue = device.create_queue();
+        queue.enable_profiling();
+        let launch = device.launch_config(16);
+        queue.enqueue_kernel(Arc::new(Increment { buf }), launch, &[]).unwrap();
+        queue.flush().unwrap();
+        let profiles = queue.profiles();
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].name, "increment");
+        assert_eq!(profiles[0].n, 16);
+    }
+
+    #[test]
+    fn totals_accumulate_across_flushes() {
+        let device = Device::cpu_sequential();
+        let buf = device.alloc_from_i32(&[0; 8], "b").unwrap();
+        let queue = device.create_queue();
+        for _ in 0..3 {
+            let launch = device.launch_config(8);
+            queue
+                .enqueue_kernel(Arc::new(Increment { buf: buf.clone() }), launch, &[])
+                .unwrap();
+            queue.flush().unwrap();
+        }
+        assert_eq!(queue.total_stats().kernels, 3);
+        assert_eq!(buf.get_i32(0), 3);
+    }
+
+    #[test]
+    fn reported_ns_selects_by_memory_model() {
+        let stats = FlushStats { host_ns: 10, modeled_ns: 99, ..Default::default() };
+        assert_eq!(stats.reported_ns(true), 10);
+        assert_eq!(stats.reported_ns(false), 99);
+    }
+}

@@ -1,0 +1,168 @@
+//! Kernel launch configuration and the device-dependent scheduling heuristic
+//! of paper §4.2.
+//!
+//! The paper found through trial-and-error that scheduling **one work-group
+//! per core** with a group size of **4 × compute-units-per-core** gives
+//! robust performance across architectures, and that the preferred memory
+//! access pattern of the work-items (contiguous chunks on CPUs, strided /
+//! coalesced interleaving on GPUs) should be injected by the driver rather
+//! than chosen by the operator. [`default_launch`] implements exactly that
+//! heuristic; everything the operators see is the resulting [`LaunchConfig`].
+
+use crate::device::{AccessPattern, DeviceInfo};
+use crate::error::{KernelError, Result};
+
+/// Describes how a kernel is launched: how many work-groups, how many
+/// work-items per group, the logical problem size `n`, the amount of local
+/// memory per group and the access pattern the work-items should use when
+/// walking their share of the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of work-groups.
+    pub num_groups: usize,
+    /// Number of work-items per work-group.
+    pub group_size: usize,
+    /// Logical number of elements the kernel must cover.
+    pub n: usize,
+    /// 32-bit words of local memory allocated per work-group.
+    pub local_mem_words: usize,
+    /// Access pattern work-items use to partition `0..n` among themselves.
+    pub access: AccessPattern,
+}
+
+impl LaunchConfig {
+    /// Creates a launch configuration with no local memory.
+    pub fn new(num_groups: usize, group_size: usize, n: usize, access: AccessPattern) -> Self {
+        LaunchConfig { num_groups, group_size, n, local_mem_words: 0, access }
+    }
+
+    /// Returns a copy with `local_mem_words` words of local memory per group.
+    pub fn with_local_words(mut self, local_mem_words: usize) -> Self {
+        self.local_mem_words = local_mem_words;
+        self
+    }
+
+    /// Returns a copy with a different logical problem size.
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Returns a copy with a different group count.
+    pub fn with_num_groups(mut self, num_groups: usize) -> Self {
+        self.num_groups = num_groups;
+        self
+    }
+
+    /// Returns a copy with a different group size.
+    pub fn with_group_size(mut self, group_size: usize) -> Self {
+        self.group_size = group_size;
+        self
+    }
+
+    /// Total number of work-item invocations (`num_groups × group_size`).
+    pub fn total_items(&self) -> usize {
+        self.num_groups * self.group_size
+    }
+
+    /// Number of input elements each work-item processes sequentially
+    /// (`⌈n / total_items⌉`, paper §4.2).
+    pub fn items_per_invocation(&self) -> usize {
+        if self.total_items() == 0 {
+            0
+        } else {
+            self.n.div_ceil(self.total_items())
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_groups == 0 {
+            return Err(KernelError::InvalidLaunchConfig("num_groups must be > 0".into()));
+        }
+        if self.group_size == 0 {
+            return Err(KernelError::InvalidLaunchConfig("group_size must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The paper's scheduling heuristic: one work-group per core, `4 × na`
+/// work-items per group, device-preferred access pattern.
+pub fn default_launch(info: &DeviceInfo, n: usize) -> LaunchConfig {
+    let num_groups = info.compute_cores.max(1);
+    let group_size = (4 * info.units_per_core).max(1);
+    LaunchConfig::new(num_groups, group_size, n, info.preferred_access)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    fn info(cores: usize, units: usize, access: AccessPattern) -> DeviceInfo {
+        DeviceInfo {
+            kind: DeviceKind::CpuMulticore,
+            name: "test".into(),
+            compute_cores: cores,
+            units_per_core: units,
+            local_mem_bytes: 1024,
+            global_mem_bytes: usize::MAX,
+            unified_memory: true,
+            preferred_access: access,
+        }
+    }
+
+    #[test]
+    fn heuristic_matches_paper() {
+        let cpu = info(4, 1, AccessPattern::Contiguous);
+        let launch = default_launch(&cpu, 1_000_000);
+        assert_eq!(launch.num_groups, 4);
+        assert_eq!(launch.group_size, 4);
+        assert_eq!(launch.total_items(), 16);
+
+        let gpu = info(7, 48, AccessPattern::Strided);
+        let launch = default_launch(&gpu, 1_000_000);
+        assert_eq!(launch.num_groups, 7);
+        assert_eq!(launch.group_size, 192);
+        assert_eq!(launch.total_items(), 7 * 192);
+    }
+
+    #[test]
+    fn items_per_invocation_rounds_up() {
+        let launch = LaunchConfig::new(2, 2, 10, AccessPattern::Contiguous);
+        assert_eq!(launch.items_per_invocation(), 3);
+        let launch = LaunchConfig::new(2, 2, 8, AccessPattern::Contiguous);
+        assert_eq!(launch.items_per_invocation(), 2);
+        let launch = LaunchConfig::new(2, 2, 0, AccessPattern::Contiguous);
+        assert_eq!(launch.items_per_invocation(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_zero_sizes() {
+        assert!(LaunchConfig::new(0, 4, 10, AccessPattern::Contiguous).validate().is_err());
+        assert!(LaunchConfig::new(4, 0, 10, AccessPattern::Contiguous).validate().is_err());
+        assert!(LaunchConfig::new(1, 1, 0, AccessPattern::Contiguous).validate().is_ok());
+    }
+
+    #[test]
+    fn builders_are_chainable() {
+        let launch = LaunchConfig::new(1, 1, 10, AccessPattern::Strided)
+            .with_num_groups(3)
+            .with_group_size(5)
+            .with_local_words(64)
+            .with_n(100);
+        assert_eq!(launch.num_groups, 3);
+        assert_eq!(launch.group_size, 5);
+        assert_eq!(launch.local_mem_words, 64);
+        assert_eq!(launch.n, 100);
+    }
+
+    #[test]
+    fn degenerate_device_clamps_to_one() {
+        let weird = info(0, 0, AccessPattern::Contiguous);
+        let launch = default_launch(&weird, 10);
+        assert_eq!(launch.num_groups, 1);
+        assert_eq!(launch.group_size, 1);
+    }
+}

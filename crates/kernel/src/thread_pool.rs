@@ -1,0 +1,213 @@
+//! A small, dependency-light worker pool used by the CPU and simulated-GPU
+//! drivers to execute work-groups in parallel.
+//!
+//! The pool is intentionally simple: a fixed set of worker threads pulling
+//! closures from a crossbeam channel. Drivers submit one job per work-group
+//! batch and wait for completion with a [`crossbeam::sync::WaitGroup`]. This
+//! mirrors how an OpenCL CPU runtime maps work-groups onto OS threads
+//! (one work-group is always executed by a single thread, paper §2.3).
+
+use crossbeam::channel::{unbounded, Sender};
+use crossbeam::sync::WaitGroup;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size worker pool.
+///
+/// Dropping the pool shuts the workers down after they drain outstanding
+/// jobs. The pool is cheap to share: drivers hold it in an `Arc`.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let mut workers = Vec::with_capacity(threads);
+        for worker_id in 0..threads {
+            let receiver = receiver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("ocelot-worker-{worker_id}"))
+                .spawn(move || {
+                    while let Ok(job) = receiver.recv() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn ocelot worker thread");
+            workers.push(handle);
+        }
+        ThreadPool { sender: Some(sender), workers, threads }
+    }
+
+    /// Creates a pool sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self::new(threads)
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submits a single fire-and-forget job.
+    pub fn submit<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if let Some(sender) = &self.sender {
+            // The receiver only disconnects when the pool is dropped, so a
+            // send failure can only happen during shutdown races; dropping
+            // the job is acceptable there.
+            let _ = sender.send(Box::new(job));
+        }
+    }
+
+    /// Runs every closure in `jobs` on the pool and blocks until all of them
+    /// have finished.
+    ///
+    /// This is the primitive the drivers use: one job per work-group batch.
+    pub fn execute_all<F>(&self, jobs: Vec<F>)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if jobs.is_empty() {
+            return;
+        }
+        let wg = WaitGroup::new();
+        for job in jobs {
+            let wg = wg.clone();
+            self.submit(move || {
+                job();
+                drop(wg);
+            });
+        }
+        wg.wait();
+    }
+
+    /// Partitions the half-open range `0..count` into roughly equal slices
+    /// (one per worker) and runs `body(start, end)` for every non-empty
+    /// slice, blocking until all slices are done.
+    ///
+    /// The hand-tuned "mitosis" parallel baseline in `ocelot-monet` is built
+    /// on this helper.
+    pub fn for_each_slice<F>(&self, count: usize, body: F)
+    where
+        F: Fn(usize, usize) + Send + Sync + 'static,
+    {
+        if count == 0 {
+            return;
+        }
+        let body = Arc::new(body);
+        let workers = self.threads.min(count);
+        let chunk = count.div_ceil(workers);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(count);
+            if start >= end {
+                break;
+            }
+            let body = Arc::clone(&body);
+            jobs.push(Box::new(move || body(start, end)));
+        }
+        self.execute_all(jobs);
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes the workers' recv() fail and exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..64)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.execute_all(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn empty_job_list_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.execute_all(Vec::<fn()>::new());
+    }
+
+    #[test]
+    fn slices_cover_range_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let hits = Arc::new((0..1000).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        let hits_clone = Arc::clone(&hits);
+        pool.for_each_slice(1000, move |start, end| {
+            for i in start..end {
+                hits_clone[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn zero_count_slice_is_noop() {
+        let pool = ThreadPool::new(2);
+        pool.for_each_slice(0, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn pool_clamps_to_at_least_one_thread() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute_all(vec![move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }]);
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn more_jobs_than_threads() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..100)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.execute_all(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ocelot-monet — hand-tuned baseline operators (MS and MP)
+//!
+//! The paper evaluates Ocelot against MonetDB in two configurations
+//! (§5.1): *sequential MonetDB* (MS), which runs the operators on a single
+//! CPU core, and *parallel MonetDB* (MP), which uses the Mitosis/Dataflow
+//! optimizers to partition the input across all cores. This crate
+//! re-implements that baseline operator set in Rust:
+//!
+//! * [`sequential`] — single-threaded, hand-tuned operators (selection,
+//!   fetch join / projection, arithmetic maps, aggregation, grouping, hash
+//!   join, sorting) written directly against column slices.
+//! * [`parallel`] — the MP analogue: the same operators parallelised with
+//!   the mitosis pattern (partition the input into per-core slices, run the
+//!   sequential operator per slice, merge the partial results).
+//! * [`hash_table`] — the bucket-chained hash table MonetDB-style joins and
+//!   group-bys are built on; the hash-table-build microbenchmark
+//!   (Figure 5e/5f) measures it directly.
+//!
+//! These operators are deliberately *hardware-conscious*: they know they run
+//! on a CPU, they use per-thread private state and merge steps instead of
+//! atomics, and the sequential variants avoid all synchronisation. That is
+//! exactly the comparison point the paper argues a hardware-oblivious design
+//! must hold its own against.
+
+pub mod hash_table;
+pub mod parallel;
+pub mod sequential;
+
+pub use hash_table::MonetHashTable;

@@ -1,0 +1,96 @@
+//! Parallel arithmetic map operators: the input columns are partitioned and
+//! the sequential map kernel runs per slice.
+
+use super::partition::run_partitions;
+use crate::sequential;
+
+/// Parallel element-wise `a * b`.
+pub fn par_mul_f32(a: &[f32], b: &[f32], threads: usize) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "par_mul_f32: length mismatch");
+    run_partitions(a.len(), threads, |s, e| sequential::mul_f32(&a[s..e], &b[s..e]))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Parallel element-wise `a + b`.
+pub fn par_add_f32(a: &[f32], b: &[f32], threads: usize) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "par_add_f32: length mismatch");
+    run_partitions(a.len(), threads, |s, e| sequential::add_f32(&a[s..e], &b[s..e]))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Parallel element-wise `a - b`.
+pub fn par_sub_f32(a: &[f32], b: &[f32], threads: usize) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "par_sub_f32: length mismatch");
+    run_partitions(a.len(), threads, |s, e| sequential::sub_f32(&a[s..e], &b[s..e]))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Parallel element-wise `constant - a`.
+pub fn par_const_minus_f32(constant: f32, a: &[f32], threads: usize) -> Vec<f32> {
+    run_partitions(a.len(), threads, |s, e| sequential::const_minus_f32(constant, &a[s..e]))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Parallel element-wise `constant + a`.
+pub fn par_const_plus_f32(constant: f32, a: &[f32], threads: usize) -> Vec<f32> {
+    run_partitions(a.len(), threads, |s, e| sequential::const_plus_f32(constant, &a[s..e]))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Parallel cast from `i32` to `f32`.
+pub fn par_cast_i32_f32(a: &[i32], threads: usize) -> Vec<f32> {
+    run_partitions(a.len(), threads, |s, e| sequential::cast_i32_f32(&a[s..e]))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Parallel year extraction from a day-number date column.
+pub fn par_extract_year(days: &[i32], threads: usize) -> Vec<i32> {
+    run_partitions(days.len(), threads, |s, e| sequential::extract_year(&days[s..e]))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_storage::types::date_to_days;
+
+    #[test]
+    fn maps_match_sequential() {
+        let a: Vec<f32> = (0..5_000).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..5_000).map(|i| (i % 17) as f32).collect();
+        assert_eq!(par_mul_f32(&a, &b, 4), sequential::mul_f32(&a, &b));
+        assert_eq!(par_add_f32(&a, &b, 3), sequential::add_f32(&a, &b));
+        assert_eq!(par_sub_f32(&a, &b, 2), sequential::sub_f32(&a, &b));
+        assert_eq!(par_const_minus_f32(1.0, &a, 4), sequential::const_minus_f32(1.0, &a));
+        assert_eq!(par_const_plus_f32(1.0, &a, 4), sequential::const_plus_f32(1.0, &a));
+    }
+
+    #[test]
+    fn casts_and_years() {
+        let ints: Vec<i32> = (0..1000).collect();
+        assert_eq!(par_cast_i32_f32(&ints, 4), sequential::cast_i32_f32(&ints));
+        let days: Vec<i32> =
+            (0..1000).map(|i| date_to_days(1992 + (i % 7), 1 + (i % 12) as u32, 1)).collect();
+        assert_eq!(par_extract_year(&days, 4), sequential::extract_year(&days));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(par_mul_f32(&[], &[], 4).is_empty());
+        assert!(par_extract_year(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Parallel joins: the hash table is built once (sequentially, like
+//! MonetDB), the probe side is partitioned across threads.
+
+use super::partition::run_partitions;
+use crate::hash_table::MonetHashTable;
+use ocelot_storage::Oid;
+
+/// Parallel hash equi-join (build over `right`, parallel probe over `left`).
+pub fn par_hash_join_i32(left: &[i32], right: &[i32], threads: usize) -> (Vec<Oid>, Vec<Oid>) {
+    let table = MonetHashTable::build(right);
+    let parts = run_partitions(left.len(), threads, |start, end| {
+        let mut left_out = Vec::new();
+        let mut right_out = Vec::new();
+        for (offset, key) in left[start..end].iter().enumerate() {
+            for right_row in table.probe(*key) {
+                left_out.push((start + offset) as Oid);
+                right_out.push(right_row);
+            }
+        }
+        (left_out, right_out)
+    });
+    let mut left_all = Vec::new();
+    let mut right_all = Vec::new();
+    for (l, r) in parts {
+        left_all.extend(l);
+        right_all.extend(r);
+    }
+    (left_all, right_all)
+}
+
+/// Parallel PK-FK join through a prebuilt hash table.
+pub fn par_pkfk_join_i32(
+    foreign_keys: &[i32],
+    table: &MonetHashTable,
+    threads: usize,
+) -> (Vec<Oid>, Vec<Oid>) {
+    let parts = run_partitions(foreign_keys.len(), threads, |start, end| {
+        let mut fk_oids = Vec::new();
+        let mut pk_oids = Vec::new();
+        for (offset, key) in foreign_keys[start..end].iter().enumerate() {
+            if let Some(pk_row) = table.find_first(*key) {
+                fk_oids.push((start + offset) as Oid);
+                pk_oids.push(pk_row);
+            }
+        }
+        (fk_oids, pk_oids)
+    });
+    let mut fk_all = Vec::new();
+    let mut pk_all = Vec::new();
+    for (f, p) in parts {
+        fk_all.extend(f);
+        pk_all.extend(p);
+    }
+    (fk_all, pk_all)
+}
+
+/// Parallel semi join (`EXISTS`).
+pub fn par_semi_join_i32(left: &[i32], right: &[i32], threads: usize) -> Vec<Oid> {
+    let table = MonetHashTable::build(right);
+    run_partitions(left.len(), threads, |start, end| {
+        left[start..end]
+            .iter()
+            .enumerate()
+            .filter(|(_, key)| table.contains(**key))
+            .map(|(offset, _)| (start + offset) as Oid)
+            .collect::<Vec<Oid>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Parallel anti join (`NOT EXISTS`).
+pub fn par_anti_join_i32(left: &[i32], right: &[i32], threads: usize) -> Vec<Oid> {
+    let table = MonetHashTable::build(right);
+    run_partitions(left.len(), threads, |start, end| {
+        left[start..end]
+            .iter()
+            .enumerate()
+            .filter(|(_, key)| !table.contains(**key))
+            .map(|(offset, _)| (start + offset) as Oid)
+            .collect::<Vec<Oid>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential;
+
+    fn keys(n: usize, modulus: i32) -> Vec<i32> {
+        (0..n).map(|i| ((i as i32) * 17 + 3) % modulus).collect()
+    }
+
+    #[test]
+    fn hash_join_matches_sequential() {
+        let left = keys(3_000, 100);
+        let right = keys(500, 100);
+        let (seq_l, seq_r) = sequential::hash_join_i32(&left, &right);
+        for threads in [1, 2, 4] {
+            let (par_l, par_r) = par_hash_join_i32(&left, &right, threads);
+            let mut seq_pairs: Vec<(Oid, Oid)> =
+                seq_l.iter().copied().zip(seq_r.iter().copied()).collect();
+            let mut par_pairs: Vec<(Oid, Oid)> = par_l.into_iter().zip(par_r).collect();
+            seq_pairs.sort_unstable();
+            par_pairs.sort_unstable();
+            assert_eq!(seq_pairs, par_pairs);
+        }
+    }
+
+    #[test]
+    fn pkfk_join_matches_sequential() {
+        let pk: Vec<i32> = (0..200).collect();
+        let table = MonetHashTable::build(&pk);
+        let fk = keys(5_000, 200);
+        let (seq_f, seq_p) = sequential::pkfk_join_i32(&fk, &table);
+        let (par_f, par_p) = par_pkfk_join_i32(&fk, &table, 4);
+        assert_eq!(seq_f, par_f);
+        assert_eq!(seq_p, par_p);
+    }
+
+    #[test]
+    fn semi_and_anti_match_sequential() {
+        let left = keys(4_000, 300);
+        let right = keys(100, 150);
+        assert_eq!(
+            par_semi_join_i32(&left, &right, 4),
+            sequential::semi_join_i32(&left, &right)
+        );
+        assert_eq!(
+            par_anti_join_i32(&left, &right, 4),
+            sequential::anti_join_i32(&left, &right)
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (l, r) = par_hash_join_i32(&[], &[1], 4);
+        assert!(l.is_empty() && r.is_empty());
+        assert!(par_semi_join_i32(&[], &[1], 4).is_empty());
+    }
+}

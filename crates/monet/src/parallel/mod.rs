@@ -1,0 +1,31 @@
+//! Parallel (multi-core) baseline operators — the paper's "MP"
+//! configuration.
+//!
+//! MonetDB parallelises queries with the *Mitosis* and *Dataflow* optimizers
+//! (§5.1): the input is horizontally partitioned, each partition is
+//! processed by the sequential operator on its own core, and the partial
+//! results are merged. The operators in this module follow that exact
+//! pattern on top of [`partition::run_partitions`], which is a thin wrapper
+//! around scoped OS threads.
+//!
+//! Every function takes an explicit `threads` argument so benchmarks can
+//! sweep the degree of parallelism; the engine passes the machine's
+//! available parallelism.
+
+pub mod aggregate;
+pub mod calc;
+pub mod group;
+pub mod join;
+pub mod partition;
+pub mod project;
+pub mod select;
+pub mod sort;
+
+pub use aggregate::*;
+pub use calc::*;
+pub use group::*;
+pub use join::*;
+pub use partition::*;
+pub use project::*;
+pub use select::*;
+pub use sort::*;

@@ -1,0 +1,109 @@
+//! The mitosis partitioning helper: split a row range into per-core slices,
+//! run a worker per slice on scoped threads, and collect the partial results
+//! in partition order.
+
+/// Splits `0..n` into at most `parts` contiguous, non-empty ranges of nearly
+/// equal size.
+pub fn partition_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let chunk = n.div_ceil(parts);
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+/// Runs `worker(start, end)` for every partition of `0..n` on up to
+/// `threads` scoped threads and returns the results in partition order.
+///
+/// Partition order is what makes merging trivial: concatenating per-partition
+/// OID lists yields a globally sorted candidate list, because partitions
+/// cover disjoint, increasing row ranges.
+pub fn run_partitions<R, F>(n: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let ranges = partition_ranges(n, threads.max(1));
+    if ranges.is_empty() {
+        return Vec::new();
+    }
+    if ranges.len() == 1 {
+        let (start, end) = ranges[0];
+        return vec![worker(start, end)];
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(ranges.len());
+    results.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (start, end) in &ranges {
+            let (start, end) = (*start, *end);
+            handles.push(scope.spawn(move || worker(start, end)));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("mitosis worker panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.expect("missing partition result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_input_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = partition_ranges(n, parts);
+                let total: usize = ranges.iter().map(|(s, e)| e - s).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                // Ranges are contiguous and ordered.
+                let mut expected_start = 0;
+                for (s, e) in &ranges {
+                    assert_eq!(*s, expected_start);
+                    assert!(e > s);
+                    expected_start = *e;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_more_parts_than_rows() {
+        assert_eq!(partition_ranges(3, 8).len(), 3);
+        assert!(partition_ranges(0, 8).is_empty());
+        assert!(partition_ranges(8, 0).is_empty());
+    }
+
+    #[test]
+    fn run_partitions_returns_in_order() {
+        let results = run_partitions(100, 4, |start, end| (start, end));
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].0, 0);
+        assert_eq!(results.last().unwrap().1, 100);
+        for window in results.windows(2) {
+            assert_eq!(window[0].1, window[1].0);
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let results = run_partitions(10, 1, |start, end| end - start);
+        assert_eq!(results, vec![10]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_partitions() {
+        let results: Vec<usize> = run_partitions(0, 4, |_, _| unreachable!());
+        assert!(results.is_empty());
+    }
+}

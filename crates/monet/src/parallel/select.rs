@@ -1,0 +1,169 @@
+//! Parallel selection: each partition scans its slice, the per-partition
+//! candidate lists are concatenated (they are disjoint and ordered).
+
+use super::partition::run_partitions;
+use crate::sequential;
+use ocelot_storage::Oid;
+
+fn offset_and_concat(parts: Vec<Vec<Oid>>) -> Vec<Oid> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Parallel inclusive range selection over an `i32` column.
+pub fn par_select_range_i32(column: &[i32], low: i32, high: i32, threads: usize) -> Vec<Oid> {
+    let parts = run_partitions(column.len(), threads, |start, end| {
+        let mut local = Vec::new();
+        for (offset, value) in column[start..end].iter().enumerate() {
+            if *value >= low && *value <= high {
+                local.push((start + offset) as Oid);
+            }
+        }
+        local
+    });
+    offset_and_concat(parts)
+}
+
+/// Parallel inclusive range selection over an `f32` column.
+pub fn par_select_range_f32(column: &[f32], low: f32, high: f32, threads: usize) -> Vec<Oid> {
+    let parts = run_partitions(column.len(), threads, |start, end| {
+        let mut local = Vec::new();
+        for (offset, value) in column[start..end].iter().enumerate() {
+            if *value >= low && *value <= high {
+                local.push((start + offset) as Oid);
+            }
+        }
+        local
+    });
+    offset_and_concat(parts)
+}
+
+/// Parallel equality selection over an `i32` column.
+pub fn par_select_eq_i32(column: &[i32], needle: i32, threads: usize) -> Vec<Oid> {
+    let parts = run_partitions(column.len(), threads, |start, end| {
+        let mut local = Vec::new();
+        for (offset, value) in column[start..end].iter().enumerate() {
+            if *value == needle {
+                local.push((start + offset) as Oid);
+            }
+        }
+        local
+    });
+    offset_and_concat(parts)
+}
+
+/// Parallel range selection restricted to a candidate list. The candidate
+/// list (not the column) is partitioned, so the work scales with the number
+/// of surviving rows.
+pub fn par_select_range_i32_cand(
+    column: &[i32],
+    candidates: &[Oid],
+    low: i32,
+    high: i32,
+    threads: usize,
+) -> Vec<Oid> {
+    let parts = run_partitions(candidates.len(), threads, |start, end| {
+        sequential::select_range_i32_cand(column, &candidates[start..end], low, high)
+    });
+    offset_and_concat(parts)
+}
+
+/// Parallel float range selection restricted to a candidate list.
+pub fn par_select_range_f32_cand(
+    column: &[f32],
+    candidates: &[Oid],
+    low: f32,
+    high: f32,
+    threads: usize,
+) -> Vec<Oid> {
+    let parts = run_partitions(candidates.len(), threads, |start, end| {
+        sequential::select_range_f32_cand(column, &candidates[start..end], low, high)
+    });
+    offset_and_concat(parts)
+}
+
+/// Parallel equality selection restricted to a candidate list.
+pub fn par_select_eq_i32_cand(
+    column: &[i32],
+    candidates: &[Oid],
+    needle: i32,
+    threads: usize,
+) -> Vec<Oid> {
+    let parts = run_partitions(candidates.len(), threads, |start, end| {
+        sequential::select_eq_i32_cand(column, &candidates[start..end], needle)
+    });
+    offset_and_concat(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential;
+
+    fn column(n: usize) -> Vec<i32> {
+        (0..n).map(|i| ((i * 37 + 11) % 1000) as i32).collect()
+    }
+
+    #[test]
+    fn matches_sequential_range_selection() {
+        let col = column(10_000);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                par_select_range_i32(&col, 100, 300, threads),
+                sequential::select_range_i32(&col, 100, 300),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_eq_selection() {
+        let col = column(5_000);
+        assert_eq!(par_select_eq_i32(&col, 11, 4), sequential::select_eq_i32(&col, 11));
+    }
+
+    #[test]
+    fn matches_sequential_float_selection() {
+        let col: Vec<f32> = (0..5_000).map(|i| (i % 97) as f32 * 0.5).collect();
+        assert_eq!(
+            par_select_range_f32(&col, 10.0, 20.0, 4),
+            sequential::select_range_f32(&col, 10.0, 20.0)
+        );
+    }
+
+    #[test]
+    fn candidate_variants_match_sequential() {
+        let col = column(5_000);
+        let cands = sequential::select_range_i32(&col, 0, 500);
+        assert_eq!(
+            par_select_range_i32_cand(&col, &cands, 100, 300, 4),
+            sequential::select_range_i32_cand(&col, &cands, 100, 300)
+        );
+        assert_eq!(
+            par_select_eq_i32_cand(&col, &cands, 11, 4),
+            sequential::select_eq_i32_cand(&col, &cands, 11)
+        );
+        let reals: Vec<f32> = col.iter().map(|v| *v as f32).collect();
+        assert_eq!(
+            par_select_range_f32_cand(&reals, &cands, 100.0, 300.0, 4),
+            sequential::select_range_f32_cand(&reals, &cands, 100.0, 300.0)
+        );
+    }
+
+    #[test]
+    fn results_are_sorted_by_oid() {
+        let col = column(20_000);
+        let result = par_select_range_i32(&col, 0, 999, 8);
+        assert!(result.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(result.len(), col.len());
+    }
+
+    #[test]
+    fn empty_column_is_fine() {
+        assert!(par_select_range_i32(&[], 0, 10, 4).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Sequential arithmetic map operators (MonetDB's `batcalc` module).
+//!
+//! TPC-H expressions such as `l_extendedprice * (1 - l_discount)` are
+//! evaluated column-at-a-time by these element-wise kernels.
+
+use ocelot_storage::types::days_to_date;
+
+/// Element-wise `a * b` over float columns.
+pub fn mul_f32(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "mul_f32: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).collect()
+}
+
+/// Element-wise `a + b` over float columns.
+pub fn add_f32(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add_f32: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise `a - b` over float columns.
+pub fn sub_f32(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub_f32: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise `constant - a` (e.g. `1 - l_discount`).
+pub fn const_minus_f32(constant: f32, a: &[f32]) -> Vec<f32> {
+    a.iter().map(|x| constant - x).collect()
+}
+
+/// Element-wise `constant + a` (e.g. `1 + l_tax`).
+pub fn const_plus_f32(constant: f32, a: &[f32]) -> Vec<f32> {
+    a.iter().map(|x| constant + x).collect()
+}
+
+/// Element-wise `a * constant`.
+pub fn mul_const_f32(a: &[f32], constant: f32) -> Vec<f32> {
+    a.iter().map(|x| x * constant).collect()
+}
+
+/// Casts an integer column to float.
+pub fn cast_i32_f32(a: &[i32]) -> Vec<f32> {
+    a.iter().map(|x| *x as f32).collect()
+}
+
+/// Extracts the calendar year from a date column stored as day numbers.
+pub fn extract_year(days: &[i32]) -> Vec<i32> {
+    days.iter().map(|d| days_to_date(*d).0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_storage::types::date_to_days;
+
+    #[test]
+    fn arithmetic_maps() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![4.0f32, 5.0, 6.0];
+        assert_eq!(mul_f32(&a, &b), vec![4.0, 10.0, 18.0]);
+        assert_eq!(add_f32(&a, &b), vec![5.0, 7.0, 9.0]);
+        assert_eq!(sub_f32(&b, &a), vec![3.0, 3.0, 3.0]);
+        assert_eq!(const_minus_f32(1.0, &a), vec![0.0, -1.0, -2.0]);
+        assert_eq!(const_plus_f32(1.0, &a), vec![2.0, 3.0, 4.0]);
+        assert_eq!(mul_const_f32(&a, 2.0), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn casts_and_year_extraction() {
+        assert_eq!(cast_i32_f32(&[1, -2]), vec![1.0, -2.0]);
+        let days = vec![date_to_days(1994, 3, 15), date_to_days(1998, 12, 31)];
+        assert_eq!(extract_year(&days), vec![1994, 1998]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        mul_f32(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(mul_f32(&[], &[]).is_empty());
+        assert!(extract_year(&[]).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Sequential join operators: hash equi-join, PK-FK join, semi/anti join and
+//! a nested-loop theta join.
+
+use crate::hash_table::MonetHashTable;
+use ocelot_storage::Oid;
+
+/// Hash equi-join: returns every matching `(left_oid, right_oid)` pair as a
+/// pair of aligned OID columns. The hash table is built over the right
+/// (usually smaller) input.
+pub fn hash_join_i32(left: &[i32], right: &[i32]) -> (Vec<Oid>, Vec<Oid>) {
+    let table = MonetHashTable::build(right);
+    let mut left_out = Vec::new();
+    let mut right_out = Vec::new();
+    for (row, key) in left.iter().enumerate() {
+        for right_row in table.probe(*key) {
+            left_out.push(row as Oid);
+            right_out.push(right_row);
+        }
+    }
+    (left_out, right_out)
+}
+
+/// PK-FK join through a prebuilt hash table: for every foreign-key value the
+/// OID of its (unique) primary-key partner. Rows without a partner are
+/// dropped, and their positions are returned alongside the matches.
+pub fn pkfk_join_i32(foreign_keys: &[i32], table: &MonetHashTable) -> (Vec<Oid>, Vec<Oid>) {
+    let mut fk_oids = Vec::with_capacity(foreign_keys.len());
+    let mut pk_oids = Vec::with_capacity(foreign_keys.len());
+    for (row, key) in foreign_keys.iter().enumerate() {
+        if let Some(pk_row) = table.find_first(*key) {
+            fk_oids.push(row as Oid);
+            pk_oids.push(pk_row);
+        }
+    }
+    (fk_oids, pk_oids)
+}
+
+/// Semi join: the OIDs of left rows whose key occurs at least once in
+/// `right` (SQL `EXISTS` / `IN`).
+pub fn semi_join_i32(left: &[i32], right: &[i32]) -> Vec<Oid> {
+    let table = MonetHashTable::build(right);
+    left.iter()
+        .enumerate()
+        .filter(|(_, key)| table.contains(**key))
+        .map(|(row, _)| row as Oid)
+        .collect()
+}
+
+/// Anti join: the OIDs of left rows whose key does **not** occur in `right`
+/// (SQL `NOT EXISTS` / `NOT IN`).
+pub fn anti_join_i32(left: &[i32], right: &[i32]) -> Vec<Oid> {
+    let table = MonetHashTable::build(right);
+    left.iter()
+        .enumerate()
+        .filter(|(_, key)| !table.contains(**key))
+        .map(|(row, _)| row as Oid)
+        .collect()
+}
+
+/// Nested-loop theta join: every `(left_oid, right_oid)` pair for which
+/// `predicate(left_value, right_value)` holds. Used for the non-equality
+/// join predicates that the paper's nested-loop kernel handles (§4.1.5).
+pub fn nested_loop_join_i32<F>(left: &[i32], right: &[i32], predicate: F) -> (Vec<Oid>, Vec<Oid>)
+where
+    F: Fn(i32, i32) -> bool,
+{
+    let mut left_out = Vec::new();
+    let mut right_out = Vec::new();
+    for (l, lv) in left.iter().enumerate() {
+        for (r, rv) in right.iter().enumerate() {
+            if predicate(*lv, *rv) {
+                left_out.push(l as Oid);
+                right_out.push(r as Oid);
+            }
+        }
+    }
+    (left_out, right_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_join_produces_all_pairs() {
+        let left = vec![1, 2, 3, 2];
+        let right = vec![2, 4, 2];
+        let (l, r) = hash_join_i32(&left, &right);
+        let mut pairs: Vec<(Oid, Oid)> = l.into_iter().zip(r).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 0), (1, 2), (3, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn pkfk_join_aligns_with_foreign_keys() {
+        let pk = vec![10, 20, 30];
+        let table = MonetHashTable::build(&pk);
+        let fk = vec![30, 10, 10, 99, 20];
+        let (fk_oids, pk_oids) = pkfk_join_i32(&fk, &table);
+        assert_eq!(fk_oids, vec![0, 1, 2, 4]);
+        assert_eq!(pk_oids, vec![2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition_the_input() {
+        let left = vec![1, 2, 3, 4, 5];
+        let right = vec![2, 4, 6];
+        let semi = semi_join_i32(&left, &right);
+        let anti = anti_join_i32(&left, &right);
+        assert_eq!(semi, vec![1, 3]);
+        assert_eq!(anti, vec![0, 2, 4]);
+        assert_eq!(semi.len() + anti.len(), left.len());
+    }
+
+    #[test]
+    fn nested_loop_theta_join() {
+        let left = vec![1, 5];
+        let right = vec![3, 4];
+        let (l, r) = nested_loop_join_i32(&left, &right, |a, b| a < b);
+        let pairs: Vec<(Oid, Oid)> = l.into_iter().zip(r).collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn joins_with_empty_inputs() {
+        let (l, r) = hash_join_i32(&[], &[1, 2]);
+        assert!(l.is_empty() && r.is_empty());
+        let (l, r) = hash_join_i32(&[1, 2], &[]);
+        assert!(l.is_empty() && r.is_empty());
+        assert!(semi_join_i32(&[1], &[]).is_empty());
+        assert_eq!(anti_join_i32(&[1], &[]), vec![0]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Sequential (single-core) baseline operators — the paper's "MS"
+//! configuration.
+//!
+//! Every operator is a plain function over column slices; results are
+//! freshly allocated vectors. Selections return candidate lists of
+//! qualifying OIDs (MonetDB's representation — the paper contrasts this with
+//! Ocelot's bitmap representation in §5.2.1).
+
+pub mod aggregate;
+pub mod calc;
+pub mod group;
+pub mod join;
+pub mod project;
+pub mod select;
+pub mod sort;
+
+pub use aggregate::*;
+pub use calc::*;
+pub use group::*;
+pub use join::*;
+pub use project::*;
+pub use select::*;
+pub use sort::*;

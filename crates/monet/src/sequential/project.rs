@@ -1,0 +1,51 @@
+//! Sequential fetch join (projection): materialise column values for a list
+//! of tuple IDs. This is MonetDB's `leftfetchjoin`, "one of the most
+//! frequently used operators" (paper §5.2.2).
+
+use ocelot_storage::Oid;
+
+/// Fetches `column[oid]` for every OID in `oids` (integer column).
+pub fn fetch_i32(column: &[i32], oids: &[Oid]) -> Vec<i32> {
+    oids.iter().map(|&oid| column[oid as usize]).collect()
+}
+
+/// Fetches `column[oid]` for every OID in `oids` (float column).
+pub fn fetch_f32(column: &[f32], oids: &[Oid]) -> Vec<f32> {
+    oids.iter().map(|&oid| column[oid as usize]).collect()
+}
+
+/// Fetches `column[oid]` for every OID in `oids` (OID column — used when
+/// composing projections, e.g. following a join index).
+pub fn fetch_oid(column: &[Oid], oids: &[Oid]) -> Vec<Oid> {
+    oids.iter().map(|&oid| column[oid as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_reorders_and_duplicates() {
+        let col = vec![10, 20, 30, 40];
+        assert_eq!(fetch_i32(&col, &[3, 0, 0, 2]), vec![40, 10, 10, 30]);
+    }
+
+    #[test]
+    fn fetch_f32_and_oid() {
+        let reals = vec![0.5, 1.5, 2.5];
+        assert_eq!(fetch_f32(&reals, &[2, 1]), vec![2.5, 1.5]);
+        let oids: Vec<Oid> = vec![9, 8, 7];
+        assert_eq!(fetch_oid(&oids, &[0, 2]), vec![9, 7]);
+    }
+
+    #[test]
+    fn empty_oid_list() {
+        assert!(fetch_i32(&[1, 2, 3], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_oid_panics() {
+        fetch_i32(&[1, 2], &[5]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Sequential selection: scan a column, return the OIDs of qualifying rows.
+
+use ocelot_storage::Oid;
+
+/// Inclusive range selection over an `i32` column: rows with
+/// `low <= value <= high`.
+pub fn select_range_i32(column: &[i32], low: i32, high: i32) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for (row, value) in column.iter().enumerate() {
+        if *value >= low && *value <= high {
+            out.push(row as Oid);
+        }
+    }
+    out
+}
+
+/// Inclusive range selection over an `f32` column.
+pub fn select_range_f32(column: &[f32], low: f32, high: f32) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for (row, value) in column.iter().enumerate() {
+        if *value >= low && *value <= high {
+            out.push(row as Oid);
+        }
+    }
+    out
+}
+
+/// Equality selection over an `i32` column.
+pub fn select_eq_i32(column: &[i32], needle: i32) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for (row, value) in column.iter().enumerate() {
+        if *value == needle {
+            out.push(row as Oid);
+        }
+    }
+    out
+}
+
+/// Range selection restricted to a candidate list (the second and later
+/// predicates of a conjunction run over the survivors of the previous one).
+pub fn select_range_i32_cand(column: &[i32], candidates: &[Oid], low: i32, high: i32) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for &row in candidates {
+        let value = column[row as usize];
+        if value >= low && value <= high {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Range selection over an `f32` column restricted to a candidate list.
+pub fn select_range_f32_cand(column: &[f32], candidates: &[Oid], low: f32, high: f32) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for &row in candidates {
+        let value = column[row as usize];
+        if value >= low && value <= high {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Equality selection restricted to a candidate list.
+pub fn select_eq_i32_cand(column: &[i32], candidates: &[Oid], needle: i32) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for &row in candidates {
+        if column[row as usize] == needle {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Inequality (`!=`) selection restricted to a candidate list.
+pub fn select_ne_i32_cand(column: &[i32], candidates: &[Oid], needle: i32) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for &row in candidates {
+        if column[row as usize] != needle {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Union of two sorted candidate lists (`value IN (a, b)` style predicates).
+pub fn union_oids(a: &[Oid], b: &[Oid]) -> Vec<Oid> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Intersection of two sorted candidate lists (conjunction of independently
+/// evaluated predicates).
+pub fn intersect_oids(a: &[Oid], b: &[Oid]) -> Vec<Oid> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_selection_i32() {
+        let col = vec![5, 1, 9, 3, 7, 3];
+        assert_eq!(select_range_i32(&col, 3, 7), vec![0, 3, 4, 5]);
+        assert_eq!(select_range_i32(&col, 100, 200), Vec::<Oid>::new());
+        assert_eq!(select_range_i32(&col, i32::MIN, i32::MAX).len(), 6);
+    }
+
+    #[test]
+    fn range_selection_f32() {
+        let col = vec![0.5, 1.5, 2.5];
+        assert_eq!(select_range_f32(&col, 1.0, 2.0), vec![1]);
+        assert_eq!(select_range_f32(&col, 0.5, 2.5), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equality_selection() {
+        let col = vec![2, 3, 2, 2];
+        assert_eq!(select_eq_i32(&col, 2), vec![0, 2, 3]);
+        assert_eq!(select_eq_i32(&col, 9), Vec::<Oid>::new());
+    }
+
+    #[test]
+    fn candidate_restricted_selections() {
+        let col = vec![5, 1, 9, 3, 7, 3];
+        let cands = vec![0, 2, 3, 5];
+        assert_eq!(select_range_i32_cand(&col, &cands, 3, 7), vec![0, 3, 5]);
+        assert_eq!(select_eq_i32_cand(&col, &cands, 3), vec![3, 5]);
+        assert_eq!(select_ne_i32_cand(&col, &cands, 3), vec![0, 2]);
+        let reals = vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        assert_eq!(select_range_f32_cand(&reals, &cands, 0.25, 0.65), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = vec![1, 3, 5, 7];
+        let b = vec![2, 3, 6, 7, 9];
+        assert_eq!(union_oids(&a, &b), vec![1, 2, 3, 5, 6, 7, 9]);
+        assert_eq!(intersect_oids(&a, &b), vec![3, 7]);
+        assert_eq!(union_oids(&[], &b), b);
+        assert_eq!(intersect_oids(&a, &[]), Vec::<Oid>::new());
+    }
+
+    #[test]
+    fn empty_column() {
+        assert!(select_range_i32(&[], 0, 10).is_empty());
+        assert!(select_eq_i32(&[], 0).is_empty());
+    }
+}

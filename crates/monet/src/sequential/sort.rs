@@ -1,0 +1,84 @@
+//! Sequential sorting, "based on quick- and merge-sort" like MonetDB's sort
+//! (paper §5.2.7). Sorting returns both the sorted values and the
+//! permutation of OIDs that produces it, so dependent columns can be
+//! reordered with a fetch join.
+
+use ocelot_storage::Oid;
+
+/// Sorts an integer column ascending. Returns `(sorted_values, order)` where
+/// `order[i]` is the OID of the row that ended up at position `i`. The sort
+/// is stable, so equal keys keep their original relative order.
+pub fn sort_i32(column: &[i32]) -> (Vec<i32>, Vec<Oid>) {
+    let mut order: Vec<Oid> = (0..column.len() as u32).collect();
+    order.sort_by_key(|&oid| column[oid as usize]);
+    let sorted = order.iter().map(|&oid| column[oid as usize]).collect();
+    (sorted, order)
+}
+
+/// Sorts an integer column descending (stable).
+pub fn sort_i32_desc(column: &[i32]) -> (Vec<i32>, Vec<Oid>) {
+    let mut order: Vec<Oid> = (0..column.len() as u32).collect();
+    order.sort_by_key(|&oid| std::cmp::Reverse(column[oid as usize]));
+    let sorted = order.iter().map(|&oid| column[oid as usize]).collect();
+    (sorted, order)
+}
+
+/// Sorts a float column ascending using IEEE total ordering (stable).
+pub fn sort_f32(column: &[f32]) -> (Vec<f32>, Vec<Oid>) {
+    let mut order: Vec<Oid> = (0..column.len() as u32).collect();
+    order.sort_by(|&a, &b| column[a as usize].total_cmp(&column[b as usize]));
+    let sorted = order.iter().map(|&oid| column[oid as usize]).collect();
+    (sorted, order)
+}
+
+/// Sorts a float column descending (stable).
+pub fn sort_f32_desc(column: &[f32]) -> (Vec<f32>, Vec<Oid>) {
+    let mut order: Vec<Oid> = (0..column.len() as u32).collect();
+    order.sort_by(|&a, &b| column[b as usize].total_cmp(&column[a as usize]));
+    let sorted = order.iter().map(|&oid| column[oid as usize]).collect();
+    (sorted, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_integer_sort() {
+        let col = vec![5, -1, 3, 3, 0];
+        let (sorted, order) = sort_i32(&col);
+        assert_eq!(sorted, vec![-1, 0, 3, 3, 5]);
+        assert_eq!(order.len(), 5);
+        for (pos, oid) in order.iter().enumerate() {
+            assert_eq!(col[*oid as usize], sorted[pos]);
+        }
+    }
+
+    #[test]
+    fn descending_integer_sort() {
+        let (sorted, _) = sort_i32_desc(&[1, 9, 4]);
+        assert_eq!(sorted, vec![9, 4, 1]);
+    }
+
+    #[test]
+    fn stable_for_equal_keys() {
+        let col = vec![2, 1, 2, 1];
+        let (_, order) = sort_i32(&col);
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn float_sorts() {
+        let col = vec![0.5f32, -2.0, 10.0, 0.0];
+        let (asc, _) = sort_f32(&col);
+        assert_eq!(asc, vec![-2.0, 0.0, 0.5, 10.0]);
+        let (desc, _) = sort_f32_desc(&col);
+        assert_eq!(desc, vec![10.0, 0.5, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(sort_i32(&[]), (vec![], vec![]));
+        assert_eq!(sort_i32(&[7]), (vec![7], vec![0]));
+    }
+}

@@ -1,0 +1,269 @@
+//! 128-byte-aligned column storage.
+//!
+//! The paper had to modify MonetDB's memory management to return 128-byte
+//! aligned chunks because the Intel OpenCL SDK issues SSE loads that require
+//! it (§4.3). Column payloads in this reproduction are therefore stored in
+//! an [`AlignedVec`], a minimal growable buffer whose allocation is always
+//! aligned to [`COLUMN_ALIGNMENT`] bytes.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment (in bytes) of every column allocation.
+pub const COLUMN_ALIGNMENT: usize = 128;
+
+/// A growable, 128-byte-aligned buffer of `Copy` values.
+///
+/// Only the operations the column store needs are provided: construction
+/// from a slice or by repeated `push`, and `Deref` to a slice for reads.
+pub struct AlignedVec<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+    cap: usize,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively; T: Copy has no
+// interior mutability, so sharing and sending follow the same rules as Vec.
+unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy> AlignedVec<T> {
+    /// Creates an empty vector (no allocation).
+    pub fn new() -> Self {
+        AlignedVec { ptr: NonNull::dangling(), len: 0, cap: 0, _marker: PhantomData }
+    }
+
+    /// Creates a vector with at least `cap` elements of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut v = Self::new();
+        if cap > 0 {
+            v.grow_to(cap);
+        }
+        v
+    }
+
+    /// Creates a vector holding a copy of `values`.
+    pub fn from_slice(values: &[T]) -> Self {
+        let mut v = Self::with_capacity(values.len());
+        for value in values {
+            v.push(*value);
+        }
+        v
+    }
+
+    fn layout(cap: usize) -> Layout {
+        let bytes = cap * std::mem::size_of::<T>();
+        Layout::from_size_align(bytes.max(1), COLUMN_ALIGNMENT.max(std::mem::align_of::<T>()))
+            .expect("invalid aligned layout")
+    }
+
+    fn grow_to(&mut self, new_cap: usize) {
+        assert!(new_cap >= self.len);
+        let new_layout = Self::layout(new_cap);
+        // SAFETY: layout is non-zero-sized; the new allocation is copied
+        // from the old one before the old one is freed.
+        let new_ptr = unsafe { alloc_zeroed(new_layout) as *mut T };
+        let new_ptr = NonNull::new(new_ptr).expect("aligned allocation failed");
+        if self.cap > 0 {
+            unsafe {
+                std::ptr::copy_nonoverlapping(self.ptr.as_ptr(), new_ptr.as_ptr(), self.len);
+                dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap));
+            }
+        }
+        self.ptr = new_ptr;
+        self.cap = new_cap;
+    }
+
+    /// Appends a value, growing geometrically when needed.
+    pub fn push(&mut self, value: T) {
+        if self.len == self.cap {
+            let new_cap = if self.cap == 0 { 16 } else { self.cap * 2 };
+            self.grow_to(new_cap);
+        }
+        unsafe {
+            self.ptr.as_ptr().add(self.len).write(value);
+        }
+        self.len += 1;
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.len == 0 {
+            &[]
+        } else {
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.len == 0 {
+            &mut []
+        } else {
+            unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    /// The base address of the allocation (for alignment checks in tests).
+    pub fn base_address(&self) -> usize {
+        if self.cap == 0 {
+            0
+        } else {
+            self.ptr.as_ptr() as usize
+        }
+    }
+}
+
+impl<T: Copy> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            unsafe {
+                dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap));
+            }
+        }
+    }
+}
+
+impl<T: Copy> Default for AlignedVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> Deref for AlignedVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for AlignedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy> From<Vec<T>> for AlignedVec<T> {
+    fn from(values: Vec<T>) -> Self {
+        Self::from_slice(&values)
+    }
+}
+
+impl<T: Copy> FromIterator<T> for AlignedVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for value in iter {
+            v.push(value);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocations_are_128_byte_aligned() {
+        for n in [1usize, 5, 100, 10_000] {
+            let v: AlignedVec<i32> = (0..n as i32).collect();
+            assert_eq!(v.base_address() % COLUMN_ALIGNMENT, 0, "n={n}");
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut v = AlignedVec::new();
+        for i in 0..1000i32 {
+            v.push(i * 2);
+        }
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[999], 1998);
+        assert_eq!(v.as_slice().iter().copied().sum::<i32>(), (0..1000).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn empty_vector_is_safe() {
+        let v: AlignedVec<f32> = AlignedVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f32]);
+        let c = v.clone();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn from_slice_and_eq() {
+        let a = AlignedVec::from_slice(&[1, 2, 3]);
+        let b: AlignedVec<i32> = vec![1, 2, 3].into();
+        assert_eq!(a, b);
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v = AlignedVec::from_slice(&[1.0f32, 2.0, 3.0]);
+        v[1] = 9.0;
+        assert_eq!(v.as_slice(), &[1.0, 9.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_vec(values in proptest::collection::vec(any::<i32>(), 0..500)) {
+            let aligned = AlignedVec::from_slice(&values);
+            prop_assert_eq!(aligned.as_slice(), values.as_slice());
+            if !values.is_empty() {
+                prop_assert_eq!(aligned.base_address() % COLUMN_ALIGNMENT, 0);
+            }
+            let cloned = aligned.clone();
+            prop_assert_eq!(cloned.as_slice(), values.as_slice());
+        }
+
+        #[test]
+        fn push_grows_like_vec(values in proptest::collection::vec(any::<f32>(), 0..300)) {
+            let mut aligned = AlignedVec::new();
+            let mut reference = Vec::new();
+            for v in &values {
+                aligned.push(*v);
+                reference.push(*v);
+            }
+            prop_assert_eq!(aligned.len(), reference.len());
+            for (a, b) in aligned.iter().zip(reference.iter()) {
+                prop_assert!(a.to_bits() == b.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Binary Association Tables (BATs).
+//!
+//! MonetDB stores every column as a BAT: a two-column table whose *head*
+//! holds (virtual, dense) OIDs and whose *tail* holds the values. This
+//! reproduction models the common case the paper relies on — dense heads —
+//! so a [`Bat`] is simply a typed value array plus descriptor flags:
+//!
+//! * `sorted` — tail values are non-decreasing (lets the group-by operator
+//!   take its sorted fast path, §4.1.6),
+//! * `key`    — tail values are unique (lets joins skip the counting pass,
+//!   §4.1.5),
+//! * `ocelot_owned` — the flag the paper added to MonetDB's BAT descriptor
+//!   (§4.3): while set, the BAT's contents live in a device buffer managed
+//!   by Ocelot's Memory Manager and MonetDB must not touch it until an
+//!   explicit `sync` hands ownership back.
+
+use crate::alignment::AlignedVec;
+use crate::types::{ColumnType, Oid, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared handle to a BAT.
+pub type BatRef = Arc<Bat>;
+
+/// Typed tail storage of a BAT.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 32-bit integers (also dates and dictionary codes).
+    Int(AlignedVec<i32>),
+    /// 32-bit floats.
+    Real(AlignedVec<f32>),
+    /// Tuple identifiers.
+    Oid(AlignedVec<Oid>),
+}
+
+impl ColumnData {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Real(v) => v.len(),
+            ColumnData::Oid(v) => v.len(),
+        }
+    }
+
+    /// Whether the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A single column (BAT) with MonetDB-style descriptor flags.
+#[derive(Debug)]
+pub struct Bat {
+    name: String,
+    ty: ColumnType,
+    data: ColumnData,
+    sorted: bool,
+    key: bool,
+    ocelot_owned: AtomicBool,
+}
+
+impl Bat {
+    /// Creates an integer-typed BAT.
+    pub fn from_i32(name: &str, values: Vec<i32>) -> Bat {
+        Bat::from_i32_typed(name, values, ColumnType::Int)
+    }
+
+    /// Creates an integer-word BAT with an explicit logical type (`Int`,
+    /// `Date` or `StrCode`).
+    pub fn from_i32_typed(name: &str, values: Vec<i32>, ty: ColumnType) -> Bat {
+        assert!(
+            ty.is_integer_like() && ty != ColumnType::Oid,
+            "from_i32_typed requires an integer-word logical type"
+        );
+        Bat {
+            name: name.to_string(),
+            ty,
+            data: ColumnData::Int(AlignedVec::from_slice(&values)),
+            sorted: false,
+            key: false,
+            ocelot_owned: AtomicBool::new(false),
+        }
+    }
+
+    /// Creates a float-typed BAT.
+    pub fn from_f32(name: &str, values: Vec<f32>) -> Bat {
+        Bat {
+            name: name.to_string(),
+            ty: ColumnType::Real,
+            data: ColumnData::Real(AlignedVec::from_slice(&values)),
+            sorted: false,
+            key: false,
+            ocelot_owned: AtomicBool::new(false),
+        }
+    }
+
+    /// Creates an OID-typed BAT (e.g. a selection result or join index).
+    pub fn from_oids(name: &str, values: Vec<Oid>) -> Bat {
+        Bat {
+            name: name.to_string(),
+            ty: ColumnType::Oid,
+            data: ColumnData::Oid(AlignedVec::from_slice(&values)),
+            sorted: false,
+            key: false,
+            ocelot_owned: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the BAT as sorted (non-decreasing tail). Consumed by the
+    /// group-by operator's sorted fast path.
+    pub fn with_sorted(mut self, sorted: bool) -> Bat {
+        self.sorted = sorted;
+        self
+    }
+
+    /// Marks the BAT as a key column (unique tail values). Consumed by the
+    /// join operators to skip the result-counting pass.
+    pub fn with_key(mut self, key: bool) -> Bat {
+        self.key = key;
+        self
+    }
+
+    /// Wraps the BAT in the shared handle used across the engine.
+    pub fn into_ref(self) -> BatRef {
+        Arc::new(self)
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical column type.
+    pub fn column_type(&self) -> ColumnType {
+        self.ty
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the BAT holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether the tail is known to be sorted.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Whether the tail is known to hold unique values.
+    pub fn is_key(&self) -> bool {
+        self.key
+    }
+
+    /// The tail storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Integer view of the tail, if this is an integer-word column.
+    pub fn as_i32(&self) -> Option<&[i32]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Float view of the tail, if this is a real column.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match &self.data {
+            ColumnData::Real(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// OID view of the tail, if this is an OID column.
+    pub fn as_oid(&self) -> Option<&[Oid]> {
+        match &self.data {
+            ColumnData::Oid(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The value at position `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn value_at(&self, idx: usize) -> Value {
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[idx]),
+            ColumnData::Real(v) => Value::Real(v[idx]),
+            ColumnData::Oid(v) => Value::Oid(v[idx]),
+        }
+    }
+
+    /// Raw 32-bit word at position `idx` (bit pattern, regardless of type).
+    pub fn word_at(&self, idx: usize) -> u32 {
+        match &self.data {
+            ColumnData::Int(v) => v[idx] as u32,
+            ColumnData::Real(v) => v[idx].to_bits(),
+            ColumnData::Oid(v) => v[idx],
+        }
+    }
+
+    /// The whole tail as raw 32-bit words (used when uploading to a device
+    /// buffer).
+    pub fn to_words(&self) -> Vec<u32> {
+        (0..self.len()).map(|i| self.word_at(i)).collect()
+    }
+
+    /// Whether the BAT is currently owned by Ocelot (paper §3.4 / §4.3).
+    pub fn is_ocelot_owned(&self) -> bool {
+        self.ocelot_owned.load(Ordering::Acquire)
+    }
+
+    /// Transfers ownership to Ocelot.
+    pub fn set_ocelot_owned(&self, owned: bool) {
+        self.ocelot_owned.store(owned, Ordering::Release);
+    }
+}
+
+impl Clone for Bat {
+    fn clone(&self) -> Self {
+        Bat {
+            name: self.name.clone(),
+            ty: self.ty,
+            data: self.data.clone(),
+            sorted: self.sorted,
+            key: self.key,
+            ocelot_owned: AtomicBool::new(self.is_ocelot_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_constructors_and_views() {
+        let ints = Bat::from_i32("a", vec![3, 1, 2]);
+        assert_eq!(ints.column_type(), ColumnType::Int);
+        assert_eq!(ints.as_i32(), Some(&[3, 1, 2][..]));
+        assert!(ints.as_f32().is_none());
+        assert_eq!(ints.len(), 3);
+
+        let reals = Bat::from_f32("b", vec![1.5, 2.5]);
+        assert_eq!(reals.column_type(), ColumnType::Real);
+        assert_eq!(reals.as_f32(), Some(&[1.5, 2.5][..]));
+
+        let oids = Bat::from_oids("c", vec![0, 1, 2, 3]);
+        assert_eq!(oids.column_type(), ColumnType::Oid);
+        assert_eq!(oids.as_oid(), Some(&[0, 1, 2, 3][..]));
+    }
+
+    #[test]
+    fn values_and_words() {
+        let bat = Bat::from_f32("x", vec![1.0, -2.0]);
+        assert_eq!(bat.value_at(0), Value::Real(1.0));
+        assert_eq!(bat.word_at(1), (-2.0f32).to_bits());
+        assert_eq!(bat.to_words().len(), 2);
+
+        let ints = Bat::from_i32("y", vec![-1]);
+        assert_eq!(ints.word_at(0), (-1i32) as u32);
+        assert_eq!(ints.value_at(0), Value::Int(-1));
+    }
+
+    #[test]
+    fn descriptor_flags() {
+        let bat = Bat::from_i32("a", vec![1, 2, 3]).with_sorted(true).with_key(true);
+        assert!(bat.is_sorted());
+        assert!(bat.is_key());
+        assert!(!bat.is_ocelot_owned());
+        bat.set_ocelot_owned(true);
+        assert!(bat.is_ocelot_owned());
+        bat.set_ocelot_owned(false);
+        assert!(!bat.is_ocelot_owned());
+    }
+
+    #[test]
+    fn date_and_strcode_logical_types() {
+        let dates = Bat::from_i32_typed("d", vec![100, 200], ColumnType::Date);
+        assert_eq!(dates.column_type(), ColumnType::Date);
+        let codes = Bat::from_i32_typed("s", vec![0, 1, 0], ColumnType::StrCode);
+        assert_eq!(codes.column_type(), ColumnType::StrCode);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer-word logical type")]
+    fn real_logical_type_rejected_for_i32_storage() {
+        Bat::from_i32_typed("bad", vec![1], ColumnType::Real);
+    }
+
+    #[test]
+    fn clone_preserves_flags() {
+        let bat = Bat::from_i32("a", vec![1]).with_sorted(true);
+        bat.set_ocelot_owned(true);
+        let copy = bat.clone();
+        assert!(copy.is_sorted());
+        assert!(copy.is_ocelot_owned());
+        assert_eq!(copy.as_i32(), Some(&[1][..]));
+    }
+
+    #[test]
+    fn empty_bat() {
+        let bat = Bat::from_i32("empty", vec![]);
+        assert!(bat.is_empty());
+        assert_eq!(bat.to_words(), Vec::<u32>::new());
+    }
+}

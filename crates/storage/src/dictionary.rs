@@ -1,0 +1,131 @@
+//! Dictionary encoding for string columns.
+//!
+//! Ocelot "does not support operations on strings beside equality
+//! comparisons" (Appendix A). Equality on strings is therefore implemented
+//! by dictionary-encoding every string column into 32-bit codes: two values
+//! are equal iff their codes are equal. Codes carry no order, which is
+//! exactly the restriction the paper works under (no `LIKE`, no string
+//! sorting, no substring).
+
+use std::collections::HashMap;
+
+/// A bidirectional mapping between strings and dense 32-bit codes.
+#[derive(Debug, Default, Clone)]
+pub struct StringDictionary {
+    values: Vec<String>,
+    index: HashMap<String, i32>,
+}
+
+impl StringDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        StringDictionary::default()
+    }
+
+    /// Returns the code for `value`, inserting it if it is new.
+    pub fn encode(&mut self, value: &str) -> i32 {
+        if let Some(code) = self.index.get(value) {
+            return *code;
+        }
+        let code = self.values.len() as i32;
+        self.values.push(value.to_string());
+        self.index.insert(value.to_string(), code);
+        code
+    }
+
+    /// Encodes a whole column.
+    pub fn encode_all<I, S>(&mut self, values: I) -> Vec<i32>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        values.into_iter().map(|v| self.encode(v.as_ref())).collect()
+    }
+
+    /// Returns the code for `value` if it has been seen before.
+    ///
+    /// Query predicates use this: an equality selection against a string
+    /// literal that is not in the dictionary matches nothing.
+    pub fn lookup(&self, value: &str) -> Option<i32> {
+        self.index.get(value).copied()
+    }
+
+    /// Returns the string for `code`, if valid.
+    pub fn decode(&self, code: i32) -> Option<&str> {
+        if code < 0 {
+            return None;
+        }
+        self.values.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct strings in the dictionary.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_is_stable_and_dense() {
+        let mut dict = StringDictionary::new();
+        let a = dict.encode("GERMANY");
+        let b = dict.encode("FRANCE");
+        let a2 = dict.encode("GERMANY");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(dict.len(), 2);
+        assert_eq!(dict.decode(a), Some("GERMANY"));
+        assert_eq!(dict.decode(b), Some("FRANCE"));
+    }
+
+    #[test]
+    fn lookup_without_insert() {
+        let mut dict = StringDictionary::new();
+        dict.encode("AIR");
+        assert_eq!(dict.lookup("AIR"), Some(0));
+        assert_eq!(dict.lookup("TRUCK"), None);
+        assert_eq!(dict.len(), 1, "lookup must not insert");
+    }
+
+    #[test]
+    fn decode_out_of_range() {
+        let dict = StringDictionary::new();
+        assert_eq!(dict.decode(0), None);
+        assert_eq!(dict.decode(-1), None);
+        assert!(dict.is_empty());
+    }
+
+    #[test]
+    fn encode_all_matches_individual_encoding() {
+        let mut dict = StringDictionary::new();
+        let codes = dict.encode_all(["a", "b", "a", "c", "b"]);
+        assert_eq!(codes, vec![0, 1, 0, 2, 1]);
+        assert_eq!(dict.len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn equality_preserved_by_codes(values in proptest::collection::vec("[A-Z]{1,8}", 1..50)) {
+            let mut dict = StringDictionary::new();
+            let codes = dict.encode_all(&values);
+            for i in 0..values.len() {
+                for j in 0..values.len() {
+                    prop_assert_eq!(values[i] == values[j], codes[i] == codes[j]);
+                }
+            }
+            // Decoding every code yields the original string.
+            for (value, code) in values.iter().zip(codes.iter()) {
+                prop_assert_eq!(dict.decode(*code), Some(value.as_str()));
+            }
+        }
+    }
+}

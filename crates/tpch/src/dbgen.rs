@@ -1,0 +1,536 @@
+//! Deterministic TPC-H-style data generator for the modified schema.
+//!
+//! The generator reproduces the *shape* of TPC-H data — the table
+//! cardinality ratios, the PK/FK relationships, the value domains and the
+//! date ranges the queries filter on — with a seeded pseudo-random number
+//! generator. It is not the official `dbgen` (no text corpus, no V2
+//! comments), but every column the fourteen evaluated queries touch is
+//! present with realistic distributions, which is what the performance
+//! comparison needs.
+//!
+//! Scale: at scale factor 1.0 the generator would produce the official row
+//! counts (6 M lineitems). Benchmarks use fractional scale factors; row
+//! counts scale linearly with a floor that keeps the dimension tables
+//! non-degenerate.
+
+use ocelot_storage::types::date_to_days;
+use ocelot_storage::{Bat, Catalog, ColumnType, StringDictionary, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// TPC-H scale factor (1.0 = official row counts; benchmarks use
+    /// fractions such as 0.01).
+    pub scale_factor: f64,
+    /// RNG seed; equal seeds produce identical databases.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { scale_factor: 0.01, seed: 42 }
+    }
+}
+
+impl TpchConfig {
+    /// Convenience constructor.
+    pub fn new(scale_factor: f64) -> TpchConfig {
+        TpchConfig { scale_factor, ..Default::default() }
+    }
+}
+
+/// A generated TPC-H database: the catalog plus the dictionaries used to
+/// encode its string columns.
+#[derive(Debug, Clone)]
+pub struct TpchDb {
+    catalog: Catalog,
+    config: TpchConfig,
+}
+
+const NATIONS: [(&str, i32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const SHIPINSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const RETURNFLAGS: [&str; 3] = ["R", "A", "N"];
+const LINESTATUS: [&str; 2] = ["O", "F"];
+const BRANDS: [&str; 25] = [
+    "Brand#11", "Brand#12", "Brand#13", "Brand#14", "Brand#15", "Brand#21", "Brand#22",
+    "Brand#23", "Brand#24", "Brand#25", "Brand#31", "Brand#32", "Brand#33", "Brand#34",
+    "Brand#35", "Brand#41", "Brand#42", "Brand#43", "Brand#44", "Brand#45", "Brand#51",
+    "Brand#52", "Brand#53", "Brand#54", "Brand#55",
+];
+const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "MED PKG", "LG BOX",
+];
+const TYPES: [&str; 6] = [
+    "ECONOMY ANODIZED STEEL",
+    "STANDARD POLISHED TIN",
+    "PROMO BURNISHED COPPER",
+    "SMALL PLATED BRASS",
+    "LARGE BRUSHED NICKEL",
+    "MEDIUM ANODIZED COPPER",
+];
+
+fn scaled(base: usize, sf: f64, min: usize) -> usize {
+    ((base as f64 * sf).round() as usize).max(min)
+}
+
+impl TpchDb {
+    /// Generates a database for the given configuration.
+    pub fn generate(config: TpchConfig) -> TpchDb {
+        let sf = config.scale_factor;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut catalog = Catalog::new();
+
+        let num_suppliers = scaled(10_000, sf, 20);
+        let num_customers = scaled(150_000, sf, 50);
+        let num_parts = scaled(200_000, sf, 50);
+        let num_orders = scaled(1_500_000, sf, 200);
+        let num_partsupp = num_parts * 4;
+
+        // ---- region ----
+        let mut region_dict = StringDictionary::new();
+        let r_name: Vec<i32> = REGIONS.iter().map(|r| region_dict.encode(r)).collect();
+        let region = Table::new("region")
+            .with_column(
+                "r_regionkey",
+                Bat::from_i32("r_regionkey", (0..5).collect()).with_key(true).into_ref(),
+            )
+            .with_column(
+                "r_name",
+                Bat::from_i32_typed("r_name", r_name, ColumnType::StrCode).into_ref(),
+            );
+        catalog.add_table(region);
+        catalog.add_dictionary("region", "r_name", region_dict);
+
+        // ---- nation ----
+        let mut nation_dict = StringDictionary::new();
+        let n_name: Vec<i32> = NATIONS.iter().map(|(n, _)| nation_dict.encode(n)).collect();
+        let n_regionkey: Vec<i32> = NATIONS.iter().map(|(_, r)| *r).collect();
+        let nation = Table::new("nation")
+            .with_column(
+                "n_nationkey",
+                Bat::from_i32("n_nationkey", (0..25).collect()).with_key(true).into_ref(),
+            )
+            .with_column(
+                "n_name",
+                Bat::from_i32_typed("n_name", n_name, ColumnType::StrCode).into_ref(),
+            )
+            .with_column("n_regionkey", Bat::from_i32("n_regionkey", n_regionkey).into_ref());
+        catalog.add_table(nation);
+        catalog.add_dictionary("nation", "n_name", nation_dict);
+
+        // ---- supplier ----
+        let mut supplier_name_dict = StringDictionary::new();
+        let s_name: Vec<i32> = (0..num_suppliers)
+            .map(|i| supplier_name_dict.encode(&format!("Supplier#{i:09}")))
+            .collect();
+        let s_nationkey: Vec<i32> = (0..num_suppliers).map(|_| rng.gen_range(0..25)).collect();
+        let supplier = Table::new("supplier")
+            .with_column(
+                "s_suppkey",
+                Bat::from_i32("s_suppkey", (0..num_suppliers as i32).collect())
+                    .with_key(true)
+                    .into_ref(),
+            )
+            .with_column(
+                "s_name",
+                Bat::from_i32_typed("s_name", s_name, ColumnType::StrCode).into_ref(),
+            )
+            .with_column("s_nationkey", Bat::from_i32("s_nationkey", s_nationkey.clone()).into_ref());
+        catalog.add_table(supplier);
+        catalog.add_dictionary("supplier", "s_name", supplier_name_dict);
+
+        // ---- customer ----
+        let mut segment_dict = StringDictionary::new();
+        let c_mktsegment: Vec<i32> = (0..num_customers)
+            .map(|_| segment_dict.encode(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]))
+            .collect();
+        let c_nationkey: Vec<i32> = (0..num_customers).map(|_| rng.gen_range(0..25)).collect();
+        let c_acctbal: Vec<f32> =
+            (0..num_customers).map(|_| rng.gen_range(-999.99..9999.99)).collect();
+        let customer = Table::new("customer")
+            .with_column(
+                "c_custkey",
+                Bat::from_i32("c_custkey", (0..num_customers as i32).collect())
+                    .with_key(true)
+                    .into_ref(),
+            )
+            .with_column(
+                "c_mktsegment",
+                Bat::from_i32_typed("c_mktsegment", c_mktsegment, ColumnType::StrCode).into_ref(),
+            )
+            .with_column("c_nationkey", Bat::from_i32("c_nationkey", c_nationkey).into_ref())
+            .with_column("c_acctbal", Bat::from_f32("c_acctbal", c_acctbal).into_ref());
+        catalog.add_table(customer);
+        catalog.add_dictionary("customer", "c_mktsegment", segment_dict);
+
+        // ---- part ----
+        let mut brand_dict = StringDictionary::new();
+        let mut container_dict = StringDictionary::new();
+        let mut type_dict = StringDictionary::new();
+        let p_brand: Vec<i32> = (0..num_parts)
+            .map(|_| brand_dict.encode(BRANDS[rng.gen_range(0..BRANDS.len())]))
+            .collect();
+        let p_container: Vec<i32> = (0..num_parts)
+            .map(|_| container_dict.encode(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]))
+            .collect();
+        let p_type: Vec<i32> = (0..num_parts)
+            .map(|_| type_dict.encode(TYPES[rng.gen_range(0..TYPES.len())]))
+            .collect();
+        let p_size: Vec<i32> = (0..num_parts).map(|_| rng.gen_range(1..=50)).collect();
+        let p_retailprice: Vec<f32> =
+            (0..num_parts).map(|_| rng.gen_range(900.0..2100.0)).collect();
+        let part = Table::new("part")
+            .with_column(
+                "p_partkey",
+                Bat::from_i32("p_partkey", (0..num_parts as i32).collect())
+                    .with_key(true)
+                    .into_ref(),
+            )
+            .with_column(
+                "p_brand",
+                Bat::from_i32_typed("p_brand", p_brand, ColumnType::StrCode).into_ref(),
+            )
+            .with_column(
+                "p_container",
+                Bat::from_i32_typed("p_container", p_container, ColumnType::StrCode).into_ref(),
+            )
+            .with_column(
+                "p_type",
+                Bat::from_i32_typed("p_type", p_type, ColumnType::StrCode).into_ref(),
+            )
+            .with_column("p_size", Bat::from_i32("p_size", p_size).into_ref())
+            .with_column("p_retailprice", Bat::from_f32("p_retailprice", p_retailprice).into_ref());
+        catalog.add_table(part);
+        catalog.add_dictionary("part", "p_brand", brand_dict);
+        catalog.add_dictionary("part", "p_container", container_dict);
+        catalog.add_dictionary("part", "p_type", type_dict);
+
+        // ---- partsupp ----
+        let ps_partkey: Vec<i32> =
+            (0..num_partsupp).map(|i| (i / 4) as i32).collect();
+        let ps_suppkey: Vec<i32> =
+            (0..num_partsupp).map(|_| rng.gen_range(0..num_suppliers as i32)).collect();
+        let ps_supplycost: Vec<f32> =
+            (0..num_partsupp).map(|_| rng.gen_range(1.0..1000.0)).collect();
+        let ps_availqty: Vec<f32> =
+            (0..num_partsupp).map(|_| rng.gen_range(1.0..9999.0)).collect();
+        let partsupp = Table::new("partsupp")
+            .with_column("ps_partkey", Bat::from_i32("ps_partkey", ps_partkey).into_ref())
+            .with_column("ps_suppkey", Bat::from_i32("ps_suppkey", ps_suppkey).into_ref())
+            .with_column("ps_supplycost", Bat::from_f32("ps_supplycost", ps_supplycost).into_ref())
+            .with_column("ps_availqty", Bat::from_f32("ps_availqty", ps_availqty).into_ref());
+        catalog.add_table(partsupp);
+
+        // ---- orders ----
+        let start_date = date_to_days(1992, 1, 1);
+        let end_date = date_to_days(1998, 8, 2);
+        let mut priority_dict = StringDictionary::new();
+        let mut status_dict = StringDictionary::new();
+        let o_custkey: Vec<i32> =
+            (0..num_orders).map(|_| rng.gen_range(0..num_customers as i32)).collect();
+        let o_orderdate: Vec<i32> =
+            (0..num_orders).map(|_| rng.gen_range(start_date..=end_date)).collect();
+        let o_orderpriority: Vec<i32> = (0..num_orders)
+            .map(|_| priority_dict.encode(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]))
+            .collect();
+        let o_orderstatus: Vec<i32> = (0..num_orders)
+            .map(|i| {
+                // Roughly half the orders are fully shipped ('F').
+                let status = if i % 2 == 0 { "F" } else { "O" };
+                status_dict.encode(status)
+            })
+            .collect();
+        let o_shippriority: Vec<i32> = vec![0; num_orders];
+        let orders = Table::new("orders")
+            .with_column(
+                "o_orderkey",
+                Bat::from_i32("o_orderkey", (0..num_orders as i32).collect())
+                    .with_key(true)
+                    .into_ref(),
+            )
+            .with_column("o_custkey", Bat::from_i32("o_custkey", o_custkey).into_ref())
+            .with_column(
+                "o_orderdate",
+                Bat::from_i32_typed("o_orderdate", o_orderdate.clone(), ColumnType::Date).into_ref(),
+            )
+            .with_column(
+                "o_orderpriority",
+                Bat::from_i32_typed("o_orderpriority", o_orderpriority, ColumnType::StrCode)
+                    .into_ref(),
+            )
+            .with_column(
+                "o_orderstatus",
+                Bat::from_i32_typed("o_orderstatus", o_orderstatus, ColumnType::StrCode).into_ref(),
+            )
+            .with_column("o_shippriority", Bat::from_i32("o_shippriority", o_shippriority).into_ref());
+        catalog.add_table(orders);
+        catalog.add_dictionary("orders", "o_orderpriority", priority_dict);
+        catalog.add_dictionary("orders", "o_orderstatus", status_dict);
+
+        // ---- lineitem ----
+        let mut shipmode_dict = StringDictionary::new();
+        let mut instruct_dict = StringDictionary::new();
+        let mut returnflag_dict = StringDictionary::new();
+        let mut linestatus_dict = StringDictionary::new();
+        let mut l_orderkey = Vec::new();
+        let mut l_partkey = Vec::new();
+        let mut l_suppkey = Vec::new();
+        let mut l_quantity = Vec::new();
+        let mut l_extendedprice = Vec::new();
+        let mut l_discount = Vec::new();
+        let mut l_tax = Vec::new();
+        let mut l_returnflag = Vec::new();
+        let mut l_linestatus = Vec::new();
+        let mut l_shipdate = Vec::new();
+        let mut l_commitdate = Vec::new();
+        let mut l_receiptdate = Vec::new();
+        let mut l_shipmode = Vec::new();
+        let mut l_shipinstruct = Vec::new();
+        for order in 0..num_orders {
+            let lines = rng.gen_range(1..=7);
+            for _ in 0..lines {
+                l_orderkey.push(order as i32);
+                l_partkey.push(rng.gen_range(0..num_parts as i32));
+                l_suppkey.push(rng.gen_range(0..num_suppliers as i32));
+                l_quantity.push(rng.gen_range(1..=50) as f32);
+                l_extendedprice.push(rng.gen_range(900.0..105_000.0f32));
+                l_discount.push((rng.gen_range(0..=10) as f32) / 100.0);
+                l_tax.push((rng.gen_range(0..=8) as f32) / 100.0);
+                l_returnflag
+                    .push(returnflag_dict.encode(RETURNFLAGS[rng.gen_range(0..RETURNFLAGS.len())]));
+                l_linestatus
+                    .push(linestatus_dict.encode(LINESTATUS[rng.gen_range(0..LINESTATUS.len())]));
+                let ship = o_orderdate[order] + rng.gen_range(1..=121);
+                let commit = ship + rng.gen_range(-30..=30);
+                let receipt = ship + rng.gen_range(1..=30);
+                l_shipdate.push(ship);
+                l_commitdate.push(commit);
+                l_receiptdate.push(receipt);
+                l_shipmode.push(shipmode_dict.encode(SHIPMODES[rng.gen_range(0..SHIPMODES.len())]));
+                l_shipinstruct
+                    .push(instruct_dict.encode(SHIPINSTRUCT[rng.gen_range(0..SHIPINSTRUCT.len())]));
+            }
+        }
+        let lineitem = Table::new("lineitem")
+            .with_column("l_orderkey", Bat::from_i32("l_orderkey", l_orderkey).into_ref())
+            .with_column("l_partkey", Bat::from_i32("l_partkey", l_partkey).into_ref())
+            .with_column("l_suppkey", Bat::from_i32("l_suppkey", l_suppkey).into_ref())
+            .with_column("l_quantity", Bat::from_f32("l_quantity", l_quantity).into_ref())
+            .with_column(
+                "l_extendedprice",
+                Bat::from_f32("l_extendedprice", l_extendedprice).into_ref(),
+            )
+            .with_column("l_discount", Bat::from_f32("l_discount", l_discount).into_ref())
+            .with_column("l_tax", Bat::from_f32("l_tax", l_tax).into_ref())
+            .with_column(
+                "l_returnflag",
+                Bat::from_i32_typed("l_returnflag", l_returnflag, ColumnType::StrCode).into_ref(),
+            )
+            .with_column(
+                "l_linestatus",
+                Bat::from_i32_typed("l_linestatus", l_linestatus, ColumnType::StrCode).into_ref(),
+            )
+            .with_column(
+                "l_shipdate",
+                Bat::from_i32_typed("l_shipdate", l_shipdate, ColumnType::Date).into_ref(),
+            )
+            .with_column(
+                "l_commitdate",
+                Bat::from_i32_typed("l_commitdate", l_commitdate, ColumnType::Date).into_ref(),
+            )
+            .with_column(
+                "l_receiptdate",
+                Bat::from_i32_typed("l_receiptdate", l_receiptdate, ColumnType::Date).into_ref(),
+            )
+            .with_column(
+                "l_shipmode",
+                Bat::from_i32_typed("l_shipmode", l_shipmode, ColumnType::StrCode).into_ref(),
+            )
+            .with_column(
+                "l_shipinstruct",
+                Bat::from_i32_typed("l_shipinstruct", l_shipinstruct, ColumnType::StrCode)
+                    .into_ref(),
+            );
+        catalog.add_table(lineitem);
+        catalog.add_dictionary("lineitem", "l_shipmode", shipmode_dict);
+        catalog.add_dictionary("lineitem", "l_shipinstruct", instruct_dict);
+        catalog.add_dictionary("lineitem", "l_returnflag", returnflag_dict);
+        catalog.add_dictionary("lineitem", "l_linestatus", linestatus_dict);
+
+        TpchDb { catalog, config }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The generator configuration this database was built with.
+    pub fn config(&self) -> &TpchConfig {
+        &self.config
+    }
+
+    /// Convenience accessor for a column BAT. Panics on unknown columns (a
+    /// query referencing a missing column is a programming error).
+    pub fn col(&self, table: &str, column: &str) -> &ocelot_storage::BatRef {
+        self.catalog
+            .column(table, column)
+            .unwrap_or_else(|| panic!("unknown column {table}.{column}"))
+    }
+
+    /// The dictionary code of a string literal in `table.column`, or a
+    /// sentinel that matches nothing when the literal never occurs.
+    pub fn code(&self, table: &str, column: &str, literal: &str) -> i32 {
+        self.catalog.encode_literal(table, column, literal).unwrap_or(i32::MIN + 1)
+    }
+
+    /// Decodes a dictionary code back to its string (for result rendering).
+    pub fn decode(&self, table: &str, column: &str, code: i32) -> String {
+        self.catalog
+            .dictionary(table, column)
+            .and_then(|d| d.decode(code))
+            .unwrap_or("<unknown>")
+            .to_string()
+    }
+
+    /// Total payload bytes across the database (the "input size" axis of the
+    /// scaling experiments).
+    pub fn payload_bytes(&self) -> usize {
+        self.catalog.payload_bytes()
+    }
+
+    /// Number of lineitem rows (the dominant table).
+    pub fn lineitem_rows(&self) -> usize {
+        self.catalog.table("lineitem").map(|t| t.row_count()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchDb::generate(TpchConfig { scale_factor: 0.002, seed: 7 });
+        let b = TpchDb::generate(TpchConfig { scale_factor: 0.002, seed: 7 });
+        assert_eq!(a.lineitem_rows(), b.lineitem_rows());
+        assert_eq!(
+            a.col("lineitem", "l_extendedprice").as_f32().unwrap()[..50],
+            b.col("lineitem", "l_extendedprice").as_f32().unwrap()[..50]
+        );
+        let c = TpchDb::generate(TpchConfig { scale_factor: 0.002, seed: 8 });
+        assert_ne!(
+            a.col("lineitem", "l_extendedprice").as_f32().unwrap()[..50],
+            c.col("lineitem", "l_extendedprice").as_f32().unwrap()[..50]
+        );
+    }
+
+    #[test]
+    fn schema_has_all_query_columns() {
+        let db = TpchDb::generate(TpchConfig::new(0.001));
+        for (table, column) in [
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_shipdate"),
+            ("lineitem", "l_discount"),
+            ("lineitem", "l_shipmode"),
+            ("orders", "o_orderdate"),
+            ("orders", "o_orderpriority"),
+            ("customer", "c_mktsegment"),
+            ("supplier", "s_nationkey"),
+            ("nation", "n_name"),
+            ("region", "r_name"),
+            ("part", "p_brand"),
+            ("partsupp", "ps_supplycost"),
+        ] {
+            assert!(db.catalog().column(table, column).is_some(), "{table}.{column}");
+        }
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_rows() {
+        let db = TpchDb::generate(TpchConfig::new(0.002));
+        let num_orders = db.col("orders", "o_orderkey").len() as i32;
+        let num_parts = db.col("part", "p_partkey").len() as i32;
+        let num_suppliers = db.col("supplier", "s_suppkey").len() as i32;
+        let num_customers = db.col("customer", "c_custkey").len() as i32;
+        for &fk in db.col("lineitem", "l_orderkey").as_i32().unwrap() {
+            assert!(fk >= 0 && fk < num_orders);
+        }
+        for &fk in db.col("lineitem", "l_partkey").as_i32().unwrap() {
+            assert!(fk >= 0 && fk < num_parts);
+        }
+        for &fk in db.col("lineitem", "l_suppkey").as_i32().unwrap() {
+            assert!(fk >= 0 && fk < num_suppliers);
+        }
+        for &fk in db.col("orders", "o_custkey").as_i32().unwrap() {
+            assert!(fk >= 0 && fk < num_customers);
+        }
+    }
+
+    #[test]
+    fn scale_factor_controls_row_counts() {
+        let small = TpchDb::generate(TpchConfig::new(0.001));
+        let large = TpchDb::generate(TpchConfig::new(0.004));
+        assert!(large.lineitem_rows() > 2 * small.lineitem_rows());
+        assert!(large.payload_bytes() > small.payload_bytes());
+    }
+
+    #[test]
+    fn string_literals_resolve_to_codes() {
+        let db = TpchDb::generate(TpchConfig::new(0.002));
+        let code = db.code("customer", "c_mktsegment", "BUILDING");
+        assert!(code >= 0);
+        assert_eq!(db.decode("customer", "c_mktsegment", code), "BUILDING");
+        // Unknown literals resolve to a sentinel that matches nothing.
+        let missing = db.code("customer", "c_mktsegment", "NOT A SEGMENT");
+        assert!(!db
+            .col("customer", "c_mktsegment")
+            .as_i32()
+            .unwrap()
+            .iter()
+            .any(|c| *c == missing));
+    }
+
+    #[test]
+    fn date_ranges_match_tpch() {
+        let db = TpchDb::generate(TpchConfig::new(0.002));
+        let lo = date_to_days(1992, 1, 1);
+        let hi = date_to_days(1998, 12, 31);
+        for &d in db.col("orders", "o_orderdate").as_i32().unwrap() {
+            assert!(d >= lo && d <= hi);
+        }
+    }
+}

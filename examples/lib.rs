@@ -1,0 +1,1 @@
+//! examples helper lib (intentionally empty)
