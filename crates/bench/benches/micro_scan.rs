@@ -1,0 +1,13 @@
+//! Prefix-sum (scan) micro-benchmark: per-element atomic access vs the
+//! tier-2 slice path across all three scan phases.
+//!
+//! Run with `cargo bench --bench micro_scan`. For the consolidated
+//! `BENCH_pr1.json` report use the `bench_pr1` binary.
+
+use ocelot_bench::access_path;
+use ocelot_bench::harness::Report;
+
+fn main() {
+    let mut report = Report::new();
+    access_path::bench_scan(&mut report);
+}

@@ -1,1 +1,14 @@
-fn main() {}
+//! Selection micro-benchmark (paper Figure 5a/5b axis): per-element atomic
+//! access vs the tier-2 slice path, plus the gather used by the fetch join.
+//!
+//! Run with `cargo bench --bench micro_select`. For the consolidated
+//! `BENCH_pr1.json` report use the `bench_pr1` binary.
+
+use ocelot_bench::access_path;
+use ocelot_bench::harness::Report;
+
+fn main() {
+    let mut report = Report::new();
+    access_path::bench_select(&mut report);
+    access_path::bench_gather(&mut report);
+}

@@ -1,0 +1,18 @@
+//! Emits `BENCH_pr1.json`: the consolidated access-path micro-benchmark
+//! report for PR 1 (select, scan and gather kernels, atomic per-element
+//! baseline vs tier-2 slice path).
+//!
+//! Usage: `cargo run --release --bin bench_pr1 [output-path]`
+
+use ocelot_bench::access_path;
+use ocelot_bench::harness::Report;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr1.json".to_string());
+    let mut report = Report::new();
+    access_path::bench_select(&mut report);
+    access_path::bench_scan(&mut report);
+    access_path::bench_gather(&mut report);
+    report.write_json(&path).expect("failed to write benchmark report");
+    println!("wrote {path}");
+}

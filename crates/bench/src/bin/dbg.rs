@@ -1,5 +1,5 @@
-use ocelot_core::{OcelotContext};
-use ocelot_core::ops::{groupby, select, project};
+use ocelot_core::ops::{groupby, project, select};
+use ocelot_core::OcelotContext;
 fn main() {
     for ctx in [OcelotContext::cpu(), OcelotContext::gpu(), OcelotContext::cpu_sequential()] {
         let a: Vec<i32> = (0..2000).map(|i| i % 100).collect();
@@ -11,7 +11,12 @@ fn main() {
         let c_sel = project::fetch_join(&ctx, &cc, &sel).unwrap();
         let vals = ctx.download_i32(&c_sel).unwrap();
         let distinct: std::collections::HashSet<i32> = vals.iter().copied().collect();
-        println!("{:?} sel_len={} c_sel distinct={}", ctx.device().info().kind, sel.len, distinct.len());
+        println!(
+            "{:?} sel_len={} c_sel distinct={}",
+            ctx.device().info().kind,
+            sel.len,
+            distinct.len()
+        );
         for hint in [7, 600, 1024] {
             let g = groupby::group_by_hash(&ctx, &c_sel, hint).unwrap();
             println!("   hint={} num_groups={}", hint, g.num_groups);

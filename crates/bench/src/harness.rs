@@ -1,0 +1,214 @@
+//! A criterion-free micro-benchmark harness.
+//!
+//! Each measurement runs a closure over a fixed element count with warm-up
+//! iterations, takes the median of several timed samples (robust against
+//! scheduler noise), and reports throughput in million elements per second.
+//! Reports can be serialised to a JSON file without any external
+//! dependencies — the driver scripts consume `BENCH_pr1.json` produced this
+//! way.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name, e.g. `select/atomic`.
+    pub name: String,
+    /// Elements processed per iteration.
+    pub elements: usize,
+    /// Fastest observed nanoseconds per iteration (the throughput basis:
+    /// external noise only ever *adds* time, so the minimum is the most
+    /// robust estimate of the code's own cost).
+    pub min_ns: u64,
+    /// Median nanoseconds per iteration (reported for context).
+    pub median_ns: u64,
+    /// Throughput in million elements per second, from `min_ns`.
+    pub meps: f64,
+}
+
+/// Times `body` over `elements` items: `warmup` unmeasured runs, then
+/// `samples` timed runs summarised as min/median. `body` must consume its
+/// input and produce an observable value so the optimiser cannot elide the
+/// work.
+pub fn measure<T>(
+    name: &str,
+    elements: usize,
+    warmup: usize,
+    samples: usize,
+    mut body: impl FnMut() -> T,
+) -> Measurement {
+    for _ in 0..warmup {
+        black_box(body());
+    }
+    let mut times: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(body());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    let min_ns = times[0].max(1);
+    let median_ns = times[times.len() / 2].max(1);
+    let meps = elements as f64 / (min_ns as f64 / 1e9) / 1e6;
+    Measurement { name: name.to_string(), elements, min_ns, median_ns, meps }
+}
+
+/// Times two bodies over the same work with *interleaved* samples
+/// (A, B, A, B, …): machine-load drift during the run then shifts both
+/// measurements equally instead of biasing whichever ran later. This is the
+/// right primitive for head-to-head comparisons like atomic-vs-slice.
+pub fn measure_pair<A, B>(
+    name_a: &str,
+    name_b: &str,
+    elements: usize,
+    warmup: usize,
+    samples: usize,
+    mut body_a: impl FnMut() -> A,
+    mut body_b: impl FnMut() -> B,
+) -> (Measurement, Measurement) {
+    for _ in 0..warmup {
+        black_box(body_a());
+        black_box(body_b());
+    }
+    let mut times_a: Vec<u64> = Vec::with_capacity(samples);
+    let mut times_b: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        black_box(body_a());
+        times_a.push(start.elapsed().as_nanos() as u64);
+        let start = Instant::now();
+        black_box(body_b());
+        times_b.push(start.elapsed().as_nanos() as u64);
+    }
+    let summarise = |name: &str, mut times: Vec<u64>| {
+        times.sort_unstable();
+        let min_ns = times[0].max(1);
+        let median_ns = times[times.len() / 2].max(1);
+        let meps = elements as f64 / (min_ns as f64 / 1e9) / 1e6;
+        Measurement { name: name.to_string(), elements, min_ns, median_ns, meps }
+    };
+    (summarise(name_a, times_a), summarise(name_b, times_b))
+}
+
+/// A named collection of measurements plus derived speedups.
+#[derive(Debug, Default)]
+pub struct Report {
+    measurements: Vec<Measurement>,
+    speedups: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds a measurement and echoes it to stdout.
+    pub fn push(&mut self, m: Measurement) {
+        println!(
+            "{:<40} {:>12} elems {:>12} ns/iter (min) {:>10.1} Melem/s",
+            m.name, m.elements, m.min_ns, m.meps
+        );
+        self.measurements.push(m);
+    }
+
+    /// Records the throughput ratio `numerator / denominator` under `label`.
+    /// Panics if either name is unknown.
+    pub fn speedup(&mut self, label: &str, numerator: &str, denominator: &str) -> f64 {
+        let find = |name: &str| {
+            self.measurements
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("no measurement named {name}"))
+                .meps
+        };
+        let ratio = find(numerator) / find(denominator);
+        println!("{label:<40} {ratio:>36.2}x");
+        self.speedups.push((label.to_string(), ratio));
+        ratio
+    }
+
+    /// Serialises the report as a JSON object (no external dependencies).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"measurements\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"elements\": {}, \"min_ns\": {}, \"median_ns\": {}, \"melem_per_s\": {:.2}}}{}",
+                esc(&m.name),
+                m.elements,
+                m.min_ns,
+                m.median_ns,
+                m.meps,
+                if i + 1 == self.measurements.len() { "" } else { "," }
+            );
+        }
+        out.push_str("  ],\n  \"speedups\": {\n");
+        for (i, (label, ratio)) in self.speedups.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    \"{}\": {:.3}{}",
+                esc(label),
+                ratio,
+                if i + 1 == self.speedups.len() { "" } else { "," }
+            );
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Merges another report's entries into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.measurements.extend(other.measurements);
+        self.speedups.extend(other.speedups);
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_plausible_throughput() {
+        let data: Vec<u32> = (0..10_000).collect();
+        let m = measure("sum", data.len(), 1, 3, || data.iter().sum::<u32>());
+        assert_eq!(m.elements, 10_000);
+        assert!(m.median_ns >= 1);
+        assert!(m.meps > 0.0);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut report = Report::new();
+        report.push(Measurement {
+            name: "a".into(),
+            elements: 10,
+            min_ns: 100,
+            median_ns: 110,
+            meps: 100.0,
+        });
+        report.push(Measurement {
+            name: "b".into(),
+            elements: 10,
+            min_ns: 200,
+            median_ns: 220,
+            meps: 50.0,
+        });
+        let ratio = report.speedup("a_over_b", "a", "b");
+        assert!((ratio - 2.0).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"a_over_b\": 2.000"));
+        assert!(json.contains("\"melem_per_s\": 100.00"));
+    }
+}

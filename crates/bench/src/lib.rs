@@ -1,0 +1,8 @@
+//! Shared benchmark utilities.
+//!
+//! The build environment has no crates.io access, so instead of criterion
+//! the benches use [`harness`]: a small timing loop with warm-up, repeated
+//! measurement and a machine-readable JSON report.
+
+pub mod access_path;
+pub mod harness;

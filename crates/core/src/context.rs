@@ -103,6 +103,13 @@ impl OcelotContext {
         self.memory.alloc_result(words, label)
     }
 
+    /// Allocates a result buffer whose contents are unspecified (fast path
+    /// for kernels that overwrite every word — see
+    /// [`MemoryManager::alloc_result_uninit`]).
+    pub fn alloc_uninit(&self, words: usize, label: &str) -> Result<Buffer> {
+        self.memory.alloc_result_uninit(words, label)
+    }
+
     /// Uploads host integers into a fresh device column.
     pub fn upload_i32(&self, values: &[i32], label: &str) -> Result<DevColumn> {
         let buffer = self.alloc(values.len(), label)?;

@@ -22,6 +22,15 @@
 //!   (paper §3.4).
 //! * **Hash-table cache** — hash tables built over base-table columns are
 //!   cached for reuse across queries (paper §5.2.6).
+//! * **Result-buffer recycling** — operators allocate a fresh result buffer
+//!   per call; without pooling every large allocation is served by fresh
+//!   zero pages whose page-in cost lands on the first kernel that touches
+//!   them. The manager keeps a small pool of released result buffers and
+//!   hands them back (re-zeroed, which is far cheaper than faulting new
+//!   pages) when a same-sized request arrives. A buffer is reusable once
+//!   its only remaining handle is the pool's — operator handles and pending
+//!   queue operations all hold clones, so `handle_count() == 1` proves the
+//!   buffer is idle.
 
 use crate::ops::hash_table::OcelotHashTable;
 use ocelot_kernel::{Buffer, Device, EventId, HostCopy, KernelError, Queue, Result};
@@ -46,7 +55,15 @@ pub struct MemoryStats {
     pub bytes_offloaded: u64,
     /// Hash-table cache hits.
     pub hash_cache_hits: u64,
+    /// Result-buffer allocations served from the recycle pool.
+    pub recycle_hits: u64,
 }
+
+/// Result buffers below this size are not pooled: small allocations are
+/// cheap for the system allocator, and pooling them would churn the pool.
+const RECYCLE_MIN_WORDS: usize = 1 << 12;
+/// Maximum number of buffers retained for recycling.
+const RECYCLE_POOL_CAP: usize = 32;
 
 struct CacheEntry {
     buffer: Buffer,
@@ -72,6 +89,8 @@ struct State {
     events: HashMap<u64, EventEntry>,
     hash_tables: HashMap<usize, Arc<OcelotHashTable>>,
     offloaded: HashMap<u64, HostCopy>,
+    /// Retained result buffers, oldest first (see module docs).
+    recycle_pool: Vec<Buffer>,
 }
 
 /// The Memory Manager. One instance per [`crate::OcelotContext`].
@@ -99,6 +118,7 @@ impl MemoryManager {
                 events: HashMap::new(),
                 hash_tables: HashMap::new(),
                 offloaded: HashMap::new(),
+                recycle_pool: Vec::new(),
             }),
         }
     }
@@ -152,15 +172,82 @@ impl MemoryManager {
         state.events.entry(buffer.id()).or_default().producers.push(event);
         state.cache.insert(
             key,
-            CacheEntry { buffer: buffer.clone(), bat: bat.clone(), last_used: clock, pinned: false },
+            CacheEntry {
+                buffer: buffer.clone(),
+                bat: bat.clone(),
+                last_used: clock,
+                pinned: false,
+            },
         );
         Ok(buffer)
     }
 
     /// Allocates a result buffer, evicting cached BATs in LRU order until
-    /// the allocation fits.
+    /// the allocation fits. Large requests are served from the recycle pool
+    /// when an idle same-sized buffer is available (re-zeroed, so callers
+    /// may rely on fresh result buffers reading as zero either way).
     pub fn alloc_result(&self, words: usize, label: &str) -> Result<Buffer> {
-        self.alloc_with_eviction(words, label)
+        let (buffer, recycled) = self.alloc_pooled(words, label)?;
+        if recycled {
+            // The bulk fill is sound: handle_count was 1 at pop time, so no
+            // operator or pending queue op references the buffer.
+            buffer.fill_u32(0);
+        }
+        Ok(buffer)
+    }
+
+    /// Like [`MemoryManager::alloc_result`], but the returned words are
+    /// **unspecified** (possibly stale data from a recycled buffer) instead
+    /// of zero. For operators that overwrite every word they later expose —
+    /// scans, gathers, maps, sort shuffles — this skips a full zeroing pass
+    /// over the buffer. Never hand the result to a consumer that reads
+    /// words the producing kernel did not write.
+    pub fn alloc_result_uninit(&self, words: usize, label: &str) -> Result<Buffer> {
+        Ok(self.alloc_pooled(words, label)?.0)
+    }
+
+    /// Returns `(buffer, came_from_pool)`.
+    fn alloc_pooled(&self, words: usize, label: &str) -> Result<(Buffer, bool)> {
+        if words >= RECYCLE_MIN_WORDS {
+            let recycled = {
+                let mut state = self.state.lock();
+                match state
+                    .recycle_pool
+                    .iter()
+                    .position(|b| b.len() == words && b.handle_count() == 1)
+                {
+                    Some(pos) => {
+                        let buffer = state.recycle_pool[pos].clone();
+                        // Any event bookkeeping belongs to the buffer's
+                        // previous life.
+                        state.events.remove(&buffer.id());
+                        state.stats.recycle_hits += 1;
+                        Some(buffer)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(buffer) = recycled {
+                return Ok((buffer, true));
+            }
+        }
+        let buffer = self.alloc_with_eviction(words, label)?;
+        if words >= RECYCLE_MIN_WORDS {
+            let mut state = self.state.lock();
+            if state.recycle_pool.len() >= RECYCLE_POOL_CAP {
+                // Prefer retiring an idle entry; a still-live buffer may have
+                // pending kernels whose producer/consumer events must survive,
+                // so its event bookkeeping is left untouched.
+                let pos =
+                    state.recycle_pool.iter().position(|b| b.handle_count() == 1).unwrap_or(0);
+                let retired = state.recycle_pool.remove(pos);
+                if retired.handle_count() == 1 {
+                    state.events.remove(&retired.id());
+                }
+            }
+            state.recycle_pool.push(buffer.clone());
+        }
+        Ok((buffer, false))
     }
 
     fn alloc_with_eviction(&self, words: usize, label: &str) -> Result<Buffer> {
@@ -187,6 +274,14 @@ impl MemoryManager {
         // drop one of them.
         self.queue.flush()?;
         let mut state = self.state.lock();
+        // Idle recycled buffers are the cheapest memory to give back:
+        // release them before evicting cached BATs (which would have to be
+        // re-uploaded).
+        if let Some(pos) = state.recycle_pool.iter().position(|b| b.handle_count() == 1) {
+            let retired = state.recycle_pool.remove(pos);
+            state.events.remove(&retired.id());
+            return Ok(true);
+        }
         let victim = state
             .cache
             .iter()
@@ -245,6 +340,7 @@ impl MemoryManager {
         state.events.clear();
         state.hash_tables.clear();
         state.offloaded.clear();
+        state.recycle_pool.clear();
     }
 
     // ---- producer / consumer event tracking (paper §3.4) ----
@@ -262,12 +358,7 @@ impl MemoryManager {
     /// Wait-list for an operation that wants to *read* `buffer`: all of its
     /// producers.
     pub fn wait_for_read(&self, buffer: &Buffer) -> Vec<EventId> {
-        self.state
-            .lock()
-            .events
-            .get(&buffer.id())
-            .map(|e| e.producers.clone())
-            .unwrap_or_default()
+        self.state.lock().events.get(&buffer.id()).map(|e| e.producers.clone()).unwrap_or_default()
     }
 
     /// Wait-list for an operation that wants to *overwrite* `buffer`: its

@@ -93,7 +93,12 @@ impl Kernel for GroupedAccumulateKernel {
         }
     }
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
-        KernelCost::new((launch.n as u64) * 8, (launch.n as u64) * 4, launch.n as u64, launch.n as u64)
+        KernelCost::new(
+            (launch.n as u64) * 8,
+            (launch.n as u64) * 4,
+            launch.n as u64,
+            launch.n as u64,
+        )
     }
 }
 
@@ -269,8 +274,7 @@ impl Kernel for DivideKernel {
         for item in group.items() {
             for idx in item.assigned() {
                 let denom = self.denominator.get_f32(idx);
-                let value =
-                    if denom == 0.0 { 0.0 } else { self.numerator.get_f32(idx) / denom };
+                let value = if denom == 0.0 { 0.0 } else { self.numerator.get_f32(idx) / denom };
                 self.output.set_f32(idx, value);
             }
         }

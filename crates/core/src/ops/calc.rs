@@ -38,6 +38,43 @@ struct MapKernel {
     op: MapOp,
 }
 
+/// Binary float map over raw word slices: the op is monomorphised per chunk
+/// so the inner loop is a plain vectorisable stream.
+#[inline]
+fn map2_f32(out: &mut [u32], a: &[u32], b: &[u32], f: impl Fn(f32, f32) -> f32) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = f(f32::from_bits(x), f32::from_bits(y)).to_bits();
+    }
+}
+
+/// Unary word map over raw word slices.
+#[inline]
+fn map1(out: &mut [u32], a: &[u32], f: impl Fn(u32) -> u32) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = f(x);
+    }
+}
+
+impl MapKernel {
+    /// Applies the op to one contiguous chunk through tier-2 slice views.
+    fn run_chunk(&self, out: &mut [u32], a: &[u32], b: Option<&[u32]>) {
+        let binary = || b.expect("binary op requires b");
+        match self.op {
+            MapOp::MulF32 => map2_f32(out, a, binary(), |x, y| x * y),
+            MapOp::AddF32 => map2_f32(out, a, binary(), |x, y| x + y),
+            MapOp::SubF32 => map2_f32(out, a, binary(), |x, y| x - y),
+            MapOp::ConstMinusF32(c) => map1(out, a, |w| (c - f32::from_bits(w)).to_bits()),
+            MapOp::ConstPlusF32(c) => map1(out, a, |w| (c + f32::from_bits(w)).to_bits()),
+            MapOp::MulConstF32(c) => map1(out, a, |w| (f32::from_bits(w) * c).to_bits()),
+            MapOp::CastI32F32 => map1(out, a, |w| ((w as i32) as f32).to_bits()),
+            MapOp::ExtractYear => map1(out, a, |w| {
+                let (year, _, _) = days_to_date(w as i32);
+                year as u32
+            }),
+        }
+    }
+}
+
 impl Kernel for MapKernel {
     fn name(&self) -> &str {
         match self.op {
@@ -52,29 +89,26 @@ impl Kernel for MapKernel {
         }
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let a = self.a.as_words();
+        let b = self.b.as_ref().map(|b| b.as_words());
         for item in group.items() {
-            for idx in item.assigned() {
-                match self.op {
-                    MapOp::MulF32 => {
-                        let b = self.b.as_ref().expect("binary op requires b");
-                        self.output.set_f32(idx, self.a.get_f32(idx) * b.get_f32(idx));
-                    }
-                    MapOp::AddF32 => {
-                        let b = self.b.as_ref().expect("binary op requires b");
-                        self.output.set_f32(idx, self.a.get_f32(idx) + b.get_f32(idx));
-                    }
-                    MapOp::SubF32 => {
-                        let b = self.b.as_ref().expect("binary op requires b");
-                        self.output.set_f32(idx, self.a.get_f32(idx) - b.get_f32(idx));
-                    }
-                    MapOp::ConstMinusF32(c) => self.output.set_f32(idx, c - self.a.get_f32(idx)),
-                    MapOp::ConstPlusF32(c) => self.output.set_f32(idx, c + self.a.get_f32(idx)),
-                    MapOp::MulConstF32(c) => self.output.set_f32(idx, self.a.get_f32(idx) * c),
-                    MapOp::CastI32F32 => self.output.set_f32(idx, self.a.get_i32(idx) as f32),
-                    MapOp::ExtractYear => {
-                        let (year, _, _) = days_to_date(self.a.get_i32(idx));
-                        self.output.set_i32(idx, year);
-                    }
+            let assigned = item.assigned();
+            if let Some(range) = assigned.as_range() {
+                if range.is_empty() {
+                    continue;
+                }
+                // SAFETY: the contiguous pattern assigns `range` of the
+                // output exclusively to this item within this phase.
+                let out = unsafe { self.output.chunk_mut(range.start, range.end) };
+                self.run_chunk(out, &a[range.clone()], b.map(|b| &b[range.clone()]));
+            } else {
+                // Strided/coalesced pattern: apply per element through a
+                // one-word chunk; reads still avoid atomic loads.
+                let output = self.output.cells();
+                for idx in assigned {
+                    let mut word = [0u32];
+                    self.run_chunk(&mut word, &a[idx..idx + 1], b.map(|b| &b[idx..idx + 1]));
+                    output[idx].store(word[0], std::sync::atomic::Ordering::Relaxed);
                 }
             }
         }
@@ -90,7 +124,7 @@ fn run_map(
     if let Some(b) = b {
         assert_eq!(a.len, b.len, "calc: input length mismatch");
     }
-    let output = ctx.alloc(a.len.max(1), "calc_output")?;
+    let output = ctx.alloc_uninit(a.len.max(1), "calc_output")?;
     if a.len == 0 {
         return Ok(DevColumn::new(output, 0));
     }
@@ -235,9 +269,8 @@ mod tests {
         let disc_price = mul_f32(&ctx, &p, &one_minus_d).unwrap();
         let charge = mul_f32(&ctx, &disc_price, &one_plus_t).unwrap();
         let result = ctx.download_f32(&charge).unwrap();
-        let expected: Vec<f32> = (0..3)
-            .map(|i| price[i] * (1.0 - discount[i]) * (1.0 + tax[i]))
-            .collect();
+        let expected: Vec<f32> =
+            (0..3).map(|i| price[i] * (1.0 - discount[i]) * (1.0 + tax[i])).collect();
         assert_eq!(result, expected);
     }
 

@@ -71,7 +71,6 @@ impl Kernel for BoundaryKernel {
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
         KernelCost::new((launch.n as u64) * 8, (launch.n as u64) * 4, launch.n as u64, 0)
     }
-
 }
 
 struct RepresentativeFromBoundariesKernel {
@@ -271,7 +270,7 @@ mod tests {
 
     #[test]
     fn hash_grouping_matches_monet_on_all_devices() {
-        let values: Vec<i32> = (0..8_000).map(|i| ((i * 131 + 7) % 100) as i32).collect();
+        let values: Vec<i32> = (0..8_000).map(|i| (i * 131 + 7) % 100).collect();
         for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
             let col = ctx.upload_i32(&values, "keys").unwrap();
             let result = group_by_hash(&ctx, &col, 100).unwrap();
@@ -283,7 +282,7 @@ mod tests {
 
     #[test]
     fn sorted_grouping_matches_hash_grouping() {
-        let mut values: Vec<i32> = (0..5_000).map(|i| ((i * 17 + 3) % 50) as i32).collect();
+        let mut values: Vec<i32> = (0..5_000).map(|i| (i * 17 + 3) % 50).collect();
         values.sort_unstable();
         let ctx = OcelotContext::cpu();
         let col = ctx.upload_i32(&values, "keys").unwrap();
@@ -304,7 +303,7 @@ mod tests {
 
     #[test]
     fn representatives_carry_group_keys() {
-        let values: Vec<i32> = (0..3_000).map(|i| ((i * 7) % 31) as i32).collect();
+        let values: Vec<i32> = (0..3_000).map(|i| (i * 7) % 31).collect();
         let ctx = OcelotContext::gpu();
         let col = ctx.upload_i32(&values, "keys").unwrap();
         let result = group_by_hash(&ctx, &col, 31).unwrap();
@@ -317,8 +316,8 @@ mod tests {
 
     #[test]
     fn multi_column_grouping() {
-        let a: Vec<i32> = (0..4_000).map(|i| (i % 4) as i32).collect();
-        let b: Vec<i32> = (0..4_000).map(|i| (i % 6) as i32).collect();
+        let a: Vec<i32> = (0..4_000).map(|i| i % 4).collect();
+        let b: Vec<i32> = (0..4_000).map(|i| i % 6).collect();
         let ctx = OcelotContext::cpu();
         let ca = ctx.upload_i32(&a, "a").unwrap();
         let cb = ctx.upload_i32(&b, "b").unwrap();

@@ -178,7 +178,12 @@ impl Kernel for PessimisticInsertKernel {
         }
     }
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
-        KernelCost::new((launch.n as u64) * 8, (launch.n as u64) * 2, (launch.n as u64) * 2, launch.n as u64 / 4)
+        KernelCost::new(
+            (launch.n as u64) * 8,
+            (launch.n as u64) * 2,
+            (launch.n as u64) * 2,
+            launch.n as u64 / 4,
+        )
     }
 }
 
@@ -249,7 +254,12 @@ impl Kernel for RepresentativeKernel {
         }
     }
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
-        KernelCost::new((launch.n as u64) * 12, (launch.n as u64) * 4, (launch.n as u64) * 4, launch.n as u64 / 8)
+        KernelCost::new(
+            (launch.n as u64) * 12,
+            (launch.n as u64) * 4,
+            (launch.n as u64) * 4,
+            launch.n as u64 / 8,
+        )
     }
 }
 
@@ -314,15 +324,15 @@ impl OcelotHashTable {
         distinct_hint: usize,
     ) -> Result<OcelotHashTable> {
         let n = keys_col.len;
-        let mut capacity = (((distinct_hint.max(1) as f64) * 1.4).ceil() as usize)
-            .next_power_of_two()
-            .max(16);
+        let mut capacity =
+            (((distinct_hint.max(1) as f64) * 1.4).ceil() as usize).next_power_of_two().max(16);
         let mut build_attempts = 0;
 
         loop {
             build_attempts += 1;
             let max_probe = HASH_SEEDS.len() + capacity;
-            let keys = ctx.alloc(capacity, "hash_keys")?;
+            // fill_u32 overwrites every word, so skip the zeroing alloc.
+            let keys = ctx.alloc_uninit(capacity, "hash_keys")?;
             keys.fill_u32(EMPTY_KEY);
             ctx.queue().enqueue_write(&keys, &[])?;
 
@@ -398,7 +408,8 @@ impl OcelotHashTable {
             let distinct = distinct as usize;
 
             // Representatives: smallest row id per group.
-            let representatives = ctx.alloc(distinct.max(1), "hash_representatives")?;
+            // fill_u32 overwrites every word, so skip the zeroing alloc.
+            let representatives = ctx.alloc_uninit(distinct.max(1), "hash_representatives")?;
             representatives.fill_u32(u32::MAX);
             ctx.queue().enqueue_write(&representatives, &[])?;
             if n > 0 {
@@ -494,8 +505,7 @@ impl OcelotHashTable {
             output: output.clone(),
         };
         let wait = ctx.memory().wait_for_read(&gids.buffer);
-        let event =
-            ctx.queue().enqueue_kernel(Arc::new(kernel), ctx.launch(probe.len), &wait)?;
+        let event = ctx.queue().enqueue_kernel(Arc::new(kernel), ctx.launch(probe.len), &wait)?;
         ctx.memory().record_producer(&output, event);
         Ok(DevColumn::new(output, probe.len))
     }
@@ -538,7 +548,7 @@ mod tests {
 
     #[test]
     fn distinct_count_matches_reference_on_all_devices() {
-        let keys: Vec<i32> = (0..20_000).map(|i| ((i * 131 + 17) % 500) as i32).collect();
+        let keys: Vec<i32> = (0..20_000).map(|i| (i * 131 + 17) % 500).collect();
         let expected: HashSet<i32> = keys.iter().copied().collect();
         for ctx in contexts() {
             let col = ctx.upload_i32(&keys, "keys").unwrap();
@@ -549,7 +559,7 @@ mod tests {
 
     #[test]
     fn lookups_are_consistent_and_dense() {
-        let keys: Vec<i32> = (0..5_000).map(|i| ((i * 7 + 1) % 250) as i32).collect();
+        let keys: Vec<i32> = (0..5_000).map(|i| (i * 7 + 1) % 250).collect();
         let ctx = OcelotContext::cpu();
         let col = ctx.upload_i32(&keys, "keys").unwrap();
         let table = OcelotHashTable::build(&ctx, &col, 250).unwrap();
@@ -567,7 +577,7 @@ mod tests {
 
     #[test]
     fn representatives_carry_the_group_key() {
-        let keys: Vec<i32> = (0..3_000).map(|i| ((i * 13 + 5) % 77) as i32).collect();
+        let keys: Vec<i32> = (0..3_000).map(|i| (i * 13 + 5) % 77).collect();
         let ctx = OcelotContext::gpu();
         let col = ctx.upload_i32(&keys, "keys").unwrap();
         let table = OcelotHashTable::build(&ctx, &col, 77).unwrap();
@@ -615,7 +625,7 @@ mod tests {
 
     #[test]
     fn undersized_hint_triggers_restart_but_succeeds() {
-        let keys: Vec<i32> = (0..4_000).map(|i| i as i32).collect();
+        let keys: Vec<i32> = (0..4_000).collect();
         let ctx = OcelotContext::cpu();
         let col = ctx.upload_i32(&keys, "keys").unwrap();
         // Hint of 4 forces multiple restarts before all 4000 distinct keys fit.

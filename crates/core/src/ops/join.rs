@@ -113,7 +113,8 @@ fn compact_lookups(
     let n = lookups.len;
     if n == 0 {
         let empty = ctx.alloc(1, "join_empty")?;
-        let build = if emit_build { Some(DevColumn::new(ctx.alloc(1, "join_empty_b")?, 0)) } else { None };
+        let build =
+            if emit_build { Some(DevColumn::new(ctx.alloc(1, "join_empty_b")?, 0)) } else { None };
         return Ok((DevColumn::new(empty, 0), build));
     }
     let launch = ctx.launch(n);
@@ -134,7 +135,8 @@ fn compact_lookups(
     let total = total as usize;
 
     let probe_out = ctx.alloc(total.max(1), "join_probe_oids")?;
-    let build_out = if emit_build { Some(ctx.alloc(total.max(1), "join_build_oids")?) } else { None };
+    let build_out =
+        if emit_build { Some(ctx.alloc(total.max(1), "join_build_oids")?) } else { None };
     let event = ctx.queue().enqueue_kernel(
         Arc::new(WriteMatchesKernel {
             lookups: lookups.buffer.clone(),
@@ -148,10 +150,7 @@ fn compact_lookups(
         &[],
     )?;
     ctx.memory().record_producer(&probe_out, event);
-    Ok((
-        DevColumn::new(probe_out, total),
-        build_out.map(|b| DevColumn::new(b, total)),
-    ))
+    Ok((DevColumn::new(probe_out, total), build_out.map(|b| DevColumn::new(b, total))))
 }
 
 /// Hash equi-join of a probe column against a table built over a unique key
@@ -368,7 +367,7 @@ mod tests {
     #[test]
     fn pkfk_hash_join_matches_monet_on_all_devices() {
         let pk: Vec<i32> = (0..200).collect();
-        let fk: Vec<i32> = (0..5_000).map(|i| ((i * 17 + 3) % 200) as i32).collect();
+        let fk: Vec<i32> = (0..5_000).map(|i| (i * 17 + 3) % 200).collect();
         let reference_table = MonetHashTable::build(&pk);
         let (expected_fk, expected_pk) = monet::pkfk_join_i32(&fk, &reference_table);
         for ctx in contexts() {
@@ -405,8 +404,8 @@ mod tests {
 
     #[test]
     fn semi_and_anti_join_match_monet() {
-        let left: Vec<i32> = (0..3_000).map(|i| ((i * 31 + 1) % 400) as i32).collect();
-        let right: Vec<i32> = (0..120).map(|i| (i * 3) as i32).collect();
+        let left: Vec<i32> = (0..3_000).map(|i| (i * 31 + 1) % 400).collect();
+        let right: Vec<i32> = (0..120).map(|i| i * 3).collect();
         let expected_semi = monet::semi_join_i32(&left, &right);
         let expected_anti = monet::anti_join_i32(&left, &right);
         for ctx in contexts() {
@@ -426,15 +425,14 @@ mod tests {
 
     #[test]
     fn nested_loop_theta_join_matches_monet() {
-        let left: Vec<i32> = (0..150).map(|i| (i % 40) as i32).collect();
-        let right: Vec<i32> = (0..60).map(|i| (i % 25) as i32).collect();
+        let left: Vec<i32> = (0..150).map(|i| i % 40).collect();
+        let right: Vec<i32> = (0..60).map(|i| i % 25).collect();
         let (expected_l, expected_r) = monet::nested_loop_join_i32(&left, &right, |a, b| a < b);
         let ctx = OcelotContext::cpu();
         let l = ctx.upload_i32(&left, "l").unwrap();
         let r = ctx.upload_i32(&right, "r").unwrap();
         let result = nested_loop_join(&ctx, &l, &r, ThetaOp::Less).unwrap();
-        let mut expected: Vec<(u32, u32)> =
-            expected_l.into_iter().zip(expected_r).collect();
+        let mut expected: Vec<(u32, u32)> = expected_l.into_iter().zip(expected_r).collect();
         let mut got: Vec<(u32, u32)> = ctx
             .download_u32(&result.probe_oids)
             .unwrap()

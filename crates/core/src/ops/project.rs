@@ -6,9 +6,9 @@
 //! result), it is first materialised into a tuple-ID list.
 
 use crate::context::{DevColumn, OcelotContext};
+use crate::ops::select::materialize_bitmap;
 use crate::primitives::bitmap::Bitmap;
 use crate::primitives::gather::gather;
-use crate::ops::select::materialize_bitmap;
 use ocelot_kernel::Result;
 use ocelot_storage::BatRef;
 
@@ -60,7 +60,7 @@ mod tests {
 
     #[test]
     fn bitmap_left_input_is_materialised_transparently() {
-        let values: Vec<i32> = (0..4_000).map(|i| (i % 100) as i32).collect();
+        let values: Vec<i32> = (0..4_000).map(|i| i % 100).collect();
         let payload: Vec<f32> = (0..4_000).map(|i| i as f32 * 0.5).collect();
         let ctx = OcelotContext::cpu();
         let vcol = ctx.upload_i32(&values, "v").unwrap();

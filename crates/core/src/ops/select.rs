@@ -31,24 +31,6 @@ enum Predicate {
     NeI32 { needle: i32 },
 }
 
-impl Predicate {
-    #[inline]
-    fn matches(self, word: u32) -> bool {
-        match self {
-            Predicate::RangeI32 { low, high } => {
-                let v = word as i32;
-                v >= low && v <= high
-            }
-            Predicate::RangeF32 { low, high } => {
-                let v = f32::from_bits(word);
-                v >= low && v <= high
-            }
-            Predicate::EqI32 { needle } => word as i32 == needle,
-            Predicate::NeI32 { needle } => word as i32 != needle,
-        }
-    }
-}
-
 /// Selection kernel: each work-item produces whole bitmap words for its
 /// chunk of the input (the paper found one result byte — eight values — per
 /// thread iteration to work well; one 32-bit word per iteration is the same
@@ -60,26 +42,64 @@ struct SelectKernel {
     n: usize,
 }
 
+/// Builds the bitmap words `start_word..start_word + out.len()` from `input`
+/// with a monomorphised predicate: the enum dispatch happens once per chunk,
+/// and the bit loop runs over plain slices (tier-2 views).
+#[inline]
+fn build_bitmap_words(
+    input: &[u32],
+    out: &mut [u32],
+    start_word: usize,
+    matches: impl Fn(u32) -> bool,
+) {
+    for (offset, word) in out.iter_mut().enumerate() {
+        let base = (start_word + offset) * 32;
+        let limit = (base + 32).min(input.len());
+        let mut bits = 0u32;
+        for (bit, &value) in input[base..limit].iter().enumerate() {
+            bits |= (matches(value) as u32) << bit;
+        }
+        *word = bits;
+    }
+}
+
 impl Kernel for SelectKernel {
     fn name(&self) -> &str {
         "select_bitmap"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
         let words = Bitmap::words_for(self.n);
+        let input = &self.input.as_words()[..self.n];
         for item in group.items() {
             // Each item owns a contiguous range of bitmap *words* so that a
             // word is written by exactly one item.
             let (start_word, end_word) = item.chunk_bounds(words);
-            for word_idx in start_word..end_word {
-                let mut word = 0u32;
-                let base = word_idx * 32;
-                let limit = (base + 32).min(self.n);
-                for row in base..limit {
-                    if self.predicate.matches(self.input.get_u32(row)) {
-                        word |= 1 << (row - base);
-                    }
+            if start_word >= end_word {
+                continue;
+            }
+            // SAFETY: bitmap words `start_word..end_word` belong exclusively
+            // to this item within this phase (chunk_bounds partitions the
+            // word range across items).
+            let out = unsafe { self.bitmap.chunk_mut(start_word, end_word) };
+            match self.predicate {
+                Predicate::RangeI32 { low, high } => {
+                    build_bitmap_words(input, out, start_word, |w| {
+                        let v = w as i32;
+                        v >= low && v <= high
+                    });
                 }
-                self.bitmap.set_u32(word_idx, word);
+                Predicate::RangeF32 { low, high } => {
+                    build_bitmap_words(input, out, start_word, |w| {
+                        let v = f32::from_bits(w);
+                        v >= low && v <= high
+                    });
+                }
+                Predicate::EqI32 { needle } => {
+                    build_bitmap_words(input, out, start_word, |w| w as i32 == needle);
+                }
+                Predicate::NeI32 { needle } => {
+                    build_bitmap_words(input, out, start_word, |w| w as i32 != needle);
+                }
             }
         }
     }
@@ -89,7 +109,8 @@ impl Kernel for SelectKernel {
 }
 
 fn run_select(ctx: &OcelotContext, input: &DevColumn, predicate: Predicate) -> Result<Bitmap> {
-    let bitmap = Bitmap::zeroed(ctx, input.len)?;
+    // The kernel writes every backing word, so the bitmap can skip zeroing.
+    let bitmap = Bitmap::for_overwrite(ctx, input.len)?;
     if input.len == 0 {
         return Ok(bitmap);
     }
@@ -153,12 +174,10 @@ impl Kernel for CountBitsKernel {
         "materialize_count"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let bitmap = self.bitmap.as_words();
         for item in group.items() {
             let (start, end) = item.chunk_bounds(self.words);
-            let mut count = 0u32;
-            for word_idx in start..end {
-                count += self.bitmap.get_u32(word_idx).count_ones();
-            }
+            let count: u32 = bitmap[start..end].iter().map(|w| w.count_ones()).sum();
             self.counts.set_u32(item.global_id, count);
         }
     }
@@ -180,21 +199,29 @@ impl Kernel for WritePositionsKernel {
         "materialize_write"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let bitmap = self.bitmap.as_words();
+        let output = self.output.cells();
         for item in group.items() {
             let (start, end) = item.chunk_bounds(self.words);
             let mut cursor = self.offsets.get_u32(item.global_id) as usize;
-            for word_idx in start..end {
-                let word = self.bitmap.get_u32(word_idx);
+            for (offset, &word) in bitmap[start..end].iter().enumerate() {
                 if word == 0 {
                     continue;
                 }
-                let base = word_idx * 32;
+                let base = (start + offset) * 32;
                 let limit = (base + 32).min(self.n);
-                for row in base..limit {
-                    if word & (1 << (row - base)) != 0 {
-                        self.output.set_u32(cursor, row as u32);
-                        cursor += 1;
+                // Iterate set bits only (count_ones-driven) instead of
+                // testing all 32 positions.
+                let mut remaining = word;
+                while remaining != 0 {
+                    let bit = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    let row = base + bit;
+                    if row >= limit {
+                        break;
                     }
+                    output[cursor].store(row as u32, std::sync::atomic::Ordering::Relaxed);
+                    cursor += 1;
                 }
             }
         }
@@ -214,7 +241,7 @@ pub fn materialize_bitmap(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<DevCol
         return Ok(DevColumn::new(empty, 0));
     }
     let launch = ctx.launch(words);
-    let counts_buffer = ctx.alloc(launch.total_items(), "materialize_counts")?;
+    let counts_buffer = ctx.alloc_uninit(launch.total_items(), "materialize_counts")?;
     let wait = ctx.memory().wait_for_read(&bitmap.buffer);
     let count_event = ctx.queue().enqueue_kernel(
         Arc::new(CountBitsKernel {
@@ -230,7 +257,7 @@ pub fn materialize_bitmap(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<DevCol
     let counts = DevColumn::new(counts_buffer, launch.total_items());
     let (offsets, total) = exclusive_scan_u32(ctx, &counts)?;
 
-    let output = ctx.alloc((total as usize).max(1), "materialized_oids")?;
+    let output = ctx.alloc_uninit((total as usize).max(1), "materialized_oids")?;
     let write_event = ctx.queue().enqueue_kernel(
         Arc::new(WritePositionsKernel {
             bitmap: bitmap.buffer.clone(),
@@ -263,7 +290,7 @@ mod tests {
 
     #[test]
     fn range_selection_matches_monet_on_all_devices() {
-        let values: Vec<i32> = (0..10_000).map(|i| ((i * 37 + 11) % 1000) as i32).collect();
+        let values: Vec<i32> = (0..10_000).map(|i| (i * 37 + 11) % 1000).collect();
         let expected: Vec<u32> = monet::select_range_i32(&values, 100, 300);
         for ctx in contexts() {
             let col = ctx.upload_i32(&values, "v").unwrap();
@@ -287,7 +314,7 @@ mod tests {
 
     #[test]
     fn equality_and_inequality_selection() {
-        let values: Vec<i32> = (0..3_000).map(|i| (i % 17) as i32).collect();
+        let values: Vec<i32> = (0..3_000).map(|i| i % 17).collect();
         let ctx = OcelotContext::cpu();
         let col = ctx.upload_i32(&values, "v").unwrap();
 
@@ -305,7 +332,7 @@ mod tests {
     #[test]
     fn conjunction_via_bitmap_and() {
         use crate::primitives::bitmap::{combine, BitmapCombine};
-        let values: Vec<i32> = (0..2_000).map(|i| (i % 100) as i32).collect();
+        let values: Vec<i32> = (0..2_000).map(|i| i % 100).collect();
         let ctx = OcelotContext::cpu();
         let col = ctx.upload_i32(&values, "v").unwrap();
         let a = select_range_i32(&ctx, &col, 10, 60).unwrap();

@@ -83,10 +83,33 @@ impl Kernel for TransformKernel {
         "radix_transform"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let input = self.input.as_words();
         for item in group.items() {
-            for idx in item.assigned() {
-                self.keys.set_u32(idx, self.transform.encode(self.input.get_u32(idx)));
-                self.oids.set_u32(idx, idx as u32);
+            let assigned = item.assigned();
+            if let Some(range) = assigned.as_range() {
+                if range.is_empty() {
+                    continue;
+                }
+                // SAFETY: the contiguous pattern assigns `range` of both
+                // outputs exclusively to this item within this phase.
+                let keys = unsafe { self.keys.chunk_mut(range.start, range.end) };
+                let oids = unsafe { self.oids.chunk_mut(range.start, range.end) };
+                for (offset, ((key, oid), &word)) in
+                    keys.iter_mut().zip(oids.iter_mut()).zip(&input[range.clone()]).enumerate()
+                {
+                    *key = self.transform.encode(word);
+                    *oid = (range.start + offset) as u32;
+                }
+            } else {
+                let keys = self.keys.cells();
+                let oids = self.oids.cells();
+                for idx in assigned {
+                    keys[idx].store(
+                        self.transform.encode(input[idx]),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                    oids[idx].store(idx as u32, std::sync::atomic::Ordering::Relaxed);
+                }
             }
         }
     }
@@ -105,15 +128,21 @@ impl Kernel for HistogramKernel {
         "radix_histogram"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let keys = self.keys.as_words();
+        let counts = self.counts.cells();
         for item in group.items() {
             let (start, end) = item.chunk_bounds(self.n);
             let mut local = [0u32; RADIX_SIZE];
-            for idx in start..end {
-                let digit = ((self.keys.get_u32(idx) >> self.shift) as usize) & (RADIX_SIZE - 1);
+            for &key in &keys[start..end] {
+                let digit = ((key >> self.shift) as usize) & (RADIX_SIZE - 1);
                 local[digit] += 1;
             }
+            // The count table is digit-major: cell (digit, item) is written
+            // by exactly one item, so relaxed stores through the cell slice
+            // suffice.
             for (digit, count) in local.iter().enumerate() {
-                self.counts.set_u32(digit * self.total_items + item.global_id, *count);
+                counts[digit * self.total_items + item.global_id]
+                    .store(*count, std::sync::atomic::Ordering::Relaxed);
             }
         }
     }
@@ -143,6 +172,14 @@ impl Kernel for ScatterKernel {
         "radix_scatter"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let keys_in = self.keys_in.as_words();
+        let oids_in = self.oids_in.as_words();
+        // Scatter targets are disjoint across items (the scanned offsets
+        // reserve a unique position per element) but not contiguous, so the
+        // writes go through the atomic-cell slices.
+        let keys_out = self.keys_out.cells();
+        let oids_out = self.oids_out.cells();
+        let offsets = self.offsets.as_words();
         for item in group.items() {
             let (start, end) = item.chunk_bounds(self.n);
             if start >= end {
@@ -150,14 +187,13 @@ impl Kernel for ScatterKernel {
             }
             let mut cursors = [0u32; RADIX_SIZE];
             for (digit, cursor) in cursors.iter_mut().enumerate() {
-                *cursor = self.offsets.get_u32(digit * self.total_items + item.global_id);
+                *cursor = offsets[digit * self.total_items + item.global_id];
             }
-            for idx in start..end {
-                let key = self.keys_in.get_u32(idx);
+            for (&key, &oid) in keys_in[start..end].iter().zip(&oids_in[start..end]) {
                 let digit = ((key >> self.shift) as usize) & (RADIX_SIZE - 1);
                 let position = cursors[digit] as usize;
-                self.keys_out.set_u32(position, key);
-                self.oids_out.set_u32(position, self.oids_in.get_u32(idx));
+                keys_out[position].store(key, std::sync::atomic::Ordering::Relaxed);
+                oids_out[position].store(oid, std::sync::atomic::Ordering::Relaxed);
                 cursors[digit] += 1;
             }
         }
@@ -178,9 +214,27 @@ impl Kernel for DecodeKernel {
         "radix_decode"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let keys = self.keys.as_words();
         for item in group.items() {
-            for idx in item.assigned() {
-                self.output.set_u32(idx, self.transform.decode(self.keys.get_u32(idx)));
+            let assigned = item.assigned();
+            if let Some(range) = assigned.as_range() {
+                if range.is_empty() {
+                    continue;
+                }
+                // SAFETY: the contiguous pattern assigns `range` of the
+                // output exclusively to this item within this phase.
+                let out = unsafe { self.output.chunk_mut(range.start, range.end) };
+                for (o, &key) in out.iter_mut().zip(&keys[range]) {
+                    *o = self.transform.decode(key);
+                }
+            } else {
+                let output = self.output.cells();
+                for idx in assigned {
+                    output[idx].store(
+                        self.transform.decode(keys[idx]),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                }
             }
         }
     }
@@ -213,10 +267,10 @@ fn radix_sort(
     let launch = ctx.launch(n);
     let total_items = launch.total_items();
 
-    let mut keys_a = ctx.alloc(n, "sort_keys_a")?;
-    let mut oids_a = ctx.alloc(n, "sort_oids_a")?;
-    let mut keys_b = ctx.alloc(n, "sort_keys_b")?;
-    let mut oids_b = ctx.alloc(n, "sort_oids_b")?;
+    let mut keys_a = ctx.alloc_uninit(n, "sort_keys_a")?;
+    let mut oids_a = ctx.alloc_uninit(n, "sort_oids_a")?;
+    let mut keys_b = ctx.alloc_uninit(n, "sort_keys_b")?;
+    let mut oids_b = ctx.alloc_uninit(n, "sort_oids_b")?;
 
     let wait = ctx.memory().wait_for_read(&input.buffer);
     ctx.queue().enqueue_kernel(
@@ -232,7 +286,7 @@ fn radix_sort(
 
     for pass in 0..PASSES {
         let shift = pass * RADIX_BITS;
-        let counts = ctx.alloc(RADIX_SIZE * total_items, "sort_counts")?;
+        let counts = ctx.alloc_uninit(RADIX_SIZE * total_items, "sort_counts")?;
         ctx.queue().enqueue_kernel(
             Arc::new(HistogramKernel {
                 keys: keys_a.clone(),
@@ -265,7 +319,7 @@ fn radix_sort(
         std::mem::swap(&mut oids_a, &mut oids_b);
     }
 
-    let values = ctx.alloc(n, "sort_values")?;
+    let values = ctx.alloc_uninit(n, "sort_values")?;
     let decode_event = ctx.queue().enqueue_kernel(
         Arc::new(DecodeKernel { keys: keys_a, output: values.clone(), transform }),
         launch,
@@ -298,8 +352,7 @@ mod tests {
 
     #[test]
     fn integer_sort_matches_monet_on_all_devices() {
-        let values: Vec<i32> =
-            (0..20_000).map(|i| ((i * 73 + 19) % 8191) as i32 - 4000).collect();
+        let values: Vec<i32> = (0..20_000).map(|i| ((i * 73 + 19) % 8191) - 4000).collect();
         let (expected, _) = monet::sort_i32(&values);
         for ctx in contexts() {
             let col = ctx.upload_i32(&values, "v").unwrap();
@@ -341,7 +394,7 @@ mod tests {
     #[test]
     fn sort_is_stable_within_equal_keys() {
         // Duplicate keys: the order column must preserve input order.
-        let values: Vec<i32> = (0..1_000).map(|i| (i % 10) as i32).collect();
+        let values: Vec<i32> = (0..1_000).map(|i| i % 10).collect();
         let ctx = OcelotContext::cpu();
         let col = ctx.upload_i32(&values, "v").unwrap();
         let result = sort_i32(&ctx, &col).unwrap();

@@ -36,6 +36,13 @@ impl Bitmap {
         Ok(Bitmap { buffer, n_bits })
     }
 
+    /// Allocates a bitmap whose words are unspecified — for producers that
+    /// overwrite every backing word (the selection and combine kernels).
+    pub fn for_overwrite(ctx: &OcelotContext, n_bits: usize) -> Result<Bitmap> {
+        let buffer = ctx.alloc_uninit(Self::words_for(n_bits).max(1), "bitmap")?;
+        Ok(Bitmap { buffer, n_bits })
+    }
+
     /// Builds a bitmap from host booleans (test and host-integration helper).
     pub fn from_bools(ctx: &OcelotContext, bits: &[bool]) -> Result<Bitmap> {
         let bitmap = Self::zeroed(ctx, bits.len())?;
@@ -90,15 +97,39 @@ impl Kernel for CombineKernel {
         }
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let left = self.left.as_words();
+        let right = self.right.as_words();
         for item in group.items() {
-            for idx in item.assigned() {
-                let l = self.left.get_u32(idx);
-                let r = self.right.get_u32(idx);
-                let combined = match self.mode {
-                    BitmapCombine::And => l & r,
-                    BitmapCombine::Or => l | r,
-                };
-                self.output.set_u32(idx, combined);
+            let assigned = item.assigned();
+            if let Some(range) = assigned.as_range() {
+                if range.is_empty() {
+                    continue;
+                }
+                // SAFETY: the contiguous pattern assigns `range` of the
+                // output exclusively to this item within this phase.
+                let out = unsafe { self.output.chunk_mut(range.start, range.end) };
+                let (l, r) = (&left[range.clone()], &right[range]);
+                match self.mode {
+                    BitmapCombine::And => {
+                        for ((o, &a), &b) in out.iter_mut().zip(l).zip(r) {
+                            *o = a & b;
+                        }
+                    }
+                    BitmapCombine::Or => {
+                        for ((o, &a), &b) in out.iter_mut().zip(l).zip(r) {
+                            *o = a | b;
+                        }
+                    }
+                }
+            } else {
+                let output = self.output.cells();
+                for idx in assigned {
+                    let combined = match self.mode {
+                        BitmapCombine::And => left[idx] & right[idx],
+                        BitmapCombine::Or => left[idx] | right[idx],
+                    };
+                    output[idx].store(combined, std::sync::atomic::Ordering::Relaxed);
+                }
             }
         }
     }
@@ -115,7 +146,8 @@ pub fn combine(
     mode: BitmapCombine,
 ) -> Result<Bitmap> {
     assert_eq!(left.n_bits, right.n_bits, "bitmap combine: length mismatch");
-    let output = Bitmap::zeroed(ctx, left.n_bits)?;
+    // The kernel writes every backing word, so the bitmap can skip zeroing.
+    let output = Bitmap::for_overwrite(ctx, left.n_bits)?;
     let words = left.words();
     if words == 0 {
         return Ok(output);
@@ -147,13 +179,16 @@ impl Kernel for PopcountKernel {
         "bitmap_popcount"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let bitmap = self.bitmap.as_words();
         for item in group.items() {
-            let mut count: u32 = 0;
-            for idx in item.assigned() {
-                if idx < self.words {
-                    count += self.bitmap.get_u32(idx).count_ones();
-                }
-            }
+            let assigned = item.assigned();
+            let count: u32 = if let Some(range) = assigned.as_range() {
+                let end = range.end.min(self.words);
+                let start = range.start.min(end);
+                bitmap[start..end].iter().map(|w| w.count_ones()).sum()
+            } else {
+                assigned.filter(|&idx| idx < self.words).map(|idx| bitmap[idx].count_ones()).sum()
+            };
             self.counts.set_u32(item.global_id, count);
         }
     }
@@ -169,7 +204,7 @@ pub fn count_ones(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<u64> {
         return Ok(0);
     }
     let launch = ctx.launch(words);
-    let counts = ctx.alloc(launch.total_items(), "popcount_partials")?;
+    let counts = ctx.alloc_uninit(launch.total_items(), "popcount_partials")?;
     let wait = ctx.memory().wait_for_read(&bitmap.buffer);
     let event = ctx.queue().enqueue_kernel(
         Arc::new(PopcountKernel { bitmap: bitmap.buffer.clone(), counts: counts.clone(), words }),

@@ -20,10 +20,28 @@ impl Kernel for GatherKernel {
         "gather"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let values = self.values.as_words();
+        let indices = self.indices.as_words();
         for item in group.items() {
-            for idx in item.assigned() {
-                let position = self.indices.get_u32(idx) as usize;
-                self.output.set_u32(idx, self.values.get_u32(position));
+            let assigned = item.assigned();
+            if let Some(range) = assigned.as_range() {
+                if range.is_empty() {
+                    continue;
+                }
+                // SAFETY: the contiguous pattern assigns `range` of the
+                // output exclusively to this item within this phase.
+                let out = unsafe { self.output.chunk_mut(range.start, range.end) };
+                for (o, &position) in out.iter_mut().zip(&indices[range]) {
+                    *o = values[position as usize];
+                }
+            } else {
+                // Strided/coalesced pattern: indices are not a slice, but
+                // the reads still avoid per-element atomic loads.
+                let output = self.output.cells();
+                for idx in assigned {
+                    let position = indices[idx] as usize;
+                    output[idx].store(values[position], std::sync::atomic::Ordering::Relaxed);
+                }
             }
         }
     }
@@ -38,7 +56,7 @@ impl Kernel for GatherKernel {
 /// serves integer, float and OID columns.
 pub fn gather(ctx: &OcelotContext, values: &DevColumn, indices: &DevColumn) -> Result<DevColumn> {
     let n = indices.len;
-    let output = ctx.alloc(n.max(1), "gather_output")?;
+    let output = ctx.alloc_uninit(n.max(1), "gather_output")?;
     if n == 0 {
         return Ok(DevColumn::new(output, 0));
     }

@@ -35,12 +35,10 @@ impl Kernel for PartialSumKernel {
         "scan_partial_sums"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let input = self.input.as_words();
         for item in group.items() {
             let (start, end) = item.chunk_bounds(self.n);
-            let mut sum: u32 = 0;
-            for idx in start..end {
-                sum = sum.wrapping_add(self.input.get_u32(idx));
-            }
+            let sum = input[start..end].iter().fold(0u32, |acc, &v| acc.wrapping_add(v));
             self.partials.set_u32(item.global_id, sum);
         }
     }
@@ -65,11 +63,14 @@ impl Kernel for ScanPartialsKernel {
         if group.group_id() != 0 {
             return;
         }
+        // SAFETY: only group 0 touches the partials in this phase, and the
+        // producing phase is ordered before it by the kernel's wait-list.
+        let partials = unsafe { self.partials.chunk_mut(0, self.count) };
         let mut running: u32 = 0;
-        for i in 0..self.count {
-            let value = self.partials.get_u32(i);
-            self.partials.set_u32(i, running);
-            running = running.wrapping_add(value);
+        for value in partials.iter_mut() {
+            let next = running.wrapping_add(*value);
+            *value = running;
+            running = next;
         }
         self.total.set_u32(0, running);
     }
@@ -91,12 +92,42 @@ impl Kernel for WritePrefixKernel {
         "scan_write_prefix"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let input = self.input.as_words();
         for item in group.items() {
             let (start, end) = item.chunk_bounds(self.n);
+            if start >= end {
+                continue;
+            }
+            // SAFETY: chunk_bounds assigns `start..end` of the output
+            // exclusively to this item within this phase.
+            let out = unsafe { self.output.chunk_mut(start, end) };
+            let values = &input[start..end];
             let mut running = self.partials.get_u32(item.global_id);
-            for idx in start..end {
-                let value = self.input.get_u32(idx);
-                self.output.set_u32(idx, running);
+            // Block-prefix form with pairwise partial sums: the serial carry
+            // chain is one tree reduction + one add per 8-element block
+            // (instead of one add per element), and the eight outputs are
+            // independent adds the CPU can issue in parallel.
+            let mut out_blocks = out.chunks_exact_mut(8);
+            let mut val_blocks = values.chunks_exact(8);
+            for (o, v) in (&mut out_blocks).zip(&mut val_blocks) {
+                let s01 = v[0].wrapping_add(v[1]);
+                let s23 = v[2].wrapping_add(v[3]);
+                let s45 = v[4].wrapping_add(v[5]);
+                let s67 = v[6].wrapping_add(v[7]);
+                let s0123 = s01.wrapping_add(s23);
+                let mid = running.wrapping_add(s0123);
+                o[0] = running;
+                o[1] = running.wrapping_add(v[0]);
+                o[2] = running.wrapping_add(s01);
+                o[3] = running.wrapping_add(s01).wrapping_add(v[2]);
+                o[4] = mid;
+                o[5] = mid.wrapping_add(v[4]);
+                o[6] = mid.wrapping_add(s45);
+                o[7] = mid.wrapping_add(s45).wrapping_add(v[6]);
+                running = mid.wrapping_add(s45).wrapping_add(s67);
+            }
+            for (o, &value) in out_blocks.into_remainder().iter_mut().zip(val_blocks.remainder()) {
+                *o = running;
                 running = running.wrapping_add(value);
             }
         }
@@ -110,12 +141,12 @@ impl Kernel for WritePrefixKernel {
 /// column and the total sum of the input.
 pub fn exclusive_scan_u32(ctx: &OcelotContext, input: &DevColumn) -> Result<(DevColumn, u32)> {
     let n = input.len;
-    let output = ctx.alloc(n.max(1), "scan_output")?;
+    let output = ctx.alloc_uninit(n.max(1), "scan_output")?;
     if n == 0 {
         return Ok((DevColumn::new(output, 0), 0));
     }
     let launch = ctx.launch(n);
-    let partials = ctx.alloc(launch.total_items(), "scan_partials")?;
+    let partials = ctx.alloc_uninit(launch.total_items(), "scan_partials")?;
     let total = ctx.alloc(1, "scan_total")?;
 
     let queue = ctx.queue();

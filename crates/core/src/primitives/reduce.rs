@@ -42,6 +42,56 @@ impl ReduceOp {
         }
     }
 
+    /// Reduces a word slice onto `acc` with a monomorphised inner loop: the
+    /// operation dispatch happens once per slice, not once per element, so
+    /// the compiler can keep the accumulator in a register and vectorise.
+    fn reduce_slice(self, acc: u32, words: &[u32]) -> u32 {
+        match self {
+            ReduceOp::SumF32 => {
+                let mut sum = f32::from_bits(acc);
+                for &w in words {
+                    sum += f32::from_bits(w);
+                }
+                sum.to_bits()
+            }
+            ReduceOp::MinF32 => {
+                let mut min = f32::from_bits(acc);
+                for &w in words {
+                    min = min.min(f32::from_bits(w));
+                }
+                min.to_bits()
+            }
+            ReduceOp::MaxF32 => {
+                let mut max = f32::from_bits(acc);
+                for &w in words {
+                    max = max.max(f32::from_bits(w));
+                }
+                max.to_bits()
+            }
+            ReduceOp::SumI32 => {
+                let mut sum = acc as i32;
+                for &w in words {
+                    sum = sum.wrapping_add(w as i32);
+                }
+                sum as u32
+            }
+            ReduceOp::MinI32 => {
+                let mut min = acc as i32;
+                for &w in words {
+                    min = min.min(w as i32);
+                }
+                min as u32
+            }
+            ReduceOp::MaxI32 => {
+                let mut max = acc as i32;
+                for &w in words {
+                    max = max.max(w as i32);
+                }
+                max as u32
+            }
+        }
+    }
+
     /// Combines two raw words according to the operation.
     fn combine(self, a: u32, b: u32) -> u32 {
         match self {
@@ -66,11 +116,18 @@ impl Kernel for PartialReduceKernel {
         "reduce_partials"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let input = self.input.as_words();
         for item in group.items() {
-            let mut acc = self.op.identity_word();
-            for idx in item.assigned() {
-                acc = self.op.combine(acc, self.input.get_u32(idx));
-            }
+            let assigned = item.assigned();
+            let acc = if let Some(range) = assigned.as_range() {
+                self.op.reduce_slice(self.op.identity_word(), &input[range])
+            } else {
+                let mut acc = self.op.identity_word();
+                for idx in assigned {
+                    acc = self.op.combine(acc, input[idx]);
+                }
+                acc
+            };
             self.partials.set_u32(item.global_id, acc);
         }
     }
@@ -94,10 +151,8 @@ impl Kernel for FinalReduceKernel {
         if group.group_id() != 0 {
             return;
         }
-        let mut acc = self.op.identity_word();
-        for i in 0..self.count {
-            acc = self.op.combine(acc, self.partials.get_u32(i));
-        }
+        let partials = self.partials.chunk(0, self.count);
+        let acc = self.op.reduce_slice(self.op.identity_word(), partials);
         self.output.set_u32(0, acc);
     }
     fn cost(&self, _launch: &LaunchConfig) -> KernelCost {
@@ -117,7 +172,11 @@ pub fn reduce_word(ctx: &OcelotContext, input: &DevColumn, op: ReduceOp) -> Resu
     let queue = ctx.queue();
     let wait = ctx.memory().wait_for_read(&input.buffer);
     let e1 = queue.enqueue_kernel(
-        Arc::new(PartialReduceKernel { input: input.buffer.clone(), partials: partials.clone(), op }),
+        Arc::new(PartialReduceKernel {
+            input: input.buffer.clone(),
+            partials: partials.clone(),
+            op,
+        }),
         launch.clone(),
         &wait,
     )?;
@@ -173,7 +232,7 @@ mod tests {
 
     #[test]
     fn integer_reductions_match_reference_on_all_devices() {
-        let values: Vec<i32> = (0..10_000).map(|i| ((i * 37 + 11) % 2001) as i32 - 1000).collect();
+        let values: Vec<i32> = (0..10_000).map(|i| ((i * 37 + 11) % 2001) - 1000).collect();
         for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
             let col = ctx.upload_i32(&values, "v").unwrap();
             assert_eq!(sum_i32(&ctx, &col).unwrap(), values.iter().sum::<i32>());

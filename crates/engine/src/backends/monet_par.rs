@@ -151,9 +151,15 @@ impl Backend for MonetParBackend {
     fn fetch(&self, col: &HostColumn, oids: &HostColumn) -> HostColumn {
         let ids = oids.as_oids();
         match col {
-            HostColumn::I32(v) => HostColumn::I32(Arc::new(par::par_fetch_i32(v, ids, self.threads))),
-            HostColumn::F32(v) => HostColumn::F32(Arc::new(par::par_fetch_f32(v, ids, self.threads))),
-            HostColumn::Oid(v) => HostColumn::Oid(Arc::new(par::par_fetch_oid(v, ids, self.threads))),
+            HostColumn::I32(v) => {
+                HostColumn::I32(Arc::new(par::par_fetch_i32(v, ids, self.threads)))
+            }
+            HostColumn::F32(v) => {
+                HostColumn::F32(Arc::new(par::par_fetch_f32(v, ids, self.threads)))
+            }
+            HostColumn::Oid(v) => {
+                HostColumn::Oid(Arc::new(par::par_fetch_oid(v, ids, self.threads)))
+            }
         }
     }
 
@@ -301,7 +307,7 @@ mod tests {
     fn matches_sequential_backend_on_a_mini_pipeline() {
         let seq_backend = MonetSeqBackend::new();
         let par_backend = MonetParBackend::with_threads(4);
-        let values: Vec<i32> = (0..5_000).map(|i| ((i * 31 + 7) % 500) as i32).collect();
+        let values: Vec<i32> = (0..5_000).map(|i| (i * 31 + 7) % 500).collect();
         let payload: Vec<f32> = (0..5_000).map(|i| i as f32 * 0.5).collect();
 
         let run = |b: &dyn Fn() -> (Vec<u32>, f32)| b();
@@ -327,7 +333,7 @@ mod tests {
     fn grouped_aggregation_matches_sequential() {
         let seq_backend = MonetSeqBackend::new();
         let par_backend = MonetParBackend::with_threads(3);
-        let keys: Vec<i32> = (0..3_000).map(|i| (i % 13) as i32).collect();
+        let keys: Vec<i32> = (0..3_000).map(|i| i % 13).collect();
         let values: Vec<f32> = (0..3_000).map(|i| (i % 7) as f32).collect();
 
         let kseq = seq_backend.lift_i32(keys.clone());

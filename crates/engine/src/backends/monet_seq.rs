@@ -226,19 +226,13 @@ impl Backend for MonetSeqBackend {
     }
 
     fn sort_order_i32(&self, col: &HostColumn, descending: bool) -> HostColumn {
-        let (_, order) = if descending {
-            seq::sort_i32_desc(col.as_i32())
-        } else {
-            seq::sort_i32(col.as_i32())
-        };
+        let (_, order) =
+            if descending { seq::sort_i32_desc(col.as_i32()) } else { seq::sort_i32(col.as_i32()) };
         HostColumn::Oid(Arc::new(order))
     }
     fn sort_order_f32(&self, col: &HostColumn, descending: bool) -> HostColumn {
-        let (_, order) = if descending {
-            seq::sort_f32_desc(col.as_f32())
-        } else {
-            seq::sort_f32(col.as_f32())
-        };
+        let (_, order) =
+            if descending { seq::sort_f32_desc(col.as_f32()) } else { seq::sort_f32(col.as_f32()) };
         HostColumn::Oid(Arc::new(order))
     }
 
@@ -260,7 +254,8 @@ mod tests {
         // SELECT sum(b) FROM t WHERE 2 <= a AND a <= 4 GROUP BY c
         let backend = MonetSeqBackend::new();
         let a = backend.bat(&Bat::from_i32("a", vec![1, 2, 3, 4, 5, 3]).into_ref());
-        let b = backend.bat(&Bat::from_f32("b", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).into_ref());
+        let b =
+            backend.bat(&Bat::from_f32("b", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).into_ref());
         let c = backend.bat(&Bat::from_i32("c", vec![1, 1, 2, 2, 1, 2]).into_ref());
 
         backend.begin_timing();

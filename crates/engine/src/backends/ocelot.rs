@@ -4,7 +4,9 @@
 //! discrete GPU).
 
 use crate::backend::{Backend, GroupHandle};
-use ocelot_core::ops::{aggregate, calc, groupby, hash_table::OcelotHashTable, join, project, select, sort_radix};
+use ocelot_core::ops::{
+    aggregate, calc, groupby, hash_table::OcelotHashTable, join, project, select, sort_radix,
+};
 use ocelot_core::primitives::gather;
 use ocelot_core::{DevColumn, OcelotContext};
 use ocelot_kernel::GpuConfig;
@@ -88,7 +90,12 @@ impl OcelotBackend {
 
     /// Selection helper: evaluates a predicate bitmap over either the full
     /// column or the candidate subset, returning an OID candidate list.
-    fn select_with<F>(&self, col: &OcelotColumn, cands: Option<&OcelotColumn>, pred: F) -> OcelotColumn
+    fn select_with<F>(
+        &self,
+        col: &OcelotColumn,
+        cands: Option<&OcelotColumn>,
+        pred: F,
+    ) -> OcelotColumn
     where
         F: Fn(&OcelotContext, &DevColumn) -> ocelot_kernel::Result<ocelot_core::Bitmap>,
     {
@@ -278,8 +285,7 @@ impl Backend for OcelotBackend {
     fn group_by(&self, keys: &[&OcelotColumn]) -> GroupHandle<OcelotColumn> {
         let columns: Vec<&DevColumn> = keys.iter().map(|k| &k.col).collect();
         let hint = self.distinct_hint.min(keys.first().map(|k| k.col.len).unwrap_or(1).max(1));
-        let result =
-            groupby::group_by_columns(&self.ctx, &columns, hint).expect("group by failed");
+        let result = groupby::group_by_columns(&self.ctx, &columns, hint).expect("group by failed");
         GroupHandle {
             gids: OcelotColumn { col: result.gids, kind: ColKind::Oid },
             num_groups: result.num_groups,
@@ -293,8 +299,13 @@ impl Backend for OcelotBackend {
         groups: &GroupHandle<OcelotColumn>,
     ) -> OcelotColumn {
         OcelotColumn {
-            col: aggregate::grouped_sum_f32(&self.ctx, &values.col, &groups.gids.col, groups.num_groups)
-                .expect("grouped sum failed"),
+            col: aggregate::grouped_sum_f32(
+                &self.ctx,
+                &values.col,
+                &groups.gids.col,
+                groups.num_groups,
+            )
+            .expect("grouped sum failed"),
             kind: ColKind::F32,
         }
     }
@@ -311,8 +322,13 @@ impl Backend for OcelotBackend {
         groups: &GroupHandle<OcelotColumn>,
     ) -> OcelotColumn {
         OcelotColumn {
-            col: aggregate::grouped_min_f32(&self.ctx, &values.col, &groups.gids.col, groups.num_groups)
-                .expect("grouped min failed"),
+            col: aggregate::grouped_min_f32(
+                &self.ctx,
+                &values.col,
+                &groups.gids.col,
+                groups.num_groups,
+            )
+            .expect("grouped min failed"),
             kind: ColKind::F32,
         }
     }
@@ -322,8 +338,13 @@ impl Backend for OcelotBackend {
         groups: &GroupHandle<OcelotColumn>,
     ) -> OcelotColumn {
         OcelotColumn {
-            col: aggregate::grouped_max_f32(&self.ctx, &values.col, &groups.gids.col, groups.num_groups)
-                .expect("grouped max failed"),
+            col: aggregate::grouped_max_f32(
+                &self.ctx,
+                &values.col,
+                &groups.gids.col,
+                groups.num_groups,
+            )
+            .expect("grouped max failed"),
             kind: ColKind::F32,
         }
     }
@@ -333,8 +354,13 @@ impl Backend for OcelotBackend {
         groups: &GroupHandle<OcelotColumn>,
     ) -> OcelotColumn {
         OcelotColumn {
-            col: aggregate::grouped_avg_f32(&self.ctx, &values.col, &groups.gids.col, groups.num_groups)
-                .expect("grouped avg failed"),
+            col: aggregate::grouped_avg_f32(
+                &self.ctx,
+                &values.col,
+                &groups.gids.col,
+                groups.num_groups,
+            )
+            .expect("grouped avg failed"),
             kind: ColKind::F32,
         }
     }
@@ -432,8 +458,8 @@ mod tests {
     fn candidate_selection_composes() {
         let backend = OcelotBackend::cpu();
         let reference = MonetSeqBackend::new();
-        let values: Vec<i32> = (0..3_000).map(|i| (i % 50) as i32).collect();
-        let other: Vec<i32> = (0..3_000).map(|i| (i % 11) as i32).collect();
+        let values: Vec<i32> = (0..3_000).map(|i| i % 50).collect();
+        let other: Vec<i32> = (0..3_000).map(|i| i % 11).collect();
 
         let oc_v = backend.lift_i32(values.clone());
         let oc_o = backend.lift_i32(other.clone());
@@ -462,10 +488,11 @@ mod tests {
     fn joins_match_reference() {
         let backend = OcelotBackend::cpu();
         let reference = MonetSeqBackend::new();
-        let fk: Vec<i32> = (0..2_000).map(|i| (i % 150) as i32).collect();
+        let fk: Vec<i32> = (0..2_000).map(|i| i % 150).collect();
         let pk: Vec<i32> = (0..150).collect();
 
-        let (of, op) = backend.pkfk_join(&backend.lift_i32(fk.clone()), &backend.lift_i32(pk.clone()));
+        let (of, op) =
+            backend.pkfk_join(&backend.lift_i32(fk.clone()), &backend.lift_i32(pk.clone()));
         let (mf, mp) = reference.pkfk_join(&reference.lift_i32(fk), &reference.lift_i32(pk));
         assert_eq!(backend.to_oids(&of), reference.to_oids(&mf));
         assert_eq!(backend.to_oids(&op), reference.to_oids(&mp));

@@ -168,13 +168,16 @@ pub fn execute<B: Backend>(
     let mut registers: HashMap<Var, Slot<B::Column>> = HashMap::new();
     let mut results = Vec::new();
 
-    let column = |registers: &HashMap<Var, Slot<B::Column>>, var: Var| -> Result<B::Column, String> {
-        match registers.get(&var) {
-            Some(Slot::Column(c)) => Ok(c.clone()),
-            Some(Slot::Scalar(_)) => Err(format!("variable {var} holds a scalar, expected a column")),
-            None => Err(format!("variable {var} is undefined")),
-        }
-    };
+    let column =
+        |registers: &HashMap<Var, Slot<B::Column>>, var: Var| -> Result<B::Column, String> {
+            match registers.get(&var) {
+                Some(Slot::Column(c)) => Ok(c.clone()),
+                Some(Slot::Scalar(_)) => {
+                    Err(format!("variable {var} holds a scalar, expected a column"))
+                }
+                None => Err(format!("variable {var} is undefined")),
+            }
+        };
 
     for instruction in &plan.instructions {
         match instruction {
@@ -186,8 +189,10 @@ pub fn execute<B: Backend>(
             }
             MalInstr::SelectRangeI32 { input, low, high, out, .. } => {
                 let input = column(&registers, *input)?;
-                registers
-                    .insert(*out, Slot::Column(backend.select_range_i32(&input, *low, *high, None)));
+                registers.insert(
+                    *out,
+                    Slot::Column(backend.select_range_i32(&input, *low, *high, None)),
+                );
             }
             MalInstr::Fetch { values, oids, out, .. } => {
                 let values = column(&registers, *values)?;
@@ -227,13 +232,18 @@ pub fn execute<B: Backend>(
 /// `SELECT sum(b * b) FROM t WHERE a BETWEEN low AND high`.
 pub fn example_plan(table: &str, a: &str, b: &str, low: i32, high: i32) -> MalPlan {
     let mut plan = MalPlan::new();
-    plan.push(MalInstr::Bind { module: Module::Bat, table: table.into(), column: a.into(), out: 0 })
-        .push(MalInstr::Bind { module: Module::Bat, table: table.into(), column: b.into(), out: 1 })
-        .push(MalInstr::SelectRangeI32 { module: Module::Algebra, input: 0, low, high, out: 2 })
-        .push(MalInstr::Fetch { module: Module::Algebra, values: 1, oids: 2, out: 3 })
-        .push(MalInstr::MulF32 { module: Module::Batcalc, a: 3, b: 3, out: 4 })
-        .push(MalInstr::SumF32 { module: Module::Aggr, values: 4, out: 5 })
-        .push(MalInstr::Result { vars: vec![5] });
+    plan.push(MalInstr::Bind {
+        module: Module::Bat,
+        table: table.into(),
+        column: a.into(),
+        out: 0,
+    })
+    .push(MalInstr::Bind { module: Module::Bat, table: table.into(), column: b.into(), out: 1 })
+    .push(MalInstr::SelectRangeI32 { module: Module::Algebra, input: 0, low, high, out: 2 })
+    .push(MalInstr::Fetch { module: Module::Algebra, values: 1, oids: 2, out: 3 })
+    .push(MalInstr::MulF32 { module: Module::Batcalc, a: 3, b: 3, out: 4 })
+    .push(MalInstr::SumF32 { module: Module::Aggr, values: 4, out: 5 })
+    .push(MalInstr::Result { vars: vec![5] });
     plan
 }
 

@@ -77,12 +77,8 @@ pub fn atomic_min_i32(cell: &AtomicU32, value: i32) -> i32 {
         if old <= value {
             return old;
         }
-        match cell.compare_exchange_weak(
-            current,
-            value as u32,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match cell.compare_exchange_weak(current, value as u32, Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => return old,
             Err(actual) => current = actual,
         }
@@ -97,12 +93,8 @@ pub fn atomic_max_i32(cell: &AtomicU32, value: i32) -> i32 {
         if old >= value {
             return old;
         }
-        match cell.compare_exchange_weak(
-            current,
-            value as u32,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match cell.compare_exchange_weak(current, value as u32, Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => return old,
             Err(actual) => current = actual,
         }

@@ -112,12 +112,8 @@ impl MemAccountant {
                     available: self.capacity.saturating_sub(current),
                 });
             }
-            match self.used.compare_exchange_weak(
-                current,
-                new,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self.used.compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return Ok(()),
                 Err(actual) => current = actual,
             }
@@ -192,22 +188,12 @@ impl MulticoreDriver {
         if groups == 0 {
             return;
         }
-        let workers = self.pool.threads().min(groups);
-        let chunk = groups.div_ceil(workers);
-        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let start = w * chunk;
-            let end = ((w + 1) * chunk).min(groups);
-            if start >= end {
-                break;
-            }
-            let kernel = Arc::clone(kernel);
-            let launch = launch.clone();
-            jobs.push(Box::new(move || {
-                run_group_range(kernel.as_ref(), &launch, start..end);
-            }));
-        }
-        self.pool.execute_all(jobs);
+        // The scoped slice path borrows the kernel and launch directly: no
+        // per-launch boxing, no Arc clone per worker.
+        let kernel = kernel.as_ref();
+        self.pool.for_each_slice(groups, |start, end| {
+            run_group_range(kernel, launch, start..end);
+        });
     }
 }
 
@@ -441,8 +427,7 @@ mod tests {
 
     #[test]
     fn gpu_allocation_limited_by_device_memory() {
-        let mut cfg = GpuConfig::default();
-        cfg.global_mem_bytes = 1024; // 256 words
+        let cfg = GpuConfig { global_mem_bytes: 1024, ..Default::default() }; // 256 words
         let gpu = Device::simulated_gpu(cfg);
         let _a = gpu.alloc(200, "a").unwrap();
         let err = gpu.alloc(100, "b").unwrap_err();
@@ -451,8 +436,7 @@ mod tests {
 
     #[test]
     fn dropping_buffer_frees_device_memory() {
-        let mut cfg = GpuConfig::default();
-        cfg.global_mem_bytes = 1024;
+        let cfg = GpuConfig { global_mem_bytes: 1024, ..Default::default() };
         let gpu = Device::simulated_gpu(cfg);
         {
             let _a = gpu.alloc(200, "a").unwrap();

@@ -58,10 +58,9 @@ impl fmt::Display for KernelError {
             KernelError::IncompleteDependency(id) => {
                 write!(f, "dependency event {id} has not completed")
             }
-            KernelError::BufferTooSmall { label, len, required } => write!(
-                f,
-                "buffer '{label}' holds {len} words but the kernel requires {required}"
-            ),
+            KernelError::BufferTooSmall { label, len, required } => {
+                write!(f, "buffer '{label}' holds {len} words but the kernel requires {required}")
+            }
             KernelError::Internal(msg) => write!(f, "internal kernel runtime error: {msg}"),
         }
     }

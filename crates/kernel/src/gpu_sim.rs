@@ -169,8 +169,10 @@ mod tests {
     #[test]
     fn larger_kernels_cost_more() {
         let model = GpuCostModel::new(GpuConfig::default());
-        let small = model.kernel_ns(&KernelCost::streaming(1 << 10), &launch(AccessPattern::Strided));
-        let large = model.kernel_ns(&KernelCost::streaming(1 << 24), &launch(AccessPattern::Strided));
+        let small =
+            model.kernel_ns(&KernelCost::streaming(1 << 10), &launch(AccessPattern::Strided));
+        let large =
+            model.kernel_ns(&KernelCost::streaming(1 << 24), &launch(AccessPattern::Strided));
         assert!(large > small);
     }
 

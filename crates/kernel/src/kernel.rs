@@ -252,7 +252,8 @@ impl WorkItem {
     pub fn assigned(&self) -> AssignedIndices {
         match self.access {
             AccessPattern::Contiguous => {
-                let chunk = if self.total_items == 0 { 0 } else { self.n.div_ceil(self.total_items) };
+                let chunk =
+                    if self.total_items == 0 { 0 } else { self.n.div_ceil(self.total_items) };
                 let start = (self.global_id * chunk).min(self.n);
                 let end = ((self.global_id + 1) * chunk).min(self.n);
                 AssignedIndices::Contiguous(start..end)
@@ -291,6 +292,22 @@ pub enum AssignedIndices {
         /// Exclusive upper bound.
         n: usize,
     },
+}
+
+impl AssignedIndices {
+    /// The assignment as a contiguous index range, when it is one.
+    ///
+    /// Streaming kernels use this to take a bulk slice view of their chunk
+    /// (one bounds check per chunk instead of per element) and fall back to
+    /// per-index iteration for the strided/coalesced pattern, where the
+    /// assignment is not a slice.
+    #[inline]
+    pub fn as_range(&self) -> Option<Range<usize>> {
+        match self {
+            AssignedIndices::Contiguous(range) => Some(range.clone()),
+            AssignedIndices::Strided { .. } => None,
+        }
+    }
 }
 
 impl Iterator for AssignedIndices {
@@ -366,8 +383,7 @@ mod tests {
     fn strided_neighbouring_items_access_neighbouring_indices() {
         let launch = LaunchConfig::new(1, 4, 16, AccessPattern::Strided);
         let ctx = WorkGroupCtx::new(0, &launch);
-        let firsts: Vec<usize> =
-            ctx.items().map(|item| item.assigned().next().unwrap()).collect();
+        let firsts: Vec<usize> = ctx.items().map(|item| item.assigned().next().unwrap()).collect();
         assert_eq!(firsts, vec![0, 1, 2, 3], "coalesced: item i starts at index i");
     }
 

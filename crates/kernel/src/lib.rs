@@ -124,9 +124,7 @@ mod tests {
         }
         let queue = device.create_queue();
         let launch = device.launch_config(n);
-        queue
-            .enqueue_kernel(Arc::new(Doubler { buf: buf.clone() }), launch, &[])
-            .unwrap();
+        queue.enqueue_kernel(Arc::new(Doubler { buf: buf.clone() }), launch, &[]).unwrap();
         queue.flush().unwrap();
         (0..n).map(|i| buf.get_i32(i)).collect()
     }

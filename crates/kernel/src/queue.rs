@@ -178,12 +178,7 @@ impl Queue {
         launch.validate()?;
         self.check_wait_list(wait)?;
         let event = self.events.issue(EventKind::Kernel(kernel.name().to_string()));
-        self.pending.lock().push(PendingOp::Kernel {
-            kernel,
-            launch,
-            wait: wait.to_vec(),
-            event,
-        });
+        self.pending.lock().push(PendingOp::Kernel { kernel, launch, wait: wait.to_vec(), event });
         Ok(event)
     }
 
@@ -428,9 +423,7 @@ mod tests {
         let queue = device.create_queue();
         for _ in 0..3 {
             let launch = device.launch_config(8);
-            queue
-                .enqueue_kernel(Arc::new(Increment { buf: buf.clone() }), launch, &[])
-                .unwrap();
+            queue.enqueue_kernel(Arc::new(Increment { buf: buf.clone() }), launch, &[]).unwrap();
             queue.flush().unwrap();
         }
         assert_eq!(queue.total_stats().kernels, 3);

@@ -1,25 +1,223 @@
-//! A small, dependency-light worker pool used by the CPU and simulated-GPU
+//! A small, dependency-free worker pool used by the CPU and simulated-GPU
 //! drivers to execute work-groups in parallel.
 //!
 //! The pool is intentionally simple: a fixed set of worker threads pulling
-//! closures from a crossbeam channel. Drivers submit one job per work-group
-//! batch and wait for completion with a [`crossbeam::sync::WaitGroup`]. This
-//! mirrors how an OpenCL CPU runtime maps work-groups onto OS threads
-//! (one work-group is always executed by a single thread, paper §2.3).
+//! tasks from a shared queue. This mirrors how an OpenCL CPU runtime maps
+//! work-groups onto OS threads (one work-group is always executed by a
+//! single thread, paper §2.3).
+//!
+//! Two submission paths exist:
+//!
+//! * [`ThreadPool::execute_all`] — heterogeneous one-shot jobs, one heap
+//!   allocation per job (unavoidable for distinct `FnOnce` closures).
+//! * [`ThreadPool::for_each_slice`] — the hot path drivers use for every
+//!   kernel launch. It is *scoped* (the body may borrow from the caller's
+//!   stack — no `'static` bound, no per-launch `Arc` cloning of kernels) and
+//!   *allocation-light*: one shared task object is allocated per call,
+//!   workers claim chunks from it through an atomic cursor, and the calling
+//!   thread participates instead of blocking idle. This replaces the old
+//!   scheme of one boxed closure plus one wait-group clone per slice.
 
-use crossbeam::channel::{unbounded, Sender};
-use crossbeam::sync::WaitGroup;
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// Completion latch: counts outstanding work and wakes the waiter when the
+/// count reaches zero. Panics observed while completing are replayed on the
+/// waiting thread so a crashing kernel fails the launch instead of
+/// deadlocking or dying silently on a worker.
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            panicked: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self) {
+        self.complete_many(1);
+    }
+
+    fn complete_many(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if self.remaining.fetch_sub(n, Ordering::AcqRel) == n {
+            // Taking the lock orders this notification after the waiter's
+            // check of `remaining`, so the wakeup cannot be lost.
+            let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_all();
+        }
+    }
+
+    fn record_panic(&self) {
+        self.panicked.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the count reaches zero (never panics).
+    fn wait_done(&self) {
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn wait(&self) {
+        self.wait_done();
+        if self.panicked.load(Ordering::Acquire) {
+            panic!("ThreadPool: a submitted job panicked");
+        }
+    }
+}
+
+/// Completes one unit on drop, so unwinding bodies still release the waiter.
+struct CompletionGuard<'a> {
+    latch: &'a Latch,
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.latch.record_panic();
+        }
+        self.latch.complete_one();
+    }
+}
+
+/// A sliced launch shared between the caller and the workers: `body` is
+/// applied to chunks of `0..count` claimed through `cursor`.
+struct SliceTask {
+    /// Lifetime-erased borrow of the caller's closure. Sound because
+    /// [`ThreadPool::for_each_slice`] blocks on `latch` until every claimed
+    /// chunk has completed before returning, and no chunk can be claimed
+    /// after the cursor is exhausted.
+    body: &'static (dyn Fn(usize, usize) + Sync),
+    count: usize,
+    chunk: usize,
+    n_chunks: usize,
+    cursor: AtomicUsize,
+    latch: Latch,
+}
+
+// SAFETY: `body` is `Sync` (shared calls are fine) and only dereferenced
+// while the creating call frame is alive (see `SliceTask::body`).
+unsafe impl Send for SliceTask {}
+unsafe impl Sync for SliceTask {}
+
+impl SliceTask {
+    /// Claims and runs chunks until the cursor is exhausted. Called by both
+    /// the workers and the submitting thread.
+    fn run_to_exhaustion(&self) {
+        loop {
+            let index = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if index >= self.n_chunks {
+                return;
+            }
+            let start = index * self.chunk;
+            let end = (start + self.chunk).min(self.count);
+            let _guard = ChunkGuard { task: self };
+            (self.body)(start, end);
+        }
+    }
+}
+
+/// Chunk-scoped completion guard: completes the claimed chunk on drop, and —
+/// when the body panicked — also retires every chunk that will now never be
+/// claimed. Each panicking claimer stops claiming, so without this the latch
+/// count never reaches zero and `for_each_slice` would hang instead of
+/// propagating the panic.
+struct ChunkGuard<'a> {
+    task: &'a SliceTask,
+}
+
+impl Drop for ChunkGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.task.latch.record_panic();
+            // Exhaust the cursor: chunks in [old, n_chunks) can no longer be
+            // handed out to anyone, so account for them here. Concurrent
+            // claimers either got an index below `old` (they run it and
+            // complete it themselves) or observe an exhausted cursor.
+            let old = self.task.cursor.swap(self.task.n_chunks, Ordering::AcqRel);
+            let never_claimed = self.task.n_chunks.saturating_sub(old);
+            self.task.latch.complete_many(never_claimed);
+        }
+        self.task.latch.complete_one();
+    }
+}
+
+enum Task {
+    /// A boxed one-shot job (from `submit` / `execute_all`).
+    Job(Box<dyn FnOnce() + Send + 'static>),
+    /// A shared sliced launch (from `for_each_slice`).
+    Sliced(Arc<SliceTask>),
+}
+
+/// Blocking MPMC queue the workers pull from.
+struct TaskQueue {
+    tasks: Mutex<VecDeque<Task>>,
+    cv: Condvar,
+    closed: AtomicBool,
+}
+
+impl TaskQueue {
+    fn new() -> TaskQueue {
+        TaskQueue {
+            tasks: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, task: Task) {
+        let mut tasks = self.tasks.lock().unwrap_or_else(|e| e.into_inner());
+        tasks.push_back(task);
+        drop(tasks);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next task; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<Task> {
+        let mut tasks = self.tasks.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(task) = tasks.pop_front() {
+                return Some(task);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            tasks = self.cv.wait(tasks).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        // The store must happen under the queue mutex: a worker that has
+        // checked `closed` but not yet parked on the condvar would otherwise
+        // miss this notification forever and `Drop::join` would hang.
+        let guard = self.tasks.lock().unwrap_or_else(|e| e.into_inner());
+        self.closed.store(true, Ordering::Release);
+        drop(guard);
+        self.cv.notify_all();
+    }
+}
 
 /// Fixed-size worker pool.
 ///
 /// Dropping the pool shuts the workers down after they drain outstanding
-/// jobs. The pool is cheap to share: drivers hold it in an `Arc`.
+/// tasks. The pool is cheap to share: drivers hold it in an `Arc`.
 pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
+    queue: Arc<TaskQueue>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
 }
@@ -28,21 +226,27 @@ impl ThreadPool {
     /// Creates a pool with `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (sender, receiver) = unbounded::<Job>();
+        let queue = Arc::new(TaskQueue::new());
         let mut workers = Vec::with_capacity(threads);
         for worker_id in 0..threads {
-            let receiver = receiver.clone();
+            let queue = Arc::clone(&queue);
             let handle = std::thread::Builder::new()
                 .name(format!("ocelot-worker-{worker_id}"))
                 .spawn(move || {
-                    while let Ok(job) = receiver.recv() {
-                        job();
+                    while let Some(task) = queue.pop() {
+                        // A panicking job must not take the worker down with
+                        // it: completion guards record the panic and the
+                        // waiting thread replays it.
+                        let _ = catch_unwind(AssertUnwindSafe(|| match task {
+                            Task::Job(job) => job(),
+                            Task::Sliced(slices) => slices.run_to_exhaustion(),
+                        }));
                     }
                 })
                 .expect("failed to spawn ocelot worker thread");
             workers.push(handle);
         }
-        ThreadPool { sender: Some(sender), workers, threads }
+        ThreadPool { queue, workers, threads }
     }
 
     /// Creates a pool sized to the machine's available parallelism.
@@ -61,18 +265,11 @@ impl ThreadPool {
     where
         F: FnOnce() + Send + 'static,
     {
-        if let Some(sender) = &self.sender {
-            // The receiver only disconnects when the pool is dropped, so a
-            // send failure can only happen during shutdown races; dropping
-            // the job is acceptable there.
-            let _ = sender.send(Box::new(job));
-        }
+        self.queue.push(Task::Job(Box::new(job)));
     }
 
     /// Runs every closure in `jobs` on the pool and blocks until all of them
-    /// have finished.
-    ///
-    /// This is the primitive the drivers use: one job per work-group batch.
+    /// have finished. Panics if any job panicked.
     pub fn execute_all<F>(&self, jobs: Vec<F>)
     where
         F: FnOnce() + Send + 'static,
@@ -80,51 +277,84 @@ impl ThreadPool {
         if jobs.is_empty() {
             return;
         }
-        let wg = WaitGroup::new();
+        let latch = Arc::new(Latch::new(jobs.len()));
         for job in jobs {
-            let wg = wg.clone();
-            self.submit(move || {
+            let latch = Arc::clone(&latch);
+            self.queue.push(Task::Job(Box::new(move || {
+                let _guard = CompletionGuard { latch: &latch };
                 job();
-                drop(wg);
-            });
+            })));
         }
-        wg.wait();
+        latch.wait();
     }
 
-    /// Partitions the half-open range `0..count` into roughly equal slices
-    /// (one per worker) and runs `body(start, end)` for every non-empty
-    /// slice, blocking until all slices are done.
+    /// Partitions the half-open range `0..count` into chunks and runs
+    /// `body(start, end)` for every non-empty chunk, blocking until all of
+    /// them are done. Chunks are claimed dynamically (a few per worker) so
+    /// uneven bodies still balance, and the calling thread participates
+    /// instead of waiting idle.
     ///
-    /// The hand-tuned "mitosis" parallel baseline in `ocelot-monet` is built
-    /// on this helper.
+    /// The body may borrow from the caller's stack — the call blocks until
+    /// every chunk has completed, so no `'static` bound is needed. This is
+    /// the hot path of every kernel launch on the multicore drivers; it
+    /// allocates exactly one shared task object regardless of `count`.
     pub fn for_each_slice<F>(&self, count: usize, body: F)
     where
-        F: Fn(usize, usize) + Send + Sync + 'static,
+        F: Fn(usize, usize) + Send + Sync,
     {
         if count == 0 {
             return;
         }
-        let body = Arc::new(body);
-        let workers = self.threads.min(count);
-        let chunk = count.div_ceil(workers);
-        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let start = w * chunk;
-            let end = ((w + 1) * chunk).min(count);
-            if start >= end {
-                break;
-            }
-            let body = Arc::clone(&body);
-            jobs.push(Box::new(move || body(start, end)));
+        if self.threads == 1 {
+            body(0, count);
+            return;
         }
-        self.execute_all(jobs);
+        // A few chunks per worker: enough slack to balance skewed bodies,
+        // few enough that chunk-claim traffic stays negligible.
+        let n_chunks = (self.threads * 4).min(count);
+        let chunk = count.div_ceil(n_chunks);
+        let n_chunks = count.div_ceil(chunk);
+
+        let body_ref: &(dyn Fn(usize, usize) + Sync) = &body;
+        // SAFETY: lifetime erasure only — the task cannot outlive this call
+        // frame in any way that *uses* `body`: chunks are claimed through
+        // `cursor` (exhausted before `latch` releases), and `latch.wait()`
+        // below blocks until every claimed chunk has completed. Workers that
+        // pick the task up later observe an exhausted cursor and never touch
+        // `body`.
+        let body_static: &'static (dyn Fn(usize, usize) + Sync) =
+            unsafe { std::mem::transmute(body_ref) };
+
+        let task = Arc::new(SliceTask {
+            body: body_static,
+            count,
+            chunk,
+            n_chunks,
+            cursor: AtomicUsize::new(0),
+            latch: Latch::new(n_chunks),
+        });
+        // One queue entry per worker that could usefully help (not per
+        // chunk): each entry drains chunks until the cursor runs out.
+        let helpers = (self.threads - 1).min(n_chunks);
+        for _ in 0..helpers {
+            self.queue.push(Task::Sliced(Arc::clone(&task)));
+        }
+        // The caller's own chunks run under catch_unwind: an unwinding body
+        // must not escape this frame while workers may still call `body`.
+        let caller = catch_unwind(AssertUnwindSafe(|| task.run_to_exhaustion()));
+        task.latch.wait_done();
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if task.latch.panicked.load(Ordering::Acquire) {
+            panic!("ThreadPool: a for_each_slice body panicked");
+        }
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel makes the workers' recv() fail and exit.
-        self.sender.take();
+        self.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -167,11 +397,12 @@ mod tests {
     #[test]
     fn slices_cover_range_exactly_once() {
         let pool = ThreadPool::new(3);
-        let hits = Arc::new((0..1000).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
-        let hits_clone = Arc::clone(&hits);
-        pool.for_each_slice(1000, move |start, end| {
-            for i in start..end {
-                hits_clone[i].fetch_add(1, Ordering::SeqCst);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        // The body borrows `hits` from this stack frame — the scoped path
+        // needs no Arc and no 'static.
+        pool.for_each_slice(1000, |start, end| {
+            for hit in &hits[start..end] {
+                hit.fetch_add(1, Ordering::SeqCst);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
@@ -181,6 +412,21 @@ mod tests {
     fn zero_count_slice_is_noop() {
         let pool = ThreadPool::new(2);
         pool.for_each_slice(0, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut touched = vec![false; 100];
+        let cell = std::sync::Mutex::new(&mut touched);
+        pool.for_each_slice(100, |start, end| {
+            let mut guard = cell.lock().unwrap();
+            for i in start..end {
+                guard[i] = true;
+            }
+        });
+        assert!(touched.iter().all(|t| *t));
     }
 
     #[test]
@@ -209,5 +455,67 @@ mod tests {
             .collect();
         pool.execute_all(jobs);
         assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn more_slices_than_threads_balance_dynamically() {
+        let pool = ThreadPool::new(2);
+        let total = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&total);
+        pool.for_each_slice(10_000, move |start, end| {
+            t.fetch_add(end - start, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 10_000);
+    }
+
+    #[test]
+    fn panicking_job_propagates_to_waiter_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_slice(8, |start, _| {
+                if start == 0 {
+                    panic!("kernel bug");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the submitting thread");
+        // The pool is still usable afterwards.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.for_each_slice(100, move |start, end| {
+            c.fetch_add(end - start, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn panicking_in_every_chunk_panics_instead_of_hanging() {
+        // More panicking chunks than claimers: each claimer dies after one
+        // chunk, so the unclaimed chunks must be retired by the panic path
+        // or the latch would wait forever.
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_slice(100, |_, _| panic!("kernel bug in every chunk"));
+        }));
+        assert!(result.is_err(), "panic must propagate, not hang");
+        // The pool is still usable afterwards.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.for_each_slice(50, move |start, end| {
+            c.fetch_add(end - start, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn sequential_pool_still_observes_borrowed_state() {
+        // Regression guard for the scoped API: mutable borrow via interior
+        // mutability, single-threaded inline fast path.
+        let pool = ThreadPool::new(1);
+        let sum = AtomicUsize::new(0);
+        pool.for_each_slice(10, |start, end| {
+            sum.fetch_add(end - start, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
     }
 }

@@ -16,36 +16,31 @@ pub fn par_sum_f32(values: &[f32], threads: usize) -> f32 {
 
 /// Parallel sum of an integer column.
 pub fn par_sum_i32(values: &[i32], threads: usize) -> i64 {
-    let partials =
-        run_partitions(values.len(), threads, |s, e| sequential::sum_i32(&values[s..e]));
+    let partials = run_partitions(values.len(), threads, |s, e| sequential::sum_i32(&values[s..e]));
     partials.into_iter().sum()
 }
 
 /// Parallel minimum of an integer column.
 pub fn par_min_i32(values: &[i32], threads: usize) -> Option<i32> {
-    let partials =
-        run_partitions(values.len(), threads, |s, e| sequential::min_i32(&values[s..e]));
+    let partials = run_partitions(values.len(), threads, |s, e| sequential::min_i32(&values[s..e]));
     partials.into_iter().flatten().min()
 }
 
 /// Parallel maximum of an integer column.
 pub fn par_max_i32(values: &[i32], threads: usize) -> Option<i32> {
-    let partials =
-        run_partitions(values.len(), threads, |s, e| sequential::max_i32(&values[s..e]));
+    let partials = run_partitions(values.len(), threads, |s, e| sequential::max_i32(&values[s..e]));
     partials.into_iter().flatten().max()
 }
 
 /// Parallel minimum of a float column.
 pub fn par_min_f32(values: &[f32], threads: usize) -> Option<f32> {
-    let partials =
-        run_partitions(values.len(), threads, |s, e| sequential::min_f32(&values[s..e]));
+    let partials = run_partitions(values.len(), threads, |s, e| sequential::min_f32(&values[s..e]));
     partials.into_iter().flatten().reduce(f32::min)
 }
 
 /// Parallel maximum of a float column.
 pub fn par_max_f32(values: &[f32], threads: usize) -> Option<f32> {
-    let partials =
-        run_partitions(values.len(), threads, |s, e| sequential::max_f32(&values[s..e]));
+    let partials = run_partitions(values.len(), threads, |s, e| sequential::max_f32(&values[s..e]));
     partials.into_iter().flatten().reduce(f32::max)
 }
 
@@ -167,7 +162,7 @@ mod tests {
     #[test]
     fn ungrouped_match_sequential() {
         let vals = values(10_000);
-        let ints: Vec<i32> = (0..10_000).map(|i| (i % 997) as i32 - 200).collect();
+        let ints: Vec<i32> = (0..10_000).map(|i| (i % 997) - 200).collect();
         for threads in [1, 2, 4] {
             assert!((par_sum_f32(&vals, threads) - sequential::sum_f32(&vals)).abs() < 1e-3);
             assert_eq!(par_sum_i32(&ints, threads), sequential::sum_i32(&ints));
@@ -196,10 +191,7 @@ mod tests {
         for (a, b) in seq_sum.iter().zip(par_sum.iter()) {
             assert!((a - b).abs() < 1e-2);
         }
-        assert_eq!(
-            par_grouped_count(&ids, 37, 4),
-            sequential::grouped_count(&ids, 37)
-        );
+        assert_eq!(par_grouped_count(&ids, 37, 4), sequential::grouped_count(&ids, 37));
         assert_eq!(
             par_grouped_min_f32(&vals, &ids, 37, 4),
             sequential::grouped_min_f32(&vals, &ids, 37)

@@ -75,9 +75,7 @@ pub fn par_group_refine_i32(column: &[i32], previous: &GroupResult, threads: usi
     }
 
     let gid_parts = run_partitions(column.len(), threads, |start, end| {
-        (start..end)
-            .map(|row| mapping[&(previous.gids[row], column[row])])
-            .collect::<Vec<u32>>()
+        (start..end).map(|row| mapping[&(previous.gids[row], column[row])]).collect::<Vec<u32>>()
     });
     let gids: Vec<u32> = gid_parts.into_iter().flatten().collect();
 
@@ -120,7 +118,7 @@ mod tests {
 
     #[test]
     fn matches_sequential_partitioning() {
-        let column: Vec<i32> = (0..5_000).map(|i| ((i * 31 + 7) % 100) as i32).collect();
+        let column: Vec<i32> = (0..5_000).map(|i| (i * 31 + 7) % 100).collect();
         let seq = sequential::group_by_i32(&column);
         for threads in [1, 2, 4, 7] {
             let par = par_group_by_i32(&column, threads);
@@ -130,7 +128,7 @@ mod tests {
 
     #[test]
     fn representatives_belong_to_their_groups() {
-        let column: Vec<i32> = (0..1_000).map(|i| (i % 13) as i32).collect();
+        let column: Vec<i32> = (0..1_000).map(|i| i % 13).collect();
         let par = par_group_by_i32(&column, 4);
         assert_eq!(par.representatives.len(), par.num_groups);
         for (gid, rep) in par.representatives.iter().enumerate() {
@@ -140,8 +138,8 @@ mod tests {
 
     #[test]
     fn refinement_matches_sequential() {
-        let a: Vec<i32> = (0..2_000).map(|i| (i % 5) as i32).collect();
-        let b: Vec<i32> = (0..2_000).map(|i| (i % 7) as i32).collect();
+        let a: Vec<i32> = (0..2_000).map(|i| i % 5).collect();
+        let b: Vec<i32> = (0..2_000).map(|i| i % 7).collect();
         let seq = sequential::group_by_columns(&[&a, &b]);
         let par = par_group_by_columns(&[&a, &b], 4);
         assert_eq!(seq.num_groups, par.num_groups);

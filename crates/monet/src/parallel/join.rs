@@ -126,14 +126,8 @@ mod tests {
     fn semi_and_anti_match_sequential() {
         let left = keys(4_000, 300);
         let right = keys(100, 150);
-        assert_eq!(
-            par_semi_join_i32(&left, &right, 4),
-            sequential::semi_join_i32(&left, &right)
-        );
-        assert_eq!(
-            par_anti_join_i32(&left, &right, 4),
-            sequential::anti_join_i32(&left, &right)
-        );
+        assert_eq!(par_semi_join_i32(&left, &right, 4), sequential::semi_join_i32(&left, &right));
+        assert_eq!(par_anti_join_i32(&left, &right, 4), sequential::anti_join_i32(&left, &right));
     }
 
     #[test]

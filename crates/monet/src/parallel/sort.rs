@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     fn matches_sequential_values() {
-        let column: Vec<i32> = (0..10_000).map(|i| ((i * 73 + 19) % 4001) as i32 - 2000).collect();
+        let column: Vec<i32> = (0..10_000).map(|i| ((i * 73 + 19) % 4001) - 2000).collect();
         let (seq_sorted, _) = sequential::sort_i32(&column);
         for threads in [1, 2, 4, 5] {
             let (par_sorted, par_order) = par_sort_i32(&column, threads);
@@ -93,7 +93,8 @@ mod tests {
 
     #[test]
     fn float_sort_matches_sequential() {
-        let column: Vec<f32> = (0..5_000).map(|i| ((i * 31 + 7) % 999) as f32 * 0.25 - 50.0).collect();
+        let column: Vec<f32> =
+            (0..5_000).map(|i| ((i * 31 + 7) % 999) as f32 * 0.25 - 50.0).collect();
         let (seq_sorted, _) = sequential::sort_f32(&column);
         let (par_sorted, _) = par_sort_f32(&column, 4);
         assert_eq!(par_sorted, seq_sorted);

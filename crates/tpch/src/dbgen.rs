@@ -80,19 +80,17 @@ const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"
 const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const SHIPINSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIPINSTRUCT: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 const RETURNFLAGS: [&str; 3] = ["R", "A", "N"];
 const LINESTATUS: [&str; 2] = ["O", "F"];
 const BRANDS: [&str; 25] = [
-    "Brand#11", "Brand#12", "Brand#13", "Brand#14", "Brand#15", "Brand#21", "Brand#22",
-    "Brand#23", "Brand#24", "Brand#25", "Brand#31", "Brand#32", "Brand#33", "Brand#34",
-    "Brand#35", "Brand#41", "Brand#42", "Brand#43", "Brand#44", "Brand#45", "Brand#51",
-    "Brand#52", "Brand#53", "Brand#54", "Brand#55",
+    "Brand#11", "Brand#12", "Brand#13", "Brand#14", "Brand#15", "Brand#21", "Brand#22", "Brand#23",
+    "Brand#24", "Brand#25", "Brand#31", "Brand#32", "Brand#33", "Brand#34", "Brand#35", "Brand#41",
+    "Brand#42", "Brand#43", "Brand#44", "Brand#45", "Brand#51", "Brand#52", "Brand#53", "Brand#54",
+    "Brand#55",
 ];
-const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "MED PKG", "LG BOX",
-];
+const CONTAINERS: [&str; 8] =
+    ["SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "MED PKG", "LG BOX"];
 const TYPES: [&str; 6] = [
     "ECONOMY ANODIZED STEEL",
     "STANDARD POLISHED TIN",
@@ -168,7 +166,10 @@ impl TpchDb {
                 "s_name",
                 Bat::from_i32_typed("s_name", s_name, ColumnType::StrCode).into_ref(),
             )
-            .with_column("s_nationkey", Bat::from_i32("s_nationkey", s_nationkey.clone()).into_ref());
+            .with_column(
+                "s_nationkey",
+                Bat::from_i32("s_nationkey", s_nationkey.clone()).into_ref(),
+            );
         catalog.add_table(supplier);
         catalog.add_dictionary("supplier", "s_name", supplier_name_dict);
 
@@ -239,14 +240,12 @@ impl TpchDb {
         catalog.add_dictionary("part", "p_type", type_dict);
 
         // ---- partsupp ----
-        let ps_partkey: Vec<i32> =
-            (0..num_partsupp).map(|i| (i / 4) as i32).collect();
+        let ps_partkey: Vec<i32> = (0..num_partsupp).map(|i| (i / 4) as i32).collect();
         let ps_suppkey: Vec<i32> =
             (0..num_partsupp).map(|_| rng.gen_range(0..num_suppliers as i32)).collect();
         let ps_supplycost: Vec<f32> =
             (0..num_partsupp).map(|_| rng.gen_range(1.0..1000.0)).collect();
-        let ps_availqty: Vec<f32> =
-            (0..num_partsupp).map(|_| rng.gen_range(1.0..9999.0)).collect();
+        let ps_availqty: Vec<f32> = (0..num_partsupp).map(|_| rng.gen_range(1.0..9999.0)).collect();
         let partsupp = Table::new("partsupp")
             .with_column("ps_partkey", Bat::from_i32("ps_partkey", ps_partkey).into_ref())
             .with_column("ps_suppkey", Bat::from_i32("ps_suppkey", ps_suppkey).into_ref())
@@ -284,7 +283,8 @@ impl TpchDb {
             .with_column("o_custkey", Bat::from_i32("o_custkey", o_custkey).into_ref())
             .with_column(
                 "o_orderdate",
-                Bat::from_i32_typed("o_orderdate", o_orderdate.clone(), ColumnType::Date).into_ref(),
+                Bat::from_i32_typed("o_orderdate", o_orderdate.clone(), ColumnType::Date)
+                    .into_ref(),
             )
             .with_column(
                 "o_orderpriority",
@@ -295,7 +295,10 @@ impl TpchDb {
                 "o_orderstatus",
                 Bat::from_i32_typed("o_orderstatus", o_orderstatus, ColumnType::StrCode).into_ref(),
             )
-            .with_column("o_shippriority", Bat::from_i32("o_shippriority", o_shippriority).into_ref());
+            .with_column(
+                "o_shippriority",
+                Bat::from_i32("o_shippriority", o_shippriority).into_ref(),
+            );
         catalog.add_table(orders);
         catalog.add_dictionary("orders", "o_orderpriority", priority_dict);
         catalog.add_dictionary("orders", "o_orderstatus", status_dict);
@@ -319,6 +322,7 @@ impl TpchDb {
         let mut l_receiptdate = Vec::new();
         let mut l_shipmode = Vec::new();
         let mut l_shipinstruct = Vec::new();
+        #[allow(clippy::needless_range_loop)] // `order` is also the order key itself
         for order in 0..num_orders {
             let lines = rng.gen_range(1..=7);
             for _ in 0..lines {
@@ -516,12 +520,7 @@ mod tests {
         assert_eq!(db.decode("customer", "c_mktsegment", code), "BUILDING");
         // Unknown literals resolve to a sentinel that matches nothing.
         let missing = db.code("customer", "c_mktsegment", "NOT A SEGMENT");
-        assert!(!db
-            .col("customer", "c_mktsegment")
-            .as_i32()
-            .unwrap()
-            .iter()
-            .any(|c| *c == missing));
+        assert!(!db.col("customer", "c_mktsegment").as_i32().unwrap().contains(&missing));
     }
 
     #[test]
