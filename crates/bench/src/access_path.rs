@@ -267,9 +267,11 @@ pub fn bench_scan(report: &mut Report) {
             total.get_u32(0)
         },
         || {
+            // The scan is deferred now; `.get()` forces the flush so the
+            // measured work matches the baseline body.
             let (out, total) = prefix_sum::exclusive_scan_u32(&ctx, &col).unwrap();
             let _ = out;
-            total
+            total.get(&ctx).unwrap()
         },
     );
     report.push(atomic);

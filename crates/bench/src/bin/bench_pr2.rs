@@ -1,0 +1,27 @@
+//! Emits `BENCH_pr2.json`: the PR 2 chained-pipeline micro-benchmark —
+//! the old eager-readback operator API vs the deferred device-value path
+//! (`DevScalar<T>` / deferred column lengths, one sync at the final `.get()`).
+//!
+//! Usage: `cargo run --release --bin bench_pr2 [-- --smoke] [output-path]`
+//!
+//! `--smoke` runs a reduced configuration (small input, few samples) for CI,
+//! still exercising both paths end-to-end and writing the report.
+
+use ocelot_bench::deferred;
+use ocelot_bench::harness::Report;
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "BENCH_pr2.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = arg;
+        }
+    }
+    let mut report = Report::new();
+    deferred::bench_all(&mut report, smoke);
+    report.write_json(&path).expect("failed to write benchmark report");
+    println!("wrote {path}");
+}

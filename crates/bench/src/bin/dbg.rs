@@ -9,13 +9,14 @@ fn main() {
         let bm = select::select_range_i32(&ctx, &ca, 10, 39).unwrap();
         let sel = select::materialize_bitmap(&ctx, &bm).unwrap();
         let c_sel = project::fetch_join(&ctx, &cc, &sel).unwrap();
-        let vals = ctx.download_i32(&c_sel).unwrap();
+        let vals = c_sel.read(&ctx).unwrap();
         let distinct: std::collections::HashSet<i32> = vals.iter().copied().collect();
         println!(
-            "{:?} sel_len={} c_sel distinct={}",
+            "{:?} sel_len={} c_sel distinct={} flushes={}",
             ctx.device().info().kind,
-            sel.len,
-            distinct.len()
+            sel.len(&ctx).unwrap(),
+            distinct.len(),
+            ctx.queue().flush_count()
         );
         for hint in [7, 600, 1024] {
             let g = groupby::group_by_hash(&ctx, &c_sel, hint).unwrap();

@@ -1,0 +1,210 @@
+//! PR 2 chained-pipeline micro-benchmark: two eager baselines vs the
+//! **deferred device-value path** (`DevScalar<T>` / deferred `DevColumn<T>`
+//! lengths, one sync at the final `.get()`).
+//!
+//! All paths run the *same* select→materialise→gather→sum kernel chain on
+//! the same device and data; they differ only in synchronisation behaviour:
+//!
+//! * **eager-flush** — the literal pre-redesign operator API: the queue is
+//!   flushed mid-pipeline wherever the old signatures forced it
+//!   (`selected_count` → host scalar, `exclusive_scan_u32` → host total,
+//!   `sum_f32` → host float), but only one-word totals cross to the host.
+//!   The delta against `deferred` isolates the pure flush/round-trip cost.
+//! * **eager-readback** — the MonetDB operator-boundary handoff the paper's
+//!   lazy-evaluation design argues against: after every operator the host
+//!   takes ownership of the *full* intermediate (flush + device→host read
+//!   of the whole column). This is the architectural alternative, not the
+//!   PR 1 code.
+//! * **deferred** — the new API: everything enqueued, one flush at the
+//!   final `.get()`, four bytes read back.
+//!
+//! Two device variants are reported, per the `BENCH_pr1.json` conventions:
+//!
+//! * `pipeline/*` — wall-clock on the sequential CPU driver, paired
+//!   interleaved sampling (machine-load drift cancels).
+//! * `pipeline_gpu/*` — *modeled* nanoseconds on the simulated discrete GPU
+//!   (the `reported_ns` convention for non-unified devices), where the
+//!   readback baseline's full-column PCIe transfers dominate.
+
+use crate::harness::{measure_pair, Measurement, Report};
+use ocelot_core::ops::select;
+use ocelot_core::primitives::{gather, reduce};
+use ocelot_core::OcelotContext;
+use std::hint::black_box;
+
+/// Elements per pipeline iteration.
+pub const PIPELINE_N: usize = 1 << 20;
+const WARMUP: usize = 3;
+const SAMPLES: usize = 15;
+
+fn keys(n: usize) -> Vec<i32> {
+    (0..n).map(|i| ((i * 37 + 11) % 1000) as i32).collect()
+}
+
+fn payload(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i % 97) as f32 * 0.5).collect()
+}
+
+/// The deferred path: four chained operators, one flush at `.get()`.
+fn run_deferred(
+    ctx: &OcelotContext,
+    k: &ocelot_core::DevColumn<i32>,
+    p: &ocelot_core::DevColumn<f32>,
+) -> f32 {
+    let bitmap = select::select_range_i32(ctx, k, 100, 300).unwrap();
+    let oids = select::materialize_bitmap(ctx, &bitmap).unwrap();
+    let fetched = gather::gather(ctx, p, &oids).unwrap();
+    let total = reduce::sum_f32(ctx, &fetched).unwrap();
+    total.get(ctx).unwrap()
+}
+
+/// The flush-only baseline: the pre-redesign API's synchronisation pattern.
+/// Mid-pipeline flushes with one-word readbacks — `selected_count` returned
+/// a host count, `exclusive_scan_u32` (inside materialise) flushed for its
+/// total, and `sum_f32` flushed for the result.
+fn run_eager_flush(
+    ctx: &OcelotContext,
+    k: &ocelot_core::DevColumn<i32>,
+    p: &ocelot_core::DevColumn<f32>,
+) -> f32 {
+    let bitmap = select::select_range_i32(ctx, k, 100, 300).unwrap();
+    let count = select::selected_count(ctx, &bitmap).unwrap().get(ctx).unwrap();
+    black_box(count);
+    let oids = select::materialize_bitmap(ctx, &bitmap).unwrap();
+    // Old scan: flush + host-resolved total (one word).
+    black_box(oids.len(ctx).unwrap());
+    let fetched = gather::gather(ctx, p, &oids).unwrap();
+    let total = reduce::sum_f32(ctx, &fetched).unwrap();
+    total.get(ctx).unwrap()
+}
+
+/// The readback baseline: the MonetDB operator-boundary handoff — after
+/// every operator the host takes ownership of the full intermediate (a
+/// flush plus a device→host read of the whole column). This is the
+/// architecture the lazy design displaces, and the reference point for the
+/// headline `pipeline*_deferred_over_eager_readback` ratio.
+fn run_eager_readback(
+    ctx: &OcelotContext,
+    k: &ocelot_core::DevColumn<i32>,
+    p: &ocelot_core::DevColumn<f32>,
+) -> f32 {
+    let bitmap = select::select_range_i32(ctx, k, 100, 300).unwrap();
+    let count = select::selected_count(ctx, &bitmap).unwrap().get(ctx).unwrap();
+    black_box(count);
+    let oids = select::materialize_bitmap(ctx, &bitmap).unwrap();
+    black_box(oids.read(ctx).unwrap());
+    let fetched = gather::gather(ctx, p, &oids).unwrap();
+    black_box(fetched.read(ctx).unwrap());
+    let total = reduce::sum_f32(ctx, &fetched).unwrap();
+    total.get(ctx).unwrap()
+}
+
+/// Wall-clock comparison on the sequential CPU driver (paired interleaved
+/// sampling, `BENCH_pr1.json` style). The deferred path is interleaved with
+/// each baseline so both ratios are drift-compensated.
+pub fn bench_pipeline_cpu(report: &mut Report, n: usize, warmup: usize, samples: usize) {
+    let ctx = OcelotContext::cpu_sequential();
+    let k = ctx.upload_i32(&keys(n), "bench_keys").unwrap();
+    let p = ctx.upload_f32(&payload(n), "bench_payload").unwrap();
+    ctx.sync().unwrap();
+
+    let (eager_flush, deferred) = measure_pair(
+        "pipeline/eager-flush",
+        "pipeline/deferred",
+        n,
+        warmup,
+        samples,
+        || run_eager_flush(&ctx, &k, &p),
+        || run_deferred(&ctx, &k, &p),
+    );
+    report.push(eager_flush);
+    report.push(deferred);
+    report.speedup(
+        "pipeline_deferred_over_eager_flush",
+        "pipeline/deferred",
+        "pipeline/eager-flush",
+    );
+
+    let (eager_readback, deferred2) = measure_pair(
+        "pipeline/eager-readback",
+        "pipeline/deferred#2",
+        n,
+        warmup,
+        samples,
+        || run_eager_readback(&ctx, &k, &p),
+        || run_deferred(&ctx, &k, &p),
+    );
+    report.push(eager_readback);
+    report.push(deferred2);
+    report.speedup(
+        "pipeline_deferred_over_eager_readback",
+        "pipeline/deferred#2",
+        "pipeline/eager-readback",
+    );
+}
+
+/// Modeled-time comparison on the simulated discrete GPU: the deferred path
+/// reads four bytes back; the flush baseline a handful of words; the
+/// readback baseline every intermediate over the modeled PCIe link.
+pub fn bench_pipeline_gpu_modeled(report: &mut Report, n: usize) {
+    let ctx = OcelotContext::gpu();
+    let k = ctx.upload_i32(&keys(n), "bench_keys").unwrap();
+    let p = ctx.upload_f32(&payload(n), "bench_payload").unwrap();
+    ctx.sync().unwrap();
+
+    let modeled = |name: &str, body: &dyn Fn() -> f32| {
+        // One warm-up (buffer pools settle), then one measured run — the
+        // cost model is deterministic, so a single sample is exact.
+        black_box(body());
+        let before = ctx.queue().total_stats().modeled_ns;
+        black_box(body());
+        let ns = ctx.queue().total_stats().modeled_ns - before;
+        Measurement {
+            name: name.to_string(),
+            elements: n,
+            min_ns: ns.max(1),
+            median_ns: ns.max(1),
+            meps: n as f64 / (ns.max(1) as f64 / 1e9) / 1e6,
+        }
+    };
+    let eager_flush = modeled("pipeline_gpu/eager-flush", &|| run_eager_flush(&ctx, &k, &p));
+    let eager_readback =
+        modeled("pipeline_gpu/eager-readback", &|| run_eager_readback(&ctx, &k, &p));
+    let deferred = modeled("pipeline_gpu/deferred", &|| run_deferred(&ctx, &k, &p));
+    report.push(eager_flush);
+    report.push(eager_readback);
+    report.push(deferred);
+    report.speedup(
+        "pipeline_gpu_deferred_over_eager_flush",
+        "pipeline_gpu/deferred",
+        "pipeline_gpu/eager-flush",
+    );
+    report.speedup(
+        "pipeline_gpu_deferred_over_eager_readback",
+        "pipeline_gpu/deferred",
+        "pipeline_gpu/eager-readback",
+    );
+}
+
+/// Full PR 2 report.
+pub fn bench_all(report: &mut Report, smoke: bool) {
+    let (n, warmup, samples) = if smoke { (1 << 14, 1, 3) } else { (PIPELINE_N, WARMUP, SAMPLES) };
+    bench_pipeline_cpu(report, n, warmup, samples);
+    bench_pipeline_gpu_modeled(report, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paths_agree() {
+        let ctx = OcelotContext::cpu_sequential();
+        let n = 10_000;
+        let k = ctx.upload_i32(&keys(n), "k").unwrap();
+        let p = ctx.upload_f32(&payload(n), "p").unwrap();
+        let deferred = run_deferred(&ctx, &k, &p);
+        assert_eq!(run_eager_flush(&ctx, &k, &p).to_bits(), deferred.to_bits());
+        assert_eq!(run_eager_readback(&ctx, &k, &p).to_bits(), deferred.to_bits());
+    }
+}

@@ -5,4 +5,5 @@
 //! measurement and a machine-readable JSON report.
 
 pub mod access_path;
+pub mod deferred;
 pub mod harness;

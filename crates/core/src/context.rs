@@ -1,33 +1,384 @@
 //! The Ocelot execution context: device + lazily evaluated queue + Memory
-//! Manager, plus typed column handles.
+//! Manager, plus the *typed deferred value* handles every operator returns.
+//!
+//! # The deferred-value contract
+//!
+//! The paper's architectural claim (§3.1/§3.4) is that Ocelot's operators
+//! stay lazy: work is only *enqueued* on the command queue and the host
+//! synchronises exactly once — when MonetDB reads a result back through
+//! `ocelot.sync`. This module encodes that contract in the type system:
+//!
+//! * [`DevColumn<T>`] — a device-resident column of `T: DevWord` values
+//!   (`i32`, `f32` or [`Oid`]). Its logical length is either host-known
+//!   ([`ColLen::Host`]) or **deferred** ([`ColLen::Device`]): a one-word
+//!   device counter written by an earlier kernel (e.g. a scan total), plus a
+//!   host-known capacity bound used for allocation and launch sizing.
+//! * [`DevScalar<T>`] — a deferred scalar: a one-word device buffer plus the
+//!   event that produces it. All reductions and counts return these.
+//! * [`DevScalar::get`] and [`DevColumn::read`] are the **only**
+//!   synchronisation points. Everything else — selections, scans, gathers,
+//!   maps, reductions, bitmap materialisation — merely schedules kernels and
+//!   returns immediately. A chained pipeline therefore performs exactly one
+//!   queue flush, at its final `.get()`/`.read()`
+//!   (see [`ocelot_kernel::Queue::flush_count`]).
+//! * Operators *consume* deferred lengths on-device: kernels receive a
+//!   [`LenSource`] and read the actual element count from the counter word
+//!   at flush time (by which point the in-order queue guarantees the
+//!   producing kernel has run). This is how `materialize_bitmap` sizes its
+//!   output from a scan total without a round-trip to the host.
+//!
+//! Exceptions, documented at their definition sites, are operators whose
+//! host-side control flow inherently depends on a device value: the hash
+//! table build (its optimistic/pessimistic restart loop inspects a failure
+//! counter), `group_by` (the group count sizes the result schema), and the
+//! nested-loop join (its output bound is quadratic, so it resolves the scan
+//! total instead of allocating the worst case). Each resolves via the same
+//! `.get()` path and is a deliberate, visible sync point.
 
 use crate::memory_manager::MemoryManager;
-use ocelot_kernel::{Buffer, Device, GpuConfig, LaunchConfig, Queue, Result};
+use ocelot_kernel::{Buffer, Device, EventId, GpuConfig, KernelError, LaunchConfig, Queue, Result};
+use std::marker::PhantomData;
 use std::sync::Arc;
 
-/// A handle to a column that lives in device memory.
-///
-/// The buffer holds `len` four-byte values; how they are interpreted
-/// (`i32`, `f32`, OID) is decided by the operator that consumes them, which
-/// mirrors how OpenCL kernels see untyped `cl_mem` objects.
-#[derive(Debug, Clone)]
-pub struct DevColumn {
-    /// The device buffer holding the values.
-    pub buffer: Buffer,
-    /// Number of logical values (may be smaller than `buffer.len()`).
-    pub len: usize,
+/// Tuple identifier — 32-bit, like the four-byte engine build of MonetDB.
+pub use ocelot_storage::Oid;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for i32 {}
+    impl Sealed for f32 {}
+    impl Sealed for u32 {}
 }
 
-impl DevColumn {
-    /// Wraps a buffer holding `len` values.
-    pub fn new(buffer: Buffer, len: usize) -> DevColumn {
-        assert!(buffer.len() >= len, "DevColumn: buffer shorter than declared length");
-        DevColumn { buffer, len }
+/// A 32-bit value type that can live in a device word: `i32`, `f32` or
+/// [`Oid`] (`u32`). The trait fixes the bit-level encoding, which is what
+/// lets one untyped kernel buffer serve every column type while the *host*
+/// API stays typed.
+pub trait DevWord:
+    Copy + Send + Sync + PartialEq + std::fmt::Debug + sealed::Sealed + 'static
+{
+    /// Human-readable type tag (used in buffer labels and errors).
+    const LABEL: &'static str;
+    /// Decodes a raw device word.
+    fn from_word(word: u32) -> Self;
+    /// Encodes into a raw device word.
+    fn to_word(self) -> u32;
+    /// Bulk-stages host values into a buffer (single pass, no staging
+    /// allocation — dispatches to the typed `Buffer::copy_from_*` helper).
+    fn copy_to_buffer(values: &[Self], buffer: &Buffer);
+}
+
+impl DevWord for i32 {
+    const LABEL: &'static str = "i32";
+    #[inline]
+    fn from_word(word: u32) -> i32 {
+        word as i32
+    }
+    #[inline]
+    fn to_word(self) -> u32 {
+        self as u32
+    }
+    fn copy_to_buffer(values: &[i32], buffer: &Buffer) {
+        buffer.copy_from_i32(values);
+    }
+}
+
+impl DevWord for f32 {
+    const LABEL: &'static str = "f32";
+    #[inline]
+    fn from_word(word: u32) -> f32 {
+        f32::from_bits(word)
+    }
+    #[inline]
+    fn to_word(self) -> u32 {
+        self.to_bits()
+    }
+    fn copy_to_buffer(values: &[f32], buffer: &Buffer) {
+        buffer.copy_from_f32(values);
+    }
+}
+
+impl DevWord for u32 {
+    const LABEL: &'static str = "oid";
+    #[inline]
+    fn from_word(word: u32) -> u32 {
+        word
+    }
+    #[inline]
+    fn to_word(self) -> u32 {
+        self
+    }
+    fn copy_to_buffer(values: &[u32], buffer: &Buffer) {
+        buffer.copy_from_u32(values);
+    }
+}
+
+/// The logical length of a device column.
+#[derive(Debug, Clone)]
+pub enum ColLen {
+    /// Known on the host (base tables, maps, gathers over known inputs).
+    Host(usize),
+    /// Deferred: the actual count lives in word 0 of `counter`, written by
+    /// an earlier kernel; `cap` is a host-known upper bound (the allocation
+    /// size of the column's buffer).
+    Device {
+        /// One-word device buffer holding the count.
+        counter: Buffer,
+        /// Upper bound on the count.
+        cap: usize,
+    },
+}
+
+impl ColLen {
+    /// Host-known upper bound on the length (exact for [`ColLen::Host`]).
+    pub fn cap(&self) -> usize {
+        match self {
+            ColLen::Host(n) => *n,
+            ColLen::Device { cap, .. } => *cap,
+        }
     }
 
-    /// Whether the column holds no values.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
+    /// The length if it is host-known.
+    pub fn host(&self) -> Option<usize> {
+        match self {
+            ColLen::Host(n) => Some(*n),
+            ColLen::Device { .. } => None,
+        }
+    }
+
+    /// Resolves the logical length, reading the device counter when
+    /// deferred (**sync point** in that case). The single implementation
+    /// behind [`DevColumn::len`] and `Bitmap::len`.
+    pub(crate) fn resolve(&self, ctx: &OcelotContext) -> Result<usize> {
+        match self {
+            ColLen::Host(n) => Ok(*n),
+            ColLen::Device { counter, cap } => {
+                ctx.materialize(counter, 1)?;
+                Ok((counter.get_u32(0) as usize).min(*cap))
+            }
+        }
+    }
+
+    /// The kernel-side view of this length.
+    pub fn source(&self) -> LenSource {
+        match self {
+            ColLen::Host(n) => LenSource::Fixed(*n),
+            ColLen::Device { counter, cap } => {
+                LenSource::Counter { counter: counter.clone(), cap: *cap }
+            }
+        }
+    }
+}
+
+/// How a kernel learns its logical element count. Resolved *inside*
+/// `run_group`, i.e. at flush time, when the in-order queue guarantees any
+/// producing kernel has already executed — this is what lets operators
+/// consume scan totals without a host readback.
+#[derive(Debug, Clone)]
+pub enum LenSource {
+    /// Host-known count.
+    Fixed(usize),
+    /// Device-resident count (word 0 of `counter`), clamped to `cap`.
+    Counter {
+        /// One-word device buffer holding the count.
+        counter: Buffer,
+        /// Safety clamp (the consuming buffer's capacity).
+        cap: usize,
+    },
+}
+
+impl LenSource {
+    /// The element count, reading the device counter if deferred. Only call
+    /// from inside a kernel's `run_group` (or after a flush).
+    #[inline]
+    pub fn get(&self) -> usize {
+        match self {
+            LenSource::Fixed(n) => *n,
+            LenSource::Counter { counter, cap } => (counter.get_u32(0) as usize).min(*cap),
+        }
+    }
+
+    /// Host-known upper bound (used for launch sizing).
+    pub fn cap(&self) -> usize {
+        match self {
+            LenSource::Fixed(n) => *n,
+            LenSource::Counter { cap, .. } => *cap,
+        }
+    }
+}
+
+/// A handle to a typed column that lives in device memory.
+///
+/// The buffer holds raw 32-bit words; the phantom type records how they
+/// decode (`i32`, `f32`, [`Oid`]) so host code cannot mix them up, while
+/// kernels keep seeing untyped words — exactly how OpenCL kernels see
+/// `cl_mem` objects. The logical length may be host-known or deferred (see
+/// [`ColLen`]); [`DevColumn::read`] is the only operation that synchronises.
+pub struct DevColumn<T: DevWord> {
+    /// The device buffer holding the values (`buffer.len() >= cap`).
+    pub buffer: Buffer,
+    len: ColLen,
+    _ty: PhantomData<fn() -> T>,
+}
+
+impl<T: DevWord> Clone for DevColumn<T> {
+    fn clone(&self) -> Self {
+        DevColumn { buffer: self.buffer.clone(), len: self.len.clone(), _ty: PhantomData }
+    }
+}
+
+impl<T: DevWord> std::fmt::Debug for DevColumn<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DevColumn")
+            .field("type", &T::LABEL)
+            .field("buffer", &self.buffer)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<T: DevWord> DevColumn<T> {
+    /// Wraps a buffer holding `len` host-known values. Malformed handles
+    /// (a plan declaring more values than the buffer holds) surface as
+    /// [`KernelError::BufferTooShort`] instead of a panic.
+    pub fn new(buffer: Buffer, len: usize) -> Result<DevColumn<T>> {
+        Self::with_len(buffer, ColLen::Host(len))
+    }
+
+    /// Wraps a buffer whose logical length is deferred: the count is in
+    /// word 0 of `counter` and bounded by `cap`.
+    pub fn deferred(buffer: Buffer, counter: Buffer, cap: usize) -> Result<DevColumn<T>> {
+        Self::with_len(buffer, ColLen::Device { counter, cap })
+    }
+
+    /// Wraps a buffer with an explicit [`ColLen`] (used to propagate a
+    /// producer's length onto an aligned result, e.g. a gather output that
+    /// inherits its index column's deferred count).
+    pub fn with_len(buffer: Buffer, len: ColLen) -> Result<DevColumn<T>> {
+        if buffer.len() < len.cap() {
+            return Err(KernelError::BufferTooShort {
+                label: buffer.label().to_string(),
+                buffer_words: buffer.len(),
+                column_len: len.cap(),
+            });
+        }
+        Ok(DevColumn { buffer, len, _ty: PhantomData })
+    }
+
+    /// Host-known upper bound on the length (exact when not deferred).
+    pub fn cap(&self) -> usize {
+        self.len.cap()
+    }
+
+    /// The logical length if it is host-known; `None` while deferred.
+    pub fn host_len(&self) -> Option<usize> {
+        self.len.host()
+    }
+
+    /// Whether the length is device-resident.
+    pub fn is_deferred(&self) -> bool {
+        matches!(self.len, ColLen::Device { .. })
+    }
+
+    /// The column's length descriptor (clone it to propagate alignment).
+    pub fn col_len(&self) -> &ColLen {
+        &self.len
+    }
+
+    /// The kernel-side view of the column's length.
+    pub fn len_source(&self) -> LenSource {
+        self.len.source()
+    }
+
+    /// Reinterprets the raw words as another [`DevWord`] type (the device
+    /// view is untyped; this is the host-side equivalent of an OpenCL kernel
+    /// binding the same `cl_mem` under a different element type).
+    pub fn reinterpret<U: DevWord>(&self) -> DevColumn<U> {
+        DevColumn { buffer: self.buffer.clone(), len: self.len.clone(), _ty: PhantomData }
+    }
+
+    /// Resolves the logical length. **Sync point** when the length is
+    /// deferred and its producer has not executed yet.
+    pub fn len(&self, ctx: &OcelotContext) -> Result<usize> {
+        self.len.resolve(ctx)
+    }
+
+    /// Reads the column back to the host. **This is the sync point** — the
+    /// moral equivalent of MonetDB taking ownership through `ocelot.sync`:
+    /// it resolves a deferred length, flushes outstanding work (scheduling
+    /// the device→host transfer so discrete devices are charged for it) and
+    /// decodes the words.
+    pub fn read(&self, ctx: &OcelotContext) -> Result<Vec<T>> {
+        let n = self.len(ctx)?;
+        ctx.materialize(&self.buffer, n)?;
+        Ok(self.buffer.chunk(0, n).iter().map(|&w| T::from_word(w)).collect())
+    }
+}
+
+/// A deferred scalar: a one-word device buffer plus the event producing it.
+///
+/// All reductions and counts return `DevScalar`s. The value stays on the
+/// device — consumers can read the backing [`DevScalar::buffer`] from inside
+/// their kernels (via a [`LenSource`] or directly) without any host
+/// round-trip. [`DevScalar::get`] is the only synchronisation point.
+pub struct DevScalar<T: DevWord> {
+    buffer: Buffer,
+    event: Option<EventId>,
+    _ty: PhantomData<fn() -> T>,
+}
+
+impl<T: DevWord> Clone for DevScalar<T> {
+    fn clone(&self) -> Self {
+        DevScalar { buffer: self.buffer.clone(), event: self.event, _ty: PhantomData }
+    }
+}
+
+impl<T: DevWord> std::fmt::Debug for DevScalar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DevScalar")
+            .field("type", &T::LABEL)
+            .field("buffer", &self.buffer)
+            .field("event", &self.event)
+            .finish()
+    }
+}
+
+impl<T: DevWord> DevScalar<T> {
+    /// Wraps a one-word device buffer whose value is produced by `event`.
+    pub fn new(buffer: Buffer, event: Option<EventId>) -> DevScalar<T> {
+        debug_assert!(!buffer.is_empty(), "DevScalar needs a one-word buffer");
+        DevScalar { buffer, event, _ty: PhantomData }
+    }
+
+    /// A scalar holding a host-known constant (used for empty-input
+    /// identities). The value is staged and a host→device write is
+    /// scheduled, so on-device consumers see it after any flush.
+    pub fn constant(ctx: &OcelotContext, value: T) -> Result<DevScalar<T>> {
+        let buffer = ctx.alloc_uninit(1, "scalar_const")?;
+        buffer.set_u32(0, value.to_word());
+        let event = ctx.queue().enqueue_write(&buffer, &[])?;
+        ctx.memory().record_producer(&buffer, event);
+        Ok(DevScalar { buffer, event: Some(event), _ty: PhantomData })
+    }
+
+    /// The one-word device buffer holding the value (for on-device
+    /// consumption — e.g. as the [`LenSource`] counter of a result column).
+    pub fn buffer(&self) -> &Buffer {
+        &self.buffer
+    }
+
+    /// The event that produces the value, if any.
+    pub fn event(&self) -> Option<EventId> {
+        self.event
+    }
+
+    /// Reads the value back to the host. **This is the sync point**: it
+    /// flushes outstanding work (scheduling a one-word device→host transfer
+    /// — not the whole intermediate, which is the deferred design's win on
+    /// discrete devices) and decodes the word.
+    pub fn get(&self, ctx: &OcelotContext) -> Result<T> {
+        ctx.materialize_with(&self.buffer, 1, self.event)?;
+        Ok(T::from_word(self.buffer.get_u32(0)))
     }
 }
 
@@ -110,52 +461,83 @@ impl OcelotContext {
         self.memory.alloc_result_uninit(words, label)
     }
 
+    /// Uploads host values into a fresh device column (lazy: only the
+    /// host→device transfer is scheduled).
+    pub fn upload<T: DevWord>(&self, values: &[T], label: &str) -> Result<DevColumn<T>> {
+        let buffer = self.alloc(values.len().max(1), label)?;
+        T::copy_to_buffer(values, &buffer);
+        // Charge the transfer for the logical values only (the pool may
+        // have handed back a class-rounded buffer).
+        let event = self.queue.enqueue_write_prefix(&buffer, values.len(), &[])?;
+        self.memory.record_producer(&buffer, event);
+        DevColumn::new(buffer, values.len())
+    }
+
     /// Uploads host integers into a fresh device column.
-    pub fn upload_i32(&self, values: &[i32], label: &str) -> Result<DevColumn> {
-        let buffer = self.alloc(values.len(), label)?;
-        buffer.copy_from_i32(values);
-        self.queue.enqueue_write(&buffer, &[])?;
-        Ok(DevColumn::new(buffer, values.len()))
+    pub fn upload_i32(&self, values: &[i32], label: &str) -> Result<DevColumn<i32>> {
+        self.upload(values, label)
     }
 
     /// Uploads host floats into a fresh device column.
-    pub fn upload_f32(&self, values: &[f32], label: &str) -> Result<DevColumn> {
-        let buffer = self.alloc(values.len(), label)?;
-        buffer.copy_from_f32(values);
-        self.queue.enqueue_write(&buffer, &[])?;
-        Ok(DevColumn::new(buffer, values.len()))
+    pub fn upload_f32(&self, values: &[f32], label: &str) -> Result<DevColumn<f32>> {
+        self.upload(values, label)
     }
 
-    /// Uploads host 32-bit words (OIDs) into a fresh device column.
-    pub fn upload_u32(&self, values: &[u32], label: &str) -> Result<DevColumn> {
-        let buffer = self.alloc(values.len(), label)?;
-        buffer.copy_from_u32(values);
-        self.queue.enqueue_write(&buffer, &[])?;
-        Ok(DevColumn::new(buffer, values.len()))
+    /// Uploads host OIDs into a fresh device column.
+    pub fn upload_u32(&self, values: &[u32], label: &str) -> Result<DevColumn<Oid>> {
+        self.upload(values, label)
     }
 
-    /// Flushes outstanding work and reads a column back as integers.
-    pub fn download_i32(&self, column: &DevColumn) -> Result<Vec<i32>> {
-        self.queue.enqueue_read(&column.buffer, &[])?;
+    /// Wait-list for an operation that reads `column`: the producers of its
+    /// value buffer *and*, when the length is deferred, of its counter.
+    pub fn wait_for<T: DevWord>(&self, column: &DevColumn<T>) -> Vec<EventId> {
+        let mut wait = self.memory.wait_for_read(&column.buffer);
+        if let ColLen::Device { counter, .. } = column.col_len() {
+            wait.extend(self.memory.wait_for_read(counter));
+        }
+        wait
+    }
+
+    /// Ensures every scheduled operation affecting `buffer` has executed and
+    /// charges the device→host transfer of its first `words` words. The
+    /// shared implementation behind [`DevScalar::get`] / [`DevColumn::read`]
+    /// — and deliberately *not* public: operators must return deferred
+    /// values, not synchronise internally.
+    pub(crate) fn materialize(&self, buffer: &Buffer, words: usize) -> Result<()> {
+        self.materialize_with(buffer, words, None)
+    }
+
+    /// [`OcelotContext::materialize`] with an explicit extra producer event
+    /// to wait on — used by [`DevScalar::get`], whose handle carries the
+    /// event that writes its word (covering scalars whose producer was never
+    /// registered with the Memory Manager).
+    pub(crate) fn materialize_with(
+        &self,
+        buffer: &Buffer,
+        words: usize,
+        producer: Option<EventId>,
+    ) -> Result<()> {
+        // In-order queue: nothing pending means every issued operation has
+        // already executed. On unified-memory devices the host view is then
+        // current and the read is free; a discrete device is still charged
+        // the PCIe transfer of the logical prefix — the data lives on the
+        // device regardless of flush state.
+        if self.queue.pending_ops() == 0 && self.device.is_unified() {
+            return Ok(());
+        }
+        let mut wait = self.memory.wait_for_read(buffer);
+        if let Some(event) = producer {
+            if !wait.contains(&event) {
+                wait.push(event);
+            }
+        }
+        self.queue.enqueue_read_prefix(buffer, words, &wait)?;
         self.queue.flush()?;
-        Ok(column.buffer.prefix_i32(column.len))
+        Ok(())
     }
 
-    /// Flushes outstanding work and reads a column back as floats.
-    pub fn download_f32(&self, column: &DevColumn) -> Result<Vec<f32>> {
-        self.queue.enqueue_read(&column.buffer, &[])?;
-        self.queue.flush()?;
-        Ok(column.buffer.prefix_f32(column.len))
-    }
-
-    /// Flushes outstanding work and reads a column back as raw words.
-    pub fn download_u32(&self, column: &DevColumn) -> Result<Vec<u32>> {
-        self.queue.enqueue_read(&column.buffer, &[])?;
-        self.queue.flush()?;
-        Ok(column.buffer.prefix_u32(column.len))
-    }
-
-    /// Flushes every scheduled operation (the `sync` operator's core).
+    /// Flushes every scheduled operation (the `sync` operator's core — the
+    /// ownership hand-back boundary the MAL rewriter inserts).
     pub fn sync(&self) -> Result<ocelot_kernel::FlushStats> {
         self.queue.flush()
     }
@@ -172,14 +554,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn upload_download_round_trip() {
+    fn upload_read_round_trip() {
         for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
             let ints = ctx.upload_i32(&[1, -2, 3], "ints").unwrap();
-            assert_eq!(ctx.download_i32(&ints).unwrap(), vec![1, -2, 3]);
+            assert_eq!(ints.read(&ctx).unwrap(), vec![1, -2, 3]);
             let floats = ctx.upload_f32(&[0.5, 2.5], "floats").unwrap();
-            assert_eq!(ctx.download_f32(&floats).unwrap(), vec![0.5, 2.5]);
+            assert_eq!(floats.read(&ctx).unwrap(), vec![0.5, 2.5]);
             let words = ctx.upload_u32(&[7, 9], "words").unwrap();
-            assert_eq!(ctx.download_u32(&words).unwrap(), vec![7, 9]);
+            assert_eq!(words.read(&ctx).unwrap(), vec![7, 9]);
         }
     }
 
@@ -187,17 +569,57 @@ mod tests {
     fn dev_column_checks_length() {
         let ctx = OcelotContext::cpu_sequential();
         let buffer = ctx.alloc(10, "buf").unwrap();
-        let col = DevColumn::new(buffer.clone(), 5);
-        assert_eq!(col.len, 5);
-        assert!(!col.is_empty());
+        let col: DevColumn<i32> = DevColumn::new(buffer.clone(), 5).unwrap();
+        assert_eq!(col.host_len(), Some(5));
+        assert_eq!(col.cap(), 5);
+        assert!(!col.is_deferred());
     }
 
     #[test]
-    #[should_panic(expected = "shorter than declared")]
-    fn dev_column_rejects_overlong_claim() {
+    fn dev_column_rejects_overlong_claim_as_error() {
         let ctx = OcelotContext::cpu_sequential();
-        let buffer = ctx.alloc(2, "buf").unwrap();
-        DevColumn::new(buffer, 5);
+        let buffer = ctx.alloc(2, "short").unwrap();
+        let err = DevColumn::<i32>::new(buffer, 5).unwrap_err();
+        match err {
+            KernelError::BufferTooShort { label, buffer_words, column_len } => {
+                assert_eq!(label, "short");
+                assert_eq!(buffer_words, 2);
+                assert_eq!(column_len, 5);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deferred_column_resolves_via_counter() {
+        let ctx = OcelotContext::cpu_sequential();
+        let buffer = ctx.alloc(8, "data").unwrap();
+        buffer.copy_from_u32(&[10, 11, 12, 13, 0, 0, 0, 0]);
+        let counter = ctx.alloc(1, "count").unwrap();
+        counter.set_u32(0, 4);
+        let col: DevColumn<Oid> = DevColumn::deferred(buffer, counter, 8).unwrap();
+        assert!(col.is_deferred());
+        assert_eq!(col.host_len(), None);
+        assert_eq!(col.cap(), 8);
+        assert_eq!(col.len(&ctx).unwrap(), 4);
+        assert_eq!(col.read(&ctx).unwrap(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn dev_scalar_constant_round_trips() {
+        let ctx = OcelotContext::cpu();
+        let s = DevScalar::constant(&ctx, -1.5f32).unwrap();
+        assert_eq!(s.get(&ctx).unwrap(), -1.5);
+        let n = DevScalar::constant(&ctx, 42u32).unwrap();
+        assert_eq!(n.get(&ctx).unwrap(), 42);
+    }
+
+    #[test]
+    fn reinterpret_preserves_bits() {
+        let ctx = OcelotContext::cpu();
+        let floats = ctx.upload_f32(&[1.0, -2.0], "f").unwrap();
+        let words: DevColumn<Oid> = floats.reinterpret();
+        assert_eq!(words.read(&ctx).unwrap(), vec![1.0f32.to_bits(), (-2.0f32).to_bits()]);
     }
 
     #[test]
@@ -216,5 +638,16 @@ mod tests {
         assert!(ctx.queue().pending_ops() > 0);
         ctx.sync().unwrap();
         assert_eq!(ctx.queue().pending_ops(), 0);
+    }
+
+    #[test]
+    fn reads_without_pending_work_do_not_flush_again() {
+        let ctx = OcelotContext::cpu();
+        let col = ctx.upload_i32(&[5, 6], "c").unwrap();
+        let _ = col.read(&ctx).unwrap();
+        let flushes = ctx.queue().flush_count();
+        // A second read finds the queue drained and skips the flush.
+        let _ = col.read(&ctx).unwrap();
+        assert_eq!(ctx.queue().flush_count(), flushes);
     }
 }

@@ -32,12 +32,14 @@
 //! use ocelot_core::ops;
 //!
 //! // The same code runs on any device — swap in `OcelotContext::gpu()` or
-//! // `OcelotContext::cpu_sequential()` and nothing else changes.
+//! // `OcelotContext::cpu_sequential()` and nothing else changes. Every
+//! // operator returns a *deferred* device value; `.read()` / `.get()` at
+//! // the end is the pipeline's single synchronisation point.
 //! let ctx = OcelotContext::cpu();
 //! let column = ctx.upload_i32(&[5, 1, 9, 3, 7, 3], "values").unwrap();
 //! let bitmap = ops::select::select_range_i32(&ctx, &column, 3, 7).unwrap();
 //! let oids = ops::select::materialize_bitmap(&ctx, &bitmap).unwrap();
-//! assert_eq!(ctx.download_u32(&oids).unwrap(), vec![0, 3, 4, 5]);
+//! assert_eq!(oids.read(&ctx).unwrap(), vec![0, 3, 4, 5]);
 //! ```
 
 pub mod context;
@@ -45,6 +47,6 @@ pub mod memory_manager;
 pub mod ops;
 pub mod primitives;
 
-pub use context::{DevColumn, OcelotContext};
+pub use context::{ColLen, DevColumn, DevScalar, DevWord, LenSource, OcelotContext, Oid};
 pub use memory_manager::{MemoryManager, MemoryStats};
 pub use primitives::bitmap::Bitmap;

@@ -27,10 +27,13 @@
 //!   zero pages whose page-in cost lands on the first kernel that touches
 //!   them. The manager keeps a small pool of released result buffers and
 //!   hands them back (re-zeroed, which is far cheaper than faulting new
-//!   pages) when a same-sized request arrives. A buffer is reusable once
-//!   its only remaining handle is the pool's — operator handles and pending
-//!   queue operations all hold clones, so `handle_count() == 1` proves the
-//!   buffer is idle.
+//!   pages). Pooled requests are rounded up to **power-of-two size
+//!   classes**, so mixed workloads whose intermediate sizes vary (different
+//!   selectivities, group counts, join cardinalities) still hit the pool —
+//!   a buffer serves any request that rounds to its class, not just an
+//!   exact-word-count twin. A buffer is reusable once its only remaining
+//!   handle is the pool's — operator handles and pending queue operations
+//!   all hold clones, so `handle_count() == 1` proves the buffer is idle.
 
 use crate::ops::hash_table::OcelotHashTable;
 use ocelot_kernel::{Buffer, Device, EventId, HostCopy, KernelError, Queue, Result};
@@ -64,6 +67,14 @@ pub struct MemoryStats {
 const RECYCLE_MIN_WORDS: usize = 1 << 12;
 /// Maximum number of buffers retained for recycling.
 const RECYCLE_POOL_CAP: usize = 32;
+
+/// The size class a pooled request is rounded up to: the next power of two.
+/// At most 2x overallocation buys cross-size reuse (a 5 000-word column and
+/// a 6 000-word column share the 8 192-word class). Callers see the class
+/// size through `Buffer::len()`; logical lengths live in `DevColumn`.
+fn recycle_class(words: usize) -> usize {
+    words.next_power_of_two()
+}
 
 struct CacheEntry {
     buffer: Buffer,
@@ -161,7 +172,7 @@ impl MemoryManager {
         let words = bat.to_words();
         let buffer = self.alloc_with_eviction(words.len(), bat.name())?;
         buffer.copy_from_u32(&words);
-        let event = self.queue.enqueue_write(&buffer, &[])?;
+        let event = self.queue.enqueue_write_prefix(&buffer, words.len(), &[])?;
         let mut state = self.state.lock();
         state.clock += 1;
         let clock = state.clock;
@@ -206,15 +217,17 @@ impl MemoryManager {
         Ok(self.alloc_pooled(words, label)?.0)
     }
 
-    /// Returns `(buffer, came_from_pool)`.
+    /// Returns `(buffer, came_from_pool)`. Pooled requests are served and
+    /// allocated at their power-of-two size class (see [`recycle_class`]).
     fn alloc_pooled(&self, words: usize, label: &str) -> Result<(Buffer, bool)> {
         if words >= RECYCLE_MIN_WORDS {
+            let class = recycle_class(words);
             let recycled = {
                 let mut state = self.state.lock();
                 match state
                     .recycle_pool
                     .iter()
-                    .position(|b| b.len() == words && b.handle_count() == 1)
+                    .position(|b| b.len() == class && b.handle_count() == 1)
                 {
                     Some(pos) => {
                         let buffer = state.recycle_pool[pos].clone();
@@ -231,7 +244,8 @@ impl MemoryManager {
                 return Ok((buffer, true));
             }
         }
-        let buffer = self.alloc_with_eviction(words, label)?;
+        let alloc_words = if words >= RECYCLE_MIN_WORDS { recycle_class(words) } else { words };
+        let buffer = self.alloc_with_eviction(alloc_words, label)?;
         if words >= RECYCLE_MIN_WORDS {
             let mut state = self.state.lock();
             if state.recycle_pool.len() >= RECYCLE_POOL_CAP {
@@ -574,6 +588,51 @@ mod tests {
         queue.flush().unwrap();
         assert_eq!(restored.prefix_i32(4), vec![9, 8, 7, 6]);
         assert!(mm.restore_intermediate(token).is_err(), "token is single-use");
+    }
+
+    #[test]
+    fn recycling_uses_power_of_two_size_classes() {
+        let (_, _, mm) = gpu_manager(1 << 24);
+        let first = mm.alloc_result(5_000, "a").unwrap();
+        assert_eq!(first.len(), 8_192, "pooled allocations are class-sized");
+        let id = first.id();
+        drop(first);
+        // A *different* request size in the same class is served from the
+        // pool (exact-size matching would miss here).
+        let second = mm.alloc_result(6_000, "b").unwrap();
+        assert_eq!(second.id(), id);
+        assert_eq!(mm.stats().recycle_hits, 1);
+        assert!(second.as_words().iter().all(|w| *w == 0), "recycled buffers read as zero");
+        // A request in a different class misses and allocates its own class.
+        let third = mm.alloc_result(9_000, "c").unwrap();
+        assert_eq!(third.len(), 16_384);
+        assert_eq!(mm.stats().recycle_hits, 1);
+    }
+
+    #[test]
+    fn size_class_pool_lifts_hit_rate_for_mixed_sizes() {
+        let (_, _, mm) = gpu_manager(1 << 24);
+        // Mixed result sizes that all round to the 8 192-word class — the
+        // shape of a query stream with varying selectivities.
+        for i in 0..20 {
+            let words = 4_100 + i * 150;
+            drop(mm.alloc_result(words, "mixed").unwrap());
+        }
+        let stats = mm.stats();
+        assert!(
+            stats.recycle_hits >= 19,
+            "all but the first allocation should hit the pool: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn small_allocations_bypass_the_pool() {
+        let (_, _, mm) = gpu_manager(1 << 24);
+        let small = mm.alloc_result(100, "s").unwrap();
+        assert_eq!(small.len(), 100, "sub-threshold requests are not class-rounded");
+        drop(small);
+        drop(mm.alloc_result(100, "s2").unwrap());
+        assert_eq!(mm.stats().recycle_hits, 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Aggregation operators (paper §4.1.7).
 //!
 //! * **Ungrouped aggregation** delegates to the hierarchical parallel
-//!   reduction in [`crate::primitives::reduce`].
+//!   reduction in [`crate::primitives::reduce`] — every result is a deferred
+//!   [`DevScalar`] whose `.get()` is the pipeline's only sync point.
 //! * **Grouped aggregation** accumulates into a table of atomically updated
 //!   accumulators. To reduce contention when there are only a few groups,
 //!   each group's value is spread over multiple accumulators (their number
@@ -10,7 +11,7 @@
 //!   into the result. Floating-point atomics are emulated with CAS on
 //!   integer words (paper footnote 7).
 
-use crate::context::{DevColumn, OcelotContext};
+use crate::context::{DevColumn, DevScalar, LenSource, OcelotContext, Oid};
 use crate::primitives::reduce;
 use ocelot_kernel::atomic::{atomic_add_f32, atomic_max_f32, atomic_min_f32};
 use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
@@ -60,6 +61,7 @@ struct GroupedAccumulateKernel {
     accumulators: Buffer,
     num_accumulators: usize,
     agg: GroupedAgg,
+    n: LenSource,
 }
 
 impl Kernel for GroupedAccumulateKernel {
@@ -67,9 +69,13 @@ impl Kernel for GroupedAccumulateKernel {
         "grouped_accumulate"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let n = self.n.get();
         for item in group.items() {
             let accumulator_lane = item.global_id % self.num_accumulators;
             for idx in item.assigned() {
+                if idx >= n {
+                    continue;
+                }
                 let gid = self.gids.get_u32(idx) as usize;
                 let slot = gid * self.num_accumulators + accumulator_lane;
                 let value = match (&self.values, self.agg) {
@@ -143,17 +149,23 @@ fn accumulators_for(num_groups: usize) -> usize {
 
 fn grouped_aggregate(
     ctx: &OcelotContext,
-    values: Option<&DevColumn>,
-    gids: &DevColumn,
+    values: Option<&DevColumn<f32>>,
+    gids: &DevColumn<Oid>,
     num_groups: usize,
     agg: GroupedAgg,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<f32>> {
     if let Some(values) = values {
-        assert_eq!(values.len, gids.len, "grouped aggregate: length mismatch");
+        // Aligned inputs: when both lengths are host-known they must match;
+        // a deferred value column (e.g. a fetch over an uncounted selection)
+        // only needs to cover every row the gid column can address.
+        match (values.host_len(), gids.host_len()) {
+            (Some(a), Some(b)) => assert_eq!(a, b, "grouped aggregate: length mismatch"),
+            _ => assert!(values.cap() >= gids.cap(), "grouped aggregate: length mismatch"),
+        }
     }
     let output = ctx.alloc(num_groups.max(1), "grouped_output")?;
     if num_groups == 0 {
-        return Ok(DevColumn::new(output, 0));
+        return DevColumn::new(output, 0);
     }
     let num_accumulators = accumulators_for(num_groups);
     let accumulators = ctx.alloc(num_groups * num_accumulators, "grouped_accumulators")?;
@@ -161,67 +173,71 @@ fn grouped_aggregate(
     for slot in 0..num_groups * num_accumulators {
         accumulators.cell(slot).store(agg.identity_word(), Ordering::Relaxed);
     }
-    ctx.queue().enqueue_write(&accumulators, &[])?;
+    let init_event = ctx.queue().enqueue_write(&accumulators, &[])?;
+    ctx.memory().record_producer(&accumulators, init_event);
 
-    if gids.len > 0 {
-        let mut wait = ctx.memory().wait_for_read(&gids.buffer);
+    if gids.cap() > 0 {
+        let mut wait = ctx.wait_for(gids);
+        wait.push(init_event);
         if let Some(values) = values {
-            wait.extend(ctx.memory().wait_for_read(&values.buffer));
+            wait.extend(ctx.wait_for(values));
         }
-        ctx.queue().enqueue_kernel(
+        let acc_event = ctx.queue().enqueue_kernel(
             Arc::new(GroupedAccumulateKernel {
                 values: values.map(|v| v.buffer.clone()),
                 gids: gids.buffer.clone(),
                 accumulators: accumulators.clone(),
                 num_accumulators,
                 agg,
+                n: gids.len_source(),
             }),
-            ctx.launch(gids.len),
+            ctx.launch(gids.cap()),
             &wait,
         )?;
+        ctx.memory().record_producer(&accumulators, acc_event);
     }
     let fold_event = ctx.queue().enqueue_kernel(
         Arc::new(FoldAccumulatorsKernel {
-            accumulators,
+            accumulators: accumulators.clone(),
             output: output.clone(),
             num_accumulators,
             num_groups,
             agg,
         }),
         ctx.launch(num_groups),
-        &[],
+        &ctx.memory().wait_for_read(&accumulators),
     )?;
     ctx.memory().record_producer(&output, fold_event);
-    Ok(DevColumn::new(output, num_groups))
+    DevColumn::new(output, num_groups)
 }
 
 /// Per-group sums of a float column.
 pub fn grouped_sum_f32(
     ctx: &OcelotContext,
-    values: &DevColumn,
-    gids: &DevColumn,
+    values: &DevColumn<f32>,
+    gids: &DevColumn<Oid>,
     num_groups: usize,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<f32>> {
     grouped_aggregate(ctx, Some(values), gids, num_groups, GroupedAgg::SumF32)
 }
 
 /// Per-group minima of a float column (`+∞` for empty groups).
 pub fn grouped_min_f32(
     ctx: &OcelotContext,
-    values: &DevColumn,
-    gids: &DevColumn,
+    values: &DevColumn<f32>,
+    gids: &DevColumn<Oid>,
     num_groups: usize,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<f32>> {
     grouped_aggregate(ctx, Some(values), gids, num_groups, GroupedAgg::MinF32)
 }
 
 /// Per-group maxima of a float column (`-∞` for empty groups).
 pub fn grouped_max_f32(
     ctx: &OcelotContext,
-    values: &DevColumn,
-    gids: &DevColumn,
+    values: &DevColumn<f32>,
+    gids: &DevColumn<Oid>,
     num_groups: usize,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<f32>> {
     grouped_aggregate(ctx, Some(values), gids, num_groups, GroupedAgg::MaxF32)
 }
 
@@ -229,35 +245,38 @@ pub fn grouped_max_f32(
 /// representation; counts stay exactly representable up to 2^24 rows).
 pub fn grouped_count(
     ctx: &OcelotContext,
-    gids: &DevColumn,
+    gids: &DevColumn<Oid>,
     num_groups: usize,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<f32>> {
     grouped_aggregate(ctx, None, gids, num_groups, GroupedAgg::Count)
 }
 
 /// Per-group averages of a float column (0 for empty groups).
 pub fn grouped_avg_f32(
     ctx: &OcelotContext,
-    values: &DevColumn,
-    gids: &DevColumn,
+    values: &DevColumn<f32>,
+    gids: &DevColumn<Oid>,
     num_groups: usize,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<f32>> {
     let sums = grouped_sum_f32(ctx, values, gids, num_groups)?;
     let counts = grouped_count(ctx, gids, num_groups)?;
     let output = ctx.alloc(num_groups.max(1), "grouped_avg")?;
     if num_groups == 0 {
-        return Ok(DevColumn::new(output, 0));
+        return DevColumn::new(output, 0);
     }
-    ctx.queue().enqueue_kernel(
+    let mut wait = ctx.wait_for(&sums);
+    wait.extend(ctx.wait_for(&counts));
+    let event = ctx.queue().enqueue_kernel(
         Arc::new(DivideKernel {
             numerator: sums.buffer.clone(),
             denominator: counts.buffer.clone(),
             output: output.clone(),
         }),
         ctx.launch(num_groups),
-        &[],
+        &wait,
     )?;
-    Ok(DevColumn::new(output, num_groups))
+    ctx.memory().record_producer(&output, event);
+    DevColumn::new(output, num_groups)
 }
 
 struct DivideKernel {
@@ -281,18 +300,65 @@ impl Kernel for DivideKernel {
     }
 }
 
-/// Number of rows in a column (trivial, provided for interface completeness).
-pub fn count(column: &DevColumn) -> i64 {
-    column.len as i64
+/// Divides the one-word sum by the (possibly device-resident) element count:
+/// the tail of the deferred average.
+struct ScalarDivByLenKernel {
+    sum: Buffer,
+    output: Buffer,
+    n: LenSource,
 }
 
-/// Average of a float column (`None` for an empty column).
-pub fn avg_f32(ctx: &OcelotContext, values: &DevColumn) -> Result<Option<f32>> {
-    if values.len == 0 {
-        return Ok(None);
+impl Kernel for ScalarDivByLenKernel {
+    fn name(&self) -> &str {
+        "scalar_div_by_len"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        if group.group_id() != 0 {
+            return;
+        }
+        let n = self.n.get();
+        let value = if n == 0 { 0.0 } else { self.sum.get_f32(0) / n as f32 };
+        self.output.set_f32(0, value);
+    }
+}
+
+/// Number of rows in a column as a deferred scalar: for host-known lengths a
+/// staged constant, for deferred columns the existing device counter —
+/// either way, no synchronisation.
+pub fn count<T: crate::context::DevWord>(
+    ctx: &OcelotContext,
+    column: &DevColumn<T>,
+) -> Result<DevScalar<u32>> {
+    match column.col_len() {
+        crate::context::ColLen::Host(n) => DevScalar::constant(ctx, *n as u32),
+        crate::context::ColLen::Device { counter, .. } => Ok(DevScalar::new(counter.clone(), None)),
+    }
+}
+
+/// Average of a float column, as a deferred scalar (`0` for an empty
+/// column). The division by the element count happens on the device, so the
+/// average of a deferred-length column is still sync-free.
+pub fn avg_f32(ctx: &OcelotContext, values: &DevColumn<f32>) -> Result<DevScalar<f32>> {
+    if values.cap() == 0 {
+        return DevScalar::constant(ctx, 0.0f32);
     }
     let total = reduce::sum_f32(ctx, values)?;
-    Ok(Some(total / values.len as f32))
+    let output = ctx.alloc(1, "avg_output")?;
+    let mut wait = ctx.memory().wait_for_read(total.buffer());
+    if let crate::context::ColLen::Device { counter, .. } = values.col_len() {
+        wait.extend(ctx.memory().wait_for_read(counter));
+    }
+    let event = ctx.queue().enqueue_kernel(
+        Arc::new(ScalarDivByLenKernel {
+            sum: total.buffer().clone(),
+            output: output.clone(),
+            n: values.len_source(),
+        }),
+        ctx.launch(1),
+        &wait,
+    )?;
+    ctx.memory().record_producer(&output, event);
+    Ok(DevScalar::new(output, Some(event)))
 }
 
 #[cfg(test)]
@@ -314,7 +380,7 @@ mod tests {
         for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
             let v = ctx.upload_f32(&values, "v").unwrap();
             let g = ctx.upload_u32(&gids, "g").unwrap();
-            let sums = ctx.download_f32(&grouped_sum_f32(&ctx, &v, &g, 37).unwrap()).unwrap();
+            let sums = grouped_sum_f32(&ctx, &v, &g, 37).unwrap().read(&ctx).unwrap();
             for (a, b) in sums.iter().zip(expected.iter()) {
                 assert!((a - b).abs() < 0.5, "{a} vs {b}");
             }
@@ -329,19 +395,19 @@ mod tests {
         let g = ctx.upload_u32(&gids, "g").unwrap();
 
         assert_eq!(
-            ctx.download_f32(&grouped_min_f32(&ctx, &v, &g, 11).unwrap()).unwrap(),
+            grouped_min_f32(&ctx, &v, &g, 11).unwrap().read(&ctx).unwrap(),
             monet::grouped_min_f32(&values, &gids, 11)
         );
         assert_eq!(
-            ctx.download_f32(&grouped_max_f32(&ctx, &v, &g, 11).unwrap()).unwrap(),
+            grouped_max_f32(&ctx, &v, &g, 11).unwrap().read(&ctx).unwrap(),
             monet::grouped_max_f32(&values, &gids, 11)
         );
-        let counts = ctx.download_f32(&grouped_count(&ctx, &g, 11).unwrap()).unwrap();
+        let counts = grouped_count(&ctx, &g, 11).unwrap().read(&ctx).unwrap();
         let expected_counts = monet::grouped_count(&gids, 11);
         for (a, b) in counts.iter().zip(expected_counts.iter()) {
             assert_eq!(*a as i64, *b);
         }
-        let avgs = ctx.download_f32(&grouped_avg_f32(&ctx, &v, &g, 11).unwrap()).unwrap();
+        let avgs = grouped_avg_f32(&ctx, &v, &g, 11).unwrap().read(&ctx).unwrap();
         let expected_avgs = monet::grouped_avg_f32(&values, &gids, 11);
         for (a, b) in avgs.iter().zip(expected_avgs.iter()) {
             assert!((a - b).abs() < 1e-2, "{a} vs {b}");
@@ -361,21 +427,28 @@ mod tests {
         let ctx = OcelotContext::gpu();
         let gids = vec![0u32; 5_000];
         let g = ctx.upload_u32(&gids, "g").unwrap();
-        let counts = ctx.download_f32(&grouped_count(&ctx, &g, 1).unwrap()).unwrap();
+        let counts = grouped_count(&ctx, &g, 1).unwrap().read(&ctx).unwrap();
         assert_eq!(counts, vec![5_000.0]);
     }
 
     #[test]
-    fn ungrouped_aggregates_re_exported() {
+    fn ungrouped_aggregates_are_deferred() {
         let ctx = OcelotContext::cpu();
         let v = ctx.upload_f32(&[1.0, 2.0, 3.0], "v").unwrap();
-        assert_eq!(sum_f32(&ctx, &v).unwrap(), 6.0);
-        assert_eq!(min_f32(&ctx, &v).unwrap(), 1.0);
-        assert_eq!(max_f32(&ctx, &v).unwrap(), 3.0);
-        assert_eq!(avg_f32(&ctx, &v).unwrap(), Some(2.0));
-        assert_eq!(count(&v), 3);
+        let flushes = ctx.queue().flush_count();
+        let sum = sum_f32(&ctx, &v).unwrap();
+        let min = min_f32(&ctx, &v).unwrap();
+        let max = max_f32(&ctx, &v).unwrap();
+        let avg = avg_f32(&ctx, &v).unwrap();
+        let n = count(&ctx, &v).unwrap();
+        assert_eq!(ctx.queue().flush_count(), flushes, "aggregates must not flush");
+        assert_eq!(sum.get(&ctx).unwrap(), 6.0);
+        assert_eq!(min.get(&ctx).unwrap(), 1.0);
+        assert_eq!(max.get(&ctx).unwrap(), 3.0);
+        assert_eq!(avg.get(&ctx).unwrap(), 2.0);
+        assert_eq!(n.get(&ctx).unwrap(), 3);
         let empty = ctx.upload_f32(&[], "e").unwrap();
-        assert_eq!(avg_f32(&ctx, &empty).unwrap(), None);
+        assert_eq!(avg_f32(&ctx, &empty).unwrap().get(&ctx).unwrap(), 0.0);
     }
 
     #[test]
@@ -383,10 +456,10 @@ mod tests {
         let ctx = OcelotContext::cpu();
         let v = ctx.upload_f32(&[1.0], "v").unwrap();
         let g = ctx.upload_u32(&[2], "g").unwrap();
-        let mins = ctx.download_f32(&grouped_min_f32(&ctx, &v, &g, 4).unwrap()).unwrap();
+        let mins = grouped_min_f32(&ctx, &v, &g, 4).unwrap().read(&ctx).unwrap();
         assert_eq!(mins[0], f32::INFINITY);
         assert_eq!(mins[2], 1.0);
-        let counts = ctx.download_f32(&grouped_count(&ctx, &g, 4).unwrap()).unwrap();
+        let counts = grouped_count(&ctx, &g, 4).unwrap().read(&ctx).unwrap();
         assert_eq!(counts, vec![0.0, 0.0, 1.0, 0.0]);
     }
 
@@ -395,6 +468,6 @@ mod tests {
         let ctx = OcelotContext::cpu();
         let v = ctx.upload_f32(&[], "v").unwrap();
         let g = ctx.upload_u32(&[], "g").unwrap();
-        assert_eq!(grouped_sum_f32(&ctx, &v, &g, 0).unwrap().len, 0);
+        assert_eq!(grouped_sum_f32(&ctx, &v, &g, 0).unwrap().read(&ctx).unwrap().len(), 0);
     }
 }

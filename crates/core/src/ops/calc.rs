@@ -4,9 +4,14 @@
 //! TPC-H expressions like `l_extendedprice * (1 - l_discount)` become chains
 //! of these kernels. Every kernel is a trivial streaming map (the paper's
 //! Listing 1 is exactly this shape), so the default [`KernelCost`] applies.
+//!
+//! Maps are fully lazy and length-polymorphic: when the inputs carry a
+//! deferred length (aligned gathers over an uncounted selection), the kernel
+//! resolves the actual count at flush time and the output inherits the same
+//! deferred length.
 
-use crate::context::{DevColumn, OcelotContext};
-use ocelot_kernel::{Buffer, Kernel, Result, WorkGroupCtx};
+use crate::context::{DevColumn, DevWord, LenSource, OcelotContext};
+use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
 use ocelot_storage::types::days_to_date;
 use std::sync::Arc;
 
@@ -36,6 +41,7 @@ struct MapKernel {
     b: Option<Buffer>,
     output: Buffer,
     op: MapOp,
+    n: LenSource,
 }
 
 /// Binary float map over raw word slices: the op is monomorphised per chunk
@@ -89,23 +95,30 @@ impl Kernel for MapKernel {
         }
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        // Deferred lengths resolve at flush time.
+        let n = self.n.get();
         let a = self.a.as_words();
         let b = self.b.as_ref().map(|b| b.as_words());
         for item in group.items() {
             let assigned = item.assigned();
             if let Some(range) = assigned.as_range() {
-                if range.is_empty() {
+                let end = range.end.min(n);
+                let start = range.start.min(end);
+                if start >= end {
                     continue;
                 }
                 // SAFETY: the contiguous pattern assigns `range` of the
                 // output exclusively to this item within this phase.
-                let out = unsafe { self.output.chunk_mut(range.start, range.end) };
-                self.run_chunk(out, &a[range.clone()], b.map(|b| &b[range.clone()]));
+                let out = unsafe { self.output.chunk_mut(start, end) };
+                self.run_chunk(out, &a[start..end], b.map(|b| &b[start..end]));
             } else {
                 // Strided/coalesced pattern: apply per element through a
                 // one-word chunk; reads still avoid atomic loads.
                 let output = self.output.cells();
                 for idx in assigned {
+                    if idx >= n {
+                        continue;
+                    }
                     let mut word = [0u32];
                     self.run_chunk(&mut word, &a[idx..idx + 1], b.map(|b| &b[idx..idx + 1]));
                     output[idx].store(word[0], std::sync::atomic::Ordering::Relaxed);
@@ -113,24 +126,92 @@ impl Kernel for MapKernel {
             }
         }
     }
+    fn cost(&self, launch: &LaunchConfig) -> KernelCost {
+        KernelCost::streaming(launch.n)
+    }
 }
 
-fn run_map(
+/// Writes `min(a, b)` of two (possibly device-resident) element counts into
+/// a one-word counter — the aligned length of a binary map whose inputs
+/// carry *different* deferred counters.
+struct MinLenKernel {
+    a: LenSource,
+    b: LenSource,
+    out: Buffer,
+}
+
+impl Kernel for MinLenKernel {
+    fn name(&self) -> &str {
+        "calc_min_len"
+    }
+    fn run_group(&self, group: &mut WorkGroupCtx) {
+        if group.group_id() != 0 {
+            return;
+        }
+        self.out.set_u32(0, self.a.get().min(self.b.get()) as u32);
+    }
+}
+
+/// The length driving a binary map and its output. Host lengths must match
+/// exactly (asserted by the caller); identical deferred counters are shared
+/// as-is; any other combination is conservatively combined into a fresh
+/// `min` counter on the device, so a misaligned pair can never expose one
+/// input's uninitialised tail as data.
+fn aligned_len(
     ctx: &OcelotContext,
-    a: &DevColumn,
-    b: Option<&DevColumn>,
+    a: &crate::context::ColLen,
+    b: &crate::context::ColLen,
+) -> Result<crate::context::ColLen> {
+    use crate::context::ColLen;
+    match (a, b) {
+        (ColLen::Host(_), ColLen::Host(_)) => Ok(a.clone()),
+        (ColLen::Device { counter: ca, .. }, ColLen::Device { counter: cb, .. })
+            if ca.id() == cb.id() =>
+        {
+            Ok(a.clone())
+        }
+        _ => {
+            let out = ctx.alloc(1, "calc_len")?;
+            let mut wait = Vec::new();
+            for len in [a, b] {
+                if let ColLen::Device { counter, .. } = len {
+                    wait.extend(ctx.memory().wait_for_read(counter));
+                }
+            }
+            let event = ctx.queue().enqueue_kernel(
+                Arc::new(MinLenKernel { a: a.source(), b: b.source(), out: out.clone() }),
+                ctx.launch(1),
+                &wait,
+            )?;
+            ctx.memory().record_producer(&out, event);
+            Ok(ColLen::Device { counter: out, cap: a.cap().min(b.cap()) })
+        }
+    }
+}
+
+fn run_map<A: DevWord, B: DevWord, O: DevWord>(
+    ctx: &OcelotContext,
+    a: &DevColumn<A>,
+    b: Option<&DevColumn<B>>,
     op: MapOp,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<O>> {
     if let Some(b) = b {
-        assert_eq!(a.len, b.len, "calc: input length mismatch");
+        assert_eq!(a.cap(), b.cap(), "calc: input length mismatch");
+        if let (Some(la), Some(lb)) = (a.host_len(), b.host_len()) {
+            assert_eq!(la, lb, "calc: input length mismatch");
+        }
     }
-    let output = ctx.alloc_uninit(a.len.max(1), "calc_output")?;
-    if a.len == 0 {
-        return Ok(DevColumn::new(output, 0));
+    let len = match b {
+        Some(b) => aligned_len(ctx, a.col_len(), b.col_len())?,
+        None => a.col_len().clone(),
+    };
+    let output = ctx.alloc_uninit(a.cap().max(1), "calc_output")?;
+    if a.cap() == 0 {
+        return DevColumn::new(output, 0);
     }
-    let mut wait = ctx.memory().wait_for_read(&a.buffer);
+    let mut wait = ctx.wait_for(a);
     if let Some(b) = b {
-        wait.extend(ctx.memory().wait_for_read(&b.buffer));
+        wait.extend(ctx.wait_for(b));
     }
     let event = ctx.queue().enqueue_kernel(
         Arc::new(MapKernel {
@@ -138,52 +219,81 @@ fn run_map(
             b: b.map(|col| col.buffer.clone()),
             output: output.clone(),
             op,
+            n: len.source(),
         }),
-        ctx.launch(a.len),
+        ctx.launch(a.cap()),
         &wait,
     )?;
     ctx.memory().record_producer(&output, event);
-    Ok(DevColumn::new(output, a.len))
+    ctx.memory().record_consumer(&a.buffer, event);
+    if let Some(b) = b {
+        ctx.memory().record_consumer(&b.buffer, event);
+    }
+    DevColumn::with_len(output, len)
 }
 
 /// Element-wise `a * b` over float columns.
-pub fn mul_f32(ctx: &OcelotContext, a: &DevColumn, b: &DevColumn) -> Result<DevColumn> {
+pub fn mul_f32(
+    ctx: &OcelotContext,
+    a: &DevColumn<f32>,
+    b: &DevColumn<f32>,
+) -> Result<DevColumn<f32>> {
     run_map(ctx, a, Some(b), MapOp::MulF32)
 }
 
 /// Element-wise `a + b` over float columns.
-pub fn add_f32(ctx: &OcelotContext, a: &DevColumn, b: &DevColumn) -> Result<DevColumn> {
+pub fn add_f32(
+    ctx: &OcelotContext,
+    a: &DevColumn<f32>,
+    b: &DevColumn<f32>,
+) -> Result<DevColumn<f32>> {
     run_map(ctx, a, Some(b), MapOp::AddF32)
 }
 
 /// Element-wise `a - b` over float columns.
-pub fn sub_f32(ctx: &OcelotContext, a: &DevColumn, b: &DevColumn) -> Result<DevColumn> {
+pub fn sub_f32(
+    ctx: &OcelotContext,
+    a: &DevColumn<f32>,
+    b: &DevColumn<f32>,
+) -> Result<DevColumn<f32>> {
     run_map(ctx, a, Some(b), MapOp::SubF32)
 }
 
 /// Element-wise `constant - a` (e.g. `1 - l_discount`).
-pub fn const_minus_f32(ctx: &OcelotContext, constant: f32, a: &DevColumn) -> Result<DevColumn> {
-    run_map(ctx, a, None, MapOp::ConstMinusF32(constant))
+pub fn const_minus_f32(
+    ctx: &OcelotContext,
+    constant: f32,
+    a: &DevColumn<f32>,
+) -> Result<DevColumn<f32>> {
+    run_map::<f32, f32, f32>(ctx, a, None, MapOp::ConstMinusF32(constant))
 }
 
 /// Element-wise `constant + a` (e.g. `1 + l_tax`).
-pub fn const_plus_f32(ctx: &OcelotContext, constant: f32, a: &DevColumn) -> Result<DevColumn> {
-    run_map(ctx, a, None, MapOp::ConstPlusF32(constant))
+pub fn const_plus_f32(
+    ctx: &OcelotContext,
+    constant: f32,
+    a: &DevColumn<f32>,
+) -> Result<DevColumn<f32>> {
+    run_map::<f32, f32, f32>(ctx, a, None, MapOp::ConstPlusF32(constant))
 }
 
 /// Element-wise `a * constant`.
-pub fn mul_const_f32(ctx: &OcelotContext, a: &DevColumn, constant: f32) -> Result<DevColumn> {
-    run_map(ctx, a, None, MapOp::MulConstF32(constant))
+pub fn mul_const_f32(
+    ctx: &OcelotContext,
+    a: &DevColumn<f32>,
+    constant: f32,
+) -> Result<DevColumn<f32>> {
+    run_map::<f32, f32, f32>(ctx, a, None, MapOp::MulConstF32(constant))
 }
 
 /// Casts an integer column to float.
-pub fn cast_i32_f32(ctx: &OcelotContext, a: &DevColumn) -> Result<DevColumn> {
-    run_map(ctx, a, None, MapOp::CastI32F32)
+pub fn cast_i32_f32(ctx: &OcelotContext, a: &DevColumn<i32>) -> Result<DevColumn<f32>> {
+    run_map::<i32, i32, f32>(ctx, a, None, MapOp::CastI32F32)
 }
 
 /// Extracts the calendar year from a day-number date column.
-pub fn extract_year(ctx: &OcelotContext, a: &DevColumn) -> Result<DevColumn> {
-    run_map(ctx, a, None, MapOp::ExtractYear)
+pub fn extract_year(ctx: &OcelotContext, a: &DevColumn<i32>) -> Result<DevColumn<i32>> {
+    run_map::<i32, i32, i32>(ctx, a, None, MapOp::ExtractYear)
 }
 
 #[cfg(test)]
@@ -201,15 +311,15 @@ mod tests {
             let ca = ctx.upload_f32(&a, "a").unwrap();
             let cb = ctx.upload_f32(&b, "b").unwrap();
             assert_eq!(
-                ctx.download_f32(&mul_f32(&ctx, &ca, &cb).unwrap()).unwrap(),
+                mul_f32(&ctx, &ca, &cb).unwrap().read(&ctx).unwrap(),
                 monet::mul_f32(&a, &b)
             );
             assert_eq!(
-                ctx.download_f32(&add_f32(&ctx, &ca, &cb).unwrap()).unwrap(),
+                add_f32(&ctx, &ca, &cb).unwrap().read(&ctx).unwrap(),
                 monet::add_f32(&a, &b)
             );
             assert_eq!(
-                ctx.download_f32(&sub_f32(&ctx, &ca, &cb).unwrap()).unwrap(),
+                sub_f32(&ctx, &ca, &cb).unwrap().read(&ctx).unwrap(),
                 monet::sub_f32(&a, &b)
             );
         }
@@ -221,24 +331,21 @@ mod tests {
         let a: Vec<f32> = vec![0.1, 0.5, 0.9];
         let ca = ctx.upload_f32(&a, "a").unwrap();
         assert_eq!(
-            ctx.download_f32(&const_minus_f32(&ctx, 1.0, &ca).unwrap()).unwrap(),
+            const_minus_f32(&ctx, 1.0, &ca).unwrap().read(&ctx).unwrap(),
             monet::const_minus_f32(1.0, &a)
         );
         assert_eq!(
-            ctx.download_f32(&const_plus_f32(&ctx, 1.0, &ca).unwrap()).unwrap(),
+            const_plus_f32(&ctx, 1.0, &ca).unwrap().read(&ctx).unwrap(),
             monet::const_plus_f32(1.0, &a)
         );
         assert_eq!(
-            ctx.download_f32(&mul_const_f32(&ctx, &ca, 2.0).unwrap()).unwrap(),
+            mul_const_f32(&ctx, &ca, 2.0).unwrap().read(&ctx).unwrap(),
             monet::mul_const_f32(&a, 2.0)
         );
 
         let ints: Vec<i32> = vec![3, -4, 5];
         let ci = ctx.upload_i32(&ints, "i").unwrap();
-        assert_eq!(
-            ctx.download_f32(&cast_i32_f32(&ctx, &ci).unwrap()).unwrap(),
-            vec![3.0, -4.0, 5.0]
-        );
+        assert_eq!(cast_i32_f32(&ctx, &ci).unwrap().read(&ctx).unwrap(), vec![3.0, -4.0, 5.0]);
     }
 
     #[test]
@@ -249,14 +356,14 @@ mod tests {
         let ctx = OcelotContext::gpu();
         let col = ctx.upload_i32(&days, "dates").unwrap();
         assert_eq!(
-            ctx.download_i32(&extract_year(&ctx, &col).unwrap()).unwrap(),
+            extract_year(&ctx, &col).unwrap().read(&ctx).unwrap(),
             monet::extract_year(&days)
         );
     }
 
     #[test]
-    fn tpch_q1_style_expression_chain() {
-        // extendedprice * (1 - discount) * (1 + tax)
+    fn tpch_q1_style_expression_chain_is_single_flush() {
+        // extendedprice * (1 - discount) * (1 + tax), lazily chained.
         let price = vec![100.0f32, 200.0, 50.0];
         let discount = vec![0.1f32, 0.0, 0.5];
         let tax = vec![0.05f32, 0.1, 0.0];
@@ -264,14 +371,56 @@ mod tests {
         let p = ctx.upload_f32(&price, "p").unwrap();
         let d = ctx.upload_f32(&discount, "d").unwrap();
         let t = ctx.upload_f32(&tax, "t").unwrap();
+        let flushes = ctx.queue().flush_count();
         let one_minus_d = const_minus_f32(&ctx, 1.0, &d).unwrap();
         let one_plus_t = const_plus_f32(&ctx, 1.0, &t).unwrap();
         let disc_price = mul_f32(&ctx, &p, &one_minus_d).unwrap();
         let charge = mul_f32(&ctx, &disc_price, &one_plus_t).unwrap();
-        let result = ctx.download_f32(&charge).unwrap();
+        assert_eq!(ctx.queue().flush_count(), flushes, "map chain must not flush");
+        let result = charge.read(&ctx).unwrap();
+        assert_eq!(ctx.queue().flush_count(), flushes + 1);
         let expected: Vec<f32> =
             (0..3).map(|i| price[i] * (1.0 - discount[i]) * (1.0 + tax[i])).collect();
         assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn binary_map_drives_from_the_deferred_side() {
+        // A host-known column aligned with a deferred one: the kernel must
+        // clamp to the deferred count, never exposing b's garbage tail.
+        use crate::context::{DevColumn, Oid};
+        let ctx = OcelotContext::cpu();
+        let a = ctx.upload_f32(&[2.0, 3.0, 4.0, 5.0], "a").unwrap();
+        let raw = ctx.upload_f32(&[10.0, 20.0, f32::NAN, f32::NAN], "b").unwrap();
+        let counter = ctx.alloc(1, "count").unwrap();
+        counter.set_u32(0, 2);
+        ctx.queue().enqueue_write(&counter, &[]).unwrap();
+        let b: DevColumn<f32> =
+            DevColumn::<Oid>::deferred(raw.buffer.clone(), counter, 4).unwrap().reinterpret();
+        let product = mul_f32(&ctx, &a, &b).unwrap();
+        assert!(product.is_deferred(), "output inherits the deferred length");
+        assert_eq!(product.read(&ctx).unwrap(), vec![20.0, 60.0]);
+    }
+
+    #[test]
+    fn binary_map_with_two_distinct_deferred_counters_clamps_to_min() {
+        // Misaligned deferred inputs must never surface an uninitialised
+        // tail: the map combines the two counters into a device-side min.
+        use crate::context::{DevColumn, Oid};
+        let ctx = OcelotContext::cpu();
+        let deferred_f32 = |values: &[f32], count: u32| -> DevColumn<f32> {
+            let raw = ctx.upload_f32(values, "v").unwrap();
+            let counter = ctx.alloc(1, "count").unwrap();
+            counter.set_u32(0, count);
+            ctx.queue().enqueue_write(&counter, &[]).unwrap();
+            DevColumn::<Oid>::deferred(raw.buffer.clone(), counter, values.len())
+                .unwrap()
+                .reinterpret()
+        };
+        let a = deferred_f32(&[1.0, 2.0, 3.0, f32::NAN], 3);
+        let b = deferred_f32(&[5.0, 6.0, f32::NAN, f32::NAN], 2);
+        let sum = add_f32(&ctx, &a, &b).unwrap();
+        assert_eq!(sum.read(&ctx).unwrap(), vec![6.0, 8.0]);
     }
 
     #[test]
@@ -288,6 +437,6 @@ mod tests {
         let ctx = OcelotContext::cpu();
         let a = ctx.upload_f32(&[], "a").unwrap();
         let b = ctx.upload_f32(&[], "b").unwrap();
-        assert!(ctx.download_f32(&mul_f32(&ctx, &a, &b).unwrap()).unwrap().is_empty());
+        assert!(mul_f32(&ctx, &a, &b).unwrap().read(&ctx).unwrap().is_empty());
     }
 }

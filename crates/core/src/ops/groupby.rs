@@ -14,8 +14,13 @@
 //! Multi-column grouping recursively combines the dense ids of two grouping
 //! columns and groups the combined ids again, exactly as described in the
 //! paper.
+//!
+//! **Deliberate sync point:** `num_groups` shapes the result schema (it
+//! sizes every grouped aggregate), so grouping resolves it on the host —
+//! via the hash build's internal flushes or the sorted path's scan-total
+//! `.get()`. Everything downstream of the grouping stays lazy.
 
-use crate::context::{DevColumn, OcelotContext};
+use crate::context::{DevColumn, DevWord, OcelotContext, Oid};
 use crate::ops::hash_table::OcelotHashTable;
 use crate::primitives::prefix_sum::exclusive_scan_u32;
 use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
@@ -25,19 +30,19 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct GroupBy {
     /// Dense group id per input row.
-    pub gids: DevColumn,
+    pub gids: DevColumn<Oid>,
     /// Number of distinct groups.
     pub num_groups: usize,
     /// Representative row per group (the smallest row id of the group),
     /// used to project the grouping key values into the result set.
-    pub representatives: DevColumn,
+    pub representatives: DevColumn<Oid>,
 }
 
 /// Group-by over an unsorted key column using the parallel hash table.
 /// `distinct_hint` sizes the initial table.
-pub fn group_by_hash(
+pub fn group_by_hash<T: DevWord>(
     ctx: &OcelotContext,
-    keys: &DevColumn,
+    keys: &DevColumn<T>,
     distinct_hint: usize,
 ) -> Result<GroupBy> {
     let table = OcelotHashTable::build(ctx, keys, distinct_hint)?;
@@ -100,43 +105,47 @@ impl Kernel for RepresentativeFromBoundariesKernel {
 }
 
 /// Group-by over a key column that is known to be sorted: boundary flags +
-/// prefix sum (no hash table, no atomics).
-pub fn group_by_sorted(ctx: &OcelotContext, keys: &DevColumn) -> Result<GroupBy> {
-    let n = keys.len;
+/// prefix sum (no hash table, no atomics). Resolves the group count on the
+/// host (see module docs); a deferred input length resolves with it.
+pub fn group_by_sorted<T: DevWord>(ctx: &OcelotContext, keys: &DevColumn<T>) -> Result<GroupBy> {
+    let n = keys.len(ctx)?;
     if n == 0 {
         let empty = ctx.alloc(1, "group_empty")?;
         return Ok(GroupBy {
-            gids: DevColumn::new(empty.clone(), 0),
+            gids: DevColumn::new(empty.clone(), 0)?,
             num_groups: 0,
-            representatives: DevColumn::new(empty, 0),
+            representatives: DevColumn::new(empty, 0)?,
         });
     }
     let flags = ctx.alloc(n, "group_flags")?;
-    let wait = ctx.memory().wait_for_read(&keys.buffer);
-    ctx.queue().enqueue_kernel(
+    let wait = ctx.wait_for(keys);
+    let boundary_event = ctx.queue().enqueue_kernel(
         Arc::new(BoundaryKernel { keys: keys.buffer.clone(), flags: flags.clone() }),
         ctx.launch(n),
         &wait,
     )?;
-    let flags_col = DevColumn::new(flags.clone(), n);
+    ctx.memory().record_producer(&flags, boundary_event);
+    let flags_col = DevColumn::<u32>::new(flags.clone(), n)?;
     // Inclusive group id of row i = exclusive_scan(flags)[i] + flags[i]; but
     // because flags[0] is 0 and boundaries carry a 1 exactly where a new
     // group starts, the *inclusive* scan is the group id. We get it from the
     // exclusive scan shifted by the flag itself.
     let (exclusive, total) = exclusive_scan_u32(ctx, &flags_col)?;
     let gids = ctx.alloc(n, "group_gids")?;
-    ctx.queue().enqueue_kernel(
+    let fixup_event = ctx.queue().enqueue_kernel(
         Arc::new(InclusiveFixupKernel {
             exclusive: exclusive.buffer.clone(),
             flags: flags.clone(),
             gids: gids.clone(),
         }),
         ctx.launch(n),
-        &[],
+        &ctx.memory().wait_for_read(&exclusive.buffer),
     )?;
-    let num_groups = (total as usize) + 1;
+    ctx.memory().record_producer(&gids, fixup_event);
+    // Schema-shaping resolve: the group count sizes the representatives.
+    let num_groups = (total.get(ctx)? as usize) + 1;
     let representatives = ctx.alloc(num_groups, "group_reps")?;
-    ctx.queue().enqueue_kernel(
+    let rep_event = ctx.queue().enqueue_kernel(
         Arc::new(RepresentativeFromBoundariesKernel {
             gids: gids.clone(),
             flags,
@@ -144,13 +153,13 @@ pub fn group_by_sorted(ctx: &OcelotContext, keys: &DevColumn) -> Result<GroupBy>
             n,
         }),
         ctx.launch(n),
-        &[],
+        &ctx.memory().wait_for_read(&gids),
     )?;
-    ctx.queue().flush()?;
+    ctx.memory().record_producer(&representatives, rep_event);
     Ok(GroupBy {
-        gids: DevColumn::new(gids, n),
+        gids: DevColumn::new(gids, n)?,
         num_groups,
-        representatives: DevColumn::new(representatives, num_groups),
+        representatives: DevColumn::new(representatives, num_groups)?,
     })
 }
 
@@ -201,15 +210,15 @@ impl Kernel for CombineGidKernel {
 /// Refines an existing grouping with an additional key column: the column is
 /// grouped on its own, the two dense-id columns are combined into a single
 /// id, and the combined ids are grouped again (paper §4.1.6).
-pub fn group_refine(
+pub fn group_refine<T: DevWord>(
     ctx: &OcelotContext,
     previous: &GroupBy,
-    keys: &DevColumn,
+    keys: &DevColumn<T>,
     distinct_hint: usize,
 ) -> Result<GroupBy> {
-    assert_eq!(previous.gids.len, keys.len, "group_refine: length mismatch");
+    assert_eq!(previous.gids.cap(), keys.cap(), "group_refine: length mismatch");
     let next = group_by_hash(ctx, keys, distinct_hint)?;
-    let n = keys.len;
+    let n = keys.len(ctx)?;
     if n == 0 {
         return Ok(next);
     }
@@ -219,7 +228,9 @@ pub fn group_refine(
         "group_refine: combined group id space overflows 32 bits ({combined_product})"
     );
     let combined = ctx.alloc(n, "group_combined_ids")?;
-    ctx.queue().enqueue_kernel(
+    let mut wait = ctx.memory().wait_for_read(&previous.gids.buffer);
+    wait.extend(ctx.memory().wait_for_read(&next.gids.buffer));
+    let combine_event = ctx.queue().enqueue_kernel(
         Arc::new(CombineGidKernel {
             previous: previous.gids.buffer.clone(),
             next: next.gids.buffer.clone(),
@@ -227,17 +238,18 @@ pub fn group_refine(
             next_groups: next.num_groups.max(1) as u32,
         }),
         ctx.launch(n),
-        &[],
+        &wait,
     )?;
-    let combined_col = DevColumn::new(combined, n);
+    ctx.memory().record_producer(&combined, combine_event);
+    let combined_col = DevColumn::<u32>::new(combined, n)?;
     let hint = (previous.num_groups * next.num_groups).max(1).min(n.max(1));
     group_by_hash(ctx, &combined_col, hint)
 }
 
 /// Groups by several key columns at once (repeated refinement).
-pub fn group_by_columns(
+pub fn group_by_columns<T: DevWord>(
     ctx: &OcelotContext,
-    columns: &[&DevColumn],
+    columns: &[&DevColumn<T>],
     distinct_hint: usize,
 ) -> Result<GroupBy> {
     assert!(!columns.is_empty(), "group_by_columns: need at least one column");
@@ -275,7 +287,7 @@ mod tests {
             let col = ctx.upload_i32(&values, "keys").unwrap();
             let result = group_by_hash(&ctx, &col, 100).unwrap();
             assert_eq!(result.num_groups, 100);
-            let gids = ctx.download_u32(&result.gids).unwrap();
+            let gids = result.gids.read(&ctx).unwrap();
             check_same_partition(&values, &gids, result.num_groups);
         }
     }
@@ -288,13 +300,13 @@ mod tests {
         let col = ctx.upload_i32(&values, "keys").unwrap();
         let sorted = group_by_sorted(&ctx, &col).unwrap();
         assert_eq!(sorted.num_groups, 50);
-        let gids = ctx.download_u32(&sorted.gids).unwrap();
+        let gids = sorted.gids.read(&ctx).unwrap();
         // Sorted input: group ids must be non-decreasing and dense.
         assert!(gids.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] + 1));
         assert_eq!(*gids.last().unwrap() as usize, sorted.num_groups - 1);
         check_same_partition(&values, &gids, sorted.num_groups);
         // Representatives point at the first row of each group.
-        let reps = ctx.download_u32(&sorted.representatives).unwrap();
+        let reps = sorted.representatives.read(&ctx).unwrap();
         for (gid, rep) in reps.iter().enumerate() {
             assert_eq!(gids[*rep as usize] as usize, gid);
             assert!(*rep == 0 || gids[(*rep - 1) as usize] as usize == gid - 1);
@@ -307,8 +319,8 @@ mod tests {
         let ctx = OcelotContext::gpu();
         let col = ctx.upload_i32(&values, "keys").unwrap();
         let result = group_by_hash(&ctx, &col, 31).unwrap();
-        let gids = ctx.download_u32(&result.gids).unwrap();
-        let reps = ctx.download_u32(&result.representatives).unwrap();
+        let gids = result.gids.read(&ctx).unwrap();
+        let reps = result.representatives.read(&ctx).unwrap();
         for (row, gid) in gids.iter().enumerate() {
             assert_eq!(values[reps[*gid as usize] as usize], values[row]);
         }
@@ -324,7 +336,7 @@ mod tests {
         let result = group_by_columns(&ctx, &[&ca, &cb], 32).unwrap();
         // lcm(4, 6) = 12 distinct pairs.
         assert_eq!(result.num_groups, 12);
-        let gids = ctx.download_u32(&result.gids).unwrap();
+        let gids = result.gids.read(&ctx).unwrap();
         for i in (0..a.len()).step_by(17) {
             for j in (0..a.len()).step_by(23) {
                 assert_eq!((a[i], b[i]) == (a[j], b[j]), gids[i] == gids[j]);
@@ -338,7 +350,7 @@ mod tests {
         let uniform = ctx.upload_i32(&[7; 100], "u").unwrap();
         let result = group_by_hash(&ctx, &uniform, 4).unwrap();
         assert_eq!(result.num_groups, 1);
-        assert!(ctx.download_u32(&result.gids).unwrap().iter().all(|g| *g == 0));
+        assert!(result.gids.read(&ctx).unwrap().iter().all(|g| *g == 0));
 
         let empty = ctx.upload_i32(&[], "e").unwrap();
         assert_eq!(group_by_hash(&ctx, &empty, 4).unwrap().num_groups, 0);

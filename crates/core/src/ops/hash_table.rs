@@ -22,7 +22,7 @@
 //! (`-1` as `i32`) is reserved as the empty-slot sentinel. The TPC-H data
 //! and the benchmark generators never produce it.
 
-use crate::context::{DevColumn, OcelotContext};
+use crate::context::{DevColumn, DevWord, LenSource, OcelotContext, Oid};
 use crate::primitives::prefix_sum::exclusive_scan_u32;
 use ocelot_kernel::atomic::atomic_cas_u32;
 use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
@@ -271,6 +271,7 @@ struct LookupGidKernel {
     output: Buffer,
     capacity: usize,
     max_probe: usize,
+    n: LenSource,
 }
 
 impl Kernel for LookupGidKernel {
@@ -278,8 +279,13 @@ impl Kernel for LookupGidKernel {
         "hash_lookup_gid"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        // A deferred probe count resolves here, at flush time.
+        let n = self.n.get();
         for item in group.items() {
             for idx in item.assigned() {
+                if idx >= n {
+                    continue;
+                }
                 let key = self.probe.get_u32(idx);
                 let gid = match find_key_slot(&self.keys, key, self.capacity, self.max_probe) {
                     Some(slot) => self.slot_gids.get_u32(slot),
@@ -318,12 +324,17 @@ impl OcelotHashTable {
     /// Builds a table over `keys`. `distinct_hint` sizes the initial table
     /// (`1.4 ×` the hint, rounded to a power of two); an underestimate only
     /// costs extra restart rounds.
-    pub fn build(
+    ///
+    /// **Deliberate sync point:** the optimistic/pessimistic build loop's
+    /// host-side control flow inspects the failure counter after each round,
+    /// so the build flushes internally (a deferred input length is resolved
+    /// on entry for the same reason). The *probes* stay lazy.
+    pub fn build<T: DevWord>(
         ctx: &OcelotContext,
-        keys_col: &DevColumn,
+        keys_col: &DevColumn<T>,
         distinct_hint: usize,
     ) -> Result<OcelotHashTable> {
-        let n = keys_col.len;
+        let n = keys_col.len(ctx)?;
         let mut capacity =
             (((distinct_hint.max(1) as f64) * 1.4).ceil() as usize).next_power_of_two().max(16);
         let mut build_attempts = 0;
@@ -338,7 +349,7 @@ impl OcelotHashTable {
 
             if n > 0 {
                 let launch = ctx.launch(n);
-                let wait = ctx.memory().wait_for_read(&keys_col.buffer);
+                let wait = ctx.wait_for(keys_col);
                 let optimistic = ctx.queue().enqueue_kernel(
                     Arc::new(OptimisticInsertKernel {
                         input: keys_col.buffer.clone(),
@@ -403,9 +414,11 @@ impl OcelotHashTable {
                 ctx.launch(capacity),
                 &[],
             )?;
-            let occupancy_col = DevColumn::new(occupancy, capacity);
+            let occupancy_col = DevColumn::<u32>::new(occupancy, capacity)?;
             let (slot_gids, distinct) = exclusive_scan_u32(ctx, &occupancy_col)?;
-            let distinct = distinct as usize;
+            // The group count shapes the result schema (representative
+            // allocation below), so the build resolves it here.
+            let distinct = distinct.get(ctx)? as usize;
 
             // Representatives: smallest row id per group.
             // fill_u32 overwrites every word, so skip the zeroing alloc.
@@ -456,19 +469,27 @@ impl OcelotHashTable {
 
     /// The representative (smallest) row id per dense group id, as a device
     /// column of `num_distinct()` OIDs.
-    pub fn representatives(&self) -> DevColumn {
+    pub fn representatives(&self) -> DevColumn<Oid> {
         DevColumn::new(self.representatives.clone(), self.distinct)
+            .expect("representative buffer covers the distinct count")
     }
 
     /// Looks up the dense group id of every probe key. Missing keys map to
-    /// [`NOT_FOUND`].
-    pub fn probe_gids(&self, ctx: &OcelotContext, probe: &DevColumn) -> Result<DevColumn> {
-        let output = ctx.alloc(probe.len.max(1), "hash_probe_gids")?;
-        if probe.len == 0 {
-            return Ok(DevColumn::new(output, 0));
+    /// [`NOT_FOUND`]. Lazy: probe columns with deferred lengths are
+    /// supported, and the output inherits the same length.
+    pub fn probe_gids<T: DevWord>(
+        &self,
+        ctx: &OcelotContext,
+        probe: &DevColumn<T>,
+    ) -> Result<DevColumn<Oid>> {
+        // The lookup kernel overwrites the logical prefix; the tail past a
+        // deferred count is never read.
+        let output = ctx.alloc_uninit(probe.cap().max(1), "hash_probe_gids")?;
+        if probe.cap() == 0 {
+            return DevColumn::new(output, 0);
         }
         let max_probe = HASH_SEEDS.len() + self.capacity;
-        let wait = ctx.memory().wait_for_read(&probe.buffer);
+        let wait = ctx.wait_for(probe);
         let event = ctx.queue().enqueue_kernel(
             Arc::new(LookupGidKernel {
                 probe: probe.buffer.clone(),
@@ -477,37 +498,39 @@ impl OcelotHashTable {
                 output: output.clone(),
                 capacity: self.capacity,
                 max_probe,
+                n: probe.len_source(),
             }),
-            ctx.launch(probe.len),
+            ctx.launch(probe.cap()),
             &wait,
         )?;
         ctx.memory().record_producer(&output, event);
-        Ok(DevColumn::new(output, probe.len))
+        DevColumn::with_len(output, probe.col_len().clone())
     }
 
     /// Looks up the representative row id (in the build input) of every
     /// probe key. Missing keys map to [`NOT_FOUND`]. This is the probe half
     /// of a PK-FK hash join.
-    pub fn probe_representatives(
+    pub fn probe_representatives<T: DevWord>(
         &self,
         ctx: &OcelotContext,
-        probe: &DevColumn,
-    ) -> Result<DevColumn> {
+        probe: &DevColumn<T>,
+    ) -> Result<DevColumn<Oid>> {
         let gids = self.probe_gids(ctx, probe)?;
         // representative[gid] with NOT_FOUND pass-through.
-        let output = ctx.alloc(probe.len.max(1), "hash_probe_reps")?;
-        if probe.len == 0 {
-            return Ok(DevColumn::new(output, 0));
+        let output = ctx.alloc_uninit(probe.cap().max(1), "hash_probe_reps")?;
+        if probe.cap() == 0 {
+            return DevColumn::new(output, 0);
         }
         let kernel = TranslateGidKernel {
             gids: gids.buffer.clone(),
             representatives: self.representatives.clone(),
             output: output.clone(),
+            n: gids.len_source(),
         };
-        let wait = ctx.memory().wait_for_read(&gids.buffer);
-        let event = ctx.queue().enqueue_kernel(Arc::new(kernel), ctx.launch(probe.len), &wait)?;
+        let wait = ctx.wait_for(&gids);
+        let event = ctx.queue().enqueue_kernel(Arc::new(kernel), ctx.launch(probe.cap()), &wait)?;
         ctx.memory().record_producer(&output, event);
-        Ok(DevColumn::new(output, probe.len))
+        DevColumn::with_len(output, probe.col_len().clone())
     }
 }
 
@@ -515,6 +538,7 @@ struct TranslateGidKernel {
     gids: Buffer,
     representatives: Buffer,
     output: Buffer,
+    n: LenSource,
 }
 
 impl Kernel for TranslateGidKernel {
@@ -522,8 +546,12 @@ impl Kernel for TranslateGidKernel {
         "hash_translate_gid"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let n = self.n.get();
         for item in group.items() {
             for idx in item.assigned() {
+                if idx >= n {
+                    continue;
+                }
                 let gid = self.gids.get_u32(idx);
                 let value = if gid == NOT_FOUND {
                     NOT_FOUND
@@ -564,7 +592,7 @@ mod tests {
         let col = ctx.upload_i32(&keys, "keys").unwrap();
         let table = OcelotHashTable::build(&ctx, &col, 250).unwrap();
         let gids_col = table.probe_gids(&ctx, &col).unwrap();
-        let gids = ctx.download_u32(&gids_col).unwrap();
+        let gids = gids_col.read(&ctx).unwrap();
 
         // gid is dense, and two rows share a gid iff they share a key.
         assert!(gids.iter().all(|g| (*g as usize) < table.num_distinct()));
@@ -581,8 +609,8 @@ mod tests {
         let ctx = OcelotContext::gpu();
         let col = ctx.upload_i32(&keys, "keys").unwrap();
         let table = OcelotHashTable::build(&ctx, &col, 77).unwrap();
-        let reps = ctx.download_u32(&table.representatives()).unwrap();
-        let gids = ctx.download_u32(&table.probe_gids(&ctx, &col).unwrap()).unwrap();
+        let reps = table.representatives().read(&ctx).unwrap();
+        let gids = table.probe_gids(&ctx, &col).unwrap().read(&ctx).unwrap();
         assert_eq!(reps.len(), table.num_distinct());
         for (row, gid) in gids.iter().enumerate() {
             let rep_row = reps[*gid as usize] as usize;
@@ -607,7 +635,7 @@ mod tests {
         let build = ctx.upload_i32(&[10, 20, 30], "build").unwrap();
         let table = OcelotHashTable::build(&ctx, &build, 3).unwrap();
         let probe = ctx.upload_i32(&[20, 99, 10, 55], "probe").unwrap();
-        let reps = ctx.download_u32(&table.probe_representatives(&ctx, &probe).unwrap()).unwrap();
+        let reps = table.probe_representatives(&ctx, &probe).unwrap().read(&ctx).unwrap();
         assert_eq!(reps, vec![1, NOT_FOUND, 0, NOT_FOUND]);
     }
 
@@ -618,7 +646,7 @@ mod tests {
         let col = ctx.upload_i32(&keys, "keys").unwrap();
         let table = OcelotHashTable::build(&ctx, &col, keys.len()).unwrap();
         assert_eq!(table.num_distinct(), 1_000);
-        let reps = ctx.download_u32(&table.probe_representatives(&ctx, &col).unwrap()).unwrap();
+        let reps = table.probe_representatives(&ctx, &col).unwrap().read(&ctx).unwrap();
         let expected: Vec<u32> = (0..1_000).collect();
         assert_eq!(reps, expected);
     }
@@ -642,7 +670,7 @@ mod tests {
         let table = OcelotHashTable::build(&ctx, &col, 10).unwrap();
         assert_eq!(table.num_distinct(), 0);
         let probe = ctx.upload_i32(&[1, 2], "probe").unwrap();
-        let gids = ctx.download_u32(&table.probe_gids(&ctx, &probe).unwrap()).unwrap();
+        let gids = table.probe_gids(&ctx, &probe).unwrap().read(&ctx).unwrap();
         assert_eq!(gids, vec![NOT_FOUND, NOT_FOUND]);
     }
 

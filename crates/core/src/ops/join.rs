@@ -10,31 +10,40 @@
 //! counting pass is skipped and the aligned lookup is returned directly —
 //! the paper's "execute the join directly, omitting the additional
 //! overhead" optimisation.
+//!
+//! Hash-join compaction is fully lazy: a probe row produces at most one
+//! result tuple, so the outputs are allocated at the probe cardinality and
+//! carry the scan total as a deferred length — no host round-trip. The
+//! nested-loop theta join is the documented exception: its output bound is
+//! `|L| × |R|`, so it resolves the scan total (one sync) instead of
+//! allocating the quadratic worst case.
 
-use crate::context::{DevColumn, OcelotContext};
+use crate::context::{DevColumn, LenSource, OcelotContext, Oid};
 use crate::ops::hash_table::{OcelotHashTable, NOT_FOUND};
 use crate::primitives::prefix_sum::exclusive_scan_u32;
 use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
 use std::sync::Arc;
 
-/// A compacted join result: aligned probe-side and build-side OID columns.
+/// A compacted join result: aligned probe-side and build-side OID columns
+/// (lengths may be deferred — resolve with [`JoinResult::len`] or read the
+/// columns).
 #[derive(Debug, Clone)]
 pub struct JoinResult {
     /// OIDs into the probe (left) input, one per result tuple.
-    pub probe_oids: DevColumn,
+    pub probe_oids: DevColumn<Oid>,
     /// OIDs into the build (right) input, aligned with `probe_oids`.
-    pub build_oids: DevColumn,
+    pub build_oids: DevColumn<Oid>,
 }
 
 impl JoinResult {
-    /// Number of result tuples.
-    pub fn len(&self) -> usize {
-        self.probe_oids.len
+    /// Number of result tuples (**sync point** when deferred).
+    pub fn len(&self, ctx: &OcelotContext) -> Result<usize> {
+        self.probe_oids.len(ctx)
     }
 
-    /// Whether the join produced no tuples.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// Whether the join produced no tuples (**sync point** when deferred).
+    pub fn is_empty(&self, ctx: &OcelotContext) -> Result<bool> {
+        Ok(self.len(ctx)? == 0)
     }
 }
 
@@ -44,7 +53,7 @@ struct CountMatchesKernel {
     lookups: Buffer,
     counts: Buffer,
     keep_found: bool,
-    n: usize,
+    n: LenSource,
 }
 
 impl Kernel for CountMatchesKernel {
@@ -52,8 +61,11 @@ impl Kernel for CountMatchesKernel {
         "join_count_matches"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        // A deferred probe count resolves here, at flush time; the value is
+        // identical for every item, so the chunk partition is consistent.
+        let n = self.n.get();
         for item in group.items() {
-            let (start, end) = item.chunk_bounds(self.n);
+            let (start, end) = item.chunk_bounds(n);
             let mut count = 0u32;
             for idx in start..end {
                 let found = self.lookups.get_u32(idx) != NOT_FOUND;
@@ -75,7 +87,7 @@ struct WriteMatchesKernel {
     probe_out: Buffer,
     build_out: Option<Buffer>,
     keep_found: bool,
-    n: usize,
+    n: LenSource,
 }
 
 impl Kernel for WriteMatchesKernel {
@@ -83,8 +95,9 @@ impl Kernel for WriteMatchesKernel {
         "join_write_matches"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        let n = self.n.get();
         for item in group.items() {
-            let (start, end) = item.chunk_bounds(self.n);
+            let (start, end) = item.chunk_bounds(n);
             let mut cursor = self.offsets.get_u32(item.global_id) as usize;
             for idx in start..end {
                 let lookup = self.lookups.get_u32(idx);
@@ -103,40 +116,45 @@ impl Kernel for WriteMatchesKernel {
 
 /// Compacts an aligned lookup column (`NOT_FOUND` = miss) into the probe
 /// OIDs whose lookup status matches `keep_found`, optionally emitting the
-/// matching build OIDs as well.
+/// matching build OIDs as well. Lazy: a probe row emits at most one tuple,
+/// so outputs are capacity-allocated and the scan total becomes their
+/// deferred length.
 fn compact_lookups(
     ctx: &OcelotContext,
-    lookups: &DevColumn,
+    lookups: &DevColumn<Oid>,
     keep_found: bool,
     emit_build: bool,
-) -> Result<(DevColumn, Option<DevColumn>)> {
-    let n = lookups.len;
-    if n == 0 {
+) -> Result<(DevColumn<Oid>, Option<DevColumn<Oid>>)> {
+    let cap = lookups.cap();
+    if cap == 0 {
         let empty = ctx.alloc(1, "join_empty")?;
         let build =
-            if emit_build { Some(DevColumn::new(ctx.alloc(1, "join_empty_b")?, 0)) } else { None };
-        return Ok((DevColumn::new(empty, 0), build));
+            if emit_build { Some(DevColumn::new(ctx.alloc(1, "join_empty_b")?, 0)?) } else { None };
+        return Ok((DevColumn::new(empty, 0)?, build));
     }
-    let launch = ctx.launch(n);
+    let launch = ctx.launch(cap);
     let counts = ctx.alloc(launch.total_items(), "join_counts")?;
-    let wait = ctx.memory().wait_for_read(&lookups.buffer);
-    ctx.queue().enqueue_kernel(
+    let wait = ctx.wait_for(lookups);
+    let count_event = ctx.queue().enqueue_kernel(
         Arc::new(CountMatchesKernel {
             lookups: lookups.buffer.clone(),
             counts: counts.clone(),
             keep_found,
-            n,
+            n: lookups.len_source(),
         }),
         launch.clone(),
         &wait,
     )?;
-    let counts_col = DevColumn::new(counts, launch.total_items());
+    ctx.memory().record_producer(&counts, count_event);
+    let counts_col = DevColumn::<u32>::new(counts, launch.total_items())?;
     let (offsets, total) = exclusive_scan_u32(ctx, &counts_col)?;
-    let total = total as usize;
 
-    let probe_out = ctx.alloc(total.max(1), "join_probe_oids")?;
-    let build_out =
-        if emit_build { Some(ctx.alloc(total.max(1), "join_build_oids")?) } else { None };
+    // The write kernel fills exactly the logical prefix (the scan total),
+    // which is all any consumer may read — no zeroing needed.
+    let probe_out = ctx.alloc_uninit(cap, "join_probe_oids")?;
+    let build_out = if emit_build { Some(ctx.alloc_uninit(cap, "join_build_oids")?) } else { None };
+    let mut write_wait = ctx.memory().wait_for_read(&offsets.buffer);
+    write_wait.extend(ctx.wait_for(lookups));
     let event = ctx.queue().enqueue_kernel(
         Arc::new(WriteMatchesKernel {
             lookups: lookups.buffer.clone(),
@@ -144,20 +162,28 @@ fn compact_lookups(
             probe_out: probe_out.clone(),
             build_out: build_out.clone(),
             keep_found,
-            n,
+            n: lookups.len_source(),
         }),
         launch,
-        &[],
+        &write_wait,
     )?;
     ctx.memory().record_producer(&probe_out, event);
-    Ok((DevColumn::new(probe_out, total), build_out.map(|b| DevColumn::new(b, total))))
+    if let Some(build_out) = &build_out {
+        ctx.memory().record_producer(build_out, event);
+    }
+    let probe_col = DevColumn::deferred(probe_out, total.buffer().clone(), cap)?;
+    let build_col = match build_out {
+        Some(buffer) => Some(DevColumn::deferred(buffer, total.buffer().clone(), cap)?),
+        None => None,
+    };
+    Ok((probe_col, build_col))
 }
 
 /// Hash equi-join of a probe column against a table built over a unique key
 /// column. Probe rows without a partner are dropped.
 pub fn hash_join(
     ctx: &OcelotContext,
-    probe: &DevColumn,
+    probe: &DevColumn<i32>,
     table: &OcelotHashTable,
 ) -> Result<JoinResult> {
     let lookups = table.probe_representatives(ctx, probe)?;
@@ -170,18 +196,18 @@ pub fn hash_join(
 /// paper uses when joining against a key column.
 pub fn hash_join_aligned(
     ctx: &OcelotContext,
-    probe: &DevColumn,
+    probe: &DevColumn<i32>,
     table: &OcelotHashTable,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<Oid>> {
     table.probe_representatives(ctx, probe)
 }
 
 /// Semi join (`EXISTS`): probe OIDs that have at least one partner.
 pub fn semi_join(
     ctx: &OcelotContext,
-    probe: &DevColumn,
+    probe: &DevColumn<i32>,
     table: &OcelotHashTable,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<Oid>> {
     let lookups = table.probe_representatives(ctx, probe)?;
     let (oids, _) = compact_lookups(ctx, &lookups, true, false)?;
     Ok(oids)
@@ -190,9 +216,9 @@ pub fn semi_join(
 /// Anti join (`NOT EXISTS`): probe OIDs without any partner.
 pub fn anti_join(
     ctx: &OcelotContext,
-    probe: &DevColumn,
+    probe: &DevColumn<i32>,
     table: &OcelotHashTable,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<Oid>> {
     let lookups = table.probe_representatives(ctx, probe)?;
     let (oids, _) = compact_lookups(ctx, &lookups, false, false)?;
     Ok(oids)
@@ -297,43 +323,49 @@ impl Kernel for NestedLoopWriteKernel {
 
 /// Nested-loop theta join producing every `(left_oid, right_oid)` pair whose
 /// values satisfy `op`.
+///
+/// **Deliberate sync point:** the output bound is `|L| × |R|`, so the scan
+/// total is resolved on the host to size the result exactly instead of
+/// allocating the quadratic worst case.
 pub fn nested_loop_join(
     ctx: &OcelotContext,
-    left: &DevColumn,
-    right: &DevColumn,
+    left: &DevColumn<i32>,
+    right: &DevColumn<i32>,
     op: ThetaOp,
 ) -> Result<JoinResult> {
-    let n = left.len;
-    if n == 0 || right.len == 0 {
+    let n = left.len(ctx)?;
+    let right_len = right.len(ctx)?;
+    if n == 0 || right_len == 0 {
         let empty_l = ctx.alloc(1, "nlj_empty_l")?;
         let empty_r = ctx.alloc(1, "nlj_empty_r")?;
         return Ok(JoinResult {
-            probe_oids: DevColumn::new(empty_l, 0),
-            build_oids: DevColumn::new(empty_r, 0),
+            probe_oids: DevColumn::new(empty_l, 0)?,
+            build_oids: DevColumn::new(empty_r, 0)?,
         });
     }
     let launch = ctx.launch(n);
     let counts = ctx.alloc(launch.total_items(), "nlj_counts")?;
-    let mut wait = ctx.memory().wait_for_read(&left.buffer);
-    wait.extend(ctx.memory().wait_for_read(&right.buffer));
-    ctx.queue().enqueue_kernel(
+    let mut wait = ctx.wait_for(left);
+    wait.extend(ctx.wait_for(right));
+    let count_event = ctx.queue().enqueue_kernel(
         Arc::new(NestedLoopCountKernel {
             left: left.buffer.clone(),
             right: right.buffer.clone(),
             counts: counts.clone(),
             op,
             left_len: n,
-            right_len: right.len,
+            right_len,
         }),
         launch.clone(),
         &wait,
     )?;
-    let counts_col = DevColumn::new(counts, launch.total_items());
+    ctx.memory().record_producer(&counts, count_event);
+    let counts_col = DevColumn::<u32>::new(counts, launch.total_items())?;
     let (offsets, total) = exclusive_scan_u32(ctx, &counts_col)?;
-    let total = total as usize;
+    let total = total.get(ctx)? as usize;
     let left_out = ctx.alloc(total.max(1), "nlj_left_oids")?;
     let right_out = ctx.alloc(total.max(1), "nlj_right_oids")?;
-    ctx.queue().enqueue_kernel(
+    let write_event = ctx.queue().enqueue_kernel(
         Arc::new(NestedLoopWriteKernel {
             left: left.buffer.clone(),
             right: right.buffer.clone(),
@@ -342,14 +374,16 @@ pub fn nested_loop_join(
             right_out: right_out.clone(),
             op,
             left_len: n,
-            right_len: right.len,
+            right_len,
         }),
         launch,
-        &[],
+        &ctx.memory().wait_for_read(&offsets.buffer),
     )?;
+    ctx.memory().record_producer(&left_out, write_event);
+    ctx.memory().record_producer(&right_out, write_event);
     Ok(JoinResult {
-        probe_oids: DevColumn::new(left_out, total),
-        build_oids: DevColumn::new(right_out, total),
+        probe_oids: DevColumn::new(left_out, total)?,
+        build_oids: DevColumn::new(right_out, total)?,
     })
 }
 
@@ -375,10 +409,28 @@ mod tests {
             let probe = ctx.upload_i32(&fk, "fk").unwrap();
             let table = OcelotHashTable::build(&ctx, &build, pk.len()).unwrap();
             let result = hash_join(&ctx, &probe, &table).unwrap();
-            assert_eq!(ctx.download_u32(&result.probe_oids).unwrap(), expected_fk);
-            assert_eq!(ctx.download_u32(&result.build_oids).unwrap(), expected_pk);
-            assert_eq!(result.len(), fk.len());
+            assert_eq!(result.probe_oids.read(&ctx).unwrap(), expected_fk);
+            assert_eq!(result.build_oids.read(&ctx).unwrap(), expected_pk);
+            assert_eq!(result.len(&ctx).unwrap(), fk.len());
         }
+    }
+
+    #[test]
+    fn hash_join_compaction_is_sync_free() {
+        let ctx = OcelotContext::cpu();
+        let pk: Vec<i32> = (0..100).collect();
+        let fk: Vec<i32> = (0..10_000).map(|i| (i * 13 + 1) % 150).collect();
+        let build = ctx.upload_i32(&pk, "pk").unwrap();
+        let probe = ctx.upload_i32(&fk, "fk").unwrap();
+        let table = OcelotHashTable::build(&ctx, &build, pk.len()).unwrap();
+        ctx.sync().unwrap();
+        let flushes = ctx.queue().flush_count();
+        let result = hash_join(&ctx, &probe, &table).unwrap();
+        assert_eq!(ctx.queue().flush_count(), flushes, "hash join must not flush");
+        assert!(result.probe_oids.is_deferred());
+        let expected = fk.iter().filter(|v| **v < 100).count();
+        assert_eq!(result.len(&ctx).unwrap(), expected);
+        assert_eq!(ctx.queue().flush_count(), flushes + 1);
     }
 
     #[test]
@@ -388,8 +440,8 @@ mod tests {
         let probe = ctx.upload_i32(&[20, 99, 30, 55, 10], "fk").unwrap();
         let table = OcelotHashTable::build(&ctx, &build, 3).unwrap();
         let result = hash_join(&ctx, &probe, &table).unwrap();
-        assert_eq!(ctx.download_u32(&result.probe_oids).unwrap(), vec![0, 2, 4]);
-        assert_eq!(ctx.download_u32(&result.build_oids).unwrap(), vec![1, 2, 0]);
+        assert_eq!(result.probe_oids.read(&ctx).unwrap(), vec![0, 2, 4]);
+        assert_eq!(result.build_oids.read(&ctx).unwrap(), vec![1, 2, 0]);
     }
 
     #[test]
@@ -399,7 +451,7 @@ mod tests {
         let probe = ctx.upload_i32(&[7, 5, 7, 6], "fk").unwrap();
         let table = OcelotHashTable::build(&ctx, &build, 3).unwrap();
         let aligned = hash_join_aligned(&ctx, &probe, &table).unwrap();
-        assert_eq!(ctx.download_u32(&aligned).unwrap(), vec![2, 0, 2, 1]);
+        assert_eq!(aligned.read(&ctx).unwrap(), vec![2, 0, 2, 1]);
     }
 
     #[test]
@@ -412,14 +464,8 @@ mod tests {
             let l = ctx.upload_i32(&left, "l").unwrap();
             let r = ctx.upload_i32(&right, "r").unwrap();
             let table = OcelotHashTable::build(&ctx, &r, right.len()).unwrap();
-            assert_eq!(
-                ctx.download_u32(&semi_join(&ctx, &l, &table).unwrap()).unwrap(),
-                expected_semi
-            );
-            assert_eq!(
-                ctx.download_u32(&anti_join(&ctx, &l, &table).unwrap()).unwrap(),
-                expected_anti
-            );
+            assert_eq!(semi_join(&ctx, &l, &table).unwrap().read(&ctx).unwrap(), expected_semi);
+            assert_eq!(anti_join(&ctx, &l, &table).unwrap().read(&ctx).unwrap(), expected_anti);
         }
     }
 
@@ -433,11 +479,12 @@ mod tests {
         let r = ctx.upload_i32(&right, "r").unwrap();
         let result = nested_loop_join(&ctx, &l, &r, ThetaOp::Less).unwrap();
         let mut expected: Vec<(u32, u32)> = expected_l.into_iter().zip(expected_r).collect();
-        let mut got: Vec<(u32, u32)> = ctx
-            .download_u32(&result.probe_oids)
+        let mut got: Vec<(u32, u32)> = result
+            .probe_oids
+            .read(&ctx)
             .unwrap()
             .into_iter()
-            .zip(ctx.download_u32(&result.build_oids).unwrap())
+            .zip(result.build_oids.read(&ctx).unwrap())
             .collect();
         expected.sort_unstable();
         got.sort_unstable();
@@ -461,12 +508,9 @@ mod tests {
         let table = OcelotHashTable::build(&ctx, &empty, 4).unwrap();
         let probe = ctx.upload_i32(&[1, 2], "p").unwrap();
         let result = hash_join(&ctx, &probe, &table).unwrap();
-        assert!(result.is_empty());
-        assert_eq!(
-            ctx.download_u32(&anti_join(&ctx, &probe, &table).unwrap()).unwrap(),
-            vec![0, 1]
-        );
+        assert!(result.is_empty(&ctx).unwrap());
+        assert_eq!(anti_join(&ctx, &probe, &table).unwrap().read(&ctx).unwrap(), vec![0, 1]);
         let nlj = nested_loop_join(&ctx, &empty, &probe, ThetaOp::Less).unwrap();
-        assert!(nlj.is_empty());
+        assert!(nlj.is_empty(&ctx).unwrap());
     }
 }

@@ -5,7 +5,7 @@
 //! to a parallel gather. When the left input is a bitmap (a selection
 //! result), it is first materialised into a tuple-ID list.
 
-use crate::context::{DevColumn, OcelotContext};
+use crate::context::{DevColumn, DevWord, OcelotContext, Oid};
 use crate::ops::select::materialize_bitmap;
 use crate::primitives::bitmap::Bitmap;
 use crate::primitives::gather::gather;
@@ -13,28 +13,37 @@ use ocelot_kernel::Result;
 use ocelot_storage::BatRef;
 
 /// Fetches `column[oid]` for every OID in `oids` (the left fetch join).
-pub fn fetch_join(ctx: &OcelotContext, column: &DevColumn, oids: &DevColumn) -> Result<DevColumn> {
+/// Lazy end to end, including over OID lists whose length is still
+/// device-resident.
+pub fn fetch_join<T: DevWord>(
+    ctx: &OcelotContext,
+    column: &DevColumn<T>,
+    oids: &DevColumn<Oid>,
+) -> Result<DevColumn<T>> {
     gather(ctx, column, oids)
 }
 
 /// Fetch join whose left input is a selection bitmap: the bitmap is
 /// materialised into tuple IDs first (two-step prefix-sum scheme), then the
-/// values are gathered.
-pub fn fetch_join_bitmap(
+/// values are gathered — without any host round-trip for the OID count.
+pub fn fetch_join_bitmap<T: DevWord>(
     ctx: &OcelotContext,
-    column: &DevColumn,
+    column: &DevColumn<T>,
     bitmap: &Bitmap,
-) -> Result<DevColumn> {
+) -> Result<DevColumn<T>> {
     let oids = materialize_bitmap(ctx, bitmap)?;
     gather(ctx, column, &oids)
 }
 
 /// Uploads a BAT through the Memory Manager (cache-aware) and wraps it as a
-/// device column. This is the entry point the query layer uses for base
-/// table columns.
-pub fn device_column_for_bat(ctx: &OcelotContext, bat: &BatRef) -> Result<DevColumn> {
+/// device column of the caller's element type. This is the entry point the
+/// query layer uses for base table columns.
+pub fn device_column_for_bat<T: DevWord>(
+    ctx: &OcelotContext,
+    bat: &BatRef,
+) -> Result<DevColumn<T>> {
     let buffer = ctx.memory().get_or_upload(bat)?;
-    Ok(DevColumn::new(buffer, bat.len()))
+    DevColumn::new(buffer, bat.len())
 }
 
 #[cfg(test)]
@@ -54,7 +63,7 @@ mod tests {
             let col = ctx.upload_i32(&column, "col").unwrap();
             let ids = ctx.upload_u32(&oids, "oids").unwrap();
             let out = fetch_join(&ctx, &col, &ids).unwrap();
-            assert_eq!(ctx.download_i32(&out).unwrap(), expected);
+            assert_eq!(out.read(&ctx).unwrap(), expected);
         }
     }
 
@@ -70,17 +79,17 @@ mod tests {
 
         let oids = monet::select_range_i32(&values, 10, 19);
         let expected = monet::fetch_f32(&payload, &oids);
-        assert_eq!(ctx.download_f32(&projected).unwrap(), expected);
+        assert_eq!(projected.read(&ctx).unwrap(), expected);
     }
 
     #[test]
     fn bat_upload_goes_through_memory_manager() {
         let ctx = OcelotContext::cpu();
         let bat = Bat::from_i32("base", (0..100).collect()).into_ref();
-        let col1 = device_column_for_bat(&ctx, &bat).unwrap();
-        let col2 = device_column_for_bat(&ctx, &bat).unwrap();
+        let col1 = device_column_for_bat::<i32>(&ctx, &bat).unwrap();
+        let col2 = device_column_for_bat::<i32>(&ctx, &bat).unwrap();
         assert_eq!(col1.buffer.id(), col2.buffer.id(), "second request served from cache");
         assert_eq!(ctx.memory().stats().cache_hits, 1);
-        assert_eq!(ctx.download_i32(&col1).unwrap()[99], 99);
+        assert_eq!(col1.read(&ctx).unwrap()[99], 99);
     }
 }

@@ -10,9 +10,14 @@
 //! Bitmaps are internal: [`materialize_bitmap`] converts them to the OID
 //! lists MonetDB-style operators expect, using the two-step
 //! count-scan-write pattern (per-item bit counts, exclusive scan, position
-//! writes).
+//! writes). The materialised column's length is the scan total — which stays
+//! **on the device**: the output is allocated at the bitmap's capacity bound
+//! and carries the total as a deferred length, so no host round-trip happens
+//! anywhere in a select→materialise→consume chain. (The capacity allocation
+//! trades transient memory for the removed sync — the paper's lazy-queue
+//! bet.)
 
-use crate::context::{DevColumn, OcelotContext};
+use crate::context::{DevColumn, DevScalar, LenSource, OcelotContext, Oid};
 use crate::primitives::bitmap::Bitmap;
 use crate::primitives::prefix_sum::exclusive_scan_u32;
 use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
@@ -39,25 +44,29 @@ struct SelectKernel {
     input: Buffer,
     bitmap: Buffer,
     predicate: Predicate,
-    n: usize,
+    n: LenSource,
 }
 
 /// Builds the bitmap words `start_word..start_word + out.len()` from `input`
 /// with a monomorphised predicate: the enum dispatch happens once per chunk,
-/// and the bit loop runs over plain slices (tier-2 views).
+/// and the bit loop runs over plain slices (tier-2 views). Bits at positions
+/// `>= n` stay zero — the bitmap zero-padding invariant.
 #[inline]
 fn build_bitmap_words(
     input: &[u32],
     out: &mut [u32],
     start_word: usize,
+    n: usize,
     matches: impl Fn(u32) -> bool,
 ) {
     for (offset, word) in out.iter_mut().enumerate() {
         let base = (start_word + offset) * 32;
-        let limit = (base + 32).min(input.len());
+        let limit = (base + 32).min(n);
         let mut bits = 0u32;
-        for (bit, &value) in input[base..limit].iter().enumerate() {
-            bits |= (matches(value) as u32) << bit;
+        if base < limit {
+            for (bit, &value) in input[base..limit].iter().enumerate() {
+                bits |= (matches(value) as u32) << bit;
+            }
         }
         *word = bits;
     }
@@ -68,8 +77,11 @@ impl Kernel for SelectKernel {
         "select_bitmap"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
-        let words = Bitmap::words_for(self.n);
-        let input = &self.input.as_words()[..self.n];
+        // A deferred row count resolves here, at flush time; rows past `n`
+        // hold garbage and must contribute zero bits.
+        let n = self.n.get();
+        let words = Bitmap::words_for(self.n.cap());
+        let input = self.input.as_words();
         for item in group.items() {
             // Each item owns a contiguous range of bitmap *words* so that a
             // word is written by exactly one item.
@@ -83,22 +95,22 @@ impl Kernel for SelectKernel {
             let out = unsafe { self.bitmap.chunk_mut(start_word, end_word) };
             match self.predicate {
                 Predicate::RangeI32 { low, high } => {
-                    build_bitmap_words(input, out, start_word, |w| {
+                    build_bitmap_words(input, out, start_word, n, |w| {
                         let v = w as i32;
                         v >= low && v <= high
                     });
                 }
                 Predicate::RangeF32 { low, high } => {
-                    build_bitmap_words(input, out, start_word, |w| {
+                    build_bitmap_words(input, out, start_word, n, |w| {
                         let v = f32::from_bits(w);
                         v >= low && v <= high
                     });
                 }
                 Predicate::EqI32 { needle } => {
-                    build_bitmap_words(input, out, start_word, |w| w as i32 == needle);
+                    build_bitmap_words(input, out, start_word, n, |w| w as i32 == needle);
                 }
                 Predicate::NeI32 { needle } => {
-                    build_bitmap_words(input, out, start_word, |w| w as i32 != needle);
+                    build_bitmap_words(input, out, start_word, n, |w| w as i32 != needle);
                 }
             }
         }
@@ -108,57 +120,86 @@ impl Kernel for SelectKernel {
     }
 }
 
-fn run_select(ctx: &OcelotContext, input: &DevColumn, predicate: Predicate) -> Result<Bitmap> {
+fn run_select(
+    ctx: &OcelotContext,
+    input: &Buffer,
+    len: &crate::context::ColLen,
+    wait: Vec<ocelot_kernel::EventId>,
+    predicate: Predicate,
+) -> Result<Bitmap> {
     // The kernel writes every backing word, so the bitmap can skip zeroing.
-    let bitmap = Bitmap::for_overwrite(ctx, input.len)?;
-    if input.len == 0 {
+    let bitmap = Bitmap::for_overwrite(ctx, len.clone())?;
+    if len.cap() == 0 {
         return Ok(bitmap);
     }
-    let wait = ctx.memory().wait_for_read(&input.buffer);
     let event = ctx.queue().enqueue_kernel(
         Arc::new(SelectKernel {
-            input: input.buffer.clone(),
+            input: input.clone(),
             bitmap: bitmap.buffer.clone(),
             predicate,
-            n: input.len,
+            n: len.source(),
         }),
-        ctx.launch(input.len),
+        ctx.launch(len.cap()),
         &wait,
     )?;
     ctx.memory().record_producer(&bitmap.buffer, event);
-    ctx.memory().record_consumer(&input.buffer, event);
+    ctx.memory().record_consumer(input, event);
     Ok(bitmap)
 }
 
 /// Inclusive range selection over an integer column.
 pub fn select_range_i32(
     ctx: &OcelotContext,
-    input: &DevColumn,
+    input: &DevColumn<i32>,
     low: i32,
     high: i32,
 ) -> Result<Bitmap> {
-    run_select(ctx, input, Predicate::RangeI32 { low, high })
+    run_select(
+        ctx,
+        &input.buffer,
+        input.col_len(),
+        ctx.wait_for(input),
+        Predicate::RangeI32 { low, high },
+    )
 }
 
 /// Inclusive range selection over a float column.
 pub fn select_range_f32(
     ctx: &OcelotContext,
-    input: &DevColumn,
+    input: &DevColumn<f32>,
     low: f32,
     high: f32,
 ) -> Result<Bitmap> {
-    run_select(ctx, input, Predicate::RangeF32 { low, high })
+    run_select(
+        ctx,
+        &input.buffer,
+        input.col_len(),
+        ctx.wait_for(input),
+        Predicate::RangeF32 { low, high },
+    )
 }
 
 /// Equality selection over an integer column (also serves dictionary-encoded
 /// strings and dates).
-pub fn select_eq_i32(ctx: &OcelotContext, input: &DevColumn, needle: i32) -> Result<Bitmap> {
-    run_select(ctx, input, Predicate::EqI32 { needle })
+pub fn select_eq_i32(ctx: &OcelotContext, input: &DevColumn<i32>, needle: i32) -> Result<Bitmap> {
+    run_select(
+        ctx,
+        &input.buffer,
+        input.col_len(),
+        ctx.wait_for(input),
+        Predicate::EqI32 { needle },
+    )
 }
 
 /// Inequality selection over an integer column.
-pub fn select_ne_i32(ctx: &OcelotContext, input: &DevColumn, needle: i32) -> Result<Bitmap> {
-    run_select(ctx, input, Predicate::NeI32 { needle })
+pub fn select_ne_i32(ctx: &OcelotContext, input: &DevColumn<i32>, needle: i32) -> Result<Bitmap> {
+    run_select(
+        ctx,
+        &input.buffer,
+        input.col_len(),
+        ctx.wait_for(input),
+        Predicate::NeI32 { needle },
+    )
 }
 
 // ---- bitmap materialisation (paper §4.1.2) ----
@@ -191,7 +232,6 @@ struct WritePositionsKernel {
     offsets: Buffer,
     output: Buffer,
     words: usize,
-    n: usize,
 }
 
 impl Kernel for WritePositionsKernel {
@@ -209,18 +249,14 @@ impl Kernel for WritePositionsKernel {
                     continue;
                 }
                 let base = (start + offset) * 32;
-                let limit = (base + 32).min(self.n);
                 // Iterate set bits only (count_ones-driven) instead of
-                // testing all 32 positions.
+                // testing all 32 positions. Padding bits are zero by the
+                // bitmap invariant, so no row-limit check is needed.
                 let mut remaining = word;
                 while remaining != 0 {
                     let bit = remaining.trailing_zeros() as usize;
                     remaining &= remaining - 1;
-                    let row = base + bit;
-                    if row >= limit {
-                        break;
-                    }
-                    output[cursor].store(row as u32, std::sync::atomic::Ordering::Relaxed);
+                    output[cursor].store((base + bit) as u32, std::sync::atomic::Ordering::Relaxed);
                     cursor += 1;
                 }
             }
@@ -234,11 +270,15 @@ impl Kernel for WritePositionsKernel {
 /// Materialises a bitmap into the sorted list of qualifying OIDs, using the
 /// two-step prefix-sum scheme from §4.1.2: per-item bit counts, exclusive
 /// scan for unique write offsets, then position writes.
-pub fn materialize_bitmap(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<DevColumn> {
+///
+/// Nothing synchronises: the output is allocated at the bitmap's capacity
+/// bound and its logical length is the scan total, attached as a deferred
+/// device counter. Downstream gathers/reductions consume it at flush time.
+pub fn materialize_bitmap(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<DevColumn<Oid>> {
     let words = bitmap.words();
     if words == 0 {
         let empty = ctx.alloc(1, "materialized_oids")?;
-        return Ok(DevColumn::new(empty, 0));
+        return DevColumn::new(empty, 0);
     }
     let launch = ctx.launch(words);
     let counts_buffer = ctx.alloc_uninit(launch.total_items(), "materialize_counts")?;
@@ -254,27 +294,30 @@ pub fn materialize_bitmap(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<DevCol
     )?;
     ctx.memory().record_producer(&counts_buffer, count_event);
 
-    let counts = DevColumn::new(counts_buffer, launch.total_items());
+    let counts = DevColumn::<u32>::new(counts_buffer, launch.total_items())?;
     let (offsets, total) = exclusive_scan_u32(ctx, &counts)?;
 
-    let output = ctx.alloc_uninit((total as usize).max(1), "materialized_oids")?;
+    // Capacity allocation: at most every covered row qualifies.
+    let cap = bitmap.cap_bits();
+    let output = ctx.alloc_uninit(cap.max(1), "materialized_oids")?;
+    let mut write_wait = ctx.memory().wait_for_read(&offsets.buffer);
+    write_wait.extend(ctx.memory().wait_for_read(&bitmap.buffer));
     let write_event = ctx.queue().enqueue_kernel(
         Arc::new(WritePositionsKernel {
             bitmap: bitmap.buffer.clone(),
             offsets: offsets.buffer.clone(),
             output: output.clone(),
             words,
-            n: bitmap.n_bits,
         }),
         launch,
-        &ctx.memory().wait_for_read(&offsets.buffer),
+        &write_wait,
     )?;
     ctx.memory().record_producer(&output, write_event);
-    Ok(DevColumn::new(output, total as usize))
+    DevColumn::deferred(output, total.buffer().clone(), cap)
 }
 
-/// Number of qualifying rows of a selection result.
-pub fn selected_count(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<u64> {
+/// Number of qualifying rows of a selection result, as a deferred scalar.
+pub fn selected_count(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<DevScalar<u32>> {
     crate::primitives::bitmap::count_ones(ctx, bitmap)
 }
 
@@ -296,9 +339,29 @@ mod tests {
             let col = ctx.upload_i32(&values, "v").unwrap();
             let bitmap = select_range_i32(&ctx, &col, 100, 300).unwrap();
             let oids = materialize_bitmap(&ctx, &bitmap).unwrap();
-            assert_eq!(ctx.download_u32(&oids).unwrap(), expected);
-            assert_eq!(selected_count(&ctx, &bitmap).unwrap() as usize, expected.len());
+            assert!(oids.is_deferred(), "materialised length stays on the device");
+            assert_eq!(oids.read(&ctx).unwrap(), expected);
+            assert_eq!(
+                selected_count(&ctx, &bitmap).unwrap().get(&ctx).unwrap() as usize,
+                expected.len()
+            );
         }
+    }
+
+    #[test]
+    fn materialize_is_sync_free() {
+        let ctx = OcelotContext::cpu();
+        let values: Vec<i32> = (0..50_000).map(|i| i % 100).collect();
+        let col = ctx.upload_i32(&values, "v").unwrap();
+        let flushes = ctx.queue().flush_count();
+        let bitmap = select_range_i32(&ctx, &col, 10, 19).unwrap();
+        let oids = materialize_bitmap(&ctx, &bitmap).unwrap();
+        assert_eq!(ctx.queue().flush_count(), flushes, "select + materialise must not flush");
+        assert_eq!(
+            oids.len(&ctx).unwrap(),
+            values.iter().filter(|v| (10..20).contains(*v)).count()
+        );
+        assert_eq!(ctx.queue().flush_count(), flushes + 1, "single flush at the resolve");
     }
 
     #[test]
@@ -309,7 +372,7 @@ mod tests {
         let col = ctx.upload_f32(&values, "v").unwrap();
         let bitmap = select_range_f32(&ctx, &col, 10.0, 20.0).unwrap();
         let oids = materialize_bitmap(&ctx, &bitmap).unwrap();
-        assert_eq!(ctx.download_u32(&oids).unwrap(), expected);
+        assert_eq!(oids.read(&ctx).unwrap(), expected);
     }
 
     #[test]
@@ -320,11 +383,11 @@ mod tests {
 
         let eq = select_eq_i32(&ctx, &col, 5).unwrap();
         let eq_oids = materialize_bitmap(&ctx, &eq).unwrap();
-        assert_eq!(ctx.download_u32(&eq_oids).unwrap(), monet::select_eq_i32(&values, 5));
+        assert_eq!(eq_oids.read(&ctx).unwrap(), monet::select_eq_i32(&values, 5));
 
         let ne = select_ne_i32(&ctx, &col, 5).unwrap();
         assert_eq!(
-            selected_count(&ctx, &ne).unwrap() as usize,
+            selected_count(&ctx, &ne).unwrap().get(&ctx).unwrap() as usize,
             values.iter().filter(|v| **v != 5).count()
         );
     }
@@ -339,7 +402,7 @@ mod tests {
         let b = select_range_i32(&ctx, &col, 40, 90).unwrap();
         let both = combine(&ctx, &a, &b, BitmapCombine::And).unwrap();
         let oids = materialize_bitmap(&ctx, &both).unwrap();
-        assert_eq!(ctx.download_u32(&oids).unwrap(), monet::select_range_i32(&values, 40, 60));
+        assert_eq!(oids.read(&ctx).unwrap(), monet::select_range_i32(&values, 40, 60));
     }
 
     #[test]
@@ -349,9 +412,9 @@ mod tests {
         let col = ctx.upload_i32(&values, "v").unwrap();
         let bitmap = select_range_i32(&ctx, &col, -1, 1).unwrap();
         let oids = materialize_bitmap(&ctx, &bitmap).unwrap();
-        assert_eq!(ctx.download_u32(&oids).unwrap(), vec![1, 2, 3]);
+        assert_eq!(oids.read(&ctx).unwrap(), vec![1, 2, 3]);
         let all = select_range_i32(&ctx, &col, i32::MIN, i32::MAX).unwrap();
-        assert_eq!(selected_count(&ctx, &all).unwrap(), 7);
+        assert_eq!(selected_count(&ctx, &all).unwrap().get(&ctx).unwrap(), 7);
     }
 
     #[test]
@@ -359,11 +422,31 @@ mod tests {
         let ctx = OcelotContext::cpu();
         let empty = ctx.upload_i32(&[], "v").unwrap();
         let bitmap = select_range_i32(&ctx, &empty, 0, 10).unwrap();
-        assert_eq!(materialize_bitmap(&ctx, &bitmap).unwrap().len, 0);
+        assert_eq!(materialize_bitmap(&ctx, &bitmap).unwrap().len(&ctx).unwrap(), 0);
 
         let col = ctx.upload_i32(&[1, 2, 3], "v").unwrap();
         let none = select_range_i32(&ctx, &col, 100, 200).unwrap();
         let oids = materialize_bitmap(&ctx, &none).unwrap();
-        assert_eq!(oids.len, 0);
+        assert_eq!(oids.len(&ctx).unwrap(), 0);
+        assert!(oids.read(&ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn selection_over_deferred_input() {
+        // Select over a gather output whose length is device-resident: the
+        // bitmap inherits the deferred length and padding rows stay zero.
+        use crate::primitives::gather::gather;
+        let ctx = OcelotContext::cpu();
+        let values = ctx.upload_i32(&[5, 50, 500, 5000], "v").unwrap();
+        let raw = ctx.upload_u32(&[3, 0, 2, 1], "idx").unwrap();
+        let counter = ctx.alloc(1, "count").unwrap();
+        counter.set_u32(0, 3);
+        ctx.queue().enqueue_write(&counter, &[]).unwrap();
+        let idx = DevColumn::<Oid>::deferred(raw.buffer.clone(), counter, 4).unwrap();
+        let gathered = gather(&ctx, &values, &idx).unwrap(); // [5000, 5, 500]
+        let bitmap = select_range_i32(&ctx, &gathered, 100, 10_000).unwrap();
+        assert_eq!(selected_count(&ctx, &bitmap).unwrap().get(&ctx).unwrap(), 2);
+        let oids = materialize_bitmap(&ctx, &bitmap).unwrap();
+        assert_eq!(oids.read(&ctx).unwrap(), vec![0, 2]);
     }
 }

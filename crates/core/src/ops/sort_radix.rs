@@ -22,7 +22,7 @@
 //! element order per pass, and the strided interleaving would interleave
 //! items' elements non-monotonically.
 
-use crate::context::{DevColumn, OcelotContext};
+use crate::context::{DevColumn, DevWord, OcelotContext, Oid};
 use crate::primitives::prefix_sum::exclusive_scan_u32;
 use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
 use std::sync::Arc;
@@ -243,25 +243,29 @@ impl Kernel for DecodeKernel {
 /// The result of a sort: the sorted values and the permutation of input OIDs
 /// that produces them (used to reorder dependent columns with a fetch join).
 #[derive(Debug, Clone)]
-pub struct SortResult {
+pub struct SortResult<T: DevWord> {
     /// The sorted values.
-    pub values: DevColumn,
+    pub values: DevColumn<T>,
     /// `order[i]` = OID of the input row at sorted position `i`.
-    pub order: DevColumn,
+    pub order: DevColumn<Oid>,
 }
 
-fn radix_sort(
+/// **Deliberate sync point:** the multi-pass ping-pong schedule is host-side
+/// control flow over the element count, so a deferred input length is
+/// resolved on entry. The passes themselves (including their scans) are
+/// fully lazy — nothing flushes until the caller reads a result.
+fn radix_sort<T: DevWord>(
     ctx: &OcelotContext,
-    input: &DevColumn,
+    input: &DevColumn<T>,
     transform: KeyTransform,
-) -> Result<SortResult> {
-    let n = input.len;
+) -> Result<SortResult<T>> {
+    let n = input.len(ctx)?;
     if n == 0 {
         let empty_v = ctx.alloc(1, "sort_values")?;
         let empty_o = ctx.alloc(1, "sort_order")?;
         return Ok(SortResult {
-            values: DevColumn::new(empty_v, 0),
-            order: DevColumn::new(empty_o, 0),
+            values: DevColumn::new(empty_v, 0)?,
+            order: DevColumn::new(empty_o, 0)?,
         });
     }
     let launch = ctx.launch(n);
@@ -272,7 +276,7 @@ fn radix_sort(
     let mut keys_b = ctx.alloc_uninit(n, "sort_keys_b")?;
     let mut oids_b = ctx.alloc_uninit(n, "sort_oids_b")?;
 
-    let wait = ctx.memory().wait_for_read(&input.buffer);
+    let wait = ctx.wait_for(input);
     ctx.queue().enqueue_kernel(
         Arc::new(TransformKernel {
             input: input.buffer.clone(),
@@ -298,9 +302,10 @@ fn radix_sort(
             launch.clone(),
             &[],
         )?;
-        let counts_col = DevColumn::new(counts, RADIX_SIZE * total_items);
-        let (offsets, total) = exclusive_scan_u32(ctx, &counts_col)?;
-        debug_assert_eq!(total as usize, n);
+        let counts_col = DevColumn::<u32>::new(counts, RADIX_SIZE * total_items)?;
+        // The scan total equals `n` by construction; it stays deferred and
+        // unread — the offsets feed the scatter directly on the device.
+        let (offsets, _total) = exclusive_scan_u32(ctx, &counts_col)?;
         ctx.queue().enqueue_kernel(
             Arc::new(ScatterKernel {
                 keys_in: keys_a.clone(),
@@ -327,16 +332,16 @@ fn radix_sort(
     )?;
     ctx.memory().record_producer(&values, decode_event);
     ctx.memory().record_producer(&oids_a, decode_event);
-    Ok(SortResult { values: DevColumn::new(values, n), order: DevColumn::new(oids_a, n) })
+    Ok(SortResult { values: DevColumn::new(values, n)?, order: DevColumn::new(oids_a, n)? })
 }
 
 /// Sorts an integer column ascending.
-pub fn sort_i32(ctx: &OcelotContext, input: &DevColumn) -> Result<SortResult> {
+pub fn sort_i32(ctx: &OcelotContext, input: &DevColumn<i32>) -> Result<SortResult<i32>> {
     radix_sort(ctx, input, KeyTransform::I32)
 }
 
 /// Sorts a float column ascending (IEEE total order).
-pub fn sort_f32(ctx: &OcelotContext, input: &DevColumn) -> Result<SortResult> {
+pub fn sort_f32(ctx: &OcelotContext, input: &DevColumn<f32>) -> Result<SortResult<f32>> {
     radix_sort(ctx, input, KeyTransform::F32)
 }
 
@@ -357,9 +362,9 @@ mod tests {
         for ctx in contexts() {
             let col = ctx.upload_i32(&values, "v").unwrap();
             let result = sort_i32(&ctx, &col).unwrap();
-            assert_eq!(ctx.download_i32(&result.values).unwrap(), expected);
+            assert_eq!(result.values.read(&ctx).unwrap(), expected);
             // The order column is a permutation producing the sorted output.
-            let order = ctx.download_u32(&result.order).unwrap();
+            let order = result.order.read(&ctx).unwrap();
             let mut seen = vec![false; values.len()];
             for (pos, oid) in order.iter().enumerate() {
                 assert_eq!(values[*oid as usize], expected[pos]);
@@ -377,7 +382,7 @@ mod tests {
         let ctx = OcelotContext::gpu();
         let col = ctx.upload_f32(&values, "v").unwrap();
         let result = sort_f32(&ctx, &col).unwrap();
-        assert_eq!(ctx.download_f32(&result.values).unwrap(), expected);
+        assert_eq!(result.values.read(&ctx).unwrap(), expected);
     }
 
     #[test]
@@ -388,7 +393,7 @@ mod tests {
         let result = sort_i32(&ctx, &col).unwrap();
         let mut expected = values.clone();
         expected.sort_unstable();
-        assert_eq!(ctx.download_i32(&result.values).unwrap(), expected);
+        assert_eq!(result.values.read(&ctx).unwrap(), expected);
     }
 
     #[test]
@@ -398,7 +403,7 @@ mod tests {
         let ctx = OcelotContext::cpu();
         let col = ctx.upload_i32(&values, "v").unwrap();
         let result = sort_i32(&ctx, &col).unwrap();
-        let order = ctx.download_u32(&result.order).unwrap();
+        let order = result.order.read(&ctx).unwrap();
         for window in order.windows(2) {
             let (a, b) = (window[0] as usize, window[1] as usize);
             if values[a] == values[b] {
@@ -418,7 +423,7 @@ mod tests {
             let result = sort_i32(&ctx, &col).unwrap();
             let mut expected = input.clone();
             expected.sort_unstable();
-            assert_eq!(ctx.download_i32(&result.values).unwrap(), expected);
+            assert_eq!(result.values.read(&ctx).unwrap(), expected);
         }
     }
 
@@ -427,10 +432,10 @@ mod tests {
         let ctx = OcelotContext::cpu();
         let empty = ctx.upload_i32(&[], "v").unwrap();
         let result = sort_i32(&ctx, &empty).unwrap();
-        assert_eq!(result.values.len, 0);
+        assert_eq!(result.values.host_len(), Some(0));
         let single = ctx.upload_i32(&[-5], "v").unwrap();
         let result = sort_i32(&ctx, &single).unwrap();
-        assert_eq!(ctx.download_i32(&result.values).unwrap(), vec![-5]);
-        assert_eq!(ctx.download_u32(&result.order).unwrap(), vec![0]);
+        assert_eq!(result.values.read(&ctx).unwrap(), vec![-5]);
+        assert_eq!(result.order.read(&ctx).unwrap(), vec![0]);
     }
 }

@@ -10,18 +10,25 @@
 //!
 //! Layout: one `u32` word per 32 input rows, bit `i % 32` of word `i / 32`
 //! set iff row `i` qualifies.
+//!
+//! **Invariant:** bits beyond the logical row count are always zero — every
+//! producer (the selection kernels, [`Bitmap::from_bools`], [`combine`])
+//! guarantees it. This is what lets popcounts and combines run over the full
+//! capacity without knowing a deferred row count, keeping bitmap pipelines
+//! sync-free.
 
-use crate::context::OcelotContext;
+use crate::context::{ColLen, DevColumn, DevScalar, OcelotContext};
+use crate::primitives::reduce;
 use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
 use std::sync::Arc;
 
-/// A device-resident bitmap over `n_bits` rows.
+/// A device-resident bitmap over `n` rows, where `n` may be host-known or
+/// deferred (a device counter + capacity bound, like [`DevColumn`] lengths).
 #[derive(Debug, Clone)]
 pub struct Bitmap {
     /// Backing buffer (one word per 32 rows, zero-padded).
     pub buffer: Buffer,
-    /// Number of rows covered.
-    pub n_bits: usize,
+    bits: ColLen,
 }
 
 impl Bitmap {
@@ -33,14 +40,14 @@ impl Bitmap {
     /// Allocates an all-zero bitmap for `n_bits` rows.
     pub fn zeroed(ctx: &OcelotContext, n_bits: usize) -> Result<Bitmap> {
         let buffer = ctx.alloc(Self::words_for(n_bits).max(1), "bitmap")?;
-        Ok(Bitmap { buffer, n_bits })
+        Ok(Bitmap { buffer, bits: ColLen::Host(n_bits) })
     }
 
     /// Allocates a bitmap whose words are unspecified — for producers that
     /// overwrite every backing word (the selection and combine kernels).
-    pub fn for_overwrite(ctx: &OcelotContext, n_bits: usize) -> Result<Bitmap> {
-        let buffer = ctx.alloc_uninit(Self::words_for(n_bits).max(1), "bitmap")?;
-        Ok(Bitmap { buffer, n_bits })
+    pub fn for_overwrite(ctx: &OcelotContext, bits: ColLen) -> Result<Bitmap> {
+        let buffer = ctx.alloc_uninit(Self::words_for(bits.cap()).max(1), "bitmap")?;
+        Ok(Bitmap { buffer, bits })
     }
 
     /// Builds a bitmap from host booleans (test and host-integration helper).
@@ -56,20 +63,37 @@ impl Bitmap {
         Ok(bitmap)
     }
 
-    /// Reads the bitmap back as host booleans (flushes the queue).
+    /// Reads the bitmap back as host booleans. **Sync point** (host
+    /// boundary helper for tests and debugging).
     pub fn to_bools(&self, ctx: &OcelotContext) -> Result<Vec<bool>> {
-        ctx.queue().flush()?;
-        let mut out = Vec::with_capacity(self.n_bits);
-        for i in 0..self.n_bits {
+        let n = self.len(ctx)?;
+        ctx.sync()?;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
             let word = self.buffer.get_u32(i / 32);
             out.push(word & (1 << (i % 32)) != 0);
         }
         Ok(out)
     }
 
-    /// Number of backing words.
+    /// The row-count descriptor.
+    pub fn col_len(&self) -> &ColLen {
+        &self.bits
+    }
+
+    /// Host-known upper bound on the row count (exact when not deferred).
+    pub fn cap_bits(&self) -> usize {
+        self.bits.cap()
+    }
+
+    /// Resolves the logical row count (**sync point** when deferred).
+    pub fn len(&self, ctx: &OcelotContext) -> Result<usize> {
+        self.bits.resolve(ctx)
+    }
+
+    /// Number of backing words (covers the capacity bound).
     pub fn words(&self) -> usize {
-        Self::words_for(self.n_bits)
+        Self::words_for(self.bits.cap())
     }
 }
 
@@ -138,16 +162,29 @@ impl Kernel for CombineKernel {
     }
 }
 
-/// Combines two bitmaps of equal length with AND or OR.
+/// Combines two bitmaps of equal length with AND or OR. Zero-padding in both
+/// inputs keeps the padding of the result zero, preserving the module
+/// invariant without resolving deferred row counts.
 pub fn combine(
     ctx: &OcelotContext,
     left: &Bitmap,
     right: &Bitmap,
     mode: BitmapCombine,
 ) -> Result<Bitmap> {
-    assert_eq!(left.n_bits, right.n_bits, "bitmap combine: length mismatch");
+    // Strict logical-length compatibility (not just equal capacities): an OR
+    // over bitmaps with different logical lengths would set bits beyond the
+    // output's inherited length and break the zero-padding invariant.
+    let compatible = match (left.col_len(), right.col_len()) {
+        (ColLen::Host(a), ColLen::Host(b)) => a == b,
+        (
+            ColLen::Device { counter: ca, cap: cap_a },
+            ColLen::Device { counter: cb, cap: cap_b },
+        ) => ca.id() == cb.id() && cap_a == cap_b,
+        _ => false,
+    };
+    assert!(compatible, "bitmap combine: length mismatch");
     // The kernel writes every backing word, so the bitmap can skip zeroing.
-    let output = Bitmap::for_overwrite(ctx, left.n_bits)?;
+    let output = Bitmap::for_overwrite(ctx, left.col_len().clone())?;
     let words = left.words();
     if words == 0 {
         return Ok(output);
@@ -197,11 +234,13 @@ impl Kernel for PopcountKernel {
     }
 }
 
-/// Counts the set bits of a bitmap (the selection's result cardinality).
-pub fn count_ones(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<u64> {
+/// Counts the set bits of a bitmap (the selection's result cardinality) as a
+/// deferred [`DevScalar`]. Never flushes: per-item popcounts are reduced by
+/// a second kernel, and the total stays device-resident until `.get()`.
+pub fn count_ones(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<DevScalar<u32>> {
     let words = bitmap.words();
     if words == 0 {
-        return Ok(0);
+        return DevScalar::constant(ctx, 0u32);
     }
     let launch = ctx.launch(words);
     let counts = ctx.alloc_uninit(launch.total_items(), "popcount_partials")?;
@@ -212,12 +251,9 @@ pub fn count_ones(ctx: &OcelotContext, bitmap: &Bitmap) -> Result<u64> {
         &wait,
     )?;
     ctx.memory().record_consumer(&bitmap.buffer, event);
-    ctx.queue().flush()?;
-    let mut total = 0u64;
-    for i in 0..launch.total_items() {
-        total += counts.get_u32(i) as u64;
-    }
-    Ok(total)
+    ctx.memory().record_producer(&counts, event);
+    let counts_col = DevColumn::<u32>::new(counts, launch.total_items())?;
+    reduce::sum_u32(ctx, &counts_col)
 }
 
 #[cfg(test)]
@@ -255,18 +291,29 @@ mod tests {
     #[test]
     fn popcount_on_all_devices() {
         let bits: Vec<bool> = (0..1_000).map(|i| (i * 7) % 11 < 4).collect();
-        let expected = bits.iter().filter(|b| **b).count() as u64;
+        let expected = bits.iter().filter(|b| **b).count() as u32;
         for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
             let bitmap = Bitmap::from_bools(&ctx, &bits).unwrap();
-            assert_eq!(count_ones(&ctx, &bitmap).unwrap(), expected);
+            assert_eq!(count_ones(&ctx, &bitmap).unwrap().get(&ctx).unwrap(), expected);
         }
+    }
+
+    #[test]
+    fn popcount_is_deferred() {
+        let ctx = OcelotContext::cpu();
+        let bits: Vec<bool> = (0..4_096).map(|i| i % 2 == 0).collect();
+        let bitmap = Bitmap::from_bools(&ctx, &bits).unwrap();
+        let flushes = ctx.queue().flush_count();
+        let count = count_ones(&ctx, &bitmap).unwrap();
+        assert_eq!(ctx.queue().flush_count(), flushes, "count_ones must not flush");
+        assert_eq!(count.get(&ctx).unwrap(), 2_048);
     }
 
     #[test]
     fn empty_bitmap() {
         let ctx = OcelotContext::cpu();
         let bitmap = Bitmap::zeroed(&ctx, 0).unwrap();
-        assert_eq!(count_ones(&ctx, &bitmap).unwrap(), 0);
+        assert_eq!(count_ones(&ctx, &bitmap).unwrap().get(&ctx).unwrap(), 0);
         assert!(bitmap.to_bools(&ctx).unwrap().is_empty());
     }
 

@@ -3,8 +3,13 @@
 //! `output[i] = values[indices[i]]` — the core of the projection / left
 //! fetch join operator and of every "reorder a column by a permutation"
 //! step (sorting, result materialisation).
+//!
+//! The index column may carry a *deferred* length (a selection that has not
+//! been counted on the host): the kernel resolves the actual element count
+//! from the device counter at flush time and the output column inherits the
+//! same deferred length, so the pipeline stays sync-free.
 
-use crate::context::{DevColumn, OcelotContext};
+use crate::context::{DevColumn, DevWord, LenSource, OcelotContext, Oid};
 use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
 use std::sync::Arc;
 
@@ -13,6 +18,7 @@ struct GatherKernel {
     values: Buffer,
     indices: Buffer,
     output: Buffer,
+    n: LenSource,
 }
 
 impl Kernel for GatherKernel {
@@ -20,18 +26,23 @@ impl Kernel for GatherKernel {
         "gather"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        // A deferred count resolves here, at flush time; entries past `n`
+        // hold garbage and must not be dereferenced as indices.
+        let n = self.n.get();
         let values = self.values.as_words();
         let indices = self.indices.as_words();
         for item in group.items() {
             let assigned = item.assigned();
             if let Some(range) = assigned.as_range() {
-                if range.is_empty() {
+                let end = range.end.min(n);
+                let start = range.start.min(end);
+                if start >= end {
                     continue;
                 }
                 // SAFETY: the contiguous pattern assigns `range` of the
                 // output exclusively to this item within this phase.
-                let out = unsafe { self.output.chunk_mut(range.start, range.end) };
-                for (o, &position) in out.iter_mut().zip(&indices[range]) {
+                let out = unsafe { self.output.chunk_mut(start, end) };
+                for (o, &position) in out.iter_mut().zip(&indices[start..end]) {
                     *o = values[position as usize];
                 }
             } else {
@@ -39,6 +50,9 @@ impl Kernel for GatherKernel {
                 // the reads still avoid per-element atomic loads.
                 let output = self.output.cells();
                 for idx in assigned {
+                    if idx >= n {
+                        continue;
+                    }
                     let position = indices[idx] as usize;
                     output[idx].store(values[position], std::sync::atomic::Ordering::Relaxed);
                 }
@@ -51,30 +65,35 @@ impl Kernel for GatherKernel {
     }
 }
 
-/// Gathers `values[indices[i]]` for every `i`. The index column holds OIDs
-/// (`u32`); the value column is untyped 32-bit words, so the same call
-/// serves integer, float and OID columns.
-pub fn gather(ctx: &OcelotContext, values: &DevColumn, indices: &DevColumn) -> Result<DevColumn> {
-    let n = indices.len;
-    let output = ctx.alloc_uninit(n.max(1), "gather_output")?;
-    if n == 0 {
-        return Ok(DevColumn::new(output, 0));
+/// Gathers `values[indices[i]]` for every `i`. The index column holds OIDs;
+/// the output column carries the value type and inherits the index column's
+/// length — including a deferred one, which keeps chained pipelines lazy.
+pub fn gather<T: DevWord>(
+    ctx: &OcelotContext,
+    values: &DevColumn<T>,
+    indices: &DevColumn<Oid>,
+) -> Result<DevColumn<T>> {
+    let cap = indices.cap();
+    let output = ctx.alloc_uninit(cap.max(1), "gather_output")?;
+    if cap == 0 {
+        return DevColumn::new(output, 0);
     }
-    let mut wait = ctx.memory().wait_for_read(&values.buffer);
-    wait.extend(ctx.memory().wait_for_read(&indices.buffer));
+    let mut wait = ctx.wait_for(values);
+    wait.extend(ctx.wait_for(indices));
     let event = ctx.queue().enqueue_kernel(
         Arc::new(GatherKernel {
             values: values.buffer.clone(),
             indices: indices.buffer.clone(),
             output: output.clone(),
+            n: indices.len_source(),
         }),
-        ctx.launch(n),
+        ctx.launch(cap),
         &wait,
     )?;
     ctx.memory().record_producer(&output, event);
     ctx.memory().record_consumer(&values.buffer, event);
     ctx.memory().record_consumer(&indices.buffer, event);
-    Ok(DevColumn::new(output, n))
+    DevColumn::with_len(output, indices.col_len().clone())
 }
 
 #[cfg(test)]
@@ -91,7 +110,7 @@ mod tests {
             let v = ctx.upload_i32(&values, "values").unwrap();
             let idx = ctx.upload_u32(&indices, "indices").unwrap();
             let out = gather(&ctx, &v, &idx).unwrap();
-            assert_eq!(ctx.download_i32(&out).unwrap(), expected);
+            assert_eq!(out.read(&ctx).unwrap(), expected);
         }
     }
 
@@ -101,7 +120,25 @@ mod tests {
         let v = ctx.upload_f32(&[0.5, -1.25, 3.75], "values").unwrap();
         let idx = ctx.upload_u32(&[2, 0, 1, 2], "indices").unwrap();
         let out = gather(&ctx, &v, &idx).unwrap();
-        assert_eq!(ctx.download_f32(&out).unwrap(), vec![3.75, 0.5, -1.25, 3.75]);
+        assert_eq!(out.read(&ctx).unwrap(), vec![3.75, 0.5, -1.25, 3.75]);
+    }
+
+    #[test]
+    fn gather_over_deferred_indices() {
+        // Indices column with a device-resident count: only the first
+        // `count` entries are valid (the rest are poison out-of-bounds
+        // values the kernel must not dereference).
+        for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
+            let v = ctx.upload_i32(&[10, 20, 30, 40], "values").unwrap();
+            let raw = ctx.upload_u32(&[3, 1, u32::MAX, u32::MAX], "indices").unwrap();
+            let counter = ctx.alloc(1, "count").unwrap();
+            counter.set_u32(0, 2);
+            ctx.queue().enqueue_write(&counter, &[]).unwrap();
+            let deferred = DevColumn::<Oid>::deferred(raw.buffer.clone(), counter, 4).unwrap();
+            let out = gather(&ctx, &v, &deferred).unwrap();
+            assert!(out.is_deferred());
+            assert_eq!(out.read(&ctx).unwrap(), vec![40, 20]);
+        }
     }
 
     #[test]
@@ -110,7 +147,7 @@ mod tests {
         let v = ctx.upload_i32(&[1, 2, 3], "values").unwrap();
         let idx = ctx.upload_u32(&[], "indices").unwrap();
         let out = gather(&ctx, &v, &idx).unwrap();
-        assert_eq!(out.len, 0);
-        assert!(ctx.download_i32(&out).unwrap().is_empty());
+        assert_eq!(out.host_len(), Some(0));
+        assert!(out.read(&ctx).unwrap().is_empty());
     }
 }

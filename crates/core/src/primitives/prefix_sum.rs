@@ -7,6 +7,13 @@
 //! synchronisation (paper §4.1.2, §4.1.5, citing Sengupta et al.'s scan
 //! primitives).
 //!
+//! The total of the scanned input is returned as a deferred
+//! [`DevScalar<u32>`] — **no flush happens here**. Consumers that need the
+//! total to size an output (bitmap materialisation, join compaction) keep it
+//! on the device: they allocate at the capacity bound and attach the total
+//! as the result column's deferred length, so a whole
+//! select→scan→write pipeline synchronises only at its final read.
+//!
 //! The implementation is the classic three-phase scheme: (1) every work-item
 //! reduces its assigned slice to a partial sum, (2) the per-item partials —
 //! a tiny array of `num_groups × group_size` values — are scanned by a
@@ -19,8 +26,8 @@
 //! interleaving used for coalesced reads would compute prefixes in the wrong
 //! element order.
 
-use crate::context::{DevColumn, OcelotContext};
-use ocelot_kernel::{Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use crate::context::{DevColumn, DevScalar, OcelotContext};
+use ocelot_kernel::{Kernel, KernelCost, KernelError, LaunchConfig, Result, WorkGroupCtx};
 use std::sync::Arc;
 
 /// Phase 1: per-work-item partial sums.
@@ -138,19 +145,28 @@ impl Kernel for WritePrefixKernel {
 }
 
 /// Computes the exclusive prefix sum of a `u32` column. Returns the scanned
-/// column and the total sum of the input.
-pub fn exclusive_scan_u32(ctx: &OcelotContext, input: &DevColumn) -> Result<(DevColumn, u32)> {
-    let n = input.len;
+/// column and the total as a **deferred** [`DevScalar<u32>`] — nothing is
+/// flushed; producers of known size stay entirely on the device.
+///
+/// The input's length must be host-known (scan inputs are per-item count
+/// tables, whose size is fixed by the launch configuration).
+pub fn exclusive_scan_u32(
+    ctx: &OcelotContext,
+    input: &DevColumn<u32>,
+) -> Result<(DevColumn<u32>, DevScalar<u32>)> {
+    let n = input.host_len().ok_or_else(|| {
+        KernelError::Internal("exclusive_scan_u32: input length must be host-known".into())
+    })?;
     let output = ctx.alloc_uninit(n.max(1), "scan_output")?;
     if n == 0 {
-        return Ok((DevColumn::new(output, 0), 0));
+        return Ok((DevColumn::new(output, 0)?, DevScalar::constant(ctx, 0u32)?));
     }
     let launch = ctx.launch(n);
     let partials = ctx.alloc_uninit(launch.total_items(), "scan_partials")?;
     let total = ctx.alloc(1, "scan_total")?;
 
     let queue = ctx.queue();
-    let wait = ctx.memory().wait_for_read(&input.buffer);
+    let wait = ctx.wait_for(input);
     let e1 = queue.enqueue_kernel(
         Arc::new(PartialSumKernel { input: input.buffer.clone(), partials: partials.clone(), n }),
         launch.clone(),
@@ -176,12 +192,9 @@ pub fn exclusive_scan_u32(ctx: &OcelotContext, input: &DevColumn) -> Result<(Dev
         &[e2],
     )?;
     ctx.memory().record_producer(&output, e3);
-    // The caller almost always needs the total on the host to size result
-    // buffers, which forces a flush here (the one synchronisation point the
-    // lazy execution model cannot avoid).
-    queue.flush()?;
-    let total_value = total.get_u32(0);
-    Ok((DevColumn::new(output, n), total_value))
+    ctx.memory().record_producer(&total, e2);
+    ctx.memory().record_consumer(&input.buffer, e3);
+    Ok((DevColumn::new(output, n)?, DevScalar::new(total, Some(e2))))
 }
 
 #[cfg(test)]
@@ -192,7 +205,7 @@ mod tests {
     fn scan_on(ctx: &OcelotContext, values: &[u32]) -> (Vec<u32>, u32) {
         let input = ctx.upload_u32(values, "input").unwrap();
         let (output, total) = exclusive_scan_u32(ctx, &input).unwrap();
-        (ctx.download_u32(&output).unwrap(), total)
+        (output.read(ctx).unwrap(), total.get(ctx).unwrap())
     }
 
     fn reference_scan(values: &[u32]) -> (Vec<u32>, u32) {
@@ -214,6 +227,23 @@ mod tests {
             assert_eq!(got, expected);
             assert_eq!(total, expected_total);
         }
+    }
+
+    #[test]
+    fn scan_is_deferred_until_total_get() {
+        let ctx = OcelotContext::cpu();
+        let values: Vec<u32> = (0..10_000).map(|i| i % 5).collect();
+        let input = ctx.upload_u32(&values, "input").unwrap();
+        let flushes_before = ctx.queue().flush_count();
+        let (_output, total) = exclusive_scan_u32(&ctx, &input).unwrap();
+        assert_eq!(
+            ctx.queue().flush_count(),
+            flushes_before,
+            "exclusive_scan_u32 must not flush the queue"
+        );
+        assert!(ctx.queue().pending_ops() > 0);
+        assert_eq!(total.get(&ctx).unwrap(), values.iter().sum::<u32>());
+        assert_eq!(ctx.queue().flush_count(), flushes_before + 1, "one flush, at .get()");
     }
 
     #[test]

@@ -7,8 +7,14 @@
 //! of them). The same two kernels serve SUM/MIN/MAX over `i32` and `f32` by
 //! switching on a [`ReduceOp`] tag, exactly like an OpenCL kernel would
 //! switch on a preprocessor constant.
+//!
+//! Every reduction returns a **deferred** [`DevScalar`]: the result stays in
+//! a one-word device buffer until the caller's `.get()`, which is the
+//! pipeline's only flush. Inputs with deferred lengths (e.g. a gather over a
+//! not-yet-counted selection) are supported — the kernels resolve the actual
+//! element count from the [`LenSource`] counter at flush time.
 
-use crate::context::{DevColumn, OcelotContext};
+use crate::context::{DevColumn, DevScalar, DevWord, LenSource, OcelotContext};
 use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
 use std::sync::Arc;
 
@@ -21,7 +27,8 @@ pub enum ReduceOp {
     MinF32,
     /// Maximum of `f32` values.
     MaxF32,
-    /// Sum of `i32` values (wrapping).
+    /// Sum of `i32` values (wrapping; bit-identical to unsigned wrapping
+    /// sums, so it also serves `u32` counts).
     SumI32,
     /// Minimum of `i32` values.
     MinI32,
@@ -109,6 +116,7 @@ struct PartialReduceKernel {
     input: Buffer,
     partials: Buffer,
     op: ReduceOp,
+    n: LenSource,
 }
 
 impl Kernel for PartialReduceKernel {
@@ -116,15 +124,22 @@ impl Kernel for PartialReduceKernel {
         "reduce_partials"
     }
     fn run_group(&self, group: &mut WorkGroupCtx) {
+        // Deferred lengths resolve here, at flush time (in-order queue: the
+        // producing kernel has already run).
+        let n = self.n.get();
         let input = self.input.as_words();
         for item in group.items() {
             let assigned = item.assigned();
             let acc = if let Some(range) = assigned.as_range() {
-                self.op.reduce_slice(self.op.identity_word(), &input[range])
+                let end = range.end.min(n);
+                let start = range.start.min(end);
+                self.op.reduce_slice(self.op.identity_word(), &input[start..end])
             } else {
                 let mut acc = self.op.identity_word();
                 for idx in assigned {
-                    acc = self.op.combine(acc, input[idx]);
+                    if idx < n {
+                        acc = self.op.combine(acc, input[idx]);
+                    }
                 }
                 acc
             };
@@ -160,22 +175,27 @@ impl Kernel for FinalReduceKernel {
     }
 }
 
-/// Reduces a column to a single raw 32-bit word. Returns the identity
-/// element for empty inputs.
-pub fn reduce_word(ctx: &OcelotContext, input: &DevColumn, op: ReduceOp) -> Result<u32> {
-    if input.len == 0 {
-        return Ok(op.identity_word());
+/// Reduces a column to a deferred one-word scalar. Empty columns yield the
+/// operation's identity. Never flushes the queue.
+pub fn reduce<T: DevWord>(
+    ctx: &OcelotContext,
+    input: &DevColumn<T>,
+    op: ReduceOp,
+) -> Result<DevScalar<T>> {
+    if input.cap() == 0 {
+        return DevScalar::constant(ctx, T::from_word(op.identity_word()));
     }
-    let launch = ctx.launch(input.len);
-    let partials = ctx.alloc(launch.total_items(), "reduce_partials")?;
+    let launch = ctx.launch(input.cap());
+    let partials = ctx.alloc_uninit(launch.total_items(), "reduce_partials")?;
     let output = ctx.alloc(1, "reduce_output")?;
     let queue = ctx.queue();
-    let wait = ctx.memory().wait_for_read(&input.buffer);
+    let wait = ctx.wait_for(input);
     let e1 = queue.enqueue_kernel(
         Arc::new(PartialReduceKernel {
             input: input.buffer.clone(),
             partials: partials.clone(),
             op,
+            n: input.len_source(),
         }),
         launch.clone(),
         &wait,
@@ -191,38 +211,44 @@ pub fn reduce_word(ctx: &OcelotContext, input: &DevColumn, op: ReduceOp) -> Resu
         &[e1],
     )?;
     ctx.memory().record_consumer(&input.buffer, e2);
-    queue.flush()?;
-    Ok(output.get_u32(0))
+    ctx.memory().record_producer(&output, e2);
+    Ok(DevScalar::new(output, Some(e2)))
 }
 
 /// Sum of a float column.
-pub fn sum_f32(ctx: &OcelotContext, input: &DevColumn) -> Result<f32> {
-    reduce_word(ctx, input, ReduceOp::SumF32).map(f32::from_bits)
+pub fn sum_f32(ctx: &OcelotContext, input: &DevColumn<f32>) -> Result<DevScalar<f32>> {
+    reduce(ctx, input, ReduceOp::SumF32)
 }
 
 /// Minimum of a float column (`+∞` for an empty column).
-pub fn min_f32(ctx: &OcelotContext, input: &DevColumn) -> Result<f32> {
-    reduce_word(ctx, input, ReduceOp::MinF32).map(f32::from_bits)
+pub fn min_f32(ctx: &OcelotContext, input: &DevColumn<f32>) -> Result<DevScalar<f32>> {
+    reduce(ctx, input, ReduceOp::MinF32)
 }
 
 /// Maximum of a float column (`-∞` for an empty column).
-pub fn max_f32(ctx: &OcelotContext, input: &DevColumn) -> Result<f32> {
-    reduce_word(ctx, input, ReduceOp::MaxF32).map(f32::from_bits)
+pub fn max_f32(ctx: &OcelotContext, input: &DevColumn<f32>) -> Result<DevScalar<f32>> {
+    reduce(ctx, input, ReduceOp::MaxF32)
 }
 
 /// Sum of an integer column (wrapping, like the four-byte engine type).
-pub fn sum_i32(ctx: &OcelotContext, input: &DevColumn) -> Result<i32> {
-    reduce_word(ctx, input, ReduceOp::SumI32).map(|w| w as i32)
+pub fn sum_i32(ctx: &OcelotContext, input: &DevColumn<i32>) -> Result<DevScalar<i32>> {
+    reduce(ctx, input, ReduceOp::SumI32)
 }
 
 /// Minimum of an integer column (`i32::MAX` for an empty column).
-pub fn min_i32(ctx: &OcelotContext, input: &DevColumn) -> Result<i32> {
-    reduce_word(ctx, input, ReduceOp::MinI32).map(|w| w as i32)
+pub fn min_i32(ctx: &OcelotContext, input: &DevColumn<i32>) -> Result<DevScalar<i32>> {
+    reduce(ctx, input, ReduceOp::MinI32)
 }
 
 /// Maximum of an integer column (`i32::MIN` for an empty column).
-pub fn max_i32(ctx: &OcelotContext, input: &DevColumn) -> Result<i32> {
-    reduce_word(ctx, input, ReduceOp::MaxI32).map(|w| w as i32)
+pub fn max_i32(ctx: &OcelotContext, input: &DevColumn<i32>) -> Result<DevScalar<i32>> {
+    reduce(ctx, input, ReduceOp::MaxI32)
+}
+
+/// Sum of an OID/count column. Unsigned and two's-complement wrapping sums
+/// are bit-identical, so this reuses the `SumI32` kernel path.
+pub fn sum_u32(ctx: &OcelotContext, input: &DevColumn<u32>) -> Result<DevScalar<u32>> {
+    reduce(ctx, input, ReduceOp::SumI32)
 }
 
 #[cfg(test)]
@@ -235,9 +261,15 @@ mod tests {
         let values: Vec<i32> = (0..10_000).map(|i| ((i * 37 + 11) % 2001) - 1000).collect();
         for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
             let col = ctx.upload_i32(&values, "v").unwrap();
-            assert_eq!(sum_i32(&ctx, &col).unwrap(), values.iter().sum::<i32>());
-            assert_eq!(min_i32(&ctx, &col).unwrap(), *values.iter().min().unwrap());
-            assert_eq!(max_i32(&ctx, &col).unwrap(), *values.iter().max().unwrap());
+            assert_eq!(sum_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), values.iter().sum::<i32>());
+            assert_eq!(
+                min_i32(&ctx, &col).unwrap().get(&ctx).unwrap(),
+                *values.iter().min().unwrap()
+            );
+            assert_eq!(
+                max_i32(&ctx, &col).unwrap().get(&ctx).unwrap(),
+                *values.iter().max().unwrap()
+            );
         }
     }
 
@@ -246,30 +278,50 @@ mod tests {
         let ctx = OcelotContext::cpu();
         let values: Vec<f32> = (0..5_000).map(|i| ((i % 101) as f32) * 0.25).collect();
         let col = ctx.upload_f32(&values, "v").unwrap();
-        let total = sum_f32(&ctx, &col).unwrap();
+        let total = sum_f32(&ctx, &col).unwrap().get(&ctx).unwrap();
         let expected: f32 = values.iter().sum();
         assert!((total - expected).abs() / expected < 1e-3, "{total} vs {expected}");
-        assert_eq!(min_f32(&ctx, &col).unwrap(), 0.0);
-        assert_eq!(max_f32(&ctx, &col).unwrap(), 25.0);
+        assert_eq!(min_f32(&ctx, &col).unwrap().get(&ctx).unwrap(), 0.0);
+        assert_eq!(max_f32(&ctx, &col).unwrap().get(&ctx).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn reductions_are_deferred_until_get() {
+        let ctx = OcelotContext::cpu();
+        let values: Vec<i32> = (0..50_000).collect();
+        let col = ctx.upload_i32(&values, "v").unwrap();
+        let flushes = ctx.queue().flush_count();
+        let total = sum_i32(&ctx, &col).unwrap();
+        assert_eq!(ctx.queue().flush_count(), flushes, "reduce must not flush");
+        assert_eq!(total.get(&ctx).unwrap(), values.iter().sum::<i32>());
+        assert_eq!(ctx.queue().flush_count(), flushes + 1);
     }
 
     #[test]
     fn empty_inputs_return_identities() {
         let ctx = OcelotContext::cpu();
         let col = ctx.upload_i32(&[], "v").unwrap();
-        assert_eq!(sum_i32(&ctx, &col).unwrap(), 0);
-        assert_eq!(min_i32(&ctx, &col).unwrap(), i32::MAX);
-        assert_eq!(max_i32(&ctx, &col).unwrap(), i32::MIN);
+        assert_eq!(sum_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), 0);
+        assert_eq!(min_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), i32::MAX);
+        assert_eq!(max_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), i32::MIN);
         let fcol = ctx.upload_f32(&[], "v").unwrap();
-        assert_eq!(min_f32(&ctx, &fcol).unwrap(), f32::INFINITY);
+        assert_eq!(min_f32(&ctx, &fcol).unwrap().get(&ctx).unwrap(), f32::INFINITY);
     }
 
     #[test]
     fn single_element() {
         let ctx = OcelotContext::gpu();
         let col = ctx.upload_i32(&[-7], "v").unwrap();
-        assert_eq!(sum_i32(&ctx, &col).unwrap(), -7);
-        assert_eq!(min_i32(&ctx, &col).unwrap(), -7);
-        assert_eq!(max_i32(&ctx, &col).unwrap(), -7);
+        assert_eq!(sum_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), -7);
+        assert_eq!(min_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), -7);
+        assert_eq!(max_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), -7);
+    }
+
+    #[test]
+    fn sum_u32_over_counts() {
+        let ctx = OcelotContext::cpu();
+        let values: Vec<u32> = (0..1_000).map(|i| i % 7).collect();
+        let col = ctx.upload_u32(&values, "v").unwrap();
+        assert_eq!(sum_u32(&ctx, &col).unwrap().get(&ctx).unwrap(), values.iter().sum::<u32>());
     }
 }

@@ -2,11 +2,15 @@
 //! configurations.
 //!
 //! A [`Backend`] owns columns of an opaque handle type (`Backend::Column`):
-//! host vectors for the MonetDB-style baselines, device buffers for Ocelot.
-//! Queries written against this trait therefore run unchanged on every
-//! configuration, and data stays wherever the backend keeps it (in
-//! particular, Ocelot's device cache is only flushed when the query reads
-//! results back — the `sync` boundary of the paper).
+//! host vectors for the MonetDB-style baselines, typed deferred device
+//! columns (`DevColumn<i32>` / `DevColumn<f32>` / `DevColumn<Oid>`) for
+//! Ocelot. Queries written against this trait therefore run unchanged on
+//! every configuration, and data stays wherever the backend keeps it. For
+//! Ocelot the `to_*` readbacks (and the eager scalar aggregates) are the
+//! **single synchronisation boundary** — everything between them only
+//! enqueues kernels, including operators whose result sizes are produced on
+//! the device (selections, joins), so a whole pipeline flushes once, at the
+//! read (the `ocelot.sync` contract of the paper, §3.4).
 //!
 //! Selections return OID candidate lists. Ocelot internally evaluates them
 //! as bitmaps and materialises the OID list at the interface, exactly like
@@ -165,7 +169,22 @@ pub trait Backend {
 
     // ---- ungrouped aggregation ----
 
-    /// Sum of a float column.
+    /// Sum of a float column as a **column-resident one-element result**:
+    /// the deferred form of [`Backend::sum_f32`]. For Ocelot the value stays
+    /// in a one-word device buffer (a `DevScalar`) until a `to_*` read, so
+    /// MAL plans that aggregate and only later materialise stay sync-free.
+    /// The default implementation falls back to the eager host sum.
+    fn sum_scalar_f32(&self, values: &Self::Column) -> Self::Column {
+        self.lift_f32(vec![self.sum_f32(values)])
+    }
+
+    /// The `ocelot.sync` ownership boundary: flush outstanding device work
+    /// so every previously produced column is materialised. A no-op for the
+    /// host backends, whose operators are eager.
+    fn sync(&self) {}
+
+    /// Sum of a float column (**sync boundary** for Ocelot — prefer
+    /// [`Backend::sum_scalar_f32`] mid-plan).
     fn sum_f32(&self, values: &Self::Column) -> f32;
     /// Minimum of a float column (`+∞` when empty).
     fn min_f32(&self, values: &Self::Column) -> f32;

@@ -2,31 +2,65 @@
 //! `ocelot-core` running on any kernel-model device ("Ocelot CPU" when the
 //! context uses the multi-core CPU driver, "Ocelot GPU" on the simulated
 //! discrete GPU).
+//!
+//! [`OcelotColumn`] maps `Backend::Column` onto the typed deferred columns
+//! of `ocelot-core`: each variant carries a `DevColumn<T>` whose logical
+//! length may still live on the device (selection results, join outputs).
+//! Every operator below only *enqueues* kernels; the `to_*` readbacks (and
+//! the eager scalar aggregates) are the single sync boundary, so a chained
+//! query pipeline performs exactly one queue flush — at the read.
 
 use crate::backend::{Backend, GroupHandle};
 use ocelot_core::ops::{
     aggregate, calc, groupby, hash_table::OcelotHashTable, join, project, select, sort_radix,
 };
 use ocelot_core::primitives::gather;
-use ocelot_core::{DevColumn, OcelotContext};
+use ocelot_core::{Bitmap, DevColumn, OcelotContext, Oid};
 use ocelot_kernel::GpuConfig;
 use ocelot_storage::BatRef;
 use parking_lot::Mutex;
 use std::time::Instant;
 
-/// Which 32-bit interpretation a column carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ColKind {
-    I32,
-    F32,
-    Oid,
+/// A typed device column handle: the `Backend::Column` of the Ocelot
+/// configurations.
+#[derive(Debug, Clone)]
+pub enum OcelotColumn {
+    /// 32-bit integers (also dates and dictionary codes).
+    I32(DevColumn<i32>),
+    /// 32-bit floats.
+    F32(DevColumn<f32>),
+    /// Tuple identifiers.
+    Oid(DevColumn<Oid>),
 }
 
-/// A device column plus its logical type.
-#[derive(Debug, Clone)]
-pub struct OcelotColumn {
-    col: DevColumn,
-    kind: ColKind,
+impl OcelotColumn {
+    /// The column as an integer view (device words are untyped; the view is
+    /// a zero-cost reinterpretation, as in OpenCL kernel argument binding).
+    fn as_i32(&self) -> DevColumn<i32> {
+        match self {
+            OcelotColumn::I32(c) => c.clone(),
+            OcelotColumn::F32(c) => c.reinterpret(),
+            OcelotColumn::Oid(c) => c.reinterpret(),
+        }
+    }
+
+    /// The column as a float view.
+    fn as_f32(&self) -> DevColumn<f32> {
+        match self {
+            OcelotColumn::F32(c) => c.clone(),
+            OcelotColumn::I32(c) => c.reinterpret(),
+            OcelotColumn::Oid(c) => c.reinterpret(),
+        }
+    }
+
+    /// The column as an OID view.
+    fn as_oid(&self) -> DevColumn<Oid> {
+        match self {
+            OcelotColumn::Oid(c) => c.clone(),
+            OcelotColumn::I32(c) => c.reinterpret(),
+            OcelotColumn::F32(c) => c.reinterpret(),
+        }
+    }
 }
 
 /// The Ocelot backend (paper's "CPU" and "GPU" series, depending on the
@@ -77,19 +111,24 @@ impl OcelotBackend {
     }
 
     fn upload_bat(&self, bat: &BatRef) -> OcelotColumn {
-        let kind = if bat.as_f32().is_some() {
-            ColKind::F32
+        if bat.as_f32().is_some() {
+            OcelotColumn::F32(
+                project::device_column_for_bat(&self.ctx, bat).expect("device upload failed"),
+            )
         } else if bat.as_oid().is_some() {
-            ColKind::Oid
+            OcelotColumn::Oid(
+                project::device_column_for_bat(&self.ctx, bat).expect("device upload failed"),
+            )
         } else {
-            ColKind::I32
-        };
-        let col = project::device_column_for_bat(&self.ctx, bat).expect("device upload failed");
-        OcelotColumn { col, kind }
+            OcelotColumn::I32(
+                project::device_column_for_bat(&self.ctx, bat).expect("device upload failed"),
+            )
+        }
     }
 
     /// Selection helper: evaluates a predicate bitmap over either the full
-    /// column or the candidate subset, returning an OID candidate list.
+    /// column or the candidate subset, returning an OID candidate list whose
+    /// length stays on the device — candidate chains never synchronise.
     fn select_with<F>(
         &self,
         col: &OcelotColumn,
@@ -97,26 +136,25 @@ impl OcelotBackend {
         pred: F,
     ) -> OcelotColumn
     where
-        F: Fn(&OcelotContext, &DevColumn) -> ocelot_kernel::Result<ocelot_core::Bitmap>,
+        F: Fn(&OcelotContext, &OcelotColumn) -> ocelot_kernel::Result<Bitmap>,
     {
         match cands {
             None => {
-                let bitmap = pred(&self.ctx, &col.col).expect("selection failed");
+                let bitmap = pred(&self.ctx, col).expect("selection failed");
                 let oids =
                     select::materialize_bitmap(&self.ctx, &bitmap).expect("materialize failed");
-                OcelotColumn { col: oids, kind: ColKind::Oid }
+                OcelotColumn::Oid(oids)
             }
             Some(cands) => {
                 // Evaluate the predicate on the candidate rows' values, then
                 // map the qualifying positions back to the original OIDs.
-                let values = gather::gather(&self.ctx, &col.col, &cands.col)
-                    .expect("candidate gather failed");
+                let values = self.fetch(col, cands);
                 let bitmap = pred(&self.ctx, &values).expect("selection failed");
                 let positions =
                     select::materialize_bitmap(&self.ctx, &bitmap).expect("materialize failed");
-                let oids = gather::gather(&self.ctx, &cands.col, &positions)
+                let oids = gather::gather(&self.ctx, &cands.as_oid(), &positions)
                     .expect("candidate remap failed");
-                OcelotColumn { col: oids, kind: ColKind::Oid }
+                OcelotColumn::Oid(oids)
             }
         }
     }
@@ -133,28 +171,26 @@ impl Backend for OcelotBackend {
         self.upload_bat(bat)
     }
     fn lift_i32(&self, values: Vec<i32>) -> OcelotColumn {
-        let col = self.ctx.upload_i32(&values, "lifted_i32").expect("upload failed");
-        OcelotColumn { col, kind: ColKind::I32 }
+        OcelotColumn::I32(self.ctx.upload_i32(&values, "lifted_i32").expect("upload failed"))
     }
     fn lift_f32(&self, values: Vec<f32>) -> OcelotColumn {
-        let col = self.ctx.upload_f32(&values, "lifted_f32").expect("upload failed");
-        OcelotColumn { col, kind: ColKind::F32 }
+        OcelotColumn::F32(self.ctx.upload_f32(&values, "lifted_f32").expect("upload failed"))
     }
     fn lift_oids(&self, values: Vec<u32>) -> OcelotColumn {
-        let col = self.ctx.upload_u32(&values, "lifted_oids").expect("upload failed");
-        OcelotColumn { col, kind: ColKind::Oid }
+        OcelotColumn::Oid(self.ctx.upload_u32(&values, "lifted_oids").expect("upload failed"))
     }
     fn to_i32(&self, col: &OcelotColumn) -> Vec<i32> {
-        self.ctx.download_i32(&col.col).expect("download failed")
+        col.as_i32().read(&self.ctx).expect("read failed")
     }
     fn to_f32(&self, col: &OcelotColumn) -> Vec<f32> {
-        self.ctx.download_f32(&col.col).expect("download failed")
+        col.as_f32().read(&self.ctx).expect("read failed")
     }
     fn to_oids(&self, col: &OcelotColumn) -> Vec<u32> {
-        self.ctx.download_u32(&col.col).expect("download failed")
+        col.as_oid().read(&self.ctx).expect("read failed")
     }
     fn len(&self, col: &OcelotColumn) -> usize {
-        col.col.len
+        // Resolves a deferred length (sync boundary, like `to_*`).
+        col.as_oid().len(&self.ctx).expect("length resolve failed")
     }
 
     fn select_range_i32(
@@ -164,7 +200,9 @@ impl Backend for OcelotBackend {
         high: i32,
         cands: Option<&OcelotColumn>,
     ) -> OcelotColumn {
-        self.select_with(col, cands, |ctx, values| select::select_range_i32(ctx, values, low, high))
+        self.select_with(col, cands, |ctx, values| {
+            select::select_range_i32(ctx, &values.as_i32(), low, high)
+        })
     }
     fn select_range_f32(
         &self,
@@ -173,7 +211,9 @@ impl Backend for OcelotBackend {
         high: f32,
         cands: Option<&OcelotColumn>,
     ) -> OcelotColumn {
-        self.select_with(col, cands, |ctx, values| select::select_range_f32(ctx, values, low, high))
+        self.select_with(col, cands, |ctx, values| {
+            select::select_range_f32(ctx, &values.as_f32(), low, high)
+        })
     }
     fn select_eq_i32(
         &self,
@@ -181,7 +221,9 @@ impl Backend for OcelotBackend {
         needle: i32,
         cands: Option<&OcelotColumn>,
     ) -> OcelotColumn {
-        self.select_with(col, cands, |ctx, values| select::select_eq_i32(ctx, values, needle))
+        self.select_with(col, cands, |ctx, values| {
+            select::select_eq_i32(ctx, &values.as_i32(), needle)
+        })
     }
     fn select_ne_i32(
         &self,
@@ -189,7 +231,9 @@ impl Backend for OcelotBackend {
         needle: i32,
         cands: Option<&OcelotColumn>,
     ) -> OcelotColumn {
-        self.select_with(col, cands, |ctx, values| select::select_ne_i32(ctx, values, needle))
+        self.select_with(col, cands, |ctx, values| {
+            select::select_ne_i32(ctx, &values.as_i32(), needle)
+        })
     }
 
     fn union_oids(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
@@ -203,93 +247,85 @@ impl Backend for OcelotBackend {
     }
 
     fn fetch(&self, col: &OcelotColumn, oids: &OcelotColumn) -> OcelotColumn {
-        let out = project::fetch_join(&self.ctx, &col.col, &oids.col).expect("fetch join failed");
-        OcelotColumn { col: out, kind: col.kind }
+        let idx = oids.as_oid();
+        match col {
+            OcelotColumn::I32(c) => OcelotColumn::I32(
+                project::fetch_join(&self.ctx, c, &idx).expect("fetch join failed"),
+            ),
+            OcelotColumn::F32(c) => OcelotColumn::F32(
+                project::fetch_join(&self.ctx, c, &idx).expect("fetch join failed"),
+            ),
+            OcelotColumn::Oid(c) => OcelotColumn::Oid(
+                project::fetch_join(&self.ctx, c, &idx).expect("fetch join failed"),
+            ),
+        }
     }
 
     fn mul_f32(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn {
-            col: calc::mul_f32(&self.ctx, &a.col, &b.col).expect("calc failed"),
-            kind: ColKind::F32,
-        }
+        OcelotColumn::F32(calc::mul_f32(&self.ctx, &a.as_f32(), &b.as_f32()).expect("calc failed"))
     }
     fn add_f32(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn {
-            col: calc::add_f32(&self.ctx, &a.col, &b.col).expect("calc failed"),
-            kind: ColKind::F32,
-        }
+        OcelotColumn::F32(calc::add_f32(&self.ctx, &a.as_f32(), &b.as_f32()).expect("calc failed"))
     }
     fn sub_f32(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn {
-            col: calc::sub_f32(&self.ctx, &a.col, &b.col).expect("calc failed"),
-            kind: ColKind::F32,
-        }
+        OcelotColumn::F32(calc::sub_f32(&self.ctx, &a.as_f32(), &b.as_f32()).expect("calc failed"))
     }
     fn const_minus_f32(&self, constant: f32, a: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn {
-            col: calc::const_minus_f32(&self.ctx, constant, &a.col).expect("calc failed"),
-            kind: ColKind::F32,
-        }
+        OcelotColumn::F32(
+            calc::const_minus_f32(&self.ctx, constant, &a.as_f32()).expect("calc failed"),
+        )
     }
     fn const_plus_f32(&self, constant: f32, a: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn {
-            col: calc::const_plus_f32(&self.ctx, constant, &a.col).expect("calc failed"),
-            kind: ColKind::F32,
-        }
+        OcelotColumn::F32(
+            calc::const_plus_f32(&self.ctx, constant, &a.as_f32()).expect("calc failed"),
+        )
     }
     fn mul_const_f32(&self, a: &OcelotColumn, constant: f32) -> OcelotColumn {
-        OcelotColumn {
-            col: calc::mul_const_f32(&self.ctx, &a.col, constant).expect("calc failed"),
-            kind: ColKind::F32,
-        }
+        OcelotColumn::F32(
+            calc::mul_const_f32(&self.ctx, &a.as_f32(), constant).expect("calc failed"),
+        )
     }
     fn cast_i32_f32(&self, a: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn {
-            col: calc::cast_i32_f32(&self.ctx, &a.col).expect("calc failed"),
-            kind: ColKind::F32,
-        }
+        OcelotColumn::F32(calc::cast_i32_f32(&self.ctx, &a.as_i32()).expect("calc failed"))
     }
     fn extract_year(&self, a: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn {
-            col: calc::extract_year(&self.ctx, &a.col).expect("calc failed"),
-            kind: ColKind::I32,
-        }
+        OcelotColumn::I32(calc::extract_year(&self.ctx, &a.as_i32()).expect("calc failed"))
     }
 
     fn pkfk_join(&self, fk: &OcelotColumn, pk: &OcelotColumn) -> (OcelotColumn, OcelotColumn) {
-        let table = OcelotHashTable::build(&self.ctx, &pk.col, pk.col.len.max(1))
+        let pk_col = pk.as_i32();
+        let table = OcelotHashTable::build(&self.ctx, &pk_col, pk_col.cap().max(1))
             .expect("hash table build failed");
-        let result = join::hash_join(&self.ctx, &fk.col, &table).expect("hash join failed");
-        (
-            OcelotColumn { col: result.probe_oids, kind: ColKind::Oid },
-            OcelotColumn { col: result.build_oids, kind: ColKind::Oid },
-        )
+        let result = join::hash_join(&self.ctx, &fk.as_i32(), &table).expect("hash join failed");
+        (OcelotColumn::Oid(result.probe_oids), OcelotColumn::Oid(result.build_oids))
     }
     fn semi_join(&self, left: &OcelotColumn, right: &OcelotColumn) -> OcelotColumn {
-        let table = OcelotHashTable::build(&self.ctx, &right.col, right.col.len.max(1))
+        let right_col = right.as_i32();
+        let table = OcelotHashTable::build(&self.ctx, &right_col, right_col.cap().max(1))
             .expect("hash table build failed");
-        OcelotColumn {
-            col: join::semi_join(&self.ctx, &left.col, &table).expect("semi join failed"),
-            kind: ColKind::Oid,
-        }
+        OcelotColumn::Oid(
+            join::semi_join(&self.ctx, &left.as_i32(), &table).expect("semi join failed"),
+        )
     }
     fn anti_join(&self, left: &OcelotColumn, right: &OcelotColumn) -> OcelotColumn {
-        let table = OcelotHashTable::build(&self.ctx, &right.col, right.col.len.max(1))
+        let right_col = right.as_i32();
+        let table = OcelotHashTable::build(&self.ctx, &right_col, right_col.cap().max(1))
             .expect("hash table build failed");
-        OcelotColumn {
-            col: join::anti_join(&self.ctx, &left.col, &table).expect("anti join failed"),
-            kind: ColKind::Oid,
-        }
+        OcelotColumn::Oid(
+            join::anti_join(&self.ctx, &left.as_i32(), &table).expect("anti join failed"),
+        )
     }
 
     fn group_by(&self, keys: &[&OcelotColumn]) -> GroupHandle<OcelotColumn> {
-        let columns: Vec<&DevColumn> = keys.iter().map(|k| &k.col).collect();
-        let hint = self.distinct_hint.min(keys.first().map(|k| k.col.len).unwrap_or(1).max(1));
+        let word_columns: Vec<DevColumn<Oid>> = keys.iter().map(|k| k.as_oid()).collect();
+        let columns: Vec<&DevColumn<Oid>> = word_columns.iter().collect();
+        let hint =
+            self.distinct_hint.min(keys.first().map(|k| k.as_oid().cap()).unwrap_or(1).max(1));
         let result = groupby::group_by_columns(&self.ctx, &columns, hint).expect("group by failed");
         GroupHandle {
-            gids: OcelotColumn { col: result.gids, kind: ColKind::Oid },
+            gids: OcelotColumn::Oid(result.gids),
             num_groups: result.num_groups,
-            representatives: OcelotColumn { col: result.representatives, kind: ColKind::Oid },
+            representatives: OcelotColumn::Oid(result.representatives),
         }
     }
 
@@ -298,104 +334,123 @@ impl Backend for OcelotBackend {
         values: &OcelotColumn,
         groups: &GroupHandle<OcelotColumn>,
     ) -> OcelotColumn {
-        OcelotColumn {
-            col: aggregate::grouped_sum_f32(
+        OcelotColumn::F32(
+            aggregate::grouped_sum_f32(
                 &self.ctx,
-                &values.col,
-                &groups.gids.col,
+                &values.as_f32(),
+                &groups.gids.as_oid(),
                 groups.num_groups,
             )
             .expect("grouped sum failed"),
-            kind: ColKind::F32,
-        }
+        )
     }
     fn grouped_count(&self, groups: &GroupHandle<OcelotColumn>) -> OcelotColumn {
-        OcelotColumn {
-            col: aggregate::grouped_count(&self.ctx, &groups.gids.col, groups.num_groups)
+        OcelotColumn::F32(
+            aggregate::grouped_count(&self.ctx, &groups.gids.as_oid(), groups.num_groups)
                 .expect("grouped count failed"),
-            kind: ColKind::F32,
-        }
+        )
     }
     fn grouped_min_f32(
         &self,
         values: &OcelotColumn,
         groups: &GroupHandle<OcelotColumn>,
     ) -> OcelotColumn {
-        OcelotColumn {
-            col: aggregate::grouped_min_f32(
+        OcelotColumn::F32(
+            aggregate::grouped_min_f32(
                 &self.ctx,
-                &values.col,
-                &groups.gids.col,
+                &values.as_f32(),
+                &groups.gids.as_oid(),
                 groups.num_groups,
             )
             .expect("grouped min failed"),
-            kind: ColKind::F32,
-        }
+        )
     }
     fn grouped_max_f32(
         &self,
         values: &OcelotColumn,
         groups: &GroupHandle<OcelotColumn>,
     ) -> OcelotColumn {
-        OcelotColumn {
-            col: aggregate::grouped_max_f32(
+        OcelotColumn::F32(
+            aggregate::grouped_max_f32(
                 &self.ctx,
-                &values.col,
-                &groups.gids.col,
+                &values.as_f32(),
+                &groups.gids.as_oid(),
                 groups.num_groups,
             )
             .expect("grouped max failed"),
-            kind: ColKind::F32,
-        }
+        )
     }
     fn grouped_avg_f32(
         &self,
         values: &OcelotColumn,
         groups: &GroupHandle<OcelotColumn>,
     ) -> OcelotColumn {
-        OcelotColumn {
-            col: aggregate::grouped_avg_f32(
+        OcelotColumn::F32(
+            aggregate::grouped_avg_f32(
                 &self.ctx,
-                &values.col,
-                &groups.gids.col,
+                &values.as_f32(),
+                &groups.gids.as_oid(),
                 groups.num_groups,
             )
             .expect("grouped avg failed"),
-            kind: ColKind::F32,
-        }
+        )
+    }
+
+    fn sum_scalar_f32(&self, values: &OcelotColumn) -> OcelotColumn {
+        // The deferred path: the one-word result buffer becomes a one-element
+        // device column — no flush until someone reads it.
+        let scalar = aggregate::sum_f32(&self.ctx, &values.as_f32()).expect("sum failed");
+        OcelotColumn::F32(
+            DevColumn::new(scalar.buffer().clone(), 1).expect("scalar buffer holds one word"),
+        )
+    }
+
+    fn sync(&self) {
+        self.ctx.sync().expect("sync failed");
     }
 
     fn sum_f32(&self, values: &OcelotColumn) -> f32 {
-        aggregate::sum_f32(&self.ctx, &values.col).expect("sum failed")
+        let scalar = aggregate::sum_f32(&self.ctx, &values.as_f32()).expect("sum failed");
+        scalar.get(&self.ctx).expect("sum readback failed")
     }
     fn min_f32(&self, values: &OcelotColumn) -> f32 {
-        aggregate::min_f32(&self.ctx, &values.col).expect("min failed")
+        let scalar = aggregate::min_f32(&self.ctx, &values.as_f32()).expect("min failed");
+        scalar.get(&self.ctx).expect("min readback failed")
     }
     fn max_f32(&self, values: &OcelotColumn) -> f32 {
-        aggregate::max_f32(&self.ctx, &values.col).expect("max failed")
+        let scalar = aggregate::max_f32(&self.ctx, &values.as_f32()).expect("max failed");
+        scalar.get(&self.ctx).expect("max readback failed")
     }
     fn min_i32(&self, values: &OcelotColumn) -> i32 {
-        aggregate::min_i32(&self.ctx, &values.col).expect("min failed")
+        let scalar = aggregate::min_i32(&self.ctx, &values.as_i32()).expect("min failed");
+        scalar.get(&self.ctx).expect("min readback failed")
     }
     fn avg_f32(&self, values: &OcelotColumn) -> f32 {
-        aggregate::avg_f32(&self.ctx, &values.col).expect("avg failed").unwrap_or(0.0)
+        let scalar = aggregate::avg_f32(&self.ctx, &values.as_f32()).expect("avg failed");
+        scalar.get(&self.ctx).expect("avg readback failed")
     }
 
     fn sort_order_i32(&self, col: &OcelotColumn, descending: bool) -> OcelotColumn {
-        let result = sort_radix::sort_i32(&self.ctx, &col.col).expect("sort failed");
-        let mut order = self.ctx.download_u32(&result.order).expect("download failed");
+        let result = sort_radix::sort_i32(&self.ctx, &col.as_i32()).expect("sort failed");
         if descending {
+            // Reversal is a host boundary op (ORDER BY ... DESC feeds the
+            // result set); ascending orders stay device-resident.
+            let mut order = result.order.read(&self.ctx).expect("read failed");
             order.reverse();
+            self.lift_oids(order)
+        } else {
+            OcelotColumn::Oid(result.order)
         }
-        self.lift_oids(order)
     }
     fn sort_order_f32(&self, col: &OcelotColumn, descending: bool) -> OcelotColumn {
-        let result = sort_radix::sort_f32(&self.ctx, &col.col).expect("sort failed");
-        let mut order = self.ctx.download_u32(&result.order).expect("download failed");
+        let result = sort_radix::sort_f32(&self.ctx, &col.as_f32()).expect("sort failed");
         if descending {
+            let mut order = result.order.read(&self.ctx).expect("read failed");
             order.reverse();
+            self.lift_oids(order)
+        } else {
+            OcelotColumn::Oid(result.order)
         }
-        self.lift_oids(order)
     }
 
     fn begin_timing(&self) {
@@ -472,6 +527,36 @@ mod tests {
         let ms_second = reference.select_eq_i32(&ms_o, 3, Some(&ms_first));
 
         assert_eq!(backend.to_oids(&second), reference.to_oids(&ms_second));
+    }
+
+    #[test]
+    fn chained_candidate_pipeline_flushes_once() {
+        // select → candidate select → fetch → multiply → sum, driven through
+        // the Backend interface: exactly one queue flush, at the sum.
+        let backend = OcelotBackend::cpu();
+        let values: Vec<i32> = (0..20_000).map(|i| i % 50).collect();
+        let payload: Vec<f32> = (0..20_000).map(|i| i as f32 * 0.25).collect();
+        let v = backend.lift_i32(values.clone());
+        let p = backend.lift_f32(payload.clone());
+        let flushes = backend.context().queue().flush_count();
+        let sel = backend.select_range_i32(&v, 5, 30, None);
+        let narrowed = backend.select_range_i32(&v, 10, 20, Some(&sel));
+        let fetched = backend.fetch(&p, &narrowed);
+        let doubled = backend.mul_const_f32(&fetched, 2.0);
+        assert_eq!(
+            backend.context().queue().flush_count(),
+            flushes,
+            "pipeline must not flush before the read"
+        );
+        let total = backend.sum_f32(&doubled);
+        assert_eq!(backend.context().queue().flush_count(), flushes + 1);
+        let expected: f32 = values
+            .iter()
+            .zip(&payload)
+            .filter(|(v, _)| (10..=20).contains(*v))
+            .map(|(_, p)| p * 2.0)
+            .sum();
+        assert!((total - expected).abs() / expected.abs().max(1.0) < 1e-3, "{total} vs {expected}");
     }
 
     #[test]

@@ -156,14 +156,24 @@ pub enum MalValue {
 
 /// Executes a plan against a backend and returns the materialised result
 /// variables in the order the `result` instruction lists them.
+///
+/// Every instruction stays deferred on backends with lazy columns:
+/// reductions go through [`Backend::sum_scalar_f32`], so their results live
+/// in one-element device columns, and the events threading the pipeline
+/// only resolve at the `ocelot.sync` instruction (routed to
+/// [`Backend::sync`]) or at result materialisation — the ownership
+/// hand-back boundaries of the paper (§3.4).
 pub fn execute<B: Backend>(
     plan: &MalPlan,
     backend: &B,
     catalog: &Catalog,
 ) -> Result<Vec<MalValue>, String> {
+    /// A register value. Scalar aggregates live in one-element columns
+    /// (device-resident on lazy backends); carrying the kind in the value
+    /// makes reassignment impossible to desynchronise.
     enum Slot<C> {
         Column(C),
-        Scalar(f32),
+        ScalarColumn(C),
     }
     let mut registers: HashMap<Var, Slot<B::Column>> = HashMap::new();
     let mut results = Vec::new();
@@ -172,7 +182,7 @@ pub fn execute<B: Backend>(
         |registers: &HashMap<Var, Slot<B::Column>>, var: Var| -> Result<B::Column, String> {
             match registers.get(&var) {
                 Some(Slot::Column(c)) => Ok(c.clone()),
-                Some(Slot::Scalar(_)) => {
+                Some(Slot::ScalarColumn(_)) => {
                     Err(format!("variable {var} holds a scalar, expected a column"))
                 }
                 None => Err(format!("variable {var} is undefined")),
@@ -206,17 +216,27 @@ pub fn execute<B: Backend>(
             }
             MalInstr::SumF32 { values, out, .. } => {
                 let values = column(&registers, *values)?;
-                registers.insert(*out, Slot::Scalar(backend.sum_f32(&values)));
+                // Deferred: the sum stays a one-element device column until
+                // the sync/result boundary.
+                registers.insert(*out, Slot::ScalarColumn(backend.sum_scalar_f32(&values)));
             }
-            MalInstr::Sync { .. } => {
-                // Execution through the Backend trait synchronises implicitly
-                // when columns are materialised; the instruction documents
-                // the ownership boundary in the plan.
+            MalInstr::Sync { vars } => {
+                // The ownership hand-back: every event feeding `vars` (and
+                // anything else scheduled) completes here.
+                for var in vars {
+                    if !registers.contains_key(var) {
+                        return Err(format!("sync variable {var} is undefined"));
+                    }
+                }
+                backend.sync();
             }
             MalInstr::Result { vars } => {
                 for var in vars {
                     let value = match registers.get(var) {
-                        Some(Slot::Scalar(s)) => MalValue::Scalar(*s),
+                        Some(Slot::ScalarColumn(c)) => {
+                            let scalars = backend.to_f32(c);
+                            MalValue::Scalar(scalars.first().copied().unwrap_or(0.0))
+                        }
                         Some(Slot::Column(c)) => MalValue::FloatColumn(backend.to_f32(c)),
                         None => return Err(format!("result variable {var} is undefined")),
                     };
@@ -307,6 +327,18 @@ mod tests {
     }
 
     #[test]
+    fn ocelot_plan_is_lazy_until_sync() {
+        let catalog = catalog();
+        let plan = rewrite_for_ocelot(&example_plan("t", "a", "b", 10, 20));
+        let backend = OcelotBackend::cpu();
+        let before = backend.context().queue().flush_count();
+        let result = execute(&plan, &backend, &catalog).unwrap();
+        let after = backend.context().queue().flush_count();
+        assert_eq!(after, before + 1, "the whole plan flushes once, at ocelot.sync");
+        assert!(matches!(result[0], MalValue::Scalar(_)));
+    }
+
+    #[test]
     fn execution_errors_are_reported() {
         let catalog = catalog();
         let mut plan = MalPlan::new();
@@ -323,6 +355,45 @@ mod tests {
         plan.push(MalInstr::SumF32 { module: Module::Aggr, values: 42, out: 0 });
         let err = execute(&plan, &MonetSeqBackend::new(), &catalog).unwrap_err();
         assert!(err.contains("undefined"));
+    }
+
+    #[test]
+    fn scalar_results_cannot_feed_column_instructions() {
+        let catalog = catalog();
+        let mut plan = MalPlan::new();
+        plan.push(MalInstr::Bind {
+            module: Module::Bat,
+            table: "t".into(),
+            column: "b".into(),
+            out: 0,
+        })
+        .push(MalInstr::SumF32 { module: Module::Aggr, values: 0, out: 1 })
+        .push(MalInstr::MulF32 { module: Module::Batcalc, a: 1, b: 0, out: 2 })
+        .push(MalInstr::Result { vars: vec![2] });
+        let err = execute(&plan, &MonetSeqBackend::new(), &catalog).unwrap_err();
+        assert!(err.contains("holds a scalar"), "{err}");
+    }
+
+    #[test]
+    fn reassigned_scalar_vars_report_as_columns() {
+        let catalog = catalog();
+        let mut plan = MalPlan::new();
+        plan.push(MalInstr::Bind {
+            module: Module::Bat,
+            table: "t".into(),
+            column: "b".into(),
+            out: 0,
+        })
+        .push(MalInstr::SumF32 { module: Module::Aggr, values: 0, out: 1 })
+        // Variable 1 is overwritten by a column instruction; the result must
+        // be the full column, not a one-element scalar.
+        .push(MalInstr::MulF32 { module: Module::Batcalc, a: 0, b: 0, out: 1 })
+        .push(MalInstr::Result { vars: vec![1] });
+        let result = execute(&plan, &MonetSeqBackend::new(), &catalog).unwrap();
+        match &result[0] {
+            MalValue::FloatColumn(col) => assert_eq!(col.len(), 1_000),
+            other => panic!("expected a column, got {other:?}"),
+        }
     }
 
     #[test]

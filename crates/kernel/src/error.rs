@@ -40,6 +40,19 @@ pub enum KernelError {
         /// Number of 32-bit words the kernel needed.
         required: usize,
     },
+    /// A column handle declared more values than its backing buffer holds.
+    ///
+    /// Raised by `DevColumn::new` in `ocelot-core` when a (possibly
+    /// malformed) plan wraps a buffer with an overlong logical length, so
+    /// the error surfaces as a `Result` instead of a panic.
+    BufferTooShort {
+        /// Human-readable buffer label.
+        label: String,
+        /// Number of 32-bit words the buffer holds.
+        buffer_words: usize,
+        /// Number of values the column claimed.
+        column_len: usize,
+    },
     /// Generic invariant violation inside the runtime.
     Internal(String),
 }
@@ -60,6 +73,13 @@ impl fmt::Display for KernelError {
             }
             KernelError::BufferTooSmall { label, len, required } => {
                 write!(f, "buffer '{label}' holds {len} words but the kernel requires {required}")
+            }
+            KernelError::BufferTooShort { label, buffer_words, column_len } => {
+                write!(
+                    f,
+                    "buffer '{label}' holds {buffer_words} words but the column declared \
+                     {column_len} values"
+                )
             }
             KernelError::Internal(msg) => write!(f, "internal kernel runtime error: {msg}"),
         }

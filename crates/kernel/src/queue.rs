@@ -20,14 +20,38 @@ use crate::event::{EventId, EventKind, EventRegistry};
 use crate::kernel::Kernel;
 use crate::scheduling::LaunchConfig;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 enum PendingOp {
-    Kernel { kernel: Arc<dyn Kernel>, launch: LaunchConfig, wait: Vec<EventId>, event: EventId },
-    Write { buffer: Buffer, wait: Vec<EventId>, event: EventId },
-    Read { buffer: Buffer, wait: Vec<EventId>, event: EventId },
-    Marker { wait: Vec<EventId>, event: EventId },
+    Kernel {
+        kernel: Arc<dyn Kernel>,
+        launch: LaunchConfig,
+        wait: Vec<EventId>,
+        event: EventId,
+    },
+    Write {
+        /// Held to keep the buffer alive (and device-resident) until the
+        /// scheduled transfer has executed.
+        #[allow(dead_code)]
+        buffer: Buffer,
+        bytes: usize,
+        wait: Vec<EventId>,
+        event: EventId,
+    },
+    Read {
+        /// Held to keep the buffer alive (and device-resident) until the
+        /// scheduled transfer has executed.
+        #[allow(dead_code)]
+        buffer: Buffer,
+        bytes: usize,
+        wait: Vec<EventId>,
+        event: EventId,
+    },
+    Marker {
+        wait: Vec<EventId>,
+        event: EventId,
+    },
 }
 
 impl PendingOp {
@@ -115,6 +139,7 @@ pub struct Queue {
     profiling: AtomicBool,
     profiles: Mutex<Vec<KernelProfile>>,
     totals: Mutex<FlushStats>,
+    flushes: AtomicU64,
 }
 
 impl Queue {
@@ -126,6 +151,7 @@ impl Queue {
             profiling: AtomicBool::new(false),
             profiles: Mutex::new(Vec::new()),
             totals: Mutex::new(FlushStats::default()),
+            flushes: AtomicU64::new(0),
         }
     }
 
@@ -159,6 +185,16 @@ impl Queue {
         *self.totals.lock()
     }
 
+    /// Number of *effective* flushes so far: [`Queue::flush`] calls that
+    /// actually executed at least one pending operation. Calls on an empty
+    /// queue are not counted. This is the observability hook behind the
+    /// sync-boundary regression tests — a lazy pipeline that only
+    /// synchronises at its final `.get()`/`.read()` increments this exactly
+    /// once.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
     fn check_wait_list(&self, wait: &[EventId]) -> Result<()> {
         for id in wait {
             if !self.events.contains(*id) {
@@ -188,10 +224,24 @@ impl Queue {
     /// an event; on the simulated GPU it accounts PCIe transfer time and
     /// bytes.
     pub fn enqueue_write(&self, buffer: &Buffer, wait: &[EventId]) -> Result<EventId> {
+        self.enqueue_write_prefix(buffer, buffer.len(), wait)
+    }
+
+    /// Schedules a host-to-device transfer of the first `words` words of
+    /// `buffer` (like `clEnqueueWriteBuffer` with an explicit size). Uploads
+    /// into pool-class-rounded buffers use this so only the logical prefix
+    /// is charged, keeping the transfer accounting exact.
+    pub fn enqueue_write_prefix(
+        &self,
+        buffer: &Buffer,
+        words: usize,
+        wait: &[EventId],
+    ) -> Result<EventId> {
         self.check_wait_list(wait)?;
         let event = self.events.issue(EventKind::WriteBuffer);
         self.pending.lock().push(PendingOp::Write {
             buffer: buffer.clone(),
+            bytes: words.min(buffer.len()) * 4,
             wait: wait.to_vec(),
             event,
         });
@@ -200,10 +250,24 @@ impl Queue {
 
     /// Schedules a device-to-host transfer of `buffer`.
     pub fn enqueue_read(&self, buffer: &Buffer, wait: &[EventId]) -> Result<EventId> {
+        self.enqueue_read_prefix(buffer, buffer.len(), wait)
+    }
+
+    /// Schedules a device-to-host transfer of the first `words` words of
+    /// `buffer` (like `clEnqueueReadBuffer` with an explicit size). Deferred
+    /// readbacks use this so capacity-allocated columns are only charged for
+    /// their logical prefix — and one-word scalars for four bytes.
+    pub fn enqueue_read_prefix(
+        &self,
+        buffer: &Buffer,
+        words: usize,
+        wait: &[EventId],
+    ) -> Result<EventId> {
         self.check_wait_list(wait)?;
         let event = self.events.issue(EventKind::ReadBuffer);
         self.pending.lock().push(PendingOp::Read {
             buffer: buffer.clone(),
+            bytes: words.min(buffer.len()) * 4,
             wait: wait.to_vec(),
             event,
         });
@@ -223,6 +287,9 @@ impl Queue {
     /// statistics of this flush.
     pub fn flush(&self) -> Result<FlushStats> {
         let ops: Vec<PendingOp> = std::mem::take(&mut *self.pending.lock());
+        if !ops.is_empty() {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
         let mut stats = FlushStats::default();
         for op in ops {
             // Wait-list sanity: in-order execution means every dependency
@@ -252,22 +319,22 @@ impl Queue {
                         });
                     }
                 }
-                PendingOp::Write { buffer, .. } => {
-                    let ns = self.device.transfer_ns(buffer.bytes());
+                PendingOp::Write { bytes, .. } => {
+                    let ns = self.device.transfer_ns(bytes);
                     self.events.complete(event, 0, ns);
                     stats.transfers += 1;
                     stats.modeled_ns += ns;
                     if !self.device.is_unified() {
-                        stats.bytes_to_device += buffer.bytes() as u64;
+                        stats.bytes_to_device += bytes as u64;
                     }
                 }
-                PendingOp::Read { buffer, .. } => {
-                    let ns = self.device.transfer_ns(buffer.bytes());
+                PendingOp::Read { bytes, .. } => {
+                    let ns = self.device.transfer_ns(bytes);
                     self.events.complete(event, 0, ns);
                     stats.transfers += 1;
                     stats.modeled_ns += ns;
                     if !self.device.is_unified() {
-                        stats.bytes_from_device += buffer.bytes() as u64;
+                        stats.bytes_from_device += bytes as u64;
                     }
                 }
                 PendingOp::Marker { .. } => {
@@ -428,6 +495,25 @@ mod tests {
         }
         assert_eq!(queue.total_stats().kernels, 3);
         assert_eq!(buf.get_i32(0), 3);
+    }
+
+    #[test]
+    fn flush_count_ignores_empty_flushes() {
+        let device = Device::cpu_sequential();
+        let buf = device.alloc_from_i32(&[0; 8], "b").unwrap();
+        let queue = device.create_queue();
+        assert_eq!(queue.flush_count(), 0);
+        queue.flush().unwrap();
+        assert_eq!(queue.flush_count(), 0, "empty flush is not counted");
+        let launch = device.launch_config(8);
+        queue
+            .enqueue_kernel(Arc::new(Increment { buf: buf.clone() }), launch.clone(), &[])
+            .unwrap();
+        queue.enqueue_kernel(Arc::new(Increment { buf }), launch, &[]).unwrap();
+        queue.flush().unwrap();
+        assert_eq!(queue.flush_count(), 1, "one effective flush for two pending ops");
+        queue.flush().unwrap();
+        assert_eq!(queue.flush_count(), 1);
     }
 
     #[test]

@@ -148,6 +148,12 @@ fn q1<B: Backend>(b: &B, db: &TpchDb) -> QueryResult {
 }
 
 /// Q6 — forecasting revenue change: three selections and one product-sum.
+///
+/// Written against the deferred API: the candidate chain, fetches, multiply
+/// and sum all stay device-resident (each selection's cardinality is a
+/// device counter consumed by the next operator), so on the Ocelot backends
+/// the whole query performs exactly one queue flush — at the final `to_f32`
+/// that hands the revenue back to the host.
 fn q6<B: Backend>(b: &B, db: &TpchDb) -> QueryResult {
     let shipdate = b.bat(db.col("lineitem", "l_shipdate"));
     let in_year =
@@ -159,7 +165,8 @@ fn q6<B: Backend>(b: &B, db: &TpchDb) -> QueryResult {
 
     let price_sel = b.fetch(&b.bat(db.col("lineitem", "l_extendedprice")), &qualifying);
     let disc_sel = b.fetch(&discount, &qualifying);
-    let revenue = b.sum_f32(&b.mul_f32(&price_sel, &disc_sel));
+    let revenue_scalar = b.sum_scalar_f32(&b.mul_f32(&price_sel, &disc_sel));
+    let revenue = b.to_f32(&revenue_scalar).first().copied().unwrap_or(0.0);
 
     QueryResult { query: 6, columns: vec!["revenue".to_string()], rows: vec![vec![revenue as f64]] }
 }
@@ -194,6 +201,26 @@ mod tests {
                     "q{query} on {name} diverged:\n{result:?}\nvs reference\n{reference:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn q6_flushes_exactly_once_on_ocelot() {
+        // The paper's lazy-evaluation claim, end to end on a real query:
+        // three chained candidate selections, two fetches, a multiply and a
+        // sum reach the device in a single flush at the final readback.
+        let db = db();
+        for backend in [OcelotBackend::cpu(), OcelotBackend::cpu_sequential(), OcelotBackend::gpu()]
+        {
+            let before = backend.context().queue().flush_count();
+            let result = run_query(&backend, &db, 6).unwrap();
+            assert!(!result.rows.is_empty());
+            assert_eq!(
+                backend.context().queue().flush_count(),
+                before + 1,
+                "{}: q6 must sync exactly once",
+                backend.name()
+            );
         }
     }
 

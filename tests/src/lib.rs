@@ -1,1 +1,173 @@
-//! integration test helpers
+//! Cross-crate integration suites.
+//!
+//! The headline suite here is the **sync-boundary regression**: the deferred
+//! device-value API (`DevScalar<T>` / typed `DevColumn<T>`) promises that a
+//! chained operator pipeline enqueues everything and flushes the command
+//! queue exactly once, at the final `.get()`/`.read()`. These tests pin that
+//! contract with [`ocelot_kernel::Queue::flush_count`] and `FlushStats`
+//! across every Ocelot device, and property-test that deferred results equal
+//! eager host computations across all four evaluated backends.
+
+#[cfg(test)]
+mod sync_boundary {
+    use ocelot_core::ops::select;
+    use ocelot_core::primitives::{gather, reduce};
+    use ocelot_core::OcelotContext;
+
+    fn test_data() -> (Vec<i32>, Vec<f32>) {
+        let keys: Vec<i32> = (0..50_000).map(|i| (i * 37 + 11) % 1000).collect();
+        let payload: Vec<f32> = (0..50_000).map(|i| (i % 97) as f32 * 0.5).collect();
+        (keys, payload)
+    }
+
+    fn expected_sum(keys: &[i32], payload: &[f32]) -> f32 {
+        keys.iter().zip(payload).filter(|(k, _)| (100..=300).contains(*k)).map(|(_, p)| *p).sum()
+    }
+
+    /// The acceptance pipeline: select → scan (inside materialise) → gather
+    /// → sum, with exactly one queue flush at the final `.get()`.
+    fn run_pipeline(ctx: &OcelotContext) {
+        let (keys, payload) = test_data();
+        let k = ctx.upload_i32(&keys, "keys").unwrap();
+        let p = ctx.upload_f32(&payload, "payload").unwrap();
+        let flushes_before = ctx.queue().flush_count();
+        let stats_before = ctx.queue().total_stats();
+
+        let bitmap = select::select_range_i32(ctx, &k, 100, 300).unwrap();
+        let oids = select::materialize_bitmap(ctx, &bitmap).unwrap();
+        let fetched = gather::gather(ctx, &p, &oids).unwrap();
+        let total = reduce::sum_f32(ctx, &fetched).unwrap();
+        assert_eq!(
+            ctx.queue().flush_count(),
+            flushes_before,
+            "select→scan→gather→sum must not flush on {:?}",
+            ctx.device().info().kind
+        );
+        assert!(ctx.queue().pending_ops() > 0, "work must be enqueued, not executed");
+
+        let value = total.get(ctx).unwrap();
+        assert_eq!(
+            ctx.queue().flush_count(),
+            flushes_before + 1,
+            "exactly one flush, at the final .get(), on {:?}",
+            ctx.device().info().kind
+        );
+
+        let expected = expected_sum(&keys, &payload);
+        assert!((value - expected).abs() / expected.abs().max(1.0) < 1e-3, "{value} vs {expected}");
+
+        // FlushStats cross-check: the single flush executed the whole chain
+        // (select, count, 3 scan phases, write positions, gather, 2 reduce
+        // phases).
+        let delta_kernels = ctx.queue().total_stats().kernels - stats_before.kernels;
+        assert!(delta_kernels >= 7, "the chain's kernels all ran in the one flush");
+    }
+
+    #[test]
+    fn pipeline_flushes_once_on_all_ocelot_devices() {
+        for ctx in [OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()] {
+            run_pipeline(&ctx);
+        }
+    }
+
+    #[test]
+    fn gpu_reads_back_one_word_not_the_intermediates() {
+        // The deferred design's bandwidth win, in FlushStats terms: on the
+        // discrete device the only device→host transfer of the whole
+        // pipeline is the four-byte scalar readback.
+        let ctx = OcelotContext::gpu();
+        let (keys, payload) = test_data();
+        let k = ctx.upload_i32(&keys, "keys").unwrap();
+        let p = ctx.upload_f32(&payload, "payload").unwrap();
+        let before = ctx.queue().total_stats();
+        let bitmap = select::select_range_i32(&ctx, &k, 100, 300).unwrap();
+        let oids = select::materialize_bitmap(&ctx, &bitmap).unwrap();
+        let fetched = gather::gather(&ctx, &p, &oids).unwrap();
+        let total = reduce::sum_f32(&ctx, &fetched).unwrap();
+        let _ = total.get(&ctx).unwrap();
+        let delta = ctx.queue().total_stats().bytes_from_device - before.bytes_from_device;
+        assert_eq!(delta, 4, "only the one-word scalar crosses back to the host");
+    }
+}
+
+#[cfg(test)]
+mod deferred_vs_eager {
+    use ocelot_core::ops::select;
+    use ocelot_core::primitives::reduce;
+    use ocelot_core::OcelotContext;
+    use ocelot_engine::{Backend, MonetParBackend, MonetSeqBackend, OcelotBackend};
+    use proptest::collection;
+    use proptest::prelude::*;
+
+    fn ocelot_contexts() -> Vec<OcelotContext> {
+        vec![OcelotContext::cpu_sequential(), OcelotContext::cpu(), OcelotContext::gpu()]
+    }
+
+    fn check_backend<B: Backend>(backend: &B, values: &[f32], expected: (f32, f32, f32)) {
+        let col = backend.lift_f32(values.to_vec());
+        let sum = backend.sum_f32(&col);
+        prop_assert!(
+            (sum - expected.0).abs() / expected.0.abs().max(1.0) < 1e-3,
+            "{}: {} vs {}",
+            backend.name(),
+            sum,
+            expected.0
+        );
+        prop_assert_eq!(backend.min_f32(&col), expected.1, "{}", backend.name());
+        prop_assert_eq!(backend.max_f32(&col), expected.2, "{}", backend.name());
+        // The deferred one-element column path agrees bit-exactly with the
+        // eager scalar path of the same backend.
+        let deferred = backend.to_f32(&backend.sum_scalar_f32(&col));
+        prop_assert_eq!(deferred[0].to_bits(), sum.to_bits(), "{}", backend.name());
+    }
+
+    proptest! {
+        #[test]
+        fn devscalar_integer_reductions_equal_eager_readbacks(
+            values in collection::vec(-10_000i32..10_000, 1..400),
+        ) {
+            let sum: i32 = values.iter().fold(0i32, |a, v| a.wrapping_add(*v));
+            let min = *values.iter().min().unwrap();
+            let max = *values.iter().max().unwrap();
+            for ctx in ocelot_contexts() {
+                let col = ctx.upload_i32(&values, "v").unwrap();
+                prop_assert_eq!(reduce::sum_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), sum);
+                prop_assert_eq!(reduce::min_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), min);
+                prop_assert_eq!(reduce::max_i32(&ctx, &col).unwrap().get(&ctx).unwrap(), max);
+            }
+        }
+
+        #[test]
+        fn devscalar_selected_counts_equal_eager_readbacks(
+            values in collection::vec(0i32..100, 0..300),
+        ) {
+            let expected = values.iter().filter(|v| (25..=75).contains(*v)).count() as u32;
+            for ctx in ocelot_contexts() {
+                let col = ctx.upload_i32(&values, "v").unwrap();
+                let bitmap = select::select_range_i32(&ctx, &col, 25, 75).unwrap();
+                let count = select::selected_count(&ctx, &bitmap).unwrap();
+                prop_assert_eq!(count.get(&ctx).unwrap(), expected);
+                // Deferred lengths resolve to the same cardinality.
+                let oids = select::materialize_bitmap(&ctx, &bitmap).unwrap();
+                prop_assert_eq!(oids.len(&ctx).unwrap(), expected as usize);
+            }
+        }
+
+        #[test]
+        fn backend_aggregates_agree_across_all_four_backends(
+            raw in collection::vec(-500i32..500, 1..300),
+        ) {
+            let values: Vec<f32> = raw.iter().map(|v| *v as f32 * 0.25).collect();
+            let reference = MonetSeqBackend::new();
+            let expected = (
+                reference.sum_f32(&reference.lift_f32(values.clone())),
+                reference.min_f32(&reference.lift_f32(values.clone())),
+                reference.max_f32(&reference.lift_f32(values.clone())),
+            );
+            check_backend(&MonetParBackend::new(), &values, expected);
+            check_backend(&OcelotBackend::cpu(), &values, expected);
+            check_backend(&OcelotBackend::cpu_sequential(), &values, expected);
+            check_backend(&OcelotBackend::gpu(), &values, expected);
+        }
+    }
+}
