@@ -1,0 +1,29 @@
+//! Emits `BENCH_pr3.json`: the PR 3 session/scheduler benchmark —
+//! concurrently admitted query sessions vs the run-to-completion serial
+//! baseline (modeled GPU timeline), plus pooled-vs-cold session streams on
+//! the CPU (wall-clock, cross-context buffer recycling).
+//!
+//! Usage: `cargo run --release --bin bench_pr3 [-- --smoke] [output-path]`
+//!
+//! `--smoke` runs a reduced configuration (small scale factor, few rounds)
+//! for CI, still exercising the scheduler and the shared pool end-to-end
+//! and writing the report.
+
+use ocelot_bench::harness::Report;
+use ocelot_bench::sessions;
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "BENCH_pr3.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = arg;
+        }
+    }
+    let mut report = Report::new();
+    sessions::bench_all(&mut report, smoke);
+    report.write_json(&path).expect("failed to write benchmark report");
+    println!("wrote {path}");
+}

@@ -131,6 +131,14 @@ impl Report {
         ratio
     }
 
+    /// Records an arbitrary labelled scalar (hit counts, modeled makespans)
+    /// alongside the ratios — the JSON `speedups` map is a generic
+    /// label→value map and drivers read both through it.
+    pub fn scalar(&mut self, label: &str, value: f64) {
+        println!("{label:<40} {value:>36.3}");
+        self.speedups.push((label.to_string(), value));
+    }
+
     /// Serialises the report as a JSON object (no external dependencies).
     pub fn to_json(&self) -> String {
         fn esc(s: &str) -> String {

@@ -7,3 +7,4 @@
 pub mod access_path;
 pub mod deferred;
 pub mod harness;
+pub mod sessions;

@@ -1,0 +1,252 @@
+//! PR 3 concurrency benchmark: multi-query sessions through the scheduler
+//! vs a run-to-completion serial baseline, plus the cross-context
+//! buffer-pool effect. Emits the figures behind `BENCH_pr3.json`.
+//!
+//! Two experiments:
+//!
+//! * **Modeled overlap on the discrete GPU** (`sessions_gpu/*`) — the
+//!   workload is a Q3-heavy mix of TPC-H Q3 (hash builds, group count and
+//!   sort schedule: several *interior* host-resolve points per query — the
+//!   overlap opportunities) and Q6 (single tail flush), three Q3 per Q6,
+//!   one session per query on a shared simulated GPU. The
+//!   scheduler's [`StepTrace`] attributes every node's time to *host*
+//!   (enqueue work, plan stepping, result decode — wall-clock minus the
+//!   simulation's kernel-execution stand-in) or *device* (modeled kernel +
+//!   PCIe nanoseconds). The traces are replayed through a two-resource
+//!   timeline (one host, one device; a flush blocks its own query only):
+//!   serial admission (`in_flight = 1`) leaves the device idle during every
+//!   host segment, concurrent admission overlaps one query's host-resolve
+//!   points with other queries' device work — the throughput delta is the
+//!   scheduler's contribution, in the same modeled-time convention the
+//!   repo's GPU figures already use.
+//! * **Wall-clock pooled vs cold session streams on the CPU**
+//!   (`sessions_cpu/*`) — the same stream of Q6 sessions on one physical
+//!   device, once allocating through the warm shared pool and once through
+//!   a fresh empty pool per query (same device, same thread pool — only
+//!   the pool differs), paired interleaved sampling. Isolates the
+//!   allocation/page-fault savings of cross-context recycling.
+
+use crate::harness::{measure_pair, Measurement, Report};
+use ocelot_core::SharedDevice;
+use ocelot_engine::scheduler::{DeviceClock, StepTrace};
+use ocelot_engine::{OcelotBackend, Plan, QueryJob, Scheduler, Session};
+use ocelot_tpch::{q3_plan, q6_plan, TpchConfig, TpchDb};
+use std::hint::black_box;
+
+/// Run-to-completion semantics: one query at a time, the host idles during
+/// its flushes and the device idles during its host segments, so the
+/// makespan is the plain sum of every segment.
+fn serial_ns(traces: &[StepTrace]) -> u64 {
+    traces.iter().map(|t| t.host_ns + t.device_ns).sum()
+}
+
+/// Replays a scheduler trace on a two-resource timeline: one host (executes
+/// steps in trace order), one device (executes flush segments in order). A
+/// device segment blocks only the query that flushed; the host meanwhile
+/// proceeds with other queries' steps — exactly the overlap the scheduler's
+/// round-robin admission produces. Returns the makespan in nanoseconds.
+fn overlapped_ns(traces: &[StepTrace], jobs: usize) -> u64 {
+    let mut host_free = 0u64;
+    let mut device_free = 0u64;
+    let mut job_ready = vec![0u64; jobs];
+    let mut end = 0u64;
+    for trace in traces {
+        let start = host_free.max(job_ready[trace.job]);
+        let host_done = start + trace.host_ns;
+        host_free = host_done;
+        let job_done = if trace.device_ns > 0 {
+            let device_start = host_done.max(device_free);
+            device_free = device_start + trace.device_ns;
+            device_free
+        } else {
+            host_done
+        };
+        job_ready[trace.job] = job_done;
+        end = end.max(job_done);
+    }
+    end
+}
+
+fn probe(backend: &OcelotBackend) -> DeviceClock {
+    let stats = backend.context().queue().total_stats();
+    DeviceClock { kernel_host_ns: stats.host_ns, modeled_ns: stats.modeled_ns }
+}
+
+/// One admission run of the query mix: fresh sessions on a fresh shared
+/// GPU, all plans admitted with the given cap. Returns the step traces and
+/// the shared device (for pool statistics).
+fn run_mix(db: &TpchDb, plans: &[&Plan], in_flight: usize) -> (Vec<StepTrace>, SharedDevice) {
+    let shared = SharedDevice::gpu();
+    let sessions: Vec<Session<OcelotBackend>> =
+        plans.iter().map(|_| Session::ocelot(&shared)).collect();
+    let jobs: Vec<QueryJob<'_, OcelotBackend>> = plans
+        .iter()
+        .zip(&sessions)
+        .map(|(plan, session)| QueryJob { session, plan, catalog: db.catalog() })
+        .collect();
+    let (results, traces) = Scheduler::new().with_in_flight(in_flight).run_traced(&jobs, probe);
+    for result in &results {
+        assert!(result.is_ok(), "benchmark query failed: {result:?}");
+    }
+    black_box(&results);
+    (traces, shared)
+}
+
+/// The modeled GPU overlap experiment (see module docs). `num_sessions`
+/// queries stream through an admission window of `in_flight` — a window
+/// smaller than the stream is what creates the overlap: while an admitted
+/// query's flush occupies the device, the host runs enqueue work of its
+/// window peers and of freshly admitted successors.
+pub fn bench_gpu_overlap(
+    report: &mut Report,
+    db: &TpchDb,
+    num_sessions: usize,
+    in_flight: usize,
+    rounds: usize,
+) {
+    let q3 = q3_plan(db).expect("q3 plan");
+    let q6 = q6_plan(db).expect("q6 plan");
+    let plans: Vec<&Plan> = (0..num_sessions).map(|i| if i % 4 != 3 { &q3 } else { &q6 }).collect();
+    let elements = db.lineitem_rows() * num_sessions;
+
+    let mut serial: Vec<u64> = Vec::new();
+    let mut concurrent: Vec<u64> = Vec::new();
+    let mut cross_hits = 0u64;
+    let mut host_share = 0.0;
+    for _ in 0..rounds.max(1) {
+        let serial_traces = run_mix(db, &plans, 1).0;
+        serial.push(serial_ns(&serial_traces));
+        let host: u64 = serial_traces.iter().map(|t| t.host_ns).sum();
+        host_share = host as f64 / serial.last().copied().unwrap_or(1).max(1) as f64;
+        let (traces, shared) = run_mix(db, &plans, in_flight);
+        concurrent.push(overlapped_ns(&traces, plans.len()));
+        cross_hits = cross_hits.max(shared.pool().stats().cross_context_hits);
+        if std::env::var_os("BENCH_PR3_DEBUG").is_some() {
+            let h: u64 = traces.iter().map(|t| t.host_ns).sum();
+            let d: u64 = traces.iter().map(|t| t.device_ns).sum();
+            let sh: u64 = serial_traces.iter().map(|t| t.host_ns).sum();
+            let sd: u64 = serial_traces.iter().map(|t| t.device_ns).sum();
+            eprintln!(
+                "serial H={sh} D={sd} sum={} overlap_model={} | conc H={h} D={d} sum={} overlap={}",
+                serial_ns(&serial_traces),
+                overlapped_ns(&serial_traces, plans.len()),
+                serial_ns(&traces),
+                overlapped_ns(&traces, plans.len()),
+            );
+        }
+    }
+    serial.sort_unstable();
+    concurrent.sort_unstable();
+    let to_measurement = |name: &str, times: &[u64]| Measurement {
+        name: name.to_string(),
+        elements,
+        min_ns: times[0].max(1),
+        median_ns: times[times.len() / 2].max(1),
+        meps: elements as f64 / (times[0].max(1) as f64 / 1e9) / 1e6,
+    };
+    report.push(to_measurement("sessions_gpu/serial", &serial));
+    report.push(to_measurement("sessions_gpu/concurrent", &concurrent));
+    report.speedup(
+        "sessions_gpu_concurrent_over_serial",
+        "sessions_gpu/concurrent",
+        "sessions_gpu/serial",
+    );
+    report.scalar("sessions_gpu/pool_cross_context_hits", cross_hits as f64);
+    report.scalar("sessions_gpu/serial_host_time_share", host_share);
+}
+
+/// The wall-clock pooled-vs-cold CPU experiment (see module docs).
+pub fn bench_cpu_pooling(
+    report: &mut Report,
+    db: &TpchDb,
+    stream_len: usize,
+    warmup: usize,
+    samples: usize,
+) {
+    let plan = q6_plan(db).expect("q6 plan");
+    let elements = db.lineitem_rows() * stream_len;
+    // Both streams run on the SAME physical device (same thread pool, same
+    // memory accountant) so the comparison isolates exactly one variable:
+    // the pooled server keeps one shared pool warm across the whole
+    // stream, while each cold query gets a fresh, empty pool.
+    let warm = SharedDevice::cpu();
+    let (pooled, cold) = measure_pair(
+        "sessions_cpu/pooled-stream",
+        "sessions_cpu/cold-stream",
+        elements,
+        warmup,
+        samples,
+        || {
+            (0..stream_len)
+                .map(|_| {
+                    let session = Session::ocelot(&warm);
+                    session.run(&plan, db.catalog()).unwrap().len()
+                })
+                .sum::<usize>()
+        },
+        || {
+            (0..stream_len)
+                .map(|_| {
+                    let cold = SharedDevice::with_device(warm.device().clone());
+                    let session = Session::ocelot(&cold);
+                    session.run(&plan, db.catalog()).unwrap().len()
+                })
+                .sum::<usize>()
+        },
+    );
+    report.push(pooled);
+    report.push(cold);
+    report.speedup(
+        "sessions_cpu_pooled_over_cold",
+        "sessions_cpu/pooled-stream",
+        "sessions_cpu/cold-stream",
+    );
+    report.scalar(
+        "sessions_cpu/pool_cross_context_hits",
+        warm.pool().stats().cross_context_hits as f64,
+    );
+}
+
+/// Runs both experiments at benchmark or smoke scale.
+pub fn bench_all(report: &mut Report, smoke: bool) {
+    let (scale_factor, num_sessions, in_flight, rounds) =
+        if smoke { (0.002, 4, 2, 2) } else { (0.01, 8, 3, 5) };
+    let (stream_len, warmup, samples) = if smoke { (3, 1, 3) } else { (4, 2, 9) };
+    let db = TpchDb::generate(TpchConfig { scale_factor, seed: 37 });
+    bench_gpu_overlap(report, &db, num_sessions, in_flight, rounds);
+    bench_cpu_pooling(report, &db, stream_len, warmup, samples);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_model_overlaps_host_and_device() {
+        // Two jobs, each one step of 10 host + 100 device. Run to
+        // completion: 220 — nothing overlaps. Concurrently admitted, job
+        // 1's host segment (t=10..20) hides inside job 0's device segment
+        // (t=10..110) and its own device work queues behind it: 110..210.
+        let traces = [
+            StepTrace { job: 0, node: 0, host_ns: 10, device_ns: 100 },
+            StepTrace { job: 1, node: 0, host_ns: 10, device_ns: 100 },
+        ];
+        assert_eq!(serial_ns(&traces), 220);
+        assert_eq!(overlapped_ns(&traces, 2), 210);
+        // A query's own later steps wait for its flush: no self-overlap.
+        let chained = [
+            StepTrace { job: 0, node: 0, host_ns: 10, device_ns: 100 },
+            StepTrace { job: 0, node: 1, host_ns: 10, device_ns: 0 },
+        ];
+        assert_eq!(overlapped_ns(&chained, 1), 120);
+    }
+
+    #[test]
+    fn smoke_benchmark_produces_a_speedup_entry() {
+        let mut report = Report::new();
+        let db = TpchDb::generate(TpchConfig { scale_factor: 0.002, seed: 37 });
+        bench_gpu_overlap(&mut report, &db, 4, 2, 1);
+        let json = report.to_json();
+        assert!(json.contains("sessions_gpu_concurrent_over_serial"));
+    }
+}

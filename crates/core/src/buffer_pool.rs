@@ -1,0 +1,235 @@
+//! A result-buffer recycle pool that can be **shared across contexts**.
+//!
+//! PR 2 taught the Memory Manager to recycle result buffers by power-of-two
+//! size class; that pool lived inside one `MemoryManager`, so a second
+//! context on the same device (another query session) could never reuse the
+//! first one's buffers. This module lifts the pool out into a standalone,
+//! `Arc`-shareable [`BufferPool`]: every context created from the same
+//! [`crate::SharedDevice`] allocates through the same pool, so a query that
+//! finishes donates its intermediates to whichever session allocates next —
+//! the "reuse across contexts" ROADMAP item.
+//!
+//! # Protocol
+//!
+//! The pool *retains* every class-sized allocation at allocation time and
+//! hands out **clones**: a pooled buffer is reusable exactly when the pool's
+//! handle is the only one left (`handle_count() == 1`), because operator
+//! handles and pending queue operations all hold clones. Acquisition happens
+//! under the pool lock, so two sessions racing for the same idle buffer
+//! cannot both get it — the second one observes `handle_count() == 2` and
+//! allocates (or reuses another entry) instead.
+//!
+//! Cross-context safety of the *contents* follows from the same invariant:
+//! a buffer only becomes idle once every pending queue operation that
+//! references it has executed (the in-order queues drop their clones at
+//! flush), so an acquiring session never observes half-written words from
+//! the donating session.
+//!
+//! Each [`MemoryManager`](crate::memory_manager::MemoryManager) registers as
+//! a *client* and passes its client id on acquisition; the pool counts hits
+//! where the previous owner was a different client as
+//! [`PoolStats::cross_context_hits`] — the observability hook behind the
+//! cross-session reuse regression tests and `BENCH_pr3.json`.
+
+use ocelot_kernel::Buffer;
+use parking_lot::Mutex;
+
+/// Statistics of a (possibly shared) buffer pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from the pool.
+    pub hits: u64,
+    /// Subset of `hits` where the buffer's previous owner was a *different*
+    /// client (another context/session) — cross-context reuse.
+    pub cross_context_hits: u64,
+    /// Pool-eligible acquisitions that found no idle buffer of the class.
+    pub misses: u64,
+}
+
+/// Result buffers below this size are not pooled: small allocations are
+/// cheap for the system allocator, and pooling them would churn the pool.
+pub const MIN_POOLED_WORDS: usize = 1 << 12;
+
+/// Maximum number of buffers retained for recycling.
+const POOL_CAP: usize = 32;
+
+/// The size class a pooled request is rounded up to: the next power of two.
+/// At most 2x overallocation buys cross-size reuse (a 5 000-word column and
+/// a 6 000-word column share the 8 192-word class). Callers see the class
+/// size through `Buffer::len()`; logical lengths live in `DevColumn`.
+pub fn recycle_class(words: usize) -> usize {
+    words.next_power_of_two()
+}
+
+struct PoolEntry {
+    buffer: Buffer,
+    /// Client id of the last acquirer (or donor) — used to classify hits as
+    /// same- or cross-context.
+    owner: u64,
+}
+
+#[derive(Default)]
+struct PoolState {
+    entries: Vec<PoolEntry>,
+    stats: PoolStats,
+    next_client: u64,
+}
+
+/// A shareable pool of idle, class-sized result buffers (see module docs).
+#[derive(Default)]
+pub struct BufferPool {
+    state: Mutex<PoolState>,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Registers a pool client (one per `MemoryManager`). The returned id is
+    /// only used to attribute hits to same- vs cross-context reuse.
+    pub fn register_client(&self) -> u64 {
+        let mut state = self.state.lock();
+        state.next_client += 1;
+        state.next_client
+    }
+
+    /// Returns an idle pooled buffer of exactly `class_words` words, if one
+    /// exists. The buffer stays in the pool; the caller receives a clone
+    /// (see module docs for why that is the reuse guard).
+    pub fn acquire(&self, class_words: usize, client: u64) -> Option<Buffer> {
+        let mut state = self.state.lock();
+        let found = state
+            .entries
+            .iter()
+            .position(|e| e.buffer.len() == class_words && e.buffer.handle_count() == 1);
+        match found {
+            Some(pos) => {
+                let cross = state.entries[pos].owner != client;
+                state.entries[pos].owner = client;
+                state.stats.hits += 1;
+                if cross {
+                    state.stats.cross_context_hits += 1;
+                }
+                Some(state.entries[pos].buffer.clone())
+            }
+            None => {
+                state.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admits a freshly allocated class-sized buffer into the pool (the
+    /// caller keeps its own handle). When the pool is full an idle entry is
+    /// retired in preference to a still-live one.
+    pub fn admit(&self, buffer: Buffer, client: u64) {
+        let mut state = self.state.lock();
+        if state.entries.len() >= POOL_CAP {
+            let pos = state.entries.iter().position(|e| e.buffer.handle_count() == 1).unwrap_or(0);
+            state.entries.remove(pos);
+        }
+        state.entries.push(PoolEntry { buffer, owner: client });
+    }
+
+    /// Drops one idle entry to give device memory back (the Memory Manager's
+    /// cheapest eviction move). Returns whether an entry was released.
+    pub fn release_one_idle(&self) -> bool {
+        let mut state = self.state.lock();
+        match state.entries.iter().position(|e| e.buffer.handle_count() == 1) {
+            Some(pos) => {
+                state.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Empties the pool (used between benchmark configurations). Buffers
+    /// still held elsewhere stay alive through their other handles.
+    pub fn clear(&self) {
+        self.state.lock().entries.clear();
+    }
+
+    /// Number of buffers currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// Whether the pool holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.state.lock().stats
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("BufferPool")
+            .field("entries", &state.entries.len())
+            .field("stats", &state.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_kernel::Device;
+
+    #[test]
+    fn acquire_hits_only_idle_buffers_of_the_class() {
+        let device = Device::cpu_sequential();
+        let pool = BufferPool::new();
+        let client = pool.register_client();
+        let buffer = device.alloc(8_192, "a").unwrap();
+        pool.admit(buffer.clone(), client);
+        // Still held by `buffer` — not idle, not acquirable.
+        assert!(pool.acquire(8_192, client).is_none());
+        drop(buffer);
+        assert!(pool.acquire(4_096, client).is_none(), "class must match exactly");
+        let reused = pool.acquire(8_192, client).expect("idle buffer is acquirable");
+        // Held by the acquirer now: a second acquire misses.
+        assert!(pool.acquire(8_192, client).is_none());
+        drop(reused);
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn cross_context_hits_are_attributed() {
+        let device = Device::cpu_sequential();
+        let pool = BufferPool::new();
+        let a = pool.register_client();
+        let b = pool.register_client();
+        pool.admit(device.alloc(4_096, "x").unwrap(), a);
+        let first = pool.acquire(4_096, b).expect("hit");
+        drop(first);
+        // Same client again: a hit, but not a cross-context one.
+        drop(pool.acquire(4_096, b).expect("hit"));
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.cross_context_hits, 1);
+    }
+
+    #[test]
+    fn admit_retires_idle_entries_when_full() {
+        let device = Device::cpu_sequential();
+        let pool = BufferPool::new();
+        let client = pool.register_client();
+        for i in 0..40 {
+            pool.admit(device.alloc(4_096, &format!("b{i}")).unwrap(), client);
+        }
+        assert!(pool.len() <= 32 + 1, "pool stays bounded");
+        assert!(pool.release_one_idle());
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+}

@@ -35,6 +35,7 @@
 //! total instead of allocating the worst case). Each resolves via the same
 //! `.get()` path and is a deliberate, visible sync point.
 
+use crate::buffer_pool::BufferPool;
 use crate::memory_manager::MemoryManager;
 use ocelot_kernel::{Buffer, Device, EventId, GpuConfig, KernelError, LaunchConfig, Queue, Result};
 use std::marker::PhantomData;
@@ -416,8 +417,17 @@ impl OcelotContext {
 
     /// Context on an arbitrary device.
     pub fn with_device(device: Device) -> OcelotContext {
+        Self::with_device_and_pool(device, Arc::new(BufferPool::new()))
+    }
+
+    /// Context on an arbitrary device whose result buffers recycle through a
+    /// **shared** pool — the construction [`SharedDevice`] uses so several
+    /// contexts (query sessions) on one device reuse each other's finished
+    /// intermediates. The context still gets its own command queue: flushes
+    /// of one session never execute another session's work.
+    pub fn with_device_and_pool(device: Device, pool: Arc<BufferPool>) -> OcelotContext {
         let queue = Arc::new(device.create_queue());
-        let memory = MemoryManager::new(device.clone(), Arc::clone(&queue));
+        let memory = MemoryManager::with_pool(device.clone(), Arc::clone(&queue), pool);
         OcelotContext { device, queue, memory }
     }
 
@@ -429,6 +439,12 @@ impl OcelotContext {
     /// The lazily evaluated command queue.
     pub fn queue(&self) -> &Queue {
         &self.queue
+    }
+
+    /// An owned handle to the command queue (shareable with a scheduler
+    /// that observes or drains sessions from another thread).
+    pub fn shared_queue(&self) -> Arc<Queue> {
+        Arc::clone(&self.queue)
     }
 
     /// The Memory Manager.
@@ -549,6 +565,74 @@ impl std::fmt::Debug for OcelotContext {
     }
 }
 
+/// One physical device plus the buffer pool its sessions share.
+///
+/// A [`SharedDevice`] is the factory for *session contexts*: every
+/// [`SharedDevice::context`] call produces a fresh [`OcelotContext`] with
+/// its **own** command queue and Memory Manager (so per-session flush
+/// accounting and event bookkeeping stay independent) but a **shared**
+/// [`BufferPool`] and the same underlying device memory accountant. This is
+/// the cross-context reuse point the ROADMAP left open after PR 2: result
+/// buffers released by one session's finished query serve the allocations
+/// of the next, whichever context it runs in.
+#[derive(Clone)]
+pub struct SharedDevice {
+    device: Device,
+    pool: Arc<BufferPool>,
+}
+
+impl SharedDevice {
+    /// Shared multi-core CPU device.
+    pub fn cpu() -> SharedDevice {
+        Self::with_device(Device::cpu_multicore())
+    }
+
+    /// Shared sequential CPU device (deterministic baseline).
+    pub fn cpu_sequential() -> SharedDevice {
+        Self::with_device(Device::cpu_sequential())
+    }
+
+    /// Shared simulated discrete GPU with default parameters.
+    pub fn gpu() -> SharedDevice {
+        Self::with_device(Device::simulated_gpu(GpuConfig::default()))
+    }
+
+    /// Shared simulated GPU with an explicit configuration.
+    pub fn gpu_with(config: GpuConfig) -> SharedDevice {
+        Self::with_device(Device::simulated_gpu(config))
+    }
+
+    /// Wraps an arbitrary device with a fresh shared pool.
+    pub fn with_device(device: Device) -> SharedDevice {
+        SharedDevice { device, pool: Arc::new(BufferPool::new()) }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The pool every session context of this device allocates through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Creates a session context: own queue and Memory Manager, shared
+    /// buffer pool and device memory.
+    pub fn context(&self) -> OcelotContext {
+        OcelotContext::with_device_and_pool(self.device.clone(), Arc::clone(&self.pool))
+    }
+}
+
+impl std::fmt::Debug for SharedDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedDevice")
+            .field("device", self.device.info())
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +722,24 @@ mod tests {
         assert!(ctx.queue().pending_ops() > 0);
         ctx.sync().unwrap();
         assert_eq!(ctx.queue().pending_ops(), 0);
+    }
+
+    #[test]
+    fn shared_device_contexts_share_the_pool_but_not_queues() {
+        let shared = SharedDevice::cpu_sequential();
+        let a = shared.context();
+        let b = shared.context();
+        // Queues are per-session: enqueueing in one leaves the other empty.
+        let data = vec![7; 20_000];
+        let col = a.upload_i32(&data, "a_data").unwrap();
+        assert!(a.queue().pending_ops() > 0);
+        assert_eq!(b.queue().pending_ops(), 0);
+        assert_eq!(col.read(&a).unwrap().len(), 20_000);
+        // The pool is shared: b's same-class allocation reuses a's buffer.
+        drop(col);
+        let reused = b.alloc(20_000, "b_data").unwrap();
+        drop(reused);
+        assert!(shared.pool().stats().cross_context_hits > 0);
     }
 
     #[test]

@@ -42,11 +42,15 @@
 //! assert_eq!(oids.read(&ctx).unwrap(), vec![0, 3, 4, 5]);
 //! ```
 
+pub mod buffer_pool;
 pub mod context;
 pub mod memory_manager;
 pub mod ops;
 pub mod primitives;
 
-pub use context::{ColLen, DevColumn, DevScalar, DevWord, LenSource, OcelotContext, Oid};
+pub use buffer_pool::{BufferPool, PoolStats};
+pub use context::{
+    ColLen, DevColumn, DevScalar, DevWord, LenSource, OcelotContext, Oid, SharedDevice,
+};
 pub use memory_manager::{MemoryManager, MemoryStats};
 pub use primitives::bitmap::Bitmap;

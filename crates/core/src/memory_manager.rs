@@ -25,16 +25,15 @@
 //! * **Result-buffer recycling** — operators allocate a fresh result buffer
 //!   per call; without pooling every large allocation is served by fresh
 //!   zero pages whose page-in cost lands on the first kernel that touches
-//!   them. The manager keeps a small pool of released result buffers and
-//!   hands them back (re-zeroed, which is far cheaper than faulting new
-//!   pages). Pooled requests are rounded up to **power-of-two size
-//!   classes**, so mixed workloads whose intermediate sizes vary (different
-//!   selectivities, group counts, join cardinalities) still hit the pool —
-//!   a buffer serves any request that rounds to its class, not just an
-//!   exact-word-count twin. A buffer is reusable once its only remaining
-//!   handle is the pool's — operator handles and pending queue operations
-//!   all hold clones, so `handle_count() == 1` proves the buffer is idle.
+//!   them. Recycling is delegated to a [`BufferPool`] (power-of-two size
+//!   classes, idle-when-`handle_count() == 1` reuse guard — see
+//!   `crate::buffer_pool` for the full protocol). Since PR 3 the pool is a
+//!   standalone, `Arc`-shared object: managers created from the same
+//!   [`crate::SharedDevice`] recycle buffers **across contexts**, so one
+//!   query session's finished intermediates serve the next session's
+//!   allocations.
 
+use crate::buffer_pool::{recycle_class, BufferPool, MIN_POOLED_WORDS};
 use crate::ops::hash_table::OcelotHashTable;
 use ocelot_kernel::{Buffer, Device, EventId, HostCopy, KernelError, Queue, Result};
 use ocelot_storage::BatRef;
@@ -58,22 +57,10 @@ pub struct MemoryStats {
     pub bytes_offloaded: u64,
     /// Hash-table cache hits.
     pub hash_cache_hits: u64,
-    /// Result-buffer allocations served from the recycle pool.
+    /// Result-buffer allocations served from the recycle pool (this
+    /// manager's hits only; the shared pool's own [`BufferPool::stats`]
+    /// additionally distinguishes cross-context hits).
     pub recycle_hits: u64,
-}
-
-/// Result buffers below this size are not pooled: small allocations are
-/// cheap for the system allocator, and pooling them would churn the pool.
-const RECYCLE_MIN_WORDS: usize = 1 << 12;
-/// Maximum number of buffers retained for recycling.
-const RECYCLE_POOL_CAP: usize = 32;
-
-/// The size class a pooled request is rounded up to: the next power of two.
-/// At most 2x overallocation buys cross-size reuse (a 5 000-word column and
-/// a 6 000-word column share the 8 192-word class). Callers see the class
-/// size through `Buffer::len()`; logical lengths live in `DevColumn`.
-fn recycle_class(words: usize) -> usize {
-    words.next_power_of_two()
 }
 
 struct CacheEntry {
@@ -100,14 +87,16 @@ struct State {
     events: HashMap<u64, EventEntry>,
     hash_tables: HashMap<usize, Arc<OcelotHashTable>>,
     offloaded: HashMap<u64, HostCopy>,
-    /// Retained result buffers, oldest first (see module docs).
-    recycle_pool: Vec<Buffer>,
 }
 
-/// The Memory Manager. One instance per [`crate::OcelotContext`].
+/// The Memory Manager. One instance per [`crate::OcelotContext`]; the
+/// recycle pool it allocates through may be shared with other managers on
+/// the same device (see [`MemoryManager::with_pool`]).
 pub struct MemoryManager {
     device: Device,
     queue: Arc<Queue>,
+    pool: Arc<BufferPool>,
+    pool_client: u64,
     state: Mutex<State>,
 }
 
@@ -117,11 +106,22 @@ fn bat_key(bat: &BatRef) -> usize {
 }
 
 impl MemoryManager {
-    /// Creates a Memory Manager for the given device and queue.
+    /// Creates a Memory Manager with a private recycle pool.
     pub fn new(device: Device, queue: Arc<Queue>) -> MemoryManager {
+        Self::with_pool(device, queue, Arc::new(BufferPool::new()))
+    }
+
+    /// Creates a Memory Manager that recycles result buffers through a
+    /// shared [`BufferPool`] — the cross-context construction used by
+    /// [`crate::SharedDevice`]. The pool must belong to the same device:
+    /// pooled buffers are handed straight to kernels on this queue.
+    pub fn with_pool(device: Device, queue: Arc<Queue>, pool: Arc<BufferPool>) -> MemoryManager {
+        let pool_client = pool.register_client();
         MemoryManager {
             device,
             queue,
+            pool,
+            pool_client,
             state: Mutex::new(State {
                 cache: HashMap::new(),
                 clock: 0,
@@ -129,9 +129,13 @@ impl MemoryManager {
                 events: HashMap::new(),
                 hash_tables: HashMap::new(),
                 offloaded: HashMap::new(),
-                recycle_pool: Vec::new(),
             }),
         }
+    }
+
+    /// The (possibly shared) result-buffer recycle pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// Current statistics snapshot.
@@ -220,47 +224,23 @@ impl MemoryManager {
     /// Returns `(buffer, came_from_pool)`. Pooled requests are served and
     /// allocated at their power-of-two size class (see [`recycle_class`]).
     fn alloc_pooled(&self, words: usize, label: &str) -> Result<(Buffer, bool)> {
-        if words >= RECYCLE_MIN_WORDS {
-            let class = recycle_class(words);
-            let recycled = {
-                let mut state = self.state.lock();
-                match state
-                    .recycle_pool
-                    .iter()
-                    .position(|b| b.len() == class && b.handle_count() == 1)
-                {
-                    Some(pos) => {
-                        let buffer = state.recycle_pool[pos].clone();
-                        // Any event bookkeeping belongs to the buffer's
-                        // previous life.
-                        state.events.remove(&buffer.id());
-                        state.stats.recycle_hits += 1;
-                        Some(buffer)
-                    }
-                    None => None,
-                }
-            };
-            if let Some(buffer) = recycled {
-                return Ok((buffer, true));
-            }
+        if words < MIN_POOLED_WORDS {
+            return Ok((self.alloc_with_eviction(words, label)?, false));
         }
-        let alloc_words = if words >= RECYCLE_MIN_WORDS { recycle_class(words) } else { words };
-        let buffer = self.alloc_with_eviction(alloc_words, label)?;
-        if words >= RECYCLE_MIN_WORDS {
+        let class = recycle_class(words);
+        if let Some(buffer) = self.pool.acquire(class, self.pool_client) {
+            // Any event bookkeeping in *this* manager belongs to the
+            // buffer's previous life here. A previous life in another
+            // context left no entries in this manager, and that context's
+            // entries are never consulted again (buffer ids are unique per
+            // device), so they are merely unused.
             let mut state = self.state.lock();
-            if state.recycle_pool.len() >= RECYCLE_POOL_CAP {
-                // Prefer retiring an idle entry; a still-live buffer may have
-                // pending kernels whose producer/consumer events must survive,
-                // so its event bookkeeping is left untouched.
-                let pos =
-                    state.recycle_pool.iter().position(|b| b.handle_count() == 1).unwrap_or(0);
-                let retired = state.recycle_pool.remove(pos);
-                if retired.handle_count() == 1 {
-                    state.events.remove(&retired.id());
-                }
-            }
-            state.recycle_pool.push(buffer.clone());
+            state.events.remove(&buffer.id());
+            state.stats.recycle_hits += 1;
+            return Ok((buffer, true));
         }
+        let buffer = self.alloc_with_eviction(class, label)?;
+        self.pool.admit(buffer.clone(), self.pool_client);
         Ok((buffer, false))
     }
 
@@ -287,15 +267,13 @@ impl MemoryManager {
         // Make sure pending work on cached buffers has executed before we
         // drop one of them.
         self.queue.flush()?;
-        let mut state = self.state.lock();
         // Idle recycled buffers are the cheapest memory to give back:
         // release them before evicting cached BATs (which would have to be
         // re-uploaded).
-        if let Some(pos) = state.recycle_pool.iter().position(|b| b.handle_count() == 1) {
-            let retired = state.recycle_pool.remove(pos);
-            state.events.remove(&retired.id());
+        if self.pool.release_one_idle() {
             return Ok(true);
         }
+        let mut state = self.state.lock();
         let victim = state
             .cache
             .iter()
@@ -347,26 +325,61 @@ impl MemoryManager {
         state.hash_tables.remove(&key);
     }
 
-    /// Clears the whole cache (used between benchmark configurations).
+    /// Clears the whole cache (used between benchmark configurations). Also
+    /// empties the recycle pool — including buffers donated by other
+    /// contexts when the pool is shared.
     pub fn clear(&self) {
         let mut state = self.state.lock();
         state.cache.clear();
         state.events.clear();
         state.hash_tables.clear();
         state.offloaded.clear();
-        state.recycle_pool.clear();
+        drop(state);
+        self.pool.clear();
     }
 
     // ---- producer / consumer event tracking (paper §3.4) ----
 
+    /// Entry count past which [`MemoryManager::record_producer`] prunes
+    /// event bookkeeping for quiesced buffers (see below).
+    const EVENTS_PRUNE_THRESHOLD: usize = 512;
+
+    /// Drops event entries whose every recorded event has completed. Such
+    /// entries only ever contribute completed events to wait-lists (no-ops),
+    /// so removing them is always sound. This bounds the `events` map on
+    /// long-running sessions: without it, buffers that leave this manager's
+    /// life through the *shared* pool — retired under the pool cap, or
+    /// acquired by another context — would leave their entries behind
+    /// forever (only a same-manager re-acquire removes them eagerly).
+    fn prune_completed_events(state: &mut State, queue: &Queue) {
+        let registry = queue.events();
+        state.events.retain(|_, entry| {
+            entry
+                .producers
+                .iter()
+                .chain(entry.consumers.iter())
+                .any(|event| !registry.is_complete(*event))
+        });
+    }
+
     /// Records that `event` produces (writes) `buffer`.
     pub fn record_producer(&self, buffer: &Buffer, event: EventId) {
-        self.state.lock().events.entry(buffer.id()).or_default().producers.push(event);
+        let mut state = self.state.lock();
+        if state.events.len() >= Self::EVENTS_PRUNE_THRESHOLD {
+            Self::prune_completed_events(&mut state, &self.queue);
+        }
+        state.events.entry(buffer.id()).or_default().producers.push(event);
     }
 
     /// Records that `event` consumes (reads) `buffer`.
     pub fn record_consumer(&self, buffer: &Buffer, event: EventId) {
         self.state.lock().events.entry(buffer.id()).or_default().consumers.push(event);
+    }
+
+    /// Number of buffers with event bookkeeping (observability for the
+    /// pruning regression test).
+    pub fn tracked_event_entries(&self) -> usize {
+        self.state.lock().events.len()
     }
 
     /// Wait-list for an operation that wants to *read* `buffer`: all of its
@@ -633,6 +646,90 @@ mod tests {
         drop(small);
         drop(mm.alloc_result(100, "s2").unwrap());
         assert_eq!(mm.stats().recycle_hits, 0);
+    }
+
+    #[test]
+    fn shared_pool_recycles_across_managers() {
+        // Two managers (two contexts) on one device share one pool: a
+        // buffer released by the first serves the second's allocation.
+        let device = Device::simulated_gpu(GpuConfig::default());
+        let pool = Arc::new(crate::buffer_pool::BufferPool::new());
+        let queue_a = Arc::new(device.create_queue());
+        let queue_b = Arc::new(device.create_queue());
+        let a = MemoryManager::with_pool(device.clone(), Arc::clone(&queue_a), Arc::clone(&pool));
+        let b = MemoryManager::with_pool(device, queue_b, pool);
+
+        let first = a.alloc_result(5_000, "from_a").unwrap();
+        let id = first.id();
+        drop(first);
+        let second = b.alloc_result(6_000, "from_b").unwrap();
+        assert_eq!(second.id(), id, "same class: b reuses a's buffer");
+        assert_eq!(b.stats().recycle_hits, 1);
+        assert_eq!(a.stats().recycle_hits, 0);
+        let pool_stats = b.pool().stats();
+        assert_eq!(pool_stats.hits, 1);
+        assert_eq!(pool_stats.cross_context_hits, 1, "reuse crossed contexts");
+        assert!(second.as_words().iter().all(|w| *w == 0), "recycled buffers read as zero");
+    }
+
+    #[test]
+    fn busy_buffers_are_not_recycled_across_managers() {
+        // A buffer with a pending queue operation in context A must not be
+        // handed to context B: the pending op's clone keeps it busy.
+        let device = Device::simulated_gpu(GpuConfig::default());
+        let pool = Arc::new(crate::buffer_pool::BufferPool::new());
+        let queue_a = Arc::new(device.create_queue());
+        let queue_b = Arc::new(device.create_queue());
+        let a = MemoryManager::with_pool(device.clone(), Arc::clone(&queue_a), Arc::clone(&pool));
+        let b = MemoryManager::with_pool(device, queue_b, pool);
+
+        let buffer = a.alloc_result(5_000, "from_a").unwrap();
+        let id = buffer.id();
+        queue_a.enqueue_write(&buffer, &[]).unwrap();
+        drop(buffer);
+        // Still referenced by A's pending write: B allocates fresh.
+        let fresh = b.alloc_result(5_000, "from_b").unwrap();
+        assert_ne!(fresh.id(), id);
+        assert_eq!(b.stats().recycle_hits, 0);
+        // After A flushes, the buffer is idle and reusable.
+        drop(fresh);
+        queue_a.flush().unwrap();
+        let ids: Vec<u64> = (0..2)
+            .map(|_| {
+                let buf = b.alloc_result(5_000, "later").unwrap();
+                buf.id()
+            })
+            .collect();
+        assert!(ids.contains(&id), "post-flush the donated buffer is reusable: {ids:?}");
+    }
+
+    #[test]
+    fn event_bookkeeping_stays_bounded_under_pool_churn() {
+        // Two managers alternate through one shared pool, so every reuse is
+        // a *cross-context* acquire: the acquiring manager has no entry to
+        // remove and the donor's entry would linger forever without the
+        // completed-event pruning in `record_producer`.
+        let device = Device::simulated_gpu(GpuConfig::default());
+        let pool = Arc::new(crate::buffer_pool::BufferPool::new());
+        let queues: Vec<Arc<Queue>> = (0..2).map(|_| Arc::new(device.create_queue())).collect();
+        let managers: Vec<MemoryManager> = queues
+            .iter()
+            .map(|q| MemoryManager::with_pool(device.clone(), Arc::clone(q), Arc::clone(&pool)))
+            .collect();
+        for round in 0..2_000 {
+            let who = round % 2;
+            let buffer = managers[who].alloc_result(5_000, "churn").unwrap();
+            let event = queues[who].enqueue_write(&buffer, &[]).unwrap();
+            managers[who].record_producer(&buffer, event);
+            queues[who].flush().unwrap();
+        }
+        for manager in &managers {
+            assert!(
+                manager.tracked_event_entries() <= MemoryManager::EVENTS_PRUNE_THRESHOLD,
+                "events map must stay bounded, found {}",
+                manager.tracked_event_entries()
+            );
+        }
     }
 
     #[test]

@@ -216,9 +216,13 @@ pub fn group_refine<T: DevWord>(
     keys: &DevColumn<T>,
     distinct_hint: usize,
 ) -> Result<GroupBy> {
-    assert_eq!(previous.gids.cap(), keys.cap(), "group_refine: length mismatch");
     let next = group_by_hash(ctx, keys, distinct_hint)?;
     let n = keys.len(ctx)?;
+    // The alignment invariant is on *logical* lengths, not capacities: a
+    // refined gid column has a resolved host length while later key columns
+    // may still carry their (larger) deferred capacity bound. The resolve
+    // is free here — `group_by_hash` already synced for its group count.
+    assert_eq!(previous.gids.len(ctx)?, n, "group_refine: length mismatch");
     if n == 0 {
         return Ok(next);
     }
@@ -340,6 +344,42 @@ mod tests {
         for i in (0..a.len()).step_by(17) {
             for j in (0..a.len()).step_by(23) {
                 assert_eq!((a[i], b[i]) == (a[j], b[j]), gids[i] == gids[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn three_deferred_key_columns_group_correctly() {
+        // Regression: the second refinement meets a `previous` grouping
+        // whose gid column has a *resolved* host length while the third key
+        // still carries its deferred capacity bound (the shape of TPC-H
+        // Q3's three-key group-by over join outputs). Alignment is on
+        // logical lengths, not capacities.
+        use crate::ops::select;
+        use crate::primitives::gather;
+        let a: Vec<i32> = (0..5_000).map(|i| i % 3).collect();
+        let b: Vec<i32> = (0..5_000).map(|i| i % 4).collect();
+        let c: Vec<i32> = (0..5_000).map(|i| i % 5).collect();
+        let sel: Vec<i32> = (0..5_000).map(|i| i % 10).collect();
+        let ctx = OcelotContext::cpu();
+        let keep = select::select_range_i32(&ctx, &ctx.upload_i32(&sel, "s").unwrap(), 0, 6)
+            .and_then(|bitmap| select::materialize_bitmap(&ctx, &bitmap))
+            .unwrap();
+        assert!(keep.is_deferred(), "the key columns must inherit a deferred length");
+        let ka = gather::gather(&ctx, &ctx.upload_i32(&a, "a").unwrap(), &keep).unwrap();
+        let kb = gather::gather(&ctx, &ctx.upload_i32(&b, "b").unwrap(), &keep).unwrap();
+        let kc = gather::gather(&ctx, &ctx.upload_i32(&c, "c").unwrap(), &keep).unwrap();
+        let result = group_by_columns(&ctx, &[&ka, &kb, &kc], 16).unwrap();
+        // (i%3, i%4, i%5) ↔ i%60 is a bijection (CRT) and i%10 is a
+        // function of i%60, so keeping i%10 <= 6 keeps 42 of the 60
+        // residue classes — 42 distinct triples.
+        assert_eq!(result.num_groups, 42);
+        let gids = result.gids.read(&ctx).unwrap();
+        let rows: Vec<usize> = (0..5_000).filter(|i| sel[*i] <= 6).collect();
+        assert_eq!(gids.len(), rows.len());
+        for (x, i) in rows.iter().enumerate().step_by(31) {
+            for (y, j) in rows.iter().enumerate().step_by(47) {
+                assert_eq!((a[*i], b[*i], c[*i]) == (a[*j], b[*j], c[*j]), gids[x] == gids[y]);
             }
         }
     }

@@ -15,8 +15,8 @@ use ocelot_core::ops::{
     aggregate, calc, groupby, hash_table::OcelotHashTable, join, project, select, sort_radix,
 };
 use ocelot_core::primitives::gather;
-use ocelot_core::{Bitmap, DevColumn, OcelotContext, Oid};
-use ocelot_kernel::GpuConfig;
+use ocelot_core::{Bitmap, DevColumn, OcelotContext, Oid, SharedDevice};
+use ocelot_kernel::{DeviceKind, GpuConfig};
 use ocelot_storage::BatRef;
 use parking_lot::Mutex;
 use std::time::Instant;
@@ -93,6 +93,19 @@ impl OcelotBackend {
     /// memory-pressure benchmarks).
     pub fn gpu_with(config: GpuConfig) -> Self {
         Self::with_context(OcelotContext::gpu_with(config), "Ocelot GPU")
+    }
+
+    /// Ocelot as a *session* on a shared device: the context gets its own
+    /// command queue (per-session flush accounting) but recycles result
+    /// buffers through the device's shared pool — the construction behind
+    /// `ocelot_engine::Session::ocelot`.
+    pub fn on_shared(shared: &SharedDevice) -> Self {
+        let label = match shared.device().info().kind {
+            DeviceKind::CpuSequential => "Ocelot CPU (sequential)",
+            DeviceKind::CpuMulticore => "Ocelot CPU",
+            DeviceKind::DiscreteGpu => "Ocelot GPU",
+        };
+        Self::with_context(shared.context(), label)
     }
 
     /// Wraps an existing context.

@@ -13,11 +13,24 @@
 //! * [`backends`] — the four implementations: [`backends::MonetSeqBackend`]
 //!   (MS), [`backends::MonetParBackend`] (MP), and [`backends::OcelotBackend`]
 //!   over any `ocelot-core` device (Ocelot CPU / Ocelot GPU).
-//! * [`mal`] — a miniature MAL-like plan representation, the Ocelot query
-//!   rewriter that reroutes plan instructions from the `algebra`/`batcalc`
-//!   modules to their `ocelot` counterparts and inserts explicit `sync`
-//!   instructions at ownership boundaries (paper §3.4), and an interpreter
-//!   that executes plans against any [`backend::Backend`].
+//! * [`mal`] — a miniature MAL-like program representation and the Ocelot
+//!   query rewriter that reroutes plan instructions from the
+//!   `algebra`/`batcalc` modules to their `ocelot` counterparts and inserts
+//!   explicit `sync` instructions at ownership boundaries (paper §3.4).
+//!   Since PR 3 MAL programs are **compiled** ([`mal::compile`]) into the
+//!   engine's operator DAG instead of being interpreted statement by
+//!   statement.
+//! * [`plan`] — the compiled form: a kind-checked DAG of [`plan::PlanNode`]s
+//!   with declared inputs/outputs, executed by a resumable register machine
+//!   ([`plan::PlanRun`]) that frees registers at their last use.
+//! * [`session`] — one client's execution context. Ocelot sessions are
+//!   created from an `ocelot_core::SharedDevice`: private command queue,
+//!   result buffers recycled through the device's shared pool.
+//! * [`scheduler`] — admits several sessions' plans together and
+//!   interleaves their node execution under a deterministic FIFO +
+//!   round-robin contract (see the module docs), so host-resolve points of
+//!   one query overlap with the enqueue work of another while per-plan
+//!   flush bounds hold unchanged.
 //!
 //! Timing is part of the interface: [`backend::Backend::begin_timing`] /
 //! [`backend::Backend::elapsed_ns`] report wall-clock time for the CPU
@@ -27,6 +40,12 @@
 pub mod backend;
 pub mod backends;
 pub mod mal;
+pub mod plan;
+pub mod scheduler;
+pub mod session;
 
 pub use backend::{Backend, GroupHandle};
 pub use backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};
+pub use plan::{Plan, PlanBuilder, PlanError, PlanNode, PlanOp, QueryValue};
+pub use scheduler::{QueryJob, Scheduler};
+pub use session::Session;

@@ -1,5 +1,5 @@
-//! A miniature MAL layer: plan representation, the Ocelot query rewriter and
-//! a plan interpreter.
+//! A miniature MAL layer: program representation, the Ocelot query rewriter
+//! and a **compiler** into the engine's operator DAG.
 //!
 //! MonetDB compiles SQL into MAL (MonetDB Assembly Language) programs whose
 //! instructions name the module implementing them (`algebra.select`,
@@ -8,20 +8,21 @@
 //! implementations and inserts explicit `ocelot.sync` instructions wherever
 //! ownership of a BAT passes back to MonetDB (paper §3.1, §3.4).
 //!
-//! The reproduction keeps this layer intentionally small — enough to show
-//! the architecture end-to-end: a [`MalPlan`] built from a handful of
-//! instruction kinds, [`rewrite_for_ocelot`] performing the module rewrite
-//! and sync insertion, and [`execute`] interpreting a plan against any
-//! [`Backend`]. The TPC-H workload itself is written directly against the
-//! `Backend` trait (see `ocelot-tpch`), which is equivalent in effect: the
-//! same logical plan runs on every configuration.
+//! Since PR 3 this layer no longer interprets programs statement by
+//! statement. [`compile`] lowers a [`MalPlan`] into a
+//! [`Plan`](crate::plan::Plan) — the explicit operator DAG the
+//! [`crate::scheduler`] admits and interleaves — checking variable
+//! definitions and operand kinds in the process (MAL's mutable registers
+//! become SSA registers of the DAG). [`execute`] remains as the one-shot
+//! convenience: compile, then run to completion on a backend.
 
 use crate::backend::Backend;
+use crate::plan::{Plan, PlanBuilder, PlanError};
 use ocelot_storage::Catalog;
 use std::collections::HashMap;
 
-/// A virtual register holding an intermediate column.
-pub type Var = usize;
+pub use crate::plan::QueryValue as MalValue;
+pub use crate::plan::Var;
 
 /// The module an instruction is routed to. MonetDB modules (`algebra`,
 /// `batcalc`, `aggr`) are replaced by `ocelot` during rewriting.
@@ -141,21 +142,68 @@ pub fn rewrite_for_ocelot(plan: &MalPlan) -> MalPlan {
     rewritten
 }
 
-/// A value produced by plan execution.
-#[derive(Debug, Clone, PartialEq)]
-pub enum MalValue {
-    /// A float scalar (from ungrouped aggregation).
-    Scalar(f32),
-    /// A materialised integer column.
-    IntColumn(Vec<i32>),
-    /// A materialised float column.
-    FloatColumn(Vec<f32>),
-    /// A materialised OID column.
-    OidColumn(Vec<u32>),
+/// Compiles a MAL program into the engine's operator DAG.
+///
+/// MAL registers are mutable (a variable may be reassigned); the DAG's are
+/// SSA. The compiler tracks the *current* definition of every MAL variable
+/// and rewires later reads to it, so reassignment compiles away. Undefined
+/// variables and kind misuse (a scalar feeding a column instruction) are
+/// rejected here — before anything executes.
+pub fn compile(plan: &MalPlan) -> Result<Plan, PlanError> {
+    let mut builder = PlanBuilder::new();
+    // Current DAG register of each MAL variable.
+    let mut defs: HashMap<Var, Var> = HashMap::new();
+    let read = |defs: &HashMap<Var, Var>, var: Var| -> Result<Var, PlanError> {
+        defs.get(&var).copied().ok_or(PlanError::UndefinedVar { var })
+    };
+    for instruction in &plan.instructions {
+        match instruction {
+            MalInstr::Bind { table, column, out, .. } => {
+                let reg = builder.bind(table, column);
+                defs.insert(*out, reg);
+            }
+            MalInstr::SelectRangeI32 { input, low, high, out, .. } => {
+                let input = read(&defs, *input)?;
+                let reg = builder.select_range_i32(input, *low, *high, None)?;
+                defs.insert(*out, reg);
+            }
+            MalInstr::Fetch { values, oids, out, .. } => {
+                let values = read(&defs, *values)?;
+                let oids = read(&defs, *oids)?;
+                let reg = builder.fetch(values, oids)?;
+                defs.insert(*out, reg);
+            }
+            MalInstr::MulF32 { a, b, out, .. } => {
+                let a = read(&defs, *a)?;
+                let b = read(&defs, *b)?;
+                let reg = builder.mul_f32(a, b)?;
+                defs.insert(*out, reg);
+            }
+            MalInstr::SumF32 { values, out, .. } => {
+                let values = read(&defs, *values)?;
+                // Deferred: the sum stays a one-element device column until
+                // the sync/result boundary.
+                let reg = builder.sum_f32(values)?;
+                defs.insert(*out, reg);
+            }
+            MalInstr::Sync { vars } => {
+                let regs: Vec<Var> =
+                    vars.iter().map(|v| read(&defs, *v)).collect::<Result<_, _>>()?;
+                builder.sync(&regs)?;
+            }
+            MalInstr::Result { vars } => {
+                let regs: Vec<Var> =
+                    vars.iter().map(|v| read(&defs, *v)).collect::<Result<_, _>>()?;
+                builder.result(&regs)?;
+            }
+        }
+    }
+    Ok(builder.finish())
 }
 
-/// Executes a plan against a backend and returns the materialised result
-/// variables in the order the `result` instruction lists them.
+/// Compiles and executes a MAL program against a backend, returning the
+/// materialised result variables in the order the `result` instruction
+/// lists them.
 ///
 /// Every instruction stays deferred on backends with lazy columns:
 /// reductions go through [`Backend::sum_scalar_f32`], so their results live
@@ -167,85 +215,9 @@ pub fn execute<B: Backend>(
     plan: &MalPlan,
     backend: &B,
     catalog: &Catalog,
-) -> Result<Vec<MalValue>, String> {
-    /// A register value. Scalar aggregates live in one-element columns
-    /// (device-resident on lazy backends); carrying the kind in the value
-    /// makes reassignment impossible to desynchronise.
-    enum Slot<C> {
-        Column(C),
-        ScalarColumn(C),
-    }
-    let mut registers: HashMap<Var, Slot<B::Column>> = HashMap::new();
-    let mut results = Vec::new();
-
-    let column =
-        |registers: &HashMap<Var, Slot<B::Column>>, var: Var| -> Result<B::Column, String> {
-            match registers.get(&var) {
-                Some(Slot::Column(c)) => Ok(c.clone()),
-                Some(Slot::ScalarColumn(_)) => {
-                    Err(format!("variable {var} holds a scalar, expected a column"))
-                }
-                None => Err(format!("variable {var} is undefined")),
-            }
-        };
-
-    for instruction in &plan.instructions {
-        match instruction {
-            MalInstr::Bind { table, column: col_name, out, .. } => {
-                let bat = catalog
-                    .column(table, col_name)
-                    .ok_or_else(|| format!("unknown column {table}.{col_name}"))?;
-                registers.insert(*out, Slot::Column(backend.bat(bat)));
-            }
-            MalInstr::SelectRangeI32 { input, low, high, out, .. } => {
-                let input = column(&registers, *input)?;
-                registers.insert(
-                    *out,
-                    Slot::Column(backend.select_range_i32(&input, *low, *high, None)),
-                );
-            }
-            MalInstr::Fetch { values, oids, out, .. } => {
-                let values = column(&registers, *values)?;
-                let oids = column(&registers, *oids)?;
-                registers.insert(*out, Slot::Column(backend.fetch(&values, &oids)));
-            }
-            MalInstr::MulF32 { a, b, out, .. } => {
-                let a = column(&registers, *a)?;
-                let b = column(&registers, *b)?;
-                registers.insert(*out, Slot::Column(backend.mul_f32(&a, &b)));
-            }
-            MalInstr::SumF32 { values, out, .. } => {
-                let values = column(&registers, *values)?;
-                // Deferred: the sum stays a one-element device column until
-                // the sync/result boundary.
-                registers.insert(*out, Slot::ScalarColumn(backend.sum_scalar_f32(&values)));
-            }
-            MalInstr::Sync { vars } => {
-                // The ownership hand-back: every event feeding `vars` (and
-                // anything else scheduled) completes here.
-                for var in vars {
-                    if !registers.contains_key(var) {
-                        return Err(format!("sync variable {var} is undefined"));
-                    }
-                }
-                backend.sync();
-            }
-            MalInstr::Result { vars } => {
-                for var in vars {
-                    let value = match registers.get(var) {
-                        Some(Slot::ScalarColumn(c)) => {
-                            let scalars = backend.to_f32(c);
-                            MalValue::Scalar(scalars.first().copied().unwrap_or(0.0))
-                        }
-                        Some(Slot::Column(c)) => MalValue::FloatColumn(backend.to_f32(c)),
-                        None => return Err(format!("result variable {var} is undefined")),
-                    };
-                    results.push(value);
-                }
-            }
-        }
-    }
-    Ok(results)
+) -> Result<Vec<MalValue>, PlanError> {
+    let compiled = compile(plan)?;
+    crate::plan::execute_plan(&compiled, backend, catalog)
 }
 
 /// Builds the example plan used throughout the paper's Figure 3:
@@ -271,6 +243,7 @@ pub fn example_plan(table: &str, a: &str, b: &str, low: i32, high: i32) -> MalPl
 mod tests {
     use super::*;
     use crate::backends::{MonetSeqBackend, OcelotBackend};
+    use crate::plan::PlanError;
     use ocelot_storage::{Bat, Catalog, Table};
 
     fn catalog() -> Catalog {
@@ -348,13 +321,20 @@ mod tests {
             column: "a".into(),
             out: 0,
         });
+        // Unknown columns are a catalog property: compilation succeeds, the
+        // run reports the error.
+        assert!(compile(&plan).is_ok());
         let err = execute(&plan, &MonetSeqBackend::new(), &catalog).unwrap_err();
-        assert!(err.contains("unknown column"));
+        assert!(err.to_string().contains("unknown column"));
 
         let mut plan = MalPlan::new();
         plan.push(MalInstr::SumF32 { module: Module::Aggr, values: 42, out: 0 });
+        // Undefined variables are a plan property: the *compiler* rejects
+        // them, nothing executes.
+        let err = compile(&plan).unwrap_err();
+        assert_eq!(err, PlanError::UndefinedVar { var: 42 });
         let err = execute(&plan, &MonetSeqBackend::new(), &catalog).unwrap_err();
-        assert!(err.contains("undefined"));
+        assert!(err.to_string().contains("undefined"));
     }
 
     #[test]
@@ -370,8 +350,28 @@ mod tests {
         .push(MalInstr::SumF32 { module: Module::Aggr, values: 0, out: 1 })
         .push(MalInstr::MulF32 { module: Module::Batcalc, a: 1, b: 0, out: 2 })
         .push(MalInstr::Result { vars: vec![2] });
+        // Caught at compile time — kind checking happens before execution.
+        let err = compile(&plan).unwrap_err();
+        assert!(err.to_string().contains("holds a scalar"), "{err}");
         let err = execute(&plan, &MonetSeqBackend::new(), &catalog).unwrap_err();
-        assert!(err.contains("holds a scalar"), "{err}");
+        assert!(err.to_string().contains("holds a scalar"), "{err}");
+    }
+
+    #[test]
+    fn compiled_plans_declare_their_dataflow() {
+        let plan = compile(&example_plan("t", "a", "b", 10, 20)).unwrap();
+        assert_eq!(plan.len(), 7, "one DAG node per MAL instruction");
+        let deps = plan.dependencies();
+        // bind, bind → no deps; the final result depends on the sum node.
+        assert!(deps[0].is_empty() && deps[1].is_empty());
+        assert_eq!(deps[6], vec![5]);
+        // MAL reassignment compiles to SSA: registers never repeat.
+        let mut seen = std::collections::HashSet::new();
+        for node in plan.nodes() {
+            for out in &node.outputs {
+                assert!(seen.insert(*out), "output register {out} reassigned");
+            }
+        }
     }
 
     #[test]

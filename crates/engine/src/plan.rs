@@ -1,0 +1,1132 @@
+//! Compiled query plans: an explicit operator DAG executed node by node.
+//!
+//! PR 2 made single-query pipelines sync-free; this module is the structural
+//! half of running *many* of them: instead of interpreting a MAL program
+//! statement by statement, the engine **compiles** queries into a [`Plan`] —
+//! a list of [`PlanNode`]s, each declaring the virtual registers it reads
+//! ([`PlanNode::inputs`]) and writes ([`PlanNode::outputs`]). The node order
+//! is a topological order of the dataflow DAG (producers strictly precede
+//! consumers; [`Plan::dependencies`] exposes the edges), which is what lets
+//! the [`crate::scheduler`] interleave the node execution of several
+//! admitted plans: between any two nodes of one plan it may run nodes of
+//! another, and the deferred `DevScalar`/`DevColumn` values flowing along
+//! the edges guarantee that nothing observable happens until a node actually
+//! resolves a host value.
+//!
+//! Three stages, three failure domains:
+//!
+//! * **Build** ([`PlanBuilder`]) — every operator method checks its operand
+//!   kinds ([`ValueKind`]: column / scalar / grouping), so malformed
+//!   dataflow (a scalar feeding an element-wise map, a grouping used as a
+//!   column) is rejected *before* anything executes.
+//! * **Execute** ([`PlanRun`]) — a resumable register machine over any
+//!   [`Backend`]. [`PlanRun::step`] runs exactly one node; callers that
+//!   don't need stepping use [`PlanRun::run_to_completion`]. Registers are
+//!   freed at their last use (computed at build time), so a finished
+//!   subtree's device buffers return to the recycle pool while the plan is
+//!   still running — and, with a shared pool, to *other sessions*.
+//! * **Materialise** — `Result` nodes read their registers back through the
+//!   backend (`to_i32`/`to_f32`/`to_oids` — the sync boundary on Ocelot)
+//!   into typed host [`QueryValue`]s.
+
+use crate::backend::{Backend, GroupHandle};
+use ocelot_storage::Catalog;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A virtual register holding an intermediate value.
+pub type Var = usize;
+
+/// What a register holds, as tracked (and enforced) at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// A column of values.
+    Column,
+    /// A one-element scalar aggregate (device-resident on Ocelot).
+    Scalar,
+    /// A grouping (dense group ids + representatives).
+    Group,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueKind::Column => write!(f, "column"),
+            ValueKind::Scalar => write!(f, "scalar"),
+            ValueKind::Group => write!(f, "grouping"),
+        }
+    }
+}
+
+/// Why a plan could not be built or executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A `bind` referenced a column the catalog does not know.
+    UnknownColumn {
+        /// Table name as given to `bind`.
+        table: String,
+        /// Column name as given to `bind`.
+        column: String,
+    },
+    /// An operator read a register no prior node wrote.
+    UndefinedVar {
+        /// The register in question.
+        var: Var,
+    },
+    /// An operator read a register of the wrong kind.
+    KindMismatch {
+        /// The register in question.
+        var: Var,
+        /// The kind the operator needs.
+        expected: ValueKind,
+        /// The kind the register actually holds.
+        found: ValueKind,
+    },
+    /// `group_by` was called with no key columns.
+    EmptyGroupBy,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            PlanError::UndefinedVar { var } => write!(f, "variable {var} is undefined"),
+            PlanError::KindMismatch { var, expected, found } => {
+                write!(f, "variable {var} holds a {found}, expected a {expected}")
+            }
+            PlanError::EmptyGroupBy => write!(f, "group_by needs at least one key column"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The operator of one plan node. Operand registers live in
+/// [`PlanNode::inputs`] / [`PlanNode::outputs`]; the op carries only the
+/// literal parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Binds a base-table column (input arity 0).
+    Bind {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// `low <= col <= high` over integers. Inputs: `[col]` or
+    /// `[col, candidates]`.
+    SelectRangeI32 {
+        /// Inclusive lower bound.
+        low: i32,
+        /// Inclusive upper bound.
+        high: i32,
+    },
+    /// `low <= col <= high` over floats. Inputs: `[col]` or
+    /// `[col, candidates]`.
+    SelectRangeF32 {
+        /// Inclusive lower bound.
+        low: f32,
+        /// Inclusive upper bound.
+        high: f32,
+    },
+    /// Equality selection. Inputs: `[col]` or `[col, candidates]`.
+    SelectEqI32 {
+        /// Value to match.
+        needle: i32,
+    },
+    /// Inequality selection. Inputs: `[col]` or `[col, candidates]`.
+    SelectNeI32 {
+        /// Value to exclude.
+        needle: i32,
+    },
+    /// Union of two sorted OID candidate lists. Inputs: `[a, b]`.
+    UnionOids,
+    /// Left fetch join `values[oid]`. Inputs: `[values, oids]`.
+    Fetch,
+    /// Element-wise `a * b`. Inputs: `[a, b]`.
+    MulF32,
+    /// Element-wise `a + b`. Inputs: `[a, b]`.
+    AddF32,
+    /// Element-wise `a - b`. Inputs: `[a, b]`.
+    SubF32,
+    /// Element-wise `c - a`. Inputs: `[a]`.
+    ConstMinusF32 {
+        /// The constant `c`.
+        constant: f32,
+    },
+    /// Element-wise `c + a`. Inputs: `[a]`.
+    ConstPlusF32 {
+        /// The constant `c`.
+        constant: f32,
+    },
+    /// Element-wise `a * c`. Inputs: `[a]`.
+    MulConstF32 {
+        /// The constant `c`.
+        constant: f32,
+    },
+    /// Integer-to-float cast. Inputs: `[a]`.
+    CastI32F32,
+    /// Calendar year of a day-number date column. Inputs: `[a]`.
+    ExtractYear,
+    /// FK/PK hash join. Inputs: `[fk, pk]`; outputs: `[fk_oids, pk_oids]`.
+    PkFkJoin,
+    /// Semi join (`EXISTS`). Inputs: `[left, right]`.
+    SemiJoin,
+    /// Anti join (`NOT EXISTS`). Inputs: `[left, right]`.
+    AntiJoin,
+    /// Multi-column grouping. Inputs: the key columns; output: a grouping.
+    GroupBy,
+    /// Representative row OIDs of a grouping. Inputs: `[group]`.
+    GroupReps,
+    /// Per-group sums. Inputs: `[values, group]`.
+    GroupedSumF32,
+    /// Per-group minima. Inputs: `[values, group]`.
+    GroupedMinF32,
+    /// Per-group maxima. Inputs: `[values, group]`.
+    GroupedMaxF32,
+    /// Per-group averages. Inputs: `[values, group]`.
+    GroupedAvgF32,
+    /// Per-group counts (as floats). Inputs: `[group]`.
+    GroupedCount,
+    /// Sort permutation of an integer column. Inputs: `[col]`.
+    SortOrderI32 {
+        /// Descending order when set.
+        descending: bool,
+    },
+    /// Sort permutation of a float column. Inputs: `[col]`.
+    SortOrderF32 {
+        /// Descending order when set.
+        descending: bool,
+    },
+    /// Ungrouped sum as a deferred one-element scalar. Inputs: `[values]`.
+    SumF32,
+    /// The `ocelot.sync` ownership boundary: flushes outstanding device
+    /// work. Inputs: the registers whose producers must have completed.
+    Sync,
+    /// Materialises its input registers as the plan's (next) results.
+    Result,
+}
+
+impl PlanOp {
+    /// Short operator name (for errors and displays).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::Bind { .. } => "bind",
+            PlanOp::SelectRangeI32 { .. } => "select_range_i32",
+            PlanOp::SelectRangeF32 { .. } => "select_range_f32",
+            PlanOp::SelectEqI32 { .. } => "select_eq_i32",
+            PlanOp::SelectNeI32 { .. } => "select_ne_i32",
+            PlanOp::UnionOids => "union_oids",
+            PlanOp::Fetch => "fetch",
+            PlanOp::MulF32 => "mul_f32",
+            PlanOp::AddF32 => "add_f32",
+            PlanOp::SubF32 => "sub_f32",
+            PlanOp::ConstMinusF32 { .. } => "const_minus_f32",
+            PlanOp::ConstPlusF32 { .. } => "const_plus_f32",
+            PlanOp::MulConstF32 { .. } => "mul_const_f32",
+            PlanOp::CastI32F32 => "cast_i32_f32",
+            PlanOp::ExtractYear => "extract_year",
+            PlanOp::PkFkJoin => "pkfk_join",
+            PlanOp::SemiJoin => "semi_join",
+            PlanOp::AntiJoin => "anti_join",
+            PlanOp::GroupBy => "group_by",
+            PlanOp::GroupReps => "group_reps",
+            PlanOp::GroupedSumF32 => "grouped_sum_f32",
+            PlanOp::GroupedMinF32 => "grouped_min_f32",
+            PlanOp::GroupedMaxF32 => "grouped_max_f32",
+            PlanOp::GroupedAvgF32 => "grouped_avg_f32",
+            PlanOp::GroupedCount => "grouped_count",
+            PlanOp::SortOrderI32 { .. } => "sort_order_i32",
+            PlanOp::SortOrderF32 { .. } => "sort_order_f32",
+            PlanOp::SumF32 => "sum_f32",
+            PlanOp::Sync => "sync",
+            PlanOp::Result => "result",
+        }
+    }
+}
+
+/// One node of the operator DAG: an operator plus the registers it reads
+/// and writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// The operator.
+    pub op: PlanOp,
+    /// Registers this node reads, in operand order.
+    pub inputs: Vec<Var>,
+    /// Registers this node writes, in operand order.
+    pub outputs: Vec<Var>,
+}
+
+/// A compiled, kind-checked operator DAG (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    nodes: Vec<PlanNode>,
+    /// Node index of each register's last read — the executor frees the
+    /// register after that node, returning its buffers to the pool.
+    last_use: HashMap<Var, usize>,
+}
+
+impl Plan {
+    /// The nodes in execution (topological) order.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The dataflow edges: for every node, the indices of the nodes that
+    /// produce its inputs. Always references earlier indices (the node
+    /// order is topological).
+    pub fn dependencies(&self) -> Vec<Vec<usize>> {
+        let mut producer: HashMap<Var, usize> = HashMap::new();
+        let mut deps = Vec::with_capacity(self.nodes.len());
+        for (index, node) in self.nodes.iter().enumerate() {
+            let mut mine: Vec<usize> =
+                node.inputs.iter().filter_map(|var| producer.get(var).copied()).collect();
+            mine.sort_unstable();
+            mine.dedup();
+            deps.push(mine);
+            for out in &node.outputs {
+                producer.insert(*out, index);
+            }
+        }
+        deps
+    }
+
+    /// Node index after which `var` is dead (its last read).
+    pub fn last_use(&self, var: Var) -> Option<usize> {
+        self.last_use.get(&var).copied()
+    }
+}
+
+/// Builds a [`Plan`], checking operand kinds as nodes are appended.
+///
+/// Registers are assigned by the builder (SSA style — every output is a
+/// fresh register), so plans produced here never alias or reassign.
+#[derive(Debug, Default)]
+pub struct PlanBuilder {
+    nodes: Vec<PlanNode>,
+    kinds: HashMap<Var, ValueKind>,
+    next_var: Var,
+}
+
+impl PlanBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> PlanBuilder {
+        PlanBuilder::default()
+    }
+
+    fn fresh(&mut self, kind: ValueKind) -> Var {
+        let var = self.next_var;
+        self.next_var += 1;
+        self.kinds.insert(var, kind);
+        var
+    }
+
+    fn expect(&self, var: Var, expected: ValueKind) -> Result<(), PlanError> {
+        match self.kinds.get(&var) {
+            None => Err(PlanError::UndefinedVar { var }),
+            Some(found) if *found != expected => {
+                Err(PlanError::KindMismatch { var, expected, found: *found })
+            }
+            Some(_) => Ok(()),
+        }
+    }
+
+    fn columns(&self, vars: &[Var]) -> Result<(), PlanError> {
+        vars.iter().try_for_each(|var| self.expect(*var, ValueKind::Column))
+    }
+
+    fn push(&mut self, op: PlanOp, inputs: Vec<Var>, kind: ValueKind) -> Var {
+        let out = self.fresh(kind);
+        self.nodes.push(PlanNode { op, inputs, outputs: vec![out] });
+        out
+    }
+
+    /// Binds a base-table column. The catalog is only consulted at
+    /// execution time, so an unknown column surfaces from the run, not here.
+    pub fn bind(&mut self, table: &str, column: &str) -> Var {
+        self.push(
+            PlanOp::Bind { table: table.to_string(), column: column.to_string() },
+            Vec::new(),
+            ValueKind::Column,
+        )
+    }
+
+    fn select(&mut self, op: PlanOp, input: Var, cands: Option<Var>) -> Result<Var, PlanError> {
+        self.expect(input, ValueKind::Column)?;
+        let mut inputs = vec![input];
+        if let Some(cands) = cands {
+            self.expect(cands, ValueKind::Column)?;
+            inputs.push(cands);
+        }
+        let out = self.fresh(ValueKind::Column);
+        self.nodes.push(PlanNode { op, inputs, outputs: vec![out] });
+        Ok(out)
+    }
+
+    /// Integer range selection, optionally over a candidate list.
+    pub fn select_range_i32(
+        &mut self,
+        input: Var,
+        low: i32,
+        high: i32,
+        cands: Option<Var>,
+    ) -> Result<Var, PlanError> {
+        self.select(PlanOp::SelectRangeI32 { low, high }, input, cands)
+    }
+
+    /// Float range selection, optionally over a candidate list.
+    pub fn select_range_f32(
+        &mut self,
+        input: Var,
+        low: f32,
+        high: f32,
+        cands: Option<Var>,
+    ) -> Result<Var, PlanError> {
+        self.select(PlanOp::SelectRangeF32 { low, high }, input, cands)
+    }
+
+    /// Equality selection, optionally over a candidate list.
+    pub fn select_eq_i32(
+        &mut self,
+        input: Var,
+        needle: i32,
+        cands: Option<Var>,
+    ) -> Result<Var, PlanError> {
+        self.select(PlanOp::SelectEqI32 { needle }, input, cands)
+    }
+
+    /// Inequality selection, optionally over a candidate list.
+    pub fn select_ne_i32(
+        &mut self,
+        input: Var,
+        needle: i32,
+        cands: Option<Var>,
+    ) -> Result<Var, PlanError> {
+        self.select(PlanOp::SelectNeI32 { needle }, input, cands)
+    }
+
+    /// Union of two sorted OID candidate lists.
+    pub fn union_oids(&mut self, a: Var, b: Var) -> Result<Var, PlanError> {
+        self.columns(&[a, b])?;
+        Ok(self.push(PlanOp::UnionOids, vec![a, b], ValueKind::Column))
+    }
+
+    /// Left fetch join `values[oid]`.
+    pub fn fetch(&mut self, values: Var, oids: Var) -> Result<Var, PlanError> {
+        self.columns(&[values, oids])?;
+        Ok(self.push(PlanOp::Fetch, vec![values, oids], ValueKind::Column))
+    }
+
+    fn binary(&mut self, op: PlanOp, a: Var, b: Var) -> Result<Var, PlanError> {
+        self.columns(&[a, b])?;
+        Ok(self.push(op, vec![a, b], ValueKind::Column))
+    }
+
+    fn unary(&mut self, op: PlanOp, a: Var) -> Result<Var, PlanError> {
+        self.expect(a, ValueKind::Column)?;
+        Ok(self.push(op, vec![a], ValueKind::Column))
+    }
+
+    /// Element-wise `a * b`.
+    pub fn mul_f32(&mut self, a: Var, b: Var) -> Result<Var, PlanError> {
+        self.binary(PlanOp::MulF32, a, b)
+    }
+
+    /// Element-wise `a + b`.
+    pub fn add_f32(&mut self, a: Var, b: Var) -> Result<Var, PlanError> {
+        self.binary(PlanOp::AddF32, a, b)
+    }
+
+    /// Element-wise `a - b`.
+    pub fn sub_f32(&mut self, a: Var, b: Var) -> Result<Var, PlanError> {
+        self.binary(PlanOp::SubF32, a, b)
+    }
+
+    /// Element-wise `c - a`.
+    pub fn const_minus_f32(&mut self, constant: f32, a: Var) -> Result<Var, PlanError> {
+        self.unary(PlanOp::ConstMinusF32 { constant }, a)
+    }
+
+    /// Element-wise `c + a`.
+    pub fn const_plus_f32(&mut self, constant: f32, a: Var) -> Result<Var, PlanError> {
+        self.unary(PlanOp::ConstPlusF32 { constant }, a)
+    }
+
+    /// Element-wise `a * c`.
+    pub fn mul_const_f32(&mut self, a: Var, constant: f32) -> Result<Var, PlanError> {
+        self.unary(PlanOp::MulConstF32 { constant }, a)
+    }
+
+    /// Integer-to-float cast.
+    pub fn cast_i32_f32(&mut self, a: Var) -> Result<Var, PlanError> {
+        self.unary(PlanOp::CastI32F32, a)
+    }
+
+    /// Calendar year of a day-number date column.
+    pub fn extract_year(&mut self, a: Var) -> Result<Var, PlanError> {
+        self.unary(PlanOp::ExtractYear, a)
+    }
+
+    /// FK/PK hash join; returns the aligned `(fk_oids, pk_oids)` registers.
+    pub fn pkfk_join(&mut self, fk: Var, pk: Var) -> Result<(Var, Var), PlanError> {
+        self.columns(&[fk, pk])?;
+        let fk_oids = self.fresh(ValueKind::Column);
+        let pk_oids = self.fresh(ValueKind::Column);
+        self.nodes.push(PlanNode {
+            op: PlanOp::PkFkJoin,
+            inputs: vec![fk, pk],
+            outputs: vec![fk_oids, pk_oids],
+        });
+        Ok((fk_oids, pk_oids))
+    }
+
+    /// Semi join (`EXISTS`).
+    pub fn semi_join(&mut self, left: Var, right: Var) -> Result<Var, PlanError> {
+        self.binary(PlanOp::SemiJoin, left, right)
+    }
+
+    /// Anti join (`NOT EXISTS`).
+    pub fn anti_join(&mut self, left: Var, right: Var) -> Result<Var, PlanError> {
+        self.binary(PlanOp::AntiJoin, left, right)
+    }
+
+    /// Multi-column grouping.
+    pub fn group_by(&mut self, keys: &[Var]) -> Result<Var, PlanError> {
+        if keys.is_empty() {
+            return Err(PlanError::EmptyGroupBy);
+        }
+        self.columns(keys)?;
+        Ok(self.push(PlanOp::GroupBy, keys.to_vec(), ValueKind::Group))
+    }
+
+    /// Representative row OIDs of a grouping (they carry the key values).
+    pub fn group_reps(&mut self, group: Var) -> Result<Var, PlanError> {
+        self.expect(group, ValueKind::Group)?;
+        Ok(self.push(PlanOp::GroupReps, vec![group], ValueKind::Column))
+    }
+
+    fn grouped(&mut self, op: PlanOp, values: Var, group: Var) -> Result<Var, PlanError> {
+        self.expect(values, ValueKind::Column)?;
+        self.expect(group, ValueKind::Group)?;
+        Ok(self.push(op, vec![values, group], ValueKind::Column))
+    }
+
+    /// Per-group sums.
+    pub fn grouped_sum_f32(&mut self, values: Var, group: Var) -> Result<Var, PlanError> {
+        self.grouped(PlanOp::GroupedSumF32, values, group)
+    }
+
+    /// Per-group minima.
+    pub fn grouped_min_f32(&mut self, values: Var, group: Var) -> Result<Var, PlanError> {
+        self.grouped(PlanOp::GroupedMinF32, values, group)
+    }
+
+    /// Per-group maxima.
+    pub fn grouped_max_f32(&mut self, values: Var, group: Var) -> Result<Var, PlanError> {
+        self.grouped(PlanOp::GroupedMaxF32, values, group)
+    }
+
+    /// Per-group averages.
+    pub fn grouped_avg_f32(&mut self, values: Var, group: Var) -> Result<Var, PlanError> {
+        self.grouped(PlanOp::GroupedAvgF32, values, group)
+    }
+
+    /// Per-group counts (as floats).
+    pub fn grouped_count(&mut self, group: Var) -> Result<Var, PlanError> {
+        self.expect(group, ValueKind::Group)?;
+        Ok(self.push(PlanOp::GroupedCount, vec![group], ValueKind::Column))
+    }
+
+    /// Sort permutation of an integer column.
+    pub fn sort_order_i32(&mut self, col: Var, descending: bool) -> Result<Var, PlanError> {
+        self.unary(PlanOp::SortOrderI32 { descending }, col)
+    }
+
+    /// Sort permutation of a float column.
+    pub fn sort_order_f32(&mut self, col: Var, descending: bool) -> Result<Var, PlanError> {
+        self.unary(PlanOp::SortOrderF32 { descending }, col)
+    }
+
+    /// Ungrouped sum as a deferred one-element scalar.
+    pub fn sum_f32(&mut self, values: Var) -> Result<Var, PlanError> {
+        self.expect(values, ValueKind::Column)?;
+        Ok(self.push(PlanOp::SumF32, vec![values], ValueKind::Scalar))
+    }
+
+    /// Inserts an explicit `sync` boundary on `vars`.
+    pub fn sync(&mut self, vars: &[Var]) -> Result<(), PlanError> {
+        for var in vars {
+            if !self.kinds.contains_key(var) {
+                return Err(PlanError::UndefinedVar { var: *var });
+            }
+        }
+        self.nodes.push(PlanNode { op: PlanOp::Sync, inputs: vars.to_vec(), outputs: Vec::new() });
+        Ok(())
+    }
+
+    /// Declares `vars` as (the next) plan results, in order. Results must be
+    /// columns or scalars.
+    pub fn result(&mut self, vars: &[Var]) -> Result<(), PlanError> {
+        for var in vars {
+            match self.kinds.get(var) {
+                None => return Err(PlanError::UndefinedVar { var: *var }),
+                Some(ValueKind::Group) => {
+                    return Err(PlanError::KindMismatch {
+                        var: *var,
+                        expected: ValueKind::Column,
+                        found: ValueKind::Group,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        self.nodes.push(PlanNode {
+            op: PlanOp::Result,
+            inputs: vars.to_vec(),
+            outputs: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Finalises the plan, computing last-use positions for register
+    /// reclamation.
+    pub fn finish(self) -> Plan {
+        let mut last_use = HashMap::new();
+        for (index, node) in self.nodes.iter().enumerate() {
+            for var in &node.inputs {
+                last_use.insert(*var, index);
+            }
+        }
+        Plan { nodes: self.nodes, last_use }
+    }
+}
+
+/// A materialised result value (host-side), typed by what the register held.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryValue {
+    /// A float scalar (from ungrouped aggregation).
+    Scalar(f32),
+    /// A materialised integer column.
+    IntColumn(Vec<i32>),
+    /// A materialised float column.
+    FloatColumn(Vec<f32>),
+    /// A materialised OID column.
+    OidColumn(Vec<u32>),
+}
+
+/// Runtime element type of a column register, used to materialise results
+/// with the right readback (`to_i32` / `to_f32` / `to_oids`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    I32,
+    F32,
+    Oid,
+}
+
+enum Slot<C> {
+    Column(C, ColKind),
+    Scalar(C),
+    Group(GroupHandle<C>),
+}
+
+/// Outcome of one [`PlanRun::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One node executed; more remain.
+    Progressed,
+    /// Every node has executed.
+    Done,
+}
+
+/// A resumable execution of one [`Plan`] against one [`Backend`].
+///
+/// The run owns the plan's live registers; values are dropped at their last
+/// use so their device buffers recycle while later nodes still execute.
+pub struct PlanRun<'a, B: Backend> {
+    plan: &'a Plan,
+    backend: &'a B,
+    catalog: &'a Catalog,
+    registers: HashMap<Var, Slot<B::Column>>,
+    results: Vec<QueryValue>,
+    pc: usize,
+}
+
+impl<'a, B: Backend> PlanRun<'a, B> {
+    /// Prepares a run; nothing executes until [`PlanRun::step`].
+    pub fn new(plan: &'a Plan, backend: &'a B, catalog: &'a Catalog) -> PlanRun<'a, B> {
+        PlanRun { plan, backend, catalog, registers: HashMap::new(), results: Vec::new(), pc: 0 }
+    }
+
+    /// Number of nodes executed so far.
+    pub fn completed_nodes(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether every node has executed.
+    pub fn is_done(&self) -> bool {
+        self.pc >= self.plan.len()
+    }
+
+    /// The materialised results so far (complete once [`PlanRun::is_done`]).
+    pub fn into_results(self) -> Vec<QueryValue> {
+        self.results
+    }
+
+    fn column(&self, var: Var) -> Result<(B::Column, ColKind), PlanError> {
+        match self.registers.get(&var) {
+            Some(Slot::Column(c, kind)) => Ok((c.clone(), *kind)),
+            Some(Slot::Scalar(_)) => Err(PlanError::KindMismatch {
+                var,
+                expected: ValueKind::Column,
+                found: ValueKind::Scalar,
+            }),
+            Some(Slot::Group(_)) => Err(PlanError::KindMismatch {
+                var,
+                expected: ValueKind::Column,
+                found: ValueKind::Group,
+            }),
+            None => Err(PlanError::UndefinedVar { var }),
+        }
+    }
+
+    fn group(&self, var: Var) -> Result<&GroupHandle<B::Column>, PlanError> {
+        match self.registers.get(&var) {
+            Some(Slot::Group(g)) => Ok(g),
+            Some(_) => Err(PlanError::KindMismatch {
+                var,
+                expected: ValueKind::Group,
+                found: ValueKind::Column,
+            }),
+            None => Err(PlanError::UndefinedVar { var }),
+        }
+    }
+
+    fn cands(&self, node: &PlanNode) -> Result<Option<B::Column>, PlanError> {
+        match node.inputs.get(1) {
+            Some(var) => Ok(Some(self.column(*var)?.0)),
+            None => Ok(None),
+        }
+    }
+
+    /// Executes exactly one node. Errors leave the run unable to proceed.
+    pub fn step(&mut self) -> Result<StepOutcome, PlanError> {
+        let Some(node) = self.plan.nodes().get(self.pc) else {
+            return Ok(StepOutcome::Done);
+        };
+        let b = self.backend;
+        let set = |run: &mut Self, slot: Slot<B::Column>| {
+            run.registers.insert(node.outputs[0], slot);
+        };
+        match &node.op {
+            PlanOp::Bind { table, column } => {
+                let bat = self.catalog.column(table, column).ok_or_else(|| {
+                    PlanError::UnknownColumn { table: table.clone(), column: column.clone() }
+                })?;
+                let kind = if bat.as_f32().is_some() {
+                    ColKind::F32
+                } else if bat.as_oid().is_some() {
+                    ColKind::Oid
+                } else {
+                    ColKind::I32
+                };
+                let col = b.bat(bat);
+                set(self, Slot::Column(col, kind));
+            }
+            PlanOp::SelectRangeI32 { low, high } => {
+                let (col, _) = self.column(node.inputs[0])?;
+                let cands = self.cands(node)?;
+                let out = b.select_range_i32(&col, *low, *high, cands.as_ref());
+                set(self, Slot::Column(out, ColKind::Oid));
+            }
+            PlanOp::SelectRangeF32 { low, high } => {
+                let (col, _) = self.column(node.inputs[0])?;
+                let cands = self.cands(node)?;
+                let out = b.select_range_f32(&col, *low, *high, cands.as_ref());
+                set(self, Slot::Column(out, ColKind::Oid));
+            }
+            PlanOp::SelectEqI32 { needle } => {
+                let (col, _) = self.column(node.inputs[0])?;
+                let cands = self.cands(node)?;
+                let out = b.select_eq_i32(&col, *needle, cands.as_ref());
+                set(self, Slot::Column(out, ColKind::Oid));
+            }
+            PlanOp::SelectNeI32 { needle } => {
+                let (col, _) = self.column(node.inputs[0])?;
+                let cands = self.cands(node)?;
+                let out = b.select_ne_i32(&col, *needle, cands.as_ref());
+                set(self, Slot::Column(out, ColKind::Oid));
+            }
+            PlanOp::UnionOids => {
+                let (a, _) = self.column(node.inputs[0])?;
+                let (c, _) = self.column(node.inputs[1])?;
+                set(self, Slot::Column(b.union_oids(&a, &c), ColKind::Oid));
+            }
+            PlanOp::Fetch => {
+                let (values, kind) = self.column(node.inputs[0])?;
+                let (oids, _) = self.column(node.inputs[1])?;
+                set(self, Slot::Column(b.fetch(&values, &oids), kind));
+            }
+            PlanOp::MulF32 | PlanOp::AddF32 | PlanOp::SubF32 => {
+                let (x, _) = self.column(node.inputs[0])?;
+                let (y, _) = self.column(node.inputs[1])?;
+                let out = match node.op {
+                    PlanOp::MulF32 => b.mul_f32(&x, &y),
+                    PlanOp::AddF32 => b.add_f32(&x, &y),
+                    _ => b.sub_f32(&x, &y),
+                };
+                set(self, Slot::Column(out, ColKind::F32));
+            }
+            PlanOp::ConstMinusF32 { constant } => {
+                let (a, _) = self.column(node.inputs[0])?;
+                set(self, Slot::Column(b.const_minus_f32(*constant, &a), ColKind::F32));
+            }
+            PlanOp::ConstPlusF32 { constant } => {
+                let (a, _) = self.column(node.inputs[0])?;
+                set(self, Slot::Column(b.const_plus_f32(*constant, &a), ColKind::F32));
+            }
+            PlanOp::MulConstF32 { constant } => {
+                let (a, _) = self.column(node.inputs[0])?;
+                set(self, Slot::Column(b.mul_const_f32(&a, *constant), ColKind::F32));
+            }
+            PlanOp::CastI32F32 => {
+                let (a, _) = self.column(node.inputs[0])?;
+                set(self, Slot::Column(b.cast_i32_f32(&a), ColKind::F32));
+            }
+            PlanOp::ExtractYear => {
+                let (a, _) = self.column(node.inputs[0])?;
+                set(self, Slot::Column(b.extract_year(&a), ColKind::I32));
+            }
+            PlanOp::PkFkJoin => {
+                let (fk, _) = self.column(node.inputs[0])?;
+                let (pk, _) = self.column(node.inputs[1])?;
+                let (fk_oids, pk_oids) = b.pkfk_join(&fk, &pk);
+                self.registers.insert(node.outputs[0], Slot::Column(fk_oids, ColKind::Oid));
+                self.registers.insert(node.outputs[1], Slot::Column(pk_oids, ColKind::Oid));
+            }
+            PlanOp::SemiJoin => {
+                let (l, _) = self.column(node.inputs[0])?;
+                let (r, _) = self.column(node.inputs[1])?;
+                set(self, Slot::Column(b.semi_join(&l, &r), ColKind::Oid));
+            }
+            PlanOp::AntiJoin => {
+                let (l, _) = self.column(node.inputs[0])?;
+                let (r, _) = self.column(node.inputs[1])?;
+                set(self, Slot::Column(b.anti_join(&l, &r), ColKind::Oid));
+            }
+            PlanOp::GroupBy => {
+                let keys: Vec<B::Column> = node
+                    .inputs
+                    .iter()
+                    .map(|var| self.column(*var).map(|(c, _)| c))
+                    .collect::<Result<_, _>>()?;
+                let refs: Vec<&B::Column> = keys.iter().collect();
+                set(self, Slot::Group(b.group_by(&refs)));
+            }
+            PlanOp::GroupReps => {
+                let reps = self.group(node.inputs[0])?.representatives.clone();
+                set(self, Slot::Column(reps, ColKind::Oid));
+            }
+            PlanOp::GroupedSumF32
+            | PlanOp::GroupedMinF32
+            | PlanOp::GroupedMaxF32
+            | PlanOp::GroupedAvgF32 => {
+                let (values, _) = self.column(node.inputs[0])?;
+                let group = self.group(node.inputs[1])?;
+                let out = match node.op {
+                    PlanOp::GroupedSumF32 => b.grouped_sum_f32(&values, group),
+                    PlanOp::GroupedMinF32 => b.grouped_min_f32(&values, group),
+                    PlanOp::GroupedMaxF32 => b.grouped_max_f32(&values, group),
+                    _ => b.grouped_avg_f32(&values, group),
+                };
+                let out_slot = Slot::Column(out, ColKind::F32);
+                self.registers.insert(node.outputs[0], out_slot);
+            }
+            PlanOp::GroupedCount => {
+                let group = self.group(node.inputs[0])?;
+                let out = Slot::Column(b.grouped_count(group), ColKind::F32);
+                self.registers.insert(node.outputs[0], out);
+            }
+            PlanOp::SortOrderI32 { descending } => {
+                let (col, _) = self.column(node.inputs[0])?;
+                set(self, Slot::Column(b.sort_order_i32(&col, *descending), ColKind::Oid));
+            }
+            PlanOp::SortOrderF32 { descending } => {
+                let (col, _) = self.column(node.inputs[0])?;
+                set(self, Slot::Column(b.sort_order_f32(&col, *descending), ColKind::Oid));
+            }
+            PlanOp::SumF32 => {
+                let (values, _) = self.column(node.inputs[0])?;
+                set(self, Slot::Scalar(b.sum_scalar_f32(&values)));
+            }
+            PlanOp::Sync => {
+                for var in &node.inputs {
+                    if !self.registers.contains_key(var) {
+                        return Err(PlanError::UndefinedVar { var: *var });
+                    }
+                }
+                b.sync();
+            }
+            PlanOp::Result => {
+                for var in &node.inputs {
+                    let value = match self.registers.get(var) {
+                        Some(Slot::Scalar(c)) => {
+                            let scalars = b.to_f32(c);
+                            QueryValue::Scalar(scalars.first().copied().unwrap_or(0.0))
+                        }
+                        Some(Slot::Column(c, ColKind::I32)) => QueryValue::IntColumn(b.to_i32(c)),
+                        Some(Slot::Column(c, ColKind::F32)) => QueryValue::FloatColumn(b.to_f32(c)),
+                        Some(Slot::Column(c, ColKind::Oid)) => QueryValue::OidColumn(b.to_oids(c)),
+                        Some(Slot::Group(_)) => {
+                            return Err(PlanError::KindMismatch {
+                                var: *var,
+                                expected: ValueKind::Column,
+                                found: ValueKind::Group,
+                            })
+                        }
+                        None => return Err(PlanError::UndefinedVar { var: *var }),
+                    };
+                    self.results.push(value);
+                }
+            }
+        }
+        // Register reclamation: values read for the last time by this node
+        // are dead, and outputs no later node ever reads (a discarded join
+        // side, say) are dead on arrival — dropping either returns its
+        // buffers to the recycle pool once pending queue operations
+        // complete.
+        for var in &node.inputs {
+            if self.plan.last_use(*var) == Some(self.pc) {
+                self.registers.remove(var);
+            }
+        }
+        for var in &node.outputs {
+            if self.plan.last_use(*var).is_none() {
+                self.registers.remove(var);
+            }
+        }
+        self.pc += 1;
+        if self.pc >= self.plan.len() {
+            Ok(StepOutcome::Done)
+        } else {
+            Ok(StepOutcome::Progressed)
+        }
+    }
+
+    /// Runs every remaining node.
+    pub fn run_to_completion(&mut self) -> Result<(), PlanError> {
+        while !matches!(self.step()?, StepOutcome::Done) {}
+        Ok(())
+    }
+}
+
+/// Convenience: builds a run, executes it fully and returns the
+/// materialised results.
+pub fn execute_plan<B: Backend>(
+    plan: &Plan,
+    backend: &B,
+    catalog: &Catalog,
+) -> Result<Vec<QueryValue>, PlanError> {
+    let mut run = PlanRun::new(plan, backend, catalog);
+    run.run_to_completion()?;
+    Ok(run.into_results())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{MonetSeqBackend, OcelotBackend};
+    use ocelot_storage::{Bat, Catalog, Table};
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        let table = Table::new("t")
+            .with_column("k", Bat::from_i32("k", (0..2_000).map(|i| i % 40).collect()).into_ref())
+            .with_column(
+                "v",
+                Bat::from_f32("v", (0..2_000).map(|i| i as f32 * 0.5).collect()).into_ref(),
+            )
+            .with_column("g", Bat::from_i32("g", (0..2_000).map(|i| i % 5).collect()).into_ref())
+            .with_column("id", Bat::from_i32("id", (0..2_000).collect()).with_key(true).into_ref());
+        catalog.add_table(table);
+        catalog
+    }
+
+    /// select k in [5, 20] → group v by g → per-group sums + reps.
+    fn grouped_plan() -> Plan {
+        let mut p = PlanBuilder::new();
+        let k = p.bind("t", "k");
+        let sel = p.select_range_i32(k, 5, 20, None).unwrap();
+        let v = p.bind("t", "v");
+        let v_sel = p.fetch(v, sel).unwrap();
+        let g = p.bind("t", "g");
+        let g_sel = p.fetch(g, sel).unwrap();
+        let group = p.group_by(&[g_sel]).unwrap();
+        let sums = p.grouped_sum_f32(v_sel, group).unwrap();
+        let reps = p.group_reps(group).unwrap();
+        let keys = p.fetch(g_sel, reps).unwrap();
+        p.result(&[keys, sums]).unwrap();
+        p.finish()
+    }
+
+    #[test]
+    fn builder_rejects_kind_misuse() {
+        let mut p = PlanBuilder::new();
+        let v = p.bind("t", "v");
+        let total = p.sum_f32(v).unwrap();
+        let err = p.mul_f32(total, v).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::KindMismatch {
+                var: total,
+                expected: ValueKind::Column,
+                found: ValueKind::Scalar
+            }
+        );
+        assert!(err.to_string().contains("holds a scalar"));
+
+        let err = p.group_reps(v).unwrap_err();
+        assert!(matches!(err, PlanError::KindMismatch { .. }));
+
+        let err = p.fetch(v, 4_242).unwrap_err();
+        assert_eq!(err, PlanError::UndefinedVar { var: 4_242 });
+        assert!(err.to_string().contains("undefined"));
+
+        assert_eq!(p.group_by(&[]).unwrap_err(), PlanError::EmptyGroupBy);
+    }
+
+    #[test]
+    fn dependencies_reflect_the_dataflow_dag() {
+        let plan = grouped_plan();
+        let deps = plan.dependencies();
+        assert_eq!(deps.len(), plan.len());
+        // Binds have no dependencies; every other node depends only on
+        // earlier nodes (topological order).
+        for (index, node) in plan.nodes().iter().enumerate() {
+            if matches!(node.op, PlanOp::Bind { .. }) {
+                assert!(deps[index].is_empty());
+            }
+            for dep in &deps[index] {
+                assert!(*dep < index, "node {index} depends on later node {dep}");
+            }
+        }
+        // The result node depends on the two materialised columns.
+        let last = deps.last().unwrap();
+        assert_eq!(last.len(), 2);
+    }
+
+    #[test]
+    fn registers_are_freed_at_last_use() {
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let backend = MonetSeqBackend::new();
+        let mut run = PlanRun::new(&plan, &backend, &catalog);
+        run.run_to_completion().unwrap();
+        assert!(run.is_done());
+        assert!(
+            run.registers.is_empty(),
+            "every register is dead after the result node materialises"
+        );
+    }
+
+    #[test]
+    fn discarded_outputs_are_freed_as_soon_as_they_are_produced() {
+        // Q3's shape: one side of a join is never consumed. The register
+        // must not survive past the producing node (it would otherwise pin
+        // its buffers for the rest of the plan).
+        let mut p = PlanBuilder::new();
+        let fk = p.bind("t", "k");
+        let pk = p.bind("t", "id");
+        let (positions, discarded) = p.pkfk_join(fk, pk).unwrap();
+        let v = p.bind("t", "v");
+        let fetched = p.fetch(v, positions).unwrap();
+        p.result(&[fetched]).unwrap();
+        let plan = p.finish();
+        assert_eq!(plan.last_use(discarded), None);
+
+        let catalog = catalog();
+        let backend = MonetSeqBackend::new();
+        let mut run = PlanRun::new(&plan, &backend, &catalog);
+        while !run.is_done() {
+            run.step().unwrap();
+            assert!(
+                !run.registers.contains_key(&discarded),
+                "discarded join side must never be retained (after node {})",
+                run.completed_nodes()
+            );
+        }
+        assert!(run.registers.is_empty());
+    }
+
+    #[test]
+    fn stepping_matches_run_to_completion() {
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let backend = MonetSeqBackend::new();
+        let mut stepped = PlanRun::new(&plan, &backend, &catalog);
+        let mut steps = 0;
+        while !matches!(stepped.step().unwrap(), StepOutcome::Done) {
+            steps += 1;
+        }
+        assert_eq!(steps + 1, plan.len());
+        let direct = execute_plan(&plan, &backend, &catalog).unwrap();
+        assert_eq!(stepped.into_results(), direct);
+    }
+
+    #[test]
+    fn plan_execution_agrees_across_backends() {
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let reference = execute_plan(&plan, &MonetSeqBackend::new(), &catalog).unwrap();
+        assert_eq!(reference.len(), 2);
+        for backend in [OcelotBackend::cpu(), OcelotBackend::gpu()] {
+            let result = execute_plan(&plan, &backend, &catalog).unwrap();
+            match (&reference[1], &result[1]) {
+                (QueryValue::FloatColumn(a), QueryValue::FloatColumn(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert!((x - y).abs() < 1.0, "{x} vs {y}");
+                    }
+                }
+                other => panic!("unexpected result shapes: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_columns_surface_at_execution() {
+        let mut p = PlanBuilder::new();
+        let missing = p.bind("nope", "nothing");
+        p.result(&[missing]).unwrap();
+        let plan = p.finish();
+        let err = execute_plan(&plan, &MonetSeqBackend::new(), &catalog()).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::UnknownColumn { table: "nope".into(), column: "nothing".into() }
+        );
+        assert!(err.to_string().contains("unknown column"));
+    }
+
+    #[test]
+    fn int_columns_materialise_as_ints() {
+        let mut p = PlanBuilder::new();
+        let k = p.bind("t", "k");
+        let g = p.bind("t", "g");
+        p.result(&[k, g]).unwrap();
+        let plan = p.finish();
+        let values = execute_plan(&plan, &MonetSeqBackend::new(), &catalog()).unwrap();
+        assert!(matches!(values[0], QueryValue::IntColumn(_)));
+        assert!(matches!(values[1], QueryValue::IntColumn(_)));
+    }
+}

@@ -1,0 +1,334 @@
+//! The multi-query scheduler: admits several compiled plans and interleaves
+//! their node execution.
+//!
+//! PR 2 made single-query pipelines sync-free, but a synchronous interpreter
+//! could still only run one MAL program at a time — the device sat idle at
+//! every host-resolve point (a group count, a sort schedule, a hash-build
+//! restart check). The scheduler closes that gap: queries become [`QueryJob`]s
+//! (a [`Session`] plus a compiled [`Plan`]), several of which are admitted
+//! together, and the scheduler steps through their operator DAGs node by
+//! node, switching between plans at node granularity. Because every node
+//! only *enqueues* device work on its session's private queue (the deferred
+//! `DevScalar`/`DevColumn` contract), a host-resolve node of one query
+//! naturally interleaves with the enqueue work of another, and each
+//! session's flush accounting stays exactly what it would be stand-alone —
+//! the per-plan flush bounds of PR 2 hold unchanged under concurrency.
+//!
+//! # Admission and ordering contract
+//!
+//! * **FIFO admission.** Jobs are admitted in submission order. At most
+//!   [`Scheduler::with_in_flight`] plans are in flight at once; a plan's
+//!   completion admits the next waiting job.
+//! * **Round-robin interleaving.** In-flight plans execute one node per
+//!   scheduling round, in admission order. Scheduling is deterministic: the
+//!   same jobs admitted in the same order execute their nodes in the same
+//!   global sequence (the property behind the interleaved-equals-sequential
+//!   regression suite).
+//! * **Per-plan program order.** A plan's own nodes always execute in its
+//!   compiled (topological) order; interleaving never reorders a single
+//!   query's dataflow. Combined with per-session queues this means results
+//!   are *identical* to running each plan alone — concurrency changes only
+//!   which buffers the shared pool hands out (contents are equal either
+//!   way; see `ocelot_core::buffer_pool`).
+//! * **Results in submission order.** [`Scheduler::run`] returns one result
+//!   slot per job, indexed like the input, regardless of completion order.
+//! * **Errors are per-job.** A failing plan yields `Err` in its slot and
+//!   frees its in-flight slot; other jobs are unaffected.
+//! * **One session per concurrent Ocelot job.** The per-plan flush
+//!   guarantees presuppose a private queue per admitted plan; see
+//!   [`QueryJob`] for what happens when jobs share a session.
+
+use crate::backend::Backend;
+use crate::plan::{Plan, PlanError, PlanRun, QueryValue};
+use crate::session::Session;
+use ocelot_storage::Catalog;
+use std::time::Instant;
+
+/// One unit of admission: a plan to run in a session against a catalog.
+///
+/// Jobs may share a session, but for stateful backends (Ocelot) the
+/// per-plan guarantees in the module docs — exact flush accounting, the
+/// one-flush-per-plan Q6 bound — hold only when **each concurrently
+/// admitted job has its own session**: two plans enqueueing on one queue
+/// interleave their device work, and either plan's sync point flushes the
+/// other's. Results stay correct either way (the queue is in-order); only
+/// the per-session accounting blurs. Host-backend jobs (MS/MP) are
+/// stateless and share sessions freely.
+pub struct QueryJob<'a, B: Backend> {
+    /// The session (backend + private queue + pooled memory) to run in.
+    pub session: &'a Session<B>,
+    /// The compiled plan.
+    pub plan: &'a Plan,
+    /// The catalog `bind` nodes resolve against.
+    pub catalog: &'a Catalog,
+}
+
+/// Snapshot of a session's device clocks, taken by the probe around every
+/// scheduled node (see [`Scheduler::run_traced`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceClock {
+    /// Wall-clock nanoseconds the session's device has spent *executing*
+    /// kernels on the host (the simulation stand-in for device busy time).
+    pub kernel_host_ns: u64,
+    /// Modeled device nanoseconds (kernels + transfers; the figure reported
+    /// for discrete devices).
+    pub modeled_ns: u64,
+}
+
+/// Timing of one scheduled node, attributed to host vs device.
+#[derive(Debug, Clone, Copy)]
+pub struct StepTrace {
+    /// Index of the job (submission order).
+    pub job: usize,
+    /// Node index within the job's plan.
+    pub node: usize,
+    /// Host nanoseconds: wall-clock of the step minus the kernel-execution
+    /// time the simulation spent standing in for the device.
+    pub host_ns: u64,
+    /// Modeled device nanoseconds this step caused (0 unless it flushed).
+    pub device_ns: u64,
+}
+
+/// The multi-query scheduler (see module docs for the contract).
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    in_flight: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Scheduler {
+        Scheduler::new()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler admitting up to 4 plans at once.
+    pub fn new() -> Scheduler {
+        Scheduler { in_flight: 4 }
+    }
+
+    /// Sets the admission cap (clamped to at least 1).
+    pub fn with_in_flight(mut self, in_flight: usize) -> Scheduler {
+        self.in_flight = in_flight.max(1);
+        self
+    }
+
+    /// The admission cap.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Admits and executes every job; returns results in submission order.
+    pub fn run<B: Backend>(
+        &self,
+        jobs: &[QueryJob<'_, B>],
+    ) -> Vec<Result<Vec<QueryValue>, PlanError>> {
+        self.drive(jobs, None::<fn(&B) -> DeviceClock>).0
+    }
+
+    /// Like [`Scheduler::run`], additionally recording a [`StepTrace`] per
+    /// executed node. `probe` samples the session's device clocks (for
+    /// Ocelot: from `Queue::total_stats`); the scheduler attributes each
+    /// step's wall time to host vs device from the probe deltas. The trace
+    /// is in global execution order — exactly the interleaving the
+    /// admission contract prescribes — which is what the concurrency
+    /// benchmarks replay against a serial baseline.
+    pub fn run_traced<B: Backend>(
+        &self,
+        jobs: &[QueryJob<'_, B>],
+        probe: impl Fn(&B) -> DeviceClock,
+    ) -> (Vec<Result<Vec<QueryValue>, PlanError>>, Vec<StepTrace>) {
+        self.drive(jobs, Some(probe))
+    }
+
+    /// The scheduling loop. `probe` is `None` on the untraced path, which
+    /// then skips clock sampling and trace recording entirely.
+    fn drive<B: Backend>(
+        &self,
+        jobs: &[QueryJob<'_, B>],
+        probe: Option<impl Fn(&B) -> DeviceClock>,
+    ) -> (Vec<Result<Vec<QueryValue>, PlanError>>, Vec<StepTrace>) {
+        let mut results: Vec<Option<Result<Vec<QueryValue>, PlanError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        let mut traces = Vec::new();
+        // FIFO admission queue of job indices not yet admitted.
+        let mut waiting = 0..jobs.len();
+        // In-flight runs, in admission order.
+        let mut active: Vec<(usize, PlanRun<'_, B>)> = Vec::new();
+        loop {
+            while active.len() < self.in_flight {
+                match waiting.next() {
+                    Some(index) => {
+                        let job = &jobs[index];
+                        active.push((
+                            index,
+                            PlanRun::new(job.plan, job.session.backend(), job.catalog),
+                        ));
+                    }
+                    None => break,
+                }
+            }
+            if active.is_empty() {
+                break;
+            }
+            // One scheduling round: each in-flight plan executes one node.
+            let mut slot = 0;
+            while slot < active.len() {
+                let (index, run) = &mut active[slot];
+                let index = *index;
+                let stepped = match &probe {
+                    None => run.step(),
+                    Some(probe) => {
+                        let backend = jobs[index].session.backend();
+                        let node = run.completed_nodes();
+                        let before = probe(backend);
+                        let started = Instant::now();
+                        let stepped = run.step();
+                        let wall_ns = started.elapsed().as_nanos() as u64;
+                        let after = probe(backend);
+                        let kernel_ns = after.kernel_host_ns.saturating_sub(before.kernel_host_ns);
+                        traces.push(StepTrace {
+                            job: index,
+                            node,
+                            host_ns: wall_ns.saturating_sub(kernel_ns),
+                            device_ns: after.modeled_ns.saturating_sub(before.modeled_ns),
+                        });
+                        stepped
+                    }
+                };
+                match stepped {
+                    Err(error) => {
+                        results[index] = Some(Err(error));
+                        active.remove(slot);
+                        // The freed slot admits the next waiting job at the
+                        // top of the loop.
+                    }
+                    Ok(_) if active[slot].1.is_done() => {
+                        let (index, run) = active.remove(slot);
+                        results[index] = Some(Ok(run.into_results()));
+                    }
+                    Ok(_) => {
+                        slot += 1;
+                    }
+                }
+            }
+        }
+        (results.into_iter().map(|r| r.expect("every job scheduled")).collect(), traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::MonetSeqBackend;
+    use crate::mal::{compile, example_plan, rewrite_for_ocelot};
+    use ocelot_core::SharedDevice;
+    use ocelot_storage::{Bat, Catalog, Table};
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        let table = Table::new("t")
+            .with_column("a", Bat::from_i32("a", (0..5_000).map(|i| i % 100).collect()).into_ref())
+            .with_column(
+                "b",
+                Bat::from_f32("b", (0..5_000).map(|i| i as f32 * 0.25).collect()).into_ref(),
+            );
+        catalog.add_table(table);
+        catalog
+    }
+
+    fn scalar(value: &Result<Vec<QueryValue>, PlanError>) -> f32 {
+        match value.as_ref().unwrap().as_slice() {
+            [QueryValue::Scalar(s)] => *s,
+            other => panic!("expected one scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_execution_equals_sequential() {
+        let catalog = catalog();
+        let plans: Vec<Plan> = (0..6)
+            .map(|i| compile(&example_plan("t", "a", "b", i * 7, i * 7 + 20)).unwrap())
+            .collect();
+        let session = Session::new(MonetSeqBackend::new());
+        let sequential: Vec<f32> =
+            plans.iter().map(|plan| scalar(&session.run(plan, &catalog))).collect();
+        for in_flight in [1, 2, 6] {
+            let jobs: Vec<QueryJob<'_, _>> = plans
+                .iter()
+                .map(|plan| QueryJob { session: &session, plan, catalog: &catalog })
+                .collect();
+            let results = Scheduler::new().with_in_flight(in_flight).run(&jobs);
+            let interleaved: Vec<f32> = results.iter().map(scalar).collect();
+            assert_eq!(interleaved, sequential, "in_flight={in_flight}");
+        }
+    }
+
+    #[test]
+    fn failing_jobs_do_not_disturb_others() {
+        let catalog = catalog();
+        let good = compile(&example_plan("t", "a", "b", 10, 30)).unwrap();
+        let bad = compile(&example_plan("missing", "a", "b", 10, 30)).unwrap();
+        let session = Session::new(MonetSeqBackend::new());
+        let jobs = [
+            QueryJob { session: &session, plan: &good, catalog: &catalog },
+            QueryJob { session: &session, plan: &bad, catalog: &catalog },
+            QueryJob { session: &session, plan: &good, catalog: &catalog },
+        ];
+        let results = Scheduler::new().with_in_flight(3).run(&jobs);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(PlanError::UnknownColumn { .. })));
+        assert!(results[2].is_ok());
+        assert_eq!(scalar(&results[0]), scalar(&results[2]));
+    }
+
+    #[test]
+    fn per_session_flush_bounds_hold_under_interleaving() {
+        // Two Ocelot sessions on one shared device, two plans admitted
+        // together: each session still flushes exactly once (at its sync
+        // node), interleaving notwithstanding.
+        let catalog = catalog();
+        let shared = SharedDevice::cpu();
+        let plan = compile(&rewrite_for_ocelot(&example_plan("t", "a", "b", 10, 60))).unwrap();
+        let a = Session::ocelot(&shared);
+        let b = Session::ocelot(&shared);
+        let jobs = [
+            QueryJob { session: &a, plan: &plan, catalog: &catalog },
+            QueryJob { session: &b, plan: &plan, catalog: &catalog },
+        ];
+        let results = Scheduler::new().with_in_flight(2).run(&jobs);
+        assert!((scalar(&results[0]) - scalar(&results[1])).abs() < 1e-3);
+        for session in [&a, &b] {
+            assert_eq!(
+                session.backend().context().queue().flush_count(),
+                1,
+                "{}: one flush per plan under concurrency",
+                session.name()
+            );
+        }
+    }
+
+    #[test]
+    fn traces_cover_every_node_in_admission_round_robin() {
+        let catalog = catalog();
+        let plan = compile(&example_plan("t", "a", "b", 0, 50)).unwrap();
+        let session = Session::new(MonetSeqBackend::new());
+        let jobs = [
+            QueryJob { session: &session, plan: &plan, catalog: &catalog },
+            QueryJob { session: &session, plan: &plan, catalog: &catalog },
+        ];
+        let (results, traces) =
+            Scheduler::new().with_in_flight(2).run_traced(&jobs, |_| DeviceClock::default());
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(traces.len(), 2 * plan.len());
+        // Round-robin: the first two steps are node 0 of jobs 0 and 1.
+        assert_eq!((traces[0].job, traces[0].node), (0, 0));
+        assert_eq!((traces[1].job, traces[1].node), (1, 0));
+        // Per-plan program order within each job's trace.
+        for job in 0..2 {
+            let nodes: Vec<usize> =
+                traces.iter().filter(|t| t.job == job).map(|t| t.node).collect();
+            assert_eq!(nodes, (0..plan.len()).collect::<Vec<_>>());
+        }
+    }
+}

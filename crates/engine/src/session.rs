@@ -1,0 +1,142 @@
+//! Query sessions: the unit of admission for the multi-query scheduler.
+//!
+//! A [`Session`] is one client's execution context on one backend
+//! configuration. For the Ocelot configurations it is constructed from a
+//! [`SharedDevice`], so the session owns a **private command queue** (its
+//! flushes never execute another session's work, keeping per-query sync
+//! accounting exact) and a **private Memory Manager** whose result buffers
+//! recycle through the device's **shared pool** — a finished query donates
+//! its intermediates to whichever session allocates next. For the
+//! MonetDB-style host backends a session is a thin wrapper; the same
+//! session/plan API runs every configuration.
+//!
+//! Plans are executed with [`Session::run`] (one-shot) or admitted together
+//! with other sessions' plans to a [`crate::scheduler::Scheduler`], which
+//! interleaves their node execution.
+
+use crate::backend::Backend;
+use crate::backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};
+use crate::mal::MalPlan;
+use crate::plan::{execute_plan, Plan, PlanError, QueryValue};
+use ocelot_core::SharedDevice;
+use ocelot_storage::Catalog;
+
+/// One client's execution context on one backend configuration.
+pub struct Session<B: Backend> {
+    backend: B,
+}
+
+impl<B: Backend> Session<B> {
+    /// Wraps an existing backend as a session.
+    pub fn new(backend: B) -> Session<B> {
+        Session { backend }
+    }
+
+    /// The session's backend (TPC-H query code executes against this).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The configuration name (`MS`, `MP`, `Ocelot CPU`, …).
+    pub fn name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// Executes an already-compiled plan to completion.
+    pub fn run(&self, plan: &Plan, catalog: &Catalog) -> Result<Vec<QueryValue>, PlanError> {
+        execute_plan(plan, &self.backend, catalog)
+    }
+
+    /// Compiles a MAL program and executes it to completion.
+    pub fn run_mal(&self, mal: &MalPlan, catalog: &Catalog) -> Result<Vec<QueryValue>, PlanError> {
+        let plan = crate::mal::compile(mal)?;
+        self.run(&plan, catalog)
+    }
+}
+
+impl Session<OcelotBackend> {
+    /// An Ocelot session on a shared device: own queue and Memory Manager,
+    /// shared buffer pool (see module docs).
+    pub fn ocelot(shared: &SharedDevice) -> Session<OcelotBackend> {
+        Session::new(OcelotBackend::on_shared(shared))
+    }
+}
+
+impl Session<MonetSeqBackend> {
+    /// A sequential-MonetDB (MS) session.
+    pub fn monet_seq() -> Session<MonetSeqBackend> {
+        Session::new(MonetSeqBackend::new())
+    }
+}
+
+impl Session<MonetParBackend> {
+    /// A parallel-MonetDB (MP) session.
+    pub fn monet_par() -> Session<MonetParBackend> {
+        Session::new(MonetParBackend::new())
+    }
+}
+
+impl<B: Backend> std::fmt::Debug for Session<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("backend", &self.backend.name()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mal::{example_plan, rewrite_for_ocelot};
+    use ocelot_storage::{Bat, Table};
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        let table = Table::new("t")
+            .with_column("a", Bat::from_i32("a", (0..1_000).map(|i| i % 50).collect()).into_ref())
+            .with_column(
+                "b",
+                Bat::from_f32("b", (0..1_000).map(|i| i as f32 * 0.1).collect()).into_ref(),
+            );
+        catalog.add_table(table);
+        catalog
+    }
+
+    #[test]
+    fn sessions_run_the_same_plan_on_every_configuration() {
+        let catalog = catalog();
+        let mal = example_plan("t", "a", "b", 10, 20);
+        let reference = Session::monet_seq().run_mal(&mal, &catalog).unwrap();
+
+        let shared = SharedDevice::cpu();
+        let rewritten = rewrite_for_ocelot(&mal);
+        for session in [Session::ocelot(&shared), Session::ocelot(&SharedDevice::gpu())] {
+            let result = session.run_mal(&rewritten, &catalog).unwrap();
+            match (&reference[0], &result[0]) {
+                (QueryValue::Scalar(a), QueryValue::Scalar(b)) => {
+                    assert!((a - b).abs() / a.abs().max(1.0) < 1e-3, "{a} vs {b}");
+                }
+                other => panic!("unexpected result shapes: {other:?}"),
+            }
+        }
+        assert!(Session::monet_par().name().contains("MP"));
+    }
+
+    #[test]
+    fn ocelot_sessions_on_one_device_share_the_pool() {
+        let catalog = catalog();
+        let shared = SharedDevice::cpu();
+        let mal = rewrite_for_ocelot(&example_plan("t", "a", "b", 5, 45));
+        let a = Session::ocelot(&shared);
+        let b = Session::ocelot(&shared);
+        // Each session flushes its own queue exactly once (the sync node).
+        for session in [&a, &b] {
+            let before = session.backend().context().queue().flush_count();
+            session.run_mal(&mal, &catalog).unwrap();
+            assert_eq!(session.backend().context().queue().flush_count(), before + 1);
+        }
+        // Queues are independent; the pool is not.
+        assert!(std::sync::Arc::ptr_eq(
+            a.backend().context().memory().pool(),
+            b.backend().context().memory().pool(),
+        ));
+    }
+}

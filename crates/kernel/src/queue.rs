@@ -132,6 +132,11 @@ pub struct KernelProfile {
 }
 
 /// A lazily evaluated, in-order command queue bound to one [`Device`].
+///
+/// Queue handles (`Arc<Queue>`) are `Send + Sync`: a multi-query scheduler
+/// may observe (`pending_ops`, `flush_count`, `total_stats`) and drain
+/// (`flush`) session queues from other threads. Flushing executes on the
+/// calling thread, in submission order, exactly as before.
 pub struct Queue {
     device: Device,
     events: Arc<EventRegistry>,
@@ -352,6 +357,14 @@ impl Queue {
         self.flush()
     }
 }
+
+// Compile-time proof of the scheduler contract above: queue handles must
+// stay shareable across threads. (All fields are atomics, mutexes or
+// `Send + Sync` trait objects; this assertion keeps that from regressing.)
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Queue>();
+};
 
 impl std::fmt::Debug for Queue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -15,12 +15,14 @@
 //!   fractional: `SF 0.01` ≈ 60 k lineitem rows, so the benchmark harness
 //!   can sweep "small / intermediate / large" datasets in reasonable time
 //!   while preserving the relative row counts between tables.
-//! * [`queries`] — the fourteen queries, written once against the
-//!   [`ocelot_engine::Backend`] trait so the same query code runs on MS, MP,
-//!   Ocelot CPU and Ocelot GPU.
+//! * [`queries`] — the fourteen queries, written once against the engine's
+//!   session/plan API ([`ocelot_engine::Session`] + compiled
+//!   [`ocelot_engine::Plan`]s for the multi-operator queries) so the same
+//!   query code runs on MS, MP, Ocelot CPU and Ocelot GPU, and so compiled
+//!   plans can be admitted to the multi-query scheduler.
 
 pub mod dbgen;
 pub mod queries;
 
 pub use dbgen::{TpchConfig, TpchDb};
-pub use queries::{run_query, QueryResult, QUERY_IDS};
+pub use queries::{q3_plan, q6_plan, run_query, QueryError, QueryResult, QUERY_IDS};

@@ -7,6 +7,7 @@
 //! * [`prop_assert!`] / [`prop_assert_eq!`] (plain assertion wrappers),
 //! * [`any`] for `i32` / `f32` / `u32`,
 //! * integer range strategies (`-50i32..50`),
+//! * tuple strategies (`(0i32..4, 1u32..9)`), pairs and triples,
 //! * simple character-class string patterns (`"[A-Z]{1,8}"`),
 //! * [`collection::vec`].
 //!
@@ -60,6 +61,20 @@ macro_rules! impl_int_strategy {
 }
 
 impl_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
 
 /// `any::<T>()` — arbitrary values of a type.
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {

@@ -1,12 +1,20 @@
 //! Cross-crate integration suites.
 //!
-//! The headline suite here is the **sync-boundary regression**: the deferred
-//! device-value API (`DevScalar<T>` / typed `DevColumn<T>`) promises that a
-//! chained operator pipeline enqueues everything and flushes the command
-//! queue exactly once, at the final `.get()`/`.read()`. These tests pin that
-//! contract with [`ocelot_kernel::Queue::flush_count`] and `FlushStats`
-//! across every Ocelot device, and property-test that deferred results equal
-//! eager host computations across all four evaluated backends.
+//! Two headline suites:
+//!
+//! * **Sync-boundary regression** — the deferred device-value API
+//!   (`DevScalar<T>` / typed `DevColumn<T>`) promises that a chained
+//!   operator pipeline enqueues everything and flushes the command queue
+//!   exactly once, at the final `.get()`/`.read()`. Pinned with
+//!   [`ocelot_kernel::Queue::flush_count`] and `FlushStats` across every
+//!   Ocelot device, and property-tested (deferred == eager) across all four
+//!   evaluated backends.
+//! * **Session/scheduler regression** (PR 3) — interleaving N sessions'
+//!   plans through the multi-query scheduler yields results identical to
+//!   running each plan alone; concurrently admitted TPC-H Q6 plans keep
+//!   their per-plan single-flush bound; and the shared buffer pool serves
+//!   one session's allocations from another session's finished
+//!   intermediates (cross-context recycling hit-rate > 0).
 
 #[cfg(test)]
 mod sync_boundary {
@@ -87,6 +95,140 @@ mod sync_boundary {
         let _ = total.get(&ctx).unwrap();
         let delta = ctx.queue().total_stats().bytes_from_device - before.bytes_from_device;
         assert_eq!(delta, 4, "only the one-word scalar crosses back to the host");
+    }
+}
+
+#[cfg(test)]
+mod sessions {
+    use ocelot_core::SharedDevice;
+    use ocelot_engine::mal::{compile, example_plan, rewrite_for_ocelot};
+    use ocelot_engine::plan::Plan;
+    use ocelot_engine::{QueryJob, QueryValue, Scheduler, Session};
+    use ocelot_storage::{Bat, Catalog, Table};
+    use ocelot_tpch::{q6_plan, run_query, TpchConfig, TpchDb};
+    use proptest::collection;
+    use proptest::prelude::*;
+
+    fn catalog(keys: &[i32], values: &[f32]) -> Catalog {
+        let mut catalog = Catalog::new();
+        let table = Table::new("t")
+            .with_column("a", Bat::from_i32("a", keys.to_vec()).into_ref())
+            .with_column("b", Bat::from_f32("b", values.to_vec()).into_ref());
+        catalog.add_table(table);
+        catalog
+    }
+
+    proptest! {
+        /// N sessions' plans interleaved through the scheduler produce
+        /// results identical to running every plan to completion alone —
+        /// for any admission cap, on a shared device with a shared pool.
+        #[test]
+        fn interleaved_sessions_equal_sequential_execution(
+            raw in collection::vec(-1_000i32..1_000, 50..400),
+            bounds in collection::vec((-50i32..50, 0i32..80), 2..5),
+        ) {
+            let keys: Vec<i32> = raw.iter().map(|v| v % 100).collect();
+            let values: Vec<f32> = raw.iter().map(|v| *v as f32 * 0.125).collect();
+            let catalog = catalog(&keys, &values);
+            let plans: Vec<Plan> = bounds
+                .iter()
+                .map(|(low, width)| {
+                    compile(&rewrite_for_ocelot(&example_plan(
+                        "t", "a", "b", *low, *low + *width,
+                    )))
+                    .unwrap()
+                })
+                .collect();
+
+            // Sequential reference: each plan alone, in its own session on
+            // its own (fresh) shared device.
+            let sequential: Vec<Vec<QueryValue>> = plans
+                .iter()
+                .map(|plan| {
+                    Session::ocelot(&SharedDevice::cpu())
+                        .run(plan, &catalog)
+                        .unwrap()
+                })
+                .collect();
+
+            // Interleaved: one session per plan on ONE shared device, all
+            // plans admitted together (and with a partial admission cap).
+            for in_flight in [2, plans.len()] {
+                let shared = SharedDevice::cpu();
+                let sessions: Vec<Session<_>> =
+                    plans.iter().map(|_| Session::ocelot(&shared)).collect();
+                let jobs: Vec<QueryJob<'_, _>> = plans
+                    .iter()
+                    .zip(&sessions)
+                    .map(|(plan, session)| QueryJob { session, plan, catalog: &catalog })
+                    .collect();
+                let results = Scheduler::new().with_in_flight(in_flight).run(&jobs);
+                for (index, result) in results.iter().enumerate() {
+                    prop_assert_eq!(
+                        result.as_ref().unwrap(),
+                        &sequential[index],
+                        "plan {} diverged under interleaving (in_flight={})",
+                        index,
+                        in_flight
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_q6_plans_share_the_pool_within_flush_bounds() {
+        // The PR 3 acceptance scenario: two Q6 plans admitted concurrently
+        // in two sessions of one shared device. Each plan must keep its
+        // PR 2 bound (exactly one flush), produce the reference revenue,
+        // and the pool must prove cross-context reuse.
+        let db = TpchDb::generate(TpchConfig { scale_factor: 0.002, seed: 23 });
+        let plan = q6_plan(&db).unwrap();
+        let reference = run_query(&Session::monet_seq(), &db, 6).unwrap();
+
+        let shared = SharedDevice::cpu();
+        let a = Session::ocelot(&shared);
+        let b = Session::ocelot(&shared);
+        let jobs = [
+            QueryJob { session: &a, plan: &plan, catalog: db.catalog() },
+            QueryJob { session: &b, plan: &plan, catalog: db.catalog() },
+        ];
+        let results = Scheduler::new().with_in_flight(2).run(&jobs);
+        for (session, result) in [&a, &b].into_iter().zip(&results) {
+            let revenue = match result.as_ref().unwrap().as_slice() {
+                [QueryValue::Scalar(revenue)] => *revenue as f64,
+                other => panic!("unexpected q6 result {other:?}"),
+            };
+            let expected = reference.rows[0][0];
+            assert!(
+                (revenue - expected).abs() / expected.abs().max(1.0) < 1e-3,
+                "{}: {revenue} vs {expected}",
+                session.name()
+            );
+            assert_eq!(
+                session.backend().context().queue().flush_count(),
+                1,
+                "{}: Q6 must keep its single-flush bound under concurrency",
+                session.name()
+            );
+        }
+
+        // Cross-context recycling: a third session on the same device runs
+        // the same plan; its result buffers come from the pool the first
+        // two sessions filled — hits recorded by a Memory Manager that
+        // never released a buffer itself are cross-context by construction.
+        let c = Session::ocelot(&shared);
+        let before = shared.pool().stats();
+        let third = c.run(&plan, db.catalog()).unwrap();
+        assert_eq!(third, *results[0].as_ref().unwrap());
+        assert_eq!(c.backend().context().queue().flush_count(), 1);
+        let hits = c.backend().context().memory().stats().recycle_hits;
+        assert!(hits > 0, "the third session must allocate from the shared pool");
+        let delta_cross = shared.pool().stats().cross_context_hits - before.cross_context_hits;
+        assert!(
+            delta_cross >= hits,
+            "all {hits} hits are cross-context (pool stats moved by {delta_cross})"
+        );
     }
 }
 
