@@ -1,0 +1,30 @@
+//! Emits `BENCH_pr4.json`: the PR 4 memory benchmark — warm-vs-cold
+//! device column cache on a Q1/Q3/Q6 session stream (CPU wall-clock and
+//! simulated-GPU transfer volume), plus query throughput under shrinking
+//! device-memory budgets with the eviction / node-restart counters that
+//! explain the degradation.
+//!
+//! Usage: `cargo run --release --bin bench_pr4 [-- --smoke] [output-path]`
+//!
+//! `--smoke` runs a reduced configuration (small scale factor, few
+//! samples) for CI, still exercising the cache and the budgeted streams
+//! end-to-end and writing the report.
+
+use ocelot_bench::harness::Report;
+use ocelot_bench::pressure;
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "BENCH_pr4.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = arg;
+        }
+    }
+    let mut report = Report::new();
+    pressure::bench_all(&mut report, smoke);
+    report.write_json(&path).expect("failed to write benchmark report");
+    println!("wrote {path}");
+}

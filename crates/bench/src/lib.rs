@@ -7,4 +7,5 @@
 pub mod access_path;
 pub mod deferred;
 pub mod harness;
+pub mod pressure;
 pub mod sessions;

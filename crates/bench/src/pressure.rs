@@ -1,0 +1,134 @@
+//! PR 4 memory benchmark: the device column cache and behavior under
+//! shrinking device-memory budgets. Emits the figures behind
+//! `BENCH_pr4.json`.
+//!
+//! Three experiments:
+//!
+//! * **Warm vs cold column cache, CPU wall-clock** (`cache_cpu/*`) — the
+//!   same Q1/Q3/Q6 session stream on one shared device, once binding base
+//!   columns from the warm device-resident cache and once with the cache
+//!   evicted before every query (pool kept warm in both, so the delta is
+//!   the cache alone: per-bind staging, copying and allocation of every
+//!   base column). Paired interleaved sampling.
+//! * **Warm vs cold transfer volume, simulated GPU** (`cache_gpu/*`) — the
+//!   same stream on the discrete device, reported as host→device bytes
+//!   and modeled nanoseconds: the cold stream pays PCIe for every bind,
+//!   the warm stream uploads nothing.
+//! * **Shrinking budgets** (`budget/*`) — the plan-query stream under
+//!   device budgets from unbounded down to ~2/3 of the working set:
+//!   wall-clock throughput plus the eviction / node-restart counters that
+//!   show *why* it slows down. The stream completes at every budget — the
+//!   OOM-restart protocol's graceful-degradation claim.
+
+use crate::harness::{measure_pair, Report};
+use ocelot_core::SharedDevice;
+use ocelot_engine::Session;
+use ocelot_tpch::{run_query, TpchConfig, TpchDb};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Runs every query of `stream` in its own session; returns the number of
+/// OOM-restart reclaim passes the stream needed.
+fn run_stream(shared: &SharedDevice, db: &TpchDb, stream: &[u32], evict_first: bool) -> u64 {
+    let mut reclaims = 0;
+    for &query in stream {
+        if evict_first {
+            shared.cache().evict_unpinned();
+        }
+        let session = Session::ocelot(shared);
+        black_box(run_query(&session, db, query).expect("bench query failed"));
+        reclaims += session.backend().reclaim_count();
+    }
+    reclaims
+}
+
+/// Total host→device bytes and modeled nanoseconds of one stream, summed
+/// over its per-session queues.
+fn stream_transfers(shared: &SharedDevice, db: &TpchDb, stream: &[u32]) -> (u64, u64) {
+    let mut bytes = 0;
+    let mut modeled = 0;
+    for &query in stream {
+        let session = Session::ocelot(shared);
+        black_box(run_query(&session, db, query).expect("bench query failed"));
+        let stats = session.backend().context().queue().total_stats();
+        bytes += stats.bytes_to_device;
+        modeled += stats.modeled_ns;
+    }
+    (bytes, modeled)
+}
+
+fn bench_cache_cpu(report: &mut Report, db: &TpchDb, smoke: bool) {
+    let stream = [1u32, 3, 6, 6, 3, 1, 6, 3, 6];
+    let elements = db.lineitem_rows() * stream.len();
+    let (warmup, samples) = if smoke { (1, 3) } else { (2, 7) };
+    let shared = SharedDevice::cpu();
+    run_stream(&shared, db, &stream, false); // page in + warm the pool
+    let (warm, cold) = measure_pair(
+        "cache_cpu/warm",
+        "cache_cpu/cold",
+        elements,
+        warmup,
+        samples,
+        || run_stream(&shared, db, &stream, false),
+        || run_stream(&shared, db, &stream, true),
+    );
+    report.scalar("cache_cpu/warm_over_cold_speedup", cold.min_ns as f64 / warm.min_ns as f64);
+    report.push(warm);
+    report.push(cold);
+}
+
+fn bench_cache_gpu(report: &mut Report, db: &TpchDb) {
+    let stream = [1u32, 3, 6, 6, 3, 1, 6, 3, 6];
+    // Cold: a fresh device, every bind pays PCIe. Warm: the same shared
+    // device again, every bind hits the resident cache.
+    let shared = SharedDevice::gpu();
+    let (cold_bytes, cold_ns) = stream_transfers(&shared, db, &stream);
+    let (warm_bytes, warm_ns) = stream_transfers(&shared, db, &stream);
+    report.scalar("cache_gpu/cold_bytes_to_device", cold_bytes as f64);
+    report.scalar("cache_gpu/warm_bytes_to_device", warm_bytes as f64);
+    report.scalar("cache_gpu/warm_over_cold_modeled_speedup", cold_ns as f64 / warm_ns as f64);
+}
+
+fn bench_budgets(report: &mut Report, db: &TpchDb, smoke: bool) {
+    // Plan-path queries only: the OOM-restart protocol guards PlanRun
+    // nodes (Q1 runs on the fluent backend path, outside it).
+    let stream = [6u32, 3, 4, 12, 6, 3, 12, 6];
+    let payload = db.payload_bytes();
+    let reps = if smoke { 1 } else { 3 };
+    for (label, budget) in [
+        ("unbounded", usize::MAX),
+        ("payload", payload),
+        ("payload_3_4", payload * 3 / 4),
+        ("payload_2_3", payload * 2 / 3),
+    ] {
+        let shared = if budget == usize::MAX {
+            SharedDevice::cpu()
+        } else {
+            SharedDevice::cpu().with_memory_budget(budget)
+        };
+        // One untimed pass warms whatever fits, then timed passes.
+        run_stream(&shared, db, &stream, false);
+        let started = Instant::now();
+        let mut restarts = 0;
+        for _ in 0..reps {
+            restarts += run_stream(&shared, db, &stream, false);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let qps = (stream.len() * reps) as f64 / elapsed.max(1e-9);
+        let stats = shared.cache().stats();
+        report.scalar(&format!("budget/{label}/queries_per_sec"), qps);
+        report.scalar(&format!("budget/{label}/evictions"), stats.evictions as f64);
+        report.scalar(&format!("budget/{label}/node_restarts"), restarts as f64);
+    }
+}
+
+/// Entry point of the `bench_pr4` binary.
+pub fn bench_all(report: &mut Report, smoke: bool) {
+    let sf = if smoke { 0.002 } else { 0.01 };
+    let db = TpchDb::generate(TpchConfig { scale_factor: sf, seed: 91 });
+    report.scalar("config/scale_factor", sf);
+    report.scalar("config/payload_bytes", db.payload_bytes() as f64);
+    bench_cache_cpu(report, &db, smoke);
+    bench_cache_gpu(report, &db);
+    bench_budgets(report, &db, smoke);
+}

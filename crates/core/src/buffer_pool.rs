@@ -33,6 +33,7 @@
 
 use ocelot_kernel::Buffer;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Statistics of a (possibly shared) buffer pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,15 +77,40 @@ struct PoolState {
 }
 
 /// A shareable pool of idle, class-sized result buffers (see module docs).
-#[derive(Default)]
 pub struct BufferPool {
     state: Mutex<PoolState>,
+    /// Hard cap on bytes the pool may retain. Admissions beyond it retire
+    /// idle entries first and are refused while nothing idle can make room
+    /// (the buffer then simply is not pooled — its holder keeps the only
+    /// handle and the allocation dies with it). Defaults to unlimited;
+    /// devices under a memory budget shrink it so the pool cannot hoard
+    /// the budget (see `crate::SharedDevice::with_memory_budget`).
+    max_retained_bytes: AtomicUsize,
+}
+
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool::new()
+    }
 }
 
 impl BufferPool {
     /// Creates an empty pool.
     pub fn new() -> BufferPool {
-        BufferPool::default()
+        BufferPool {
+            state: Mutex::new(PoolState::default()),
+            max_retained_bytes: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Caps the bytes the pool may retain (see the field docs).
+    pub fn set_max_retained_bytes(&self, bytes: usize) {
+        self.max_retained_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently retained by pooled buffers.
+    pub fn retained_bytes(&self) -> usize {
+        self.state.lock().entries.iter().map(|e| e.buffer.bytes()).sum()
     }
 
     /// Registers a pool client (one per `MemoryManager`). The returned id is
@@ -122,13 +148,31 @@ impl BufferPool {
     }
 
     /// Admits a freshly allocated class-sized buffer into the pool (the
-    /// caller keeps its own handle). When the pool is full an idle entry is
-    /// retired in preference to a still-live one.
+    /// caller keeps its own handle). When the pool is full (entry count or
+    /// retained-byte budget) idle entries are retired in preference to
+    /// still-live ones; if the byte budget still cannot fit the newcomer,
+    /// it is not pooled at all.
     pub fn admit(&self, buffer: Buffer, client: u64) {
+        let budget = self.max_retained_bytes.load(Ordering::Relaxed);
+        if buffer.bytes() > budget {
+            // Unpoolable no matter what is retired — do not drain the
+            // pool's idle entries trying.
+            return;
+        }
         let mut state = self.state.lock();
         if state.entries.len() >= POOL_CAP {
             let pos = state.entries.iter().position(|e| e.buffer.handle_count() == 1).unwrap_or(0);
             state.entries.remove(pos);
+        }
+        let retained =
+            |entries: &[PoolEntry]| -> usize { entries.iter().map(|e| e.buffer.bytes()).sum() };
+        while retained(&state.entries).saturating_add(buffer.bytes()) > budget {
+            match state.entries.iter().position(|e| e.buffer.handle_count() == 1) {
+                Some(pos) => {
+                    state.entries.remove(pos);
+                }
+                None => return,
+            }
         }
         state.entries.push(PoolEntry { buffer, owner: client });
     }
@@ -217,6 +261,30 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.cross_context_hits, 1);
+    }
+
+    #[test]
+    fn byte_budget_caps_retention_without_draining_the_pool() {
+        let device = Device::cpu_sequential();
+        let pool = BufferPool::new();
+        let client = pool.register_client();
+        pool.set_max_retained_bytes(40 * 1024);
+        for i in 0..4 {
+            pool.admit(device.alloc(4_096, &format!("b{i}")).unwrap(), client);
+        }
+        assert!(pool.retained_bytes() <= 40 * 1024);
+        let retained_before = pool.len();
+        // A buffer that can never fit the budget must be refused without
+        // retiring the existing idle entries.
+        pool.admit(device.alloc(16_384, "oversized").unwrap(), client);
+        assert_eq!(pool.len(), retained_before, "oversized admit must not drain the pool");
+        // A fitting buffer retires idles as needed and is admitted.
+        let fits = device.alloc(8_192, "fits").unwrap();
+        pool.admit(fits.clone(), client);
+        assert!(pool.retained_bytes() <= 40 * 1024);
+        assert!(pool.acquire(8_192, client).is_none(), "newcomer is busy (caller holds it)");
+        drop(fits);
+        assert!(pool.acquire(8_192, client).is_some(), "idle newcomer is reusable");
     }
 
     #[test]

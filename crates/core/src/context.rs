@@ -36,6 +36,7 @@
 //! `.get()` path and is a deliberate, visible sync point.
 
 use crate::buffer_pool::BufferPool;
+use crate::cache::{ColumnCache, Pinned};
 use crate::memory_manager::MemoryManager;
 use ocelot_kernel::{Buffer, Device, EventId, GpuConfig, KernelError, LaunchConfig, Queue, Result};
 use std::marker::PhantomData;
@@ -219,12 +220,22 @@ pub struct DevColumn<T: DevWord> {
     /// The device buffer holding the values (`buffer.len() >= cap`).
     pub buffer: Buffer,
     len: ColLen,
+    /// Pin on the shared column cache, when this column is a cached base
+    /// column: the entry stays unevictable while any clone of the handle
+    /// (a plan register, an operator input) is alive. `None` for
+    /// intermediates and directly uploaded columns.
+    pin: Option<Pinned>,
     _ty: PhantomData<fn() -> T>,
 }
 
 impl<T: DevWord> Clone for DevColumn<T> {
     fn clone(&self) -> Self {
-        DevColumn { buffer: self.buffer.clone(), len: self.len.clone(), _ty: PhantomData }
+        DevColumn {
+            buffer: self.buffer.clone(),
+            len: self.len.clone(),
+            pin: self.pin.clone(),
+            _ty: PhantomData,
+        }
     }
 }
 
@@ -263,7 +274,15 @@ impl<T: DevWord> DevColumn<T> {
                 column_len: len.cap(),
             });
         }
-        Ok(DevColumn { buffer, len, _ty: PhantomData })
+        Ok(DevColumn { buffer, len, pin: None, _ty: PhantomData })
+    }
+
+    /// Attaches a [`Pinned`] cache guard: the backing cache entry stays
+    /// unevictable until the last clone of this handle is dropped (the
+    /// column-cache bind path; see `crate::cache`).
+    pub fn with_pin(mut self, pin: Pinned) -> DevColumn<T> {
+        self.pin = Some(pin);
+        self
     }
 
     /// Host-known upper bound on the length (exact when not deferred).
@@ -295,7 +314,12 @@ impl<T: DevWord> DevColumn<T> {
     /// view is untyped; this is the host-side equivalent of an OpenCL kernel
     /// binding the same `cl_mem` under a different element type).
     pub fn reinterpret<U: DevWord>(&self) -> DevColumn<U> {
-        DevColumn { buffer: self.buffer.clone(), len: self.len.clone(), _ty: PhantomData }
+        DevColumn {
+            buffer: self.buffer.clone(),
+            len: self.len.clone(),
+            pin: self.pin.clone(),
+            _ty: PhantomData,
+        }
     }
 
     /// Resolves the logical length. **Sync point** when the length is
@@ -389,6 +413,10 @@ pub struct OcelotContext {
     device: Device,
     queue: Arc<Queue>,
     memory: MemoryManager,
+    /// The device-wide shared column cache, when this context was created
+    /// from a [`SharedDevice`]. Base-column binds route through it; `None`
+    /// falls back to the Memory Manager's private BAT registry.
+    column_cache: Option<Arc<ColumnCache>>,
 }
 
 impl OcelotContext {
@@ -428,7 +456,29 @@ impl OcelotContext {
     pub fn with_device_and_pool(device: Device, pool: Arc<BufferPool>) -> OcelotContext {
         let queue = Arc::new(device.create_queue());
         let memory = MemoryManager::with_pool(device.clone(), Arc::clone(&queue), pool);
-        OcelotContext { device, queue, memory }
+        OcelotContext { device, queue, memory, column_cache: None }
+    }
+
+    /// Attaches the device's shared column cache: base-column binds are
+    /// served from (and admitted to) it, and it is registered as a
+    /// reclaim-time eviction sink with this context's Memory Manager.
+    pub fn attach_column_cache(&mut self, cache: Arc<ColumnCache>) {
+        self.memory.register_eviction_sink(Arc::clone(&cache) as Arc<_>);
+        self.column_cache = Some(cache);
+    }
+
+    /// The shared column cache, when attached (see
+    /// [`OcelotContext::attach_column_cache`]).
+    pub fn column_cache(&self) -> Option<&Arc<ColumnCache>> {
+        self.column_cache.as_ref()
+    }
+
+    /// The **release + evict** step of the OOM-restart protocol (delegates
+    /// to [`MemoryManager::reclaim`]): flush pending work, drain idle
+    /// pooled buffers, evict unpinned cached columns. Returns whether the
+    /// pass made progress — callers only retry a failed node when it did.
+    pub fn reclaim_device_memory(&self, requested_bytes: usize) -> bool {
+        self.memory.reclaim(requested_bytes)
     }
 
     /// The underlying device.
@@ -579,6 +629,16 @@ impl std::fmt::Debug for OcelotContext {
 pub struct SharedDevice {
     device: Device,
     pool: Arc<BufferPool>,
+    /// The device-wide column cache every session context binds through
+    /// (see `crate::cache` for the resident/pinned/evicted contract).
+    cache: Arc<ColumnCache>,
+    /// Cap on device-wide used bytes (`usize::MAX` = unlimited), applied
+    /// to every session's Memory Manager (exercises the eviction/restart
+    /// paths even on unified-memory devices whose physical capacity is
+    /// effectively unbounded). Shared across clones — like the cache and
+    /// pool budgets it adjusts, it is device-wide state, so setting it on
+    /// any handle consistently affects every session of the device.
+    memory_budget: Arc<std::sync::atomic::AtomicUsize>,
 }
 
 impl SharedDevice {
@@ -602,9 +662,40 @@ impl SharedDevice {
         Self::with_device(Device::simulated_gpu(config))
     }
 
-    /// Wraps an arbitrary device with a fresh shared pool.
+    /// Wraps an arbitrary device with a fresh shared pool and column cache.
     pub fn with_device(device: Device) -> SharedDevice {
-        SharedDevice { device, pool: Arc::new(BufferPool::new()) }
+        SharedDevice {
+            device,
+            pool: Arc::new(BufferPool::new()),
+            cache: Arc::new(ColumnCache::new()),
+            memory_budget: Arc::new(std::sync::atomic::AtomicUsize::new(usize::MAX)),
+        }
+    }
+
+    /// Caps device-wide used bytes at `bytes` for every session created
+    /// from this handle. The column cache's resident budget and the
+    /// buffer pool's retained-byte cap are shrunk along with it (half the
+    /// budget each) so neither can hoard the whole allowance.
+    pub fn with_memory_budget(self, bytes: usize) -> SharedDevice {
+        self.memory_budget.store(bytes, std::sync::atomic::Ordering::Relaxed);
+        self.cache.set_budget(bytes / 2);
+        self.pool.set_max_retained_bytes(bytes / 2);
+        self
+    }
+
+    /// Overrides the column cache's resident-byte budget independently of
+    /// the device-memory budget.
+    pub fn with_cache_budget(self, bytes: usize) -> SharedDevice {
+        self.cache.set_budget(bytes);
+        self
+    }
+
+    /// The configured device-memory budget, if any.
+    pub fn memory_budget(&self) -> Option<usize> {
+        match self.memory_budget.load(std::sync::atomic::Ordering::Relaxed) {
+            usize::MAX => None,
+            bytes => Some(bytes),
+        }
     }
 
     /// The underlying device.
@@ -617,10 +708,22 @@ impl SharedDevice {
         &self.pool
     }
 
+    /// The column cache every session context of this device binds through.
+    pub fn cache(&self) -> &Arc<ColumnCache> {
+        &self.cache
+    }
+
     /// Creates a session context: own queue and Memory Manager, shared
-    /// buffer pool and device memory.
+    /// buffer pool, shared column cache and shared device memory (the
+    /// memory budget, when set, is installed on the new manager).
     pub fn context(&self) -> OcelotContext {
-        OcelotContext::with_device_and_pool(self.device.clone(), Arc::clone(&self.pool))
+        let mut ctx =
+            OcelotContext::with_device_and_pool(self.device.clone(), Arc::clone(&self.pool));
+        if let Some(budget) = self.memory_budget() {
+            ctx.memory().set_budget(budget);
+        }
+        ctx.attach_column_cache(Arc::clone(&self.cache));
+        ctx
     }
 }
 

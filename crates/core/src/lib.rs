@@ -18,6 +18,12 @@
 //!   BATs into device buffers, caches them on the device, evicts in LRU
 //!   order under memory pressure, supports pinning, offloads intermediates
 //!   to the host, and tracks producer/consumer events per buffer (§3.3).
+//! * [`cache::ColumnCache`] — the *device-wide* base-column cache shared by
+//!   every session of a [`SharedDevice`]: lazy upload on first bind,
+//!   refcounted pinning through the deferred-value handles, second-chance
+//!   eviction under a byte budget, and the OOM-restart protocol that lets
+//!   plans survive allocation failure (§3.3, §4.3 — see the module docs
+//!   for the full lifecycle contract).
 //! * [`primitives`] — the data-parallel building blocks the operators are
 //!   composed of: prefix sums, gather, reduction, bitmaps and the two-phase
 //!   "count, scan, write" pattern used whenever result sizes are unknown.
@@ -43,14 +49,16 @@
 //! ```
 
 pub mod buffer_pool;
+pub mod cache;
 pub mod context;
 pub mod memory_manager;
 pub mod ops;
 pub mod primitives;
 
 pub use buffer_pool::{BufferPool, PoolStats};
+pub use cache::{CacheStats, ColumnCache, DeviceOom, Pinned};
 pub use context::{
     ColLen, DevColumn, DevScalar, DevWord, LenSource, OcelotContext, Oid, SharedDevice,
 };
-pub use memory_manager::{MemoryManager, MemoryStats};
+pub use memory_manager::{EvictionSink, MemoryManager, MemoryStats};
 pub use primitives::bitmap::Bitmap;

@@ -39,7 +39,20 @@ use ocelot_kernel::{Buffer, Device, EventId, HostCopy, KernelError, Queue, Resul
 use ocelot_storage::BatRef;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// An external holder of evictable device memory (the shared
+/// [`ColumnCache`](crate::cache::ColumnCache) is the canonical one).
+/// Registered sinks are consulted **only** by [`MemoryManager::reclaim`] —
+/// the plan layer's OOM-restart pass — never by the inline per-allocation
+/// eviction chain: dropping a shared base column mid-node would thrash
+/// re-uploads and could invalidate data the very node about to be retried
+/// still binds. See `crate::cache` for the full protocol.
+pub trait EvictionSink: Send + Sync {
+    /// Drops one evictable entry; returns whether anything was released.
+    fn evict_one(&self) -> bool;
+}
 
 /// Cache/transfer statistics, used by benchmarks (Figure 7b/7d swapping
 /// analysis) and tests.
@@ -97,6 +110,14 @@ pub struct MemoryManager {
     queue: Arc<Queue>,
     pool: Arc<BufferPool>,
     pool_client: u64,
+    /// Hard cap on *device-wide* used bytes this manager will allocate up
+    /// to (defaults to unlimited; the device's own capacity still applies).
+    /// Checked against the shared accountant, so every session of a
+    /// [`crate::SharedDevice`] given the same budget behaves like a small
+    /// device even on unified-memory hardware.
+    budget: AtomicUsize,
+    /// Reclaim-time eviction callbacks (see [`EvictionSink`]).
+    sinks: Mutex<Vec<Arc<dyn EvictionSink>>>,
     state: Mutex<State>,
 }
 
@@ -122,6 +143,8 @@ impl MemoryManager {
             queue,
             pool,
             pool_client,
+            budget: AtomicUsize::new(usize::MAX),
+            sinks: Mutex::new(Vec::new()),
             state: Mutex::new(State {
                 cache: HashMap::new(),
                 clock: 0,
@@ -136,6 +159,59 @@ impl MemoryManager {
     /// The (possibly shared) result-buffer recycle pool.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// Caps allocations at `bytes` of device-wide used memory (see the
+    /// `budget` field). Exceeding the cap behaves exactly like running out
+    /// of physical device memory: inline eviction, then
+    /// [`KernelError::OutOfDeviceMemory`].
+    pub fn set_budget(&self, bytes: usize) {
+        self.budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// The configured device-memory budget (`usize::MAX` = unlimited).
+    pub fn budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still allocatable under both the device capacity and the
+    /// configured budget.
+    pub fn headroom(&self) -> usize {
+        let used = self.device.memory().used();
+        self.device.memory().available().min(self.budget().saturating_sub(used))
+    }
+
+    /// Registers a reclaim-time eviction callback (see [`EvictionSink`]).
+    pub fn register_eviction_sink(&self, sink: Arc<dyn EvictionSink>) {
+        self.sinks.lock().push(sink);
+    }
+
+    /// The **release + evict** half of the OOM-restart protocol: flushes
+    /// the queue (pending operations drop their buffer clones, so dead
+    /// intermediates and the failed node's partial allocations become
+    /// idle), drains every idle pooled buffer, evicts this manager's own
+    /// unpinned cached BATs, and sweeps the registered eviction sinks (the
+    /// shared column cache) dry. The pass is deliberately **aggressive** —
+    /// everything evictable goes, not just `requested_bytes` worth: a
+    /// restarted node re-runs its whole allocation sequence, so freeing
+    /// minimally would ratchet through one restart per allocation and
+    /// exhaust the restart limit before converging. After the pass, used
+    /// memory is exactly the pinned working set plus live registers —
+    /// if the retry still does not fit, the plan genuinely cannot run in
+    /// the budget. Returns whether the pass made progress — the plan
+    /// layer only restarts a failed node when it did.
+    pub fn reclaim(&self, requested_bytes: usize) -> bool {
+        let _ = requested_bytes;
+        let had_pending = self.queue.pending_ops() > 0;
+        let used_before = self.device.memory().used();
+        let _ = self.queue.flush();
+        while self.pool.release_one_idle() {}
+        while self.evict_one_cached() {}
+        let sinks: Vec<Arc<dyn EvictionSink>> = self.sinks.lock().clone();
+        for sink in sinks {
+            while sink.evict_one() {}
+        }
+        had_pending || self.device.memory().used() < used_before
     }
 
     /// Current statistics snapshot.
@@ -244,15 +320,39 @@ impl MemoryManager {
         Ok((buffer, false))
     }
 
+    /// Exact-size allocation through the inline eviction chain, bypassing
+    /// the recycle pool — the allocation path of the shared
+    /// [`crate::cache::ColumnCache`] (cached columns must not be
+    /// class-rounded or pool-retained).
+    pub(crate) fn alloc_exact(&self, words: usize, label: &str) -> Result<Buffer> {
+        self.alloc_with_eviction(words, label)
+    }
+
     fn alloc_with_eviction(&self, words: usize, label: &str) -> Result<Buffer> {
+        let bytes = words * 4;
+        let mut retried_after_flush = false;
         loop {
-            match self.device.alloc(words, label) {
+            // A configured budget is enforced exactly like physical
+            // capacity: over-budget requests take the eviction path. The
+            // check-and-reserve is atomic in the shared accountant, so
+            // concurrent sessions cannot jointly overshoot the budget.
+            match self.device.alloc_capped(words, label, self.budget()) {
                 Ok(buffer) => return Ok(buffer),
                 Err(KernelError::OutOfDeviceMemory { .. }) => {
-                    if !self.evict_one()? {
+                    if self.evict_one()? {
+                        retried_after_flush = false;
+                    } else {
+                        // No pool/cache victim — but the flush inside
+                        // `evict_one` may still have released non-pooled
+                        // buffers held only by pending queue operations.
+                        // Give the allocation one retry when room appeared.
+                        if !retried_after_flush && self.headroom() >= bytes {
+                            retried_after_flush = true;
+                            continue;
+                        }
                         return Err(KernelError::OutOfDeviceMemory {
-                            requested: words * 4,
-                            available: self.device.memory().available(),
+                            requested: bytes,
+                            available: self.headroom(),
                         });
                     }
                 }
@@ -273,6 +373,12 @@ impl MemoryManager {
         if self.pool.release_one_idle() {
             return Ok(true);
         }
+        Ok(self.evict_one_cached())
+    }
+
+    /// Evicts the least-recently-used unpinned, not-in-use entry of this
+    /// manager's private BAT registry (no flush, no pool interaction).
+    fn evict_one_cached(&self) -> bool {
         let mut state = self.state.lock();
         let victim = state
             .cache
@@ -286,9 +392,9 @@ impl MemoryManager {
                     state.events.remove(&entry.buffer.id());
                     state.stats.evictions += 1;
                 }
-                Ok(true)
+                true
             }
-            None => Ok(false),
+            None => false,
         }
     }
 

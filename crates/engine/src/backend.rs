@@ -183,6 +183,18 @@ pub trait Backend {
     /// host backends, whose operators are eager.
     fn sync(&self) {}
 
+    /// The **release + evict** step of the OOM-restart protocol
+    /// (`ocelot_core::cache` module docs): called by the plan executor when
+    /// a node failed with out-of-device-memory, before the node is
+    /// restarted. Implementations flush pending work and evict whatever
+    /// unpinned device state they can; the return value says whether the
+    /// pass made progress (the executor only retries when it did). Host
+    /// backends have no device memory to reclaim.
+    fn reclaim_memory(&self, requested_bytes: usize) -> bool {
+        let _ = requested_bytes;
+        false
+    }
+
     /// Sum of a float column (**sync boundary** for Ocelot — prefer
     /// [`Backend::sum_scalar_f32`] mid-plan).
     fn sum_f32(&self, values: &Self::Column) -> f32;

@@ -15,11 +15,26 @@ use ocelot_core::ops::{
     aggregate, calc, groupby, hash_table::OcelotHashTable, join, project, select, sort_radix,
 };
 use ocelot_core::primitives::gather;
-use ocelot_core::{Bitmap, DevColumn, OcelotContext, Oid, SharedDevice};
-use ocelot_kernel::{DeviceKind, GpuConfig};
+use ocelot_core::{Bitmap, DevColumn, DevWord, DeviceOom, OcelotContext, Oid, SharedDevice};
+use ocelot_kernel::{DeviceKind, GpuConfig, KernelError};
 use ocelot_storage::BatRef;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Unwraps a kernel result. Out-of-device-memory — the one failure the
+/// engine can recover from — unwinds as a typed [`DeviceOom`] payload so
+/// the plan executor's OOM-restart protocol can catch it, release memory
+/// and re-run the failed node (see `ocelot_core::cache`); every other
+/// kernel error is a real bug and panics with its message.
+fn raise<T>(what: &str, error: KernelError) -> T {
+    match error {
+        KernelError::OutOfDeviceMemory { requested, available } => {
+            std::panic::panic_any(DeviceOom { requested, available })
+        }
+        other => panic!("{what}: {other}"),
+    }
+}
 
 /// A typed device column handle: the `Backend::Column` of the Ocelot
 /// configurations.
@@ -71,6 +86,9 @@ pub struct OcelotBackend {
     timer: Mutex<(Instant, u64)>,
     /// Default sizing hint for hash tables built by group-by and joins.
     distinct_hint: usize,
+    /// Number of reclaim passes run for the OOM-restart protocol — one per
+    /// node restart the plan executor performed on this backend.
+    reclaims: AtomicU64,
 }
 
 impl OcelotBackend {
@@ -115,6 +133,7 @@ impl OcelotBackend {
             label: label.to_string(),
             timer: Mutex::new((Instant::now(), 0)),
             distinct_hint: 1024,
+            reclaims: AtomicU64::new(0),
         }
     }
 
@@ -123,19 +142,36 @@ impl OcelotBackend {
         &self.ctx
     }
 
+    /// How many OOM-restart reclaim passes this backend has run (one per
+    /// restarted plan node) — observability for the pressure suites.
+    pub fn reclaim_count(&self) -> u64 {
+        self.reclaims.load(Ordering::Relaxed)
+    }
+
+    /// Binds a base column through the device's shared [`ColumnCache`]
+    /// when this context has one (session contexts do): later binds of the
+    /// same column — from *any* session of the device — perform no
+    /// transfer, and the returned column carries a `Pinned` guard that
+    /// protects the entry from eviction while any plan register still
+    /// holds it. Stand-alone contexts fall back to the Memory Manager's
+    /// private BAT registry.
+    fn cached_column<T: DevWord>(&self, bat: &BatRef) -> DevColumn<T> {
+        match self.ctx.column_cache() {
+            Some(cache) => cache
+                .column_for_bat(&self.ctx, bat)
+                .unwrap_or_else(|e| raise("cached column bind failed", e)),
+            None => project::device_column_for_bat(&self.ctx, bat)
+                .unwrap_or_else(|e| raise("device upload failed", e)),
+        }
+    }
+
     fn upload_bat(&self, bat: &BatRef) -> OcelotColumn {
         if bat.as_f32().is_some() {
-            OcelotColumn::F32(
-                project::device_column_for_bat(&self.ctx, bat).expect("device upload failed"),
-            )
+            OcelotColumn::F32(self.cached_column(bat))
         } else if bat.as_oid().is_some() {
-            OcelotColumn::Oid(
-                project::device_column_for_bat(&self.ctx, bat).expect("device upload failed"),
-            )
+            OcelotColumn::Oid(self.cached_column(bat))
         } else {
-            OcelotColumn::I32(
-                project::device_column_for_bat(&self.ctx, bat).expect("device upload failed"),
-            )
+            OcelotColumn::I32(self.cached_column(bat))
         }
     }
 
@@ -153,20 +189,21 @@ impl OcelotBackend {
     {
         match cands {
             None => {
-                let bitmap = pred(&self.ctx, col).expect("selection failed");
-                let oids =
-                    select::materialize_bitmap(&self.ctx, &bitmap).expect("materialize failed");
+                let bitmap = pred(&self.ctx, col).unwrap_or_else(|e| raise("selection failed", e));
+                let oids = select::materialize_bitmap(&self.ctx, &bitmap)
+                    .unwrap_or_else(|e| raise("materialize failed", e));
                 OcelotColumn::Oid(oids)
             }
             Some(cands) => {
                 // Evaluate the predicate on the candidate rows' values, then
                 // map the qualifying positions back to the original OIDs.
                 let values = self.fetch(col, cands);
-                let bitmap = pred(&self.ctx, &values).expect("selection failed");
-                let positions =
-                    select::materialize_bitmap(&self.ctx, &bitmap).expect("materialize failed");
+                let bitmap =
+                    pred(&self.ctx, &values).unwrap_or_else(|e| raise("selection failed", e));
+                let positions = select::materialize_bitmap(&self.ctx, &bitmap)
+                    .unwrap_or_else(|e| raise("materialize failed", e));
                 let oids = gather::gather(&self.ctx, &cands.as_oid(), &positions)
-                    .expect("candidate remap failed");
+                    .unwrap_or_else(|e| raise("candidate remap failed", e));
                 OcelotColumn::Oid(oids)
             }
         }
@@ -184,26 +221,38 @@ impl Backend for OcelotBackend {
         self.upload_bat(bat)
     }
     fn lift_i32(&self, values: Vec<i32>) -> OcelotColumn {
-        OcelotColumn::I32(self.ctx.upload_i32(&values, "lifted_i32").expect("upload failed"))
+        OcelotColumn::I32(
+            self.ctx
+                .upload_i32(&values, "lifted_i32")
+                .unwrap_or_else(|e| raise("upload failed", e)),
+        )
     }
     fn lift_f32(&self, values: Vec<f32>) -> OcelotColumn {
-        OcelotColumn::F32(self.ctx.upload_f32(&values, "lifted_f32").expect("upload failed"))
+        OcelotColumn::F32(
+            self.ctx
+                .upload_f32(&values, "lifted_f32")
+                .unwrap_or_else(|e| raise("upload failed", e)),
+        )
     }
     fn lift_oids(&self, values: Vec<u32>) -> OcelotColumn {
-        OcelotColumn::Oid(self.ctx.upload_u32(&values, "lifted_oids").expect("upload failed"))
+        OcelotColumn::Oid(
+            self.ctx
+                .upload_u32(&values, "lifted_oids")
+                .unwrap_or_else(|e| raise("upload failed", e)),
+        )
     }
     fn to_i32(&self, col: &OcelotColumn) -> Vec<i32> {
-        col.as_i32().read(&self.ctx).expect("read failed")
+        col.as_i32().read(&self.ctx).unwrap_or_else(|e| raise("read failed", e))
     }
     fn to_f32(&self, col: &OcelotColumn) -> Vec<f32> {
-        col.as_f32().read(&self.ctx).expect("read failed")
+        col.as_f32().read(&self.ctx).unwrap_or_else(|e| raise("read failed", e))
     }
     fn to_oids(&self, col: &OcelotColumn) -> Vec<u32> {
-        col.as_oid().read(&self.ctx).expect("read failed")
+        col.as_oid().read(&self.ctx).unwrap_or_else(|e| raise("read failed", e))
     }
     fn len(&self, col: &OcelotColumn) -> usize {
         // Resolves a deferred length (sync boundary, like `to_*`).
-        col.as_oid().len(&self.ctx).expect("length resolve failed")
+        col.as_oid().len(&self.ctx).unwrap_or_else(|e| raise("length resolve failed", e))
     }
 
     fn select_range_i32(
@@ -263,69 +312,91 @@ impl Backend for OcelotBackend {
         let idx = oids.as_oid();
         match col {
             OcelotColumn::I32(c) => OcelotColumn::I32(
-                project::fetch_join(&self.ctx, c, &idx).expect("fetch join failed"),
+                project::fetch_join(&self.ctx, c, &idx)
+                    .unwrap_or_else(|e| raise("fetch join failed", e)),
             ),
             OcelotColumn::F32(c) => OcelotColumn::F32(
-                project::fetch_join(&self.ctx, c, &idx).expect("fetch join failed"),
+                project::fetch_join(&self.ctx, c, &idx)
+                    .unwrap_or_else(|e| raise("fetch join failed", e)),
             ),
             OcelotColumn::Oid(c) => OcelotColumn::Oid(
-                project::fetch_join(&self.ctx, c, &idx).expect("fetch join failed"),
+                project::fetch_join(&self.ctx, c, &idx)
+                    .unwrap_or_else(|e| raise("fetch join failed", e)),
             ),
         }
     }
 
     fn mul_f32(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn::F32(calc::mul_f32(&self.ctx, &a.as_f32(), &b.as_f32()).expect("calc failed"))
+        OcelotColumn::F32(
+            calc::mul_f32(&self.ctx, &a.as_f32(), &b.as_f32())
+                .unwrap_or_else(|e| raise("calc failed", e)),
+        )
     }
     fn add_f32(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn::F32(calc::add_f32(&self.ctx, &a.as_f32(), &b.as_f32()).expect("calc failed"))
+        OcelotColumn::F32(
+            calc::add_f32(&self.ctx, &a.as_f32(), &b.as_f32())
+                .unwrap_or_else(|e| raise("calc failed", e)),
+        )
     }
     fn sub_f32(&self, a: &OcelotColumn, b: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn::F32(calc::sub_f32(&self.ctx, &a.as_f32(), &b.as_f32()).expect("calc failed"))
+        OcelotColumn::F32(
+            calc::sub_f32(&self.ctx, &a.as_f32(), &b.as_f32())
+                .unwrap_or_else(|e| raise("calc failed", e)),
+        )
     }
     fn const_minus_f32(&self, constant: f32, a: &OcelotColumn) -> OcelotColumn {
         OcelotColumn::F32(
-            calc::const_minus_f32(&self.ctx, constant, &a.as_f32()).expect("calc failed"),
+            calc::const_minus_f32(&self.ctx, constant, &a.as_f32())
+                .unwrap_or_else(|e| raise("calc failed", e)),
         )
     }
     fn const_plus_f32(&self, constant: f32, a: &OcelotColumn) -> OcelotColumn {
         OcelotColumn::F32(
-            calc::const_plus_f32(&self.ctx, constant, &a.as_f32()).expect("calc failed"),
+            calc::const_plus_f32(&self.ctx, constant, &a.as_f32())
+                .unwrap_or_else(|e| raise("calc failed", e)),
         )
     }
     fn mul_const_f32(&self, a: &OcelotColumn, constant: f32) -> OcelotColumn {
         OcelotColumn::F32(
-            calc::mul_const_f32(&self.ctx, &a.as_f32(), constant).expect("calc failed"),
+            calc::mul_const_f32(&self.ctx, &a.as_f32(), constant)
+                .unwrap_or_else(|e| raise("calc failed", e)),
         )
     }
     fn cast_i32_f32(&self, a: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn::F32(calc::cast_i32_f32(&self.ctx, &a.as_i32()).expect("calc failed"))
+        OcelotColumn::F32(
+            calc::cast_i32_f32(&self.ctx, &a.as_i32()).unwrap_or_else(|e| raise("calc failed", e)),
+        )
     }
     fn extract_year(&self, a: &OcelotColumn) -> OcelotColumn {
-        OcelotColumn::I32(calc::extract_year(&self.ctx, &a.as_i32()).expect("calc failed"))
+        OcelotColumn::I32(
+            calc::extract_year(&self.ctx, &a.as_i32()).unwrap_or_else(|e| raise("calc failed", e)),
+        )
     }
 
     fn pkfk_join(&self, fk: &OcelotColumn, pk: &OcelotColumn) -> (OcelotColumn, OcelotColumn) {
         let pk_col = pk.as_i32();
         let table = OcelotHashTable::build(&self.ctx, &pk_col, pk_col.cap().max(1))
-            .expect("hash table build failed");
-        let result = join::hash_join(&self.ctx, &fk.as_i32(), &table).expect("hash join failed");
+            .unwrap_or_else(|e| raise("hash table build failed", e));
+        let result = join::hash_join(&self.ctx, &fk.as_i32(), &table)
+            .unwrap_or_else(|e| raise("hash join failed", e));
         (OcelotColumn::Oid(result.probe_oids), OcelotColumn::Oid(result.build_oids))
     }
     fn semi_join(&self, left: &OcelotColumn, right: &OcelotColumn) -> OcelotColumn {
         let right_col = right.as_i32();
         let table = OcelotHashTable::build(&self.ctx, &right_col, right_col.cap().max(1))
-            .expect("hash table build failed");
+            .unwrap_or_else(|e| raise("hash table build failed", e));
         OcelotColumn::Oid(
-            join::semi_join(&self.ctx, &left.as_i32(), &table).expect("semi join failed"),
+            join::semi_join(&self.ctx, &left.as_i32(), &table)
+                .unwrap_or_else(|e| raise("semi join failed", e)),
         )
     }
     fn anti_join(&self, left: &OcelotColumn, right: &OcelotColumn) -> OcelotColumn {
         let right_col = right.as_i32();
         let table = OcelotHashTable::build(&self.ctx, &right_col, right_col.cap().max(1))
-            .expect("hash table build failed");
+            .unwrap_or_else(|e| raise("hash table build failed", e));
         OcelotColumn::Oid(
-            join::anti_join(&self.ctx, &left.as_i32(), &table).expect("anti join failed"),
+            join::anti_join(&self.ctx, &left.as_i32(), &table)
+                .unwrap_or_else(|e| raise("anti join failed", e)),
         )
     }
 
@@ -334,7 +405,8 @@ impl Backend for OcelotBackend {
         let columns: Vec<&DevColumn<Oid>> = word_columns.iter().collect();
         let hint =
             self.distinct_hint.min(keys.first().map(|k| k.as_oid().cap()).unwrap_or(1).max(1));
-        let result = groupby::group_by_columns(&self.ctx, &columns, hint).expect("group by failed");
+        let result = groupby::group_by_columns(&self.ctx, &columns, hint)
+            .unwrap_or_else(|e| raise("group by failed", e));
         GroupHandle {
             gids: OcelotColumn::Oid(result.gids),
             num_groups: result.num_groups,
@@ -354,13 +426,13 @@ impl Backend for OcelotBackend {
                 &groups.gids.as_oid(),
                 groups.num_groups,
             )
-            .expect("grouped sum failed"),
+            .unwrap_or_else(|e| raise("grouped sum failed", e)),
         )
     }
     fn grouped_count(&self, groups: &GroupHandle<OcelotColumn>) -> OcelotColumn {
         OcelotColumn::F32(
             aggregate::grouped_count(&self.ctx, &groups.gids.as_oid(), groups.num_groups)
-                .expect("grouped count failed"),
+                .unwrap_or_else(|e| raise("grouped count failed", e)),
         )
     }
     fn grouped_min_f32(
@@ -375,7 +447,7 @@ impl Backend for OcelotBackend {
                 &groups.gids.as_oid(),
                 groups.num_groups,
             )
-            .expect("grouped min failed"),
+            .unwrap_or_else(|e| raise("grouped min failed", e)),
         )
     }
     fn grouped_max_f32(
@@ -390,7 +462,7 @@ impl Backend for OcelotBackend {
                 &groups.gids.as_oid(),
                 groups.num_groups,
             )
-            .expect("grouped max failed"),
+            .unwrap_or_else(|e| raise("grouped max failed", e)),
         )
     }
     fn grouped_avg_f32(
@@ -405,50 +477,64 @@ impl Backend for OcelotBackend {
                 &groups.gids.as_oid(),
                 groups.num_groups,
             )
-            .expect("grouped avg failed"),
+            .unwrap_or_else(|e| raise("grouped avg failed", e)),
         )
     }
 
     fn sum_scalar_f32(&self, values: &OcelotColumn) -> OcelotColumn {
         // The deferred path: the one-word result buffer becomes a one-element
         // device column — no flush until someone reads it.
-        let scalar = aggregate::sum_f32(&self.ctx, &values.as_f32()).expect("sum failed");
+        let scalar = aggregate::sum_f32(&self.ctx, &values.as_f32())
+            .unwrap_or_else(|e| raise("sum failed", e));
         OcelotColumn::F32(
-            DevColumn::new(scalar.buffer().clone(), 1).expect("scalar buffer holds one word"),
+            DevColumn::new(scalar.buffer().clone(), 1)
+                .unwrap_or_else(|e| raise("scalar buffer holds one word", e)),
         )
     }
 
     fn sync(&self) {
-        self.ctx.sync().expect("sync failed");
+        self.ctx.sync().unwrap_or_else(|e| raise("sync failed", e));
+    }
+
+    fn reclaim_memory(&self, requested_bytes: usize) -> bool {
+        self.reclaims.fetch_add(1, Ordering::Relaxed);
+        self.ctx.reclaim_device_memory(requested_bytes)
     }
 
     fn sum_f32(&self, values: &OcelotColumn) -> f32 {
-        let scalar = aggregate::sum_f32(&self.ctx, &values.as_f32()).expect("sum failed");
-        scalar.get(&self.ctx).expect("sum readback failed")
+        let scalar = aggregate::sum_f32(&self.ctx, &values.as_f32())
+            .unwrap_or_else(|e| raise("sum failed", e));
+        scalar.get(&self.ctx).unwrap_or_else(|e| raise("sum readback failed", e))
     }
     fn min_f32(&self, values: &OcelotColumn) -> f32 {
-        let scalar = aggregate::min_f32(&self.ctx, &values.as_f32()).expect("min failed");
-        scalar.get(&self.ctx).expect("min readback failed")
+        let scalar = aggregate::min_f32(&self.ctx, &values.as_f32())
+            .unwrap_or_else(|e| raise("min failed", e));
+        scalar.get(&self.ctx).unwrap_or_else(|e| raise("min readback failed", e))
     }
     fn max_f32(&self, values: &OcelotColumn) -> f32 {
-        let scalar = aggregate::max_f32(&self.ctx, &values.as_f32()).expect("max failed");
-        scalar.get(&self.ctx).expect("max readback failed")
+        let scalar = aggregate::max_f32(&self.ctx, &values.as_f32())
+            .unwrap_or_else(|e| raise("max failed", e));
+        scalar.get(&self.ctx).unwrap_or_else(|e| raise("max readback failed", e))
     }
     fn min_i32(&self, values: &OcelotColumn) -> i32 {
-        let scalar = aggregate::min_i32(&self.ctx, &values.as_i32()).expect("min failed");
-        scalar.get(&self.ctx).expect("min readback failed")
+        let scalar = aggregate::min_i32(&self.ctx, &values.as_i32())
+            .unwrap_or_else(|e| raise("min failed", e));
+        scalar.get(&self.ctx).unwrap_or_else(|e| raise("min readback failed", e))
     }
     fn avg_f32(&self, values: &OcelotColumn) -> f32 {
-        let scalar = aggregate::avg_f32(&self.ctx, &values.as_f32()).expect("avg failed");
-        scalar.get(&self.ctx).expect("avg readback failed")
+        let scalar = aggregate::avg_f32(&self.ctx, &values.as_f32())
+            .unwrap_or_else(|e| raise("avg failed", e));
+        scalar.get(&self.ctx).unwrap_or_else(|e| raise("avg readback failed", e))
     }
 
     fn sort_order_i32(&self, col: &OcelotColumn, descending: bool) -> OcelotColumn {
-        let result = sort_radix::sort_i32(&self.ctx, &col.as_i32()).expect("sort failed");
+        let result = sort_radix::sort_i32(&self.ctx, &col.as_i32())
+            .unwrap_or_else(|e| raise("sort failed", e));
         if descending {
             // Reversal is a host boundary op (ORDER BY ... DESC feeds the
             // result set); ascending orders stay device-resident.
-            let mut order = result.order.read(&self.ctx).expect("read failed");
+            let mut order =
+                result.order.read(&self.ctx).unwrap_or_else(|e| raise("read failed", e));
             order.reverse();
             self.lift_oids(order)
         } else {
@@ -456,9 +542,11 @@ impl Backend for OcelotBackend {
         }
     }
     fn sort_order_f32(&self, col: &OcelotColumn, descending: bool) -> OcelotColumn {
-        let result = sort_radix::sort_f32(&self.ctx, &col.as_f32()).expect("sort failed");
+        let result = sort_radix::sort_f32(&self.ctx, &col.as_f32())
+            .unwrap_or_else(|e| raise("sort failed", e));
         if descending {
-            let mut order = result.order.read(&self.ctx).expect("read failed");
+            let mut order =
+                result.order.read(&self.ctx).unwrap_or_else(|e| raise("read failed", e));
             order.reverse();
             self.lift_oids(order)
         } else {
@@ -468,13 +556,13 @@ impl Backend for OcelotBackend {
 
     fn begin_timing(&self) {
         // Drain outstanding work so it is not attributed to the measurement.
-        self.ctx.sync().expect("sync failed");
+        self.ctx.sync().unwrap_or_else(|e| raise("sync failed", e));
         let stats = self.ctx.queue().total_stats();
         *self.timer.lock() = (Instant::now(), stats.modeled_ns);
     }
 
     fn elapsed_ns(&self) -> u64 {
-        self.ctx.sync().expect("sync failed");
+        self.ctx.sync().unwrap_or_else(|e| raise("sync failed", e));
         let (started, modeled_at_start) = *self.timer.lock();
         if self.ctx.device().is_unified() {
             started.elapsed().as_nanos() as u64

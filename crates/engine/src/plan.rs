@@ -30,9 +30,12 @@
 //!   into typed host [`QueryValue`]s.
 
 use crate::backend::{Backend, GroupHandle};
+use ocelot_core::DeviceOom;
 use ocelot_storage::Catalog;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
 
 /// A virtual register holding an intermediate value.
 pub type Var = usize;
@@ -84,6 +87,17 @@ pub enum PlanError {
     },
     /// `group_by` was called with no key columns.
     EmptyGroupBy,
+    /// A node ran out of device memory and the OOM-restart protocol could
+    /// not recover: reclaim passes (release + evict) stopped making
+    /// progress, or the restart limit was reached. The working set pinned
+    /// by the plan itself simply does not fit the device (or its
+    /// configured budget).
+    OutOfDeviceMemory {
+        /// Bytes the failing allocation asked for.
+        requested: usize,
+        /// Bytes available when the last restart attempt gave up.
+        available: usize,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -97,6 +111,11 @@ impl fmt::Display for PlanError {
                 write!(f, "variable {var} holds a {found}, expected a {expected}")
             }
             PlanError::EmptyGroupBy => write!(f, "group_by needs at least one key column"),
+            PlanError::OutOfDeviceMemory { requested, available } => write!(
+                f,
+                "out of device memory: {requested} bytes requested, {available} available \
+                 after eviction and node restarts"
+            ),
         }
     }
 }
@@ -306,6 +325,54 @@ impl Plan {
     /// Node index after which `var` is dead (its last read).
     pub fn last_use(&self, var: Var) -> Option<usize> {
         self.last_use.get(&var).copied()
+    }
+
+    /// Estimated peak device footprint of running this plan alone, in
+    /// bytes — the scheduler's cost model for memory-aware admission.
+    ///
+    /// The estimate walks the dataflow DAG (the same edges
+    /// [`Plan::dependencies`] exposes) in execution order, simulating the
+    /// executor's register lifetimes: `bind` outputs are sized exactly
+    /// from the catalog (base columns are the dominant pinned working
+    /// set), every derived register inherits the largest input it was
+    /// computed from (selections and joins can only shrink, maps preserve
+    /// cardinality), scalars are one word, and registers die at their
+    /// build-time last use — exactly when the executor frees them. The
+    /// peak of the live-set byte sum is the estimate. It deliberately
+    /// ignores operator scratch (hash tables, sort staging), so treat it
+    /// as a lower-bound footprint: admission budgets should keep slack.
+    pub fn estimate_device_footprint(&self, catalog: &Catalog) -> usize {
+        let mut sizes: HashMap<Var, usize> = HashMap::new();
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        for (index, node) in self.nodes.iter().enumerate() {
+            let out_bytes = match &node.op {
+                PlanOp::Bind { table, column } => {
+                    catalog.column(table, column).map(|bat| bat.len() * 4).unwrap_or(0)
+                }
+                PlanOp::SumF32 => 4,
+                _ => {
+                    node.inputs.iter().filter_map(|var| sizes.get(var).copied()).max().unwrap_or(0)
+                }
+            };
+            for out in &node.outputs {
+                sizes.insert(*out, out_bytes);
+                live += out_bytes;
+            }
+            peak = peak.max(live);
+            for var in node.inputs.iter().chain(&node.outputs) {
+                let dead = match self.last_use(*var) {
+                    Some(last) => last == index && node.inputs.contains(var),
+                    None => node.outputs.contains(var),
+                };
+                if dead {
+                    if let Some(bytes) = sizes.remove(var) {
+                        live = live.saturating_sub(bytes);
+                    }
+                }
+            }
+        }
+        peak
     }
 }
 
@@ -661,17 +728,66 @@ pub struct PlanRun<'a, B: Backend> {
     registers: HashMap<Var, Slot<B::Column>>,
     results: Vec<QueryValue>,
     pc: usize,
+    restarts: u64,
+}
+
+thread_local! {
+    /// Depth of restart-protected node executions on the current thread.
+    /// Non-zero exactly while [`PlanRun::step`] is inside the
+    /// `catch_unwind` that implements the OOM-restart protocol.
+    static OOM_PROTECTED: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// `DeviceOom` unwinds raised under [`PlanRun::step`]'s `catch_unwind` are
+/// internal control flow (caught and recovered by the restart protocol),
+/// so the default panic hook must not spam a "thread panicked" line for
+/// every restart. The silence is scoped by [`OOM_PROTECTED`]: a
+/// `DeviceOom` escaping *outside* a protected section (direct `Backend`
+/// use under memory pressure) is a real failure and gets an explanatory
+/// line plus the previous hook. Installed once; every non-OOM panic
+/// reaches the previous hook unchanged.
+fn silence_device_oom_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| match info.payload().downcast_ref::<DeviceOom>() {
+            Some(_) if OOM_PROTECTED.with(|depth| depth.get()) > 0 => {}
+            Some(oom) => {
+                eprintln!(
+                    "device out of memory: {} bytes requested, {} available \
+                         (recoverable only inside a plan run, via the OOM-restart protocol)",
+                    oom.requested, oom.available
+                );
+                previous(info);
+            }
+            None => previous(info),
+        }));
+    });
 }
 
 impl<'a, B: Backend> PlanRun<'a, B> {
     /// Prepares a run; nothing executes until [`PlanRun::step`].
     pub fn new(plan: &'a Plan, backend: &'a B, catalog: &'a Catalog) -> PlanRun<'a, B> {
-        PlanRun { plan, backend, catalog, registers: HashMap::new(), results: Vec::new(), pc: 0 }
+        silence_device_oom_panics();
+        PlanRun {
+            plan,
+            backend,
+            catalog,
+            registers: HashMap::new(),
+            results: Vec::new(),
+            pc: 0,
+            restarts: 0,
+        }
     }
 
     /// Number of nodes executed so far.
     pub fn completed_nodes(&self) -> usize {
         self.pc
+    }
+
+    /// Number of node restarts the OOM-restart protocol performed.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
     }
 
     /// Whether every node has executed.
@@ -720,11 +836,90 @@ impl<'a, B: Backend> PlanRun<'a, B> {
         }
     }
 
-    /// Executes exactly one node. Errors leave the run unable to proceed.
+    /// Restart attempts per node before an OOM becomes a plan error. A
+    /// multi-allocation node can legitimately need several progressive
+    /// restarts (each attempt reaches further once the previous attempt's
+    /// pending work is flushed out); the limit only bounds the degenerate
+    /// case where reclaim keeps reporting trivial progress.
+    const RESTART_LIMIT: usize = 6;
+
+    /// Executes exactly one node. Errors leave the run unable to proceed —
+    /// with one exception: a node failing with out-of-device-memory goes
+    /// through the **OOM-restart protocol** (`ocelot_core::cache` module
+    /// docs). The failed attempt's partial outputs are dropped, the
+    /// backend **releases** pending work and **evicts** unpinned cached
+    /// state ([`Backend::reclaim_memory`]), and the node is re-executed
+    /// from scratch; only when reclaim stops making progress (the plan's
+    /// own pinned working set does not fit) or the restart limit is hit
+    /// does the failure surface as [`PlanError::OutOfDeviceMemory`].
     pub fn step(&mut self) -> Result<StepOutcome, PlanError> {
-        let Some(node) = self.plan.nodes().get(self.pc) else {
+        if self.pc >= self.plan.len() {
             return Ok(StepOutcome::Done);
-        };
+        }
+        // Copy the plan reference out of `self` ('a outlives this call), so
+        // the node borrow coexists with the `&mut self` execution below.
+        let plan = self.plan;
+        let node = &plan.nodes()[self.pc];
+        let results_before = self.results.len();
+        let mut attempts = 0usize;
+        loop {
+            OOM_PROTECTED.with(|depth| depth.set(depth.get() + 1));
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| self.exec_node(node)));
+            OOM_PROTECTED.with(|depth| depth.set(depth.get() - 1));
+            match caught {
+                Ok(result) => {
+                    result?;
+                    break;
+                }
+                Err(payload) => match payload.downcast::<DeviceOom>() {
+                    Ok(oom) => {
+                        // Drop whatever the failed attempt already produced
+                        // so the re-run starts from a clean slate.
+                        for out in &node.outputs {
+                            self.registers.remove(out);
+                        }
+                        self.results.truncate(results_before);
+                        attempts += 1;
+                        let progressed = self.backend.reclaim_memory(oom.requested);
+                        if attempts > Self::RESTART_LIMIT || !progressed {
+                            return Err(PlanError::OutOfDeviceMemory {
+                                requested: oom.requested,
+                                available: oom.available,
+                            });
+                        }
+                        self.restarts += 1;
+                    }
+                    Err(other) => panic::resume_unwind(other),
+                },
+            }
+        }
+        // Register reclamation: values read for the last time by this node
+        // are dead, and outputs no later node ever reads (a discarded join
+        // side, say) are dead on arrival — dropping either returns its
+        // buffers to the recycle pool once pending queue operations
+        // complete.
+        for var in &node.inputs {
+            if self.plan.last_use(*var) == Some(self.pc) {
+                self.registers.remove(var);
+            }
+        }
+        for var in &node.outputs {
+            if self.plan.last_use(*var).is_none() {
+                self.registers.remove(var);
+            }
+        }
+        self.pc += 1;
+        if self.pc >= self.plan.len() {
+            Ok(StepOutcome::Done)
+        } else {
+            Ok(StepOutcome::Progressed)
+        }
+    }
+
+    /// Runs one node's operator against the backend (no register
+    /// reclamation, no program-counter advance — [`PlanRun::step`] owns
+    /// those, so a restarted node re-executes this body alone).
+    fn exec_node(&mut self, node: &PlanNode) -> Result<(), PlanError> {
         let b = self.backend;
         let set = |run: &mut Self, slot: Slot<B::Column>| {
             run.registers.insert(node.outputs[0], slot);
@@ -901,27 +1096,7 @@ impl<'a, B: Backend> PlanRun<'a, B> {
                 }
             }
         }
-        // Register reclamation: values read for the last time by this node
-        // are dead, and outputs no later node ever reads (a discarded join
-        // side, say) are dead on arrival — dropping either returns its
-        // buffers to the recycle pool once pending queue operations
-        // complete.
-        for var in &node.inputs {
-            if self.plan.last_use(*var) == Some(self.pc) {
-                self.registers.remove(var);
-            }
-        }
-        for var in &node.outputs {
-            if self.plan.last_use(*var).is_none() {
-                self.registers.remove(var);
-            }
-        }
-        self.pc += 1;
-        if self.pc >= self.plan.len() {
-            Ok(StepOutcome::Done)
-        } else {
-            Ok(StepOutcome::Progressed)
-        }
+        Ok(())
     }
 
     /// Runs every remaining node.
@@ -1116,6 +1291,286 @@ mod tests {
             PlanError::UnknownColumn { table: "nope".into(), column: "nothing".into() }
         );
         assert!(err.to_string().contains("unknown column"));
+    }
+
+    /// A backend whose `bat` fails with a device OOM a configured number
+    /// of times before succeeding — the deterministic harness for the
+    /// OOM-restart protocol (release → evict → re-run the failed node).
+    struct OomBackend {
+        inner: MonetSeqBackend,
+        failures_left: std::sync::atomic::AtomicUsize,
+        reclaims: std::sync::atomic::AtomicUsize,
+        reclaim_succeeds: bool,
+        /// Fail with a plain panic instead of a `DeviceOom` payload (to
+        /// prove unrelated panics are not swallowed by the protocol).
+        plain_panic: bool,
+    }
+
+    impl OomBackend {
+        fn failing(times: usize, reclaim_succeeds: bool) -> OomBackend {
+            OomBackend {
+                inner: MonetSeqBackend::new(),
+                failures_left: std::sync::atomic::AtomicUsize::new(times),
+                reclaims: std::sync::atomic::AtomicUsize::new(0),
+                reclaim_succeeds,
+                plain_panic: false,
+            }
+        }
+    }
+
+    impl Backend for OomBackend {
+        type Column = <MonetSeqBackend as Backend>::Column;
+        fn name(&self) -> &str {
+            "OOM harness"
+        }
+        fn bat(&self, bat: &ocelot_storage::BatRef) -> Self::Column {
+            use std::sync::atomic::Ordering;
+            let left = self.failures_left.load(Ordering::Relaxed);
+            if left > 0 {
+                self.failures_left.store(left - 1, Ordering::Relaxed);
+                if self.plain_panic {
+                    std::panic::panic_any("unrelated panic");
+                }
+                std::panic::panic_any(DeviceOom { requested: 4096, available: 0 });
+            }
+            self.inner.bat(bat)
+        }
+        fn reclaim_memory(&self, _requested: usize) -> bool {
+            self.reclaims.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.reclaim_succeeds
+        }
+        fn lift_i32(&self, v: Vec<i32>) -> Self::Column {
+            self.inner.lift_i32(v)
+        }
+        fn lift_f32(&self, v: Vec<f32>) -> Self::Column {
+            self.inner.lift_f32(v)
+        }
+        fn lift_oids(&self, v: Vec<u32>) -> Self::Column {
+            self.inner.lift_oids(v)
+        }
+        fn to_i32(&self, c: &Self::Column) -> Vec<i32> {
+            self.inner.to_i32(c)
+        }
+        fn to_f32(&self, c: &Self::Column) -> Vec<f32> {
+            self.inner.to_f32(c)
+        }
+        fn to_oids(&self, c: &Self::Column) -> Vec<u32> {
+            self.inner.to_oids(c)
+        }
+        fn len(&self, c: &Self::Column) -> usize {
+            self.inner.len(c)
+        }
+        fn select_range_i32(
+            &self,
+            c: &Self::Column,
+            lo: i32,
+            hi: i32,
+            cands: Option<&Self::Column>,
+        ) -> Self::Column {
+            self.inner.select_range_i32(c, lo, hi, cands)
+        }
+        fn select_range_f32(
+            &self,
+            c: &Self::Column,
+            lo: f32,
+            hi: f32,
+            cands: Option<&Self::Column>,
+        ) -> Self::Column {
+            self.inner.select_range_f32(c, lo, hi, cands)
+        }
+        fn select_eq_i32(
+            &self,
+            c: &Self::Column,
+            n: i32,
+            cands: Option<&Self::Column>,
+        ) -> Self::Column {
+            self.inner.select_eq_i32(c, n, cands)
+        }
+        fn select_ne_i32(
+            &self,
+            c: &Self::Column,
+            n: i32,
+            cands: Option<&Self::Column>,
+        ) -> Self::Column {
+            self.inner.select_ne_i32(c, n, cands)
+        }
+        fn union_oids(&self, a: &Self::Column, b: &Self::Column) -> Self::Column {
+            self.inner.union_oids(a, b)
+        }
+        fn fetch(&self, c: &Self::Column, o: &Self::Column) -> Self::Column {
+            self.inner.fetch(c, o)
+        }
+        fn mul_f32(&self, a: &Self::Column, b: &Self::Column) -> Self::Column {
+            self.inner.mul_f32(a, b)
+        }
+        fn add_f32(&self, a: &Self::Column, b: &Self::Column) -> Self::Column {
+            self.inner.add_f32(a, b)
+        }
+        fn sub_f32(&self, a: &Self::Column, b: &Self::Column) -> Self::Column {
+            self.inner.sub_f32(a, b)
+        }
+        fn const_minus_f32(&self, k: f32, a: &Self::Column) -> Self::Column {
+            self.inner.const_minus_f32(k, a)
+        }
+        fn const_plus_f32(&self, k: f32, a: &Self::Column) -> Self::Column {
+            self.inner.const_plus_f32(k, a)
+        }
+        fn mul_const_f32(&self, a: &Self::Column, k: f32) -> Self::Column {
+            self.inner.mul_const_f32(a, k)
+        }
+        fn cast_i32_f32(&self, a: &Self::Column) -> Self::Column {
+            self.inner.cast_i32_f32(a)
+        }
+        fn extract_year(&self, a: &Self::Column) -> Self::Column {
+            self.inner.extract_year(a)
+        }
+        fn pkfk_join(&self, fk: &Self::Column, pk: &Self::Column) -> (Self::Column, Self::Column) {
+            self.inner.pkfk_join(fk, pk)
+        }
+        fn semi_join(&self, l: &Self::Column, r: &Self::Column) -> Self::Column {
+            self.inner.semi_join(l, r)
+        }
+        fn anti_join(&self, l: &Self::Column, r: &Self::Column) -> Self::Column {
+            self.inner.anti_join(l, r)
+        }
+        fn group_by(&self, keys: &[&Self::Column]) -> GroupHandle<Self::Column> {
+            self.inner.group_by(keys)
+        }
+        fn grouped_sum_f32(&self, v: &Self::Column, g: &GroupHandle<Self::Column>) -> Self::Column {
+            self.inner.grouped_sum_f32(v, g)
+        }
+        fn grouped_count(&self, g: &GroupHandle<Self::Column>) -> Self::Column {
+            self.inner.grouped_count(g)
+        }
+        fn grouped_min_f32(&self, v: &Self::Column, g: &GroupHandle<Self::Column>) -> Self::Column {
+            self.inner.grouped_min_f32(v, g)
+        }
+        fn grouped_max_f32(&self, v: &Self::Column, g: &GroupHandle<Self::Column>) -> Self::Column {
+            self.inner.grouped_max_f32(v, g)
+        }
+        fn grouped_avg_f32(&self, v: &Self::Column, g: &GroupHandle<Self::Column>) -> Self::Column {
+            self.inner.grouped_avg_f32(v, g)
+        }
+        fn sum_f32(&self, v: &Self::Column) -> f32 {
+            self.inner.sum_f32(v)
+        }
+        fn min_f32(&self, v: &Self::Column) -> f32 {
+            self.inner.min_f32(v)
+        }
+        fn max_f32(&self, v: &Self::Column) -> f32 {
+            self.inner.max_f32(v)
+        }
+        fn min_i32(&self, v: &Self::Column) -> i32 {
+            self.inner.min_i32(v)
+        }
+        fn avg_f32(&self, v: &Self::Column) -> f32 {
+            self.inner.avg_f32(v)
+        }
+        fn sort_order_i32(&self, c: &Self::Column, d: bool) -> Self::Column {
+            self.inner.sort_order_i32(c, d)
+        }
+        fn sort_order_f32(&self, c: &Self::Column, d: bool) -> Self::Column {
+            self.inner.sort_order_f32(c, d)
+        }
+        fn begin_timing(&self) {
+            self.inner.begin_timing()
+        }
+        fn elapsed_ns(&self) -> u64 {
+            self.inner.elapsed_ns()
+        }
+    }
+
+    #[test]
+    fn oom_nodes_are_restarted_after_reclaim() {
+        // The node's first two attempts fail with a device OOM; the restart
+        // protocol must reclaim, re-run it, and deliver the correct result.
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let reference = execute_plan(&plan, &MonetSeqBackend::new(), &catalog).unwrap();
+
+        let backend = OomBackend::failing(2, true);
+        let mut run = PlanRun::new(&plan, &backend, &catalog);
+        run.run_to_completion().unwrap();
+        assert_eq!(run.restarts(), 2, "one restart per failed attempt");
+        assert_eq!(
+            backend.reclaims.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "every restart runs a reclaim pass first"
+        );
+        assert_eq!(run.into_results(), reference, "restarted run produces identical results");
+    }
+
+    #[test]
+    fn oom_without_reclaim_progress_fails_structurally() {
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let backend = OomBackend::failing(1, false);
+        let err = PlanRun::new(&plan, &backend, &catalog).run_to_completion().unwrap_err();
+        assert_eq!(err, PlanError::OutOfDeviceMemory { requested: 4096, available: 0 });
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn oom_restarts_give_up_after_the_limit() {
+        let plan = grouped_plan();
+        let catalog = catalog();
+        // More failures than the restart limit: reclaim keeps "succeeding"
+        // but the node keeps failing — the run must not loop forever.
+        let backend = OomBackend::failing(100, true);
+        let err = PlanRun::new(&plan, &backend, &catalog).run_to_completion().unwrap_err();
+        assert!(matches!(err, PlanError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn non_oom_panics_are_not_swallowed() {
+        // Only DeviceOom payloads enter the restart protocol; any other
+        // panic must unwind through step() to the caller unchanged.
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let mut backend = OomBackend::failing(1, true);
+        backend.plain_panic = true;
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            PlanRun::new(&plan, &backend, &catalog).run_to_completion().unwrap();
+        }));
+        let payload = caught.unwrap_err();
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "unrelated panic");
+        assert_eq!(
+            backend.reclaims.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "no reclaim pass for a non-OOM panic"
+        );
+    }
+
+    #[test]
+    fn footprint_estimate_tracks_register_lifetimes() {
+        let catalog = catalog();
+        // Two 2 000-row i32/f32 columns live at once (8 000 bytes each),
+        // plus derived registers: the estimate must at least cover the
+        // bound base columns and stay finite/plausible.
+        let plan = grouped_plan();
+        let footprint = plan.estimate_device_footprint(&catalog);
+        assert!(footprint >= 2 * 2_000 * 4, "covers concurrently live base columns: {footprint}");
+        assert!(footprint < 20 * 2_000 * 4, "does not blow up: {footprint}");
+
+        // A plan that binds and immediately reduces one column peaks lower
+        // than one holding three columns live simultaneously.
+        let mut small = PlanBuilder::new();
+        let v = small.bind("t", "v");
+        let total = small.sum_f32(v).unwrap();
+        small.result(&[total]).unwrap();
+        let small = small.finish();
+
+        let mut wide = PlanBuilder::new();
+        let a = wide.bind("t", "v");
+        let b = wide.bind("t", "k");
+        let c = wide.bind("t", "g");
+        wide.result(&[a, b, c]).unwrap();
+        let wide = wide.finish();
+
+        assert!(
+            small.estimate_device_footprint(&catalog) < wide.estimate_device_footprint(&catalog),
+            "register pressure orders plans"
+        );
     }
 
     #[test]

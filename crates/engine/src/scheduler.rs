@@ -19,6 +19,14 @@
 //! * **FIFO admission.** Jobs are admitted in submission order. At most
 //!   [`Scheduler::with_in_flight`] plans are in flight at once; a plan's
 //!   completion admits the next waiting job.
+//! * **Cost-based admission (optional).** With
+//!   [`Scheduler::with_memory_budget`], a job is additionally held back
+//!   while the in-flight plans' estimated device footprints
+//!   ([`Plan::estimate_device_footprint`]) plus its own would exceed the
+//!   budget — two memory-hungry plans are never co-scheduled onto a small
+//!   device, so concurrency does not push the memory manager into its
+//!   eviction/restart paths. Admission order stays strictly FIFO and a
+//!   plan too large even for an idle device still runs alone.
 //! * **Round-robin interleaving.** In-flight plans execute one node per
 //!   scheduling round, in admission order. Scheduling is deterministic: the
 //!   same jobs admitted in the same order execute their nodes in the same
@@ -93,6 +101,7 @@ pub struct StepTrace {
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     in_flight: usize,
+    memory_budget: Option<usize>,
 }
 
 impl Default for Scheduler {
@@ -104,13 +113,33 @@ impl Default for Scheduler {
 impl Scheduler {
     /// A scheduler admitting up to 4 plans at once.
     pub fn new() -> Scheduler {
-        Scheduler { in_flight: 4 }
+        Scheduler { in_flight: 4, memory_budget: None }
     }
 
     /// Sets the admission cap (clamped to at least 1).
     pub fn with_in_flight(mut self, in_flight: usize) -> Scheduler {
         self.in_flight = in_flight.max(1);
         self
+    }
+
+    /// Enables **cost-based admission**: each job's device footprint is
+    /// estimated from its plan's dataflow
+    /// ([`Plan::estimate_device_footprint`]) and two plans whose combined
+    /// estimates exceed `bytes` are never co-scheduled — the next job
+    /// waits for an in-flight plan to finish instead of pushing the device
+    /// into the eviction/restart paths. Admission stays strictly FIFO (an
+    /// oversized head never lets later jobs jump the queue, keeping the
+    /// deterministic-interleaving contract), and a job too large even for
+    /// an idle device is still admitted alone — it then relies on
+    /// eviction + node restarts rather than deadlocking the queue.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Scheduler {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// The admission memory budget, if cost-based admission is enabled.
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
     }
 
     /// The admission cap.
@@ -151,22 +180,36 @@ impl Scheduler {
         let mut results: Vec<Option<Result<Vec<QueryValue>, PlanError>>> =
             (0..jobs.len()).map(|_| None).collect();
         let mut traces = Vec::new();
+        // Estimated device footprint per job (only computed under
+        // cost-based admission; `0` keeps the plain-FIFO path free).
+        let footprints: Vec<usize> = match self.memory_budget {
+            Some(_) => {
+                jobs.iter().map(|job| job.plan.estimate_device_footprint(job.catalog)).collect()
+            }
+            None => vec![0; jobs.len()],
+        };
         // FIFO admission queue of job indices not yet admitted.
-        let mut waiting = 0..jobs.len();
-        // In-flight runs, in admission order.
-        let mut active: Vec<(usize, PlanRun<'_, B>)> = Vec::new();
+        let mut waiting = (0..jobs.len()).peekable();
+        // In-flight runs, in admission order, with their footprints.
+        let mut active: Vec<(usize, usize, PlanRun<'_, B>)> = Vec::new();
         loop {
             while active.len() < self.in_flight {
-                match waiting.next() {
-                    Some(index) => {
-                        let job = &jobs[index];
-                        active.push((
-                            index,
-                            PlanRun::new(job.plan, job.session.backend(), job.catalog),
-                        ));
+                let Some(&index) = waiting.peek() else { break };
+                if let Some(budget) = self.memory_budget {
+                    let in_use: usize = active.iter().map(|(_, bytes, _)| *bytes).sum();
+                    // Refuse to co-schedule past the budget; an oversized
+                    // plan still runs once the device is otherwise idle.
+                    if !active.is_empty() && in_use + footprints[index] > budget {
+                        break;
                     }
-                    None => break,
                 }
+                waiting.next();
+                let job = &jobs[index];
+                active.push((
+                    index,
+                    footprints[index],
+                    PlanRun::new(job.plan, job.session.backend(), job.catalog),
+                ));
             }
             if active.is_empty() {
                 break;
@@ -174,7 +217,7 @@ impl Scheduler {
             // One scheduling round: each in-flight plan executes one node.
             let mut slot = 0;
             while slot < active.len() {
-                let (index, run) = &mut active[slot];
+                let (index, _, run) = &mut active[slot];
                 let index = *index;
                 let stepped = match &probe {
                     None => run.step(),
@@ -203,8 +246,8 @@ impl Scheduler {
                         // The freed slot admits the next waiting job at the
                         // top of the loop.
                     }
-                    Ok(_) if active[slot].1.is_done() => {
-                        let (index, run) = active.remove(slot);
+                    Ok(_) if active[slot].2.is_done() => {
+                        let (index, _, run) = active.remove(slot);
                         results[index] = Some(Ok(run.into_results()));
                     }
                     Ok(_) => {
@@ -305,6 +348,74 @@ mod tests {
                 "{}: one flush per plan under concurrency",
                 session.name()
             );
+        }
+    }
+
+    /// First trace-step index of each job: under round-robin, co-scheduled
+    /// jobs start in the same rounds; serialised jobs start strictly after
+    /// the previous one finished.
+    fn first_step(traces: &[StepTrace], job: usize) -> usize {
+        traces.iter().position(|t| t.job == job).unwrap()
+    }
+
+    #[test]
+    fn memory_budget_refuses_to_coschedule_hungry_plans() {
+        let catalog = catalog();
+        let plan = compile(&example_plan("t", "a", "b", 0, 50)).unwrap();
+        let session = Session::new(MonetSeqBackend::new());
+        let footprint = plan.estimate_device_footprint(&catalog);
+        assert!(footprint > 0, "t has 5 000-row columns: the estimate must see them");
+        let jobs = [
+            QueryJob { session: &session, plan: &plan, catalog: &catalog },
+            QueryJob { session: &session, plan: &plan, catalog: &catalog },
+        ];
+
+        // Budget below 2x the footprint: the second job must wait for the
+        // first to finish (its first step comes after every step of job 0).
+        let tight = Scheduler::new().with_in_flight(2).with_memory_budget(footprint * 3 / 2);
+        let (results, traces) = tight.run_traced(&jobs, |_| DeviceClock::default());
+        assert!(results.iter().all(|r| r.is_ok()));
+        let job0_last = traces.iter().rposition(|t| t.job == 0).unwrap();
+        assert!(
+            first_step(&traces, 1) > job0_last,
+            "hungry plans must not be co-scheduled under a tight budget"
+        );
+
+        // Ample budget: both are admitted together (round-robin start).
+        let ample = Scheduler::new().with_in_flight(2).with_memory_budget(footprint * 4);
+        let (results, traces) = ample.run_traced(&jobs, |_| DeviceClock::default());
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(first_step(&traces, 1), 1, "ample budget co-schedules in round-robin");
+    }
+
+    #[test]
+    fn oversized_plans_still_run_alone_and_fifo_is_preserved() {
+        let catalog = catalog();
+        let plan = compile(&example_plan("t", "a", "b", 0, 50)).unwrap();
+        let session = Session::new(MonetSeqBackend::new());
+        // Budget smaller than a single plan: every job still completes
+        // (admitted alone, relying on eviction/restart at the device
+        // level), in submission order.
+        let scheduler = Scheduler::new().with_in_flight(3).with_memory_budget(1);
+        let jobs = [
+            QueryJob { session: &session, plan: &plan, catalog: &catalog },
+            QueryJob { session: &session, plan: &plan, catalog: &catalog },
+            QueryJob { session: &session, plan: &plan, catalog: &catalog },
+        ];
+        let (results, traces) = scheduler.run_traced(&jobs, |_| DeviceClock::default());
+        assert!(results.iter().all(|r| r.is_ok()));
+        for job in 1..3 {
+            let previous_last = traces.iter().rposition(|t| t.job == job - 1).unwrap();
+            assert!(
+                first_step(&traces, job) > previous_last,
+                "job {job} must wait for job {} under a minimal budget",
+                job - 1
+            );
+        }
+        // Results are identical to an unbudgeted run.
+        let plain = Scheduler::new().with_in_flight(3).run(&jobs);
+        for (a, b) in results.iter().zip(&plain) {
+            assert_eq!(scalar(a).to_bits(), scalar(b).to_bits());
         }
     }
 

@@ -56,9 +56,17 @@ impl<B: Backend> Session<B> {
 
 impl Session<OcelotBackend> {
     /// An Ocelot session on a shared device: own queue and Memory Manager,
-    /// shared buffer pool (see module docs).
+    /// shared buffer pool and shared column cache (see module docs).
     pub fn ocelot(shared: &SharedDevice) -> Session<OcelotBackend> {
         Session::new(OcelotBackend::on_shared(shared))
+    }
+
+    /// The device-wide column cache this session binds base columns
+    /// through, when it was created from a [`SharedDevice`] (stand-alone
+    /// contexts bind through their private Memory Manager instead). The
+    /// handle exposes the cache's hit/miss/eviction counters and budget.
+    pub fn column_cache(&self) -> Option<&std::sync::Arc<ocelot_core::ColumnCache>> {
+        self.backend.context().column_cache()
     }
 }
 

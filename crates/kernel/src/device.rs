@@ -100,18 +100,25 @@ impl MemAccountant {
     /// Attempts to reserve `bytes`; fails with
     /// [`KernelError::OutOfDeviceMemory`] if the capacity would be exceeded.
     pub fn try_alloc(&self, bytes: usize) -> Result<()> {
+        self.try_alloc_capped(bytes, usize::MAX)
+    }
+
+    /// [`MemAccountant::try_alloc`] against `min(capacity, cap)` — the
+    /// reservation primitive behind soft device-memory budgets. The check
+    /// and the reservation are one atomic step (CAS), so concurrent
+    /// sessions sharing the accountant cannot both squeeze past the cap.
+    pub fn try_alloc_capped(&self, bytes: usize, cap: usize) -> Result<()> {
+        let limit = self.capacity.min(cap);
         let mut current = self.used.load(Ordering::Relaxed);
         loop {
-            let new = current.checked_add(bytes).ok_or(KernelError::OutOfDeviceMemory {
+            let over = KernelError::OutOfDeviceMemory {
                 requested: bytes,
-                available: self.capacity.saturating_sub(current),
-            })?;
-            if new > self.capacity {
-                return Err(KernelError::OutOfDeviceMemory {
-                    requested: bytes,
-                    available: self.capacity.saturating_sub(current),
-                });
-            }
+                available: limit.saturating_sub(current),
+            };
+            let new = match current.checked_add(bytes) {
+                Some(new) if new <= limit => new,
+                _ => return Err(over),
+            };
             match self.used.compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed)
             {
                 Ok(_) => return Ok(()),
@@ -337,8 +344,16 @@ impl Device {
     /// Allocates an uninitialised (zeroed) buffer of `words` 32-bit words on
     /// this device.
     pub fn alloc(&self, words: usize, label: &str) -> Result<Buffer> {
+        self.alloc_capped(words, label, usize::MAX)
+    }
+
+    /// [`Device::alloc`] that additionally respects a caller-supplied cap
+    /// on device-wide used bytes (a soft memory budget). The budget check
+    /// and the reservation are a single atomic step — see
+    /// [`MemAccountant::try_alloc_capped`].
+    pub fn alloc_capped(&self, words: usize, label: &str, cap_bytes: usize) -> Result<Buffer> {
         let bytes = words * 4;
-        self.mem.try_alloc(bytes)?;
+        self.mem.try_alloc_capped(bytes, cap_bytes)?;
         let id = self.next_buffer_id.fetch_add(1, Ordering::Relaxed);
         Ok(Buffer::new(id, words, label, Some(Arc::clone(&self.mem))))
     }
@@ -416,6 +431,41 @@ mod tests {
         acc.try_alloc(30).unwrap();
         assert_eq!(acc.used(), 80);
         assert_eq!(acc.available(), 20);
+    }
+
+    #[test]
+    fn capped_reservation_is_atomic_and_respects_the_smaller_limit() {
+        let acc = MemAccountant::new(1000);
+        acc.try_alloc_capped(300, 500).unwrap();
+        let err = acc.try_alloc_capped(300, 500).unwrap_err();
+        match err {
+            KernelError::OutOfDeviceMemory { requested, available } => {
+                assert_eq!(requested, 300);
+                assert_eq!(available, 200, "available is against the cap, not capacity");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Capacity still binds when it is the smaller limit.
+        acc.try_alloc_capped(700, usize::MAX).unwrap();
+        assert!(acc.try_alloc_capped(1, usize::MAX).is_err());
+        acc.release(1000);
+        // Concurrent reservations against a cap never jointly overshoot.
+        let acc = std::sync::Arc::new(MemAccountant::new(usize::MAX));
+        let grabbed: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let acc = std::sync::Arc::clone(&acc);
+                    scope.spawn(move || {
+                        (0..100).filter(|_| acc.try_alloc_capped(7, 1000).is_ok()).count() * 7
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert!(grabbed <= 1000, "cap overshot: {grabbed}");
+        assert_eq!(acc.used(), grabbed);
     }
 
     #[test]

@@ -25,4 +25,7 @@ pub mod dbgen;
 pub mod queries;
 
 pub use dbgen::{TpchConfig, TpchDb};
-pub use queries::{q3_plan, q6_plan, run_query, QueryError, QueryResult, QUERY_IDS};
+pub use queries::{
+    q12_plan, q3_plan, q4_plan, q6_plan, run_query, QueryError, QueryResult, PORTED_QUERY_IDS,
+    QUERY_IDS,
+};

@@ -16,6 +16,30 @@
 //!   one session's allocations from another session's finished
 //!   intermediates (cross-context recycling hit-rate > 0).
 
+use ocelot_tpch::QueryResult;
+
+/// Asserts two [`QueryResult`]s agree within a relative float tolerance of
+/// `1e-3` — the shared comparison every cross-backend suite uses instead
+/// of re-deriving its own ad-hoc tolerance. Panics with both results and
+/// the `label` on divergence.
+pub fn assert_results_close(label: &str, actual: &QueryResult, expected: &QueryResult) {
+    assert_results_close_tol(label, actual, expected, 1e-3);
+}
+
+/// [`assert_results_close`] with an explicit relative tolerance.
+pub fn assert_results_close_tol(
+    label: &str,
+    actual: &QueryResult,
+    expected: &QueryResult,
+    rel_tol: f64,
+) {
+    assert!(
+        actual.approx_eq(expected, rel_tol),
+        "{label}: q{} diverged\nactual:   {actual:?}\nexpected: {expected:?}",
+        expected.query
+    );
+}
+
 #[cfg(test)]
 mod sync_boundary {
     use ocelot_core::ops::select;
@@ -229,6 +253,164 @@ mod sessions {
             delta_cross >= hits,
             "all {hits} hits are cross-context (pool stats moved by {delta_cross})"
         );
+    }
+}
+
+#[cfg(test)]
+mod column_cache {
+    use crate::assert_results_close;
+    use ocelot_core::SharedDevice;
+    use ocelot_engine::Session;
+    use ocelot_tpch::{run_query, QueryResult, TpchConfig, TpchDb};
+    use proptest::collection;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// One shared dataset for the pressure suites (generation is the
+    /// expensive part; the suites only read it).
+    fn db() -> &'static TpchDb {
+        static DB: OnceLock<TpchDb> = OnceLock::new();
+        DB.get_or_init(|| TpchDb::generate(TpchConfig { scale_factor: 0.002, seed: 31 }))
+    }
+
+    /// MS reference results, computed once per query id.
+    fn reference(query: u32) -> &'static QueryResult {
+        static REFS: OnceLock<Vec<(u32, QueryResult)>> = OnceLock::new();
+        let refs = REFS.get_or_init(|| {
+            let session = Session::monet_seq();
+            [3u32, 4, 6, 12]
+                .into_iter()
+                .map(|q| (q, run_query(&session, db(), q).unwrap()))
+                .collect()
+        });
+        &refs.iter().find(|(q, _)| *q == query).unwrap().1
+    }
+
+    /// A device-memory budget small enough to force eviction on the
+    /// query stream's working set but comfortably above the largest
+    /// single-plan pinned set (the stream must *complete*, via the
+    /// restart protocol, not fail).
+    const PRESSURE_BUDGET: usize = 512 * 1024;
+
+    /// The GPU equivalent: the simulated discrete device needs room for
+    /// fixed per-device kernel scratch (the radix sort's histogram is
+    /// `256 radixes x total work-items` ≈ 2 MiB alone), so pressure is
+    /// applied with a higher device budget plus a tight cache budget.
+    const GPU_PRESSURE_BUDGET: usize = 6 * 1024 * 1024;
+
+    #[test]
+    fn warm_cache_rerun_uploads_zero_base_column_bytes() {
+        // The PR 4 acceptance scenario: a session stream re-running Q6 on
+        // a warm ColumnCache re-uploads nothing — proven with the queue's
+        // transfer accounting on the discrete device, where every
+        // host→device byte is charged.
+        let db = db();
+        let shared = SharedDevice::gpu();
+        let cold = Session::ocelot(&shared);
+        let first = run_query(&cold, db, 6).unwrap();
+        assert_results_close("cold q6 (gpu)", &first, reference(6));
+        let cold_stats = shared.cache().stats();
+        assert!(cold_stats.misses >= 4, "q6 binds four lineitem columns: {cold_stats:?}");
+        assert!(cold_stats.bytes_uploaded > 0);
+        assert!(cold.backend().context().queue().total_stats().bytes_to_device > 0);
+
+        for rerun in 0..3 {
+            let warm = Session::ocelot(&shared);
+            let result = run_query(&warm, db, 6).unwrap();
+            assert_results_close("warm q6 (gpu)", &result, reference(6));
+            assert_eq!(
+                warm.backend().context().queue().total_stats().bytes_to_device,
+                0,
+                "warm rerun {rerun} must not upload any base-column bytes"
+            );
+        }
+        let warm_stats = shared.cache().stats();
+        assert_eq!(warm_stats.misses, cold_stats.misses, "no upload after the cold run");
+        assert_eq!(warm_stats.bytes_uploaded, cold_stats.bytes_uploaded);
+        assert!(warm_stats.hits >= 12, "three warm reruns hit the cache: {warm_stats:?}");
+    }
+
+    #[test]
+    fn session_cache_handles_are_shared_and_observable() {
+        let shared = SharedDevice::cpu();
+        let a = Session::ocelot(&shared);
+        let b = Session::ocelot(&shared);
+        let cache_a = a.column_cache().expect("shared-device sessions expose the cache");
+        let cache_b = b.column_cache().unwrap();
+        assert!(std::sync::Arc::ptr_eq(cache_a, cache_b), "one cache per device");
+        drop(run_query(&a, db(), 6).unwrap());
+        assert!(cache_b.stats().misses > 0, "b observes a's binds through the shared handle");
+    }
+
+    #[test]
+    fn tiny_budget_stream_completes_via_eviction_and_restart() {
+        // The second PR 4 acceptance scenario: a stream whose working set
+        // exceeds the device budget completes *correctly* — evicting
+        // resident columns and restarting OOM'd nodes — with eviction
+        // counters > 0.
+        let db = db();
+        let shared = SharedDevice::cpu().with_memory_budget(PRESSURE_BUDGET);
+        let mut reclaims = 0;
+        for &query in &[6, 3, 4, 12, 6, 3, 12] {
+            let session = Session::ocelot(&shared);
+            let result = match run_query(&session, db, query) {
+                Ok(r) => r,
+                Err(e) => panic!(
+                    "q{query} failed: {e:?}; cache={:?} used={} reclaims_this={} ",
+                    shared.cache().stats(),
+                    shared.device().memory().used(),
+                    session.backend().reclaim_count(),
+                ),
+            };
+            assert_results_close("pressured stream", &result, reference(query));
+            reclaims += session.backend().reclaim_count();
+        }
+        let stats = shared.cache().stats();
+        assert!(stats.evictions > 0, "the budget must force eviction: {stats:?}");
+        assert!(stats.hits > 0, "re-used columns still hit while resident: {stats:?}");
+        assert!(
+            reclaims > 0,
+            "at least one node must go through the OOM-restart protocol \
+             (evictions {}, reclaims {reclaims})",
+            stats.evictions
+        );
+    }
+
+    proptest! {
+        /// Results under an artificially tiny device budget (forced
+        /// eviction + restarts) equal results with an unbounded budget,
+        /// across all four backends.
+        #[test]
+        fn pressured_results_equal_unbounded(
+            extra_64k in 0usize..5,
+            picks in collection::vec(0usize..4, 2..5),
+        ) {
+            let queries: Vec<u32> = picks.iter().map(|i| [3u32, 4, 6, 12][*i]).collect();
+            let db = db();
+            // Budgets between ~65% and ~95% of the working set: all force
+            // eviction, the tightest also force node restarts. The GPU
+            // floor is higher because its radix-sort scratch alone is
+            // 2 MiB (256 radixes x 2 048 work-items); its column budget is
+            // pinned below the working set so eviction is still forced.
+            let budget = PRESSURE_BUDGET + extra_64k * 64 * 1024;
+            let cpu = SharedDevice::cpu().with_memory_budget(budget);
+            let gpu = SharedDevice::gpu()
+                .with_memory_budget(GPU_PRESSURE_BUDGET + extra_64k * 64 * 1024)
+                .with_cache_budget(PRESSURE_BUDGET);
+            let mp = Session::monet_par();
+            for &query in &queries {
+                // Unbounded reference (MS) vs the other three backends,
+                // the Ocelot pair running under the tiny budget.
+                let expected = reference(query);
+                let mp_result = run_query(&mp, db, query).unwrap();
+                assert_results_close("MP", &mp_result, expected);
+                for shared in [&cpu, &gpu] {
+                    let session = Session::ocelot(shared);
+                    let result = run_query(&session, db, query).unwrap();
+                    assert_results_close(session.name(), &result, expected);
+                }
+            }
+        }
     }
 }
 
