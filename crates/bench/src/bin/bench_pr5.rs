@@ -1,0 +1,29 @@
+//! Emits `BENCH_pr5.json`: the PR 5 query-algebra benchmark — optimized vs
+//! naive lowering (predicate pushdown + selectivity ordering + projection
+//! pruning ablated) on the Q3/Q5/Q10 join stream, and the execution-parity
+//! overhead of DSL-lowered plans vs their hand-built oracles.
+//!
+//! Usage: `cargo run --release --bin bench_pr5 [-- --smoke] [output-path]`
+//!
+//! `--smoke` runs a reduced configuration (small scale factor, few
+//! samples) for CI, still lowering and executing both plan variants end to
+//! end and writing the report.
+
+use ocelot_bench::harness::Report;
+use ocelot_bench::query_dsl;
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "BENCH_pr5.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if arg != "--" {
+            path = arg;
+        }
+    }
+    let mut report = Report::new();
+    query_dsl::bench_all(&mut report, smoke);
+    report.write_json(&path).expect("failed to write benchmark report");
+    println!("wrote {path}");
+}

@@ -8,4 +8,5 @@ pub mod access_path;
 pub mod deferred;
 pub mod harness;
 pub mod pressure;
+pub mod query_dsl;
 pub mod sessions;

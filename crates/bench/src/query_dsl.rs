@@ -1,0 +1,83 @@
+//! PR 5 benchmark: the logical query algebra's optimizing lowering. Emits
+//! the figures behind `BENCH_pr5.json`.
+//!
+//! Two experiments:
+//!
+//! * **Optimized vs naive lowering** (`lowering/*`) — the Q3/Q5/Q10 join
+//!   stream executed from plans lowered with every rewrite rule on
+//!   (predicate pushdown, selectivity ordering, projection pruning) vs the
+//!   naive configuration (predicates evaluated where the author wrote them
+//!   — above the joins — and every scan column materialised). Same
+//!   session, same data; the delta is what the rewrite rules buy.
+//! * **DSL vs hand-built parity** (`parity/*`) — the DSL-lowered Q3 plan
+//!   vs the hand-built physical oracle plan, executed back to back. The
+//!   layer's promise is declarativeness at ~zero execution cost; the
+//!   report records the overhead ratio (expected ≈1.0, <2%).
+//!
+//! Plans are built once outside the timing loops: this measures plan
+//! *execution*, not plan construction.
+
+use crate::harness::{measure_pair, Report};
+use ocelot_engine::{Plan, RewriteConfig, Session};
+use ocelot_tpch::{q10_query, q3_plan, q3_query, q5_query, TpchConfig, TpchDb};
+use std::hint::black_box;
+
+fn run_stream(session: &Session<ocelot_engine::OcelotBackend>, db: &TpchDb, plans: &[Plan]) {
+    for plan in plans {
+        black_box(session.run(plan, db.catalog()).expect("bench plan failed"));
+    }
+}
+
+/// Runs both experiments into `report`.
+pub fn bench_all(report: &mut Report, smoke: bool) {
+    let sf = if smoke { 0.002 } else { 0.01 };
+    let (warmup, samples) = if smoke { (1, 3) } else { (2, 9) };
+    let db = TpchDb::generate(TpchConfig { scale_factor: sf, seed: 5 });
+    let rows = db.lineitem_rows();
+
+    // ---- optimized vs naive lowering on the Q3/Q5/Q10 join stream ----
+    let queries = [q3_query(&db), q5_query(&db), q10_query(&db)];
+    let optimized: Vec<Plan> =
+        queries.iter().map(|q| q.lower(db.catalog()).expect("lowering failed")).collect();
+    let naive: Vec<Plan> = queries
+        .iter()
+        .map(|q| q.lower_with(db.catalog(), &RewriteConfig::naive()).expect("lowering failed"))
+        .collect();
+    let opt_nodes: usize = optimized.iter().map(|p| p.len()).sum();
+    let naive_nodes: usize = naive.iter().map(|p| p.len()).sum();
+    report.scalar("lowering/optimized_nodes", opt_nodes as f64);
+    report.scalar("lowering/naive_nodes", naive_nodes as f64);
+
+    let session = Session::new(ocelot_engine::OcelotBackend::cpu());
+    let (opt, nai) = measure_pair(
+        "lowering/optimized",
+        "lowering/naive",
+        rows * queries.len(),
+        warmup,
+        samples,
+        || run_stream(&session, &db, &optimized),
+        || run_stream(&session, &db, &naive),
+    );
+    report.push(opt);
+    report.push(nai);
+    report.speedup("lowering/optimized_vs_naive", "lowering/optimized", "lowering/naive");
+
+    // ---- DSL-lowered vs hand-built Q3 (parity overhead) ----
+    let dsl_plan = q3_query(&db).lower(db.catalog()).expect("q3 lowers");
+    let hand_plan = q3_plan(&db).expect("hand q3 builds");
+    let (dsl, hand) = measure_pair(
+        "parity/q3_dsl",
+        "parity/q3_hand",
+        rows,
+        warmup,
+        samples * 2,
+        || black_box(session.run(&dsl_plan, db.catalog()).expect("dsl q3 failed")),
+        || black_box(session.run(&hand_plan, db.catalog()).expect("hand q3 failed")),
+    );
+    // Min-of-samples is the stable estimator for "same work, same code";
+    // medians wobble with allocator noise at smoke scale.
+    let overhead = dsl.min_ns as f64 / hand.min_ns as f64;
+    report.push(dsl);
+    report.push(hand);
+    report.scalar("parity/q3_dsl_over_hand", overhead);
+}

@@ -23,6 +23,15 @@
 //! * [`plan`] — the compiled form: a kind-checked DAG of [`plan::PlanNode`]s
 //!   with declared inputs/outputs, executed by a resumable register machine
 //!   ([`plan::PlanRun`]) that frees registers at their last use.
+//! * [`query`] — the **logical** layer above all of that (PR 5): a typed
+//!   relational algebra ([`query::Query`] — scan / filter / map / join /
+//!   group / sort / limit over an expression tree), a rule-based rewriter
+//!   (constant folding, predicate pushdown, selectivity-ordered predicate
+//!   application, projection pruning) and an optimizing lowering pass that
+//!   compiles the logical tree onto [`plan::PlanBuilder`] — so the
+//!   *engine* picks physical operators (selection kinds, candidate
+//!   chaining, join build sides), not the query author.
+//!   [`query::Query::explain`] renders every decision.
 //! * [`session`] — one client's execution context. Ocelot sessions are
 //!   created from an `ocelot_core::SharedDevice`: private command queue,
 //!   result buffers recycled through the device's shared pool.
@@ -41,11 +50,13 @@ pub mod backend;
 pub mod backends;
 pub mod mal;
 pub mod plan;
+pub mod query;
 pub mod scheduler;
 pub mod session;
 
 pub use backend::{Backend, GroupHandle};
 pub use backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};
 pub use plan::{Plan, PlanBuilder, PlanError, PlanNode, PlanOp, QueryValue};
+pub use query::{col, lit, litf, AggSpec, Expr, Query, QueryBuildError, RewriteConfig};
 pub use scheduler::{QueryJob, Scheduler};
 pub use session::Session;

@@ -266,6 +266,32 @@ impl PlanOp {
     }
 }
 
+impl fmt::Display for PlanOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanOp::Bind { table, column } => write!(f, "bind {table}.{column}"),
+            PlanOp::SelectRangeI32 { low, high } => {
+                write!(f, "select_range_i32 [{low}, {high}]")
+            }
+            PlanOp::SelectRangeF32 { low, high } => {
+                write!(f, "select_range_f32 [{low:?}, {high:?}]")
+            }
+            PlanOp::SelectEqI32 { needle } => write!(f, "select_eq_i32 {needle}"),
+            PlanOp::SelectNeI32 { needle } => write!(f, "select_ne_i32 {needle}"),
+            PlanOp::ConstMinusF32 { constant } => write!(f, "const_minus_f32 {constant:?}"),
+            PlanOp::ConstPlusF32 { constant } => write!(f, "const_plus_f32 {constant:?}"),
+            PlanOp::MulConstF32 { constant } => write!(f, "mul_const_f32 {constant:?}"),
+            PlanOp::SortOrderI32 { descending } => {
+                write!(f, "sort_order_i32 {}", if *descending { "desc" } else { "asc" })
+            }
+            PlanOp::SortOrderF32 { descending } => {
+                write!(f, "sort_order_f32 {}", if *descending { "desc" } else { "asc" })
+            }
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
 /// One node of the operator DAG: an operator plus the registers it reads
 /// and writes.
 #[derive(Debug, Clone, PartialEq)]
@@ -276,6 +302,26 @@ pub struct PlanNode {
     pub inputs: Vec<Var>,
     /// Registers this node writes, in operand order.
     pub outputs: Vec<Var>,
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if !self.inputs.is_empty() {
+            write!(f, " (")?;
+            for (index, var) in self.inputs.iter().enumerate() {
+                write!(f, "{}v{var}", if index > 0 { ", " } else { "" })?;
+            }
+            write!(f, ")")?;
+        }
+        if !self.outputs.is_empty() {
+            write!(f, " ->")?;
+            for var in &self.outputs {
+                write!(f, " v{var}")?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A compiled, kind-checked operator DAG (see module docs).
@@ -327,8 +373,7 @@ impl Plan {
         self.last_use.get(&var).copied()
     }
 
-    /// Estimated peak device footprint of running this plan alone, in
-    /// bytes — the scheduler's cost model for memory-aware admission.
+    /// Estimated peak device footprint of the plan's *registers*, in bytes.
     ///
     /// The estimate walks the dataflow DAG (the same edges
     /// [`Plan::dependencies`] exposes) in execution order, simulating the
@@ -339,13 +384,71 @@ impl Plan {
     /// cardinality), scalars are one word, and registers die at their
     /// build-time last use — exactly when the executor frees them. The
     /// peak of the live-set byte sum is the estimate. It deliberately
-    /// ignores operator scratch (hash tables, sort staging), so treat it
-    /// as a lower-bound footprint: admission budgets should keep slack.
+    /// ignores operator scratch — see [`Plan::estimate_device_footprint`]
+    /// for the admission-grade estimate that includes it.
+    pub fn estimate_register_footprint(&self, catalog: &Catalog) -> usize {
+        self.walk_footprint(catalog, false)
+    }
+
+    /// Estimated peak device footprint of running this plan alone, in
+    /// bytes — the scheduler's cost model for memory-aware admission.
+    ///
+    /// Extends [`Plan::estimate_register_footprint`] with per-operator
+    /// **scratch models** charged while the producing node runs: hash
+    /// builds (joins, grouping) allocate a power-of-two slot table of
+    /// ~1.4× the build cardinality plus per-probe flag space, and the
+    /// radix sort allocates four ping-pong staging buffers plus its
+    /// per-work-item digit histogram (≈2 MiB on the simulated discrete
+    /// GPU — the dominant fixed cost that made the register-only estimate
+    /// under-count sort-heavy plans). Still an estimate, not a bound:
+    /// admission budgets should keep slack.
     pub fn estimate_device_footprint(&self, catalog: &Catalog) -> usize {
+        self.walk_footprint(catalog, true)
+    }
+
+    /// The simulated discrete GPU's radix-sort digit histogram:
+    /// 256 radixes × ~2048 work-items × 4 bytes.
+    const RADIX_HISTOGRAM_BYTES: usize = 256 * 2048 * 4;
+
+    /// Transient device bytes the node's operator allocates beyond its
+    /// input/output registers (hash-table slots, sort staging). Mirrors the
+    /// sizing rules in `ocelot_core::ops::{hash_table, sort_radix}`.
+    fn scratch_bytes(node: &PlanNode, sizes: &HashMap<Var, usize>) -> usize {
+        let input_bytes =
+            |index: usize| node.inputs.get(index).and_then(|v| sizes.get(v)).copied().unwrap_or(0);
+        let hash_table = |build_bytes: usize, probe_bytes: usize| {
+            let build_rows = build_bytes / 4;
+            let capacity =
+                (((build_rows.max(1) as f64) * 1.4).ceil() as usize).next_power_of_two().max(16);
+            // Key slots + occupancy flags (both `capacity` words) plus the
+            // per-probe failed/flag word.
+            (2 * capacity) * 4 + probe_bytes
+        };
+        match &node.op {
+            PlanOp::SortOrderI32 { .. } | PlanOp::SortOrderF32 { .. } => {
+                // Four ping-pong staging buffers (keys/oids × 2) plus the
+                // per-work-item digit histogram.
+                4 * input_bytes(0) + Plan::RADIX_HISTOGRAM_BYTES
+            }
+            PlanOp::PkFkJoin | PlanOp::SemiJoin | PlanOp::AntiJoin => {
+                hash_table(input_bytes(1), input_bytes(0))
+            }
+            PlanOp::GroupBy => {
+                // Grouping hashes every input row.
+                hash_table(input_bytes(0), input_bytes(0))
+            }
+            _ => 0,
+        }
+    }
+
+    fn walk_footprint(&self, catalog: &Catalog, include_scratch: bool) -> usize {
         let mut sizes: HashMap<Var, usize> = HashMap::new();
         let mut live = 0usize;
         let mut peak = 0usize;
         for (index, node) in self.nodes.iter().enumerate() {
+            if include_scratch {
+                peak = peak.max(live + Plan::scratch_bytes(node, &sizes));
+            }
             let out_bytes = match &node.op {
                 PlanOp::Bind { table, column } => {
                     catalog.column(table, column).map(|bat| bat.len() * 4).unwrap_or(0)
@@ -385,6 +488,12 @@ pub struct PlanBuilder {
     nodes: Vec<PlanNode>,
     kinds: HashMap<Var, ValueKind>,
     next_var: Var,
+    /// Registers already bound per `table.column`, so re-binding the same
+    /// base column returns the existing register instead of a duplicate
+    /// node. A duplicate bind would create two registers over one cached
+    /// column and defeat the column cache's single-pin accounting within
+    /// a plan.
+    bound: HashMap<(String, String), Var>,
 }
 
 impl PlanBuilder {
@@ -421,13 +530,21 @@ impl PlanBuilder {
     }
 
     /// Binds a base-table column. The catalog is only consulted at
-    /// execution time, so an unknown column surfaces from the run, not here.
+    /// execution time, so an unknown column surfaces from the run, not
+    /// here. Binding the same `table.column` twice returns the first
+    /// bind's register (one bind node, one cache pin per plan).
     pub fn bind(&mut self, table: &str, column: &str) -> Var {
-        self.push(
+        let key = (table.to_string(), column.to_string());
+        if let Some(var) = self.bound.get(&key) {
+            return *var;
+        }
+        let var = self.push(
             PlanOp::Bind { table: table.to_string(), column: column.to_string() },
             Vec::new(),
             ValueKind::Column,
-        )
+        );
+        self.bound.insert(key, var);
+        var
     }
 
     fn select(&mut self, op: PlanOp, input: Var, cands: Option<Var>) -> Result<Var, PlanError> {
@@ -1570,6 +1687,65 @@ mod tests {
         assert!(
             small.estimate_device_footprint(&catalog) < wide.estimate_device_footprint(&catalog),
             "register pressure orders plans"
+        );
+    }
+
+    #[test]
+    fn duplicate_binds_share_one_register_and_node() {
+        // Re-binding the same table.column must not mint a second register:
+        // two registers over one cached base column would double-pin it in
+        // the device column cache's per-plan accounting.
+        let mut p = PlanBuilder::new();
+        let a = p.bind("t", "v");
+        let b = p.bind("t", "v");
+        assert_eq!(a, b, "same column binds to the same register");
+        let other = p.bind("t", "k");
+        assert_ne!(a, other);
+        let total = p.sum_f32(a).unwrap();
+        p.result(&[total]).unwrap();
+        let plan = p.finish();
+        let binds = plan.nodes().iter().filter(|n| matches!(n.op, PlanOp::Bind { .. })).count();
+        assert_eq!(binds, 2, "one bind node per distinct column");
+        // The deduped plan still executes correctly.
+        let values = execute_plan(&plan, &MonetSeqBackend::new(), &catalog()).unwrap();
+        assert!(matches!(values[0], QueryValue::Scalar(_)));
+    }
+
+    #[test]
+    fn sort_heavy_plans_charge_scratch_beyond_register_lifetimes() {
+        // The admission estimate must include operator scratch: the radix
+        // sort's staging buffers and its (GPU) digit histogram dwarf the
+        // registers of a small sort plan.
+        let catalog = catalog();
+        let mut p = PlanBuilder::new();
+        let v = p.bind("t", "v");
+        let order = p.sort_order_f32(v, true).unwrap();
+        let sorted = p.fetch(v, order).unwrap();
+        p.result(&[sorted]).unwrap();
+        let plan = p.finish();
+
+        let registers = plan.estimate_register_footprint(&catalog);
+        let device = plan.estimate_device_footprint(&catalog);
+        assert!(
+            device > registers,
+            "scratch-aware estimate ({device}) must strictly exceed the register-lifetime \
+             bound ({registers}) for a sort-heavy plan"
+        );
+        // The histogram alone dominates: 256 radixes x 2048 work-items x 4B.
+        assert!(device >= registers + 256 * 2048 * 4, "covers the radix histogram: {device}");
+
+        // Hash joins charge build-side scratch too.
+        let mut j = PlanBuilder::new();
+        let fk = j.bind("t", "k");
+        let pk = j.bind("t", "id");
+        let (pos, _) = j.pkfk_join(fk, pk).unwrap();
+        let out = j.fetch(fk, pos).unwrap();
+        j.result(&[out]).unwrap();
+        let join_plan = j.finish();
+        assert!(
+            join_plan.estimate_device_footprint(&catalog)
+                > join_plan.estimate_register_footprint(&catalog),
+            "hash build space counts toward admission"
         );
     }
 

@@ -1,0 +1,849 @@
+//! The lowering pass: compiles a rewritten [`Logical`] tree onto the
+//! physical [`PlanBuilder`].
+//!
+//! The lowerer owns every physical decision (module docs in
+//! [`super`]): selection operator choice with candidate-list chaining,
+//! column-vs-column comparisons as cast + delta + band selection, `IN`/`OR`
+//! as unions of selections, the hash-join build side, which join sides get
+//! position lists at all, and the materialisation order around groupings
+//! and sorts. Each decision appends a note rendered by
+//! [`super::Query::explain`].
+//!
+//! Internally a lowered relation ([`Rel`]) tracks, per source table, an OID
+//! column aligned to the relation's rows (`None` while the relation is
+//! still the table's identity), plus a cache of materialised columns.
+//! Reading a base column is `bind` (+ `fetch` through the table's OIDs);
+//! computed columns are remembered by name. While a relation is a single
+//! base table with no computed columns, predicates lower as **candidate
+//! selections** on the base columns (the MonetDB-style chain the paper's
+//! operators are built for); after joins they lower as **positional
+//! selections** over materialised columns, and the whole relation is
+//! re-aligned through the resulting position list.
+
+use super::rewrite::{available_columns, classify, selectivity, Atom, ColTy, Pred, Stats};
+use super::{AggFunc, AggSpec, JoinKind, Logical, QueryBuildError, RewriteConfig};
+use crate::plan::{Plan, PlanBuilder, Var};
+use crate::query::expr::{CmpOp, Expr};
+use ocelot_storage::Catalog;
+use std::collections::{HashMap, HashSet};
+
+/// The result of lowering: the physical plan plus the decision notes.
+pub(crate) struct Lowered {
+    /// The compiled physical plan.
+    pub plan: Plan,
+    /// One note per physical decision, for `explain`.
+    pub notes: Vec<String>,
+}
+
+/// A materialised column of a lowered relation.
+#[derive(Clone)]
+struct RelCol {
+    var: Var,
+    ty: ColTy,
+    /// Whether the column is a plain fetch of base data (droppable and
+    /// lazily re-fetchable) as opposed to a computed value that must be
+    /// carried through re-alignments.
+    refetchable: bool,
+}
+
+/// A lowered relation (see module docs).
+struct Rel {
+    /// Per source table: OIDs into base rows, aligned to the relation's
+    /// rows (`None` = the relation *is* the full table).
+    tables: Vec<(String, Option<Var>)>,
+    /// Materialised columns aligned to the relation's rows.
+    cols: HashMap<String, RelCol>,
+    /// Columns whose values are unique per relation row.
+    unique: HashSet<String>,
+    /// Estimated row count.
+    rows: f64,
+    /// Whether the relation is the output of a grouping (no base tables;
+    /// every column lives in `cols`).
+    grouped: bool,
+    /// Set when the relation is a single ungrouped scalar aggregate.
+    scalar: Option<(String, Var)>,
+}
+
+struct Lower<'a> {
+    catalog: &'a Catalog,
+    stats: &'a Stats<'a>,
+    cfg: &'a RewriteConfig,
+    p: PlanBuilder,
+    notes: Vec<String>,
+}
+
+/// Lowers a rewritten logical tree into a physical plan (entry point; see
+/// module docs). `stats` is the same memoised instance the rewrite used,
+/// so no column is scanned twice per compile.
+pub(crate) fn lower(
+    root: &Logical,
+    outputs: &[String],
+    stats: &Stats,
+    cfg: &RewriteConfig,
+) -> Result<Lowered, QueryBuildError> {
+    let catalog = stats.catalog();
+    let mut lower = Lower { catalog, stats, cfg, p: PlanBuilder::new(), notes: Vec::new() };
+    // Strip root-most Limits (applied at the host boundary by Query::run).
+    let mut node = root;
+    while let Logical::Limit { input, count } = node {
+        lower.notes.push(format!(
+            "limit {count}: applied at the host materialisation boundary (no device top-k)"
+        ));
+        node = input;
+    }
+    let mut needed: HashSet<String> = outputs.iter().cloned().collect();
+    if !cfg.prune {
+        needed.extend(available_columns(node, catalog));
+    }
+    let mut rel = lower.node(node, &needed)?;
+    let mut vars = Vec::with_capacity(outputs.len());
+    for name in outputs {
+        if let Some((scalar_name, var)) = &rel.scalar {
+            if scalar_name == name {
+                vars.push(*var);
+                continue;
+            }
+        }
+        let (var, _) = lower.materialize(&mut rel, name)?;
+        vars.push(var);
+    }
+    lower.p.result(&vars)?;
+    Ok(Lowered { plan: lower.p.finish(), notes: lower.notes })
+}
+
+impl<'a> Lower<'a> {
+    // ---- column access -------------------------------------------------
+
+    /// The element type of a column in `rel` (cache, then base tables).
+    fn ty_of(&self, rel: &Rel, name: &str) -> Option<ColTy> {
+        if let Some(col) = rel.cols.get(name) {
+            return Some(col.ty);
+        }
+        rel.tables.iter().find_map(|(table, _)| {
+            let bat = self.catalog.column(table, name)?;
+            Some(if bat.as_f32().is_some() { ColTy::F32 } else { ColTy::I32 })
+        })
+    }
+
+    /// Materialises `name` as a column aligned to `rel`'s rows.
+    fn materialize(&mut self, rel: &mut Rel, name: &str) -> Result<(Var, ColTy), QueryBuildError> {
+        if let Some(col) = rel.cols.get(name) {
+            return Ok((col.var, col.ty));
+        }
+        for (table, oids) in &rel.tables {
+            if let Some(bat) = self.catalog.column(table, name) {
+                let ty = if bat.as_f32().is_some() { ColTy::F32 } else { ColTy::I32 };
+                let base = self.p.bind(table, name);
+                let var = match oids {
+                    Some(oids) => self.p.fetch(base, *oids)?,
+                    None => base,
+                };
+                rel.cols.insert(name.to_string(), RelCol { var, ty, refetchable: true });
+                return Ok((var, ty));
+            }
+        }
+        Err(QueryBuildError::UnknownColumn { name: name.to_string() })
+    }
+
+    /// Materialises `name` as an f32 column (casting integers).
+    fn materialize_f32(&mut self, rel: &mut Rel, name: &str) -> Result<Var, QueryBuildError> {
+        let (var, ty) = self.materialize(rel, name)?;
+        Ok(match ty {
+            ColTy::F32 => var,
+            ColTy::I32 => self.p.cast_i32_f32(var)?,
+        })
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /// Lowers a value expression over `rel` into the backend's element-wise
+    /// map kernels.
+    fn value_expr(&mut self, rel: &mut Rel, expr: &Expr) -> Result<(Var, ColTy), QueryBuildError> {
+        match expr {
+            Expr::Col(name) => self.materialize(rel, name),
+            Expr::Year(inner) => {
+                let (var, ty) = self.value_expr(rel, inner)?;
+                if ty != ColTy::I32 {
+                    return Err(QueryBuildError::Unsupported(format!(
+                        "YEAR over a non-integer expression: {inner}"
+                    )));
+                }
+                Ok((self.p.extract_year(var)?, ColTy::I32))
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                let var = self.arith(rel, expr, a, b)?;
+                Ok((var, ColTy::F32))
+            }
+            Expr::LitI32(_) | Expr::LitF32(_) => Err(QueryBuildError::Unsupported(format!(
+                "bare literal {expr} as a column (constant columns are not supported)"
+            ))),
+            other => Err(QueryBuildError::Unsupported(format!(
+                "predicate {other} used as a value expression"
+            ))),
+        }
+    }
+
+    fn arith(
+        &mut self,
+        rel: &mut Rel,
+        whole: &Expr,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<Var, QueryBuildError> {
+        let value_f32 =
+            |this: &mut Self, rel: &mut Rel, e: &Expr| -> Result<Var, QueryBuildError> {
+                match e {
+                    Expr::Col(name) => this.materialize_f32(rel, name),
+                    _ => {
+                        let (var, ty) = this.value_expr(rel, e)?;
+                        Ok(match ty {
+                            ColTy::F32 => var,
+                            ColTy::I32 => this.p.cast_i32_f32(var)?,
+                        })
+                    }
+                }
+            };
+        match whole {
+            Expr::Add(..) => match (a.as_lit_f32(), b.as_lit_f32()) {
+                (Some(c), None) => {
+                    let vb = value_f32(self, rel, b)?;
+                    Ok(self.p.const_plus_f32(c, vb)?)
+                }
+                (None, Some(c)) => {
+                    let va = value_f32(self, rel, a)?;
+                    Ok(self.p.const_plus_f32(c, va)?)
+                }
+                (None, None) => {
+                    let va = value_f32(self, rel, a)?;
+                    let vb = value_f32(self, rel, b)?;
+                    Ok(self.p.add_f32(va, vb)?)
+                }
+                (Some(_), Some(_)) => unreachable!("folded by the rewrite"),
+            },
+            Expr::Sub(..) => match (a.as_lit_f32(), b.as_lit_f32()) {
+                (Some(c), None) => {
+                    let vb = value_f32(self, rel, b)?;
+                    Ok(self.p.const_minus_f32(c, vb)?)
+                }
+                (None, Some(c)) => {
+                    let va = value_f32(self, rel, a)?;
+                    Ok(self.p.const_plus_f32(-c, va)?)
+                }
+                (None, None) => {
+                    let va = value_f32(self, rel, a)?;
+                    let vb = value_f32(self, rel, b)?;
+                    Ok(self.p.sub_f32(va, vb)?)
+                }
+                (Some(_), Some(_)) => unreachable!("folded by the rewrite"),
+            },
+            Expr::Mul(..) => match (a.as_lit_f32(), b.as_lit_f32()) {
+                (Some(c), None) => {
+                    let vb = value_f32(self, rel, b)?;
+                    Ok(self.p.mul_const_f32(vb, c)?)
+                }
+                (None, Some(c)) => {
+                    let va = value_f32(self, rel, a)?;
+                    Ok(self.p.mul_const_f32(va, c)?)
+                }
+                (None, None) => {
+                    let va = value_f32(self, rel, a)?;
+                    let vb = value_f32(self, rel, b)?;
+                    Ok(self.p.mul_f32(va, vb)?)
+                }
+                (Some(_), Some(_)) => unreachable!("folded by the rewrite"),
+            },
+            _ => unreachable!("arith called on non-arithmetic"),
+        }
+    }
+
+    // ---- relations -----------------------------------------------------
+
+    /// Re-aligns `rel` through a position list into its current rows:
+    /// table OIDs compose, computed columns are fetched, refetchable
+    /// columns are dropped (they re-materialise lazily).
+    fn remap(&mut self, rel: &mut Rel, pos: Var) -> Result<(), QueryBuildError> {
+        for (_, oids) in rel.tables.iter_mut() {
+            *oids = Some(match oids {
+                Some(o) => self.p.fetch(*o, pos)?,
+                // The relation was the table's identity: positions into its
+                // rows *are* row OIDs.
+                None => pos,
+            });
+        }
+        let cols = std::mem::take(&mut rel.cols);
+        for (name, col) in cols {
+            if col.refetchable && !rel.grouped {
+                continue; // re-materialises through the new table OIDs
+            }
+            let var = self.p.fetch(col.var, pos)?;
+            rel.cols.insert(name, RelCol { var, ..col });
+        }
+        Ok(())
+    }
+
+    /// Drops source tables no `needed` column lives in (their position
+    /// lists are never built — the projection-pruning effect on joins).
+    fn trim_tables(&mut self, rel: &mut Rel, needed: &HashSet<String>) {
+        if !self.cfg.prune {
+            return;
+        }
+        let catalog = self.catalog;
+        // Only *computed* columns satisfy a future need — refetchable
+        // cached fetches are dropped at the next re-alignment, so their
+        // base table must stay reachable.
+        let computed: HashSet<&String> =
+            rel.cols.iter().filter(|(_, c)| !c.refetchable).map(|(name, _)| name).collect();
+        let before = rel.tables.len();
+        rel.tables.retain(|(table, _)| {
+            needed.iter().any(|c| !computed.contains(c) && catalog.column(table, c).is_some())
+        });
+        if rel.tables.len() < before {
+            self.notes.push(format!(
+                "projection pruning: dropped {} join-side position list(s) no output needs",
+                before - rel.tables.len()
+            ));
+        }
+    }
+
+    // ---- node lowering -------------------------------------------------
+
+    fn node(&mut self, node: &Logical, needed: &HashSet<String>) -> Result<Rel, QueryBuildError> {
+        match node {
+            Logical::Scan { table } => self.scan(table, needed),
+            Logical::Filter { input, predicate } => {
+                let mut sub = needed.clone();
+                sub.extend(predicate.columns());
+                let mut rel = self.node(input, &sub)?;
+                self.apply_filter(&mut rel, predicate)?;
+                Ok(rel)
+            }
+            Logical::Map { input, name, expr } => {
+                let mut sub: HashSet<String> =
+                    needed.iter().filter(|c| *c != name).cloned().collect();
+                sub.extend(expr.columns());
+                let mut rel = self.node(input, &sub)?;
+                let (var, ty) = self.value_expr(&mut rel, expr)?;
+                rel.cols.insert(name.clone(), RelCol { var, ty, refetchable: false });
+                Ok(rel)
+            }
+            Logical::Join { left, right, kind, left_key, right_key } => {
+                self.join(left, right, *kind, left_key, right_key, needed)
+            }
+            Logical::GroupBy { input, keys, aggs } => self.group(input, keys, aggs),
+            Logical::Sort { input, key, descending } => {
+                let mut sub = needed.clone();
+                sub.insert(key.clone());
+                let mut rel = self.node(input, &sub)?;
+                if rel.scalar.is_some() {
+                    return Err(QueryBuildError::Unsupported(
+                        "sorting a scalar aggregate".to_string(),
+                    ));
+                }
+                let (kvar, ty) = self.materialize(&mut rel, key)?;
+                let perm = match ty {
+                    ColTy::I32 => self.p.sort_order_i32(kvar, *descending)?,
+                    ColTy::F32 => self.p.sort_order_f32(kvar, *descending)?,
+                };
+                self.notes.push(format!(
+                    "sort by {key}: radix sort permutation ({}), outputs gathered through it",
+                    if *descending { "descending" } else { "ascending" }
+                ));
+                self.remap(&mut rel, perm)?;
+                Ok(rel)
+            }
+            Logical::Limit { .. } => Err(QueryBuildError::Unsupported(
+                "LIMIT below other operators (only the outermost LIMIT is supported)".to_string(),
+            )),
+        }
+    }
+
+    fn scan(&mut self, table: &str, needed: &HashSet<String>) -> Result<Rel, QueryBuildError> {
+        let Some(t) = self.catalog.table(table) else {
+            return Err(QueryBuildError::UnknownColumn { name: format!("{table}.*") });
+        };
+        let unique: HashSet<String> =
+            t.columns().filter(|(_, bat)| bat.is_key()).map(|(name, _)| name.to_string()).collect();
+        let rows = t.row_count() as f64;
+        let mut rel = Rel {
+            tables: vec![(table.to_string(), None)],
+            cols: HashMap::new(),
+            unique,
+            rows,
+            grouped: false,
+            scalar: None,
+        };
+        if !self.cfg.prune {
+            // Naive lowering: materialise (bind) every column of the table,
+            // whether or not the query reads it — the "SELECT *" baseline
+            // projection pruning removes.
+            let names: Vec<String> = t.column_names().iter().map(|s| s.to_string()).collect();
+            self.notes.push(format!(
+                "naive scan {table}: binds all {} columns (projection pruning off)",
+                names.len()
+            ));
+            for name in names {
+                self.materialize(&mut rel, &name)?;
+            }
+        } else {
+            let bound: Vec<&String> = needed.iter().filter(|c| t.column(c).is_some()).collect();
+            self.notes.push(format!(
+                "scan {table}: {} of {} columns bound lazily on first use",
+                bound.len(),
+                t.column_count()
+            ));
+        }
+        Ok(rel)
+    }
+
+    // ---- filters -------------------------------------------------------
+
+    fn apply_filter(&mut self, rel: &mut Rel, predicate: &Expr) -> Result<(), QueryBuildError> {
+        for conjunct in predicate.conjuncts() {
+            let ty_of = |name: &str| self.ty_of(rel, name);
+            let pred = classify(&conjunct, &ty_of)?;
+            self.apply_pred(rel, &pred)?;
+        }
+        Ok(())
+    }
+
+    /// Whether the relation still supports base-column candidate chaining.
+    fn candidate_mode(&self, rel: &Rel, pred: &Pred) -> bool {
+        if rel.grouped || rel.tables.len() != 1 {
+            return false;
+        }
+        if rel.cols.values().any(|c| !c.refetchable) {
+            return false;
+        }
+        let table = &rel.tables[0].0;
+        pred.atoms()
+            .iter()
+            .all(|a| a.columns().iter().all(|c| self.catalog.column(table, c).is_some()))
+    }
+
+    fn apply_pred(&mut self, rel: &mut Rel, pred: &Pred) -> Result<(), QueryBuildError> {
+        let sel = if rel.grouped {
+            0.5
+        } else {
+            selectivity(
+                pred,
+                &rel.tables.first().map(|(t, _)| t.clone()).unwrap_or_default(),
+                self.stats,
+            )
+        };
+        if self.candidate_mode(rel, pred) {
+            let cands = rel.tables[0].1;
+            let out = self.select_union(rel, pred, cands, true)?;
+            self.notes.push(format!(
+                "select `{}` on {}: candidate-chained base-column selection (est sel ≈{sel:.3})",
+                pred.describe(),
+                rel.tables[0].0,
+            ));
+            rel.tables[0].1 = Some(out);
+            // Cached fetches are stale for the narrowed rows; they
+            // re-materialise lazily through the new candidate list.
+            rel.cols.clear();
+        } else {
+            let pos = self.select_union(rel, pred, None, false)?;
+            self.notes.push(format!(
+                "select `{}`: positional re-selection over materialised columns \
+                 (relation spans {} table(s))",
+                pred.describe(),
+                rel.tables.len(),
+            ));
+            self.remap(rel, pos)?;
+        }
+        rel.rows = (rel.rows * sel).max(1.0);
+        Ok(())
+    }
+
+    /// Lowers a predicate's atoms as selections, unioning a disjunction's
+    /// candidate lists. `base` = candidate chaining over base columns;
+    /// otherwise positional selection over materialised columns.
+    fn select_union(
+        &mut self,
+        rel: &mut Rel,
+        pred: &Pred,
+        cands: Option<Var>,
+        base: bool,
+    ) -> Result<Var, QueryBuildError> {
+        let mut result: Option<Var> = None;
+        for atom in pred.atoms() {
+            let selected = self.select_atom(rel, atom, cands, base)?;
+            result = Some(match result {
+                None => selected,
+                Some(prev) => {
+                    let unioned = self.p.union_oids(prev, selected)?;
+                    self.notes.push(format!(
+                        "OR/IN union: combined candidate lists for `{}`",
+                        atom.describe()
+                    ));
+                    unioned
+                }
+            });
+        }
+        result.ok_or_else(|| QueryBuildError::Unsupported("empty predicate".to_string()))
+    }
+
+    /// One atom as one (or, for `IN`/`<>` deltas, a few unioned)
+    /// selection(s).
+    fn select_atom(
+        &mut self,
+        rel: &mut Rel,
+        atom: &Atom,
+        cands: Option<Var>,
+        base: bool,
+    ) -> Result<Var, QueryBuildError> {
+        let col_var =
+            |this: &mut Self, rel: &mut Rel, name: &str| -> Result<Var, QueryBuildError> {
+                if base {
+                    // Candidate chaining runs on the *base* column (OIDs are
+                    // row ids of the table).
+                    let table = rel.tables[0].0.clone();
+                    Ok(this.p.bind(&table, name))
+                } else {
+                    Ok(this.materialize(rel, name)?.0)
+                }
+            };
+        match atom {
+            Atom::RangeI32 { col, lo, hi } => {
+                let v = col_var(self, rel, col)?;
+                Ok(self.p.select_range_i32(v, *lo, *hi, cands)?)
+            }
+            Atom::RangeF32 { col, lo, hi } => {
+                let v = col_var(self, rel, col)?;
+                Ok(self.p.select_range_f32(v, *lo, *hi, cands)?)
+            }
+            Atom::EqI32 { col, value } => {
+                let v = col_var(self, rel, col)?;
+                Ok(self.p.select_eq_i32(v, *value, cands)?)
+            }
+            Atom::NeI32 { col, value } => {
+                let v = col_var(self, rel, col)?;
+                Ok(self.p.select_ne_i32(v, *value, cands)?)
+            }
+            Atom::InI32 { col, values } => {
+                let v = col_var(self, rel, col)?;
+                let mut result: Option<Var> = None;
+                for value in values {
+                    let selected = self.p.select_eq_i32(v, *value, cands)?;
+                    result = Some(match result {
+                        None => selected,
+                        Some(prev) => self.p.union_oids(prev, selected)?,
+                    });
+                }
+                self.notes
+                    .push(format!("IN on {col}: {} equality selections unioned", values.len()));
+                result
+                    .ok_or_else(|| QueryBuildError::Unsupported(format!("empty IN list on {col}")))
+            }
+            Atom::ColCmp { op, left, right } => {
+                // left ⋈ right over integer columns: cast both sides,
+                // subtract, and band-select the delta. Day-number deltas
+                // (and anything < 2^24) are exact in f32.
+                let lv = col_var(self, rel, left)?;
+                let rv = col_var(self, rel, right)?;
+                let lf = self.p.cast_i32_f32(lv)?;
+                let rf = self.p.cast_i32_f32(rv)?;
+                self.notes.push(format!(
+                    "column comparison {left} {} {right}: cast + delta + band selection",
+                    op.symbol()
+                ));
+                match op {
+                    CmpOp::Lt => {
+                        let delta = self.p.sub_f32(rf, lf)?;
+                        Ok(self.p.select_range_f32(delta, 0.5, f32::MAX, cands)?)
+                    }
+                    CmpOp::Le => {
+                        let delta = self.p.sub_f32(rf, lf)?;
+                        Ok(self.p.select_range_f32(delta, -0.5, f32::MAX, cands)?)
+                    }
+                    CmpOp::Gt => {
+                        let delta = self.p.sub_f32(lf, rf)?;
+                        Ok(self.p.select_range_f32(delta, 0.5, f32::MAX, cands)?)
+                    }
+                    CmpOp::Ge => {
+                        let delta = self.p.sub_f32(lf, rf)?;
+                        Ok(self.p.select_range_f32(delta, -0.5, f32::MAX, cands)?)
+                    }
+                    CmpOp::Eq => {
+                        let delta = self.p.sub_f32(lf, rf)?;
+                        Ok(self.p.select_range_f32(delta, -0.25, 0.25, cands)?)
+                    }
+                    CmpOp::Ne => {
+                        let delta = self.p.sub_f32(lf, rf)?;
+                        let below = self.p.select_range_f32(delta, f32::MIN, -0.5, cands)?;
+                        let above = self.p.select_range_f32(delta, 0.5, f32::MAX, cands)?;
+                        Ok(self.p.union_oids(below, above)?)
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- joins ---------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &mut self,
+        left: &Logical,
+        right: &Logical,
+        kind: JoinKind,
+        left_key: &str,
+        right_key: &str,
+        needed: &HashSet<String>,
+    ) -> Result<Rel, QueryBuildError> {
+        let left_avail = available_columns(left, self.catalog);
+        let right_avail = available_columns(right, self.catalog);
+        let mut left_needed: HashSet<String> = needed.intersection(&left_avail).cloned().collect();
+        left_needed.insert(left_key.to_string());
+        let mut right_needed: HashSet<String> = match kind {
+            JoinKind::Inner => needed.intersection(&right_avail).cloned().collect(),
+            JoinKind::Semi | JoinKind::Anti => HashSet::new(),
+        };
+        right_needed.insert(right_key.to_string());
+        if !self.cfg.prune {
+            left_needed = left_avail;
+            right_needed = right_avail;
+        }
+        let mut lrel = self.node(left, &left_needed)?;
+        let mut rrel = self.node(right, &right_needed)?;
+
+        let (lk, lty) = self.materialize(&mut lrel, left_key)?;
+        let (rk, rty) = self.materialize(&mut rrel, right_key)?;
+        if lty != ColTy::I32 || rty != ColTy::I32 {
+            return Err(QueryBuildError::Unsupported(format!(
+                "join keys {left_key} = {right_key} must both be integer columns"
+            )));
+        }
+
+        match kind {
+            JoinKind::Semi | JoinKind::Anti => {
+                let pos = match kind {
+                    JoinKind::Semi => self.p.semi_join(lk, rk)?,
+                    _ => self.p.anti_join(lk, rk)?,
+                };
+                self.notes.push(format!(
+                    "{} {left_key} = {right_key}: hash build on the right (est {:.0} rows), \
+                     probe keeps left rows",
+                    if kind == JoinKind::Semi { "semi join" } else { "anti join" },
+                    rrel.rows
+                ));
+                self.trim_tables(&mut lrel, needed);
+                self.remap(&mut lrel, pos)?;
+                lrel.rows = (lrel.rows * 0.5).max(1.0);
+                Ok(lrel)
+            }
+            JoinKind::Inner => {
+                let l_unique = lrel.unique.contains(left_key);
+                let r_unique = rrel.unique.contains(right_key);
+                let build_right = match (l_unique, r_unique) {
+                    (false, true) => true,
+                    (true, false) => false,
+                    (true, true) => {
+                        let build_right = rrel.rows <= lrel.rows;
+                        self.notes.push(format!(
+                            "join {left_key} = {right_key}: both keys unique — build side by \
+                             estimated cardinality: {} (est {:.0} vs {:.0} rows)",
+                            if build_right { "right" } else { "left" },
+                            rrel.rows,
+                            lrel.rows
+                        ));
+                        build_right
+                    }
+                    (false, false) => {
+                        return Err(QueryBuildError::NoUniqueJoinKey {
+                            left_key: left_key.to_string(),
+                            right_key: right_key.to_string(),
+                        })
+                    }
+                };
+                let (lpos, rpos) = if build_right {
+                    self.notes.push(format!(
+                        "pkfk join {left_key} = {right_key}: build on right (unique \
+                         {right_key}, est {:.0} rows), probe left (est {:.0} rows)",
+                        rrel.rows, lrel.rows
+                    ));
+                    self.p.pkfk_join(lk, rk)?
+                } else {
+                    self.notes.push(format!(
+                        "pkfk join {left_key} = {right_key}: build on left (unique \
+                         {left_key}, est {:.0} rows), probe right (est {:.0} rows)",
+                        lrel.rows, rrel.rows
+                    ));
+                    let (rpos, lpos) = self.p.pkfk_join(rk, lk)?;
+                    (lpos, rpos)
+                };
+                // Probe-side rows survive at most once each; estimate the
+                // match rate from the build side's restriction.
+                let (probe_rows, build_rel_rows, build_table_rows) = if build_right {
+                    let base = self.base_rows_of_key(&rrel, right_key);
+                    (lrel.rows, rrel.rows, base)
+                } else {
+                    let base = self.base_rows_of_key(&lrel, left_key);
+                    (rrel.rows, lrel.rows, base)
+                };
+                let match_rate = (build_rel_rows / build_table_rows.max(1.0)).min(1.0);
+                let rows = (probe_rows * match_rate).max(1.0);
+                // Trim before re-aligning so pruned sides never get a
+                // position-list fetch emitted at all.
+                self.trim_tables(&mut lrel, needed);
+                self.trim_tables(&mut rrel, needed);
+                self.remap(&mut lrel, lpos)?;
+                self.remap(&mut rrel, rpos)?;
+                let mut rel = Rel {
+                    tables: Vec::new(),
+                    cols: HashMap::new(),
+                    // Probe-side uniqueness survives (each probe row joins
+                    // at most one build row); build-side rows can fan out,
+                    // unless both keys were unique.
+                    unique: if build_right {
+                        let mut u = lrel.unique.clone();
+                        if l_unique && r_unique {
+                            u.extend(rrel.unique.iter().cloned());
+                        }
+                        u
+                    } else {
+                        let mut u = rrel.unique.clone();
+                        if l_unique && r_unique {
+                            u.extend(lrel.unique.iter().cloned());
+                        }
+                        u
+                    },
+                    rows,
+                    grouped: false,
+                    scalar: None,
+                };
+                rel.tables.extend(lrel.tables);
+                rel.tables.extend(rrel.tables);
+                for (name, col) in lrel.cols.into_iter().chain(rrel.cols) {
+                    rel.cols.insert(name, col);
+                }
+                self.trim_tables(&mut rel, needed);
+                Ok(rel)
+            }
+        }
+    }
+
+    /// Base-table row count behind a key column (for match-rate estimates);
+    /// falls back to the relation's own estimate for computed keys.
+    fn base_rows_of_key(&self, rel: &Rel, key: &str) -> f64 {
+        for (table, _) in &rel.tables {
+            if self.catalog.column(table, key).is_some() {
+                return self.stats.column(table, key).rows as f64;
+            }
+        }
+        rel.rows
+    }
+
+    // ---- grouping ------------------------------------------------------
+
+    fn group(
+        &mut self,
+        input: &Logical,
+        keys: &[String],
+        aggs: &[AggSpec],
+    ) -> Result<Rel, QueryBuildError> {
+        let mut needed: HashSet<String> = keys.iter().cloned().collect();
+        for agg in aggs {
+            if let Some(input) = &agg.input {
+                needed.insert(input.clone());
+            }
+        }
+        if !self.cfg.prune {
+            needed.extend(available_columns(input, self.catalog));
+        }
+        let mut rel = self.node(input, &needed)?;
+
+        if keys.is_empty() {
+            // Ungrouped (scalar) aggregation: the one-word deferred sum.
+            let [agg] = aggs else {
+                return Err(QueryBuildError::Unsupported(
+                    "ungrouped aggregation supports exactly one SUM".to_string(),
+                ));
+            };
+            if agg.func != AggFunc::Sum {
+                return Err(QueryBuildError::Unsupported(format!(
+                    "ungrouped {}(…) (only SUM lowers to the deferred scalar reduction)",
+                    agg.func.name()
+                )));
+            }
+            let input_name = agg.input.as_deref().ok_or_else(|| {
+                QueryBuildError::Unsupported("SUM without an input column".to_string())
+            })?;
+            let values = self.materialize_f32(&mut rel, input_name)?;
+            let scalar = self.p.sum_f32(values)?;
+            self.notes
+                .push(format!("ungrouped sum({input_name}): deferred one-word scalar reduction"));
+            return Ok(Rel {
+                tables: Vec::new(),
+                cols: HashMap::new(),
+                unique: HashSet::new(),
+                rows: 1.0,
+                grouped: true,
+                scalar: Some((agg.output.clone(), scalar)),
+            });
+        }
+
+        let mut key_vars = Vec::with_capacity(keys.len());
+        for key in keys {
+            let (var, ty) = self.materialize(&mut rel, key)?;
+            if ty != ColTy::I32 {
+                return Err(QueryBuildError::Unsupported(format!(
+                    "grouping key {key} must be an integer column (group float values \
+                     through an integer code instead)"
+                )));
+            }
+            key_vars.push(var);
+        }
+        let group = self.p.group_by(&key_vars)?;
+        let reps = self.p.group_reps(group)?;
+        self.notes.push(format!(
+            "group by [{}]: hash grouping, keys carried by representative fetches",
+            keys.join(", ")
+        ));
+
+        let mut out = Rel {
+            tables: Vec::new(),
+            cols: HashMap::new(),
+            unique: if keys.len() == 1 { keys.iter().cloned().collect() } else { HashSet::new() },
+            rows: rel.rows.sqrt().max(1.0), // coarse group-count guess
+            grouped: true,
+            scalar: None,
+        };
+        for (key, var) in keys.iter().zip(&key_vars) {
+            let fetched = self.p.fetch(*var, reps)?;
+            out.cols
+                .insert(key.clone(), RelCol { var: fetched, ty: ColTy::I32, refetchable: false });
+        }
+        for agg in aggs {
+            let (var, ty) = match agg.func {
+                AggFunc::Count => (self.p.grouped_count(group)?, ColTy::F32),
+                AggFunc::First => {
+                    let name = agg.input.as_deref().ok_or_else(|| {
+                        QueryBuildError::Unsupported("FIRST without an input column".to_string())
+                    })?;
+                    let (value, ty) = self.materialize(&mut rel, name)?;
+                    (self.p.fetch(value, reps)?, ty)
+                }
+                AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max => {
+                    let name = agg.input.as_deref().ok_or_else(|| {
+                        QueryBuildError::Unsupported(format!(
+                            "{}(…) without an input column",
+                            agg.func.name()
+                        ))
+                    })?;
+                    let values = self.materialize_f32(&mut rel, name)?;
+                    let var = match agg.func {
+                        AggFunc::Sum => self.p.grouped_sum_f32(values, group)?,
+                        AggFunc::Avg => self.p.grouped_avg_f32(values, group)?,
+                        AggFunc::Min => self.p.grouped_min_f32(values, group)?,
+                        _ => self.p.grouped_max_f32(values, group)?,
+                    };
+                    (var, ColTy::F32)
+                }
+            };
+            out.cols.insert(agg.output.clone(), RelCol { var, ty, refetchable: false });
+        }
+        Ok(out)
+    }
+}
