@@ -1,0 +1,29 @@
+//! Emits `BENCH_pr6.json`: the PR 6 fault-tolerance benchmark — the
+//! fault-free overhead of an armed (zero-rate) fault plan on the Q3/Q5/Q10
+//! stream, and throughput under sustained 1%/5% transient-fault rates with
+//! the slowdown attributed to retries, backoff sleeps and quarantines.
+//!
+//! Usage: `cargo run --release --bin bench_pr6 [-- --smoke] [output-path]`
+//!
+//! `--smoke` runs a reduced configuration (small scale factor, few
+//! samples) for CI, still exercising both experiments end to end and
+//! writing the report.
+
+use ocelot_bench::fault_tolerance;
+use ocelot_bench::harness::Report;
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "BENCH_pr6.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if arg != "--" {
+            path = arg;
+        }
+    }
+    let mut report = Report::new();
+    fault_tolerance::bench_all(&mut report, smoke);
+    report.write_json(&path).expect("failed to write benchmark report");
+    println!("wrote {path}");
+}

@@ -1,0 +1,108 @@
+//! PR 6 benchmark: the cost of the fault-injection layer and the recovery
+//! protocol. Emits the figures behind `BENCH_pr6.json`.
+//!
+//! Two experiments over the Q3/Q5/Q10 DSL-lowered join stream:
+//!
+//! * **Fault-free overhead** (`overhead/*`) — the stream on a bare device
+//!   vs the same stream on a device with an *armed but silent* fault plan
+//!   (`FaultPlan::seeded(_, 0.0, 0.0)`: every launch, transfer and
+//!   allocation consults the plan and draws from its RNG, no fault ever
+//!   fires). The ratio `overhead/armed_over_bare` is the price every
+//!   protected deployment pays; the acceptance bar is <2%.
+//! * **Throughput under sustained transient rates** (`faulted/*`) — the
+//!   stream under 1% and 5% per-operation transient-fault rates, with the
+//!   slowdown attributed: retries taken, backoff steps slept, plans
+//!   completed vs quarantined (budget exhaustion surfaces as the typed
+//!   `PlanError::Faulted`, which the bench counts rather than hides).
+//!
+//! Plans are lowered once outside the timing loops: this measures
+//! execution and recovery, not plan construction.
+
+use crate::harness::{measure, measure_pair, Report};
+use ocelot_core::SharedDevice;
+use ocelot_engine::{OcelotBackend, Plan, PlanError, Session};
+use ocelot_kernel::FaultPlan;
+use ocelot_tpch::{q10_query, q3_query, q5_query, TpchConfig, TpchDb};
+use std::hint::black_box;
+
+fn lowered_stream(db: &TpchDb) -> Vec<Plan> {
+    [q3_query(db), q5_query(db), q10_query(db)]
+        .iter()
+        .map(|query| query.lower(db.catalog()).expect("lowering failed"))
+        .collect()
+}
+
+/// Runs the stream, tolerating quarantines (at a 5% rate a node can
+/// legitimately exhaust its retry budget). Returns (completed,
+/// quarantined); any other error is a bench bug.
+fn run_stream(session: &Session<OcelotBackend>, db: &TpchDb, plans: &[Plan]) -> (u64, u64) {
+    let mut completed = 0;
+    let mut quarantined = 0;
+    for plan in plans {
+        match session.run(plan, db.catalog()) {
+            Ok(values) => {
+                black_box(values);
+                completed += 1;
+            }
+            Err(PlanError::Faulted { .. }) => quarantined += 1,
+            Err(other) => panic!("bench stream failed with an untyped error: {other}"),
+        }
+    }
+    (completed, quarantined)
+}
+
+/// Runs both experiments into `report`.
+pub fn bench_all(report: &mut Report, smoke: bool) {
+    let sf = if smoke { 0.002 } else { 0.01 };
+    let (warmup, samples) = if smoke { (1, 3) } else { (2, 9) };
+    let db = TpchDb::generate(TpchConfig { scale_factor: sf, seed: 5 });
+    let rows = db.lineitem_rows();
+    let plans = lowered_stream(&db);
+    let units = rows * plans.len();
+
+    // ---- fault-free overhead of an armed, zero-rate fault plan ----
+    let bare_session = Session::ocelot(&SharedDevice::cpu());
+    let armed = SharedDevice::cpu();
+    armed.device().install_fault_plan(FaultPlan::seeded(5, 0.0, 0.0));
+    let armed_session = Session::ocelot(&armed);
+    let (bare, armed) = measure_pair(
+        "overhead/bare",
+        "overhead/armed_zero_rate",
+        units,
+        warmup,
+        samples,
+        || run_stream(&bare_session, &db, &plans),
+        || run_stream(&armed_session, &db, &plans),
+    );
+    // Min-of-samples, as in the PR 5 parity experiment: same work, same
+    // code paths, noise only ever adds time.
+    let overhead = armed.min_ns as f64 / bare.min_ns as f64;
+    report.push(bare);
+    report.push(armed);
+    report.scalar("overhead/armed_over_bare", overhead);
+
+    // ---- throughput under sustained transient-fault rates ----
+    for (label, rate) in [("faulted/rate_1pct", 0.01), ("faulted/rate_5pct", 0.05)] {
+        let shared = SharedDevice::cpu();
+        shared.device().install_fault_plan(FaultPlan::seeded(11, rate, 0.0));
+        let session = Session::ocelot(&shared);
+        let mut completed = 0u64;
+        let mut quarantined = 0u64;
+        let m = measure(label, units, warmup, samples, || {
+            let (c, q) = run_stream(&session, &db, &plans);
+            completed += c;
+            quarantined += q;
+        });
+        report.push(m);
+        report.speedup(&format!("{label}/throughput_vs_bare"), label, "overhead/bare");
+        // Attribution: where the lost throughput went (counters aggregate
+        // over warm-up and timed runs alike — they attribute, not time).
+        let stats = session.recovery_stats();
+        report.scalar(&format!("{label}/retries"), stats.retries as f64);
+        report.scalar(&format!("{label}/backoff_steps"), stats.backoff_steps as f64);
+        report.scalar(&format!("{label}/completed"), completed as f64);
+        report.scalar(&format!("{label}/quarantined"), quarantined as f64);
+        let faults = shared.device().fault_stats().expect("fault plan installed");
+        report.scalar(&format!("{label}/faults_injected"), faults.total() as f64);
+    }
+}

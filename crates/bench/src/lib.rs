@@ -6,6 +6,7 @@
 
 pub mod access_path;
 pub mod deferred;
+pub mod fault_tolerance;
 pub mod harness;
 pub mod pressure;
 pub mod query_dsl;

@@ -352,6 +352,21 @@ impl ColumnCache {
         let key = bat_key(bat);
         self.state.lock().entries.iter().any(|e| e.key == key)
     }
+
+    /// Drops **every** entry, pinned or not — the device-loss invalidation
+    /// path. When the backing device is lost its memory is gone, so
+    /// residency would be a lie and even pinned entries are stale; the
+    /// unwound plan's live [`Pinned`] guards become inert (they match on
+    /// `(key, generation)` and find nothing to unpin). Returns how many
+    /// entries were dropped. Counted as evictions in [`CacheStats`].
+    pub fn purge_lost_device(&self) -> usize {
+        let mut state = self.state.lock();
+        let dropped = state.entries.len();
+        state.entries.clear();
+        state.hand = 0;
+        state.stats.evictions += dropped as u64;
+        dropped
+    }
 }
 
 impl EvictionSink for ColumnCache {

@@ -54,6 +54,7 @@ pub mod context;
 pub mod memory_manager;
 pub mod ops;
 pub mod primitives;
+pub mod recovery;
 
 pub use buffer_pool::{BufferPool, PoolStats};
 pub use cache::{CacheStats, ColumnCache, DeviceOom, Pinned};
@@ -62,3 +63,4 @@ pub use context::{
 };
 pub use memory_manager::{EvictionSink, MemoryManager, MemoryStats};
 pub use primitives::bitmap::Bitmap;
+pub use recovery::{DeviceLostFault, TransientFault};

@@ -1,0 +1,42 @@
+//! Typed fault payloads for the engine's unified recovery protocol.
+//!
+//! The Backend operator surface in `ocelot-engine` is deliberately
+//! infallible (operators return values, not `Result`s — the paper's MAL
+//! operators have no error channel either), so device faults travel from
+//! the kernel runtime to the plan layer the same way
+//! [`crate::cache::DeviceOom`] does: as **typed panic payloads** raised
+//! with `std::panic::panic_any` and downcast by `PlanRun`'s
+//! `catch_unwind`. This module defines the payloads for the fault classes
+//! the PR 6 fault-injection layer introduces:
+//!
+//! * [`TransientFault`] — a retryable hiccup
+//!   ([`ocelot_kernel::KernelError::TransientFault`]): the recovery
+//!   protocol drops the failed node's outputs and retries it after a
+//!   deterministic backoff step, sharing the restart budget with the
+//!   OOM path.
+//! * [`DeviceLostFault`] — sticky device loss
+//!   ([`ocelot_kernel::KernelError::DeviceLost`]): no node retry can
+//!   succeed, so the whole plan unwinds; the session/scheduler invalidates
+//!   the device's cached columns and pooled buffers and fails the query
+//!   over to a fallback backend.
+//!
+//! Payloads are plain `Copy` structs: catch sites match on the type, and
+//! anything that is *not* one of these typed payloads (or `DeviceOom`)
+//! keeps unwinding — a genuine bug must never be swallowed by recovery.
+
+use ocelot_kernel::FaultSite;
+
+/// Typed payload of a transient device fault travelling from an operator
+/// to the plan layer's retry protocol (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientFault {
+    /// The site the fault fired at.
+    pub site: FaultSite,
+    /// The fault plan's global operation index at firing time.
+    pub op: u64,
+}
+
+/// Typed payload of a device loss travelling from an operator to the
+/// session/scheduler failover protocol (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLostFault;

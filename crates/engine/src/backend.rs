@@ -195,6 +195,15 @@ pub trait Backend {
         false
     }
 
+    /// The **invalidation** step of the device-loss failover protocol
+    /// (`ocelot_engine::plan` module docs): called once a plan run has
+    /// unwound with `PlanError::DeviceLost`, before the query is re-run on
+    /// a fallback backend. Implementations drop every piece of
+    /// device-resident state they cache — for Ocelot that is the shared
+    /// column cache's entries and the buffer pool's retained buffers, both
+    /// stranded on the lost device. Host backends cache nothing.
+    fn on_device_lost(&self) {}
+
     /// Sum of a float column (**sync boundary** for Ocelot — prefer
     /// [`Backend::sum_scalar_f32`] mid-plan).
     fn sum_f32(&self, values: &Self::Column) -> f32;

@@ -15,23 +15,32 @@ use ocelot_core::ops::{
     aggregate, calc, groupby, hash_table::OcelotHashTable, join, project, select, sort_radix,
 };
 use ocelot_core::primitives::gather;
-use ocelot_core::{Bitmap, DevColumn, DevWord, DeviceOom, OcelotContext, Oid, SharedDevice};
+use ocelot_core::{
+    Bitmap, DevColumn, DevWord, DeviceLostFault, DeviceOom, OcelotContext, Oid, SharedDevice,
+    TransientFault,
+};
 use ocelot_kernel::{DeviceKind, GpuConfig, KernelError};
 use ocelot_storage::BatRef;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Unwraps a kernel result. Out-of-device-memory — the one failure the
-/// engine can recover from — unwinds as a typed [`DeviceOom`] payload so
-/// the plan executor's OOM-restart protocol can catch it, release memory
-/// and re-run the failed node (see `ocelot_core::cache`); every other
-/// kernel error is a real bug and panics with its message.
+/// Unwraps a kernel result. The recoverable failures — out-of-device-memory,
+/// transient launch/transfer faults, device loss — unwind as **typed
+/// payloads** so the plan executor's unified recovery protocol can catch
+/// and classify them (restart after reclaim, retry after backoff, unwind
+/// the plan for failover; see `ocelot_engine::plan`); every other kernel
+/// error is a real bug and panics with its message, which the protocol
+/// never swallows.
 fn raise<T>(what: &str, error: KernelError) -> T {
     match error {
         KernelError::OutOfDeviceMemory { requested, available } => {
             std::panic::panic_any(DeviceOom { requested, available })
         }
+        KernelError::TransientFault { site, op } => {
+            std::panic::panic_any(TransientFault { site, op })
+        }
+        KernelError::DeviceLost => std::panic::panic_any(DeviceLostFault),
         other => panic!("{what}: {other}"),
     }
 }
@@ -499,6 +508,17 @@ impl Backend for OcelotBackend {
     fn reclaim_memory(&self, requested_bytes: usize) -> bool {
         self.reclaims.fetch_add(1, Ordering::Relaxed);
         self.ctx.reclaim_device_memory(requested_bytes)
+    }
+
+    fn on_device_lost(&self) {
+        // Everything device-resident is stranded: drop the shared column
+        // cache's entries (any session of the device would otherwise keep
+        // handing out columns on the dead device) and the pool's retained
+        // buffers. Both repopulate lazily on the fallback device.
+        if let Some(cache) = self.ctx.column_cache() {
+            cache.purge_lost_device();
+        }
+        self.ctx.memory().pool().clear();
     }
 
     fn sum_f32(&self, values: &OcelotColumn) -> f32 {

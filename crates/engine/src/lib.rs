@@ -56,7 +56,9 @@ pub mod session;
 
 pub use backend::{Backend, GroupHandle};
 pub use backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};
-pub use plan::{Plan, PlanBuilder, PlanError, PlanNode, PlanOp, QueryValue};
+pub use plan::{
+    Plan, PlanBuilder, PlanError, PlanNode, PlanOp, QueryValue, RecoveryEvent, RecoveryStats,
+};
 pub use query::{col, lit, litf, AggSpec, Expr, Query, QueryBuildError, RewriteConfig};
 pub use scheduler::{QueryJob, Scheduler};
 pub use session::Session;

@@ -28,14 +28,43 @@
 //! * **Materialise** — `Result` nodes read their registers back through the
 //!   backend (`to_i32`/`to_f32`/`to_oids` — the sync boundary on Ocelot)
 //!   into typed host [`QueryValue`]s.
+//!
+//! # Recovery-protocol lifecycle contract
+//!
+//! Device faults reach the executor as **typed panic payloads** (the
+//! `Backend` operator surface is infallible; see `ocelot_core::recovery`),
+//! and [`PlanRun::step`] runs one **unified recovery protocol** over all of
+//! them — one restart budget ([`PlanRun`]'s `RESTART_LIMIT`), several
+//! triggers. Every fault class has exactly one handler and one observable
+//! counter ([`RecoveryStats`]); the ordered [`RecoveryEvent`] trace records
+//! each decision, and the same fault schedule always produces the same
+//! trace (recovery is deterministic).
+//!
+//! | fault class (payload) | handler | observable counter |
+//! |---|---|---|
+//! | `DeviceOom` — allocation failed | drop the attempt's outputs, **reclaim** (release + evict via [`Backend::reclaim_memory`]), re-run the node; give up when reclaim stops progressing or the shared budget is spent → [`PlanError::OutOfDeviceMemory`] | [`RecoveryStats::oom_restarts`] |
+//! | `TransientFault` — a launch/transfer hiccup | drop the attempt's outputs, sleep a **deterministic backoff** step (immediate first retry, then exponential, capped), re-run the node; budget spent → [`PlanError::Faulted`] | [`RecoveryStats::retries`], [`RecoveryStats::backoff_steps`] |
+//! | `DeviceLostFault` — sticky device loss | no node retry can succeed: unwind the **whole plan** as [`PlanError::DeviceLost`]; the session/scheduler invalidates the device's cached state and fails the query over to a fallback backend | [`RecoveryStats::failovers`] (session/scheduler level) |
+//! | any other panic | **not recovery's business** — resume unwinding unchanged | — |
+//!
+//! A plan that exhausts the budget surfaces a *typed* error in its result
+//! slot; under the scheduler the failing plan is quarantined
+//! ([`RecoveryStats::quarantines`]) while every other admitted plan
+//! proceeds. The per-node restart slate (outputs dropped, results
+//! truncated) is shared by the OOM and transient paths, which is what makes
+//! the protocol "one protocol, two triggers": PR 4's OOM restart is now
+//! just the reclaim-gated trigger of this loop.
 
 use crate::backend::{Backend, GroupHandle};
-use ocelot_core::DeviceOom;
+use crate::query::Query;
+use ocelot_core::{DeviceLostFault, DeviceOom, TransientFault};
+use ocelot_kernel::FaultSite;
 use ocelot_storage::Catalog;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Once;
+use std::sync::{Arc, Once};
+use std::time::Duration;
 
 /// A virtual register holding an intermediate value.
 pub type Var = usize;
@@ -98,6 +127,24 @@ pub enum PlanError {
         /// Bytes available when the last restart attempt gave up.
         available: usize,
     },
+    /// A node kept failing with transient device faults and the shared
+    /// restart budget ran out: every retry (after its deterministic
+    /// backoff step) hit another fault. Under the scheduler a plan failing
+    /// this way is quarantined while the rest of the stream proceeds.
+    Faulted {
+        /// The site the last fault fired at.
+        site: FaultSite,
+        /// The device's fault-plan operation index of the last fault.
+        op: u64,
+        /// Node execution attempts made before giving up.
+        attempts: u64,
+    },
+    /// The device executing the plan was lost (sticky: every further
+    /// launch, transfer and allocation fails), so no node retry can
+    /// succeed and the whole plan unwinds. Sessions with a fallback
+    /// backend recover by invalidating the device's cached state and
+    /// re-running the query there (see `Session::with_fallback`).
+    DeviceLost,
 }
 
 impl fmt::Display for PlanError {
@@ -116,6 +163,12 @@ impl fmt::Display for PlanError {
                 "out of device memory: {requested} bytes requested, {available} available \
                  after eviction and node restarts"
             ),
+            PlanError::Faulted { site, op, attempts } => write!(
+                f,
+                "node faulted past the retry budget: transient {site} fault at device \
+                 operation {op} after {attempts} attempts"
+            ),
+            PlanError::DeviceLost => write!(f, "device lost while executing the plan"),
         }
     }
 }
@@ -331,12 +384,31 @@ pub struct Plan {
     /// Node index of each register's last read — the executor frees the
     /// register after that node, returning its buffers to the pool.
     last_use: HashMap<Var, usize>,
+    /// The logical [`Query`] this plan was lowered from, when it came
+    /// through the query layer. Device-loss failover re-lowers this source
+    /// onto the fallback backend instead of reusing the physical plan
+    /// verbatim; hand-built plans (no source) are re-run as-is — physical
+    /// plans are backend-agnostic, so both paths are correct.
+    source: Option<Arc<Query>>,
 }
 
 impl Plan {
     /// The nodes in execution (topological) order.
     pub fn nodes(&self) -> &[PlanNode] {
         &self.nodes
+    }
+
+    /// Attaches the logical query this plan was lowered from (called by
+    /// `Query::lower_with`; see [`Plan::source`]).
+    pub fn with_source(mut self, query: Arc<Query>) -> Plan {
+        self.source = Some(query);
+        self
+    }
+
+    /// The logical source query, when the plan was compiled through the
+    /// query layer.
+    pub fn source(&self) -> Option<&Arc<Query>> {
+        self.source.as_ref()
     }
 
     /// Number of nodes.
@@ -793,7 +865,7 @@ impl PlanBuilder {
                 last_use.insert(*var, index);
             }
         }
-        Plan { nodes: self.nodes, last_use }
+        Plan { nodes: self.nodes, last_use, source: None }
     }
 }
 
@@ -834,6 +906,81 @@ pub enum StepOutcome {
     Done,
 }
 
+/// Counters of the unified recovery protocol (see the module docs for the
+/// fault class → handler → counter contract). Surfaced per run by
+/// [`PlanRun::recovery_stats`], aggregated per session
+/// (`Session::recovery_stats`) and per scheduled stream
+/// (`Scheduler::run_with_fallback`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Node retries after a transient fault.
+    pub retries: u64,
+    /// Deterministic backoff steps slept before those retries (the first
+    /// retry of a node is immediate, so this lags `retries`).
+    pub backoff_steps: u64,
+    /// Node restarts after an out-of-device-memory fault (reclaim + re-run).
+    pub oom_restarts: u64,
+    /// Whole-query failovers onto a fallback backend after device loss.
+    pub failovers: u64,
+    /// Plans that exhausted the retry budget and were surfaced as typed
+    /// [`PlanError::Faulted`] errors while the rest of the stream proceeded.
+    pub quarantines: u64,
+}
+
+impl RecoveryStats {
+    /// Adds another set of counters into this one.
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.retries += other.retries;
+        self.backoff_steps += other.backoff_steps;
+        self.oom_restarts += other.oom_restarts;
+        self.failovers += other.failovers;
+        self.quarantines += other.quarantines;
+    }
+
+    /// Total recovery actions taken.
+    pub fn total(&self) -> u64 {
+        self.retries + self.oom_restarts + self.failovers + self.quarantines
+    }
+}
+
+/// One observable decision of the recovery protocol, in the order it was
+/// taken. The trace is deterministic: the same plan under the same fault
+/// schedule records the same events (the property the recovery-determinism
+/// tests pin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A node was retried after a transient fault.
+    TransientRetry {
+        /// Node index within the plan.
+        node: usize,
+        /// The site the fault fired at.
+        site: FaultSite,
+        /// The device's fault-plan operation index at firing time.
+        op: u64,
+        /// 1-based attempt count for this node (attempt 1 failed → retry).
+        attempt: u64,
+        /// Backoff slept before the retry (0 for the immediate first retry).
+        backoff_ns: u64,
+    },
+    /// A node was restarted after an OOM, following a reclaim pass.
+    OomRestart {
+        /// Node index within the plan.
+        node: usize,
+        /// Bytes the failing allocation asked for.
+        requested: usize,
+    },
+    /// The device was lost; the plan unwound as [`PlanError::DeviceLost`].
+    DeviceLost {
+        /// Node index the loss surfaced at.
+        node: usize,
+    },
+    /// The query failed over onto a fallback backend (session level).
+    Failover {
+        /// Name of the backend the query was re-run on.
+        to: String,
+    },
+}
+
 /// A resumable execution of one [`Plan`] against one [`Backend`].
 ///
 /// The run owns the plan's live registers; values are dropped at their last
@@ -846,38 +993,32 @@ pub struct PlanRun<'a, B: Backend> {
     results: Vec<QueryValue>,
     pc: usize,
     restarts: u64,
+    stats: RecoveryStats,
+    trace: Vec<RecoveryEvent>,
 }
 
-thread_local! {
-    /// Depth of restart-protected node executions on the current thread.
-    /// Non-zero exactly while [`PlanRun::step`] is inside the
-    /// `catch_unwind` that implements the OOM-restart protocol.
-    static OOM_PROTECTED: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
-}
-
-/// `DeviceOom` unwinds raised under [`PlanRun::step`]'s `catch_unwind` are
-/// internal control flow (caught and recovered by the restart protocol),
-/// so the default panic hook must not spam a "thread panicked" line for
-/// every restart. The silence is scoped by [`OOM_PROTECTED`]: a
-/// `DeviceOom` escaping *outside* a protected section (direct `Backend`
-/// use under memory pressure) is a real failure and gets an explanatory
-/// line plus the previous hook. Installed once; every non-OOM panic
-/// reaches the previous hook unchanged.
-fn silence_device_oom_panics() {
+/// Typed fault payloads (`DeviceOom`, `TransientFault`, `DeviceLostFault`)
+/// raised under [`PlanRun::step`]'s `catch_unwind` are recovery control
+/// flow, not bugs: the protocol either recovers them or converts them to
+/// typed [`PlanError`]s, so the default panic hook must not spam a "thread
+/// panicked" line for every one. The hook silences exactly those payload
+/// *types*, unconditionally — Result-typed paths above the catch site make
+/// the old scoped-depth bookkeeping unnecessary, and an untyped or foreign
+/// payload still reaches the previous hook unchanged (a genuine bug is
+/// never muted). Installed once, process-wide.
+fn silence_recovery_panics() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
         let previous = panic::take_hook();
-        panic::set_hook(Box::new(move |info| match info.payload().downcast_ref::<DeviceOom>() {
-            Some(_) if OOM_PROTECTED.with(|depth| depth.get()) > 0 => {}
-            Some(oom) => {
-                eprintln!(
-                    "device out of memory: {} bytes requested, {} available \
-                         (recoverable only inside a plan run, via the OOM-restart protocol)",
-                    oom.requested, oom.available
-                );
-                previous(info);
+        panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.is::<DeviceOom>()
+                || payload.is::<TransientFault>()
+                || payload.is::<DeviceLostFault>()
+            {
+                return;
             }
-            None => previous(info),
+            previous(info);
         }));
     });
 }
@@ -885,7 +1026,7 @@ fn silence_device_oom_panics() {
 impl<'a, B: Backend> PlanRun<'a, B> {
     /// Prepares a run; nothing executes until [`PlanRun::step`].
     pub fn new(plan: &'a Plan, backend: &'a B, catalog: &'a Catalog) -> PlanRun<'a, B> {
-        silence_device_oom_panics();
+        silence_recovery_panics();
         PlanRun {
             plan,
             backend,
@@ -894,6 +1035,8 @@ impl<'a, B: Backend> PlanRun<'a, B> {
             results: Vec::new(),
             pc: 0,
             restarts: 0,
+            stats: RecoveryStats::default(),
+            trace: Vec::new(),
         }
     }
 
@@ -905,6 +1048,17 @@ impl<'a, B: Backend> PlanRun<'a, B> {
     /// Number of node restarts the OOM-restart protocol performed.
     pub fn restarts(&self) -> u64 {
         self.restarts
+    }
+
+    /// Counters of every recovery action this run took.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// The ordered recovery decisions this run took (deterministic for a
+    /// given plan and fault schedule).
+    pub fn recovery_trace(&self) -> &[RecoveryEvent] {
+        &self.trace
     }
 
     /// Whether every node has executed.
@@ -953,22 +1107,49 @@ impl<'a, B: Backend> PlanRun<'a, B> {
         }
     }
 
-    /// Restart attempts per node before an OOM becomes a plan error. A
-    /// multi-allocation node can legitimately need several progressive
-    /// restarts (each attempt reaches further once the previous attempt's
-    /// pending work is flushed out); the limit only bounds the degenerate
-    /// case where reclaim keeps reporting trivial progress.
+    /// Restart attempts per node before a recoverable fault becomes a plan
+    /// error — the **shared budget** of the unified recovery protocol: OOM
+    /// restarts and transient retries of one node draw from the same
+    /// count. A multi-allocation node can legitimately need several
+    /// progressive restarts (each attempt reaches further once the
+    /// previous attempt's pending work is flushed out); the limit only
+    /// bounds the degenerate cases where reclaim keeps reporting trivial
+    /// progress or a "transient" fault never stops firing.
     const RESTART_LIMIT: usize = 6;
 
+    /// Deterministic backoff before the n-th retry of a node: the first
+    /// retry is immediate, later ones sleep an exponentially growing step
+    /// (1 µs, 2 µs, …) capped at 64 µs. The *schedule* is a pure function
+    /// of the attempt count, so recovery traces are reproducible; the cap
+    /// keeps worst-case added latency per node under half a millisecond.
+    fn backoff(attempt: usize) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(6) as u32;
+        Duration::from_micros(1 << exp).min(Duration::from_micros(64))
+    }
+
+    /// Drops everything a failed node attempt produced, so the re-run (or
+    /// the unwinding plan) starts from a clean slate — the shared restart
+    /// step of every recovery trigger.
+    fn discard_attempt(&mut self, node: &PlanNode, results_before: usize) {
+        for out in &node.outputs {
+            self.registers.remove(out);
+        }
+        self.results.truncate(results_before);
+    }
+
     /// Executes exactly one node. Errors leave the run unable to proceed —
-    /// with one exception: a node failing with out-of-device-memory goes
-    /// through the **OOM-restart protocol** (`ocelot_core::cache` module
-    /// docs). The failed attempt's partial outputs are dropped, the
-    /// backend **releases** pending work and **evicts** unpinned cached
-    /// state ([`Backend::reclaim_memory`]), and the node is re-executed
-    /// from scratch; only when reclaim stops making progress (the plan's
-    /// own pinned working set does not fit) or the restart limit is hit
-    /// does the failure surface as [`PlanError::OutOfDeviceMemory`].
+    /// except for the typed fault payloads the **unified recovery
+    /// protocol** handles (see the module docs for the full lifecycle
+    /// contract): out-of-device-memory restarts the node after a reclaim
+    /// pass ([`Backend::reclaim_memory`]), a transient fault retries it
+    /// after a deterministic backoff step, and both draw from one shared
+    /// restart budget before surfacing as [`PlanError::OutOfDeviceMemory`]
+    /// / [`PlanError::Faulted`]. Device loss is not retryable: the run
+    /// unwinds immediately as [`PlanError::DeviceLost`] for the session or
+    /// scheduler to fail over.
     pub fn step(&mut self) -> Result<StepOutcome, PlanError> {
         if self.pc >= self.plan.len() {
             return Ok(StepOutcome::Done);
@@ -980,34 +1161,70 @@ impl<'a, B: Backend> PlanRun<'a, B> {
         let results_before = self.results.len();
         let mut attempts = 0usize;
         loop {
-            OOM_PROTECTED.with(|depth| depth.set(depth.get() + 1));
             let caught = panic::catch_unwind(AssertUnwindSafe(|| self.exec_node(node)));
-            OOM_PROTECTED.with(|depth| depth.set(depth.get() - 1));
-            match caught {
+            let payload = match caught {
                 Ok(result) => {
                     result?;
                     break;
                 }
-                Err(payload) => match payload.downcast::<DeviceOom>() {
-                    Ok(oom) => {
-                        // Drop whatever the failed attempt already produced
-                        // so the re-run starts from a clean slate.
-                        for out in &node.outputs {
-                            self.registers.remove(out);
-                        }
-                        self.results.truncate(results_before);
-                        attempts += 1;
-                        let progressed = self.backend.reclaim_memory(oom.requested);
-                        if attempts > Self::RESTART_LIMIT || !progressed {
-                            return Err(PlanError::OutOfDeviceMemory {
-                                requested: oom.requested,
-                                available: oom.available,
-                            });
-                        }
-                        self.restarts += 1;
+                Err(payload) => payload,
+            };
+            let payload = match payload.downcast::<DeviceOom>() {
+                Ok(oom) => {
+                    self.discard_attempt(node, results_before);
+                    attempts += 1;
+                    let progressed = self.backend.reclaim_memory(oom.requested);
+                    if attempts > Self::RESTART_LIMIT || !progressed {
+                        return Err(PlanError::OutOfDeviceMemory {
+                            requested: oom.requested,
+                            available: oom.available,
+                        });
                     }
-                    Err(other) => panic::resume_unwind(other),
-                },
+                    self.restarts += 1;
+                    self.stats.oom_restarts += 1;
+                    self.trace.push(RecoveryEvent::OomRestart {
+                        node: self.pc,
+                        requested: oom.requested,
+                    });
+                    continue;
+                }
+                Err(other) => other,
+            };
+            let payload = match payload.downcast::<TransientFault>() {
+                Ok(fault) => {
+                    self.discard_attempt(node, results_before);
+                    attempts += 1;
+                    if attempts > Self::RESTART_LIMIT {
+                        return Err(PlanError::Faulted {
+                            site: fault.site,
+                            op: fault.op,
+                            attempts: attempts as u64,
+                        });
+                    }
+                    let backoff = Self::backoff(attempts);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        self.stats.backoff_steps += 1;
+                    }
+                    self.stats.retries += 1;
+                    self.trace.push(RecoveryEvent::TransientRetry {
+                        node: self.pc,
+                        site: fault.site,
+                        op: fault.op,
+                        attempt: attempts as u64,
+                        backoff_ns: backoff.as_nanos() as u64,
+                    });
+                    continue;
+                }
+                Err(other) => other,
+            };
+            match payload.downcast::<DeviceLostFault>() {
+                Ok(_) => {
+                    self.discard_attempt(node, results_before);
+                    self.trace.push(RecoveryEvent::DeviceLost { node: self.pc });
+                    return Err(PlanError::DeviceLost);
+                }
+                Err(other) => panic::resume_unwind(other),
             }
         }
         // Register reclamation: values read for the last time by this node
@@ -1410,17 +1627,26 @@ mod tests {
         assert!(err.to_string().contains("unknown column"));
     }
 
-    /// A backend whose `bat` fails with a device OOM a configured number
-    /// of times before succeeding — the deterministic harness for the
-    /// OOM-restart protocol (release → evict → re-run the failed node).
+    /// What a failing [`OomBackend`] attempt unwinds with — one variant
+    /// per fault class of the unified recovery protocol, plus a plain
+    /// panic to prove unrelated unwinds are never swallowed.
+    #[derive(Clone, Copy)]
+    enum FailMode {
+        Oom,
+        Transient,
+        DeviceLost,
+        PlainPanic,
+    }
+
+    /// A backend whose `bat` fails a configured number of times before
+    /// succeeding — the deterministic harness for the unified recovery
+    /// protocol (OOM restarts, transient retries, device-loss unwinds).
     struct OomBackend {
         inner: MonetSeqBackend,
         failures_left: std::sync::atomic::AtomicUsize,
         reclaims: std::sync::atomic::AtomicUsize,
         reclaim_succeeds: bool,
-        /// Fail with a plain panic instead of a `DeviceOom` payload (to
-        /// prove unrelated panics are not swallowed by the protocol).
-        plain_panic: bool,
+        mode: FailMode,
     }
 
     impl OomBackend {
@@ -1430,8 +1656,13 @@ mod tests {
                 failures_left: std::sync::atomic::AtomicUsize::new(times),
                 reclaims: std::sync::atomic::AtomicUsize::new(0),
                 reclaim_succeeds,
-                plain_panic: false,
+                mode: FailMode::Oom,
             }
+        }
+
+        fn with_mode(mut self, mode: FailMode) -> OomBackend {
+            self.mode = mode;
+            self
         }
     }
 
@@ -1445,10 +1676,17 @@ mod tests {
             let left = self.failures_left.load(Ordering::Relaxed);
             if left > 0 {
                 self.failures_left.store(left - 1, Ordering::Relaxed);
-                if self.plain_panic {
-                    std::panic::panic_any("unrelated panic");
+                match self.mode {
+                    FailMode::PlainPanic => std::panic::panic_any("unrelated panic"),
+                    FailMode::Transient => std::panic::panic_any(TransientFault {
+                        site: FaultSite::KernelLaunch,
+                        op: left as u64,
+                    }),
+                    FailMode::DeviceLost => std::panic::panic_any(DeviceLostFault),
+                    FailMode::Oom => {
+                        std::panic::panic_any(DeviceOom { requested: 4096, available: 0 })
+                    }
                 }
-                std::panic::panic_any(DeviceOom { requested: 4096, available: 0 });
             }
             self.inner.bat(bat)
         }
@@ -1640,12 +1878,11 @@ mod tests {
 
     #[test]
     fn non_oom_panics_are_not_swallowed() {
-        // Only DeviceOom payloads enter the restart protocol; any other
+        // Only typed fault payloads enter the recovery protocol; any other
         // panic must unwind through step() to the caller unchanged.
         let plan = grouped_plan();
         let catalog = catalog();
-        let mut backend = OomBackend::failing(1, true);
-        backend.plain_panic = true;
+        let backend = OomBackend::failing(1, true).with_mode(FailMode::PlainPanic);
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
             PlanRun::new(&plan, &backend, &catalog).run_to_completion().unwrap();
         }));
@@ -1656,6 +1893,102 @@ mod tests {
             0,
             "no reclaim pass for a non-OOM panic"
         );
+    }
+
+    #[test]
+    fn transient_faults_retry_with_deterministic_backoff() {
+        // Two transient failures, then success: the node is retried twice
+        // (first retry immediate, second after one backoff step) and the
+        // run delivers the same results as a fault-free reference.
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let reference = execute_plan(&plan, &MonetSeqBackend::new(), &catalog).unwrap();
+
+        let trace_of = |times: usize| {
+            let backend = OomBackend::failing(times, true).with_mode(FailMode::Transient);
+            let mut run = PlanRun::new(&plan, &backend, &catalog);
+            run.run_to_completion().unwrap();
+            let stats = run.recovery_stats();
+            let trace = run.recovery_trace().to_vec();
+            assert_eq!(run.into_results(), reference, "retried run produces identical results");
+            (stats, trace)
+        };
+
+        let (stats, trace) = trace_of(2);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.backoff_steps, 1, "the first retry is immediate");
+        assert_eq!(stats.oom_restarts, 0, "transient faults never run reclaim");
+        assert!(matches!(
+            trace[0],
+            RecoveryEvent::TransientRetry { attempt: 1, backoff_ns: 0, .. }
+        ));
+        assert!(matches!(
+            trace[1],
+            RecoveryEvent::TransientRetry { attempt: 2, backoff_ns: 1_000, .. }
+        ));
+
+        // Determinism: the same fault schedule reproduces the same trace.
+        let (_, again) = trace_of(2);
+        assert_eq!(trace, again, "same schedule, same recovery trace");
+    }
+
+    #[test]
+    fn transient_faults_exhaust_into_a_typed_faulted_error() {
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let backend = OomBackend::failing(100, true).with_mode(FailMode::Transient);
+        let err = PlanRun::new(&plan, &backend, &catalog).run_to_completion().unwrap_err();
+        match err {
+            PlanError::Faulted { site, attempts, .. } => {
+                assert_eq!(site, FaultSite::KernelLaunch);
+                assert_eq!(attempts as usize, PlanRun::<MonetSeqBackend>::RESTART_LIMIT + 1);
+            }
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+        assert!(err.to_string().contains("retry budget"));
+        assert_eq!(
+            backend.reclaims.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "the transient path never reclaims"
+        );
+    }
+
+    #[test]
+    fn oom_and_transient_draw_from_one_shared_budget() {
+        // RESTART_LIMIT bounds the *combined* attempts of one node. With
+        // more transient failures than the limit the node fails even
+        // though each individual fault class would be under its own limit
+        // in a split-budget design; the typed error carries the total
+        // attempt count.
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let limit = PlanRun::<MonetSeqBackend>::RESTART_LIMIT;
+        let backend = OomBackend::failing(limit + 1, true).with_mode(FailMode::Transient);
+        let err = PlanRun::new(&plan, &backend, &catalog).run_to_completion().unwrap_err();
+        assert!(matches!(err, PlanError::Faulted { .. }));
+
+        // Exactly at the limit the node still recovers.
+        let backend = OomBackend::failing(limit, true).with_mode(FailMode::Transient);
+        let mut run = PlanRun::new(&plan, &backend, &catalog);
+        run.run_to_completion().unwrap();
+        assert_eq!(run.recovery_stats().retries as usize, limit);
+    }
+
+    #[test]
+    fn device_loss_unwinds_the_whole_plan() {
+        let plan = grouped_plan();
+        let catalog = catalog();
+        let backend = OomBackend::failing(1, true).with_mode(FailMode::DeviceLost);
+        let mut run = PlanRun::new(&plan, &backend, &catalog);
+        let err = run.run_to_completion().unwrap_err();
+        assert_eq!(err, PlanError::DeviceLost);
+        assert!(err.to_string().contains("device lost"));
+        assert_eq!(
+            backend.reclaims.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "device loss is not retryable: no reclaim, no retry"
+        );
+        assert!(matches!(run.recovery_trace(), [RecoveryEvent::DeviceLost { node: 0 }]));
     }
 
     #[test]

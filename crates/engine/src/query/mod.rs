@@ -69,6 +69,7 @@ use crate::plan::{Plan, PlanError, QueryValue};
 use crate::session::Session;
 use ocelot_storage::Catalog;
 use std::fmt;
+use std::sync::Arc;
 
 /// The join variants of the logical algebra.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -507,7 +508,10 @@ impl Query {
         let stats = rewrite::Stats::new(catalog);
         let (rewritten, _) = rewrite::apply(self.root.clone(), &stats, cfg, &outputs);
         let lowered = lower::lower(&rewritten, &outputs, &stats, cfg)?;
-        Ok(lowered.plan)
+        // Plans compiled through the query layer carry their logical
+        // source, so device-loss failover can re-lower the query onto the
+        // fallback backend instead of replaying the physical plan blind.
+        Ok(lowered.plan.with_source(Arc::new(self.clone())))
     }
 
     /// Lowers and executes the query in a session, applying any root

@@ -41,13 +41,23 @@
 //! * **Results in submission order.** [`Scheduler::run`] returns one result
 //!   slot per job, indexed like the input, regardless of completion order.
 //! * **Errors are per-job.** A failing plan yields `Err` in its slot and
-//!   frees its in-flight slot; other jobs are unaffected.
+//!   frees its in-flight slot; other jobs are unaffected. A plan that
+//!   exhausted its retry budget is **quarantined**: its typed
+//!   [`PlanError::Faulted`] stays in its slot, the quarantine is counted,
+//!   and the rest of the stream proceeds.
+//! * **Device-loss failover.** Under [`Scheduler::run_with_fallback`],
+//!   jobs that unwound with [`PlanError::DeviceLost`] (device loss is
+//!   sticky, so every in-flight plan on the lost device unwinds as it next
+//!   steps) are re-run on the fallback session **in submission order**
+//!   after their device's cached state is invalidated
+//!   ([`crate::backend::Backend::on_device_lost`]) — results land in their
+//!   original slots, reference-equal to a fault-free run.
 //! * **One session per concurrent Ocelot job.** The per-plan flush
 //!   guarantees presuppose a private queue per admitted plan; see
 //!   [`QueryJob`] for what happens when jobs share a session.
 
 use crate::backend::Backend;
-use crate::plan::{Plan, PlanError, PlanRun, QueryValue};
+use crate::plan::{Plan, PlanError, PlanRun, QueryValue, RecoveryStats};
 use crate::session::Session;
 use ocelot_storage::Catalog;
 use std::time::Instant;
@@ -96,6 +106,11 @@ pub struct StepTrace {
     /// Modeled device nanoseconds this step caused (0 unless it flushed).
     pub device_ns: u64,
 }
+
+/// What one scheduling drive produces: per-job results in submission
+/// order, the global-order step trace, and the aggregated recovery
+/// counters of every admitted run.
+type DriveOutcome = (Vec<Result<Vec<QueryValue>, PlanError>>, Vec<StepTrace>, RecoveryStats);
 
 /// The multi-query scheduler (see module docs for the contract).
 #[derive(Debug, Clone)]
@@ -155,6 +170,38 @@ impl Scheduler {
         self.drive(jobs, None::<fn(&B) -> DeviceClock>).0
     }
 
+    /// Like [`Scheduler::run`], with the scheduler arms of the unified
+    /// recovery protocol applied (module docs): after the normal admission
+    /// run, every job that unwound with [`PlanError::DeviceLost`] has its
+    /// session's device state invalidated and is **resubmitted on
+    /// `fallback` in submission order** (re-lowered from its plan's
+    /// logical source when it carries one), and every job whose typed
+    /// [`PlanError::Faulted`] survived is counted as **quarantined** while
+    /// its slot keeps the error. Returns the results plus the aggregated
+    /// [`RecoveryStats`] of the whole stream (node retries and OOM
+    /// restarts included).
+    pub fn run_with_fallback<B: Backend>(
+        &self,
+        jobs: &[QueryJob<'_, B>],
+        fallback: &Session<B>,
+    ) -> (Vec<Result<Vec<QueryValue>, PlanError>>, RecoveryStats) {
+        let (mut results, _, mut stats) = self.drive(jobs, None::<fn(&B) -> DeviceClock>);
+        for (index, job) in jobs.iter().enumerate() {
+            if !matches!(results[index], Err(PlanError::DeviceLost)) {
+                continue;
+            }
+            // Invalidation is idempotent, so jobs sharing a lost device
+            // may each purge it.
+            job.session.backend().on_device_lost();
+            let relowered = job.plan.source().and_then(|query| query.lower(job.catalog).ok());
+            results[index] = fallback.run(relowered.as_ref().unwrap_or(job.plan), job.catalog);
+            stats.failovers += 1;
+        }
+        stats.quarantines +=
+            results.iter().filter(|r| matches!(r, Err(PlanError::Faulted { .. }))).count() as u64;
+        (results, stats)
+    }
+
     /// Like [`Scheduler::run`], additionally recording a [`StepTrace`] per
     /// executed node. `probe` samples the session's device clocks (for
     /// Ocelot: from `Queue::total_stats`); the scheduler attributes each
@@ -167,19 +214,22 @@ impl Scheduler {
         jobs: &[QueryJob<'_, B>],
         probe: impl Fn(&B) -> DeviceClock,
     ) -> (Vec<Result<Vec<QueryValue>, PlanError>>, Vec<StepTrace>) {
-        self.drive(jobs, Some(probe))
+        let (results, traces, _) = self.drive(jobs, Some(probe));
+        (results, traces)
     }
 
     /// The scheduling loop. `probe` is `None` on the untraced path, which
-    /// then skips clock sampling and trace recording entirely.
+    /// then skips clock sampling and trace recording entirely. Also
+    /// aggregates every run's [`RecoveryStats`] for the failover path.
     fn drive<B: Backend>(
         &self,
         jobs: &[QueryJob<'_, B>],
         probe: Option<impl Fn(&B) -> DeviceClock>,
-    ) -> (Vec<Result<Vec<QueryValue>, PlanError>>, Vec<StepTrace>) {
+    ) -> DriveOutcome {
         let mut results: Vec<Option<Result<Vec<QueryValue>, PlanError>>> =
             (0..jobs.len()).map(|_| None).collect();
         let mut traces = Vec::new();
+        let mut stats = RecoveryStats::default();
         // Estimated device footprint per job (only computed under
         // cost-based admission; `0` keeps the plain-FIFO path free).
         let footprints: Vec<usize> = match self.memory_budget {
@@ -241,13 +291,15 @@ impl Scheduler {
                 };
                 match stepped {
                     Err(error) => {
+                        let (_, _, run) = active.remove(slot);
+                        stats.absorb(&run.recovery_stats());
                         results[index] = Some(Err(error));
-                        active.remove(slot);
                         // The freed slot admits the next waiting job at the
                         // top of the loop.
                     }
                     Ok(_) if active[slot].2.is_done() => {
                         let (index, _, run) = active.remove(slot);
+                        stats.absorb(&run.recovery_stats());
                         results[index] = Some(Ok(run.into_results()));
                     }
                     Ok(_) => {
@@ -256,7 +308,7 @@ impl Scheduler {
                 }
             }
         }
-        (results.into_iter().map(|r| r.expect("every job scheduled")).collect(), traces)
+        (results.into_iter().map(|r| r.expect("every job scheduled")).collect(), traces, stats)
     }
 }
 
@@ -417,6 +469,49 @@ mod tests {
         for (a, b) in results.iter().zip(&plain) {
             assert_eq!(scalar(a).to_bits(), scalar(b).to_bits());
         }
+    }
+
+    #[test]
+    fn faulted_plans_are_quarantined_and_lost_devices_fail_over() {
+        use ocelot_kernel::{FaultPlan, FaultSpec};
+        let catalog = catalog();
+        let plan = compile(&rewrite_for_ocelot(&example_plan("t", "a", "b", 10, 60))).unwrap();
+        let reference = Session::ocelot(&SharedDevice::cpu()).run(&plan, &catalog).unwrap();
+
+        // Three sessions: one on a device lost mid-plan, one on a device
+        // whose every launch/transfer faults (exhausts the retry budget),
+        // one healthy.
+        let lost = SharedDevice::gpu();
+        let flaky = SharedDevice::cpu();
+        let s_lost = Session::ocelot(&lost);
+        let s_flaky = Session::ocelot(&flaky);
+        let s_healthy = Session::ocelot(&SharedDevice::cpu());
+        lost.device()
+            .install_fault_plan(FaultPlan::scripted(vec![FaultSpec::DeviceLost { at_op: 4 }]));
+        flaky.device().install_fault_plan(FaultPlan::seeded(7, 1.0, 0.0));
+
+        let fallback = Session::ocelot(&SharedDevice::cpu());
+        let jobs = [
+            QueryJob { session: &s_lost, plan: &plan, catalog: &catalog },
+            QueryJob { session: &s_flaky, plan: &plan, catalog: &catalog },
+            QueryJob { session: &s_healthy, plan: &plan, catalog: &catalog },
+        ];
+        let (results, stats) =
+            Scheduler::new().with_in_flight(3).run_with_fallback(&jobs, &fallback);
+        assert_eq!(
+            results[0].as_ref().unwrap(),
+            &reference,
+            "lost-device job fails over with reference-equal results"
+        );
+        assert!(
+            matches!(results[1], Err(PlanError::Faulted { .. })),
+            "budget-exhausting job is quarantined with a typed error: {:?}",
+            results[1]
+        );
+        assert_eq!(results[2].as_ref().unwrap(), &reference, "healthy job is undisturbed");
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.quarantines, 1);
+        assert!(stats.retries >= 6, "the quarantined plan retried up to its budget first");
     }
 
     #[test]

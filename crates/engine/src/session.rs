@@ -13,23 +13,57 @@
 //! Plans are executed with [`Session::run`] (one-shot) or admitted together
 //! with other sessions' plans to a [`crate::scheduler::Scheduler`], which
 //! interleaves their node execution.
+//!
+//! # Failover
+//!
+//! A session may carry a **fallback session** ([`Session::with_fallback`]).
+//! When a plan run unwinds with [`PlanError::DeviceLost`] (the sticky,
+//! non-retryable fault class of the unified recovery protocol —
+//! `crate::plan` module docs), the session invalidates the lost device's
+//! cached state ([`crate::backend::Backend::on_device_lost`]), re-lowers
+//! the plan's logical source query onto the fallback (plans compiled
+//! through the query layer carry it; hand-built plans are re-run as-is —
+//! physical plans are backend-agnostic) and re-runs there, returning
+//! results reference-equal to a fault-free run. Every recovery action is
+//! counted in [`Session::recovery_stats`] and traced in
+//! [`Session::recovery_trace`]. Fallbacks chain: the fallback session may
+//! itself have a fallback.
 
 use crate::backend::Backend;
 use crate::backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};
 use crate::mal::MalPlan;
-use crate::plan::{execute_plan, Plan, PlanError, QueryValue};
+use crate::plan::{Plan, PlanError, PlanRun, QueryValue, RecoveryEvent, RecoveryStats};
 use ocelot_core::SharedDevice;
 use ocelot_storage::Catalog;
+use parking_lot::Mutex;
 
 /// One client's execution context on one backend configuration.
 pub struct Session<B: Backend> {
     backend: B,
+    /// Where queries go when this session's device is lost (module docs).
+    fallback: Option<Box<Session<B>>>,
+    /// Recovery counters and ordered trace, aggregated over every run of
+    /// this session (interior mutability: `run` takes `&self`).
+    recovery: Mutex<(RecoveryStats, Vec<RecoveryEvent>)>,
 }
 
 impl<B: Backend> Session<B> {
     /// Wraps an existing backend as a session.
     pub fn new(backend: B) -> Session<B> {
-        Session { backend }
+        Session { backend, fallback: None, recovery: Mutex::new(Default::default()) }
+    }
+
+    /// Arms device-loss failover: plans failing on this session with
+    /// [`PlanError::DeviceLost`] are re-run on `fallback` (see module
+    /// docs).
+    pub fn with_fallback(mut self, fallback: Session<B>) -> Session<B> {
+        self.fallback = Some(Box::new(fallback));
+        self
+    }
+
+    /// The armed fallback session, if any.
+    pub fn fallback(&self) -> Option<&Session<B>> {
+        self.fallback.as_deref()
     }
 
     /// The session's backend (TPC-H query code executes against this).
@@ -42,9 +76,59 @@ impl<B: Backend> Session<B> {
         self.backend.name()
     }
 
-    /// Executes an already-compiled plan to completion.
+    /// Recovery counters aggregated over every run of this session,
+    /// including work its fallback chain performed on its behalf.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut stats = self.recovery.lock().0;
+        if let Some(fallback) = &self.fallback {
+            stats.absorb(&fallback.recovery_stats());
+        }
+        stats
+    }
+
+    /// The ordered recovery decisions this session's runs took (own runs
+    /// only; the fallback keeps its own trace).
+    pub fn recovery_trace(&self) -> Vec<RecoveryEvent> {
+        self.recovery.lock().1.clone()
+    }
+
+    /// Executes an already-compiled plan to completion, applying the
+    /// device-loss failover protocol when a fallback is armed (module
+    /// docs).
     pub fn run(&self, plan: &Plan, catalog: &Catalog) -> Result<Vec<QueryValue>, PlanError> {
-        execute_plan(plan, &self.backend, catalog)
+        match self.run_local(plan, catalog) {
+            Err(PlanError::DeviceLost) => self.fail_over(plan, catalog),
+            outcome => outcome,
+        }
+    }
+
+    /// One plan run on this session's own backend, recovery bookkeeping
+    /// included.
+    fn run_local(&self, plan: &Plan, catalog: &Catalog) -> Result<Vec<QueryValue>, PlanError> {
+        let mut run = PlanRun::new(plan, &self.backend, catalog);
+        let outcome = run.run_to_completion();
+        let mut recovery = self.recovery.lock();
+        recovery.0.absorb(&run.recovery_stats());
+        recovery.1.extend_from_slice(run.recovery_trace());
+        drop(recovery);
+        outcome.map(|_| run.into_results())
+    }
+
+    /// The device-loss arm of the recovery protocol: invalidate, re-lower,
+    /// re-run on the fallback. Without a fallback the typed error
+    /// propagates.
+    fn fail_over(&self, plan: &Plan, catalog: &Catalog) -> Result<Vec<QueryValue>, PlanError> {
+        self.backend.on_device_lost();
+        let Some(fallback) = self.fallback.as_deref() else {
+            return Err(PlanError::DeviceLost);
+        };
+        {
+            let mut recovery = self.recovery.lock();
+            recovery.0.failovers += 1;
+            recovery.1.push(RecoveryEvent::Failover { to: fallback.name().to_string() });
+        }
+        let relowered = plan.source().and_then(|query| query.lower(catalog).ok());
+        fallback.run(relowered.as_ref().unwrap_or(plan), catalog)
     }
 
     /// Compiles a MAL program and executes it to completion.
@@ -126,6 +210,42 @@ mod tests {
             }
         }
         assert!(Session::monet_par().name().contains("MP"));
+    }
+
+    #[test]
+    fn device_loss_fails_over_to_the_fallback_session() {
+        use ocelot_kernel::{FaultPlan, FaultSpec};
+        let catalog = catalog();
+        let mal = rewrite_for_ocelot(&example_plan("t", "a", "b", 10, 20));
+        let reference = Session::ocelot(&SharedDevice::cpu()).run_mal(&mal, &catalog).unwrap();
+
+        let lost = SharedDevice::gpu();
+        let session = Session::ocelot(&lost).with_fallback(Session::ocelot(&SharedDevice::cpu()));
+        lost.device()
+            .install_fault_plan(FaultPlan::scripted(vec![FaultSpec::DeviceLost { at_op: 2 }]));
+        let result = session.run_mal(&mal, &catalog).unwrap();
+        assert_eq!(result, reference, "failover must deliver reference-equal results");
+
+        let stats = session.recovery_stats();
+        assert_eq!(stats.failovers, 1, "one device loss, one failover");
+        assert!(session
+            .recovery_trace()
+            .iter()
+            .any(|event| matches!(event, RecoveryEvent::Failover { .. })));
+    }
+
+    #[test]
+    fn device_loss_without_a_fallback_is_a_typed_error() {
+        use ocelot_kernel::{FaultPlan, FaultSpec};
+        let catalog = catalog();
+        let mal = rewrite_for_ocelot(&example_plan("t", "a", "b", 10, 20));
+        let lost = SharedDevice::gpu();
+        let session = Session::ocelot(&lost);
+        lost.device()
+            .install_fault_plan(FaultPlan::scripted(vec![FaultSpec::DeviceLost { at_op: 2 }]));
+        let err = session.run_mal(&mal, &catalog).unwrap_err();
+        assert_eq!(err, PlanError::DeviceLost);
+        assert_eq!(session.recovery_stats().failovers, 0);
     }
 
     #[test]

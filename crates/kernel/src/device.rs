@@ -17,12 +17,14 @@
 
 use crate::buffer::Buffer;
 use crate::error::{KernelError, Result};
+use crate::fault::{FaultKind, FaultPlan, FaultSite, FaultStats};
 use crate::gpu_sim::{GpuConfig, GpuCostModel};
 use crate::kernel::{run_group_range, Kernel};
 use crate::queue::Queue;
 use crate::scheduling::{self, LaunchConfig};
 use crate::thread_pool::ThreadPool;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -239,6 +241,14 @@ impl Driver for GpuSimDriver {
     }
 }
 
+/// Fault-injection state shared by every clone of a device: the installed
+/// plan (if any) and the sticky "lost" flag (see [`crate::fault`]).
+#[derive(Default)]
+struct FaultCell {
+    plan: Mutex<Option<FaultPlan>>,
+    lost: AtomicBool,
+}
+
 /// A handle to a compute device. Cloning is cheap (all state is shared).
 #[derive(Clone)]
 pub struct Device {
@@ -246,6 +256,7 @@ pub struct Device {
     driver: Arc<dyn Driver>,
     mem: Arc<MemAccountant>,
     next_buffer_id: Arc<AtomicU64>,
+    faults: Arc<FaultCell>,
 }
 
 impl std::fmt::Debug for Device {
@@ -323,7 +334,63 @@ impl Device {
 
     fn from_parts(info: DeviceInfo, driver: Arc<dyn Driver>) -> Device {
         let mem = Arc::new(MemAccountant::new(info.global_mem_bytes));
-        Device { info: Arc::new(info), driver, mem, next_buffer_id: Arc::new(AtomicU64::new(1)) }
+        Device {
+            info: Arc::new(info),
+            driver,
+            mem,
+            next_buffer_id: Arc::new(AtomicU64::new(1)),
+            faults: Arc::new(FaultCell::default()),
+        }
+    }
+
+    /// Installs a [`FaultPlan`] on the device (replacing any previous one).
+    /// Every clone of this device — and every queue created from any clone
+    /// — consults the plan at kernel launches, transfers and allocations.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.plan.lock() = Some(plan);
+    }
+
+    /// Removes the installed fault plan. Does **not** revive a lost device
+    /// — loss is sticky for the lifetime of the device object.
+    pub fn clear_fault_plan(&self) {
+        *self.faults.plan.lock() = None;
+    }
+
+    /// Counters of the installed fault plan, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.plan.lock().as_ref().map(|plan| plan.stats())
+    }
+
+    /// Whether the device has (simulated) dropped off the bus. Once lost,
+    /// every launch, transfer, allocation and non-empty flush fails with
+    /// [`KernelError::DeviceLost`].
+    pub fn is_lost(&self) -> bool {
+        self.faults.lost.load(Ordering::Relaxed)
+    }
+
+    /// Consults the fault plan before an operation at `site`. Errors when
+    /// the device is lost or the plan fires; advances the plan's counters
+    /// otherwise. The single fault decision point the queue and the
+    /// allocator route through.
+    pub(crate) fn fault_preflight(&self, site: FaultSite) -> Result<()> {
+        if self.is_lost() {
+            return Err(KernelError::DeviceLost);
+        }
+        let fired = self.faults.plan.lock().as_ref().and_then(|plan| plan.fire(site));
+        match fired {
+            None => Ok(()),
+            Some((FaultKind::DeviceLost, _)) => {
+                self.faults.lost.store(true, Ordering::Relaxed);
+                Err(KernelError::DeviceLost)
+            }
+            Some((FaultKind::AllocFailed, _)) => Err(KernelError::OutOfDeviceMemory {
+                requested: 0,
+                available: self.mem.available(),
+            }),
+            Some((FaultKind::TransientKernel | FaultKind::TransientTransfer, op)) => {
+                Err(KernelError::TransientFault { site, op })
+            }
+        }
     }
 
     /// The device's static description.
@@ -353,6 +420,17 @@ impl Device {
     /// [`MemAccountant::try_alloc_capped`].
     pub fn alloc_capped(&self, words: usize, label: &str, cap_bytes: usize) -> Result<Buffer> {
         let bytes = words * 4;
+        if let Err(error) = self.fault_preflight(FaultSite::Alloc) {
+            // An injected allocation fault reports the real request size so
+            // the eviction/restart protocol reclaims a meaningful amount.
+            return Err(match error {
+                KernelError::OutOfDeviceMemory { .. } => KernelError::OutOfDeviceMemory {
+                    requested: bytes,
+                    available: self.mem.available(),
+                },
+                other => other,
+            });
+        }
         self.mem.try_alloc_capped(bytes, cap_bytes)?;
         let id = self.next_buffer_id.fetch_add(1, Ordering::Relaxed);
         Ok(Buffer::new(id, words, label, Some(Arc::clone(&self.mem))))

@@ -1,5 +1,6 @@
 //! Error types for the kernel runtime.
 
+use crate::fault::FaultSite;
 use std::fmt;
 
 /// Convenience alias used across the kernel crate.
@@ -53,6 +54,21 @@ pub enum KernelError {
         /// Number of values the column claimed.
         column_len: usize,
     },
+    /// An operation failed transiently (injected by a
+    /// [`crate::fault::FaultPlan`], modelling a driver hiccup). The same
+    /// operation, re-submitted, may succeed — the engine's recovery
+    /// protocol retries the failed plan node with bounded backoff.
+    TransientFault {
+        /// The site the fault fired at.
+        site: FaultSite,
+        /// The fault plan's global operation index at firing time.
+        op: u64,
+    },
+    /// The device's context was lost (injected by a
+    /// [`crate::fault::FaultPlan`]). Loss is sticky: every further
+    /// operation on the device fails with this error. Recovery requires
+    /// failing over to a different device.
+    DeviceLost,
     /// Generic invariant violation inside the runtime.
     Internal(String),
 }
@@ -81,6 +97,10 @@ impl fmt::Display for KernelError {
                      {column_len} values"
                 )
             }
+            KernelError::TransientFault { site, op } => {
+                write!(f, "transient {site} fault (operation {op})")
+            }
+            KernelError::DeviceLost => write!(f, "device lost"),
             KernelError::Internal(msg) => write!(f, "internal kernel runtime error: {msg}"),
         }
     }

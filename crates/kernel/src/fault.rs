@@ -1,0 +1,369 @@
+//! Deterministic, seedable fault injection for the kernel runtime.
+//!
+//! A [`FaultPlan`] is installed on a [`crate::Device`] and consulted at the
+//! three places a real OpenCL host program sees device failures surface:
+//! **kernel launches**, **host/device transfers** and **buffer
+//! allocations** ([`FaultSite`]). When the plan decides an operation
+//! faults, the runtime returns a typed [`crate::KernelError`] instead of
+//! performing the operation:
+//!
+//! * [`FaultKind::TransientKernel`] / [`FaultKind::TransientTransfer`] —
+//!   a one-shot hiccup ([`crate::KernelError::TransientFault`]): the same
+//!   operation, re-submitted, may succeed. The engine's recovery protocol
+//!   retries the failed plan node with a bounded backoff schedule.
+//! * [`FaultKind::AllocFailed`] — a spurious allocation failure, surfaced
+//!   as the *existing* [`crate::KernelError::OutOfDeviceMemory`] so it
+//!   rides the same eviction/restart protocol as a genuine out-of-memory
+//!   condition (one protocol, two triggers).
+//! * [`FaultKind::DeviceLost`] — the device drops off the bus
+//!   ([`crate::KernelError::DeviceLost`]). Loss is **sticky**: every
+//!   subsequent launch, transfer, allocation or flush on the device fails
+//!   until the device object is discarded. Recovery requires failing over
+//!   to a different device.
+//!
+//! Plans come in two flavours, both fully deterministic:
+//!
+//! * [`FaultPlan::scripted`] — a list of [`FaultSpec`]s pinning faults to
+//!   exact per-site operation indices ("fail the 3rd kernel launch",
+//!   "lose the device at global operation 40").
+//! * [`FaultPlan::seeded`] — seeded-random: each site draws against a
+//!   configured rate from an [`rand::rngs::StdRng`]. Equal seeds over equal
+//!   operation sequences produce identical fault schedules, which is what
+//!   lets chaos tests shrink and replay failures.
+//!
+//! The plan never *executes* anything; it only answers "does the Nth
+//! operation at this site fail, and how". All bookkeeping is behind a
+//! mutex, so a plan shared by several queues of one device still counts
+//! operations in a single global order.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where in the runtime a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A kernel launch (`Queue::enqueue_kernel`).
+    KernelLaunch,
+    /// A host/device transfer (`Queue::enqueue_write*` / `enqueue_read*`).
+    Transfer,
+    /// A device-memory allocation (`Device::alloc*`).
+    Alloc,
+}
+
+impl FaultSite {
+    /// Stable human-readable name (used in error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultSite::KernelLaunch => "kernel launch",
+            FaultSite::Transfer => "transfer",
+            FaultSite::Alloc => "allocation",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of fault fires (see module docs for semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Transient kernel-launch failure — retryable.
+    TransientKernel,
+    /// Transient transfer failure — retryable.
+    TransientTransfer,
+    /// Spurious allocation failure — rides the out-of-memory protocol.
+    AllocFailed,
+    /// Permanent device loss — requires failover.
+    DeviceLost,
+}
+
+/// One scripted fault, pinned to an exact operation index. Per-kind indices
+/// count operations *of the matching site* (0-based): `at_launch: 2` fails
+/// the third kernel launch the device sees. [`FaultSpec::DeviceLost`] uses
+/// the global operation counter across all sites, so a schedule can place
+/// the loss "after roughly this much work" without knowing the site mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Fail the `at_launch`-th kernel launch transiently.
+    TransientKernel {
+        /// 0-based kernel-launch index.
+        at_launch: u64,
+    },
+    /// Fail the `at_transfer`-th transfer transiently.
+    TransientTransfer {
+        /// 0-based transfer index.
+        at_transfer: u64,
+    },
+    /// Fail the `at_alloc`-th allocation.
+    AllocFailed {
+        /// 0-based allocation index.
+        at_alloc: u64,
+    },
+    /// Lose the device at the `at_op`-th observed operation (any site).
+    DeviceLost {
+        /// 0-based global operation index.
+        at_op: u64,
+    },
+}
+
+/// Counters of faults a plan has injected (and operations it has seen) —
+/// the assertion surface for tests and demos.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient kernel-launch faults injected.
+    pub transient_kernel: u64,
+    /// Transient transfer faults injected.
+    pub transient_transfer: u64,
+    /// Allocation faults injected.
+    pub alloc_failed: u64,
+    /// Device losses injected (0 or 1 — loss is sticky).
+    pub device_lost: u64,
+    /// Total operations observed across all sites.
+    pub ops_observed: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected, of every kind.
+    pub fn total(&self) -> u64 {
+        self.transient_kernel + self.transient_transfer + self.alloc_failed + self.device_lost
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    ops: u64,
+    launches: u64,
+    transfers: u64,
+    allocs: u64,
+}
+
+enum Mode {
+    Scripted(Vec<FaultSpec>),
+    Random { rng: StdRng, transient_rate: f64, alloc_rate: f64, lose_device_at_op: Option<u64> },
+}
+
+struct PlanState {
+    mode: Mode,
+    counters: Counters,
+    stats: FaultStats,
+}
+
+/// A deterministic fault schedule (see module docs). Install on a device
+/// with `Device::install_fault_plan`.
+pub struct FaultPlan {
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// A scripted plan: faults fire exactly at the specified operation
+    /// indices, nothing else ever fails.
+    pub fn scripted(faults: impl Into<Vec<FaultSpec>>) -> FaultPlan {
+        FaultPlan {
+            state: Mutex::new(PlanState {
+                mode: Mode::Scripted(faults.into()),
+                counters: Counters::default(),
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// A seeded-random plan: every kernel launch and transfer faults with
+    /// probability `transient_rate`, every allocation with `alloc_rate`.
+    /// Equal seeds over equal operation sequences produce identical
+    /// schedules.
+    pub fn seeded(seed: u64, transient_rate: f64, alloc_rate: f64) -> FaultPlan {
+        FaultPlan {
+            state: Mutex::new(PlanState {
+                mode: Mode::Random {
+                    rng: StdRng::seed_from_u64(seed),
+                    transient_rate,
+                    alloc_rate,
+                    lose_device_at_op: None,
+                },
+                counters: Counters::default(),
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// Additionally loses the device at the `op`-th observed operation
+    /// (builder; applies to seeded plans — scripted plans place the loss
+    /// with [`FaultSpec::DeviceLost`]).
+    pub fn lose_device_at_op(self, op: u64) -> FaultPlan {
+        {
+            let mut state = self.state.lock();
+            if let Mode::Random { lose_device_at_op, .. } = &mut state.mode {
+                *lose_device_at_op = Some(op);
+            }
+        }
+        self
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+
+    /// Decides whether the next operation at `site` faults. Advances the
+    /// operation counters either way. Returns the fault kind and the global
+    /// operation index it fired at.
+    pub(crate) fn fire(&self, site: FaultSite) -> Option<(FaultKind, u64)> {
+        let mut state = self.state.lock();
+        let op = state.counters.ops;
+        state.counters.ops += 1;
+        state.stats.ops_observed += 1;
+        let site_index = match site {
+            FaultSite::KernelLaunch => {
+                let n = state.counters.launches;
+                state.counters.launches += 1;
+                n
+            }
+            FaultSite::Transfer => {
+                let n = state.counters.transfers;
+                state.counters.transfers += 1;
+                n
+            }
+            FaultSite::Alloc => {
+                let n = state.counters.allocs;
+                state.counters.allocs += 1;
+                n
+            }
+        };
+        let kind = match &mut state.mode {
+            Mode::Scripted(specs) => specs.iter().find_map(|spec| match (*spec, site) {
+                (FaultSpec::DeviceLost { at_op }, _) if at_op == op => Some(FaultKind::DeviceLost),
+                (FaultSpec::TransientKernel { at_launch }, FaultSite::KernelLaunch)
+                    if at_launch == site_index =>
+                {
+                    Some(FaultKind::TransientKernel)
+                }
+                (FaultSpec::TransientTransfer { at_transfer }, FaultSite::Transfer)
+                    if at_transfer == site_index =>
+                {
+                    Some(FaultKind::TransientTransfer)
+                }
+                (FaultSpec::AllocFailed { at_alloc }, FaultSite::Alloc)
+                    if at_alloc == site_index =>
+                {
+                    Some(FaultKind::AllocFailed)
+                }
+                _ => None,
+            }),
+            Mode::Random { rng, transient_rate, alloc_rate, lose_device_at_op } => {
+                if *lose_device_at_op == Some(op) {
+                    Some(FaultKind::DeviceLost)
+                } else {
+                    let rate = match site {
+                        FaultSite::Alloc => *alloc_rate,
+                        _ => *transient_rate,
+                    };
+                    // Draw even at rate 0 so adding a zero-rate site never
+                    // shifts the schedule of the others.
+                    let draw: f64 = rng.gen_range(0.0..1.0);
+                    if draw < rate {
+                        Some(match site {
+                            FaultSite::KernelLaunch => FaultKind::TransientKernel,
+                            FaultSite::Transfer => FaultKind::TransientTransfer,
+                            FaultSite::Alloc => FaultKind::AllocFailed,
+                        })
+                    } else {
+                        None
+                    }
+                }
+            }
+        };
+        match kind {
+            Some(FaultKind::TransientKernel) => state.stats.transient_kernel += 1,
+            Some(FaultKind::TransientTransfer) => state.stats.transient_transfer += 1,
+            Some(FaultKind::AllocFailed) => state.stats.alloc_failed += 1,
+            Some(FaultKind::DeviceLost) => state.stats.device_lost += 1,
+            None => {}
+        }
+        kind.map(|k| (k, op))
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        let mode = match &state.mode {
+            Mode::Scripted(specs) => format!("scripted({} faults)", specs.len()),
+            Mode::Random { transient_rate, alloc_rate, lose_device_at_op, .. } => format!(
+                "seeded(transient={transient_rate}, alloc={alloc_rate}, lost_at={lose_device_at_op:?})"
+            ),
+        };
+        f.debug_struct("FaultPlan").field("mode", &mode).field("stats", &state.stats).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_faults_fire_at_exact_indices() {
+        let plan = FaultPlan::scripted(vec![
+            FaultSpec::TransientKernel { at_launch: 1 },
+            FaultSpec::AllocFailed { at_alloc: 0 },
+        ]);
+        assert_eq!(plan.fire(FaultSite::Alloc), Some((FaultKind::AllocFailed, 0)));
+        assert_eq!(plan.fire(FaultSite::KernelLaunch), None);
+        assert_eq!(plan.fire(FaultSite::KernelLaunch), Some((FaultKind::TransientKernel, 2)));
+        assert_eq!(plan.fire(FaultSite::KernelLaunch), None);
+        let stats = plan.stats();
+        assert_eq!(stats.transient_kernel, 1);
+        assert_eq!(stats.alloc_failed, 1);
+        assert_eq!(stats.ops_observed, 4);
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn device_lost_uses_the_global_op_counter() {
+        let plan = FaultPlan::scripted(vec![FaultSpec::DeviceLost { at_op: 2 }]);
+        assert_eq!(plan.fire(FaultSite::Transfer), None);
+        assert_eq!(plan.fire(FaultSite::Alloc), None);
+        assert_eq!(plan.fire(FaultSite::KernelLaunch), Some((FaultKind::DeviceLost, 2)));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let sequence = [
+            FaultSite::Alloc,
+            FaultSite::Transfer,
+            FaultSite::KernelLaunch,
+            FaultSite::KernelLaunch,
+            FaultSite::Transfer,
+        ];
+        let a = FaultPlan::seeded(42, 0.5, 0.5);
+        let b = FaultPlan::seeded(42, 0.5, 0.5);
+        for _ in 0..200 {
+            for site in sequence {
+                assert_eq!(a.fire(site), b.fire(site));
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0, "a 50% rate over 1000 ops must fire");
+    }
+
+    #[test]
+    fn zero_rate_plans_never_fire() {
+        let plan = FaultPlan::seeded(7, 0.0, 0.0);
+        for _ in 0..500 {
+            assert_eq!(plan.fire(FaultSite::KernelLaunch), None);
+            assert_eq!(plan.fire(FaultSite::Alloc), None);
+        }
+        assert_eq!(plan.stats().total(), 0);
+    }
+
+    #[test]
+    fn seeded_loss_fires_at_the_configured_op() {
+        let plan = FaultPlan::seeded(3, 0.0, 0.0).lose_device_at_op(1);
+        assert_eq!(plan.fire(FaultSite::KernelLaunch), None);
+        assert_eq!(plan.fire(FaultSite::KernelLaunch), Some((FaultKind::DeviceLost, 1)));
+        assert_eq!(plan.stats().device_lost, 1);
+    }
+}

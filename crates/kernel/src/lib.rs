@@ -78,6 +78,7 @@ pub mod buffer;
 pub mod device;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod gpu_sim;
 pub mod kernel;
 pub mod queue;
@@ -88,6 +89,7 @@ pub use buffer::{Buffer, HostCopy};
 pub use device::{AccessPattern, Device, DeviceInfo, DeviceKind, MemAccountant};
 pub use error::{KernelError, Result};
 pub use event::{EventId, EventKind, EventRegistry};
+pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec, FaultStats};
 pub use gpu_sim::{GpuConfig, GpuCostModel};
 pub use kernel::{Kernel, KernelCost, LocalMem, WorkGroupCtx, WorkItem};
 pub use queue::{FlushStats, KernelProfile, Queue};

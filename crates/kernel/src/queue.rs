@@ -17,6 +17,7 @@ use crate::buffer::Buffer;
 use crate::device::Device;
 use crate::error::{KernelError, Result};
 use crate::event::{EventId, EventKind, EventRegistry};
+use crate::fault::FaultSite;
 use crate::kernel::Kernel;
 use crate::scheduling::LaunchConfig;
 use parking_lot::Mutex;
@@ -218,6 +219,10 @@ impl Queue {
     ) -> Result<EventId> {
         launch.validate()?;
         self.check_wait_list(wait)?;
+        // Faults fire at submission time — before the event is issued — so
+        // a failed launch never leaves a dangling incomplete event for a
+        // later wait-list to trip over.
+        self.device.fault_preflight(FaultSite::KernelLaunch)?;
         let event = self.events.issue(EventKind::Kernel(kernel.name().to_string()));
         self.pending.lock().push(PendingOp::Kernel { kernel, launch, wait: wait.to_vec(), event });
         Ok(event)
@@ -243,6 +248,7 @@ impl Queue {
         wait: &[EventId],
     ) -> Result<EventId> {
         self.check_wait_list(wait)?;
+        self.device.fault_preflight(FaultSite::Transfer)?;
         let event = self.events.issue(EventKind::WriteBuffer);
         self.pending.lock().push(PendingOp::Write {
             buffer: buffer.clone(),
@@ -269,6 +275,7 @@ impl Queue {
         wait: &[EventId],
     ) -> Result<EventId> {
         self.check_wait_list(wait)?;
+        self.device.fault_preflight(FaultSite::Transfer)?;
         let event = self.events.issue(EventKind::ReadBuffer);
         self.pending.lock().push(PendingOp::Read {
             buffer: buffer.clone(),
@@ -293,6 +300,13 @@ impl Queue {
     pub fn flush(&self) -> Result<FlushStats> {
         let ops: Vec<PendingOp> = std::mem::take(&mut *self.pending.lock());
         if !ops.is_empty() {
+            // A lost device executes nothing: the pending batch is dropped
+            // (the plan that scheduled it is being unwound for failover) and
+            // the caller sees the sticky loss. Empty flushes stay harmless
+            // no-ops so teardown paths never trip here.
+            if self.device.is_lost() {
+                return Err(KernelError::DeviceLost);
+            }
             self.flushes.fetch_add(1, Ordering::Relaxed);
         }
         let mut stats = FlushStats::default();

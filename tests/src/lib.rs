@@ -540,6 +540,215 @@ mod query_dsl {
 }
 
 #[cfg(test)]
+mod recovery {
+    //! PR 6 chaos and determinism suites for the unified recovery protocol
+    //! (`ocelot_engine::plan` module docs): seeded transient faults are
+    //! retried invisibly, scripted device losses heal through failover,
+    //! budget exhaustion surfaces as the typed quarantine error — and under
+    //! all of it, results are reference-equal or absent, never wrong.
+
+    use ocelot_core::SharedDevice;
+    use ocelot_engine::mal::{compile, example_plan, rewrite_for_ocelot};
+    use ocelot_engine::plan::Plan;
+    use ocelot_engine::{
+        PlanError, QueryJob, QueryValue, RecoveryEvent, RecoveryStats, Scheduler, Session,
+    };
+    use ocelot_kernel::{FaultPlan, FaultSpec};
+    use ocelot_storage::{Bat, Catalog, Table};
+    use ocelot_tpch::{q1_query, q3_query, q6_query, TpchConfig, TpchDb};
+    use proptest::collection;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    fn db() -> &'static TpchDb {
+        static DB: OnceLock<TpchDb> = OnceLock::new();
+        DB.get_or_init(|| TpchDb::generate(TpchConfig { scale_factor: 0.002, seed: 41 }))
+    }
+
+    /// The chaos stream: three DSL-lowered TPC-H plans (so each carries its
+    /// logical source and failover exercises the re-lowering path).
+    fn plans() -> &'static Vec<Plan> {
+        static PLANS: OnceLock<Vec<Plan>> = OnceLock::new();
+        PLANS.get_or_init(|| {
+            [q1_query(db()), q3_query(db()), q6_query(db())]
+                .iter()
+                .map(|query| query.lower(db().catalog()).unwrap())
+                .collect()
+        })
+    }
+
+    /// Fault-free references, computed once on fresh CPU devices — the same
+    /// device kind every chaos run executes on (or fails over to), so the
+    /// PR 3 same-device determinism property makes equality exact.
+    fn reference() -> &'static Vec<Vec<QueryValue>> {
+        static REFERENCE: OnceLock<Vec<Vec<QueryValue>>> = OnceLock::new();
+        REFERENCE.get_or_init(|| {
+            plans()
+                .iter()
+                .map(|plan| {
+                    Session::ocelot(&SharedDevice::cpu()).run(plan, db().catalog()).unwrap()
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The PR 6 acceptance property: a query stream under seeded
+        /// transient faults plus a scripted mid-stream device loss either
+        /// completes reference-equal or fails with the typed quarantine
+        /// error — never a hang, a panic or a wrong answer — and the lost
+        /// device's plan always completes via failover.
+        #[test]
+        fn chaos_streams_complete_reference_equal_or_fail_typed(
+            seed in 0u64..1 << 16,
+            rate_pick in 0usize..3,
+            lost_at in 1u64..6,
+        ) {
+            let rate = [0.0, 0.01, 0.05][rate_pick];
+            let catalog = db().catalog();
+
+            // Q1 and Q6 share one flaky CPU device; Q3 runs on a GPU device
+            // scripted to drop off the bus mid-plan.
+            let flaky = SharedDevice::cpu();
+            flaky.device().install_fault_plan(FaultPlan::seeded(seed, rate, 0.0));
+            let lost = SharedDevice::gpu();
+            lost.device().install_fault_plan(FaultPlan::scripted(vec![FaultSpec::DeviceLost {
+                at_op: lost_at,
+            }]));
+
+            let sessions =
+                [Session::ocelot(&flaky), Session::ocelot(&lost), Session::ocelot(&flaky)];
+            let jobs: Vec<QueryJob<'_, _>> = plans()
+                .iter()
+                .zip(&sessions)
+                .map(|(plan, session)| QueryJob { session, plan, catalog })
+                .collect();
+            let fallback = Session::ocelot(&SharedDevice::cpu());
+            let (results, stats) =
+                Scheduler::new().with_in_flight(2).run_with_fallback(&jobs, &fallback);
+
+            for (index, result) in results.iter().enumerate() {
+                match result {
+                    Ok(values) => prop_assert_eq!(
+                        values,
+                        &reference()[index],
+                        "slot {} must be reference-equal",
+                        index
+                    ),
+                    // Budget exhaustion quarantines the plan — typed, never
+                    // a panic or a silent wrong answer.
+                    Err(PlanError::Faulted { .. }) => {}
+                    Err(other) => prop_assert!(false, "untyped failure: {other:?}"),
+                }
+            }
+            prop_assert!(results[1].is_ok(), "device loss must heal via failover");
+            prop_assert!(stats.failovers > 0, "the loss must show up in the stats");
+            prop_assert_eq!(
+                stats.quarantines,
+                results.iter().filter(|r| r.is_err()).count() as u64,
+                "every surviving error is a quarantine"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_traces_are_reproducible_for_a_seed() {
+        // Same seed ⇒ same recovery decisions: two fresh devices replaying
+        // one seeded fault schedule take the exact same retry/backoff trace
+        // (fresh devices matter — a warm column cache would skip uploads
+        // and shift the operation sequence).
+        let catalog = db().catalog();
+        let plan = &plans()[1]; // Q3: enough device ops to draw real faults.
+        let run = || {
+            let shared = SharedDevice::cpu();
+            shared.device().install_fault_plan(FaultPlan::seeded(11, 0.05, 0.0));
+            let session = Session::ocelot(&shared);
+            let values = session.run(plan, catalog).unwrap();
+            (values, session.recovery_stats(), session.recovery_trace())
+        };
+        let (values_a, stats_a, trace_a) = run();
+        let (values_b, stats_b, trace_b) = run();
+        assert!(stats_a.retries > 0, "the chosen seed must exercise retries: {stats_a:?}");
+        assert!(
+            trace_a.iter().any(|e| matches!(e, RecoveryEvent::TransientRetry { .. })),
+            "retries must be traced"
+        );
+        assert_eq!(stats_a, stats_b, "same seed, same counters");
+        assert_eq!(trace_a, trace_b, "same seed, same ordered recovery trace");
+        assert_eq!(values_a, values_b);
+        assert_eq!(&values_a, &reference()[1], "retried runs stay reference-equal");
+    }
+
+    fn toy_catalog(keys: &[i32], values: &[f32]) -> Catalog {
+        let mut catalog = Catalog::new();
+        let table = Table::new("t")
+            .with_column("a", Bat::from_i32("a", keys.to_vec()).into_ref())
+            .with_column("b", Bat::from_f32("b", values.to_vec()).into_ref());
+        catalog.add_table(table);
+        catalog
+    }
+
+    proptest! {
+        /// The PR 3 interleaving property survives fault injection: with a
+        /// nonzero transient rate on the shared device, interleaved results
+        /// still equal the fault-free sequential reference — transient
+        /// faults fire before the operation enqueues, so a retried node
+        /// recomputes exactly the same values.
+        #[test]
+        fn interleaved_equals_sequential_under_transient_faults(
+            raw in collection::vec(-1_000i32..1_000, 50..200),
+            bounds in collection::vec((-50i32..50, 0i32..80), 2..4),
+            seed in 0u64..1 << 16,
+        ) {
+            let keys: Vec<i32> = raw.iter().map(|v| v % 100).collect();
+            let values: Vec<f32> = raw.iter().map(|v| *v as f32 * 0.125).collect();
+            let catalog = toy_catalog(&keys, &values);
+            let plans: Vec<Plan> = bounds
+                .iter()
+                .map(|(low, width)| {
+                    compile(&rewrite_for_ocelot(&example_plan(
+                        "t", "a", "b", *low, *low + *width,
+                    )))
+                    .unwrap()
+                })
+                .collect();
+
+            // Fault-free sequential reference, each plan on a fresh device.
+            let sequential: Vec<Vec<QueryValue>> = plans
+                .iter()
+                .map(|plan| {
+                    Session::ocelot(&SharedDevice::cpu()).run(plan, &catalog).unwrap()
+                })
+                .collect();
+
+            // Interleaved on ONE shared device with a ~2% transient rate.
+            let shared = SharedDevice::cpu();
+            shared.device().install_fault_plan(FaultPlan::seeded(seed, 0.02, 0.0));
+            let sessions: Vec<Session<_>> =
+                plans.iter().map(|_| Session::ocelot(&shared)).collect();
+            let jobs: Vec<QueryJob<'_, _>> = plans
+                .iter()
+                .zip(&sessions)
+                .map(|(plan, session)| QueryJob { session, plan, catalog: &catalog })
+                .collect();
+            let fallback = Session::ocelot(&SharedDevice::cpu());
+            let (results, stats) =
+                Scheduler::new().with_in_flight(2).run_with_fallback(&jobs, &fallback);
+            let _: RecoveryStats = stats; // retries vary by seed; 0 is legal
+            for (index, result) in results.iter().enumerate() {
+                prop_assert_eq!(
+                    result.as_ref().unwrap(),
+                    &sequential[index],
+                    "plan {} diverged under interleaving with faults (seed {})",
+                    index,
+                    seed
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod deferred_vs_eager {
     use ocelot_core::ops::select;
     use ocelot_core::primitives::reduce;
