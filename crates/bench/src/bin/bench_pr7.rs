@@ -1,0 +1,29 @@
+//! Emits `BENCH_pr7.json`: the PR 7 serving-layer benchmark — the cold vs
+//! cached compile cost of the parameterized Q1/Q3/Q6 shapes, and an
+//! open-loop multi-tenant request stream reporting p50/p95/p99 latency and
+//! queries-per-second with and without the compiled-plan cache.
+//!
+//! Usage: `cargo run --release --bin bench_pr7 [-- --smoke] [output-path]`
+//!
+//! `--smoke` runs a reduced configuration (small scale factor, short
+//! stream) for CI, still exercising both experiments end to end and
+//! writing the report.
+
+use ocelot_bench::harness::Report;
+use ocelot_bench::serving;
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "BENCH_pr7.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if arg != "--" {
+            path = arg;
+        }
+    }
+    let mut report = Report::new();
+    serving::bench_all(&mut report, smoke);
+    report.write_json(&path).expect("failed to write benchmark report");
+    println!("wrote {path}");
+}

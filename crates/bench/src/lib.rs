@@ -10,4 +10,5 @@ pub mod fault_tolerance;
 pub mod harness;
 pub mod pressure;
 pub mod query_dsl;
+pub mod serving;
 pub mod sessions;

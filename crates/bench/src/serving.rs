@@ -1,0 +1,135 @@
+//! PR 7 benchmark: the serving layer. Emits the figures behind
+//! `BENCH_pr7.json`.
+//!
+//! Two experiments over the parameterized Q1/Q3/Q6 shapes:
+//!
+//! * **Compile cost, cold vs cached** (`compile/*`) — compiling each
+//!   prepared shape through a fresh [`PlanCache`] (a miss: rewrite rules,
+//!   column-statistics scans, lowering) vs through a warm one (a hit:
+//!   bind + fold + lower against the snapshotted statistics). The
+//!   acceptance bar is `pr7_cached_compile_speedup ≥ 5`: amortising the
+//!   statistics scans is the point of the cache.
+//! * **Open-loop multi-tenant stream** (`pr7_stream_*`) — four tenant
+//!   sessions on one shared device receive a round-robin stream of
+//!   parameterized Q1/Q3/Q6 requests with rotating bindings. Each request
+//!   compiles (cold: a fresh private cache per request; cached: the
+//!   device-wide warm cache) and executes; the report carries p50/p95/p99
+//!   per-request latency and the stream's queries-per-second, both ways.
+//!
+//! Data generation happens once outside every timing loop.
+
+use crate::harness::{measure, Report};
+use ocelot_core::SharedDevice;
+use ocelot_engine::{OcelotBackend, ParamValue, PlanCache, Query, Session};
+use ocelot_storage::types::date_to_days;
+use ocelot_tpch::{q1_query_p, q3_query_p, q6_query_p, TpchConfig, TpchDb};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The served workload: each shape with its rotating per-request binding.
+fn shapes(db: &TpchDb) -> Vec<(&'static str, Query)> {
+    vec![("q1", q1_query_p(db)), ("q3", q3_query_p(db)), ("q6", q6_query_p(db))]
+}
+
+/// The `request`-th binding of shape `name` — literals move every request
+/// (the serving pattern the cache amortises), the shape never does.
+fn binding(db: &TpchDb, name: &str, request: usize) -> Vec<ParamValue> {
+    let year = 1993 + (request % 5) as i32;
+    match name {
+        "q1" => vec![date_to_days(year, 9, 2).into()],
+        "q3" => vec![
+            date_to_days(year, 3, 15).into(),
+            db.code("customer", "c_mktsegment", "BUILDING").into(),
+        ],
+        _ => {
+            let band_lo = 2 + (request % 5) as i32;
+            vec![
+                date_to_days(year, 1, 1).into(),
+                (date_to_days(year + 1, 1, 1) - 1).into(),
+                (band_lo as f32 * 0.01 - 0.001).into(),
+                ((band_lo + 2) as f32 * 0.01 + 0.001).into(),
+                (20.0 + (request % 10) as f32).into(),
+            ]
+        }
+    }
+}
+
+/// `p`-th percentile (0..=100) of `sorted` ascending latencies, in µs.
+fn percentile_us(sorted: &[u64], p: f64) -> f64 {
+    let index = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[index] as f64 / 1_000.0
+}
+
+/// Runs both experiments into `report`.
+pub fn bench_all(report: &mut Report, smoke: bool) {
+    let sf = if smoke { 0.002 } else { 0.01 };
+    let (warmup, samples) = if smoke { (1, 3) } else { (2, 9) };
+    let db = TpchDb::generate(TpchConfig { scale_factor: sf, seed: 7 });
+    let catalog = db.catalog();
+    let rows = db.lineitem_rows();
+
+    // ---- compile cost: a fresh cache per compile vs a warm one ---------
+    let mut worst = f64::INFINITY;
+    for (name, shape) in &shapes(&db) {
+        let params = binding(&db, name, 0);
+        let cold = measure(&format!("compile/cold/{name}"), rows, warmup, samples, || {
+            black_box(PlanCache::new().plan(shape, &params, catalog).unwrap())
+        });
+        let warm_cache = PlanCache::new();
+        warm_cache.plan(shape, &params, catalog).unwrap(); // seed the entry
+        let cached = measure(&format!("compile/cached/{name}"), rows, warmup, samples, || {
+            black_box(warm_cache.plan(shape, &params, catalog).unwrap())
+        });
+        report.push(cold);
+        report.push(cached);
+        let ratio = report.speedup(
+            &format!("pr7_cached_compile_speedup_{name}"),
+            &format!("compile/cached/{name}"),
+            &format!("compile/cold/{name}"),
+        );
+        worst = worst.min(ratio);
+    }
+    // The headline acceptance scalar: the worst shape still clears the bar.
+    report.scalar("pr7_cached_compile_speedup", worst);
+
+    // ---- open-loop multi-tenant parameterized stream -------------------
+    let requests = if smoke { 48 } else { 240 };
+    let shared = SharedDevice::cpu();
+    let tenants: Vec<Session<OcelotBackend>> = (0..4).map(|_| Session::ocelot(&shared)).collect();
+    let workload = shapes(&db);
+
+    let mut run_stream = |label: &str, cached: bool| {
+        let device_cache = PlanCache::on(&shared);
+        if cached {
+            // Prime every shape so the stream measures steady-state hits.
+            for (name, shape) in &workload {
+                device_cache.plan(shape, &binding(&db, name, 0), catalog).unwrap();
+            }
+        }
+        let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+        let start = Instant::now();
+        for request in 0..requests {
+            let (name, shape) = &workload[request % workload.len()];
+            let session = &tenants[request % tenants.len()];
+            let params = binding(&db, name, request);
+            let begin = Instant::now();
+            let values = if cached {
+                device_cache.execute(session, shape, &params, catalog).unwrap()
+            } else {
+                // Per-request private cache: every request pays the full
+                // compile, the open-loop baseline.
+                PlanCache::new().execute(session, shape, &params, catalog).unwrap()
+            };
+            black_box(values);
+            latencies.push(begin.elapsed().as_nanos() as u64);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+        report.scalar(&format!("pr7_stream_{label}_p50_us"), percentile_us(&latencies, 50.0));
+        report.scalar(&format!("pr7_stream_{label}_p95_us"), percentile_us(&latencies, 95.0));
+        report.scalar(&format!("pr7_stream_{label}_p99_us"), percentile_us(&latencies, 99.0));
+        report.scalar(&format!("pr7_stream_{label}_qps"), requests as f64 / elapsed);
+    };
+    run_stream("cold", false);
+    run_stream("cached", true);
+}

@@ -407,6 +407,62 @@ impl<T: DevWord> DevScalar<T> {
     }
 }
 
+/// The device-wide compiled-plan slot of a [`SharedDevice`].
+///
+/// The core crate cannot name the engine's plan-cache type (the dependency
+/// points the other way), so the slot stores it type-erased: the engine
+/// installs its cache as an `Arc<dyn Any + Send + Sync>` on first use and
+/// downcasts on every later access. What core *does* own is the
+/// **invalidation epoch**: device-loss recovery
+/// (`Backend::on_device_lost`) bumps the epoch through
+/// [`PlanSlot::invalidate`], and the engine-side cache compares the epoch
+/// it last observed against [`PlanSlot::epoch`] on every lookup — so a
+/// lost device can never serve a compiled plan from before the loss.
+#[derive(Default)]
+pub struct PlanSlot {
+    cache: parking_lot::Mutex<Option<Arc<dyn std::any::Any + Send + Sync>>>,
+    epoch: std::sync::atomic::AtomicU64,
+}
+
+impl PlanSlot {
+    /// Fresh slot: nothing installed, epoch 0.
+    pub fn new() -> PlanSlot {
+        PlanSlot::default()
+    }
+
+    /// Returns the installed cache, installing `make()` first if the slot
+    /// is empty. The caller downcasts the returned `Arc<dyn Any>`.
+    pub fn get_or_install(
+        &self,
+        make: impl FnOnce() -> Arc<dyn std::any::Any + Send + Sync>,
+    ) -> Arc<dyn std::any::Any + Send + Sync> {
+        let mut slot = self.cache.lock();
+        Arc::clone(slot.get_or_insert_with(make))
+    }
+
+    /// The current invalidation epoch. A cache that observed a smaller
+    /// value must drop every compiled entry before serving a hit.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Invalidates every compiled plan on the device by bumping the epoch
+    /// (called from device-loss recovery alongside the column-cache purge).
+    /// Returns the new epoch.
+    pub fn invalidate(&self) -> u64 {
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1
+    }
+}
+
+impl std::fmt::Debug for PlanSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanSlot")
+            .field("installed", &self.cache.lock().is_some())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
 /// Bundles everything an Ocelot operator needs: the device, its command
 /// queue and the Memory Manager (paper Figure 2).
 pub struct OcelotContext {
@@ -417,6 +473,9 @@ pub struct OcelotContext {
     /// from a [`SharedDevice`]. Base-column binds route through it; `None`
     /// falls back to the Memory Manager's private BAT registry.
     column_cache: Option<Arc<ColumnCache>>,
+    /// The device-wide compiled-plan slot, when this context was created
+    /// from a [`SharedDevice`] (see [`PlanSlot`]).
+    plan_slot: Option<Arc<PlanSlot>>,
 }
 
 impl OcelotContext {
@@ -456,7 +515,7 @@ impl OcelotContext {
     pub fn with_device_and_pool(device: Device, pool: Arc<BufferPool>) -> OcelotContext {
         let queue = Arc::new(device.create_queue());
         let memory = MemoryManager::with_pool(device.clone(), Arc::clone(&queue), pool);
-        OcelotContext { device, queue, memory, column_cache: None }
+        OcelotContext { device, queue, memory, column_cache: None, plan_slot: None }
     }
 
     /// Attaches the device's shared column cache: base-column binds are
@@ -471,6 +530,17 @@ impl OcelotContext {
     /// [`OcelotContext::attach_column_cache`]).
     pub fn column_cache(&self) -> Option<&Arc<ColumnCache>> {
         self.column_cache.as_ref()
+    }
+
+    /// Attaches the device's compiled-plan slot (done by
+    /// [`SharedDevice::context`]).
+    pub fn attach_plan_slot(&mut self, slot: Arc<PlanSlot>) {
+        self.plan_slot = Some(slot);
+    }
+
+    /// The device-wide compiled-plan slot, when attached.
+    pub fn plan_slot(&self) -> Option<&Arc<PlanSlot>> {
+        self.plan_slot.as_ref()
     }
 
     /// The **release + evict** step of the OOM-restart protocol (delegates
@@ -639,6 +709,9 @@ pub struct SharedDevice {
     /// pool budgets it adjusts, it is device-wide state, so setting it on
     /// any handle consistently affects every session of the device.
     memory_budget: Arc<std::sync::atomic::AtomicUsize>,
+    /// The device-wide compiled-plan slot every session context carries
+    /// (see [`PlanSlot`] — the engine installs its plan cache here).
+    plans: Arc<PlanSlot>,
 }
 
 impl SharedDevice {
@@ -669,6 +742,7 @@ impl SharedDevice {
             pool: Arc::new(BufferPool::new()),
             cache: Arc::new(ColumnCache::new()),
             memory_budget: Arc::new(std::sync::atomic::AtomicUsize::new(usize::MAX)),
+            plans: Arc::new(PlanSlot::new()),
         }
     }
 
@@ -713,6 +787,11 @@ impl SharedDevice {
         &self.cache
     }
 
+    /// The compiled-plan slot shared by every session of this device.
+    pub fn plan_slot(&self) -> &Arc<PlanSlot> {
+        &self.plans
+    }
+
     /// Creates a session context: own queue and Memory Manager, shared
     /// buffer pool, shared column cache and shared device memory (the
     /// memory budget, when set, is installed on the new manager).
@@ -723,6 +802,7 @@ impl SharedDevice {
             ctx.memory().set_budget(budget);
         }
         ctx.attach_column_cache(Arc::clone(&self.cache));
+        ctx.attach_plan_slot(Arc::clone(&self.plans));
         ctx
     }
 }

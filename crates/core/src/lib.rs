@@ -59,7 +59,7 @@ pub mod recovery;
 pub use buffer_pool::{BufferPool, PoolStats};
 pub use cache::{CacheStats, ColumnCache, DeviceOom, Pinned};
 pub use context::{
-    ColLen, DevColumn, DevScalar, DevWord, LenSource, OcelotContext, Oid, SharedDevice,
+    ColLen, DevColumn, DevScalar, DevWord, LenSource, OcelotContext, Oid, PlanSlot, SharedDevice,
 };
 pub use memory_manager::{EvictionSink, MemoryManager, MemoryStats};
 pub use primitives::bitmap::Bitmap;

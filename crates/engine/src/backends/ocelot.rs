@@ -514,9 +514,15 @@ impl Backend for OcelotBackend {
         // Everything device-resident is stranded: drop the shared column
         // cache's entries (any session of the device would otherwise keep
         // handing out columns on the dead device) and the pool's retained
-        // buffers. Both repopulate lazily on the fallback device.
+        // buffers. Both repopulate lazily on the fallback device. Compiled
+        // plans are invalidated through the plan slot's epoch — a plan
+        // cached for the lost device must never be served again (the
+        // serving layer recompiles on its next lookup).
         if let Some(cache) = self.ctx.column_cache() {
             cache.purge_lost_device();
+        }
+        if let Some(plans) = self.ctx.plan_slot() {
+            plans.invalidate();
         }
         self.ctx.memory().pool().clear();
     }

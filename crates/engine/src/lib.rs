@@ -39,7 +39,15 @@
 //!   interleaves their node execution under a deterministic FIFO +
 //!   round-robin contract (see the module docs), so host-resolve points of
 //!   one query overlap with the enqueue work of another while per-plan
-//!   flush bounds hold unchanged.
+//!   flush bounds hold unchanged. The serving policy
+//!   ([`scheduler::ServeScheduler`]) layers per-tenant deficit-round-robin
+//!   fair queueing, two priority lanes and bounded-queue backpressure
+//!   (typed [`plan::PlanError::Overloaded`] rejection) on top.
+//! * [`serve`] — the parameterized compiled-plan cache: queries authored
+//!   once per *shape* with [`query::param`] placeholders, compiled once
+//!   (rewrite + statistics + lowering), then re-bound per request from
+//!   the device-wide [`serve::PlanCache`] — invalidated on device loss
+//!   and versioned by catalog generation.
 //!
 //! Timing is part of the interface: [`backend::Backend::begin_timing`] /
 //! [`backend::Backend::elapsed_ns`] report wall-clock time for the CPU
@@ -52,6 +60,7 @@ pub mod mal;
 pub mod plan;
 pub mod query;
 pub mod scheduler;
+pub mod serve;
 pub mod session;
 
 pub use backend::{Backend, GroupHandle};
@@ -59,6 +68,11 @@ pub use backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};
 pub use plan::{
     Plan, PlanBuilder, PlanError, PlanNode, PlanOp, QueryValue, RecoveryEvent, RecoveryStats,
 };
-pub use query::{col, lit, litf, AggSpec, Expr, Query, QueryBuildError, RewriteConfig};
-pub use scheduler::{QueryJob, Scheduler};
+pub use query::{
+    col, lit, litf, param, AggSpec, Expr, ParamValue, Query, QueryBuildError, RewriteConfig,
+};
+pub use scheduler::{
+    Lane, QueryJob, Scheduler, ServeJob, ServeOutcome, ServeScheduler, ServeStats,
+};
+pub use serve::{PlanCache, PlanCacheStats};
 pub use session::Session;

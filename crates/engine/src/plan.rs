@@ -145,6 +145,16 @@ pub enum PlanError {
     /// backend recover by invalidating the device's cached state and
     /// re-running the query there (see `Session::with_fallback`).
     DeviceLost,
+    /// The serving scheduler's bounded admission queue was full when the
+    /// query arrived, so it was rejected without executing (backpressure —
+    /// see `crate::scheduler::ServeScheduler`). The client should retry
+    /// later or shed load; admitted queries are unaffected.
+    Overloaded {
+        /// Queries already queued for the tenant's lane at arrival.
+        queued: usize,
+        /// The configured per-tenant queue capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -169,6 +179,11 @@ impl fmt::Display for PlanError {
                  operation {op} after {attempts} attempts"
             ),
             PlanError::DeviceLost => write!(f, "device lost while executing the plan"),
+            PlanError::Overloaded { queued, capacity } => write!(
+                f,
+                "admission queue overloaded: {queued} queries already queued at capacity \
+                 {capacity} — retry later or shed load"
+            ),
         }
     }
 }

@@ -82,6 +82,12 @@ pub enum Expr {
     InList(Box<Expr>, Vec<i32>),
     /// Calendar year of a day-number date expression.
     Year(Box<Expr>),
+    /// A query parameter placeholder, `$id`. Parameterized queries are
+    /// built once per *shape* with `Param` slots where literals would go
+    /// and executed with [`crate::query::Query::bind`], which substitutes
+    /// the run's literals positionally. A query still holding parameters
+    /// cannot be lowered — lowering reports the first unbound slot.
+    Param(u32),
 }
 
 /// A column reference.
@@ -97,6 +103,13 @@ pub fn lit(value: impl Into<Expr>) -> Expr {
 /// A float literal.
 pub fn litf(value: f32) -> Expr {
     Expr::LitF32(value)
+}
+
+/// A parameter placeholder, `$id` (see [`Expr::Param`]). Slots are
+/// numbered densely from zero; the same slot may appear at several sites
+/// (each occurrence receives the same bound value).
+pub fn param(id: u32) -> Expr {
+    Expr::Param(id)
 }
 
 impl From<i32> for Expr {
@@ -186,7 +199,7 @@ impl Expr {
                     out.push(name.clone());
                 }
             }
-            Expr::LitI32(_) | Expr::LitF32(_) => {}
+            Expr::LitI32(_) | Expr::LitF32(_) | Expr::Param(_) => {}
             Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
                 a.collect_columns(out);
                 b.collect_columns(out);
@@ -221,7 +234,9 @@ impl Expr {
     /// the folded expression and whether anything changed.
     pub fn fold(&self) -> (Expr, bool) {
         match self {
-            Expr::Col(_) | Expr::LitI32(_) | Expr::LitF32(_) => (self.clone(), false),
+            Expr::Col(_) | Expr::LitI32(_) | Expr::LitF32(_) | Expr::Param(_) => {
+                (self.clone(), false)
+            }
             Expr::Add(a, b) => Expr::fold_arith(a, b, Expr::Add, |x, y| x + y, |x, y| x + y),
             Expr::Sub(a, b) => Expr::fold_arith(a, b, Expr::Sub, |x, y| x - y, |x, y| x - y),
             Expr::Mul(a, b) => Expr::fold_arith(a, b, Expr::Mul, |x, y| x * y, |x, y| x * y),
@@ -285,6 +300,82 @@ impl Expr {
             _ => None,
         }
     }
+
+    /// Whether any [`Expr::Param`] slot remains in the expression.
+    pub fn has_params(&self) -> bool {
+        let mut ids = Vec::new();
+        self.collect_params(&mut ids);
+        !ids.is_empty()
+    }
+
+    /// Every parameter slot the expression mentions, in first-use order
+    /// (each id once, even when a slot occurs at several sites).
+    pub fn params(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_params(&self, out: &mut Vec<u32>) {
+        match self {
+            Expr::Param(id) => {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+            Expr::Col(_) | Expr::LitI32(_) | Expr::LitF32(_) => {}
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Cmp(_, a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            Expr::Between(a, lo, hi) => {
+                a.collect_params(out);
+                lo.collect_params(out);
+                hi.collect_params(out);
+            }
+            Expr::InList(a, _) | Expr::Year(a) => a.collect_params(out),
+        }
+    }
+
+    /// Replaces every parameter slot for which `value(id)` returns a
+    /// literal with that literal. Slots `value` maps to `None` stay in
+    /// place (the caller reports them as unbound).
+    pub(crate) fn substitute(&self, value: &impl Fn(u32) -> Option<Expr>) -> Expr {
+        match self {
+            Expr::Param(id) => value(*id).unwrap_or_else(|| self.clone()),
+            Expr::Col(_) | Expr::LitI32(_) | Expr::LitF32(_) => self.clone(),
+            Expr::Add(a, b) => {
+                Expr::Add(Box::new(a.substitute(value)), Box::new(b.substitute(value)))
+            }
+            Expr::Sub(a, b) => {
+                Expr::Sub(Box::new(a.substitute(value)), Box::new(b.substitute(value)))
+            }
+            Expr::Mul(a, b) => {
+                Expr::Mul(Box::new(a.substitute(value)), Box::new(b.substitute(value)))
+            }
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(a.substitute(value)), Box::new(b.substitute(value)))
+            }
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.substitute(value)), Box::new(b.substitute(value)))
+            }
+            Expr::Or(a, b) => {
+                Expr::Or(Box::new(a.substitute(value)), Box::new(b.substitute(value)))
+            }
+            Expr::Between(a, lo, hi) => Expr::Between(
+                Box::new(a.substitute(value)),
+                Box::new(lo.substitute(value)),
+                Box::new(hi.substitute(value)),
+            ),
+            Expr::InList(a, values) => Expr::InList(Box::new(a.substitute(value)), values.clone()),
+            Expr::Year(a) => Expr::Year(Box::new(a.substitute(value))),
+        }
+    }
 }
 
 impl std::ops::Add for Expr {
@@ -332,6 +423,7 @@ impl fmt::Display for Expr {
                 write!(f, ")")
             }
             Expr::Year(a) => write!(f, "YEAR({a})"),
+            Expr::Param(id) => write!(f, "${id}"),
         }
     }
 }
@@ -367,6 +459,28 @@ mod tests {
         let (folded, changed) = (col("a") * col("b")).fold();
         assert!(!changed);
         assert_eq!(folded, col("a") * col("b"));
+    }
+
+    #[test]
+    fn params_render_collect_and_substitute() {
+        let e = col("a").between(param(0), param(1)).and(col("b").le(param(0)));
+        assert_eq!(e.to_string(), "(a BETWEEN $0 AND $1 AND b <= $0)");
+        assert!(e.has_params());
+        assert_eq!(e.params(), vec![0, 1]);
+
+        let bound = e.substitute(&|id| Some(Expr::LitI32(id as i32 + 10)));
+        assert!(!bound.has_params());
+        assert_eq!(bound, col("a").between(10, 11).and(col("b").le(10)));
+
+        // Unmapped slots stay in place for the caller to report.
+        let partial = e.substitute(&|id| (id == 0).then_some(Expr::LitI32(7)));
+        assert_eq!(partial.params(), vec![1]);
+
+        // Folding and column collection treat params as opaque leaves.
+        let (folded, changed) = (param(2) * col("x")).fold();
+        assert!(!changed);
+        assert_eq!(folded, param(2) * col("x"));
+        assert_eq!(e.columns(), vec!["a".to_string(), "b".to_string()]);
     }
 
     #[test]

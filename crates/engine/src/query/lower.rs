@@ -270,7 +270,11 @@ impl<'a> Lower<'a> {
                 None => pos,
             });
         }
-        let cols = std::mem::take(&mut rel.cols);
+        // Sorted so the emitted fetch nodes are deterministic: the plan
+        // cache promises a hit is node-for-node equal to a cold compile,
+        // and HashMap iteration order differs per instance.
+        let mut cols: Vec<(String, RelCol)> = std::mem::take(&mut rel.cols).into_iter().collect();
+        cols.sort_by(|a, b| a.0.cmp(&b.0));
         for (name, col) in cols {
             if col.refetchable && !rel.grouped {
                 continue; // re-materialises through the new table OIDs

@@ -61,7 +61,7 @@ mod expr;
 pub(crate) mod lower;
 pub(crate) mod rewrite;
 
-pub use expr::{col, lit, litf, CmpOp, Expr};
+pub use expr::{col, lit, litf, param, CmpOp, Expr};
 pub use rewrite::RewriteConfig;
 
 use crate::backend::Backend;
@@ -300,6 +300,120 @@ impl Logical {
             Logical::Join { left, right, .. } => 1 + left.node_count() + right.node_count(),
         }
     }
+
+    /// Every [`Expr::Param`] slot the tree mentions, in first-use order.
+    pub fn params(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<u32>) {
+        match self {
+            Logical::Scan { .. } => {}
+            Logical::Filter { input, predicate } => {
+                predicate.collect_params(out);
+                input.collect_params(out);
+            }
+            Logical::Map { input, expr, .. } => {
+                expr.collect_params(out);
+                input.collect_params(out);
+            }
+            Logical::Join { left, right, .. } => {
+                left.collect_params(out);
+                right.collect_params(out);
+            }
+            Logical::GroupBy { input, .. }
+            | Logical::Sort { input, .. }
+            | Logical::Limit { input, .. } => input.collect_params(out),
+        }
+    }
+
+    /// Substitutes parameter slots with the literals `value(id)` yields and
+    /// constant-folds every touched expression — substituted trees must
+    /// look exactly like their literal-built equivalents before they reach
+    /// the lowerer (whose arithmetic arms assume folded operands). Slots
+    /// `value` maps to `None` stay in place.
+    pub(crate) fn substitute_params(&self, value: &impl Fn(u32) -> Option<Expr>) -> Logical {
+        let bind = |expr: &Expr| {
+            if expr.has_params() {
+                expr.substitute(value).fold().0
+            } else {
+                expr.clone()
+            }
+        };
+        match self {
+            Logical::Scan { .. } => self.clone(),
+            Logical::Filter { input, predicate } => Logical::Filter {
+                input: Box::new(input.substitute_params(value)),
+                predicate: bind(predicate),
+            },
+            Logical::Map { input, name, expr } => Logical::Map {
+                input: Box::new(input.substitute_params(value)),
+                name: name.clone(),
+                expr: bind(expr),
+            },
+            Logical::Join { left, right, kind, left_key, right_key } => Logical::Join {
+                left: Box::new(left.substitute_params(value)),
+                right: Box::new(right.substitute_params(value)),
+                kind: *kind,
+                left_key: left_key.clone(),
+                right_key: right_key.clone(),
+            },
+            Logical::GroupBy { input, keys, aggs } => Logical::GroupBy {
+                input: Box::new(input.substitute_params(value)),
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+            },
+            Logical::Sort { input, key, descending } => Logical::Sort {
+                input: Box::new(input.substitute_params(value)),
+                key: key.clone(),
+                descending: *descending,
+            },
+            Logical::Limit { input, count } => {
+                Logical::Limit { input: Box::new(input.substitute_params(value)), count: *count }
+            }
+        }
+    }
+}
+
+/// A literal bound to an [`Expr::Param`] slot by [`Query::bind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    /// An integer (also dictionary codes and day-number dates).
+    I32(i32),
+    /// A float.
+    F32(f32),
+}
+
+impl ParamValue {
+    fn as_expr(&self) -> Expr {
+        match self {
+            ParamValue::I32(v) => Expr::LitI32(*v),
+            ParamValue::F32(v) => Expr::LitF32(*v),
+        }
+    }
+}
+
+impl From<i32> for ParamValue {
+    fn from(value: i32) -> ParamValue {
+        ParamValue::I32(value)
+    }
+}
+
+impl From<f32> for ParamValue {
+    fn from(value: f32) -> ParamValue {
+        ParamValue::F32(value)
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::I32(v) => write!(f, "{v}"),
+            ParamValue::F32(v) => write!(f, "{v:?}"),
+        }
+    }
 }
 
 /// Why a [`Query`] could not be rewritten or lowered.
@@ -324,6 +438,12 @@ pub enum QueryBuildError {
     /// The query never declared output columns (and its root is not a
     /// grouping, which would imply them).
     NoOutputs,
+    /// A parameter slot survived to lowering: the query was compiled
+    /// without [`Query::bind`], or the bind supplied too few values.
+    UnboundParam {
+        /// The first unbound slot id.
+        id: u32,
+    },
     /// Plan construction failed below the lowering.
     Plan(PlanError),
 }
@@ -340,6 +460,9 @@ impl fmt::Display for QueryBuildError {
             QueryBuildError::Unsupported(what) => write!(f, "unsupported: {what}"),
             QueryBuildError::NoOutputs => {
                 write!(f, "query has no output columns (call .select(..) or group)")
+            }
+            QueryBuildError::UnboundParam { id } => {
+                write!(f, "parameter ${id} is unbound (call .bind(..) with enough values)")
             }
             QueryBuildError::Plan(error) => write!(f, "plan error: {error}"),
         }
@@ -446,6 +569,30 @@ impl Query {
         &self.root
     }
 
+    /// Every parameter slot the query mentions, in first-use order.
+    pub fn params(&self) -> Vec<u32> {
+        self.root.params()
+    }
+
+    /// Whether any parameter slot remains unbound.
+    pub fn has_params(&self) -> bool {
+        !self.params().is_empty()
+    }
+
+    /// Binds parameter slots positionally: slot `$i` receives `params[i]`.
+    /// Substituted expressions are constant-folded, so the bound query is
+    /// structurally identical to one built with the literals inline.
+    /// Errors with [`QueryBuildError::UnboundParam`] when any mentioned
+    /// slot has no value (`params` may be longer than needed — serving
+    /// layers pass one vector for a whole query family).
+    pub fn bind(&self, params: &[ParamValue]) -> Result<Query, QueryBuildError> {
+        if let Some(id) = self.params().into_iter().find(|id| *id as usize >= params.len()) {
+            return Err(QueryBuildError::UnboundParam { id });
+        }
+        let root = self.root.substitute_params(&|id| params.get(id as usize).map(|v| v.as_expr()));
+        Ok(Query { root, outputs: self.outputs.clone() })
+    }
+
     /// The root-most `Limit`, if any (applied host-side by [`Query::run`]).
     pub fn limit_count(&self) -> Option<usize> {
         let mut node = &self.root;
@@ -503,6 +650,11 @@ impl Query {
         cfg: &RewriteConfig,
     ) -> Result<Plan, QueryBuildError> {
         let outputs = self.output_columns()?;
+        // Parameterized queries must be bound before they can compile —
+        // the lowerer's selection/arithmetic arms need concrete literals.
+        if let Some(id) = self.params().first() {
+            return Err(QueryBuildError::UnboundParam { id: *id });
+        }
         // One memoised statistics instance serves both passes, so each
         // referenced column is scanned at most once per compile.
         let stats = rewrite::Stats::new(catalog);
@@ -552,16 +704,29 @@ impl Query {
         let outputs = self.output_columns()?;
         let stats = rewrite::Stats::new(catalog);
         let (rewritten, rules) = rewrite::apply(self.root.clone(), &stats, cfg, &outputs);
-        let lowered = lower::lower(&rewritten, &outputs, &stats, cfg)?;
         let mut out = String::new();
         out.push_str("=== logical plan ===\n");
         out.push_str(&self.root.render());
         out.push_str(&format!("output: [{}]\n", outputs.join(", ")));
+        let params = self.params();
+        if !params.is_empty() {
+            let slots: Vec<String> = params.iter().map(|id| format!("${id}")).collect();
+            out.push_str(&format!("params: [{}]\n", slots.join(", ")));
+        }
         out.push_str(&format!("=== rewritten ({} rule applications) ===\n", rules.len()));
         for note in &rules {
             out.push_str(&format!("  * {note}\n"));
         }
         out.push_str(&rewritten.render());
+        if !params.is_empty() {
+            // An unbound parameterized query stops at the logical half —
+            // lowering needs concrete literals (bind first, or explain
+            // through the plan cache to see the physical plan of a shape).
+            out.push_str("=== physical plan ===\n");
+            out.push_str("  (unbound parameters — call .bind(..) to lower)\n");
+            return Ok(out);
+        }
+        let lowered = lower::lower(&rewritten, &outputs, &stats, cfg)?;
         out.push_str(&format!("=== physical plan ({} nodes) ===\n", lowered.plan.len()));
         for (index, node) in lowered.plan.nodes().iter().enumerate() {
             out.push_str(&format!("  {index:3}: {node}\n"));

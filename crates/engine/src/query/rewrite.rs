@@ -82,14 +82,31 @@ impl<'a> Stats<'a> {
         Stats { catalog, cache: RefCell::new(HashMap::new()) }
     }
 
+    /// Statistics instance whose memo is pre-populated from an earlier
+    /// compile's [`Stats::snapshot`]. The plan cache uses this on a hit so
+    /// the per-execution lowering never re-scans base columns. The keys
+    /// carry the generation of the catalog they were computed against, so
+    /// a snapshot replayed against a different catalog simply misses.
+    pub(crate) fn preloaded(catalog: &'a Catalog, memo: HashMap<String, ColStats>) -> Stats<'a> {
+        Stats { catalog, cache: RefCell::new(memo) }
+    }
+
+    /// A copy of every memoised per-column statistic computed so far.
+    pub(crate) fn snapshot(&self) -> HashMap<String, ColStats> {
+        self.cache.borrow().clone()
+    }
+
     pub(crate) fn catalog(&self) -> &'a Catalog {
         self.catalog
     }
 
     /// Statistics of `table.column` (zeroed defaults for unknown columns —
-    /// name resolution errors surface in the lowering, not here).
+    /// name resolution errors surface in the lowering, not here). The memo
+    /// key includes the catalog's generation: statistics computed against
+    /// one version of the data can never answer for a re-generated
+    /// catalog, even through a preloaded snapshot.
     pub(crate) fn column(&self, table: &str, column: &str) -> ColStats {
-        let key = format!("{table}.{column}");
+        let key = format!("{}:{table}.{column}", self.catalog.generation());
         if let Some(stats) = self.cache.borrow().get(&key) {
             return *stats;
         }
@@ -354,6 +371,12 @@ fn classify_atom(
         }
     }
 }
+
+/// Default selectivity assumed for a parameterized predicate, whose bounds
+/// are unknown until bind time. A middling guess: more selective than a
+/// tautology, less than an equality — parameterized conjuncts sort between
+/// known-narrow and known-wide ones, and the order is stable per shape.
+pub(crate) const PARAM_SELECTIVITY: f64 = 0.25;
 
 /// Estimated selectivity of a predicate (fraction of rows kept), using the
 /// column statistics of `table`.
@@ -746,23 +769,44 @@ fn order_by_selectivity(node: Logical, stats: &Stats, notes: &mut Vec<String>) -
                 let bat = catalog.column(&table, name)?;
                 Some(if bat.as_f32().is_some() { ColTy::F32 } else { ColTy::I32 })
             };
-            let classified: Option<Vec<(Expr, Pred)>> =
-                chain.iter().map(|e| classify(e, &ty_of).ok().map(|p| (e.clone(), p))).collect();
+            // A parameterized conjunct cannot be classified (its bounds
+            // are unknown until bind time); it participates in the
+            // ordering with a default selectivity so the *shape* still
+            // gets a deterministic, cacheable order. Any other
+            // unclassifiable conjunct keeps the whole chain in author
+            // order, as before.
+            let classified: Option<Vec<(Expr, Option<Pred>)>> = chain
+                .iter()
+                .map(|e| match classify(e, &ty_of) {
+                    Ok(p) => Some((e.clone(), Some(p))),
+                    Err(_) if e.has_params() => Some((e.clone(), None)),
+                    Err(_) => None,
+                })
+                .collect();
             if let (Some(mut preds), true) = (classified, chain.len() >= 2) {
                 preds.reverse();
-                let before: Vec<String> = preds.iter().map(|(_, p)| p.describe()).collect();
-                let mut scored: Vec<(Expr, Pred, f64)> = preds
+                let describe = |e: &Expr, p: &Option<Pred>| match p {
+                    Some(p) => p.describe(),
+                    None => format!("param[{e}]"),
+                };
+                let before: Vec<String> = preds.iter().map(|(e, p)| describe(e, p)).collect();
+                let mut scored: Vec<(Expr, Option<Pred>, f64)> = preds
                     .into_iter()
                     .map(|(e, p)| {
-                        let sel = selectivity(&p, &table, stats);
+                        let sel = match &p {
+                            Some(p) => selectivity(p, &table, stats),
+                            None => PARAM_SELECTIVITY,
+                        };
                         (e, p, sel)
                     })
                     .collect();
                 scored.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
-                let after: Vec<String> =
-                    scored.iter().map(|(_, p, s)| format!("{} (≈{s:.3})", p.describe())).collect();
+                let after: Vec<String> = scored
+                    .iter()
+                    .map(|(e, p, s)| format!("{} (≈{s:.3})", describe(e, p)))
+                    .collect();
                 let reordered =
-                    before != scored.iter().map(|(_, p, _)| p.describe()).collect::<Vec<_>>();
+                    before != scored.iter().map(|(e, p, _)| describe(e, p)).collect::<Vec<_>>();
                 notes.push(format!(
                     "selectivity order on {table}: {}{}",
                     after.join(" → "),

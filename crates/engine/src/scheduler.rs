@@ -55,11 +55,50 @@
 //! * **One session per concurrent Ocelot job.** The per-plan flush
 //!   guarantees presuppose a private queue per admitted plan; see
 //!   [`QueryJob`] for what happens when jobs share a session.
+//!
+//! # Serving contract ([`ServeScheduler`])
+//!
+//! The serving policy grows the FIFO scheduler into a multi-tenant
+//! admission discipline. Jobs become [`ServeJob`]s — a [`QueryJob`] plus a
+//! **tenant** id and a **priority lane** — and the contract is:
+//!
+//! * **Backpressure.** Each tenant has a bounded admission queue of
+//!   [`ServeScheduler::with_queue_capacity`] entries. A submission
+//!   arriving when the tenant's backlog is full is rejected *up front*
+//!   with typed [`PlanError::Overloaded`] in its result slot — it never
+//!   executes, and admitted jobs are unaffected. (The batch API presents
+//!   the whole arrival stream at once — an open-loop arrival pattern — so
+//!   the capacity bounds each tenant's accepted backlog per drive.)
+//! * **Two priority lanes.** [`Lane::Interactive`] is strictly admitted
+//!   before [`Lane::Batch`]: while any tenant has an interactive job
+//!   queued, no batch job is admitted. Within a lane, tenants share via
+//!   DRR (next point); within one tenant and lane, order is strictly FIFO.
+//! * **Deficit-round-robin fairness.** Admission within a lane cycles
+//!   over tenants in id order, each carrying a deficit counter topped up
+//!   by [`ServeScheduler::with_quantum`] cost units per round and charged
+//!   the node count of each admitted plan. A tenant submitting many
+//!   queries (or heavier ones) cannot crowd out the others: over time
+//!   every backlogged tenant is admitted work in proportion to the
+//!   quantum, not to its arrival rate. A tenant's deficit resets when its
+//!   backlog drains, so idle periods bank no credit.
+//! * **What is preserved.** Execution below admission is exactly the
+//!   FIFO scheduler's drive: one node per in-flight plan per round in
+//!   admission order, per-plan program order untouched, results in
+//!   original submission slots, per-job typed errors, and the cost-based
+//!   memory admission of [`ServeScheduler::with_memory_budget`] applied
+//!   unchanged. Within one tenant and lane, completion respects
+//!   submission order ([`ServeStats::completion_order`] exposes it).
+//! * **Plan-cache interplay.** Serving stacks compile jobs through
+//!   `crate::serve::PlanCache` (shape-cached, parameter-bound plans whose
+//!   cache key is the rendered parameter-abstract tree + outputs +
+//!   rewrite config + parameter kinds + catalog generation); the
+//!   scheduler itself is agnostic to how plans were compiled.
 
 use crate::backend::Backend;
 use crate::plan::{Plan, PlanError, PlanRun, QueryValue, RecoveryStats};
 use crate::session::Session;
 use ocelot_storage::Catalog;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 /// One unit of admission: a plan to run in a session against a catalog.
@@ -312,6 +351,285 @@ impl Scheduler {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Serving policy
+// ---------------------------------------------------------------------------
+
+/// The two priority lanes of the serving policy (module docs: interactive
+/// admissions strictly precede batch admissions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lane {
+    /// Latency-sensitive traffic; admitted before any batch job.
+    Interactive,
+    /// Throughput traffic; admitted only when no interactive job waits.
+    Batch,
+}
+
+/// One serving submission: a [`QueryJob`] on behalf of a tenant in a lane.
+pub struct ServeJob<'a, B: Backend> {
+    /// The plan to run, in its session, against its catalog.
+    pub job: QueryJob<'a, B>,
+    /// The submitting tenant (fairness and backpressure are per tenant).
+    pub tenant: usize,
+    /// The priority lane.
+    pub lane: Lane,
+}
+
+/// Per-tenant serving counters (see [`ServeStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Jobs the tenant submitted.
+    pub submitted: usize,
+    /// Jobs accepted into the tenant's admission queue.
+    pub admitted: usize,
+    /// Jobs rejected up front with [`PlanError::Overloaded`].
+    pub rejected: usize,
+    /// Admitted jobs that ran to completion (success or per-job error).
+    pub completed: usize,
+}
+
+/// What one serving drive did, beyond the per-job results.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Counters per tenant id.
+    pub tenants: BTreeMap<usize, TenantStats>,
+    /// Job indices in the order their plans finished (the fairness
+    /// observable: under DRR, backlogged tenants alternate here instead
+    /// of one tenant completing its whole backlog first).
+    pub completion_order: Vec<usize>,
+    /// Aggregated recovery counters of every admitted run.
+    pub recovery: RecoveryStats,
+}
+
+impl ServeStats {
+    /// The counters of `tenant` (zeroes if it never submitted).
+    pub fn tenant(&self, tenant: usize) -> TenantStats {
+        self.tenants.get(&tenant).copied().unwrap_or_default()
+    }
+}
+
+/// Per-job results (in submission order) plus the serving statistics.
+pub struct ServeOutcome {
+    /// One slot per submitted job, indexed like the input. Rejected jobs
+    /// hold [`PlanError::Overloaded`].
+    pub results: Vec<Result<Vec<QueryValue>, PlanError>>,
+    /// Tenant counters, completion order and recovery totals.
+    pub stats: ServeStats,
+}
+
+/// The serving scheduler: tenant-fair, two-lane, backpressured admission
+/// over the FIFO scheduler's execution drive (module docs).
+#[derive(Debug, Clone)]
+pub struct ServeScheduler {
+    in_flight: usize,
+    memory_budget: Option<usize>,
+    queue_capacity: usize,
+    quantum: usize,
+}
+
+impl Default for ServeScheduler {
+    fn default() -> ServeScheduler {
+        ServeScheduler::new()
+    }
+}
+
+impl ServeScheduler {
+    /// Up to 4 plans in flight, 16 queued jobs per tenant, a DRR quantum
+    /// of 8 plan nodes, no memory budget.
+    pub fn new() -> ServeScheduler {
+        ServeScheduler { in_flight: 4, memory_budget: None, queue_capacity: 16, quantum: 8 }
+    }
+
+    /// Sets the in-flight cap (clamped to at least 1).
+    pub fn with_in_flight(mut self, in_flight: usize) -> ServeScheduler {
+        self.in_flight = in_flight.max(1);
+        self
+    }
+
+    /// Enables cost-based memory admission, exactly as
+    /// [`Scheduler::with_memory_budget`] defines it.
+    pub fn with_memory_budget(mut self, bytes: usize) -> ServeScheduler {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the per-tenant bounded-queue capacity (clamped to at least 1).
+    /// Submissions beyond it are rejected with [`PlanError::Overloaded`].
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServeScheduler {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the DRR quantum in plan-node cost units (clamped to ≥ 1).
+    pub fn with_quantum(mut self, quantum: usize) -> ServeScheduler {
+        self.quantum = quantum.max(1);
+        self
+    }
+
+    /// The per-tenant queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The DRR quantum.
+    pub fn quantum(&self) -> usize {
+        self.quantum
+    }
+
+    /// Admits and executes a serving stream (module docs for the full
+    /// contract): bounded per-tenant queues reject overflow up front,
+    /// interactive jobs admit before batch, tenants within a lane share
+    /// by deficit round-robin, and execution interleaves one node per
+    /// in-flight plan per round. Results land in submission slots.
+    pub fn run<B: Backend>(&self, jobs: &[ServeJob<'_, B>]) -> ServeOutcome {
+        let mut results: Vec<Option<Result<Vec<QueryValue>, PlanError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        let mut stats = ServeStats::default();
+
+        // --- Backpressure: bounded per-tenant admission queues. ---------
+        // Per (lane, tenant) FIFO backlog of job indices; the bound counts
+        // both lanes of a tenant together.
+        let mut backlog: BTreeMap<(Lane, usize), VecDeque<usize>> = BTreeMap::new();
+        let mut queued: BTreeMap<usize, usize> = BTreeMap::new();
+        for (index, job) in jobs.iter().enumerate() {
+            let tenant = stats.tenants.entry(job.tenant).or_default();
+            tenant.submitted += 1;
+            let depth = queued.entry(job.tenant).or_insert(0);
+            if *depth >= self.queue_capacity {
+                tenant.rejected += 1;
+                results[index] = Some(Err(PlanError::Overloaded {
+                    queued: *depth,
+                    capacity: self.queue_capacity,
+                }));
+                continue;
+            }
+            *depth += 1;
+            tenant.admitted += 1;
+            backlog.entry((job.lane, job.tenant)).or_default().push_back(index);
+        }
+
+        // Estimated footprints, as in the FIFO drive (0 when unbudgeted).
+        let footprints: Vec<usize> = match self.memory_budget {
+            Some(_) => jobs
+                .iter()
+                .map(|job| job.job.plan.estimate_device_footprint(job.job.catalog))
+                .collect(),
+            None => vec![0; jobs.len()],
+        };
+
+        // --- DRR admission + round-robin execution. ---------------------
+        let mut deficits: BTreeMap<usize, usize> = BTreeMap::new();
+        // Rotating cursor per lane: the tenant id *after* the last one
+        // admitted, so consecutive admissions visit tenants in turn.
+        let mut cursors: BTreeMap<Lane, usize> = BTreeMap::new();
+        let mut active: Vec<(usize, usize, PlanRun<'_, B>)> = Vec::new();
+        loop {
+            'admit: while active.len() < self.in_flight {
+                // Strict lane priority: batch admits only when no
+                // interactive job is backlogged anywhere.
+                let lane = [Lane::Interactive, Lane::Batch]
+                    .into_iter()
+                    .find(|lane| backlog.keys().any(|(l, _)| l == lane));
+                let Some(lane) = lane else { break };
+                let tenants: Vec<usize> =
+                    backlog.keys().filter(|(l, _)| *l == lane).map(|(_, t)| *t).collect();
+                // DRR: starting at the lane cursor, admit the first tenant
+                // whose deficit covers its head plan's node cost; when no
+                // deficit suffices, top every backlogged tenant up by one
+                // quantum and retry (terminates: deficits grow monotonically).
+                loop {
+                    let cursor = cursors.get(&lane).copied().unwrap_or(0);
+                    let start = tenants.iter().position(|t| *t >= cursor).unwrap_or(0);
+                    let mut admitted = false;
+                    for offset in 0..tenants.len() {
+                        let tenant = tenants[(start + offset) % tenants.len()];
+                        let queue = backlog.get_mut(&(lane, tenant)).expect("backlogged");
+                        let index = *queue.front().expect("non-empty queues only");
+                        let cost = jobs[index].job.plan.len().max(1);
+                        if deficits.get(&tenant).copied().unwrap_or(0) < cost {
+                            continue;
+                        }
+                        if let Some(budget) = self.memory_budget {
+                            let in_use: usize = active.iter().map(|(_, bytes, _)| *bytes).sum();
+                            // Same rule as the FIFO drive: never
+                            // co-schedule past the budget, but an
+                            // oversized plan still runs alone.
+                            if !active.is_empty() && in_use + footprints[index] > budget {
+                                break 'admit;
+                            }
+                        }
+                        queue.pop_front();
+                        if queue.is_empty() {
+                            backlog.remove(&(lane, tenant));
+                            // Classic DRR: an emptied backlog banks no
+                            // credit for later bursts.
+                            if !backlog.contains_key(&(Lane::Interactive, tenant))
+                                && !backlog.contains_key(&(Lane::Batch, tenant))
+                            {
+                                deficits.remove(&tenant);
+                            }
+                        }
+                        if let Some(deficit) = deficits.get_mut(&tenant) {
+                            *deficit -= cost;
+                        }
+                        cursors.insert(lane, tenant + 1);
+                        let job = &jobs[index].job;
+                        active.push((
+                            index,
+                            footprints[index],
+                            PlanRun::new(job.plan, job.session.backend(), job.catalog),
+                        ));
+                        admitted = true;
+                        break;
+                    }
+                    if admitted {
+                        break;
+                    }
+                    for tenant in &tenants {
+                        *deficits.entry(*tenant).or_insert(0) += self.quantum;
+                    }
+                }
+            }
+            if active.is_empty() {
+                break;
+            }
+            // One scheduling round: each in-flight plan executes one node,
+            // in admission order — identical to the FIFO drive.
+            let mut slot = 0;
+            while slot < active.len() {
+                let (index, _, run) = &mut active[slot];
+                let index = *index;
+                match run.step() {
+                    Err(error) => {
+                        let (_, _, run) = active.remove(slot);
+                        stats.recovery.absorb(&run.recovery_stats());
+                        self.complete(&mut stats, jobs, index);
+                        results[index] = Some(Err(error));
+                    }
+                    Ok(_) if active[slot].2.is_done() => {
+                        let (index, _, run) = active.remove(slot);
+                        stats.recovery.absorb(&run.recovery_stats());
+                        self.complete(&mut stats, jobs, index);
+                        results[index] = Some(Ok(run.into_results()));
+                    }
+                    Ok(_) => slot += 1,
+                }
+            }
+        }
+        ServeOutcome {
+            results: results.into_iter().map(|r| r.expect("every job resolved")).collect(),
+            stats,
+        }
+    }
+
+    fn complete<B: Backend>(&self, stats: &mut ServeStats, jobs: &[ServeJob<'_, B>], index: usize) {
+        stats.completion_order.push(index);
+        if let Some(tenant) = stats.tenants.get_mut(&jobs[index].tenant) {
+            tenant.completed += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +830,114 @@ mod tests {
         assert_eq!(stats.failovers, 1);
         assert_eq!(stats.quarantines, 1);
         assert!(stats.retries >= 6, "the quarantined plan retried up to its budget first");
+    }
+
+    fn serve_jobs<'a>(
+        session: &'a Session<MonetSeqBackend>,
+        plans: &'a [Plan],
+        catalog: &'a Catalog,
+        spec: &[(usize, Lane)],
+    ) -> Vec<ServeJob<'a, MonetSeqBackend>> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, (tenant, lane))| ServeJob {
+                job: QueryJob { session, plan: &plans[i % plans.len()], catalog },
+                tenant: *tenant,
+                lane: *lane,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn overload_rejects_typed_and_admitted_jobs_complete_in_tenant_order() {
+        let catalog = catalog();
+        let plans: Vec<Plan> = (0..8)
+            .map(|i| compile(&example_plan("t", "a", "b", i * 5, i * 5 + 20)).unwrap())
+            .collect();
+        let session = Session::new(MonetSeqBackend::new());
+        // Tenant 0 floods (6 jobs at capacity 2); tenant 1 stays polite.
+        let spec: Vec<(usize, Lane)> =
+            (0..6).map(|_| (0, Lane::Batch)).chain([(1, Lane::Batch), (1, Lane::Batch)]).collect();
+        let jobs = serve_jobs(&session, &plans, &catalog, &spec);
+        let outcome = ServeScheduler::new().with_queue_capacity(2).with_in_flight(2).run(&jobs);
+
+        assert_eq!(outcome.stats.tenant(0).rejected, 4, "capacity 2 admits 2 of 6");
+        assert_eq!(outcome.stats.tenant(0).completed, 2);
+        assert_eq!(outcome.stats.tenant(1).rejected, 0);
+        assert_eq!(outcome.stats.tenant(1).completed, 2);
+        for index in 2..6 {
+            assert!(
+                matches!(
+                    outcome.results[index],
+                    Err(PlanError::Overloaded { queued: 2, capacity: 2 })
+                ),
+                "overflow submission {index} is rejected typed: {:?}",
+                outcome.results[index]
+            );
+        }
+        // Every admitted job completed reference-equal to a stand-alone
+        // run, and each tenant's completions follow its submission order.
+        for (index, job) in jobs.iter().enumerate() {
+            if outcome.results[index].is_ok() {
+                assert_eq!(
+                    scalar(&outcome.results[index]),
+                    scalar(&session.run(job.job.plan, &catalog))
+                );
+            }
+        }
+        for tenant in [0, 1] {
+            let completions: Vec<usize> = outcome
+                .stats
+                .completion_order
+                .iter()
+                .copied()
+                .filter(|i| jobs[*i].tenant == tenant)
+                .collect();
+            let mut sorted = completions.clone();
+            sorted.sort_unstable();
+            assert_eq!(completions, sorted, "tenant {tenant} completes in submission order");
+        }
+    }
+
+    #[test]
+    fn drr_shares_admissions_between_a_greedy_and_a_polite_tenant() {
+        let catalog = catalog();
+        let plans = vec![compile(&example_plan("t", "a", "b", 10, 30)).unwrap()];
+        let session = Session::new(MonetSeqBackend::new());
+        // Greedy tenant 0 submits 6 jobs before tenant 1's 2 arrive.
+        let spec: Vec<(usize, Lane)> =
+            (0..6).map(|_| (0, Lane::Batch)).chain([(1, Lane::Batch), (1, Lane::Batch)]).collect();
+        let jobs = serve_jobs(&session, &plans, &catalog, &spec);
+        // in_flight 1 serialises execution, so completion order equals
+        // admission order and exposes the DRR alternation directly.
+        let outcome = ServeScheduler::new().with_in_flight(1).run(&jobs);
+        assert!(outcome.results.iter().all(|r| r.is_ok()));
+        let tenants: Vec<usize> =
+            outcome.stats.completion_order.iter().map(|i| jobs[*i].tenant).collect();
+        assert_eq!(
+            &tenants[..4],
+            &[0, 1, 0, 1],
+            "DRR alternates tenants instead of draining the greedy backlog: {tenants:?}"
+        );
+        assert_eq!(tenants[4..], [0, 0, 0, 0], "the greedy tail runs once tenant 1 drained");
+    }
+
+    #[test]
+    fn interactive_lane_admits_strictly_before_batch() {
+        let catalog = catalog();
+        let plans = vec![compile(&example_plan("t", "a", "b", 10, 30)).unwrap()];
+        let session = Session::new(MonetSeqBackend::new());
+        // Batch jobs submitted first; the interactive job arrives last but
+        // must be admitted first.
+        let spec = [(0, Lane::Batch), (0, Lane::Batch), (1, Lane::Batch), (1, Lane::Interactive)];
+        let jobs = serve_jobs(&session, &plans, &catalog, &spec);
+        let outcome = ServeScheduler::new().with_in_flight(1).run(&jobs);
+        assert!(outcome.results.iter().all(|r| r.is_ok()));
+        assert_eq!(
+            outcome.stats.completion_order[0], 3,
+            "the interactive job completes first: {:?}",
+            outcome.stats.completion_order
+        );
     }
 
     #[test]

@@ -136,6 +136,20 @@ impl<B: Backend> Session<B> {
         let plan = crate::mal::compile(mal)?;
         self.run(&plan, catalog)
     }
+
+    /// Executes a parameterized query through a compiled-plan cache: the
+    /// shape compiles once, later calls only bind `params` and run (see
+    /// `crate::serve::PlanCache`). Any root `Limit` applies at the host
+    /// boundary, exactly like [`crate::query::Query::run`].
+    pub fn run_cached(
+        &self,
+        cache: &crate::serve::PlanCache,
+        query: &crate::query::Query,
+        params: &[crate::query::ParamValue],
+        catalog: &Catalog,
+    ) -> Result<Vec<QueryValue>, crate::query::QueryBuildError> {
+        cache.execute(self, query, params, catalog)
+    }
 }
 
 impl Session<OcelotBackend> {

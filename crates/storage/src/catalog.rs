@@ -87,22 +87,56 @@ impl Table {
     }
 }
 
+/// Process-wide source of catalog generation numbers (see
+/// [`Catalog::generation`]).
+static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The per-database registry of tables and string dictionaries.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
     dictionaries: HashMap<String, StringDictionary>,
+    /// Process-unique version of this catalog's *contents*: assigned fresh
+    /// at construction and bumped on every table/dictionary registration.
+    /// Consumers that memoise per-column statistics (or anything derived
+    /// from them, such as compiled-plan cache keys) key their memo on this
+    /// value, so a re-generated database of the same shape can never reuse
+    /// stale estimates. Cloning preserves the generation — a clone holds
+    /// the same data.
+    generation: u64,
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog::new()
+    }
 }
 
 impl Catalog {
-    /// Creates an empty catalog.
+    /// Creates an empty catalog with a fresh, process-unique generation.
     pub fn new() -> Catalog {
-        Catalog::default()
+        Catalog {
+            tables: HashMap::new(),
+            dictionaries: HashMap::new(),
+            generation: fresh_generation(),
+        }
+    }
+
+    /// The content version of this catalog (see the field docs). Two
+    /// catalogs never share a generation unless one is a clone of the
+    /// other, and any mutation moves the catalog to a new generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Registers a table, replacing any previous table of the same name.
     pub fn add_table(&mut self, table: Table) {
         self.tables.insert(table.name().to_string(), table);
+        self.generation = fresh_generation();
     }
 
     /// Looks a table up by name.
@@ -119,6 +153,7 @@ impl Catalog {
     /// `table.column`.
     pub fn add_dictionary(&mut self, table: &str, column: &str, dict: StringDictionary) {
         self.dictionaries.insert(format!("{table}.{column}"), dict);
+        self.generation = fresh_generation();
     }
 
     /// The dictionary for `table.column`, if that column is a string column.
@@ -207,6 +242,26 @@ mod tests {
         assert_eq!(catalog.encode_literal("lineitem", "l_shipmode", "SHIP"), None);
         assert_eq!(catalog.encode_literal("lineitem", "missing", "AIR"), None);
         assert!(catalog.dictionary("lineitem", "l_shipmode").is_some());
+    }
+
+    #[test]
+    fn generations_are_unique_and_bump_on_mutation() {
+        let mut a = Catalog::new();
+        let b = Catalog::new();
+        assert_ne!(a.generation(), b.generation());
+
+        let clone = a.clone();
+        assert_eq!(a.generation(), clone.generation());
+
+        let before = a.generation();
+        a.add_table(table());
+        let after_table = a.generation();
+        assert_ne!(before, after_table);
+
+        a.add_dictionary("t", "a", StringDictionary::new());
+        assert_ne!(after_table, a.generation());
+        // The clone kept the pre-mutation generation.
+        assert_eq!(clone.generation(), before);
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub mod queries;
 
 pub use dbgen::{TpchConfig, TpchDb};
 pub use queries::{
-    q10_query, q12_plan, q12_queries, q14_query, q1_direct, q1_query, q3_plan, q3_query, q4_plan,
-    q4_query, q5_query, q6_plan, q6_query, run_query, run_query_reference, QueryError, QueryResult,
+    q10_query, q12_plan, q12_queries, q14_query, q1_direct, q1_params, q1_query, q1_query_p,
+    q3_params, q3_plan, q3_query, q3_query_p, q4_plan, q4_query, q5_query, q6_params, q6_plan,
+    q6_query, q6_query_p, run_query, run_query_reference, QueryError, QueryResult,
     PORTED_QUERY_IDS, QUERY_IDS, REFERENCE_QUERY_IDS,
 };

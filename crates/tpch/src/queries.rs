@@ -29,7 +29,7 @@
 //! producing the same multiset of rows compare equal.
 
 use ocelot_engine::plan::{Plan, PlanBuilder, PlanError, QueryValue};
-use ocelot_engine::query::{col, lit, AggSpec, Query, QueryBuildError};
+use ocelot_engine::query::{col, lit, param, AggSpec, ParamValue, Query, QueryBuildError};
 use ocelot_engine::{Backend, Session};
 use ocelot_storage::types::date_to_days;
 use std::fmt;
@@ -254,6 +254,36 @@ pub fn q1_query(db: &TpchDb) -> Query {
         )
 }
 
+/// Q1 as a prepared *shape* for the serving layer: the shipdate cutoff is
+/// parameter `$0`, so one compiled plan serves every reporting date. Bind
+/// with [`q1_params`] to reproduce [`q1_query`] exactly.
+pub fn q1_query_p(db: &TpchDb) -> Query {
+    let _ = db; // Q1's shape is scale-independent.
+    Query::scan("lineitem")
+        .filter(col("l_shipdate").le(param(0)))
+        .map("disc_price", col("l_extendedprice") * (lit(1.0f32) - col("l_discount")))
+        .map("charge", col("disc_price") * (lit(1.0f32) + col("l_tax")))
+        .group_by(
+            &["l_returnflag", "l_linestatus"],
+            &[
+                AggSpec::sum("l_quantity", "sum_qty"),
+                AggSpec::sum("l_extendedprice", "sum_base_price"),
+                AggSpec::sum("disc_price", "sum_disc_price"),
+                AggSpec::sum("charge", "sum_charge"),
+                AggSpec::avg("l_quantity", "avg_qty"),
+                AggSpec::avg("l_extendedprice", "avg_price"),
+                AggSpec::avg("l_discount", "avg_disc"),
+                AggSpec::count("count_order"),
+            ],
+        )
+}
+
+/// The workload's standard binding for [`q1_query_p`]: the 1998-09-02
+/// cutoff of [`q1_query`].
+pub fn q1_params() -> Vec<ParamValue> {
+    vec![date_to_days(1998, 9, 2).into()]
+}
+
 const Q1_COLUMNS: [&str; 10] = [
     "l_returnflag",
     "l_linestatus",
@@ -351,6 +381,35 @@ pub fn q3_query(db: &TpchDb) -> Query {
         )
         .sort_by("revenue", true)
         .select(&["l_orderkey", "revenue", "o_orderdate", "o_shippriority"])
+}
+
+/// Q3 as a prepared shape: the order/ship cutoff date is `$0` (one slot,
+/// used by *two* predicates) and the market-segment code is `$1`. Bind
+/// with [`q3_params`] to reproduce [`q3_query`] exactly.
+pub fn q3_query_p(db: &TpchDb) -> Query {
+    let _ = db; // Codes move into the parameter binding.
+    Query::scan("lineitem")
+        .join(
+            Query::scan("orders").join(Query::scan("customer"), "o_custkey", "c_custkey"),
+            "l_orderkey",
+            "o_orderkey",
+        )
+        .filter(col("c_mktsegment").eq(param(1)))
+        .filter(col("o_orderdate").lt(param(0)))
+        .filter(col("l_shipdate").gt(param(0)))
+        .map("revenue", col("l_extendedprice") * (lit(1.0f32) - col("l_discount")))
+        .group_by(
+            &["l_orderkey", "o_orderdate", "o_shippriority"],
+            &[AggSpec::sum("revenue", "revenue")],
+        )
+        .sort_by("revenue", true)
+        .select(&["l_orderkey", "revenue", "o_orderdate", "o_shippriority"])
+}
+
+/// The workload's standard binding for [`q3_query_p`]: the 1995-03-15
+/// cutoff and the BUILDING segment code of [`q3_query`].
+pub fn q3_params(db: &TpchDb) -> Vec<ParamValue> {
+    vec![date_to_days(1995, 3, 15).into(), db.code("customer", "c_mktsegment", "BUILDING").into()]
 }
 
 fn shape_q3(values: Vec<QueryValue>) -> Result<QueryResult, QueryError> {
@@ -557,6 +616,33 @@ pub fn q6_query(db: &TpchDb) -> Query {
         .filter(col("l_quantity").le(23.5f32))
         .map("product", col("l_extendedprice") * col("l_discount"))
         .aggregate(&[AggSpec::sum("product", "revenue")])
+}
+
+/// Q6 as a prepared shape: the shipdate window is `$0..$1`, the discount
+/// band is `$2..$3` (callers pass the *pre-adjusted* ±0.001 bounds
+/// directly) and the quantity cutoff is `$4`. Bind with [`q6_params`] to
+/// reproduce [`q6_query`] exactly.
+pub fn q6_query_p(db: &TpchDb) -> Query {
+    let _ = db; // Q6's shape is scale-independent.
+    Query::scan("lineitem")
+        .filter(col("l_shipdate").between(param(0), param(1)))
+        .filter(col("l_discount").between(param(2), param(3)))
+        .filter(col("l_quantity").le(param(4)))
+        .map("product", col("l_extendedprice") * col("l_discount"))
+        .aggregate(&[AggSpec::sum("product", "revenue")])
+}
+
+/// The workload's standard binding for [`q6_query_p`]: the 1994 shipdate
+/// year, the widened `0.05..0.07 ± 0.001` discount band and the `23.5`
+/// quantity cutoff of [`q6_query`].
+pub fn q6_params() -> Vec<ParamValue> {
+    vec![
+        date_to_days(1994, 1, 1).into(),
+        (date_to_days(1995, 1, 1) - 1).into(),
+        (0.05f32 - 0.001).into(),
+        (0.07f32 + 0.001).into(),
+        23.5f32.into(),
+    ]
 }
 
 fn shape_q6(values: Vec<QueryValue>) -> Result<QueryResult, QueryError> {

@@ -829,3 +829,231 @@ mod deferred_vs_eager {
         }
     }
 }
+
+#[cfg(test)]
+mod serving {
+    //! PR 7 serving-layer suites: parameter binding is semantically
+    //! invisible (a bound shape equals the literal-inlined query on every
+    //! backend, cold and cached), a cache hit re-lowers node for node, the
+    //! device-wide cache flushes on scripted device loss, a re-generated
+    //! catalog never reuses entries, and the serving scheduler's
+    //! backpressure rejects typed while every admitted job completes
+    //! reference-equal in per-tenant submission order.
+
+    use ocelot_core::SharedDevice;
+    use ocelot_engine::{
+        Lane, OcelotBackend, ParamValue, PlanCache, PlanError, QueryJob, ServeJob, ServeScheduler,
+        Session,
+    };
+    use ocelot_kernel::{FaultPlan, FaultSpec};
+    use ocelot_storage::types::date_to_days;
+    use ocelot_tpch::{
+        q1_params, q1_query_p, q3_params, q3_query_p, q6_params, q6_query, q6_query_p, TpchConfig,
+        TpchDb,
+    };
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    fn db() -> &'static TpchDb {
+        static DB: OnceLock<TpchDb> = OnceLock::new();
+        DB.get_or_init(|| TpchDb::generate(TpchConfig { scale_factor: 0.002, seed: 53 }))
+    }
+
+    proptest! {
+        /// The tentpole's semantic property: for randomly drawn parameter
+        /// values, executing a prepared shape through the plan cache —
+        /// cold (miss) and again warm (hit) — equals running the
+        /// literal-inlined query compiled from scratch, on a randomly
+        /// drawn backend (all four covered across the case budget).
+        #[test]
+        fn served_shapes_equal_literal_queries_on_every_backend(
+            query_pick in 0usize..3,
+            backend_pick in 0usize..4,
+            year in 1993i32..1998,
+            month in 1u32..13,
+            day in 1u32..28,
+            band_lo in 1i32..8,
+            quantity_q in 30i32..70,
+        ) {
+            let db = db();
+            let (shape, params) = match query_pick {
+                0 => (q1_query_p(db), vec![ParamValue::from(date_to_days(year, month, day))]),
+                1 => (q3_query_p(db), vec![
+                    date_to_days(year, month, day).into(),
+                    db.code("customer", "c_mktsegment", "BUILDING").into(),
+                ]),
+                _ => (q6_query_p(db), vec![
+                    date_to_days(year, 1, 1).into(),
+                    (date_to_days(year + 1, 1, 1) - 1).into(),
+                    (band_lo as f32 * 0.01 - 0.001).into(),
+                    ((band_lo + 2) as f32 * 0.01 + 0.001).into(),
+                    (quantity_q as f32 * 0.5).into(),
+                ]),
+            };
+            let catalog = db.catalog();
+            let literal = shape.bind(&params).unwrap();
+            let cache = PlanCache::new();
+            fn check<B: ocelot_engine::Backend>(
+                session: &Session<B>,
+                cache: &PlanCache,
+                shape: &ocelot_engine::Query,
+                literal: &ocelot_engine::Query,
+                params: &[ParamValue],
+                catalog: &ocelot_storage::Catalog,
+            ) {
+                let expected = literal.run(session, catalog).unwrap();
+                let cold = cache.execute(session, shape, params, catalog).unwrap();
+                let warm = cache.execute(session, shape, params, catalog).unwrap();
+                assert_eq!(cold, expected, "cold compile diverged on {}", session.name());
+                assert_eq!(warm, expected, "cache hit diverged on {}", session.name());
+            }
+            match backend_pick {
+                0 => check(&Session::monet_seq(), &cache, &shape, &literal, &params, catalog),
+                1 => check(&Session::monet_par(), &cache, &shape, &literal, &params, catalog),
+                2 => check(
+                    &Session::new(OcelotBackend::cpu()),
+                    &cache, &shape, &literal, &params, catalog,
+                ),
+                _ => check(
+                    &Session::new(OcelotBackend::gpu()),
+                    &cache, &shape, &literal, &params, catalog,
+                ),
+            }
+            prop_assert_eq!(cache.stats().hits, 1);
+            prop_assert_eq!(cache.stats().misses, 1);
+        }
+    }
+
+    #[test]
+    fn cache_hits_relower_tpch_shapes_node_for_node() {
+        // The compiled-plan cache promise on the real workload shapes: a
+        // hit (cached optimized tree + snapshotted statistics) lowers the
+        // exact node sequence the cold compile produced.
+        let db = db();
+        let catalog = db.catalog();
+        let cases: [(ocelot_engine::Query, Vec<ParamValue>); 3] = [
+            (q1_query_p(db), q1_params()),
+            (q3_query_p(db), q3_params(db)),
+            (q6_query_p(db), q6_params()),
+        ];
+        let cache = PlanCache::new();
+        for (shape, params) in &cases {
+            let cold = cache.plan(shape, params, catalog).unwrap();
+            let warm = cache.plan(shape, params, catalog).unwrap();
+            assert_eq!(cold.nodes(), warm.nodes(), "hit must re-lower node for node");
+        }
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn device_loss_invalidates_the_device_wide_plan_cache() {
+        // Satellite (a): the cache handed out by `PlanCache::on` is one
+        // per device, and the PR 6 recovery protocol's `on_device_lost`
+        // bump flushes it — the lookup after a scripted loss recompiles.
+        let db = db();
+        let catalog = db.catalog();
+        let lost = SharedDevice::gpu();
+        let cache = PlanCache::on(&lost);
+        assert!(
+            std::sync::Arc::ptr_eq(&cache, &PlanCache::on(&lost)),
+            "one cache per device, shared by every session"
+        );
+
+        let shape = q6_query_p(db);
+        let params = q6_params();
+        let plan = cache.plan(&shape, &params, catalog).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+
+        let reference = Session::ocelot(&SharedDevice::cpu()).run(&plan, catalog).unwrap();
+        lost.device()
+            .install_fault_plan(FaultPlan::scripted(vec![FaultSpec::DeviceLost { at_op: 3 }]));
+        let session = Session::ocelot(&lost).with_fallback(Session::ocelot(&SharedDevice::cpu()));
+        let values = session.run(&plan, catalog).unwrap();
+        assert_eq!(values, reference, "failover of a cached plan stays reference-equal");
+        assert_eq!(session.recovery_stats().failovers, 1);
+
+        // The loss bumped the slot epoch; the next lookup flushes.
+        cache.plan(&shape, &params, catalog).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1, "the loss must flush the cache");
+        assert_eq!((stats.hits, stats.misses), (0, 2), "post-loss lookup recompiles");
+    }
+
+    #[test]
+    fn regenerated_databases_never_reuse_cached_shapes() {
+        // Satellite (b): same config, fresh generation — the plan-cache
+        // key moves with `Catalog::generation`, so stale selectivity
+        // snapshots of the old data can't leak into the new catalog.
+        let config = TpchConfig { scale_factor: 0.002, seed: 53 };
+        let first = TpchDb::generate(config.clone());
+        let second = TpchDb::generate(config);
+        assert_ne!(first.catalog().generation(), second.catalog().generation());
+
+        let cache = PlanCache::new();
+        let params = q6_params();
+        cache.plan(&q6_query_p(&first), &params, first.catalog()).unwrap();
+        cache.plan(&q6_query_p(&second), &params, second.catalog()).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2), "a regenerated catalog is a cold shape");
+    }
+
+    #[test]
+    fn overload_rejects_typed_and_admitted_jobs_complete_in_tenant_order() {
+        // The backpressure acceptance criterion: a greedy tenant beyond
+        // the bounded queue is rejected with the typed `Overloaded` error,
+        // every admitted job completes reference-equal, and each tenant's
+        // completions land in its submission order.
+        let db = db();
+        let catalog = db.catalog();
+        let plan = q6_query(db).lower(catalog).unwrap();
+        let reference = Session::monet_seq().run(&plan, catalog).unwrap();
+
+        let greedy = Session::monet_seq();
+        let polite = Session::monet_seq();
+        // Tenant 0 submits twice the queue capacity; tenant 1 submits two.
+        let capacity = 3;
+        let jobs: Vec<ServeJob<'_, _>> = (0..2 * capacity)
+            .map(|_| ServeJob {
+                job: QueryJob { session: &greedy, plan: &plan, catalog },
+                tenant: 0,
+                lane: Lane::Batch,
+            })
+            .chain((0..2).map(|_| ServeJob {
+                job: QueryJob { session: &polite, plan: &plan, catalog },
+                tenant: 1,
+                lane: Lane::Batch,
+            }))
+            .collect();
+        let outcome =
+            ServeScheduler::new().with_in_flight(1).with_queue_capacity(capacity).run(&jobs);
+
+        assert_eq!(outcome.stats.tenant(0).rejected, capacity, "overflow sheds typed");
+        assert_eq!(outcome.stats.tenant(0).completed, capacity);
+        assert_eq!(outcome.stats.tenant(1).completed, 2, "the polite tenant is untouched");
+        for (index, result) in outcome.results.iter().enumerate() {
+            match result {
+                Ok(values) => assert_eq!(values, &reference, "slot {index}"),
+                Err(PlanError::Overloaded { queued, capacity }) => {
+                    assert_eq!((*queued, *capacity), (3, 3), "slot {index}");
+                    assert!(index < 2 * 3, "only the greedy tenant overflows");
+                }
+                Err(other) => panic!("untyped failure in slot {index}: {other:?}"),
+            }
+        }
+        // Per-tenant completion order == submission order.
+        for tenant in [0usize, 1] {
+            let completions: Vec<usize> = outcome
+                .stats
+                .completion_order
+                .iter()
+                .copied()
+                .filter(|&index| jobs[index].tenant == tenant)
+                .collect();
+            assert!(
+                completions.windows(2).all(|w| w[0] < w[1]),
+                "tenant {tenant} completions out of submission order: {completions:?}"
+            );
+        }
+    }
+}
