@@ -1,0 +1,30 @@
+//! Emits `BENCH_pr8.json`: the PR 8 out-of-core benchmark — the
+//! partitioning overhead of the hybrid hash join at a fitting budget, the
+//! restart-vs-spill head-to-head at an overflowing budget, and the PR 4
+//! pressured stream rerun with budget-aware lowering (restarts > 0 with
+//! blind plans, == 0 with planned spilling).
+//!
+//! Usage: `cargo run --release --bin bench_pr8 [-- --smoke] [output-path]`
+//!
+//! `--smoke` runs a reduced configuration (few samples, short stream) for
+//! CI, still exercising all three experiments end to end and writing the
+//! report.
+
+use ocelot_bench::harness::Report;
+use ocelot_bench::out_of_core;
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "BENCH_pr8.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if arg != "--" {
+            path = arg;
+        }
+    }
+    let mut report = Report::new();
+    out_of_core::bench_all(&mut report, smoke);
+    report.write_json(&path).expect("failed to write benchmark report");
+    println!("wrote {path}");
+}

@@ -1,0 +1,159 @@
+//! PR 8 benchmark: out-of-core execution. Emits the figures behind
+//! `BENCH_pr8.json`.
+//!
+//! Three experiments around the Q3-shaped three-table join at a fixed
+//! scale factor (the budgets below are calibrated against its working
+//! set, so smoke mode reduces samples, not data):
+//!
+//! * **Fitting budget** (`fitting/*`) — the in-memory hash-join plan vs
+//!   the partitioned hybrid hash-join plan on an *unconstrained* device:
+//!   with everything hot and nothing to spill, the pair isolates the pure
+//!   partitioning overhead (histogram + scatter passes, per-partition
+//!   joins, result merge) the planner accepts when it chooses the
+//!   out-of-core path.
+//! * **Overflowing budget** (`overflow/*`) — the same two plans under a
+//!   device budget smaller than the in-memory join's working set. The
+//!   in-memory plan survives through the PR 4 OOM-restart protocol
+//!   (`overflow/in_memory_restarts > 0`, work thrown away each fault);
+//!   the budget-aware plan spills cold partitions instead
+//!   (`overflow/partitioned_restarts == 0`, `overflow/spills > 0`). This
+//!   is the acceptance figure: planned spilling replaces reactive
+//!   restarts at equal results.
+//! * **Pressured stream** (`pressured_stream/*`) — the PR 4 pressure
+//!   experiment rerun: a stream of Q3 sessions under the overflow budget,
+//!   once with blind lowering (restarts accumulate across the stream) and
+//!   once with budget-aware lowering (zero restarts), with queries/sec
+//!   for both.
+
+use crate::harness::{measure_pair, Report};
+use ocelot_core::SharedDevice;
+use ocelot_engine::{OcelotBackend, Plan, RewriteConfig, Session};
+use ocelot_tpch::{q3_query, TpchConfig, TpchDb};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Device budget for the overflow experiments: below the in-memory Q3
+/// join's working set at scale factor 0.01 (the restart protocol must
+/// engage), above the partitioned join's bounded transient peak (the
+/// planned path must not fault). Same window as the `out_of_core`
+/// example.
+const OVERFLOW_BUDGET: usize = 2048 * 1024;
+
+/// Runs `plan` in a fresh session on `shared`; returns (restart reclaim
+/// passes, spill count) the run needed.
+fn run_plan(shared: &SharedDevice, db: &TpchDb, plan: &Plan) -> (u64, u64) {
+    let session = Session::ocelot(shared);
+    black_box(session.run(plan, db.catalog()).expect("bench query failed"));
+    (session.backend().reclaim_count(), session.backend().spill_stats().spills)
+}
+
+fn session_stream(shared: &SharedDevice, db: &TpchDb, plan: &Plan, reps: usize) -> (u64, u64) {
+    let mut restarts = 0;
+    let mut spills = 0;
+    for _ in 0..reps {
+        let (r, s) = run_plan(shared, db, plan);
+        restarts += r;
+        spills += s;
+    }
+    (restarts, spills)
+}
+
+fn bench_fitting(report: &mut Report, db: &TpchDb, plans: &Plans, smoke: bool) {
+    let (warmup, samples) = if smoke { (1, 3) } else { (2, 9) };
+    let shared = SharedDevice::cpu();
+    let (in_memory, partitioned) = measure_pair(
+        "fitting/in_memory",
+        "fitting/partitioned",
+        db.lineitem_rows(),
+        warmup,
+        samples,
+        || run_plan(&shared, db, &plans.in_memory),
+        || run_plan(&shared, db, &plans.partitioned),
+    );
+    report.scalar(
+        "fitting/partitioned_over_in_memory",
+        partitioned.min_ns as f64 / in_memory.min_ns as f64,
+    );
+    report.push(in_memory);
+    report.push(partitioned);
+}
+
+fn bench_overflow(report: &mut Report, db: &TpchDb, plans: &Plans, smoke: bool) {
+    let (warmup, samples) = if smoke { (1, 3) } else { (2, 9) };
+    let in_memory_shared = SharedDevice::cpu().with_memory_budget(OVERFLOW_BUDGET);
+    let partitioned_shared = SharedDevice::cpu().with_memory_budget(OVERFLOW_BUDGET);
+    let mut in_memory_restarts = 0;
+    let mut partitioned_restarts = 0;
+    let mut spills = 0;
+    let (in_memory, partitioned) = measure_pair(
+        "overflow/in_memory",
+        "overflow/partitioned",
+        db.lineitem_rows(),
+        warmup,
+        samples,
+        || {
+            let (r, _) = run_plan(&in_memory_shared, db, &plans.in_memory);
+            in_memory_restarts += r;
+        },
+        || {
+            let (r, s) = run_plan(&partitioned_shared, db, &plans.partitioned);
+            partitioned_restarts += r;
+            spills += s;
+        },
+    );
+    report.scalar(
+        "overflow/partitioned_over_in_memory_speedup",
+        in_memory.min_ns as f64 / partitioned.min_ns as f64,
+    );
+    report.scalar("overflow/in_memory_restarts", in_memory_restarts as f64);
+    report.scalar("overflow/partitioned_restarts", partitioned_restarts as f64);
+    report.scalar("overflow/spills", spills as f64);
+    report.push(in_memory);
+    report.push(partitioned);
+}
+
+fn bench_pressured_stream(report: &mut Report, db: &TpchDb, plans: &Plans, smoke: bool) {
+    let reps = if smoke { 3 } else { 12 };
+    for (label, plan) in [("blind", &plans.in_memory), ("budget_aware", &plans.partitioned)] {
+        let shared = SharedDevice::cpu().with_memory_budget(OVERFLOW_BUDGET);
+        let started = Instant::now();
+        let (restarts, spills) = session_stream(&shared, db, plan, reps);
+        let elapsed = started.elapsed().as_secs_f64();
+        report.scalar(
+            &format!("pressured_stream/{label}/queries_per_sec"),
+            reps as f64 / elapsed.max(1e-9),
+        );
+        report.scalar(&format!("pressured_stream/{label}/restarts"), restarts as f64);
+        report.scalar(&format!("pressured_stream/{label}/spills"), spills as f64);
+    }
+}
+
+struct Plans {
+    in_memory: Plan,
+    partitioned: Plan,
+}
+
+/// Runs all three experiments into `report`.
+pub fn bench_all(report: &mut Report, smoke: bool) {
+    // Fixed scale factor: OVERFLOW_BUDGET is calibrated against this
+    // working set; smoke mode reduces samples only.
+    let db = TpchDb::generate(TpchConfig { scale_factor: 0.01, seed: 31 });
+    let catalog = db.catalog();
+    let plans = Plans {
+        in_memory: q3_query(&db)
+            .lower_with(catalog, &RewriteConfig::optimized())
+            .expect("lowering failed"),
+        partitioned: q3_query(&db)
+            .lower_with(catalog, &RewriteConfig::optimized().with_device_budget(OVERFLOW_BUDGET))
+            .expect("lowering failed"),
+    };
+    // Cross-check once, outside the timing loops: both plans agree.
+    let reference = Session::<OcelotBackend>::ocelot(&SharedDevice::cpu());
+    let expected = reference.run(&plans.in_memory, catalog).expect("reference run failed");
+    let got = reference.run(&plans.partitioned, catalog).expect("partitioned run failed");
+    assert_eq!(got, expected, "partitioned plan must be reference-equal");
+
+    bench_fitting(report, &db, &plans, smoke);
+    bench_overflow(report, &db, &plans, smoke);
+    bench_pressured_stream(report, &db, &plans, smoke);
+}

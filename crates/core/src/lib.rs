@@ -53,6 +53,7 @@ pub mod cache;
 pub mod context;
 pub mod memory_manager;
 pub mod ops;
+pub mod partition;
 pub mod primitives;
 pub mod recovery;
 
@@ -62,5 +63,9 @@ pub use context::{
     ColLen, DevColumn, DevScalar, DevWord, LenSource, OcelotContext, Oid, PlanSlot, SharedDevice,
 };
 pub use memory_manager::{EvictionSink, MemoryManager, MemoryStats};
+pub use partition::{
+    partition_by_key, partitioned_pkfk_join, Partition, PartitionedJoin, PartitionedJoinConfig,
+    SpillPool, SpillStats,
+};
 pub use primitives::bitmap::Bitmap;
 pub use recovery::{DeviceLostFault, TransientFault};

@@ -128,6 +128,22 @@ pub trait Backend {
     /// column. Returns aligned `(fk_oids, pk_oids)`; FK rows without a
     /// partner are dropped.
     fn pkfk_join(&self, fk: &Self::Column, pk: &Self::Column) -> (Self::Column, Self::Column);
+    /// Partitioned hybrid hash FK/PK join: semantically identical to
+    /// [`Backend::pkfk_join`] — same pairs, same probe-row order — but free
+    /// to radix-partition both inputs and spill cold partitions to host
+    /// staging so the working set fits the device budget. `ndv_hint` is the
+    /// estimated distinct build-key count (skew-aware partition sizing).
+    /// The default delegates to the in-memory join: partitioning is an
+    /// execution strategy, not a semantics change.
+    fn pkfk_join_partitioned(
+        &self,
+        fk: &Self::Column,
+        pk: &Self::Column,
+        ndv_hint: usize,
+    ) -> (Self::Column, Self::Column) {
+        let _ = ndv_hint;
+        self.pkfk_join(fk, pk)
+    }
     /// Semi join (`EXISTS`): OIDs of left rows with at least one match.
     fn semi_join(&self, left: &Self::Column, right: &Self::Column) -> Self::Column;
     /// Anti join (`NOT EXISTS`): OIDs of left rows without a match.

@@ -63,6 +63,39 @@ impl HostColumn {
     }
 }
 
+/// Partition bits the host baselines use for a Grace-style partitioned
+/// FK/PK join: one partition per ~64k build rows (cache-sized hash tables),
+/// with the `rows / ndv` skew factor inflating the count the same way the
+/// device path does. Zero bits means "monolithic join is already fine".
+pub(crate) fn grace_bits(build_rows: usize, ndv_hint: usize) -> u32 {
+    const TARGET_ROWS: usize = 1 << 16;
+    let skew = (build_rows.max(1) / ndv_hint.max(1)).max(1);
+    let wanted = (build_rows.max(1) * skew).div_ceil(TARGET_ROWS);
+    wanted.next_power_of_two().trailing_zeros().min(8)
+}
+
+/// Splits a key column into `2^bits` partitions of `(keys, original_rows)`
+/// by a multiplicative hash — rows with equal keys land in the same
+/// partition on both join sides.
+pub(crate) fn grace_partition(keys: &[i32], bits: u32) -> Vec<(Vec<i32>, Vec<Oid>)> {
+    let parts = 1usize << bits;
+    let mut out: Vec<(Vec<i32>, Vec<Oid>)> = vec![(Vec::new(), Vec::new()); parts];
+    for (row, &key) in keys.iter().enumerate() {
+        let p = ((key as u32).wrapping_mul(0x9E37_79B1) >> (32 - bits)) as usize;
+        out[p].0.push(key);
+        out[p].1.push(row as Oid);
+    }
+    out
+}
+
+/// Merges per-partition join pairs back into the global probe-row order the
+/// monolithic join produces (build keys are unique, so probe-OID order is
+/// total).
+pub(crate) fn grace_merge(mut pairs: Vec<(Oid, Oid)>) -> (Vec<Oid>, Vec<Oid>) {
+    pairs.sort_unstable();
+    (pairs.iter().map(|(f, _)| *f).collect(), pairs.iter().map(|(_, p)| *p).collect())
+}
+
 /// Converts a BAT into the host column representation used by the baselines.
 pub(crate) fn host_column_from_bat(bat: &ocelot_storage::BatRef) -> HostColumn {
     if let Some(values) = bat.as_i32() {

@@ -197,6 +197,59 @@ impl Backend for MonetParBackend {
         let (fk_oids, pk_oids) = par::par_pkfk_join_i32(fk.as_i32(), &table, self.threads);
         (HostColumn::Oid(Arc::new(fk_oids)), HostColumn::Oid(Arc::new(pk_oids)))
     }
+    fn pkfk_join_partitioned(
+        &self,
+        fk: &HostColumn,
+        pk: &HostColumn,
+        ndv_hint: usize,
+    ) -> (HostColumn, HostColumn) {
+        let (fk, pk) = (fk.as_i32(), pk.as_i32());
+        let bits = crate::backends::grace_bits(pk.len(), ndv_hint);
+        if bits == 0 {
+            let table = ocelot_monet::MonetHashTable::build(pk);
+            let (fk_oids, pk_oids) = par::par_pkfk_join_i32(fk, &table, self.threads);
+            return (HostColumn::Oid(Arc::new(fk_oids)), HostColumn::Oid(Arc::new(pk_oids)));
+        }
+        let pk_parts = crate::backends::grace_partition(pk, bits);
+        let fk_parts = crate::backends::grace_partition(fk, bits);
+        // Mitosis over partitions: each worker joins a contiguous slice of
+        // partition pairs, then the per-worker pair lists merge.
+        let parts = pk_parts.len();
+        let workers = self.threads.min(parts).max(1);
+        let per_worker = parts.div_ceil(workers);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in 0..workers {
+                let start = chunk * per_worker;
+                let end = (start + per_worker).min(parts);
+                let pk_parts = &pk_parts;
+                let fk_parts = &fk_parts;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for p in start..end {
+                        let (pk_keys, pk_rows) = &pk_parts[p];
+                        let (fk_keys, fk_rows) = &fk_parts[p];
+                        if pk_keys.is_empty() || fk_keys.is_empty() {
+                            continue;
+                        }
+                        let table = ocelot_monet::MonetHashTable::build(pk_keys);
+                        let (local_fk, local_pk) = seq::pkfk_join_i32(fk_keys, &table);
+                        for (lf, lp) in local_fk.into_iter().zip(local_pk) {
+                            local.push((fk_rows[lf as usize], pk_rows[lp as usize]));
+                        }
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                pairs.extend(handle.join().expect("partition worker panicked"));
+            }
+        });
+        let (fk_oids, pk_oids) = crate::backends::grace_merge(pairs);
+        (HostColumn::Oid(Arc::new(fk_oids)), HostColumn::Oid(Arc::new(pk_oids)))
+    }
+
     fn semi_join(&self, left: &HostColumn, right: &HostColumn) -> HostColumn {
         HostColumn::Oid(Arc::new(par::par_semi_join_i32(
             left.as_i32(),

@@ -159,6 +159,36 @@ impl Backend for MonetSeqBackend {
         let (fk_oids, pk_oids) = seq::pkfk_join_i32(fk.as_i32(), &table);
         (HostColumn::Oid(Arc::new(fk_oids)), HostColumn::Oid(Arc::new(pk_oids)))
     }
+    fn pkfk_join_partitioned(
+        &self,
+        fk: &HostColumn,
+        pk: &HostColumn,
+        ndv_hint: usize,
+    ) -> (HostColumn, HostColumn) {
+        let (fk, pk) = (fk.as_i32(), pk.as_i32());
+        let bits = crate::backends::grace_bits(pk.len(), ndv_hint);
+        if bits == 0 {
+            let table = ocelot_monet::MonetHashTable::build(pk);
+            let (fk_oids, pk_oids) = seq::pkfk_join_i32(fk, &table);
+            return (HostColumn::Oid(Arc::new(fk_oids)), HostColumn::Oid(Arc::new(pk_oids)));
+        }
+        let pk_parts = crate::backends::grace_partition(pk, bits);
+        let fk_parts = crate::backends::grace_partition(fk, bits);
+        let mut pairs = Vec::new();
+        for ((pk_keys, pk_rows), (fk_keys, fk_rows)) in pk_parts.iter().zip(&fk_parts) {
+            if pk_keys.is_empty() || fk_keys.is_empty() {
+                continue;
+            }
+            let table = ocelot_monet::MonetHashTable::build(pk_keys);
+            let (local_fk, local_pk) = seq::pkfk_join_i32(fk_keys, &table);
+            for (lf, lp) in local_fk.into_iter().zip(local_pk) {
+                pairs.push((fk_rows[lf as usize], pk_rows[lp as usize]));
+            }
+        }
+        let (fk_oids, pk_oids) = crate::backends::grace_merge(pairs);
+        (HostColumn::Oid(Arc::new(fk_oids)), HostColumn::Oid(Arc::new(pk_oids)))
+    }
+
     fn semi_join(&self, left: &HostColumn, right: &HostColumn) -> HostColumn {
         HostColumn::Oid(Arc::new(seq::semi_join_i32(left.as_i32(), right.as_i32())))
     }

@@ -16,8 +16,8 @@ use ocelot_core::ops::{
 };
 use ocelot_core::primitives::gather;
 use ocelot_core::{
-    Bitmap, DevColumn, DevWord, DeviceLostFault, DeviceOom, OcelotContext, Oid, SharedDevice,
-    TransientFault,
+    partitioned_pkfk_join, Bitmap, DevColumn, DevWord, DeviceLostFault, DeviceOom, OcelotContext,
+    Oid, PartitionedJoinConfig, SharedDevice, SpillStats, TransientFault,
 };
 use ocelot_kernel::{DeviceKind, GpuConfig, KernelError};
 use ocelot_storage::BatRef;
@@ -98,6 +98,9 @@ pub struct OcelotBackend {
     /// Number of reclaim passes run for the OOM-restart protocol — one per
     /// node restart the plan executor performed on this backend.
     reclaims: AtomicU64,
+    /// Accumulated partition/spill counters from every partitioned join this
+    /// backend ran (the out-of-core observability surface).
+    spill_stats: Mutex<SpillStats>,
 }
 
 impl OcelotBackend {
@@ -143,6 +146,7 @@ impl OcelotBackend {
             timer: Mutex::new((Instant::now(), 0)),
             distinct_hint: 1024,
             reclaims: AtomicU64::new(0),
+            spill_stats: Mutex::new(SpillStats::default()),
         }
     }
 
@@ -155,6 +159,12 @@ impl OcelotBackend {
     /// restarted plan node) — observability for the pressure suites.
     pub fn reclaim_count(&self) -> u64 {
         self.reclaims.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated partition/spill counters across every partitioned join
+    /// this backend executed (zero until the out-of-core path runs).
+    pub fn spill_stats(&self) -> SpillStats {
+        *self.spill_stats.lock()
     }
 
     /// Binds a base column through the device's shared [`ColumnCache`]
@@ -390,6 +400,36 @@ impl Backend for OcelotBackend {
             .unwrap_or_else(|e| raise("hash join failed", e));
         (OcelotColumn::Oid(result.probe_oids), OcelotColumn::Oid(result.build_oids))
     }
+    fn pkfk_join_partitioned(
+        &self,
+        fk: &OcelotColumn,
+        pk: &OcelotColumn,
+        ndv_hint: usize,
+    ) -> (OcelotColumn, OcelotColumn) {
+        let fk_col = fk.as_i32();
+        let pk_col = pk.as_i32();
+        // Resolving the input sizes here is a deliberate sync point: the
+        // out-of-core path trades the lazy pipeline for host-side partition
+        // scheduling (see `ocelot_core::partition`).
+        let probe_rows =
+            fk_col.len(&self.ctx).unwrap_or_else(|e| raise("length resolve failed", e));
+        let build_rows =
+            pk_col.len(&self.ctx).unwrap_or_else(|e| raise("length resolve failed", e));
+        // The spill pool's working-set cap is the device headroom *now*,
+        // not the configured budget: by the time a plan reaches its join,
+        // the device already holds the plan's pinned base columns and live
+        // intermediates, and the join only gets what is left. Half of the
+        // remaining headroom keeps slack for the per-pair hash-table
+        // scratch that allocates outside the pool's accounting.
+        let budget = (self.ctx.memory().budget() != usize::MAX)
+            .then(|| (self.ctx.memory().headroom() / 2).max(64 * 1024));
+        let cfg = PartitionedJoinConfig::plan(build_rows, probe_rows, ndv_hint.max(1), budget);
+        let result = partitioned_pkfk_join(&self.ctx, &fk_col, &pk_col, &cfg)
+            .unwrap_or_else(|e| raise("partitioned join failed", e));
+        self.spill_stats.lock().merge(&result.stats);
+        (OcelotColumn::Oid(result.probe_oids), OcelotColumn::Oid(result.build_oids))
+    }
+
     fn semi_join(&self, left: &OcelotColumn, right: &OcelotColumn) -> OcelotColumn {
         let right_col = right.as_i32();
         let table = OcelotHashTable::build(&self.ctx, &right_col, right_col.cap().max(1))

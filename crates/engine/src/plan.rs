@@ -259,6 +259,13 @@ pub enum PlanOp {
     ExtractYear,
     /// FK/PK hash join. Inputs: `[fk, pk]`; outputs: `[fk_oids, pk_oids]`.
     PkFkJoin,
+    /// Partitioned hybrid hash FK/PK join — the out-of-core form of
+    /// [`PlanOp::PkFkJoin`], chosen by lowering when the monolithic hash
+    /// table would overflow the device budget. Same inputs and outputs.
+    PkFkJoinPartitioned {
+        /// Estimated distinct build-key count (skew-aware partition sizing).
+        ndv_hint: usize,
+    },
     /// Semi join (`EXISTS`). Inputs: `[left, right]`.
     SemiJoin,
     /// Anti join (`NOT EXISTS`). Inputs: `[left, right]`.
@@ -316,6 +323,7 @@ impl PlanOp {
             PlanOp::CastI32F32 => "cast_i32_f32",
             PlanOp::ExtractYear => "extract_year",
             PlanOp::PkFkJoin => "pkfk_join",
+            PlanOp::PkFkJoinPartitioned { .. } => "pkfk_join_partitioned",
             PlanOp::SemiJoin => "semi_join",
             PlanOp::AntiJoin => "anti_join",
             PlanOp::GroupBy => "group_by",
@@ -354,6 +362,9 @@ impl fmt::Display for PlanOp {
             }
             PlanOp::SortOrderF32 { descending } => {
                 write!(f, "sort_order_f32 {}", if *descending { "desc" } else { "asc" })
+            }
+            PlanOp::PkFkJoinPartitioned { ndv_hint } => {
+                write!(f, "pkfk_join_partitioned ndv~{ndv_hint}")
             }
             other => write!(f, "{}", other.name()),
         }
@@ -519,6 +530,14 @@ impl Plan {
             }
             PlanOp::PkFkJoin | PlanOp::SemiJoin | PlanOp::AntiJoin => {
                 hash_table(input_bytes(1), input_bytes(0))
+            }
+            PlanOp::PkFkJoinPartitioned { .. } => {
+                // Partition copies of both sides (keys + carried OIDs) plus
+                // one per-partition hash table — the partitioned join never
+                // materialises the monolithic table, so its scratch is the
+                // copies plus a table a partition-count factor smaller.
+                2 * (input_bytes(0) + input_bytes(1))
+                    + hash_table(input_bytes(1) / 2, input_bytes(0) / 2)
             }
             PlanOp::GroupBy => {
                 // Grouping hashes every input row.
@@ -757,6 +776,26 @@ impl PlanBuilder {
         let pk_oids = self.fresh(ValueKind::Column);
         self.nodes.push(PlanNode {
             op: PlanOp::PkFkJoin,
+            inputs: vec![fk, pk],
+            outputs: vec![fk_oids, pk_oids],
+        });
+        Ok((fk_oids, pk_oids))
+    }
+
+    /// Partitioned hybrid hash FK/PK join — the out-of-core form of
+    /// [`PlanBuilder::pkfk_join`]. `ndv_hint` is the estimated distinct
+    /// build-key count, which sizes the partitions skew-aware.
+    pub fn pkfk_join_partitioned(
+        &mut self,
+        fk: Var,
+        pk: Var,
+        ndv_hint: usize,
+    ) -> Result<(Var, Var), PlanError> {
+        self.columns(&[fk, pk])?;
+        let fk_oids = self.fresh(ValueKind::Column);
+        let pk_oids = self.fresh(ValueKind::Column);
+        self.nodes.push(PlanNode {
+            op: PlanOp::PkFkJoinPartitioned { ndv_hint },
             inputs: vec![fk, pk],
             outputs: vec![fk_oids, pk_oids],
         });
@@ -1356,6 +1395,13 @@ impl<'a, B: Backend> PlanRun<'a, B> {
                 let (fk, _) = self.column(node.inputs[0])?;
                 let (pk, _) = self.column(node.inputs[1])?;
                 let (fk_oids, pk_oids) = b.pkfk_join(&fk, &pk);
+                self.registers.insert(node.outputs[0], Slot::Column(fk_oids, ColKind::Oid));
+                self.registers.insert(node.outputs[1], Slot::Column(pk_oids, ColKind::Oid));
+            }
+            PlanOp::PkFkJoinPartitioned { ndv_hint } => {
+                let (fk, _) = self.column(node.inputs[0])?;
+                let (pk, _) = self.column(node.inputs[1])?;
+                let (fk_oids, pk_oids) = b.pkfk_join_partitioned(&fk, &pk, *ndv_hint);
                 self.registers.insert(node.outputs[0], Slot::Column(fk_oids, ColKind::Oid));
                 self.registers.insert(node.outputs[1], Slot::Column(pk_oids, ColKind::Oid));
             }

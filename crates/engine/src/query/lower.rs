@@ -111,6 +111,16 @@ pub(crate) fn lower(
     Ok(Lowered { plan: lower.p.finish(), notes: lower.notes })
 }
 
+/// Estimated device working set of a monolithic hash join: both key
+/// columns plus the hash table the build side would allocate (the same
+/// sizing model as `Plan::scratch_bytes`, so planner and footprint
+/// estimator agree on what fits).
+fn join_working_set_bytes(build_rows: f64, probe_rows: f64) -> usize {
+    let build_rows = build_rows.max(1.0) as usize;
+    let capacity = (((build_rows as f64) * 1.4).ceil() as usize).next_power_of_two().max(16);
+    2 * capacity * 4 + probe_rows.max(0.0) as usize * 4 + build_rows * 4
+}
+
 impl<'a> Lower<'a> {
     // ---- column access -------------------------------------------------
 
@@ -661,13 +671,70 @@ impl<'a> Lower<'a> {
                         })
                     }
                 };
+                // Out-of-core choice: when the monolithic join's working set
+                // would claim more than a quarter of the device budget,
+                // lower the partitioned hybrid hash join — planned spilling
+                // replaces the OOM-restart protocol as this join's way of
+                // surviving memory pressure (the restart path stays as the
+                // backstop for estimation misses). The working set is sized
+                // for the *base* cardinalities, not the post-filter
+                // estimates: selectivity guesses are the least reliable
+                // statistic, and an under-provisioned monolithic join faults
+                // at runtime, while an over-provisioned partitioned join
+                // merely spills a little. The quarter share mirrors the
+                // execution-side `SpillPool` sizing — the join lives on the
+                // device alongside the plan's pinned base columns and the
+                // other operators' scratch.
+                let (build_rows_est, probe_rows_est) = if build_right {
+                    (
+                        self.base_rows_of_key(&rrel, right_key),
+                        self.base_rows_of_key(&lrel, left_key),
+                    )
+                } else {
+                    (
+                        self.base_rows_of_key(&lrel, left_key),
+                        self.base_rows_of_key(&rrel, right_key),
+                    )
+                };
+                let ndv_hint = if build_right {
+                    self.base_ndv_of_key(&rrel, right_key)
+                } else {
+                    self.base_ndv_of_key(&lrel, left_key)
+                };
+                let partitioned = match self.cfg.device_budget {
+                    Some(budget) => {
+                        join_working_set_bytes(build_rows_est, probe_rows_est) * 4 > budget
+                    }
+                    None => false,
+                };
                 let (lpos, rpos) = if build_right {
+                    if partitioned {
+                        self.notes.push(format!(
+                            "pkfk join {left_key} = {right_key}: PARTITIONED hybrid hash — \
+                             base working set {} B exceeds a quarter of the device budget; \
+                             build on right (est {:.0} rows, ndv~{ndv_hint}), spill-capable",
+                            join_working_set_bytes(build_rows_est, probe_rows_est),
+                            rrel.rows
+                        ));
+                        self.p.pkfk_join_partitioned(lk, rk, ndv_hint)?
+                    } else {
+                        self.notes.push(format!(
+                            "pkfk join {left_key} = {right_key}: build on right (unique \
+                             {right_key}, est {:.0} rows), probe left (est {:.0} rows)",
+                            rrel.rows, lrel.rows
+                        ));
+                        self.p.pkfk_join(lk, rk)?
+                    }
+                } else if partitioned {
                     self.notes.push(format!(
-                        "pkfk join {left_key} = {right_key}: build on right (unique \
-                         {right_key}, est {:.0} rows), probe left (est {:.0} rows)",
-                        rrel.rows, lrel.rows
+                        "pkfk join {left_key} = {right_key}: PARTITIONED hybrid hash — base \
+                         working set {} B exceeds a quarter of the device budget; build on left \
+                         (est {:.0} rows, ndv~{ndv_hint}), spill-capable",
+                        join_working_set_bytes(build_rows_est, probe_rows_est),
+                        lrel.rows
                     ));
-                    self.p.pkfk_join(lk, rk)?
+                    let (rpos, lpos) = self.p.pkfk_join_partitioned(rk, lk, ndv_hint)?;
+                    (lpos, rpos)
                 } else {
                     self.notes.push(format!(
                         "pkfk join {left_key} = {right_key}: build on left (unique \
@@ -726,6 +793,18 @@ impl<'a> Lower<'a> {
                 Ok(rel)
             }
         }
+    }
+
+    /// Distinct-count estimate behind a key column (partition sizing for
+    /// the out-of-core join); falls back to the relation's row estimate
+    /// for computed keys.
+    fn base_ndv_of_key(&self, rel: &Rel, key: &str) -> usize {
+        for (table, _) in &rel.tables {
+            if self.catalog.column(table, key).is_some() {
+                return self.stats.column(table, key).ndv.max(1);
+            }
+        }
+        rel.rows.max(1.0) as usize
     }
 
     /// Base-table row count behind a key column (for match-rate estimates);

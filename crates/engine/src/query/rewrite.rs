@@ -33,18 +33,43 @@ pub struct RewriteConfig {
     /// columns the query reads (naive lowering materialises every scan
     /// column instead).
     pub prune: bool,
+    /// Device memory budget (bytes) the lowering plans joins against:
+    /// when a hash join's estimated working set would overflow it, the
+    /// lowering emits the partitioned hybrid hash join (planned spilling)
+    /// instead of the in-memory join (whose overflow path is the
+    /// OOM-restart protocol). `None` always lowers the in-memory join.
+    pub device_budget: Option<usize>,
 }
 
 impl RewriteConfig {
     /// Every rule enabled — the default pipeline.
     pub fn optimized() -> RewriteConfig {
-        RewriteConfig { fold: true, pushdown: true, selectivity_order: true, prune: true }
+        RewriteConfig {
+            fold: true,
+            pushdown: true,
+            selectivity_order: true,
+            prune: true,
+            device_budget: None,
+        }
     }
 
     /// Every rule disabled: predicates run where they were written, scans
     /// materialise all columns. The ablation baseline for `bench_pr5`.
     pub fn naive() -> RewriteConfig {
-        RewriteConfig { fold: false, pushdown: false, selectivity_order: false, prune: false }
+        RewriteConfig {
+            fold: false,
+            pushdown: false,
+            selectivity_order: false,
+            prune: false,
+            device_budget: None,
+        }
+    }
+
+    /// The optimized pipeline planning joins against a device budget (see
+    /// [`RewriteConfig::device_budget`]).
+    pub fn with_device_budget(mut self, bytes: usize) -> RewriteConfig {
+        self.device_budget = Some(bytes);
+        self
     }
 }
 

@@ -24,11 +24,13 @@
 pub mod alignment;
 pub mod bat;
 pub mod catalog;
+pub mod chunked;
 pub mod dictionary;
 pub mod types;
 
 pub use alignment::AlignedVec;
 pub use bat::{Bat, BatRef, ColumnData};
 pub use catalog::{Catalog, Table};
+pub use chunked::{ChunkData, ChunkSource, ChunkedColumn, ChunkedTable, RowGroup};
 pub use dictionary::StringDictionary;
 pub use types::{ColumnType, Oid, Value};

@@ -1,22 +1,46 @@
-//! Deterministic TPC-H-style data generator for the modified schema.
+//! Deterministic, *streaming* TPC-H-style data generator.
 //!
 //! The generator reproduces the *shape* of TPC-H data — the table
 //! cardinality ratios, the PK/FK relationships, the value domains and the
-//! date ranges the queries filter on — with a seeded pseudo-random number
-//! generator. It is not the official `dbgen` (no text corpus, no V2
-//! comments), but every column the fourteen evaluated queries touch is
-//! present with realistic distributions, which is what the performance
-//! comparison needs.
+//! date ranges the queries filter on — with seeded pseudo-random derivation.
+//! It is not the official `dbgen` (no text corpus, no V2 comments), but
+//! every column the fourteen evaluated queries touch is present with
+//! realistic distributions, which is what the performance comparison needs.
 //!
-//! Scale: at scale factor 1.0 the generator would produce the official row
+//! ## Streaming and determinism
+//!
+//! Every value is a **pure function of `(seed, table, row)`**: each row
+//! derives its own RNG by mixing the configuration seed with a per-table
+//! stream tag and the row index (splitmix-style), and draws its fields in a
+//! fixed order. There is no sequential generator state threaded through the
+//! tables, so:
+//!
+//! * generation is **chunk-size invariant** — producing a table in 1, 2 or
+//!   7 chunks yields identical rows in identical order, by construction;
+//! * tables stream **partition-at-a-time** through reusable
+//!   [`RowGroup`] buffers (see [`chunked_tables`]), so scale factors 1–10
+//!   never materialise a whole column on the host;
+//! * lineitem rows derive from `(order, line)` with per-order line counts
+//!   hashed from the order key, so the dominant table chunks on order
+//!   ranges without replaying any prefix.
+//!
+//! String dictionaries are pre-built deterministically (each literal table
+//! encoded in declaration order), so dictionary codes are positional and
+//! independent of which rows have been generated.
+//!
+//! Scale: at scale factor 1.0 the generator produces the official row
 //! counts (6 M lineitems). Benchmarks use fractional scale factors; row
 //! counts scale linearly with a floor that keeps the dimension tables
 //! non-degenerate.
 
 use ocelot_storage::types::date_to_days;
-use ocelot_storage::{Bat, Catalog, ColumnType, StringDictionary, Table};
+use ocelot_storage::{
+    Catalog, ChunkData, ChunkSource, ChunkedColumn, ChunkedTable, ColumnType, RowGroup,
+    StringDictionary,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -83,6 +107,7 @@ const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
 const SHIPINSTRUCT: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 const RETURNFLAGS: [&str; 3] = ["R", "A", "N"];
 const LINESTATUS: [&str; 2] = ["O", "F"];
+const STATUSES: [&str; 2] = ["F", "O"];
 const BRANDS: [&str; 25] = [
     "Brand#11", "Brand#12", "Brand#13", "Brand#14", "Brand#15", "Brand#21", "Brand#22", "Brand#23",
     "Brand#24", "Brand#25", "Brand#31", "Brand#32", "Brand#33", "Brand#34", "Brand#35", "Brand#41",
@@ -104,296 +129,474 @@ fn scaled(base: usize, sf: f64, min: usize) -> usize {
     ((base as f64 * sf).round() as usize).max(min)
 }
 
-impl TpchDb {
-    /// Generates a database for the given configuration.
-    pub fn generate(config: TpchConfig) -> TpchDb {
+// ---------------------------------------------------------------------------
+// Counter-based row derivation
+// ---------------------------------------------------------------------------
+
+/// Per-table stream tags: each table draws from its own derivation stream
+/// so adding columns to one table never perturbs another.
+mod tag {
+    pub const SUPPLIER: u64 = 1;
+    pub const CUSTOMER: u64 = 2;
+    pub const PART: u64 = 3;
+    pub const PARTSUPP: u64 = 4;
+    pub const ORDERS: u64 = 5;
+    pub const LINECOUNT: u64 = 6;
+    pub const LINEITEM: u64 = 7;
+}
+
+/// Splitmix64 finaliser: bijective 64-bit mixing.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-row generator: a fresh RNG whose seed is a pure function of
+/// `(seed, stream tag, row index)`. Rows draw their fields from it in a
+/// fixed order, which makes every value independent of generation order —
+/// the property the chunk-size-invariance tests pin down.
+fn row_rng(seed: u64, stream: u64, row: u64) -> StdRng {
+    let mixed = mix64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ mix64(stream) ^ row);
+    StdRng::seed_from_u64(mixed)
+}
+
+/// Scaled row counts for one configuration.
+#[derive(Debug, Clone, Copy)]
+struct Shape {
+    num_suppliers: usize,
+    num_customers: usize,
+    num_parts: usize,
+    num_orders: usize,
+    num_partsupp: usize,
+}
+
+impl Shape {
+    fn of(config: &TpchConfig) -> Shape {
         let sf = config.scale_factor;
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut catalog = Catalog::new();
-
-        let num_suppliers = scaled(10_000, sf, 20);
-        let num_customers = scaled(150_000, sf, 50);
         let num_parts = scaled(200_000, sf, 50);
-        let num_orders = scaled(1_500_000, sf, 200);
-        let num_partsupp = num_parts * 4;
-
-        // ---- region ----
-        let mut region_dict = StringDictionary::new();
-        let r_name: Vec<i32> = REGIONS.iter().map(|r| region_dict.encode(r)).collect();
-        let region = Table::new("region")
-            .with_column(
-                "r_regionkey",
-                Bat::from_i32("r_regionkey", (0..5).collect()).with_key(true).into_ref(),
-            )
-            .with_column(
-                "r_name",
-                Bat::from_i32_typed("r_name", r_name, ColumnType::StrCode).into_ref(),
-            );
-        catalog.add_table(region);
-        catalog.add_dictionary("region", "r_name", region_dict);
-
-        // ---- nation ----
-        let mut nation_dict = StringDictionary::new();
-        let n_name: Vec<i32> = NATIONS.iter().map(|(n, _)| nation_dict.encode(n)).collect();
-        let n_regionkey: Vec<i32> = NATIONS.iter().map(|(_, r)| *r).collect();
-        let nation = Table::new("nation")
-            .with_column(
-                "n_nationkey",
-                Bat::from_i32("n_nationkey", (0..25).collect()).with_key(true).into_ref(),
-            )
-            .with_column(
-                "n_name",
-                Bat::from_i32_typed("n_name", n_name, ColumnType::StrCode).into_ref(),
-            )
-            .with_column("n_regionkey", Bat::from_i32("n_regionkey", n_regionkey).into_ref());
-        catalog.add_table(nation);
-        catalog.add_dictionary("nation", "n_name", nation_dict);
-
-        // ---- supplier ----
-        let mut supplier_name_dict = StringDictionary::new();
-        let s_name: Vec<i32> = (0..num_suppliers)
-            .map(|i| supplier_name_dict.encode(&format!("Supplier#{i:09}")))
-            .collect();
-        let s_nationkey: Vec<i32> = (0..num_suppliers).map(|_| rng.gen_range(0..25)).collect();
-        let supplier = Table::new("supplier")
-            .with_column(
-                "s_suppkey",
-                Bat::from_i32("s_suppkey", (0..num_suppliers as i32).collect())
-                    .with_key(true)
-                    .into_ref(),
-            )
-            .with_column(
-                "s_name",
-                Bat::from_i32_typed("s_name", s_name, ColumnType::StrCode).into_ref(),
-            )
-            .with_column(
-                "s_nationkey",
-                Bat::from_i32("s_nationkey", s_nationkey.clone()).into_ref(),
-            );
-        catalog.add_table(supplier);
-        catalog.add_dictionary("supplier", "s_name", supplier_name_dict);
-
-        // ---- customer ----
-        let mut segment_dict = StringDictionary::new();
-        let c_mktsegment: Vec<i32> = (0..num_customers)
-            .map(|_| segment_dict.encode(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]))
-            .collect();
-        let c_nationkey: Vec<i32> = (0..num_customers).map(|_| rng.gen_range(0..25)).collect();
-        let c_acctbal: Vec<f32> =
-            (0..num_customers).map(|_| rng.gen_range(-999.99..9999.99)).collect();
-        let customer = Table::new("customer")
-            .with_column(
-                "c_custkey",
-                Bat::from_i32("c_custkey", (0..num_customers as i32).collect())
-                    .with_key(true)
-                    .into_ref(),
-            )
-            .with_column(
-                "c_mktsegment",
-                Bat::from_i32_typed("c_mktsegment", c_mktsegment, ColumnType::StrCode).into_ref(),
-            )
-            .with_column("c_nationkey", Bat::from_i32("c_nationkey", c_nationkey).into_ref())
-            .with_column("c_acctbal", Bat::from_f32("c_acctbal", c_acctbal).into_ref());
-        catalog.add_table(customer);
-        catalog.add_dictionary("customer", "c_mktsegment", segment_dict);
-
-        // ---- part ----
-        let mut brand_dict = StringDictionary::new();
-        let mut container_dict = StringDictionary::new();
-        let mut type_dict = StringDictionary::new();
-        let p_brand: Vec<i32> = (0..num_parts)
-            .map(|_| brand_dict.encode(BRANDS[rng.gen_range(0..BRANDS.len())]))
-            .collect();
-        let p_container: Vec<i32> = (0..num_parts)
-            .map(|_| container_dict.encode(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]))
-            .collect();
-        let p_type: Vec<i32> = (0..num_parts)
-            .map(|_| type_dict.encode(TYPES[rng.gen_range(0..TYPES.len())]))
-            .collect();
-        let p_size: Vec<i32> = (0..num_parts).map(|_| rng.gen_range(1..=50)).collect();
-        let p_retailprice: Vec<f32> =
-            (0..num_parts).map(|_| rng.gen_range(900.0..2100.0)).collect();
-        let part = Table::new("part")
-            .with_column(
-                "p_partkey",
-                Bat::from_i32("p_partkey", (0..num_parts as i32).collect())
-                    .with_key(true)
-                    .into_ref(),
-            )
-            .with_column(
-                "p_brand",
-                Bat::from_i32_typed("p_brand", p_brand, ColumnType::StrCode).into_ref(),
-            )
-            .with_column(
-                "p_container",
-                Bat::from_i32_typed("p_container", p_container, ColumnType::StrCode).into_ref(),
-            )
-            .with_column(
-                "p_type",
-                Bat::from_i32_typed("p_type", p_type, ColumnType::StrCode).into_ref(),
-            )
-            .with_column("p_size", Bat::from_i32("p_size", p_size).into_ref())
-            .with_column("p_retailprice", Bat::from_f32("p_retailprice", p_retailprice).into_ref());
-        catalog.add_table(part);
-        catalog.add_dictionary("part", "p_brand", brand_dict);
-        catalog.add_dictionary("part", "p_container", container_dict);
-        catalog.add_dictionary("part", "p_type", type_dict);
-
-        // ---- partsupp ----
-        let ps_partkey: Vec<i32> = (0..num_partsupp).map(|i| (i / 4) as i32).collect();
-        let ps_suppkey: Vec<i32> =
-            (0..num_partsupp).map(|_| rng.gen_range(0..num_suppliers as i32)).collect();
-        let ps_supplycost: Vec<f32> =
-            (0..num_partsupp).map(|_| rng.gen_range(1.0..1000.0)).collect();
-        let ps_availqty: Vec<f32> = (0..num_partsupp).map(|_| rng.gen_range(1.0..9999.0)).collect();
-        let partsupp = Table::new("partsupp")
-            .with_column("ps_partkey", Bat::from_i32("ps_partkey", ps_partkey).into_ref())
-            .with_column("ps_suppkey", Bat::from_i32("ps_suppkey", ps_suppkey).into_ref())
-            .with_column("ps_supplycost", Bat::from_f32("ps_supplycost", ps_supplycost).into_ref())
-            .with_column("ps_availqty", Bat::from_f32("ps_availqty", ps_availqty).into_ref());
-        catalog.add_table(partsupp);
-
-        // ---- orders ----
-        let start_date = date_to_days(1992, 1, 1);
-        let end_date = date_to_days(1998, 8, 2);
-        let mut priority_dict = StringDictionary::new();
-        let mut status_dict = StringDictionary::new();
-        let o_custkey: Vec<i32> =
-            (0..num_orders).map(|_| rng.gen_range(0..num_customers as i32)).collect();
-        let o_orderdate: Vec<i32> =
-            (0..num_orders).map(|_| rng.gen_range(start_date..=end_date)).collect();
-        let o_orderpriority: Vec<i32> = (0..num_orders)
-            .map(|_| priority_dict.encode(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]))
-            .collect();
-        let o_orderstatus: Vec<i32> = (0..num_orders)
-            .map(|i| {
-                // Roughly half the orders are fully shipped ('F').
-                let status = if i % 2 == 0 { "F" } else { "O" };
-                status_dict.encode(status)
-            })
-            .collect();
-        let o_shippriority: Vec<i32> = vec![0; num_orders];
-        let orders = Table::new("orders")
-            .with_column(
-                "o_orderkey",
-                Bat::from_i32("o_orderkey", (0..num_orders as i32).collect())
-                    .with_key(true)
-                    .into_ref(),
-            )
-            .with_column("o_custkey", Bat::from_i32("o_custkey", o_custkey).into_ref())
-            .with_column(
-                "o_orderdate",
-                Bat::from_i32_typed("o_orderdate", o_orderdate.clone(), ColumnType::Date)
-                    .into_ref(),
-            )
-            .with_column(
-                "o_orderpriority",
-                Bat::from_i32_typed("o_orderpriority", o_orderpriority, ColumnType::StrCode)
-                    .into_ref(),
-            )
-            .with_column(
-                "o_orderstatus",
-                Bat::from_i32_typed("o_orderstatus", o_orderstatus, ColumnType::StrCode).into_ref(),
-            )
-            .with_column(
-                "o_shippriority",
-                Bat::from_i32("o_shippriority", o_shippriority).into_ref(),
-            );
-        catalog.add_table(orders);
-        catalog.add_dictionary("orders", "o_orderpriority", priority_dict);
-        catalog.add_dictionary("orders", "o_orderstatus", status_dict);
-
-        // ---- lineitem ----
-        let mut shipmode_dict = StringDictionary::new();
-        let mut instruct_dict = StringDictionary::new();
-        let mut returnflag_dict = StringDictionary::new();
-        let mut linestatus_dict = StringDictionary::new();
-        let mut l_orderkey = Vec::new();
-        let mut l_partkey = Vec::new();
-        let mut l_suppkey = Vec::new();
-        let mut l_quantity = Vec::new();
-        let mut l_extendedprice = Vec::new();
-        let mut l_discount = Vec::new();
-        let mut l_tax = Vec::new();
-        let mut l_returnflag = Vec::new();
-        let mut l_linestatus = Vec::new();
-        let mut l_shipdate = Vec::new();
-        let mut l_commitdate = Vec::new();
-        let mut l_receiptdate = Vec::new();
-        let mut l_shipmode = Vec::new();
-        let mut l_shipinstruct = Vec::new();
-        #[allow(clippy::needless_range_loop)] // `order` is also the order key itself
-        for order in 0..num_orders {
-            let lines = rng.gen_range(1..=7);
-            for _ in 0..lines {
-                l_orderkey.push(order as i32);
-                l_partkey.push(rng.gen_range(0..num_parts as i32));
-                l_suppkey.push(rng.gen_range(0..num_suppliers as i32));
-                l_quantity.push(rng.gen_range(1..=50) as f32);
-                l_extendedprice.push(rng.gen_range(900.0..105_000.0f32));
-                l_discount.push((rng.gen_range(0..=10) as f32) / 100.0);
-                l_tax.push((rng.gen_range(0..=8) as f32) / 100.0);
-                l_returnflag
-                    .push(returnflag_dict.encode(RETURNFLAGS[rng.gen_range(0..RETURNFLAGS.len())]));
-                l_linestatus
-                    .push(linestatus_dict.encode(LINESTATUS[rng.gen_range(0..LINESTATUS.len())]));
-                let ship = o_orderdate[order] + rng.gen_range(1..=121);
-                let commit = ship + rng.gen_range(-30..=30);
-                let receipt = ship + rng.gen_range(1..=30);
-                l_shipdate.push(ship);
-                l_commitdate.push(commit);
-                l_receiptdate.push(receipt);
-                l_shipmode.push(shipmode_dict.encode(SHIPMODES[rng.gen_range(0..SHIPMODES.len())]));
-                l_shipinstruct
-                    .push(instruct_dict.encode(SHIPINSTRUCT[rng.gen_range(0..SHIPINSTRUCT.len())]));
-            }
+        Shape {
+            num_suppliers: scaled(10_000, sf, 20),
+            num_customers: scaled(150_000, sf, 50),
+            num_parts,
+            num_orders: scaled(1_500_000, sf, 200),
+            num_partsupp: num_parts * 4,
         }
-        let lineitem = Table::new("lineitem")
-            .with_column("l_orderkey", Bat::from_i32("l_orderkey", l_orderkey).into_ref())
-            .with_column("l_partkey", Bat::from_i32("l_partkey", l_partkey).into_ref())
-            .with_column("l_suppkey", Bat::from_i32("l_suppkey", l_suppkey).into_ref())
-            .with_column("l_quantity", Bat::from_f32("l_quantity", l_quantity).into_ref())
-            .with_column(
-                "l_extendedprice",
-                Bat::from_f32("l_extendedprice", l_extendedprice).into_ref(),
-            )
-            .with_column("l_discount", Bat::from_f32("l_discount", l_discount).into_ref())
-            .with_column("l_tax", Bat::from_f32("l_tax", l_tax).into_ref())
-            .with_column(
-                "l_returnflag",
-                Bat::from_i32_typed("l_returnflag", l_returnflag, ColumnType::StrCode).into_ref(),
-            )
-            .with_column(
-                "l_linestatus",
-                Bat::from_i32_typed("l_linestatus", l_linestatus, ColumnType::StrCode).into_ref(),
-            )
-            .with_column(
-                "l_shipdate",
-                Bat::from_i32_typed("l_shipdate", l_shipdate, ColumnType::Date).into_ref(),
-            )
-            .with_column(
-                "l_commitdate",
-                Bat::from_i32_typed("l_commitdate", l_commitdate, ColumnType::Date).into_ref(),
-            )
-            .with_column(
-                "l_receiptdate",
-                Bat::from_i32_typed("l_receiptdate", l_receiptdate, ColumnType::Date).into_ref(),
-            )
-            .with_column(
-                "l_shipmode",
-                Bat::from_i32_typed("l_shipmode", l_shipmode, ColumnType::StrCode).into_ref(),
-            )
-            .with_column(
-                "l_shipinstruct",
-                Bat::from_i32_typed("l_shipinstruct", l_shipinstruct, ColumnType::StrCode)
-                    .into_ref(),
-            );
-        catalog.add_table(lineitem);
-        catalog.add_dictionary("lineitem", "l_shipmode", shipmode_dict);
-        catalog.add_dictionary("lineitem", "l_shipinstruct", instruct_dict);
-        catalog.add_dictionary("lineitem", "l_returnflag", returnflag_dict);
-        catalog.add_dictionary("lineitem", "l_linestatus", linestatus_dict);
+    }
+}
 
+/// Number of lineitem rows belonging to order `order` (1..=7, hashed from
+/// the order key so it can be recomputed anywhere without a prefix replay).
+fn order_line_count(seed: u64, order: usize) -> usize {
+    row_rng(seed, tag::LINECOUNT, order as u64).gen_range(1..=7)
+}
+
+/// The order-date of order `order`, re-derivable by the lineitem stream
+/// (ship/commit/receipt dates are offsets from it).
+fn order_date(seed: u64, order: usize) -> i32 {
+    // Field order must match `fill_orders`: custkey is drawn first.
+    let mut rng = row_rng(seed, tag::ORDERS, order as u64);
+    let _custkey: i32 = rng.gen_range(0..i32::MAX);
+    rng.gen_range(date_to_days(1992, 1, 1)..=date_to_days(1998, 8, 2))
+}
+
+// ---------------------------------------------------------------------------
+// Table schemas and chunk sources
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TableKind {
+    Region,
+    Nation,
+    Supplier,
+    Customer,
+    Part,
+    Partsupp,
+    Orders,
+    Lineitem,
+}
+
+impl TableKind {
+    const ALL: [TableKind; 8] = [
+        TableKind::Region,
+        TableKind::Nation,
+        TableKind::Supplier,
+        TableKind::Customer,
+        TableKind::Part,
+        TableKind::Partsupp,
+        TableKind::Orders,
+        TableKind::Lineitem,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            TableKind::Region => "region",
+            TableKind::Nation => "nation",
+            TableKind::Supplier => "supplier",
+            TableKind::Customer => "customer",
+            TableKind::Part => "part",
+            TableKind::Partsupp => "partsupp",
+            TableKind::Orders => "orders",
+            TableKind::Lineitem => "lineitem",
+        }
+    }
+
+    fn schema(self) -> Vec<ChunkedColumn> {
+        let col = |name: &str, ty: ColumnType, key: bool| ChunkedColumn {
+            name: name.to_string(),
+            ty,
+            key,
+        };
+        use ColumnType::{Date, Int, Real, StrCode};
+        match self {
+            TableKind::Region => {
+                vec![col("r_regionkey", Int, true), col("r_name", StrCode, false)]
+            }
+            TableKind::Nation => vec![
+                col("n_nationkey", Int, true),
+                col("n_name", StrCode, false),
+                col("n_regionkey", Int, false),
+            ],
+            TableKind::Supplier => vec![
+                col("s_suppkey", Int, true),
+                col("s_name", StrCode, false),
+                col("s_nationkey", Int, false),
+            ],
+            TableKind::Customer => vec![
+                col("c_custkey", Int, true),
+                col("c_mktsegment", StrCode, false),
+                col("c_nationkey", Int, false),
+                col("c_acctbal", Real, false),
+            ],
+            TableKind::Part => vec![
+                col("p_partkey", Int, true),
+                col("p_brand", StrCode, false),
+                col("p_container", StrCode, false),
+                col("p_type", StrCode, false),
+                col("p_size", Int, false),
+                col("p_retailprice", Real, false),
+            ],
+            TableKind::Partsupp => vec![
+                col("ps_partkey", Int, false),
+                col("ps_suppkey", Int, false),
+                col("ps_supplycost", Real, false),
+                col("ps_availqty", Real, false),
+            ],
+            TableKind::Orders => vec![
+                col("o_orderkey", Int, true),
+                col("o_custkey", Int, false),
+                col("o_orderdate", Date, false),
+                col("o_orderpriority", StrCode, false),
+                col("o_orderstatus", StrCode, false),
+                col("o_shippriority", Int, false),
+            ],
+            TableKind::Lineitem => vec![
+                col("l_orderkey", Int, false),
+                col("l_partkey", Int, false),
+                col("l_suppkey", Int, false),
+                col("l_quantity", Real, false),
+                col("l_extendedprice", Real, false),
+                col("l_discount", Real, false),
+                col("l_tax", Real, false),
+                col("l_returnflag", StrCode, false),
+                col("l_linestatus", StrCode, false),
+                col("l_shipdate", Date, false),
+                col("l_commitdate", Date, false),
+                col("l_receiptdate", Date, false),
+                col("l_shipmode", StrCode, false),
+                col("l_shipinstruct", StrCode, false),
+            ],
+        }
+    }
+
+    /// Row count (for lineitem: the exact total across all orders).
+    fn rows(self, seed: u64, shape: Shape) -> usize {
+        match self {
+            TableKind::Region => REGIONS.len(),
+            TableKind::Nation => NATIONS.len(),
+            TableKind::Supplier => shape.num_suppliers,
+            TableKind::Customer => shape.num_customers,
+            TableKind::Part => shape.num_parts,
+            TableKind::Partsupp => shape.num_partsupp,
+            TableKind::Orders => shape.num_orders,
+            TableKind::Lineitem => (0..shape.num_orders).map(|o| order_line_count(seed, o)).sum(),
+        }
+    }
+
+    /// The unit the table chunks on: row index for every table except
+    /// lineitem, which chunks on *order* ranges (its row count per order
+    /// varies, but each order's lines always land in the same chunk).
+    fn chunk_units(self, shape: Shape) -> usize {
+        match self {
+            TableKind::Lineitem => shape.num_orders,
+            other => other.rows(0, shape), // row counts don't depend on seed
+        }
+    }
+}
+
+/// A deterministic chunk producer over one TPC-H table: chunk `c` covers
+/// units `[bounds[c].0, bounds[c].1)` (rows, or orders for lineitem).
+struct TpchChunks {
+    seed: u64,
+    shape: Shape,
+    kind: TableKind,
+    bounds: Vec<(usize, usize)>,
+}
+
+impl ChunkSource for TpchChunks {
+    fn fill(&self, chunk: usize, out: &mut RowGroup) {
+        let (start, end) = self.bounds[chunk];
+        let mut cols: Vec<&mut ChunkData> = out.columns_mut().map(|(_, d)| d).collect();
+        match self.kind {
+            TableKind::Region => fill_region(start, end, &mut cols),
+            TableKind::Nation => fill_nation(start, end, &mut cols),
+            TableKind::Supplier => fill_supplier(self.seed, start, end, &mut cols),
+            TableKind::Customer => fill_customer(self.seed, start, end, &mut cols),
+            TableKind::Part => fill_part(self.seed, start, end, &mut cols),
+            TableKind::Partsupp => fill_partsupp(self.seed, self.shape, start, end, &mut cols),
+            TableKind::Orders => fill_orders(self.seed, self.shape, start, end, &mut cols),
+            TableKind::Lineitem => fill_lineitem(self.seed, self.shape, start, end, &mut cols),
+        }
+    }
+}
+
+fn fill_region(start: usize, end: usize, cols: &mut [&mut ChunkData]) {
+    for i in start..end {
+        cols[0].push_i32(i as i32);
+        cols[1].push_i32(i as i32); // r_name codes are positional
+    }
+}
+
+fn fill_nation(start: usize, end: usize, cols: &mut [&mut ChunkData]) {
+    for (i, nation) in NATIONS.iter().enumerate().take(end).skip(start) {
+        cols[0].push_i32(i as i32);
+        cols[1].push_i32(i as i32); // n_name codes are positional
+        cols[2].push_i32(nation.1);
+    }
+}
+
+fn fill_supplier(seed: u64, start: usize, end: usize, cols: &mut [&mut ChunkData]) {
+    for i in start..end {
+        let mut rng = row_rng(seed, tag::SUPPLIER, i as u64);
+        cols[0].push_i32(i as i32);
+        cols[1].push_i32(i as i32); // s_name codes are positional
+        cols[2].push_i32(rng.gen_range(0..25));
+    }
+}
+
+fn fill_customer(seed: u64, start: usize, end: usize, cols: &mut [&mut ChunkData]) {
+    for i in start..end {
+        let mut rng = row_rng(seed, tag::CUSTOMER, i as u64);
+        cols[0].push_i32(i as i32);
+        cols[1].push_i32(rng.gen_range(0..SEGMENTS.len() as i32));
+        cols[2].push_i32(rng.gen_range(0..25));
+        cols[3].push_f32(rng.gen_range(-999.99..9999.99));
+    }
+}
+
+fn fill_part(seed: u64, start: usize, end: usize, cols: &mut [&mut ChunkData]) {
+    for i in start..end {
+        let mut rng = row_rng(seed, tag::PART, i as u64);
+        cols[0].push_i32(i as i32);
+        cols[1].push_i32(rng.gen_range(0..BRANDS.len() as i32));
+        cols[2].push_i32(rng.gen_range(0..CONTAINERS.len() as i32));
+        cols[3].push_i32(rng.gen_range(0..TYPES.len() as i32));
+        cols[4].push_i32(rng.gen_range(1..=50));
+        cols[5].push_f32(rng.gen_range(900.0..2100.0));
+    }
+}
+
+fn fill_partsupp(seed: u64, shape: Shape, start: usize, end: usize, cols: &mut [&mut ChunkData]) {
+    for i in start..end {
+        let mut rng = row_rng(seed, tag::PARTSUPP, i as u64);
+        cols[0].push_i32((i / 4) as i32);
+        cols[1].push_i32(rng.gen_range(0..shape.num_suppliers as i32));
+        cols[2].push_f32(rng.gen_range(1.0..1000.0));
+        cols[3].push_f32(rng.gen_range(1.0..9999.0));
+    }
+}
+
+fn fill_orders(seed: u64, shape: Shape, start: usize, end: usize, cols: &mut [&mut ChunkData]) {
+    let start_date = date_to_days(1992, 1, 1);
+    let end_date = date_to_days(1998, 8, 2);
+    for i in start..end {
+        // Field order must match `order_date`'s re-derivation.
+        let mut rng = row_rng(seed, tag::ORDERS, i as u64);
+        let custkey = rng.gen_range(0..i32::MAX) % shape.num_customers as i32;
+        cols[0].push_i32(i as i32);
+        cols[1].push_i32(custkey);
+        cols[2].push_i32(rng.gen_range(start_date..=end_date));
+        cols[3].push_i32(rng.gen_range(0..PRIORITIES.len() as i32));
+        // Roughly half the orders are fully shipped ('F', code 0).
+        cols[4].push_i32(if i % 2 == 0 { 0 } else { 1 });
+        cols[5].push_i32(0);
+    }
+}
+
+fn fill_lineitem(seed: u64, shape: Shape, start: usize, end: usize, cols: &mut [&mut ChunkData]) {
+    for order in start..end {
+        let o_date = order_date(seed, order);
+        let lines = order_line_count(seed, order);
+        for line in 0..lines {
+            // One derivation stream per (order, line) pair; the ×8 stride
+            // leaves every pair its own counter slot (lines ≤ 7).
+            let mut rng = row_rng(seed, tag::LINEITEM, (order as u64) * 8 + line as u64);
+            cols[0].push_i32(order as i32);
+            cols[1].push_i32(rng.gen_range(0..shape.num_parts as i32));
+            cols[2].push_i32(rng.gen_range(0..shape.num_suppliers as i32));
+            cols[3].push_f32(rng.gen_range(1..=50) as f32);
+            cols[4].push_f32(rng.gen_range(900.0..105_000.0f32));
+            cols[5].push_f32((rng.gen_range(0..=10) as f32) / 100.0);
+            cols[6].push_f32((rng.gen_range(0..=8) as f32) / 100.0);
+            cols[7].push_i32(rng.gen_range(0..RETURNFLAGS.len() as i32));
+            cols[8].push_i32(rng.gen_range(0..LINESTATUS.len() as i32));
+            let ship = o_date + rng.gen_range(1..=121);
+            let commit = ship + rng.gen_range(-30..=30);
+            let receipt = ship + rng.gen_range(1..=30);
+            cols[9].push_i32(ship);
+            cols[10].push_i32(commit);
+            cols[11].push_i32(receipt);
+            cols[12].push_i32(rng.gen_range(0..SHIPMODES.len() as i32));
+            cols[13].push_i32(rng.gen_range(0..SHIPINSTRUCT.len() as i32));
+        }
+    }
+}
+
+/// Splits `units` chunk units into at most `chunks` contiguous ranges.
+fn chunk_bounds(units: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.clamp(1, units.max(1));
+    let per = units.div_ceil(chunks);
+    let mut bounds = Vec::new();
+    let mut start = 0;
+    while start < units {
+        let end = (start + per).min(units);
+        bounds.push((start, end));
+        start = end;
+    }
+    if bounds.is_empty() {
+        bounds.push((0, 0));
+    }
+    bounds
+}
+
+/// All eight TPC-H tables as streaming [`ChunkedTable`]s, each split into
+/// (up to) `chunks` chunks. No column data is generated by this call; rows
+/// stream on scan through one reusable row group per table.
+pub fn chunked_tables(config: &TpchConfig, chunks: usize) -> Vec<ChunkedTable> {
+    let shape = Shape::of(config);
+    TableKind::ALL
+        .iter()
+        .map(|&kind| {
+            let bounds = chunk_bounds(kind.chunk_units(shape), chunks);
+            let rows = kind.rows(config.seed, shape);
+            let chunk_count = bounds.len();
+            ChunkedTable::new(
+                kind.name(),
+                kind.schema(),
+                rows,
+                chunk_count,
+                Arc::new(TpchChunks { seed: config.seed, shape, kind, bounds }),
+            )
+        })
+        .collect()
+}
+
+/// [`chunked_tables`] sized so each chunk holds roughly `target_rows` rows
+/// (per-order for lineitem, whose chunks land on order boundaries).
+pub fn chunked_tables_by_rows(config: &TpchConfig, target_rows: usize) -> Vec<ChunkedTable> {
+    let shape = Shape::of(config);
+    let target = target_rows.max(1);
+    TableKind::ALL
+        .iter()
+        .map(|&kind| {
+            let units = kind.chunk_units(shape);
+            let chunks = units.div_ceil(target).max(1);
+            let bounds = chunk_bounds(units, chunks);
+            let rows = kind.rows(config.seed, shape);
+            let chunk_count = bounds.len();
+            ChunkedTable::new(
+                kind.name(),
+                kind.schema(),
+                rows,
+                chunk_count,
+                Arc::new(TpchChunks { seed: config.seed, shape, kind, bounds }),
+            )
+        })
+        .collect()
+}
+
+/// Registers the streaming tables *and* their dictionaries into `catalog`
+/// without materialising any column: the chunked tables are scannable via
+/// [`Catalog::chunked_table`], and string literals resolve through the
+/// pre-built positional dictionaries.
+pub fn register_chunked(catalog: &mut Catalog, config: &TpchConfig, chunks: usize) {
+    for table in chunked_tables(config, chunks) {
+        catalog.add_chunked_table(table);
+    }
+    for (table, column, dict) in build_dictionaries(config) {
+        catalog.add_dictionary(table, column, dict);
+    }
+}
+
+/// The deterministic dictionaries of every string column: each literal
+/// table is encoded in declaration order, so codes are positional (`code ==
+/// index`) and independent of the generated rows.
+fn build_dictionaries(config: &TpchConfig) -> Vec<(&'static str, &'static str, StringDictionary)> {
+    let shape = Shape::of(config);
+    let ordered = |values: &[&str]| {
+        let mut dict = StringDictionary::new();
+        for v in values {
+            dict.encode(v);
+        }
+        dict
+    };
+    let mut supplier_names = StringDictionary::new();
+    for i in 0..shape.num_suppliers {
+        supplier_names.encode(&format!("Supplier#{i:09}"));
+    }
+    let nation_names: Vec<&str> = NATIONS.iter().map(|(n, _)| *n).collect();
+    vec![
+        ("region", "r_name", ordered(&REGIONS)),
+        ("nation", "n_name", ordered(&nation_names)),
+        ("supplier", "s_name", supplier_names),
+        ("customer", "c_mktsegment", ordered(&SEGMENTS)),
+        ("part", "p_brand", ordered(&BRANDS)),
+        ("part", "p_container", ordered(&CONTAINERS)),
+        ("part", "p_type", ordered(&TYPES)),
+        ("orders", "o_orderpriority", ordered(&PRIORITIES)),
+        ("orders", "o_orderstatus", ordered(&STATUSES)),
+        ("lineitem", "l_shipmode", ordered(&SHIPMODES)),
+        ("lineitem", "l_shipinstruct", ordered(&SHIPINSTRUCT)),
+        ("lineitem", "l_returnflag", ordered(&RETURNFLAGS)),
+        ("lineitem", "l_linestatus", ordered(&LINESTATUS)),
+    ]
+}
+
+/// Default row-group granularity for materialising generation: small enough
+/// that `generate` exercises the streaming path, large enough that chunk
+/// overhead is noise.
+const DEFAULT_CHUNK_ROWS: usize = 1 << 16;
+
+impl TpchDb {
+    /// Generates a resident database for the given configuration by
+    /// streaming every table through the chunked generator and collecting
+    /// the chunks into catalog BATs. Equal configurations produce equal
+    /// databases regardless of chunking (see [`chunked_tables`]).
+    pub fn generate(config: TpchConfig) -> TpchDb {
+        TpchDb::generate_with_chunk_rows(config, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// [`TpchDb::generate`] with an explicit row-group granularity — the
+    /// determinism tests use this to compare monolithic (one chunk) against
+    /// finely chunked generation.
+    pub fn generate_with_chunk_rows(config: TpchConfig, chunk_rows: usize) -> TpchDb {
+        let mut catalog = Catalog::new();
+        for table in chunked_tables_by_rows(&config, chunk_rows) {
+            catalog.add_table(table.collect());
+        }
+        for (table, column, dict) in build_dictionaries(&config) {
+            catalog.add_dictionary(table, column, dict);
+        }
         TpchDb { catalog, config }
     }
 
@@ -530,6 +733,32 @@ mod tests {
         let hi = date_to_days(1998, 12, 31);
         for &d in db.col("orders", "o_orderdate").as_i32().unwrap() {
             assert!(d >= lo && d <= hi);
+        }
+    }
+
+    #[test]
+    fn chunked_registration_streams_without_materializing() {
+        let config = TpchConfig { scale_factor: 0.002, seed: 7 };
+        let mut catalog = Catalog::new();
+        register_chunked(&mut catalog, &config, 4);
+        let lineitem = catalog.chunked_table("lineitem").expect("registered");
+        assert_eq!(lineitem.chunk_count(), 4);
+        let mut rows = 0;
+        let visited = lineitem.scan(|_, group| rows += group.rows());
+        assert_eq!(rows, visited);
+        assert_eq!(rows, lineitem.rows());
+        // Literal resolution works without any materialised column.
+        assert!(catalog.encode_literal("customer", "c_mktsegment", "BUILDING").is_some());
+        assert!(catalog.table("lineitem").is_none(), "nothing materialised");
+    }
+
+    #[test]
+    fn order_date_rederivation_matches_orders_table() {
+        let config = TpchConfig { scale_factor: 0.002, seed: 11 };
+        let db = TpchDb::generate(config.clone());
+        let dates = db.col("orders", "o_orderdate").as_i32().unwrap();
+        for (i, &d) in dates.iter().enumerate().step_by(37) {
+            assert_eq!(order_date(config.seed, i), d, "order {i}");
         }
     }
 }

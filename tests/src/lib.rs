@@ -1057,3 +1057,209 @@ mod serving {
         }
     }
 }
+
+#[cfg(test)]
+mod streaming_dbgen {
+    use ocelot_storage::Table;
+    use ocelot_tpch::{chunked_tables, chunked_tables_by_rows, TpchConfig, TpchDb};
+
+    fn assert_tables_equal(label: &str, a: &Table, b: &Table) {
+        assert_eq!(a.name(), b.name(), "{label}");
+        assert_eq!(a.row_count(), b.row_count(), "{label}: {} row count", a.name());
+        assert_eq!(a.column_names(), b.column_names(), "{label}: {} columns", a.name());
+        for (name, col_a) in a.columns() {
+            let col_b = b.column(name).unwrap();
+            if let (Some(x), Some(y)) = (col_a.as_i32(), col_b.as_i32()) {
+                assert_eq!(x, y, "{label}: {}.{name} diverged", a.name());
+            } else {
+                let (x, y) = (col_a.as_f32().unwrap(), col_b.as_f32().unwrap());
+                assert_eq!(x, y, "{label}: {}.{name} diverged", a.name());
+            }
+        }
+    }
+
+    /// The chunked generator is seed-deterministic and chunk-count
+    /// invariant: one monolithic chunk, two chunks and seven chunks all
+    /// produce identical rows for every table — the per-row counter-based
+    /// seeding means a chunk boundary can never shift a random draw.
+    #[test]
+    fn chunked_equals_monolithic_for_every_table() {
+        let cfg = TpchConfig { scale_factor: 0.01, seed: 42 };
+        let monolithic: Vec<Table> =
+            chunked_tables(&cfg, 1).into_iter().map(|t| t.collect()).collect();
+        for chunks in [2usize, 7] {
+            let chunked = chunked_tables(&cfg, chunks);
+            assert_eq!(chunked.len(), monolithic.len());
+            for (expected, table) in monolithic.iter().zip(chunked) {
+                assert!(table.chunk_count() >= 1);
+                let collected = table.collect();
+                assert_tables_equal(
+                    &format!("{chunks} chunks vs monolithic"),
+                    &collected,
+                    expected,
+                );
+            }
+        }
+    }
+
+    /// `TpchDb::generate` (which materialises through the default chunk
+    /// size) agrees with the single-chunk generator row for row.
+    #[test]
+    fn generate_matches_single_chunk_collect() {
+        let cfg = TpchConfig { scale_factor: 0.01, seed: 23 };
+        let db = TpchDb::generate(cfg.clone());
+        for table in chunked_tables(&cfg, 1) {
+            let expected = table.collect();
+            let got = db.catalog().table(table.name()).unwrap();
+            assert_tables_equal("generate vs 1-chunk", got, &expected);
+        }
+    }
+
+    /// The out-of-core acceptance property: scale factor 1 streams through
+    /// reusable row groups whose peak footprint stays far below even a
+    /// single whole column of the table, so no column is ever materialised
+    /// on the host.
+    #[test]
+    fn sf1_streams_without_materializing_a_column() {
+        let cfg = TpchConfig { scale_factor: 1.0, seed: 7 };
+        let tables = chunked_tables_by_rows(&cfg, 1 << 16);
+        for name in ["orders", "lineitem"] {
+            let table = tables.iter().find(|t| t.name() == name).unwrap();
+            assert!(table.chunk_count() > 1, "{name} must stream in many chunks");
+            let whole_column_bytes = table.rows() * 4;
+            let mut peak_bytes = 0usize;
+            let mut max_chunk_rows = 0usize;
+            let rows = table.scan(|_, rg| {
+                peak_bytes = peak_bytes.max(rg.capacity_bytes());
+                max_chunk_rows = max_chunk_rows.max(rg.rows());
+            });
+            assert_eq!(rows, table.rows(), "{name} advertises its row count");
+            assert!(
+                peak_bytes < whole_column_bytes,
+                "{name}: peak row group ({peak_bytes} B) must stay below one whole \
+                 column ({whole_column_bytes} B)"
+            );
+            assert!(max_chunk_rows < rows / 2, "{name} never holds half the table");
+        }
+        let lineitem = tables.iter().find(|t| t.name() == "lineitem").unwrap();
+        assert!(lineitem.rows() > 5_500_000, "sf 1 lineitem is ~6M rows");
+    }
+
+    /// Chunked registration in the catalog streams: the chunked table is
+    /// scannable and only materialises on request.
+    #[test]
+    fn register_chunked_defers_materialization() {
+        let cfg = TpchConfig { scale_factor: 0.01, seed: 42 };
+        let mut catalog = ocelot_storage::Catalog::new();
+        ocelot_tpch::register_chunked(&mut catalog, &cfg, 4);
+        assert!(catalog.table("lineitem").is_none(), "nothing materialised yet");
+        let chunked_rows = catalog.chunked_table("lineitem").unwrap().rows();
+        assert!(chunked_rows > 0);
+        assert!(catalog.materialize_chunked("lineitem"));
+        assert_eq!(catalog.table("lineitem").unwrap().row_count(), chunked_rows);
+    }
+}
+
+#[cfg(test)]
+mod partitioned_join {
+    use ocelot_core::{partitioned_pkfk_join, OcelotContext, PartitionedJoinConfig};
+    use ocelot_engine::{Backend, MonetParBackend, MonetSeqBackend, OcelotBackend};
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// Host oracle: unique-key hash join in probe-row order.
+    fn reference(fk: &[i32], pk: &[i32]) -> (Vec<u32>, Vec<u32>) {
+        let index: HashMap<i32, u32> = pk.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let pairs: Vec<(u32, u32)> = fk
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| index.get(k).map(|p| (i as u32, *p)))
+            .collect();
+        (pairs.iter().map(|(f, _)| *f).collect(), pairs.iter().map(|(_, p)| *p).collect())
+    }
+
+    fn check_backend<B: Backend>(backend: &B, fk: &[i32], pk: &[i32], ndv_hint: usize) {
+        let fkc = backend.lift_i32(fk.to_vec());
+        let pkc = backend.lift_i32(pk.to_vec());
+        let (in_fk, in_pk) = backend.pkfk_join(&fkc, &pkc);
+        let (part_fk, part_pk) = backend.pkfk_join_partitioned(&fkc, &pkc, ndv_hint);
+        let (exp_fk, exp_pk) = reference(fk, pk);
+        assert_eq!(backend.to_oids(&in_fk), exp_fk, "{}: in-memory fk oids", backend.name());
+        assert_eq!(backend.to_oids(&in_pk), exp_pk, "{}: in-memory pk oids", backend.name());
+        assert_eq!(backend.to_oids(&part_fk), exp_fk, "{}: partitioned fk oids", backend.name());
+        assert_eq!(backend.to_oids(&part_pk), exp_pk, "{}: partitioned pk oids", backend.name());
+    }
+
+    /// Key-distribution strategies: uniform, skewed (most probe rows hit
+    /// one key) and sparse (many probe misses).
+    fn probe_keys(n: usize, build_n: usize, mode: u8, seed: u64) -> Vec<i32> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let r = next();
+                match mode {
+                    0 => (r % build_n.max(1) as u64) as i32,
+                    1 if r % 10 != 0 => (build_n / 2) as i32,
+                    1 => (r % build_n.max(1) as u64) as i32,
+                    _ => (r % (build_n.max(1) as u64 * 3)) as i32,
+                }
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// The satellite property: the partitioned join equals the
+        /// in-memory join (and the host oracle) on all four evaluated
+        /// backends, across uniform, skewed and sparse key distributions
+        /// and deliberately wrong ndv hints.
+        #[test]
+        fn partitioned_equals_in_memory_on_all_backends(
+            build_n in 1usize..300,
+            probe_n in 0usize..1200,
+            mode in 0u8..3,
+            seed in 1u64..u64::MAX,
+            ndv_hint in 1usize..100_000,
+        ) {
+            let pk: Vec<i32> = (0..build_n as i32).collect();
+            let fk = probe_keys(probe_n, build_n, mode, seed);
+            check_backend(&MonetSeqBackend::new(), &fk, &pk, ndv_hint);
+            check_backend(&MonetParBackend::with_threads(4), &fk, &pk, ndv_hint);
+            check_backend(&OcelotBackend::cpu(), &fk, &pk, ndv_hint);
+            check_backend(&OcelotBackend::gpu(), &fk, &pk, ndv_hint);
+        }
+    }
+
+    /// Forced-spill configuration on the device contexts: a pool budget far
+    /// below the partition footprint must spill and restore, and still
+    /// reproduce the in-memory join exactly — including under skew.
+    #[test]
+    fn forced_spill_matches_in_memory_on_device_contexts() {
+        let build_n = 3_000usize;
+        let pk: Vec<i32> = (0..build_n as i32).collect();
+        for mode in [0u8, 1] {
+            let fk = probe_keys(30_000, build_n, mode, 0x5EED);
+            let (exp_fk, exp_pk) = reference(&fk, &pk);
+            for ctx in [OcelotContext::cpu(), OcelotContext::gpu()] {
+                let fkc = ctx.upload_i32(&fk, "fk").unwrap();
+                let pkc = ctx.upload_i32(&pk, "pk").unwrap();
+                let cfg = PartitionedJoinConfig {
+                    partition_bits: 4,
+                    device_budget: Some(96 * 1024),
+                    max_build_rows: usize::MAX,
+                    max_passes: 1,
+                };
+                let join = partitioned_pkfk_join(&ctx, &fkc, &pkc, &cfg).unwrap();
+                assert_eq!(join.probe_oids.read(&ctx).unwrap(), exp_fk, "mode {mode}");
+                assert_eq!(join.build_oids.read(&ctx).unwrap(), exp_pk, "mode {mode}");
+                assert!(join.stats.spills > 0, "mode {mode}: budget must force spills");
+                assert_eq!(join.stats.unspills, join.stats.spills);
+            }
+        }
+    }
+}
