@@ -1,1 +1,95 @@
-fn main() {}
+//! Seeds the paper-figure sweep (§5.3): every ported TPC-H query on each
+//! of the four evaluated configurations — MS, MP, Ocelot CPU, Ocelot GPU —
+//! timed with the harness and attributed per plan node through
+//! `Session::explain_analyze` profiles.
+//!
+//! Usage: `cargo run --release --bin figures [-- --smoke] [output-path]`
+//!
+//! For every `(query, backend)` cell the report carries the wall-clock
+//! measurement (`figures/q{id}/{backend}`) plus two profile-derived
+//! scalars: the profiled total in milliseconds and the executed node
+//! count. Host backends have no device counters, so their profiles carry
+//! time/rows only; the Ocelot configurations additionally attribute
+//! kernels, transfers and flushes per node.
+
+use ocelot_bench::harness::{measure, Report};
+use ocelot_core::SharedDevice;
+use ocelot_engine::{Backend, Plan, Session};
+use ocelot_tpch::{
+    q10_query, q12_queries, q14_query, q1_query, q3_query, q4_query, q5_query, q6_query, run_query,
+    TpchConfig, TpchDb, PORTED_QUERY_IDS,
+};
+use std::hint::black_box;
+
+/// The DSL plans behind a ported query id (Q12 lowers to two plans).
+fn plans(db: &TpchDb, id: u32) -> Vec<Plan> {
+    let queries = match id {
+        1 => vec![q1_query(db)],
+        3 => vec![q3_query(db)],
+        4 => vec![q4_query(db)],
+        5 => vec![q5_query(db)],
+        6 => vec![q6_query(db)],
+        10 => vec![q10_query(db)],
+        12 => {
+            let (all, high) = q12_queries(db);
+            vec![all, high]
+        }
+        14 => vec![q14_query(db)],
+        other => panic!("Q{other} is not in PORTED_QUERY_IDS"),
+    };
+    queries.into_iter().map(|q| q.lower(db.catalog()).expect("ported query lowers")).collect()
+}
+
+/// One backend's column of the figure: every ported query measured and
+/// profiled on `session`.
+fn sweep<B: Backend>(
+    report: &mut Report,
+    label: &str,
+    session: &Session<B>,
+    db: &TpchDb,
+    warmup: usize,
+    samples: usize,
+) {
+    for id in PORTED_QUERY_IDS {
+        let name = format!("figures/q{id}/{label}");
+        let m = measure(&name, db.lineitem_rows(), warmup, samples, || {
+            black_box(run_query(session, db, id).expect("ported query runs"))
+        });
+        report.push(m);
+
+        let mut profiled_ns = 0u64;
+        let mut nodes = 0usize;
+        for plan in plans(db, id) {
+            let (_, profile) =
+                session.explain_analyze(&plan, db.catalog()).expect("ported query profiles");
+            profiled_ns += profile.total_host_ns;
+            nodes += profile.nodes.len();
+        }
+        report.scalar(&format!("figures/q{id}/{label}_profile_ms"), profiled_ns as f64 / 1e6);
+        report.scalar(&format!("figures/q{id}/{label}_nodes"), nodes as f64);
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "FIGURES.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if arg != "--" {
+            path = arg;
+        }
+    }
+    let sf = if smoke { 0.002 } else { 0.01 };
+    let (warmup, samples) = if smoke { (1, 3) } else { (2, 7) };
+    let db = TpchDb::generate(TpchConfig { scale_factor: sf, seed: 9 });
+
+    let mut report = Report::new();
+    sweep(&mut report, "ms", &Session::monet_seq(), &db, warmup, samples);
+    sweep(&mut report, "mp", &Session::monet_par(), &db, warmup, samples);
+    sweep(&mut report, "ocelot_cpu", &Session::ocelot(&SharedDevice::cpu()), &db, warmup, samples);
+    sweep(&mut report, "ocelot_gpu", &Session::ocelot(&SharedDevice::gpu()), &db, warmup, samples);
+
+    report.write_json(&path).expect("failed to write figure report");
+    println!("wrote {path}");
+}

@@ -8,6 +8,7 @@ pub mod access_path;
 pub mod deferred;
 pub mod fault_tolerance;
 pub mod harness;
+pub mod observability;
 pub mod out_of_core;
 pub mod pressure;
 pub mod query_dsl;

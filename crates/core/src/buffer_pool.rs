@@ -47,6 +47,17 @@ pub struct PoolStats {
     pub misses: u64,
 }
 
+impl PoolStats {
+    /// Projects these counters into a
+    /// [`ocelot_trace::MetricsRegistry`] under `<prefix>.hits`,
+    /// `<prefix>.cross_context_hits` and `<prefix>.misses`.
+    pub fn register_metrics(&self, prefix: &str, registry: &mut ocelot_trace::MetricsRegistry) {
+        registry.set_counter(&format!("{prefix}.hits"), self.hits);
+        registry.set_counter(&format!("{prefix}.cross_context_hits"), self.cross_context_hits);
+        registry.set_counter(&format!("{prefix}.misses"), self.misses);
+    }
+}
+
 /// Result buffers below this size are not pooled: small allocations are
 /// cheap for the system allocator, and pooling them would churn the pool.
 pub const MIN_POOLED_WORDS: usize = 1 << 12;

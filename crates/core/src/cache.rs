@@ -59,6 +59,7 @@ use crate::context::{DevColumn, DevWord, OcelotContext};
 use crate::memory_manager::EvictionSink;
 use ocelot_kernel::{Buffer, Result};
 use ocelot_storage::BatRef;
+use ocelot_trace::{MetricsRegistry, TraceEventKind, TraceHandle};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -89,6 +90,18 @@ pub struct CacheStats {
     /// Bytes uploaded host → device for cached columns (discrete devices
     /// only; unified-memory uploads are zero-copy).
     pub bytes_uploaded: u64,
+}
+
+impl CacheStats {
+    /// Projects these counters into a [`MetricsRegistry`] under
+    /// `<prefix>.hits`, `<prefix>.misses`, `<prefix>.evictions` and
+    /// `<prefix>.bytes_uploaded`.
+    pub fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_counter(&format!("{prefix}.hits"), self.hits);
+        registry.set_counter(&format!("{prefix}.misses"), self.misses);
+        registry.set_counter(&format!("{prefix}.evictions"), self.evictions);
+        registry.set_counter(&format!("{prefix}.bytes_uploaded"), self.bytes_uploaded);
+    }
 }
 
 struct Entry {
@@ -124,6 +137,7 @@ struct CacheState {
 pub struct ColumnCache {
     state: Arc<Mutex<CacheState>>,
     budget: AtomicUsize,
+    trace: TraceHandle,
 }
 
 impl Default for ColumnCache {
@@ -179,7 +193,15 @@ impl ColumnCache {
         ColumnCache {
             state: Arc::new(Mutex::new(CacheState::default())),
             budget: AtomicUsize::new(budget_bytes),
+            trace: TraceHandle::new(),
         }
+    }
+
+    /// The cache's trace attachment point: with a sink attached, every bind
+    /// emits a [`TraceEventKind::CacheBind`] (tagged hit or miss) and every
+    /// eviction a [`TraceEventKind::CacheEvict`].
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Adjusts the resident-byte budget (applies from the next admission).
@@ -225,6 +247,9 @@ impl ColumnCache {
                 entry.pins += 1;
                 let (buffer, generation) = (entry.buffer.clone(), entry.generation);
                 state.stats.hits += 1;
+                drop(state);
+                self.trace
+                    .emit(|| TraceEventKind::CacheBind { hit: true, bytes: buffer.bytes() as u64 });
                 return Ok((buffer, self.pin(key, generation)));
             }
         }
@@ -237,8 +262,11 @@ impl ColumnCache {
             let mut state = self.state.lock();
             let budget = self.budget();
             while Self::resident_bytes_locked(&state) + bytes > budget {
-                if !Self::evict_one_locked(&mut state) {
-                    break;
+                match Self::evict_one_locked(&mut state) {
+                    Some(evicted) => {
+                        self.trace.emit(|| TraceEventKind::CacheEvict { bytes: evicted })
+                    }
+                    None => break,
                 }
             }
         }
@@ -254,6 +282,8 @@ impl ColumnCache {
             entry.pins += 1;
             let (winner, generation) = (entry.buffer.clone(), entry.generation);
             state.stats.hits += 1;
+            drop(state);
+            self.trace.emit(|| TraceEventKind::CacheBind { hit: true, bytes: bytes as u64 });
             return Ok((winner, self.pin(key, generation)));
         }
         state.stats.misses += 1;
@@ -274,6 +304,8 @@ impl ColumnCache {
             pins: 1,
             referenced: false,
         });
+        drop(state);
+        self.trace.emit(|| TraceEventKind::CacheBind { hit: false, bytes: bytes as u64 });
         Ok((buffer, self.pin(key, generation)))
     }
 
@@ -300,10 +332,10 @@ impl ColumnCache {
 
     /// One second-chance sweep: unpinned, idle entries are taken; entries
     /// with the referenced bit get it cleared and one more round. Returns
-    /// whether a victim was dropped.
-    fn evict_one_locked(state: &mut CacheState) -> bool {
+    /// the victim's byte size, or `None` when nothing was evictable.
+    fn evict_one_locked(state: &mut CacheState) -> Option<u64> {
         if state.entries.is_empty() {
-            return false;
+            return None;
         }
         // Two full revolutions: the first may only clear referenced bits,
         // the second then takes the first eligible victim.
@@ -312,23 +344,30 @@ impl ColumnCache {
             let entry = &mut state.entries[index];
             let evictable = entry.pins == 0 && entry.buffer.handle_count() <= 1;
             if evictable && !entry.referenced {
+                let bytes = entry.buffer.bytes() as u64;
                 state.entries.remove(index);
                 // The hand now points at the element after the victim.
                 state.stats.evictions += 1;
-                return true;
+                return Some(bytes);
             }
             if evictable {
                 entry.referenced = false;
             }
             state.hand = state.hand.wrapping_add(1);
         }
-        false
+        None
     }
 
     /// Evicts one unpinned, idle column (second-chance order). The reclaim
     /// entry point the Memory Manager's eviction callbacks use.
     pub fn evict_one(&self) -> bool {
-        Self::evict_one_locked(&mut self.state.lock())
+        match Self::evict_one_locked(&mut self.state.lock()) {
+            Some(bytes) => {
+                self.trace.emit(|| TraceEventKind::CacheEvict { bytes });
+                true
+            }
+            None => false,
+        }
     }
 
     /// Evicts every unpinned, idle column; returns how many were dropped.

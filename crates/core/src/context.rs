@@ -677,6 +677,32 @@ impl OcelotContext {
     pub fn sync(&self) -> Result<ocelot_kernel::FlushStats> {
         self.queue.flush()
     }
+
+    /// Attaches one trace sink to every emitter reachable from this
+    /// context: the command queue (kernel/transfer/flush events), the
+    /// device (allocation events), the Memory Manager (spill/unspill
+    /// events) and the shared column cache when one is attached
+    /// (bind/evict events). Events interleave on the shared sink in
+    /// arrival order.
+    pub fn attach_tracer(&self, sink: &Arc<ocelot_trace::TraceSink>) {
+        self.queue.trace().attach(Arc::clone(sink));
+        self.device.trace().attach(Arc::clone(sink));
+        self.memory.trace().attach(Arc::clone(sink));
+        if let Some(cache) = &self.column_cache {
+            cache.trace().attach(Arc::clone(sink));
+        }
+    }
+
+    /// Detaches the tracer from every emitter [`OcelotContext::attach_tracer`]
+    /// wired up, returning them to the one-relaxed-load disabled path.
+    pub fn detach_tracer(&self) {
+        self.queue.trace().detach();
+        self.device.trace().detach();
+        self.memory.trace().detach();
+        if let Some(cache) = &self.column_cache {
+            cache.trace().detach();
+        }
+    }
 }
 
 impl std::fmt::Debug for OcelotContext {

@@ -63,6 +63,7 @@ pub use context::{
     ColLen, DevColumn, DevScalar, DevWord, LenSource, OcelotContext, Oid, PlanSlot, SharedDevice,
 };
 pub use memory_manager::{EvictionSink, MemoryManager, MemoryStats};
+pub use ocelot_trace::{MetricsRegistry, TraceEvent, TraceEventKind, TraceHandle, TraceSink};
 pub use partition::{
     partition_by_key, partitioned_pkfk_join, Partition, PartitionedJoin, PartitionedJoinConfig,
     SpillPool, SpillStats,

@@ -37,6 +37,7 @@ use crate::buffer_pool::{recycle_class, BufferPool, MIN_POOLED_WORDS};
 use crate::ops::hash_table::OcelotHashTable;
 use ocelot_kernel::{Buffer, Device, EventId, HostCopy, KernelError, Queue, Result};
 use ocelot_storage::BatRef;
+use ocelot_trace::{MetricsRegistry, TraceEventKind, TraceHandle};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -74,6 +75,23 @@ pub struct MemoryStats {
     /// manager's hits only; the shared pool's own [`BufferPool::stats`]
     /// additionally distinguishes cross-context hits).
     pub recycle_hits: u64,
+}
+
+impl MemoryStats {
+    /// Projects these counters into a [`MetricsRegistry`] under
+    /// `<prefix>.cache_hits`, `<prefix>.cache_misses`,
+    /// `<prefix>.evictions`, `<prefix>.bytes_uploaded`,
+    /// `<prefix>.bytes_offloaded`, `<prefix>.hash_cache_hits` and
+    /// `<prefix>.recycle_hits`.
+    pub fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_counter(&format!("{prefix}.cache_hits"), self.cache_hits);
+        registry.set_counter(&format!("{prefix}.cache_misses"), self.cache_misses);
+        registry.set_counter(&format!("{prefix}.evictions"), self.evictions);
+        registry.set_counter(&format!("{prefix}.bytes_uploaded"), self.bytes_uploaded);
+        registry.set_counter(&format!("{prefix}.bytes_offloaded"), self.bytes_offloaded);
+        registry.set_counter(&format!("{prefix}.hash_cache_hits"), self.hash_cache_hits);
+        registry.set_counter(&format!("{prefix}.recycle_hits"), self.recycle_hits);
+    }
 }
 
 struct CacheEntry {
@@ -119,6 +137,7 @@ pub struct MemoryManager {
     /// Reclaim-time eviction callbacks (see [`EvictionSink`]).
     sinks: Mutex<Vec<Arc<dyn EvictionSink>>>,
     state: Mutex<State>,
+    trace: TraceHandle,
 }
 
 /// Stable cache key for a BAT: the address of its shared allocation.
@@ -153,7 +172,16 @@ impl MemoryManager {
                 hash_tables: HashMap::new(),
                 offloaded: HashMap::new(),
             }),
+            trace: TraceHandle::new(),
         }
+    }
+
+    /// The manager's trace attachment point: with a sink attached,
+    /// intermediate offloads emit [`TraceEventKind::Spill`] and restores
+    /// emit [`TraceEventKind::Unspill`] (see the `ocelot_trace` emission
+    /// contract).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// The (possibly shared) result-buffer recycle pool.
@@ -522,6 +550,8 @@ impl MemoryManager {
         let mut state = self.state.lock();
         state.stats.bytes_offloaded += bytes;
         state.offloaded.insert(id, copy);
+        drop(state);
+        self.trace.emit(|| TraceEventKind::Spill { bytes });
         // Dropping the buffer releases its device memory.
         drop(buffer);
         Ok(id)
@@ -536,10 +566,12 @@ impl MemoryManager {
             .offloaded
             .remove(&token)
             .ok_or_else(|| KernelError::Internal(format!("unknown offload token {token}")))?;
+        let bytes = copy.bytes() as u64;
         let buffer = self.alloc_with_eviction(copy.len(), copy.label())?;
         copy.restore_into(&buffer);
         let event = self.queue.enqueue_write(&buffer, &[])?;
         self.record_producer(&buffer, event);
+        self.trace.emit(|| TraceEventKind::Unspill { bytes });
         Ok(buffer)
     }
 

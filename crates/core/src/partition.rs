@@ -99,6 +99,19 @@ pub struct SpillStats {
 }
 
 impl SpillStats {
+    /// Projects these counters into a
+    /// [`ocelot_trace::MetricsRegistry`] under `<prefix>.partitions`,
+    /// `<prefix>.hot`, `<prefix>.spills`, `<prefix>.unspills`,
+    /// `<prefix>.spilled_bytes` and `<prefix>.repartitions`.
+    pub fn register_metrics(&self, prefix: &str, registry: &mut ocelot_trace::MetricsRegistry) {
+        registry.set_counter(&format!("{prefix}.partitions"), self.partitions);
+        registry.set_counter(&format!("{prefix}.hot"), self.hot);
+        registry.set_counter(&format!("{prefix}.spills"), self.spills);
+        registry.set_counter(&format!("{prefix}.unspills"), self.unspills);
+        registry.set_counter(&format!("{prefix}.spilled_bytes"), self.spilled_bytes);
+        registry.set_counter(&format!("{prefix}.repartitions"), self.repartitions);
+    }
+
     /// Adds another counter snapshot into this one (operators accumulate
     /// per-join stats into a backend-lifetime total).
     pub fn merge(&mut self, other: &SpillStats) {
@@ -556,9 +569,25 @@ pub fn partitioned_pkfk_join(
     build: &DevColumn<i32>,
     cfg: &PartitionedJoinConfig,
 ) -> Result<PartitionedJoin> {
+    let offloaded_before = ctx.memory().stats().bytes_offloaded;
     let mut pool = SpillPool::new(cfg.device_budget);
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     join_pass(ctx, probe, None, build, None, 0, cfg, &mut pool, &mut pairs)?;
+
+    // Spill accounting must agree across layers at join completion: every
+    // spilled partition was offloaded exactly once through the Memory
+    // Manager (so the byte counters mirror each other), and every spill was
+    // paired with a restore (no partition is still parked on the host).
+    debug_assert_eq!(
+        ctx.memory().stats().bytes_offloaded - offloaded_before,
+        pool.stats().spilled_bytes,
+        "spilled_bytes must mirror MemoryStats::bytes_offloaded at join completion",
+    );
+    debug_assert_eq!(
+        pool.stats().unspills,
+        pool.stats().spills,
+        "every spilled partition must be restored before the join completes",
+    );
 
     // Merge: build keys are unique, so each probe row emits at most one
     // pair and probe-OID order reproduces the in-memory join's output.

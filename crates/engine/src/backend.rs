@@ -18,6 +18,8 @@
 //! result.
 
 use ocelot_storage::BatRef;
+use ocelot_trace::{MetricsRegistry, TraceSink};
+use std::sync::Arc;
 
 /// A grouping produced by [`Backend::group_by`].
 #[derive(Debug, Clone)]
@@ -28,6 +30,56 @@ pub struct GroupHandle<C> {
     pub num_groups: usize,
     /// Representative row OID per group (carries the grouping key values).
     pub representatives: C,
+}
+
+/// A point-in-time snapshot of a backend's monotone device-activity
+/// counters. The plan profiler takes one marker before and one after each
+/// node and differences them ([`ProfileMarker::delta`]) to attribute queue
+/// work — kernels, transfers, flushes, spill traffic — to that node. Host
+/// backends have no device activity: their marker stays all-zero, so every
+/// delta is zero and the per-node report degrades gracefully to wall time
+/// and row counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileMarker {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Transfers performed.
+    pub transfers: u64,
+    /// Bytes moved host → device (0 on unified-memory devices).
+    pub bytes_to_device: u64,
+    /// Bytes moved device → host (0 on unified-memory devices).
+    pub bytes_from_device: u64,
+    /// Modeled device nanoseconds accumulated.
+    pub modeled_ns: u64,
+    /// Effective (non-empty) queue flushes.
+    pub flushes: u64,
+    /// Partition spills taken by partitioned joins.
+    pub spills: u64,
+    /// Device bytes freed by those spills.
+    pub spilled_bytes: u64,
+}
+
+impl ProfileMarker {
+    /// Counter-wise difference `self - earlier`. All counters are monotone,
+    /// so a later marker minus an earlier one is the activity in between;
+    /// saturating keeps a misordered pair from panicking in release builds.
+    pub fn delta(&self, earlier: &ProfileMarker) -> ProfileMarker {
+        ProfileMarker {
+            kernels: self.kernels.saturating_sub(earlier.kernels),
+            transfers: self.transfers.saturating_sub(earlier.transfers),
+            bytes_to_device: self.bytes_to_device.saturating_sub(earlier.bytes_to_device),
+            bytes_from_device: self.bytes_from_device.saturating_sub(earlier.bytes_from_device),
+            modeled_ns: self.modeled_ns.saturating_sub(earlier.modeled_ns),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            spills: self.spills.saturating_sub(earlier.spills),
+            spilled_bytes: self.spilled_bytes.saturating_sub(earlier.spilled_bytes),
+        }
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.bytes_to_device + self.bytes_from_device
+    }
 }
 
 /// The single set of logical operators every configuration implements.
@@ -243,6 +295,31 @@ pub trait Backend {
     fn sort_order_i32(&self, col: &Self::Column, descending: bool) -> Self::Column;
     /// The permutation of OIDs that sorts a float column.
     fn sort_order_f32(&self, col: &Self::Column, descending: bool) -> Self::Column;
+
+    // ---- observability ----
+
+    /// A snapshot of this backend's monotone device-activity counters (see
+    /// [`ProfileMarker`]). Host backends keep the all-zero default.
+    fn profile_marker(&self) -> ProfileMarker {
+        ProfileMarker::default()
+    }
+
+    /// Attaches a trace sink to every event emitter this backend owns
+    /// (queue, device, Memory Manager, column cache for Ocelot). Host
+    /// backends own no emitters; the default is a no-op.
+    fn attach_tracer(&self, sink: &Arc<TraceSink>) {
+        let _ = sink;
+    }
+
+    /// Detaches any tracer attached via [`Backend::attach_tracer`].
+    fn detach_tracer(&self) {}
+
+    /// Projects this backend's counters (flush totals, fault stats, cache
+    /// and memory stats, spill stats, …) into a [`MetricsRegistry`] under
+    /// backend-specific prefixes. Host backends export nothing by default.
+    fn register_metrics(&self, registry: &mut MetricsRegistry) {
+        let _ = registry;
+    }
 
     // ---- timing ----
 

@@ -10,7 +10,7 @@
 //! the eager scalar aggregates) are the single sync boundary, so a chained
 //! query pipeline performs exactly one queue flush — at the read.
 
-use crate::backend::{Backend, GroupHandle};
+use crate::backend::{Backend, GroupHandle, ProfileMarker};
 use ocelot_core::ops::{
     aggregate, calc, groupby, hash_table::OcelotHashTable, join, project, select, sort_radix,
 };
@@ -21,8 +21,10 @@ use ocelot_core::{
 };
 use ocelot_kernel::{DeviceKind, GpuConfig, KernelError};
 use ocelot_storage::BatRef;
+use ocelot_trace::{MetricsRegistry, TraceSink};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Unwraps a kernel result. The recoverable failures — out-of-device-memory,
@@ -617,6 +619,44 @@ impl Backend for OcelotBackend {
             self.lift_oids(order)
         } else {
             OcelotColumn::Oid(result.order)
+        }
+    }
+
+    fn profile_marker(&self) -> ProfileMarker {
+        let stats = self.ctx.queue().total_stats();
+        let spill = *self.spill_stats.lock();
+        ProfileMarker {
+            kernels: stats.kernels as u64,
+            transfers: stats.transfers as u64,
+            bytes_to_device: stats.bytes_to_device,
+            bytes_from_device: stats.bytes_from_device,
+            modeled_ns: stats.modeled_ns,
+            flushes: self.ctx.queue().flush_count(),
+            spills: spill.spills,
+            spilled_bytes: spill.spilled_bytes,
+        }
+    }
+
+    fn attach_tracer(&self, sink: &Arc<TraceSink>) {
+        self.ctx.attach_tracer(sink);
+    }
+
+    fn detach_tracer(&self) {
+        self.ctx.detach_tracer();
+    }
+
+    fn register_metrics(&self, registry: &mut MetricsRegistry) {
+        self.ctx.queue().total_stats().register_metrics("ocelot.queue", registry);
+        registry.set_counter("ocelot.queue.flushes", self.ctx.queue().flush_count());
+        self.ctx.memory().stats().register_metrics("ocelot.memory", registry);
+        self.ctx.memory().pool().stats().register_metrics("ocelot.pool", registry);
+        self.spill_stats().register_metrics("ocelot.spill", registry);
+        registry.set_counter("ocelot.reclaims", self.reclaim_count());
+        if let Some(cache) = self.ctx.column_cache() {
+            cache.stats().register_metrics("ocelot.cache", registry);
+        }
+        if let Some(faults) = self.ctx.device().fault_stats() {
+            faults.register_metrics("ocelot.faults", registry);
         }
     }
 

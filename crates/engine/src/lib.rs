@@ -63,10 +63,14 @@ pub mod scheduler;
 pub mod serve;
 pub mod session;
 
-pub use backend::{Backend, GroupHandle};
+pub use backend::{Backend, GroupHandle, ProfileMarker};
 pub use backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};
+pub use ocelot_trace::{
+    MetricsRegistry, NodeAction, SchedAction, TraceEvent, TraceEventKind, TraceSink,
+};
 pub use plan::{
-    Plan, PlanBuilder, PlanError, PlanNode, PlanOp, QueryValue, RecoveryEvent, RecoveryStats,
+    NodeProfile, Plan, PlanBuilder, PlanError, PlanNode, PlanOp, PlanProfile, QueryValue,
+    RecoveryEvent, RecoveryStats,
 };
 pub use query::{
     col, lit, litf, param, AggSpec, Expr, ParamValue, Query, QueryBuildError, RewriteConfig,

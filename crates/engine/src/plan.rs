@@ -55,16 +55,17 @@
 //! the protocol "one protocol, two triggers": PR 4's OOM restart is now
 //! just the reclaim-gated trigger of this loop.
 
-use crate::backend::{Backend, GroupHandle};
+use crate::backend::{Backend, GroupHandle, ProfileMarker};
 use crate::query::Query;
 use ocelot_core::{DeviceLostFault, DeviceOom, TransientFault};
 use ocelot_kernel::FaultSite;
 use ocelot_storage::Catalog;
+use ocelot_trace::{MetricsRegistry, NodeAction, TraceEventKind, TraceHandle};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Once};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A virtual register holding an intermediate value.
 pub type Var = usize;
@@ -982,6 +983,17 @@ pub struct RecoveryStats {
 }
 
 impl RecoveryStats {
+    /// Projects these counters into a [`MetricsRegistry`] under
+    /// `<prefix>.retries`, `<prefix>.backoff_steps`, `<prefix>.oom_restarts`,
+    /// `<prefix>.failovers` and `<prefix>.quarantines`.
+    pub fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_counter(&format!("{prefix}.retries"), self.retries);
+        registry.set_counter(&format!("{prefix}.backoff_steps"), self.backoff_steps);
+        registry.set_counter(&format!("{prefix}.oom_restarts"), self.oom_restarts);
+        registry.set_counter(&format!("{prefix}.failovers"), self.failovers);
+        registry.set_counter(&format!("{prefix}.quarantines"), self.quarantines);
+    }
+
     /// Adds another set of counters into this one.
     pub fn absorb(&mut self, other: &RecoveryStats) {
         self.retries += other.retries;
@@ -1035,6 +1047,127 @@ pub enum RecoveryEvent {
     },
 }
 
+/// The EXPLAIN ANALYZE record of one executed plan node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeProfile {
+    /// Node index within the plan (matches the `explain()` listing).
+    pub index: usize,
+    /// Rendered operator (with its literal parameters).
+    pub op: String,
+    /// Wall-clock nanoseconds from the node's first attempt to its
+    /// successful completion, recovery loop included.
+    pub host_ns: u64,
+    /// Output rows the node produced (group count for groupings, 1 for
+    /// scalars, 0 for `sync`/`result` nodes).
+    pub rows: u64,
+    /// Execution attempts (1 = clean first run).
+    pub attempts: u64,
+    /// OOM restarts the node took (reclaim + re-run).
+    pub restarts: u64,
+    /// Transient-fault retries the node took.
+    pub retries: u64,
+    /// Device activity attributed to this node: the backend's counter
+    /// delta across the node (kernels, transfers, flushes, spill bytes).
+    pub marker: ProfileMarker,
+}
+
+/// The EXPLAIN ANALYZE profile of one completed [`PlanRun`].
+///
+/// **Conservation invariant (epsilon = 0):** `total_host_ns` is the sum of
+/// the per-step wall times, each step splits exactly into its node's
+/// `host_ns` plus a remainder booked into `overhead_ns` (register
+/// reclamation, bookkeeping), so
+/// `total_host_ns == nodes_host_ns() + overhead_ns` holds *exactly* — the
+/// attribution is a partition of the measured total, not a re-measurement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanProfile {
+    /// Configuration name the plan ran on.
+    pub backend: String,
+    /// Per-node records, in execution order.
+    pub nodes: Vec<NodeProfile>,
+    /// Total wall-clock nanoseconds across every executed step.
+    pub total_host_ns: u64,
+    /// Wall time not attributed to any node (see the conservation
+    /// invariant above).
+    pub overhead_ns: u64,
+    /// Recovery counters of the profiled run.
+    pub recovery: RecoveryStats,
+}
+
+impl PlanProfile {
+    /// Sum of the per-node wall times.
+    pub fn nodes_host_ns(&self) -> u64 {
+        self.nodes.iter().map(|n| n.host_ns).sum()
+    }
+
+    /// Sum of the per-node output rows.
+    pub fn total_rows(&self) -> u64 {
+        self.nodes.iter().map(|n| n.rows).sum()
+    }
+
+    /// Counter-wise sum of every node's attributed device activity.
+    pub fn total_marker(&self) -> ProfileMarker {
+        let mut total = ProfileMarker::default();
+        for node in &self.nodes {
+            total.kernels += node.marker.kernels;
+            total.transfers += node.marker.transfers;
+            total.bytes_to_device += node.marker.bytes_to_device;
+            total.bytes_from_device += node.marker.bytes_from_device;
+            total.modeled_ns += node.marker.modeled_ns;
+            total.flushes += node.marker.flushes;
+            total.spills += node.marker.spills;
+            total.spilled_bytes += node.marker.spilled_bytes;
+        }
+        total
+    }
+
+    /// Renders the annotated plan listing — the `explain()` physical-plan
+    /// tree, each node carrying its measured time, rows, kernel/transfer
+    /// counts and (when recovery or spilling fired) the restart/retry/spill
+    /// attribution.
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = format!(
+            "=== explain analyze: {} ({} nodes, total {:.3} ms = nodes {:.3} ms + overhead {:.3} ms) ===\n",
+            self.backend,
+            self.nodes.len(),
+            ms(self.total_host_ns),
+            ms(self.nodes_host_ns()),
+            ms(self.overhead_ns),
+        );
+        for node in &self.nodes {
+            out.push_str(&format!("  {:3}: {}\n", node.index, node.op));
+            out.push_str(&format!(
+                "       time {:.3} ms, rows {}, kernels {}, transfers {} ({} B), flushes {}\n",
+                ms(node.host_ns),
+                node.rows,
+                node.marker.kernels,
+                node.marker.transfers,
+                node.marker.transfer_bytes(),
+                node.marker.flushes,
+            ));
+            if node.restarts > 0 || node.retries > 0 || node.marker.spills > 0 {
+                out.push_str(&format!(
+                    "       recovery: {} restart(s), {} retr{}, {} spill(s) ({} B offloaded)\n",
+                    node.restarts,
+                    node.retries,
+                    if node.retries == 1 { "y" } else { "ies" },
+                    node.marker.spills,
+                    node.marker.spilled_bytes,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Accumulating profile state of a [`PlanRun`] with profiling enabled.
+struct ProfileState {
+    nodes: Vec<NodeProfile>,
+    total_ns: u64,
+    overhead_ns: u64,
+}
+
 /// A resumable execution of one [`Plan`] against one [`Backend`].
 ///
 /// The run owns the plan's live registers; values are dropped at their last
@@ -1049,6 +1182,10 @@ pub struct PlanRun<'a, B: Backend> {
     restarts: u64,
     stats: RecoveryStats,
     trace: Vec<RecoveryEvent>,
+    /// Node lifecycle event emitter (armed by [`PlanRun::trace_handle`]).
+    node_trace: TraceHandle,
+    /// EXPLAIN ANALYZE state, when enabled.
+    profile: Option<ProfileState>,
 }
 
 /// Typed fault payloads (`DeviceOom`, `TransientFault`, `DeviceLostFault`)
@@ -1091,7 +1228,40 @@ impl<'a, B: Backend> PlanRun<'a, B> {
             restarts: 0,
             stats: RecoveryStats::default(),
             trace: Vec::new(),
+            node_trace: TraceHandle::new(),
+            profile: None,
         }
+    }
+
+    /// Turns on EXPLAIN ANALYZE for this run: every node records wall time,
+    /// output rows, attempts and its device-activity delta
+    /// ([`NodeProfile`]). Profiling syncs the backend after every node so
+    /// queue counters attribute to the node that enqueued the work — an
+    /// **observer effect**: a lazy pipeline that would flush once now
+    /// flushes per node. Timings are honest, flush counts are not the
+    /// unprofiled run's.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(ProfileState { nodes: Vec::new(), total_ns: 0, overhead_ns: 0 });
+    }
+
+    /// The run's node-lifecycle trace attachment point: with a sink
+    /// attached, every node start/complete (and each recovery restart or
+    /// retry) emits a [`TraceEventKind::Node`] event.
+    pub fn trace_handle(&self) -> &TraceHandle {
+        &self.node_trace
+    }
+
+    /// The EXPLAIN ANALYZE profile accumulated so far, consuming the
+    /// profiling state. `None` unless [`PlanRun::enable_profiling`] was
+    /// called.
+    pub fn take_profile(&mut self) -> Option<PlanProfile> {
+        self.profile.take().map(|state| PlanProfile {
+            backend: self.backend.name().to_string(),
+            nodes: state.nodes,
+            total_host_ns: state.total_ns,
+            overhead_ns: state.overhead_ns,
+            recovery: self.stats,
+        })
     }
 
     /// Number of nodes executed so far.
@@ -1213,12 +1383,41 @@ impl<'a, B: Backend> PlanRun<'a, B> {
         let plan = self.plan;
         let node = &plan.nodes()[self.pc];
         let results_before = self.results.len();
+        let profiling = self.profile.is_some();
+        // One timestamp serves both the profile and the trace; taken only
+        // when either observer is live, so the unobserved path stays free
+        // of clock reads.
+        let step_start = (profiling || self.node_trace.armed()).then(Instant::now);
+        let marker_before = profiling.then(|| self.backend.profile_marker());
+        let pc = self.pc as u64;
+        self.node_trace.emit(|| TraceEventKind::Node {
+            pc,
+            op: node.op.name().to_string(),
+            action: NodeAction::Start,
+            rows: 0,
+            host_ns: 0,
+        });
         let mut attempts = 0usize;
+        let mut node_restarts = 0u64;
+        let mut node_retries = 0u64;
+        let rows;
         loop {
-            let caught = panic::catch_unwind(AssertUnwindSafe(|| self.exec_node(node)));
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.exec_node(node)?;
+                if profiling {
+                    // Flush the node's enqueued work so the backend's
+                    // counters (and the row resolve below) attribute to
+                    // *this* node — the profiler's documented observer
+                    // effect. Faults raised here re-enter the recovery loop
+                    // like any node fault.
+                    self.backend.sync();
+                    return Ok(self.profiled_rows(node));
+                }
+                Ok(0)
+            }));
             let payload = match caught {
                 Ok(result) => {
-                    result?;
+                    rows = result?;
                     break;
                 }
                 Err(payload) => payload,
@@ -1236,9 +1435,17 @@ impl<'a, B: Backend> PlanRun<'a, B> {
                     }
                     self.restarts += 1;
                     self.stats.oom_restarts += 1;
+                    node_restarts += 1;
                     self.trace.push(RecoveryEvent::OomRestart {
                         node: self.pc,
                         requested: oom.requested,
+                    });
+                    self.node_trace.emit(|| TraceEventKind::Node {
+                        pc,
+                        op: node.op.name().to_string(),
+                        action: NodeAction::Restart,
+                        rows: 0,
+                        host_ns: 0,
                     });
                     continue;
                 }
@@ -1261,12 +1468,20 @@ impl<'a, B: Backend> PlanRun<'a, B> {
                         self.stats.backoff_steps += 1;
                     }
                     self.stats.retries += 1;
+                    node_retries += 1;
                     self.trace.push(RecoveryEvent::TransientRetry {
                         node: self.pc,
                         site: fault.site,
                         op: fault.op,
                         attempt: attempts as u64,
                         backoff_ns: backoff.as_nanos() as u64,
+                    });
+                    self.node_trace.emit(|| TraceEventKind::Node {
+                        pc,
+                        op: node.op.name().to_string(),
+                        action: NodeAction::Retry,
+                        rows: 0,
+                        host_ns: 0,
                     });
                     continue;
                 }
@@ -1279,6 +1494,30 @@ impl<'a, B: Backend> PlanRun<'a, B> {
                     return Err(PlanError::DeviceLost);
                 }
                 Err(other) => panic::resume_unwind(other),
+            }
+        }
+        let node_ns = step_start.map(|start| start.elapsed().as_nanos() as u64).unwrap_or(0);
+        self.node_trace.emit(|| TraceEventKind::Node {
+            pc,
+            op: node.op.name().to_string(),
+            action: NodeAction::Complete,
+            rows,
+            host_ns: node_ns,
+        });
+        if let Some(before) = marker_before {
+            let marker = self.backend.profile_marker().delta(&before);
+            let record = NodeProfile {
+                index: self.pc,
+                op: node.op.to_string(),
+                host_ns: node_ns,
+                rows,
+                attempts: attempts as u64 + 1,
+                restarts: node_restarts,
+                retries: node_retries,
+                marker,
+            };
+            if let Some(profile) = self.profile.as_mut() {
+                profile.nodes.push(record);
             }
         }
         // Register reclamation: values read for the last time by this node
@@ -1296,11 +1535,33 @@ impl<'a, B: Backend> PlanRun<'a, B> {
                 self.registers.remove(var);
             }
         }
+        if let (Some(profile), Some(start)) = (self.profile.as_mut(), step_start) {
+            // Partition the step's wall time: the node's share was measured
+            // above, the remainder (reclamation, bookkeeping) books into
+            // `overhead_ns` — this is what makes the conservation invariant
+            // exact (see [`PlanProfile`]).
+            let step_ns = start.elapsed().as_nanos() as u64;
+            profile.total_ns += step_ns;
+            profile.overhead_ns += step_ns.saturating_sub(node_ns);
+        }
         self.pc += 1;
         if self.pc >= self.plan.len() {
             Ok(StepOutcome::Done)
         } else {
             Ok(StepOutcome::Progressed)
+        }
+    }
+
+    /// Output cardinality of a just-executed node, for EXPLAIN ANALYZE: the
+    /// first output register's length (a resolved read — the profiling sync
+    /// has already drained the queue), group count for groupings, 1 for
+    /// scalars, 0 for output-less nodes (`sync`, `result`).
+    fn profiled_rows(&self, node: &PlanNode) -> u64 {
+        match node.outputs.first().and_then(|var| self.registers.get(var)) {
+            Some(Slot::Column(c, _)) => self.backend.len(c) as u64,
+            Some(Slot::Scalar(_)) => 1,
+            Some(Slot::Group(g)) => g.num_groups as u64,
+            None => 0,
         }
     }
 

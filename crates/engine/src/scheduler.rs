@@ -98,8 +98,30 @@ use crate::backend::Backend;
 use crate::plan::{Plan, PlanError, PlanRun, QueryValue, RecoveryStats};
 use crate::session::Session;
 use ocelot_storage::Catalog;
+use ocelot_trace::{MetricsRegistry, SchedAction, TraceEvent, TraceEventKind, TraceHandle};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Emits one scheduler event with the timeline-row convention of the
+/// Chrome trace export: `pid` is the tenant, `tid` the job index — so a
+/// rendered timeline groups rows by tenant and threads by job.
+fn emit_sched(
+    trace: &TraceHandle,
+    tenant: u64,
+    job: u64,
+    lane: &'static str,
+    action: SchedAction,
+    detail: u64,
+) {
+    trace.emit_with(|sink| TraceEvent {
+        ts_ns: sink.now_ns(),
+        dur_ns: 0,
+        pid: tenant,
+        tid: job,
+        kind: TraceEventKind::Sched { tenant, job, lane, action, detail },
+    });
+}
 
 /// One unit of admission: a plan to run in a session against a catalog.
 ///
@@ -156,6 +178,7 @@ type DriveOutcome = (Vec<Result<Vec<QueryValue>, PlanError>>, Vec<StepTrace>, Re
 pub struct Scheduler {
     in_flight: usize,
     memory_budget: Option<usize>,
+    trace: Arc<TraceHandle>,
 }
 
 impl Default for Scheduler {
@@ -167,7 +190,15 @@ impl Default for Scheduler {
 impl Scheduler {
     /// A scheduler admitting up to 4 plans at once.
     pub fn new() -> Scheduler {
-        Scheduler { in_flight: 4, memory_budget: None }
+        Scheduler { in_flight: 4, memory_budget: None, trace: Arc::new(TraceHandle::new()) }
+    }
+
+    /// The scheduler's trace attachment point: attach a
+    /// [`ocelot_trace::TraceSink`] to receive one
+    /// [`TraceEventKind::Sched`] event per admission, completion and
+    /// quarantine (tenant 0, lane `"fifo"`).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Sets the admission cap (clamped to at least 1).
@@ -236,8 +267,12 @@ impl Scheduler {
             results[index] = fallback.run(relowered.as_ref().unwrap_or(job.plan), job.catalog);
             stats.failovers += 1;
         }
-        stats.quarantines +=
-            results.iter().filter(|r| matches!(r, Err(PlanError::Faulted { .. }))).count() as u64;
+        for (index, result) in results.iter().enumerate() {
+            if matches!(result, Err(PlanError::Faulted { .. })) {
+                stats.quarantines += 1;
+                emit_sched(&self.trace, 0, index as u64, "fifo", SchedAction::Quarantine, 0);
+            }
+        }
         (results, stats)
     }
 
@@ -294,6 +329,14 @@ impl Scheduler {
                 }
                 waiting.next();
                 let job = &jobs[index];
+                emit_sched(
+                    &self.trace,
+                    0,
+                    index as u64,
+                    "fifo",
+                    SchedAction::Admit,
+                    footprints[index] as u64,
+                );
                 active.push((
                     index,
                     footprints[index],
@@ -332,6 +375,14 @@ impl Scheduler {
                     Err(error) => {
                         let (_, _, run) = active.remove(slot);
                         stats.absorb(&run.recovery_stats());
+                        emit_sched(
+                            &self.trace,
+                            0,
+                            index as u64,
+                            "fifo",
+                            SchedAction::Complete,
+                            run.completed_nodes() as u64,
+                        );
                         results[index] = Some(Err(error));
                         // The freed slot admits the next waiting job at the
                         // top of the loop.
@@ -339,6 +390,14 @@ impl Scheduler {
                     Ok(_) if active[slot].2.is_done() => {
                         let (index, _, run) = active.remove(slot);
                         stats.absorb(&run.recovery_stats());
+                        emit_sched(
+                            &self.trace,
+                            0,
+                            index as u64,
+                            "fifo",
+                            SchedAction::Complete,
+                            run.completed_nodes() as u64,
+                        );
                         results[index] = Some(Ok(run.into_results()));
                     }
                     Ok(_) => {
@@ -363,6 +422,16 @@ pub enum Lane {
     Interactive,
     /// Throughput traffic; admitted only when no interactive job waits.
     Batch,
+}
+
+impl Lane {
+    /// Stable lane name, as tagged on [`TraceEventKind::Sched`] events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Lane::Interactive => "interactive",
+            Lane::Batch => "batch",
+        }
+    }
 }
 
 /// One serving submission: a [`QueryJob`] on behalf of a tenant in a lane.
@@ -406,6 +475,23 @@ impl ServeStats {
     pub fn tenant(&self, tenant: usize) -> TenantStats {
         self.tenants.get(&tenant).copied().unwrap_or_default()
     }
+
+    /// Registers the per-tenant counters (as
+    /// `{prefix}.tenant{id}.submitted` etc.) and the aggregated recovery
+    /// counters under `prefix` in `registry`.
+    pub fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry
+            .set_counter(&format!("{prefix}.completed_total"), self.completion_order.len() as u64);
+        for (id, tenant) in &self.tenants {
+            registry
+                .set_counter(&format!("{prefix}.tenant{id}.submitted"), tenant.submitted as u64);
+            registry.set_counter(&format!("{prefix}.tenant{id}.admitted"), tenant.admitted as u64);
+            registry.set_counter(&format!("{prefix}.tenant{id}.rejected"), tenant.rejected as u64);
+            registry
+                .set_counter(&format!("{prefix}.tenant{id}.completed"), tenant.completed as u64);
+        }
+        self.recovery.register_metrics(&format!("{prefix}.recovery"), registry);
+    }
 }
 
 /// Per-job results (in submission order) plus the serving statistics.
@@ -425,6 +511,7 @@ pub struct ServeScheduler {
     memory_budget: Option<usize>,
     queue_capacity: usize,
     quantum: usize,
+    trace: Arc<TraceHandle>,
 }
 
 impl Default for ServeScheduler {
@@ -437,7 +524,23 @@ impl ServeScheduler {
     /// Up to 4 plans in flight, 16 queued jobs per tenant, a DRR quantum
     /// of 8 plan nodes, no memory budget.
     pub fn new() -> ServeScheduler {
-        ServeScheduler { in_flight: 4, memory_budget: None, queue_capacity: 16, quantum: 8 }
+        ServeScheduler {
+            in_flight: 4,
+            memory_budget: None,
+            queue_capacity: 16,
+            quantum: 8,
+            trace: Arc::new(TraceHandle::new()),
+        }
+    }
+
+    /// The serving scheduler's trace attachment point: attach a
+    /// [`ocelot_trace::TraceSink`] to receive one
+    /// [`TraceEventKind::Sched`] event per submission, rejection,
+    /// admission and completion, with the tenant as the timeline process
+    /// and the job index as the timeline thread — the rows the Chrome
+    /// trace export renders.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Sets the in-flight cap (clamped to at least 1).
@@ -495,8 +598,24 @@ impl ServeScheduler {
             let tenant = stats.tenants.entry(job.tenant).or_default();
             tenant.submitted += 1;
             let depth = queued.entry(job.tenant).or_insert(0);
+            emit_sched(
+                &self.trace,
+                job.tenant as u64,
+                index as u64,
+                job.lane.name(),
+                SchedAction::Submit,
+                *depth as u64,
+            );
             if *depth >= self.queue_capacity {
                 tenant.rejected += 1;
+                emit_sched(
+                    &self.trace,
+                    job.tenant as u64,
+                    index as u64,
+                    job.lane.name(),
+                    SchedAction::Reject,
+                    self.queue_capacity as u64,
+                );
                 results[index] = Some(Err(PlanError::Overloaded {
                     queued: *depth,
                     capacity: self.queue_capacity,
@@ -573,6 +692,14 @@ impl ServeScheduler {
                             *deficit -= cost;
                         }
                         cursors.insert(lane, tenant + 1);
+                        emit_sched(
+                            &self.trace,
+                            tenant as u64,
+                            index as u64,
+                            lane.name(),
+                            SchedAction::Admit,
+                            cost as u64,
+                        );
                         let job = &jobs[index].job;
                         active.push((
                             index,
@@ -623,6 +750,14 @@ impl ServeScheduler {
     }
 
     fn complete<B: Backend>(&self, stats: &mut ServeStats, jobs: &[ServeJob<'_, B>], index: usize) {
+        emit_sched(
+            &self.trace,
+            jobs[index].tenant as u64,
+            index as u64,
+            jobs[index].lane.name(),
+            SchedAction::Complete,
+            stats.completion_order.len() as u64,
+        );
         stats.completion_order.push(index);
         if let Some(tenant) = stats.tenants.get_mut(&jobs[index].tenant) {
             tenant.completed += 1;
@@ -938,6 +1073,43 @@ mod tests {
             "the interactive job completes first: {:?}",
             outcome.stats.completion_order
         );
+    }
+
+    #[test]
+    fn serve_runs_emit_sched_events_on_tenant_rows() {
+        use ocelot_trace::TraceSink;
+        let catalog = catalog();
+        let plans = vec![compile(&example_plan("t", "a", "b", 10, 30)).unwrap()];
+        let session = Session::new(MonetSeqBackend::new());
+        // Tenant 0 submits 3 at capacity 2 (one rejection); tenant 1's
+        // interactive job admits first.
+        let spec = [(0, Lane::Batch), (1, Lane::Interactive), (0, Lane::Batch), (0, Lane::Batch)];
+        let jobs = serve_jobs(&session, &plans, &catalog, &spec);
+        let scheduler = ServeScheduler::new().with_queue_capacity(2).with_in_flight(2);
+        let sink = Arc::new(TraceSink::new());
+        scheduler.trace().attach(Arc::clone(&sink));
+        let outcome = scheduler.run(&jobs);
+        scheduler.trace().detach();
+
+        assert_eq!(outcome.stats.tenant(0).rejected, 1);
+        let count = |action: SchedAction| {
+            sink.count(|e| matches!(e.kind, TraceEventKind::Sched { action: a, .. } if a == action))
+        };
+        assert_eq!(count(SchedAction::Submit), 4, "one submit event per arrival");
+        assert_eq!(count(SchedAction::Reject), 1, "the overflow submission is rejected");
+        assert_eq!(count(SchedAction::Admit), 3, "every accepted job admits exactly once");
+        assert_eq!(count(SchedAction::Complete), 3, "every admitted job completes");
+        // Timeline-row convention: pid is the tenant, tid the job index.
+        for event in sink.events() {
+            let TraceEventKind::Sched { tenant, job, .. } = event.kind else {
+                panic!("host-backend serve runs emit only sched events");
+            };
+            assert_eq!(event.pid, tenant);
+            assert_eq!(event.tid, job);
+            assert_eq!(jobs[job as usize].tenant as u64, tenant);
+        }
+        let chrome = sink.to_chrome_trace();
+        assert!(chrome.contains("\"cat\":\"sched\""), "{chrome}");
     }
 
     #[test]

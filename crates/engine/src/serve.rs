@@ -51,6 +51,7 @@ use crate::query::{lower, rewrite, ParamValue, Query, QueryBuildError, RewriteCo
 use crate::session::Session;
 use ocelot_core::{PlanSlot, SharedDevice};
 use ocelot_storage::Catalog;
+use ocelot_trace::{MetricsRegistry, TraceEventKind, TraceHandle};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -64,6 +65,15 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Times the whole cache was flushed by a device-loss epoch bump.
     pub invalidations: u64,
+}
+
+impl PlanCacheStats {
+    /// Registers the counters under `prefix` in `registry`.
+    pub fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_counter(&format!("{prefix}.hits"), self.hits);
+        registry.set_counter(&format!("{prefix}.misses"), self.misses);
+        registry.set_counter(&format!("{prefix}.invalidations"), self.invalidations);
+    }
 }
 
 /// One compiled shape: everything a hit needs to produce a plan without
@@ -95,6 +105,7 @@ struct CacheInner {
 pub struct PlanCache {
     slot: Arc<PlanSlot>,
     inner: Mutex<CacheInner>,
+    trace: TraceHandle,
 }
 
 impl PlanCache {
@@ -115,7 +126,15 @@ impl PlanCache {
                 stats: PlanCacheStats::default(),
                 last: None,
             }),
+            trace: TraceHandle::new(),
         }
+    }
+
+    /// The cache's trace attachment point: attach a
+    /// [`ocelot_trace::TraceSink`] to receive a
+    /// [`TraceEventKind::PlanCache`] event per lookup.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// The device-wide cache of `shared`, installing one in the device's
@@ -178,6 +197,7 @@ impl PlanCache {
             inner.last = Some((key, cached.is_some()));
             cached
         };
+        self.trace.emit(|| TraceEventKind::PlanCache { hit: cached.is_some() });
 
         let lowered = match &cached {
             Some(entry) => {

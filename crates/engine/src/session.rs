@@ -32,10 +32,14 @@
 use crate::backend::Backend;
 use crate::backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};
 use crate::mal::MalPlan;
-use crate::plan::{Plan, PlanError, PlanRun, QueryValue, RecoveryEvent, RecoveryStats};
+use crate::plan::{
+    Plan, PlanError, PlanProfile, PlanRun, QueryValue, RecoveryEvent, RecoveryStats,
+};
 use ocelot_core::SharedDevice;
 use ocelot_storage::Catalog;
+use ocelot_trace::{MetricsRegistry, TraceSink};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// One client's execution context on one backend configuration.
 pub struct Session<B: Backend> {
@@ -129,6 +133,57 @@ impl<B: Backend> Session<B> {
         }
         let relowered = plan.source().and_then(|query| query.lower(catalog).ok());
         fallback.run(relowered.as_ref().unwrap_or(plan), catalog)
+    }
+
+    /// EXPLAIN ANALYZE: executes the plan with per-node profiling and
+    /// returns the results together with the [`PlanProfile`] — per node,
+    /// wall time, output rows, attributed kernel/transfer/flush counts and
+    /// restart/retry/spill attribution, with
+    /// `total_host_ns == Σ node.host_ns + overhead_ns` holding exactly
+    /// (see [`PlanProfile`]). Profiling syncs after every node (observer
+    /// effect on flush counts; see [`PlanRun::enable_profiling`]) and
+    /// profiles **this session's own backend**: device loss surfaces as
+    /// the typed error instead of failing over, since a fallback run's
+    /// profile would describe a different device.
+    pub fn explain_analyze(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+    ) -> Result<(Vec<QueryValue>, PlanProfile), PlanError> {
+        let mut run = PlanRun::new(plan, &self.backend, catalog);
+        run.enable_profiling();
+        let outcome = run.run_to_completion();
+        let mut recovery = self.recovery.lock();
+        recovery.0.absorb(&run.recovery_stats());
+        recovery.1.extend_from_slice(run.recovery_trace());
+        drop(recovery);
+        outcome?;
+        let profile = run.take_profile().expect("profiling was enabled");
+        Ok((run.into_results(), profile))
+    }
+
+    /// One unified metrics snapshot: the backend's counters (queue totals,
+    /// memory/cache/pool/spill/fault stats for Ocelot) plus this session's
+    /// aggregated recovery counters under `session.recovery.*`. Every
+    /// number remains available through its original typed accessor; the
+    /// registry is a projection, not a replacement.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.backend.register_metrics(&mut registry);
+        self.recovery_stats().register_metrics("session.recovery", &mut registry);
+        registry
+    }
+
+    /// Attaches a trace sink to every emitter the session's backend owns
+    /// (queue, device, Memory Manager, column cache for Ocelot; no-op for
+    /// the host backends).
+    pub fn attach_tracer(&self, sink: &Arc<TraceSink>) {
+        self.backend.attach_tracer(sink);
+    }
+
+    /// Detaches the tracer attached via [`Session::attach_tracer`].
+    pub fn detach_tracer(&self) {
+        self.backend.detach_tracer();
     }
 
     /// Compiles a MAL program and executes it to completion.

@@ -23,6 +23,7 @@ use crate::kernel::{run_group_range, Kernel};
 use crate::queue::Queue;
 use crate::scheduling::{self, LaunchConfig};
 use crate::thread_pool::ThreadPool;
+use ocelot_trace::{TraceEventKind, TraceHandle};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -257,6 +258,7 @@ pub struct Device {
     mem: Arc<MemAccountant>,
     next_buffer_id: Arc<AtomicU64>,
     faults: Arc<FaultCell>,
+    trace: Arc<TraceHandle>,
 }
 
 impl std::fmt::Debug for Device {
@@ -340,7 +342,16 @@ impl Device {
             mem,
             next_buffer_id: Arc::new(AtomicU64::new(1)),
             faults: Arc::new(FaultCell::default()),
+            trace: Arc::new(TraceHandle::new()),
         }
+    }
+
+    /// The device's trace attachment point, shared by every clone: attach a
+    /// [`ocelot_trace::TraceSink`] and successful allocations emit
+    /// [`TraceEventKind::Alloc`] events tagged with the op site the fault
+    /// layer also uses (`"allocation"`).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Installs a [`FaultPlan`] on the device (replacing any previous one).
@@ -433,6 +444,7 @@ impl Device {
         }
         self.mem.try_alloc_capped(bytes, cap_bytes)?;
         let id = self.next_buffer_id.fetch_add(1, Ordering::Relaxed);
+        self.trace.emit(|| TraceEventKind::Alloc { label: label.to_string(), bytes: bytes as u64 });
         Ok(Buffer::new(id, words, label, Some(Arc::clone(&self.mem))))
     }
 

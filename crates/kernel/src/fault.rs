@@ -131,6 +131,18 @@ impl FaultStats {
     pub fn total(&self) -> u64 {
         self.transient_kernel + self.transient_transfer + self.alloc_failed + self.device_lost
     }
+
+    /// Projects these counters into a [`ocelot_trace::MetricsRegistry`]
+    /// under `<prefix>.transient_kernel`, `<prefix>.transient_transfer`,
+    /// `<prefix>.alloc_failed`, `<prefix>.device_lost` and
+    /// `<prefix>.ops_observed`.
+    pub fn register_metrics(&self, prefix: &str, registry: &mut ocelot_trace::MetricsRegistry) {
+        registry.set_counter(&format!("{prefix}.transient_kernel"), self.transient_kernel);
+        registry.set_counter(&format!("{prefix}.transient_transfer"), self.transient_transfer);
+        registry.set_counter(&format!("{prefix}.alloc_failed"), self.alloc_failed);
+        registry.set_counter(&format!("{prefix}.device_lost"), self.device_lost);
+        registry.set_counter(&format!("{prefix}.ops_observed"), self.ops_observed);
+    }
 }
 
 #[derive(Default)]

@@ -20,9 +20,11 @@ use crate::event::{EventId, EventKind, EventRegistry};
 use crate::fault::FaultSite;
 use crate::kernel::Kernel;
 use crate::scheduling::LaunchConfig;
+use ocelot_trace::{MetricsRegistry, TraceEventKind, TraceHandle};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 enum PendingOp {
     Kernel {
@@ -113,6 +115,19 @@ impl FlushStats {
             self.modeled_ns
         }
     }
+
+    /// Projects these statistics into a [`MetricsRegistry`] under
+    /// `<prefix>.kernels`, `<prefix>.transfers`, `<prefix>.host_ns`,
+    /// `<prefix>.modeled_ns`, `<prefix>.bytes_to_device` and
+    /// `<prefix>.bytes_from_device`.
+    pub fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_counter(&format!("{prefix}.kernels"), self.kernels as u64);
+        registry.set_counter(&format!("{prefix}.transfers"), self.transfers as u64);
+        registry.set_counter(&format!("{prefix}.host_ns"), self.host_ns);
+        registry.set_counter(&format!("{prefix}.modeled_ns"), self.modeled_ns);
+        registry.set_counter(&format!("{prefix}.bytes_to_device"), self.bytes_to_device);
+        registry.set_counter(&format!("{prefix}.bytes_from_device"), self.bytes_from_device);
+    }
 }
 
 /// Per-kernel profiling record (enable with [`Queue::enable_profiling`]).
@@ -146,6 +161,7 @@ pub struct Queue {
     profiles: Mutex<Vec<KernelProfile>>,
     totals: Mutex<FlushStats>,
     flushes: AtomicU64,
+    trace: TraceHandle,
 }
 
 impl Queue {
@@ -158,7 +174,17 @@ impl Queue {
             profiles: Mutex::new(Vec::new()),
             totals: Mutex::new(FlushStats::default()),
             flushes: AtomicU64::new(0),
+            trace: TraceHandle::new(),
         }
+    }
+
+    /// The queue's trace attachment point: attach a shared
+    /// [`ocelot_trace::TraceSink`] and every flush emits per-kernel,
+    /// per-transfer and per-flush events (see the `ocelot_trace` module
+    /// docs for the emission contract). Detached by default — the disabled
+    /// cost is one relaxed atomic load per flush.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// The device this queue schedules onto.
@@ -299,7 +325,8 @@ impl Queue {
     /// statistics of this flush.
     pub fn flush(&self) -> Result<FlushStats> {
         let ops: Vec<PendingOp> = std::mem::take(&mut *self.pending.lock());
-        if !ops.is_empty() {
+        let effective = !ops.is_empty();
+        if effective {
             // A lost device executes nothing: the pending batch is dropped
             // (the plan that scheduled it is being unwound for failover) and
             // the caller sees the sticky loss. Empty flushes stay harmless
@@ -309,6 +336,8 @@ impl Queue {
             }
             self.flushes.fetch_add(1, Ordering::Relaxed);
         }
+        let traced = self.trace.armed() && effective;
+        let flush_start = traced.then(Instant::now);
         let mut stats = FlushStats::default();
         for op in ops {
             // Wait-list sanity: in-order execution means every dependency
@@ -337,14 +366,27 @@ impl Queue {
                             n: launch.n,
                         });
                     }
+                    if traced {
+                        self.trace.emit(|| TraceEventKind::Kernel {
+                            kernel: kernel.name().to_string(),
+                            host_ns: report.host_ns,
+                            modeled_ns: report.modeled_ns,
+                        });
+                    }
                 }
                 PendingOp::Write { bytes, .. } => {
                     let ns = self.device.transfer_ns(bytes);
                     self.events.complete(event, 0, ns);
                     stats.transfers += 1;
                     stats.modeled_ns += ns;
-                    if !self.device.is_unified() {
-                        stats.bytes_to_device += bytes as u64;
+                    let charged = if self.device.is_unified() { 0 } else { bytes as u64 };
+                    stats.bytes_to_device += charged;
+                    if traced {
+                        self.trace.emit(|| TraceEventKind::Transfer {
+                            to_device: true,
+                            bytes: charged,
+                            modeled_ns: ns,
+                        });
                     }
                 }
                 PendingOp::Read { bytes, .. } => {
@@ -352,14 +394,34 @@ impl Queue {
                     self.events.complete(event, 0, ns);
                     stats.transfers += 1;
                     stats.modeled_ns += ns;
-                    if !self.device.is_unified() {
-                        stats.bytes_from_device += bytes as u64;
+                    let charged = if self.device.is_unified() { 0 } else { bytes as u64 };
+                    stats.bytes_from_device += charged;
+                    if traced {
+                        self.trace.emit(|| TraceEventKind::Transfer {
+                            to_device: false,
+                            bytes: charged,
+                            modeled_ns: ns,
+                        });
                     }
                 }
                 PendingOp::Marker { .. } => {
                     self.events.complete(event, 0, 0);
                 }
             }
+        }
+        if let Some(start) = flush_start {
+            let dur_ns = start.elapsed().as_nanos() as u64;
+            self.trace.emit_with(|sink| ocelot_trace::TraceEvent {
+                ts_ns: sink.now_ns().saturating_sub(dur_ns),
+                dur_ns,
+                pid: 0,
+                tid: 0,
+                kind: TraceEventKind::Flush {
+                    kernels: stats.kernels as u64,
+                    transfers: stats.transfers as u64,
+                    host_ns: stats.host_ns,
+                },
+            });
         }
         self.totals.lock().merge(&stats);
         Ok(stats)
@@ -541,6 +603,61 @@ mod tests {
         assert_eq!(queue.flush_count(), 1, "one effective flush for two pending ops");
         queue.flush().unwrap();
         assert_eq!(queue.flush_count(), 1);
+    }
+
+    #[test]
+    fn traced_flushes_emit_kernel_transfer_and_flush_events() {
+        let gpu = Device::simulated_gpu(GpuConfig::default());
+        let buf = gpu.alloc_from_i32(&[0; 64], "b").unwrap();
+        let queue = gpu.create_queue();
+        let sink = Arc::new(ocelot_trace::TraceSink::new());
+        queue.trace().attach(Arc::clone(&sink));
+        queue.enqueue_write(&buf, &[]).unwrap();
+        let launch = gpu.launch_config(64);
+        queue.enqueue_kernel(Arc::new(Increment { buf: buf.clone() }), launch, &[]).unwrap();
+        queue.enqueue_read(&buf, &[]).unwrap();
+        queue.flush().unwrap();
+        queue.flush().unwrap(); // empty: must not emit a flush event
+        use ocelot_trace::TraceEventKind as K;
+        assert_eq!(sink.count(|e| matches!(e.kind, K::Kernel { .. })), 1);
+        assert_eq!(sink.count(|e| matches!(e.kind, K::Transfer { .. })), 2);
+        assert_eq!(
+            sink.count(|e| matches!(e.kind, K::Flush { .. })) as u64,
+            queue.flush_count(),
+            "flush events mirror the effective flush count"
+        );
+        let events = sink.events();
+        let flush = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                K::Flush { kernels, transfers, .. } => Some((*kernels, *transfers, e.dur_ns)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!((flush.0, flush.1), (1, 2));
+        assert!(flush.2 > 0, "flush event is a span");
+        queue.trace().detach();
+        let before = sink.len();
+        let launch = gpu.launch_config(64);
+        queue.enqueue_kernel(Arc::new(Increment { buf }), launch, &[]).unwrap();
+        queue.flush().unwrap();
+        assert_eq!(sink.len(), before, "detached queue emits nothing");
+    }
+
+    #[test]
+    fn flush_stats_project_into_the_registry() {
+        let stats = FlushStats {
+            kernels: 2,
+            transfers: 3,
+            host_ns: 10,
+            modeled_ns: 20,
+            bytes_to_device: 100,
+            bytes_from_device: 200,
+        };
+        let mut reg = ocelot_trace::MetricsRegistry::new();
+        stats.register_metrics("ocelot.queue", &mut reg);
+        assert_eq!(reg.counter("ocelot.queue.kernels"), Some(2));
+        assert_eq!(reg.counter("ocelot.queue.bytes_from_device"), Some(200));
     }
 
     #[test]

@@ -1263,3 +1263,117 @@ mod partitioned_join {
         }
     }
 }
+
+#[cfg(test)]
+mod observability {
+    use ocelot_core::SharedDevice;
+    use ocelot_engine::mal::{compile, example_plan, rewrite_for_ocelot};
+    use ocelot_engine::{Session, TraceEventKind, TraceSink};
+    use ocelot_storage::{Bat, Catalog, Table};
+    use ocelot_tpch::{run_query, TpchConfig, TpchDb};
+    use proptest::collection;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn catalog(keys: &[i32], values: &[f32]) -> Catalog {
+        let mut catalog = Catalog::new();
+        let table = Table::new("t")
+            .with_column("a", Bat::from_i32("a", keys.to_vec()).into_ref())
+            .with_column("b", Bat::from_f32("b", values.to_vec()).into_ref());
+        catalog.add_table(table);
+        catalog
+    }
+
+    proptest! {
+        /// The EXPLAIN ANALYZE conservation property: for any plan and
+        /// data, the per-node wall times plus the accounted overhead sum
+        /// to the plan total *exactly* (epsilon = 0 by construction), the
+        /// per-node flush deltas partition the queue's flush count over
+        /// the run, and profiling does not perturb the results.
+        #[test]
+        fn explain_analyze_conserves_time_rows_and_flushes(
+            raw in collection::vec(-1_000i32..1_000, 50..400),
+            bounds in collection::vec((-50i32..50, 0i32..80), 1..4),
+        ) {
+            let keys: Vec<i32> = raw.iter().map(|v| v % 100).collect();
+            let values: Vec<f32> = raw.iter().map(|v| *v as f32 * 0.125).collect();
+            let catalog = catalog(&keys, &values);
+            let session = Session::ocelot(&SharedDevice::cpu());
+            for (low, width) in &bounds {
+                let plan = compile(&rewrite_for_ocelot(&example_plan(
+                    "t", "a", "b", *low, *low + *width,
+                )))
+                .unwrap();
+                let queue = session.backend().context().queue();
+                let flushes_before = queue.flush_count();
+                let (values, profile) = session.explain_analyze(&plan, &catalog).unwrap();
+                let flush_delta = queue.flush_count() - flushes_before;
+
+                // Time conservation: an exact partition, not an estimate.
+                prop_assert_eq!(
+                    profile.total_host_ns,
+                    profile.nodes_host_ns() + profile.overhead_ns
+                );
+                // Every plan node has a profile record, in program order.
+                prop_assert_eq!(profile.nodes.len(), plan.len());
+                for (pc, node) in profile.nodes.iter().enumerate() {
+                    prop_assert_eq!(node.index, pc);
+                }
+                // Per-node flush deltas partition the run's flush count.
+                let node_flushes: u64 = profile.nodes.iter().map(|n| n.marker.flushes).sum();
+                prop_assert_eq!(node_flushes, flush_delta);
+                // Aggregated marker equals the per-node sum (monotone
+                // counters partition across steps).
+                prop_assert_eq!(profile.total_marker().flushes, node_flushes);
+                // Rows roll up, and profiling leaves the answer untouched.
+                let node_rows: u64 = profile.nodes.iter().map(|n| n.rows).sum();
+                prop_assert_eq!(node_rows, profile.total_rows());
+                let plain = session.run(&plan, &catalog).unwrap();
+                prop_assert_eq!(values, plain);
+            }
+        }
+    }
+
+    /// The flush-trace mirror: `Queue::flush_count` and the number of
+    /// recorded `Flush` trace events move in lockstep on the Q6
+    /// one-flush-per-plan path, on both Ocelot devices — and the host
+    /// configurations, which have no queue, record no flush events at all
+    /// even with a tracer attached.
+    #[test]
+    fn traced_flush_events_mirror_flush_count_on_q6() {
+        let db = TpchDb::generate(TpchConfig { scale_factor: 0.002, seed: 11 });
+        let flushes =
+            |sink: &TraceSink| sink.count(|e| matches!(e.kind, TraceEventKind::Flush { .. }));
+
+        let ms = Session::monet_seq();
+        let sink = Arc::new(TraceSink::new());
+        ms.attach_tracer(&sink);
+        run_query(&ms, &db, 6).unwrap();
+        ms.detach_tracer();
+        assert_eq!(flushes(&sink), 0, "MS has no command queue to flush");
+
+        let mp = Session::monet_par();
+        let sink = Arc::new(TraceSink::new());
+        mp.attach_tracer(&sink);
+        run_query(&mp, &db, 6).unwrap();
+        mp.detach_tracer();
+        assert_eq!(flushes(&sink), 0, "MP has no command queue to flush");
+
+        for shared in [SharedDevice::cpu(), SharedDevice::gpu()] {
+            let session = Session::ocelot(&shared);
+            let sink = Arc::new(TraceSink::new());
+            let before = session.backend().context().queue().flush_count();
+            session.attach_tracer(&sink);
+            run_query(&session, &db, 6).unwrap();
+            session.detach_tracer();
+            let delta = session.backend().context().queue().flush_count() - before;
+            assert_eq!(
+                flushes(&sink) as u64,
+                delta,
+                "{}: traced flush events mirror the effective flush count",
+                session.name()
+            );
+            assert_eq!(delta, 1, "{}: Q6 keeps its one-flush-per-plan bound", session.name());
+        }
+    }
+}
