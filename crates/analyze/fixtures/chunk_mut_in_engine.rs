@@ -1,0 +1,6 @@
+// Lint fixture: tier-2 mutable chunk access outside a kernel-side module.
+// Never compiled; `xlint --self-test` asserts the scanner flags it.
+pub fn poke(buffer: &Buffer) {
+    let chunk = unsafe { buffer.chunk_mut(0, 4) };
+    chunk[0] = 1;
+}

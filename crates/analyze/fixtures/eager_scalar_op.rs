@@ -1,0 +1,7 @@
+// Lint fixture: a public core operator that materialises a host scalar
+// eagerly instead of returning a device handle.
+// Never compiled; `xlint --self-test` asserts the scanner flags it.
+pub fn sum_now(ctx: &OcelotContext, values: &DevColumn<f32>) -> Result<f32> {
+    let scalar = sum_f32(ctx, values)?;
+    scalar.get(ctx)
+}

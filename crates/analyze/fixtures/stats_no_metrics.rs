@@ -1,0 +1,7 @@
+// Lint fixture: a stats surface that never feeds the unified metrics
+// registry. Never compiled; `xlint --self-test` asserts the scanner
+// flags it.
+pub struct OrphanStats {
+    pub events: u64,
+    pub drops: u64,
+}

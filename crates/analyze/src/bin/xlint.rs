@@ -1,0 +1,83 @@
+//! `xlint` — the repo contract lint (rule table in the `ocelot_analyze`
+//! crate docs). Runs in CI next to clippy.
+//!
+//! ```text
+//! xlint [ROOT]                 scan the workspace (default: .)
+//! xlint --self-test            assert every fixture trips its rule
+//! xlint --file AS_PATH FILE    scan one file under a claimed repo path
+//! ```
+//!
+//! Exit code 0 means clean (or, under `--self-test`, that every fixture
+//! failed as designed); 1 means findings (or a fixture that no longer
+//! trips its rule).
+
+use ocelot_analyze::lint::{self, scan_source};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn self_test() -> ExitCode {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut ok = true;
+    for (fixture, claimed_path, rule) in lint::FIXTURES {
+        let content = match std::fs::read_to_string(fixtures.join(fixture)) {
+            Ok(content) => content,
+            Err(error) => {
+                eprintln!("xlint: cannot read fixture {fixture}: {error}");
+                ok = false;
+                continue;
+            }
+        };
+        let findings = scan_source(claimed_path, &content);
+        if findings.iter().any(|finding| finding.rule == *rule) {
+            println!("fixture {fixture}: trips {rule} as designed");
+        } else {
+            eprintln!("xlint: fixture {fixture} no longer trips {rule}: {findings:?}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let findings = match args.first().map(String::as_str) {
+        Some("--self-test") => return self_test(),
+        Some("--file") => {
+            let [_, claimed_path, file] = &args[..] else {
+                eprintln!("usage: xlint --file AS_PATH FILE");
+                return ExitCode::FAILURE;
+            };
+            match std::fs::read_to_string(file) {
+                Ok(content) => scan_source(claimed_path, &content),
+                Err(error) => {
+                    eprintln!("xlint: cannot read {file}: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        root => {
+            let root = PathBuf::from(root.unwrap_or("."));
+            match lint::scan_workspace(&root) {
+                Ok(findings) => findings,
+                Err(error) => {
+                    eprintln!("xlint: workspace scan failed: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("xlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("xlint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,84 @@
+//! PR 10 benchmark: what the device-phase race detector costs. Emits the
+//! figures behind `BENCH_pr10.json`.
+//!
+//! The detector's contract mirrors the trace layer's: *not* detecting is
+//! near-free. Disarmed (the default, and the state after any `disarm()`),
+//! every enqueue and flush pays exactly one relaxed atomic load. Three
+//! configurations run the same Q3/Q5/Q10 join stream on identical
+//! devices:
+//!
+//! * `race/baseline` — a session whose detector was never armed.
+//! * `race/disarmed` — the detector was armed once and disarmed again
+//!   before the measurement (the post-use fast path).
+//! * `race/armed` — shadow-state recording plus the per-flush pairwise
+//!   analysis stay on for the whole run (reported for context, not
+//!   asserted — arming is a debugging posture).
+//!
+//! The disarmed overhead over baseline is asserted `< 2%` on full runs
+//! (reported but unasserted at smoke scale, where single-digit-ms streams
+//! are noise-bound).
+
+use crate::harness::{measure, measure_pair, Report};
+use ocelot_core::SharedDevice;
+use ocelot_engine::{Plan, Session};
+use ocelot_tpch::{q10_query, q3_query, q5_query, TpchConfig, TpchDb};
+use std::hint::black_box;
+
+fn run_stream(session: &Session<ocelot_engine::OcelotBackend>, db: &TpchDb, plans: &[Plan]) {
+    for plan in plans {
+        black_box(session.run(plan, db.catalog()).expect("bench plan failed"));
+    }
+}
+
+/// Runs every experiment into `report`.
+pub fn bench_all(report: &mut Report, smoke: bool) {
+    let sf = if smoke { 0.002 } else { 0.01 };
+    let (warmup, samples) = if smoke { (1, 3) } else { (3, 11) };
+    let db = TpchDb::generate(TpchConfig { scale_factor: sf, seed: 17 });
+    let plans: Vec<Plan> = [q3_query(&db), q5_query(&db), q10_query(&db)]
+        .iter()
+        .map(|q| q.lower(db.catalog()).expect("lowering failed"))
+        .collect();
+    let elements = db.lineitem_rows() * plans.len();
+
+    // --- disarmed-after-use vs never-armed (the headline, interleaved).
+    let baseline = Session::ocelot(&SharedDevice::cpu());
+    let disarmed = Session::ocelot(&SharedDevice::cpu());
+    disarmed.backend().context().queue().race().arm();
+    run_stream(&disarmed, &db, &plans);
+    let _ = disarmed.backend().context().queue().race().take_diagnostics();
+    disarmed.backend().context().queue().race().disarm();
+    // Deep sample pool for the min estimator, as in the PR 9 trace bench:
+    // the true delta is a fraction of a percent.
+    let (base, off) = measure_pair(
+        "race/baseline",
+        "race/disarmed",
+        elements,
+        warmup,
+        samples * 4,
+        || run_stream(&baseline, &db, &plans),
+        || run_stream(&disarmed, &db, &plans),
+    );
+    let overhead = off.min_ns as f64 / base.min_ns as f64;
+    report.push(base);
+    report.push(off);
+    report.scalar("race/disarmed_overhead", overhead);
+    if !smoke {
+        assert!(overhead < 1.02, "disarmed detector must cost < 2%: {overhead:.4}x");
+    }
+
+    // --- armed run: recording + pairwise analysis, for context. --------
+    let armed = Session::ocelot(&SharedDevice::cpu());
+    let queue = armed.backend().context().queue();
+    queue.race().arm();
+    let m = measure("race/armed", elements, warmup, samples, || run_stream(&armed, &db, &plans));
+    let stats = queue.race().stats();
+    let diagnostics = queue.race().take_diagnostics();
+    queue.race().disarm();
+    assert!(diagnostics.is_empty(), "the bench stream must be race-free: {diagnostics:?}");
+    report.push(m);
+    report.speedup("race/armed_overhead", "race/baseline", "race/armed");
+    report.scalar("race/kernels_observed", stats.kernels_observed as f64);
+    report.scalar("race/kernels_declared", stats.kernels_declared as f64);
+    report.scalar("race/pairs_checked", stats.pairs_checked as f64);
+}

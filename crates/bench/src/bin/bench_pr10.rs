@@ -1,0 +1,28 @@
+//! Emits `BENCH_pr10.json`: the PR 10 analysis benchmark — the cost of the
+//! device-phase race detector when disarmed and when armed on the
+//! Q3/Q5/Q10 join stream.
+//!
+//! Usage: `cargo run --release --bin bench_pr10 [-- --smoke] [output-path]`
+//!
+//! `--smoke` runs a reduced configuration (few samples, short stream) for
+//! CI, still exercising every configuration end to end and writing the
+//! report. The `< 2%` disarmed assertion only applies to full runs.
+
+use ocelot_bench::analysis;
+use ocelot_bench::harness::Report;
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "BENCH_pr10.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if arg != "--" {
+            path = arg;
+        }
+    }
+    let mut report = Report::new();
+    analysis::bench_all(&mut report, smoke);
+    report.write_json(&path).expect("failed to write benchmark report");
+    println!("wrote {path}");
+}

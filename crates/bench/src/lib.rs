@@ -5,6 +5,7 @@
 //! measurement and a machine-readable JSON report.
 
 pub mod access_path;
+pub mod analysis;
 pub mod deferred;
 pub mod fault_tolerance;
 pub mod harness;

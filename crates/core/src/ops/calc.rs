@@ -11,7 +11,9 @@
 //! deferred length.
 
 use crate::context::{DevColumn, DevWord, LenSource, OcelotContext};
-use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use ocelot_kernel::{
+    Buffer, BufferAccess, Kernel, KernelAccesses, KernelCost, LaunchConfig, Result, WorkGroupCtx,
+};
 use ocelot_storage::types::days_to_date;
 use std::sync::Arc;
 
@@ -113,21 +115,33 @@ impl Kernel for MapKernel {
                 self.run_chunk(out, &a[start..end], b.map(|b| &b[start..end]));
             } else {
                 // Strided/coalesced pattern: apply per element through a
-                // one-word chunk; reads still avoid atomic loads.
-                let output = self.output.cells();
+                // one-word tier-2 chunk — the strided assignment gives each
+                // index to exactly one work-item, so the chunks are
+                // pairwise disjoint.
                 for idx in assigned {
                     if idx >= n {
                         continue;
                     }
-                    let mut word = [0u32];
-                    self.run_chunk(&mut word, &a[idx..idx + 1], b.map(|b| &b[idx..idx + 1]));
-                    output[idx].store(word[0], std::sync::atomic::Ordering::Relaxed);
+                    // SAFETY: index `idx` is owned by this item alone
+                    // within this phase (disjoint one-word chunks).
+                    let out = unsafe { self.output.chunk_mut(idx, idx + 1) };
+                    self.run_chunk(out, &a[idx..idx + 1], b.map(|b| &b[idx..idx + 1]));
                 }
             }
         }
     }
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
         KernelCost::streaming(launch.n)
+    }
+    fn declared_accesses(&self, _launch: &LaunchConfig) -> Option<KernelAccesses> {
+        let mut accesses = vec![
+            BufferAccess::slice_read(&self.a, 0..self.a.len()),
+            BufferAccess::slice_write(&self.output, 0..self.output.len()),
+        ];
+        if let Some(b) = &self.b {
+            accesses.push(BufferAccess::slice_read(b, 0..b.len()));
+        }
+        Some(KernelAccesses::of(accesses))
     }
 }
 

@@ -20,7 +20,9 @@
 use crate::context::{DevColumn, DevScalar, LenSource, OcelotContext, Oid};
 use crate::primitives::bitmap::Bitmap;
 use crate::primitives::prefix_sum::exclusive_scan_u32;
-use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use ocelot_kernel::{
+    Buffer, BufferAccess, Kernel, KernelAccesses, KernelCost, LaunchConfig, Result, WorkGroupCtx,
+};
 use std::sync::Arc;
 
 /// The comparison a selection kernel evaluates.
@@ -45,6 +47,9 @@ struct SelectKernel {
     bitmap: Buffer,
     predicate: Predicate,
     n: LenSource,
+    /// Host-known logical row count, when there is one — lets the race
+    /// detector's bitmap-padding check run at kernel completion.
+    rows: Option<usize>,
 }
 
 /// Builds the bitmap words `start_word..start_word + out.len()` from `input`
@@ -118,6 +123,17 @@ impl Kernel for SelectKernel {
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
         KernelCost::new((launch.n as u64) * 4, (launch.n as u64) / 8, launch.n as u64, 0)
     }
+    fn declared_accesses(&self, _launch: &LaunchConfig) -> Option<KernelAccesses> {
+        let words = Bitmap::words_for(self.n.cap());
+        let mut declared = KernelAccesses::of(vec![
+            BufferAccess::slice_read(&self.input, 0..self.input.len()),
+            BufferAccess::slice_write(&self.bitmap, 0..words),
+        ]);
+        if let Some(rows) = self.rows {
+            declared = declared.with_bitmap(&self.bitmap, rows);
+        }
+        Some(declared)
+    }
 }
 
 fn run_select(
@@ -138,6 +154,10 @@ fn run_select(
             bitmap: bitmap.buffer.clone(),
             predicate,
             n: len.source(),
+            rows: match len {
+                crate::context::ColLen::Host(n) => Some(*n),
+                crate::context::ColLen::Device { .. } => None,
+            },
         }),
         ctx.launch(len.cap()),
         &wait,
@@ -225,6 +245,12 @@ impl Kernel for CountBitsKernel {
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
         KernelCost::new((launch.n as u64) / 8, launch.total_items() as u64 * 4, launch.n as u64, 0)
     }
+    fn declared_accesses(&self, launch: &LaunchConfig) -> Option<KernelAccesses> {
+        Some(KernelAccesses::of(vec![
+            BufferAccess::slice_read(&self.bitmap, 0..self.words),
+            BufferAccess::cells_write(&self.counts, 0..launch.total_items()),
+        ]))
+    }
 }
 
 struct WritePositionsKernel {
@@ -264,6 +290,13 @@ impl Kernel for WritePositionsKernel {
     }
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
         KernelCost::new((launch.n as u64) / 8, (launch.n as u64) * 4, launch.n as u64, 0)
+    }
+    fn declared_accesses(&self, launch: &LaunchConfig) -> Option<KernelAccesses> {
+        Some(KernelAccesses::of(vec![
+            BufferAccess::slice_read(&self.bitmap, 0..self.words),
+            BufferAccess::cells_read(&self.offsets, 0..launch.total_items()),
+            BufferAccess::cells_write(&self.output, 0..self.output.len()),
+        ]))
     }
 }
 

@@ -19,7 +19,9 @@
 
 use crate::context::{ColLen, DevColumn, DevScalar, OcelotContext};
 use crate::primitives::reduce;
-use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use ocelot_kernel::{
+    Buffer, BufferAccess, Kernel, KernelAccesses, KernelCost, LaunchConfig, Result, WorkGroupCtx,
+};
 use std::sync::Arc;
 
 /// A device-resident bitmap over `n` rows, where `n` may be host-known or
@@ -111,6 +113,9 @@ struct CombineKernel {
     right: Buffer,
     output: Buffer,
     mode: BitmapCombine,
+    /// Host-known logical row count of the output, when there is one —
+    /// lets the race detector's bitmap-padding check run on completion.
+    rows: Option<usize>,
 }
 
 impl Kernel for CombineKernel {
@@ -146,19 +151,35 @@ impl Kernel for CombineKernel {
                     }
                 }
             } else {
-                let output = self.output.cells();
+                // Strided/coalesced pattern: store through a one-word
+                // tier-2 chunk per element — the strided assignment gives
+                // each index to exactly one work-item, so the chunks are
+                // pairwise disjoint.
                 for idx in assigned {
                     let combined = match self.mode {
                         BitmapCombine::And => left[idx] & right[idx],
                         BitmapCombine::Or => left[idx] | right[idx],
                     };
-                    output[idx].store(combined, std::sync::atomic::Ordering::Relaxed);
+                    // SAFETY: index `idx` is owned by this item alone
+                    // within this phase (disjoint one-word chunks).
+                    unsafe { self.output.chunk_mut(idx, idx + 1)[0] = combined };
                 }
             }
         }
     }
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
         KernelCost::new((launch.n as u64) * 8, (launch.n as u64) * 4, launch.n as u64, 0)
+    }
+    fn declared_accesses(&self, _launch: &LaunchConfig) -> Option<KernelAccesses> {
+        let mut declared = KernelAccesses::of(vec![
+            BufferAccess::slice_read(&self.left, 0..self.left.len()),
+            BufferAccess::slice_read(&self.right, 0..self.right.len()),
+            BufferAccess::slice_write(&self.output, 0..self.output.len()),
+        ]);
+        if let Some(rows) = self.rows {
+            declared = declared.with_bitmap(&self.output, rows);
+        }
+        Some(declared)
     }
 }
 
@@ -197,6 +218,10 @@ pub fn combine(
             right: right.buffer.clone(),
             output: output.buffer.clone(),
             mode,
+            rows: match output.col_len() {
+                ColLen::Host(n) => Some(*n),
+                ColLen::Device { .. } => None,
+            },
         }),
         ctx.launch(words),
         &wait,
@@ -231,6 +256,12 @@ impl Kernel for PopcountKernel {
     }
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
         KernelCost::new((launch.n as u64) * 4, launch.total_items() as u64 * 4, launch.n as u64, 0)
+    }
+    fn declared_accesses(&self, launch: &LaunchConfig) -> Option<KernelAccesses> {
+        Some(KernelAccesses::of(vec![
+            BufferAccess::slice_read(&self.bitmap, 0..self.words),
+            BufferAccess::cells_write(&self.counts, 0..launch.total_items()),
+        ]))
     }
 }
 

@@ -10,7 +10,9 @@
 //! same deferred length, so the pipeline stays sync-free.
 
 use crate::context::{DevColumn, DevWord, LenSource, OcelotContext, Oid};
-use ocelot_kernel::{Buffer, Kernel, KernelCost, LaunchConfig, Result, WorkGroupCtx};
+use ocelot_kernel::{
+    Buffer, BufferAccess, Kernel, KernelAccesses, KernelCost, LaunchConfig, Result, WorkGroupCtx,
+};
 use std::sync::Arc;
 
 /// The gather kernel: one logical invocation per output element.
@@ -46,15 +48,18 @@ impl Kernel for GatherKernel {
                     *o = values[position as usize];
                 }
             } else {
-                // Strided/coalesced pattern: indices are not a slice, but
-                // the reads still avoid per-element atomic loads.
-                let output = self.output.cells();
+                // Strided/coalesced pattern: store through a one-word
+                // tier-2 chunk per element — the strided assignment gives
+                // each index to exactly one work-item, so the chunks are
+                // pairwise disjoint.
                 for idx in assigned {
                     if idx >= n {
                         continue;
                     }
                     let position = indices[idx] as usize;
-                    output[idx].store(values[position], std::sync::atomic::Ordering::Relaxed);
+                    // SAFETY: index `idx` is owned by this item alone
+                    // within this phase (disjoint one-word chunks).
+                    unsafe { self.output.chunk_mut(idx, idx + 1)[0] = values[position] };
                 }
             }
         }
@@ -62,6 +67,13 @@ impl Kernel for GatherKernel {
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
         // Two reads (index + value) and one write per element.
         KernelCost::new((launch.n as u64) * 8, (launch.n as u64) * 4, launch.n as u64, 0)
+    }
+    fn declared_accesses(&self, _launch: &LaunchConfig) -> Option<KernelAccesses> {
+        Some(KernelAccesses::of(vec![
+            BufferAccess::slice_read(&self.values, 0..self.values.len()),
+            BufferAccess::slice_read(&self.indices, 0..self.indices.len()),
+            BufferAccess::slice_write(&self.output, 0..self.output.len()),
+        ]))
     }
 }
 

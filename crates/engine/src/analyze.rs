@@ -1,0 +1,682 @@
+//! Static plan verification — pre-execution analysis over [`Plan`] DAGs.
+//!
+//! The executor trusts the [`PlanBuilder`](crate::plan::PlanBuilder)'s SSA
+//! construction, but plans also arrive from the MAL compiler, from the plan
+//! cache and (in tests and tools) from raw node lists. This module checks a
+//! plan *before* a single kernel is enqueued and reports every violation as
+//! a typed [`PlanDiagnostic`] — it never panics and never executes anything.
+//!
+//! # What is verified
+//!
+//! | Check | Diagnostic | Contract |
+//! |-------|-----------|----------|
+//! | def-before-use | [`PlanDiagnostic::UseBeforeDef`] / [`PlanDiagnostic::UndefinedInput`] | every input register is written by an **earlier** node |
+//! | single assignment | [`PlanDiagnostic::DoubleDefine`] | every register is written by exactly one node (SSA) |
+//! | input arity | [`PlanDiagnostic::InputArity`] | operand count matches the operator signature |
+//! | output arity | [`PlanDiagnostic::OutputArity`] | result count matches the operator signature |
+//! | operand kinds | [`PlanDiagnostic::InputKind`] | column/scalar/grouping kinds agree with the signature table |
+//! | register liveness | [`PlanDiagnostic::LastUseMismatch`] | the recorded last-use map equals the true dataflow last use — the executor frees registers and [`Plan::estimate_register_footprint`] sizes live sets from this map, so a stale entry either leaks device memory or frees a register that is still read |
+//!
+//! # Flush-boundary analysis
+//!
+//! [`verify`] additionally computes a conservative static bound on the
+//! number of *effective* queue flushes the plan performs (a flush of an
+//! empty queue does not count — see `ocelot_kernel::Queue::flush_count`).
+//! Operators fall into three classes:
+//!
+//! * **Streaming** — enqueue kernels and return device handles without
+//!   touching host values: binds, selections, maps, fetch, grouped
+//!   aggregates over an existing grouping, and the deferred scalar sum.
+//! * **Host-resolving** — internally resolve host values mid-plan (the
+//!   "deliberate sync points" of the operator library): hash joins
+//!   (monolithic and partitioned), semi/anti joins, grouping (its group
+//!   count shapes the schema), sorts (host-side ping-pong schedule) and
+//!   the OID-list union (host merge). Their internal flush count is
+//!   data-dependent, so any plan containing one gets a
+//!   [`FlushBound::DataDependent`] bound.
+//! * **Boundary** — `sync` and `result` flush pending work exactly once
+//!   and leave the queue empty.
+//!
+//! A plan built only from streaming and boundary operators gets a proven
+//! [`FlushBound::AtMost`] bound: the number of boundary nodes that find
+//! work pending. This statically proves the paper's Q6 one-flush property
+//! (binds → selections → maps → sum → result ⇒ at most one flush) without
+//! executing the plan. The bound models kernel-batch flushes on a
+//! unified-memory device; on a simulated discrete device each `result`
+//! node may add one transfer-only flush for the host copy-back.
+//!
+//! # Entry points
+//!
+//! [`verify`] is pure and always available; [`Session::verify_plan`]
+//! (see `crate::session`) exposes it per session, and `Session::run` plus
+//! `Scheduler` admission re-check every plan in debug builds.
+
+use crate::plan::{Plan, PlanError, PlanNode, PlanOp, ValueKind, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One verifier finding. Every variant names the node (by index in
+/// [`Plan::nodes`] order) and operator it anchors to, so a rendered
+/// diagnostic reads like a compiler error against the plan listing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanDiagnostic {
+    /// A node reads a register that only a **later** node writes — the
+    /// node order is not a valid topological order of the dataflow.
+    UseBeforeDef {
+        /// Index of the offending node.
+        node: usize,
+        /// Operator name of the offending node.
+        op: &'static str,
+        /// The register read too early.
+        var: Var,
+        /// Index of the node that (later) defines the register.
+        defined_at: usize,
+    },
+    /// A node reads a register no node in the plan ever writes.
+    UndefinedInput {
+        /// Index of the offending node.
+        node: usize,
+        /// Operator name of the offending node.
+        op: &'static str,
+        /// The dangling register.
+        var: Var,
+    },
+    /// A register is written by two nodes — single assignment is violated,
+    /// so "the producer of `var`" is ambiguous and last-use reclamation
+    /// would free the first value while the second is still pending.
+    DoubleDefine {
+        /// Index of the second (offending) definition.
+        node: usize,
+        /// Operator name of the offending node.
+        op: &'static str,
+        /// The register defined twice.
+        var: Var,
+        /// Index of the first definition.
+        first: usize,
+    },
+    /// A node's operand count does not match its operator signature.
+    InputArity {
+        /// Index of the offending node.
+        node: usize,
+        /// Operator name of the offending node.
+        op: &'static str,
+        /// Operands the node actually carries.
+        found: usize,
+        /// Human-readable operand count the signature requires.
+        expected: &'static str,
+    },
+    /// A node's result count does not match its operator signature.
+    OutputArity {
+        /// Index of the offending node.
+        node: usize,
+        /// Operator name of the offending node.
+        op: &'static str,
+        /// Results the node actually carries.
+        found: usize,
+        /// Results the signature requires.
+        expected: usize,
+    },
+    /// An operand holds a value of the wrong kind (e.g. a grouping fed to
+    /// an element-wise map).
+    InputKind {
+        /// Index of the offending node.
+        node: usize,
+        /// Operator name of the offending node.
+        op: &'static str,
+        /// Position of the operand within the node's inputs.
+        index: usize,
+        /// The offending register.
+        var: Var,
+        /// The kind the signature requires.
+        expected: ValueKind,
+        /// The kind the register actually holds.
+        found: ValueKind,
+    },
+    /// The plan's recorded last-use entry for a register disagrees with
+    /// the true dataflow last use. The executor frees registers from this
+    /// map and [`Plan::estimate_register_footprint`] sizes live sets from
+    /// it, so a stale entry leaks device memory (recorded too late /
+    /// missing) or frees a register that is still read (recorded too
+    /// early).
+    LastUseMismatch {
+        /// The register with the inconsistent entry.
+        var: Var,
+        /// The entry the plan carries (`None` if absent).
+        recorded: Option<usize>,
+        /// The last node index that actually reads the register (`None`
+        /// if nothing reads it).
+        actual: Option<usize>,
+    },
+}
+
+impl fmt::Display for PlanDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanDiagnostic::UseBeforeDef { node, op, var, defined_at } => write!(
+                f,
+                "node {node} ({op}): reads v{var} which is only defined by the later node \
+                 {defined_at}"
+            ),
+            PlanDiagnostic::UndefinedInput { node, op, var } => {
+                write!(f, "node {node} ({op}): reads v{var} which no node defines")
+            }
+            PlanDiagnostic::DoubleDefine { node, op, var, first } => write!(
+                f,
+                "node {node} ({op}): redefines v{var} already defined by node {first} \
+                 (single assignment violated)"
+            ),
+            PlanDiagnostic::InputArity { node, op, found, expected } => {
+                write!(f, "node {node} ({op}): {found} operand(s), signature requires {expected}")
+            }
+            PlanDiagnostic::OutputArity { node, op, found, expected } => write!(
+                f,
+                "node {node} ({op}): {found} result register(s), signature requires {expected}"
+            ),
+            PlanDiagnostic::InputKind { node, op, index, var, expected, found } => write!(
+                f,
+                "node {node} ({op}): operand {index} (v{var}) holds a {found}, expected a \
+                 {expected}"
+            ),
+            PlanDiagnostic::LastUseMismatch { var, recorded, actual } => {
+                let show = |value: &Option<usize>| match value {
+                    Some(node) => format!("node {node}"),
+                    None => "absent".to_string(),
+                };
+                write!(
+                    f,
+                    "liveness: v{var} last-use recorded as {} but the dataflow's last read is {}",
+                    show(recorded),
+                    show(actual)
+                )
+            }
+        }
+    }
+}
+
+/// Conservative static bound on the *effective* flushes a plan performs
+/// (see the module docs for the operator classification and the
+/// unified-memory scope of the bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushBound {
+    /// The plan contains only streaming and boundary operators; it
+    /// performs at most this many effective flushes.
+    AtMost(usize),
+    /// The plan contains host-resolving operators whose internal flush
+    /// count depends on the data (hash-build retry loops, sort passes,
+    /// partition schedules), so no static constant bounds it.
+    DataDependent {
+        /// Flushes attributable to `sync`/`result` boundary nodes.
+        boundary: usize,
+        /// Number of host-resolving nodes (each flushes at least once
+        /// when work is pending, possibly more).
+        host_resolving: usize,
+    },
+}
+
+impl fmt::Display for FlushBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlushBound::AtMost(n) => write!(f, "at most {n} flush(es)"),
+            FlushBound::DataDependent { boundary, host_resolving } => write!(
+                f,
+                "data-dependent ({host_resolving} host-resolving node(s) + {boundary} boundary \
+                 flush(es))"
+            ),
+        }
+    }
+}
+
+/// The outcome of [`verify`]: every diagnostic found plus the static
+/// flush bound. Rendered with `Display` as one diagnostic per line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Every violation found, in node order.
+    pub diagnostics: Vec<PlanDiagnostic>,
+    /// The static flush bound (meaningful when the plan is well-formed).
+    pub flush_bound: FlushBound,
+    /// Number of nodes inspected.
+    pub nodes: usize,
+}
+
+impl VerifyReport {
+    /// Whether the plan passed every check.
+    pub fn is_ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            return write!(f, "plan ok: {} node(s), {}", self.nodes, self.flush_bound);
+        }
+        writeln!(f, "plan verification failed ({} finding(s)):", self.diagnostics.len())?;
+        for diagnostic in &self.diagnostics {
+            writeln!(f, "  {diagnostic}")?;
+        }
+        write!(f, "  flush bound: {}", self.flush_bound)
+    }
+}
+
+/// Operand shape of one operator.
+enum InputSig {
+    /// Exactly these kinds, in operand order.
+    Exact(&'static [ValueKind]),
+    /// `[column]` or `[column, candidates]` — the optional candidate-list
+    /// form every selection supports.
+    Select,
+    /// One or more key columns (`group_by`).
+    Keys,
+    /// Any number of registers of any kind (`sync`).
+    AnyDefined,
+    /// Zero or more columns/scalars — groupings are not materialisable
+    /// (`result`).
+    Results,
+}
+
+const COLUMN: ValueKind = ValueKind::Column;
+const GROUP: ValueKind = ValueKind::Group;
+
+/// How the operator interacts with the lazy queue (see module docs).
+#[derive(PartialEq)]
+enum FlushClass {
+    Streaming,
+    HostResolving,
+    Boundary,
+}
+
+/// The operator signature table: operand shape, result kinds and flush
+/// class. This is the verifier's single source of truth per operator;
+/// `PlanBuilder::push_node` reuses the result kinds for raw-node plans.
+fn signature(op: &PlanOp) -> (InputSig, &'static [ValueKind], FlushClass) {
+    use FlushClass::{Boundary, HostResolving, Streaming};
+    use InputSig::{AnyDefined, Exact, Keys, Results, Select};
+    match op {
+        PlanOp::Bind { .. } => (Exact(&[]), &[COLUMN], Streaming),
+        PlanOp::SelectRangeI32 { .. }
+        | PlanOp::SelectRangeF32 { .. }
+        | PlanOp::SelectEqI32 { .. }
+        | PlanOp::SelectNeI32 { .. } => (Select, &[COLUMN], Streaming),
+        PlanOp::UnionOids => (Exact(&[COLUMN, COLUMN]), &[COLUMN], HostResolving),
+        PlanOp::Fetch | PlanOp::MulF32 | PlanOp::AddF32 | PlanOp::SubF32 => {
+            (Exact(&[COLUMN, COLUMN]), &[COLUMN], Streaming)
+        }
+        PlanOp::ConstMinusF32 { .. }
+        | PlanOp::ConstPlusF32 { .. }
+        | PlanOp::MulConstF32 { .. }
+        | PlanOp::CastI32F32
+        | PlanOp::ExtractYear => (Exact(&[COLUMN]), &[COLUMN], Streaming),
+        PlanOp::PkFkJoin | PlanOp::PkFkJoinPartitioned { .. } => {
+            (Exact(&[COLUMN, COLUMN]), &[COLUMN, COLUMN], HostResolving)
+        }
+        PlanOp::SemiJoin | PlanOp::AntiJoin => (Exact(&[COLUMN, COLUMN]), &[COLUMN], HostResolving),
+        PlanOp::GroupBy => (Keys, &[GROUP], HostResolving),
+        PlanOp::GroupReps => (Exact(&[GROUP]), &[COLUMN], Streaming),
+        PlanOp::GroupedSumF32
+        | PlanOp::GroupedMinF32
+        | PlanOp::GroupedMaxF32
+        | PlanOp::GroupedAvgF32 => (Exact(&[COLUMN, GROUP]), &[COLUMN], Streaming),
+        PlanOp::GroupedCount => (Exact(&[GROUP]), &[COLUMN], Streaming),
+        PlanOp::SortOrderI32 { .. } | PlanOp::SortOrderF32 { .. } => {
+            (Exact(&[COLUMN]), &[COLUMN], HostResolving)
+        }
+        PlanOp::SumF32 => (Exact(&[COLUMN]), &[ValueKind::Scalar], Streaming),
+        PlanOp::Sync => (AnyDefined, &[], Boundary),
+        PlanOp::Result => (Results, &[], Boundary),
+    }
+}
+
+/// Result kinds of an operator, for kind-assigning raw-node appends
+/// (`PlanBuilder::push_node`).
+pub(crate) fn output_kinds(op: &PlanOp) -> &'static [ValueKind] {
+    signature(op).1
+}
+
+/// Verifies a plan (see module docs for the full check list) and computes
+/// its static flush bound. Pure: reads the plan, executes nothing, never
+/// panics — every violation becomes a [`PlanDiagnostic`].
+pub fn verify(plan: &Plan) -> VerifyReport {
+    let nodes = plan.nodes();
+    let mut diagnostics = Vec::new();
+
+    // Definition sites over the whole plan (for telling a use-before-def
+    // apart from a genuinely dangling register), first-writer-wins.
+    let mut first_def: HashMap<Var, usize> = HashMap::new();
+    for (index, node) in nodes.iter().enumerate() {
+        for out in &node.outputs {
+            first_def.entry(*out).or_insert(index);
+        }
+    }
+
+    // Forward walk: defined-so-far kinds, signature checks.
+    let mut kinds: HashMap<Var, ValueKind> = HashMap::new();
+    let mut defined_at: HashMap<Var, usize> = HashMap::new();
+    for (index, node) in nodes.iter().enumerate() {
+        let op = node.op.name();
+        let (inputs_sig, outputs_sig, _) = signature(&node.op);
+
+        // Expected operand kinds, or None when the arity itself is wrong.
+        let expected: Option<Vec<ValueKind>> = match inputs_sig {
+            InputSig::Exact(kinds) => {
+                (node.inputs.len() == kinds.len()).then(|| kinds.to_vec()).or_else(|| {
+                    diagnostics.push(PlanDiagnostic::InputArity {
+                        node: index,
+                        op,
+                        found: node.inputs.len(),
+                        expected: match kinds.len() {
+                            0 => "0",
+                            1 => "1",
+                            _ => "2",
+                        },
+                    });
+                    None
+                })
+            }
+            InputSig::Select => matches!(node.inputs.len(), 1 | 2)
+                .then(|| vec![COLUMN; node.inputs.len()])
+                .or_else(|| {
+                    diagnostics.push(PlanDiagnostic::InputArity {
+                        node: index,
+                        op,
+                        found: node.inputs.len(),
+                        expected: "1 or 2",
+                    });
+                    None
+                }),
+            InputSig::Keys => {
+                (!node.inputs.is_empty()).then(|| vec![COLUMN; node.inputs.len()]).or_else(|| {
+                    diagnostics.push(PlanDiagnostic::InputArity {
+                        node: index,
+                        op,
+                        found: 0,
+                        expected: "at least 1",
+                    });
+                    None
+                })
+            }
+            // Kind checks for sync/result happen below, per operand.
+            InputSig::AnyDefined | InputSig::Results => None,
+        };
+
+        for (position, var) in node.inputs.iter().enumerate() {
+            match kinds.get(var) {
+                None => match first_def.get(var) {
+                    Some(later) => diagnostics.push(PlanDiagnostic::UseBeforeDef {
+                        node: index,
+                        op,
+                        var: *var,
+                        defined_at: *later,
+                    }),
+                    None => diagnostics.push(PlanDiagnostic::UndefinedInput {
+                        node: index,
+                        op,
+                        var: *var,
+                    }),
+                },
+                Some(found) => {
+                    let want = match (&node.op, expected.as_ref()) {
+                        // `result` materialises columns and scalars, never
+                        // a grouping; a column stands in for "not a group"
+                        // in the rendered diagnostic.
+                        (PlanOp::Result, _) if *found == GROUP => Some(COLUMN),
+                        (_, Some(expected)) => {
+                            expected.get(position).copied().filter(|want| want != found)
+                        }
+                        _ => None,
+                    };
+                    if let Some(expected) = want {
+                        diagnostics.push(PlanDiagnostic::InputKind {
+                            node: index,
+                            op,
+                            index: position,
+                            var: *var,
+                            expected,
+                            found: *found,
+                        });
+                    }
+                }
+            }
+        }
+
+        if node.outputs.len() != outputs_sig.len() {
+            diagnostics.push(PlanDiagnostic::OutputArity {
+                node: index,
+                op,
+                found: node.outputs.len(),
+                expected: outputs_sig.len(),
+            });
+        }
+        for (position, out) in node.outputs.iter().enumerate() {
+            if let Some(first) = defined_at.get(out) {
+                diagnostics.push(PlanDiagnostic::DoubleDefine {
+                    node: index,
+                    op,
+                    var: *out,
+                    first: *first,
+                });
+                continue;
+            }
+            defined_at.insert(*out, index);
+            kinds.insert(*out, outputs_sig.get(position).copied().unwrap_or(COLUMN));
+        }
+    }
+
+    // Liveness: the recorded last-use map must equal the true dataflow
+    // last read, for every register that appears anywhere in the plan.
+    let mut actual_last_use: HashMap<Var, usize> = HashMap::new();
+    for (index, node) in nodes.iter().enumerate() {
+        for var in &node.inputs {
+            actual_last_use.insert(*var, index);
+        }
+    }
+    let mut seen: Vec<Var> = first_def.keys().chain(actual_last_use.keys()).copied().collect();
+    seen.sort_unstable();
+    seen.dedup();
+    for var in seen {
+        let recorded = plan.last_use(var);
+        let actual = actual_last_use.get(&var).copied();
+        if recorded != actual {
+            diagnostics.push(PlanDiagnostic::LastUseMismatch { var, recorded, actual });
+        }
+    }
+
+    VerifyReport { diagnostics, flush_bound: flush_bound(plan), nodes: nodes.len() }
+}
+
+/// The flush-boundary pass (module docs): walks the nodes with a
+/// pending-work flag, charging boundary nodes one flush when work is
+/// pending and degrading to [`FlushBound::DataDependent`] on the first
+/// host-resolving operator.
+fn flush_bound(plan: &Plan) -> FlushBound {
+    let mut pending = false;
+    let mut boundary = 0usize;
+    let mut host_resolving = 0usize;
+    for node in plan.nodes() {
+        match signature(&node.op).2 {
+            FlushClass::Streaming => pending = true,
+            FlushClass::HostResolving => {
+                host_resolving += 1;
+                // Host-resolving operators flush internally but also
+                // enqueue follow-up kernels, so work stays pending.
+                pending = true;
+            }
+            FlushClass::Boundary => {
+                if pending {
+                    boundary += 1;
+                    pending = false;
+                }
+            }
+        }
+    }
+    if host_resolving == 0 {
+        FlushBound::AtMost(boundary)
+    } else {
+        FlushBound::DataDependent { boundary, host_resolving }
+    }
+}
+
+/// Raw-node append support for [`crate::plan::PlanBuilder::push_node`]:
+/// checks definitions and single assignment, returning the output kinds to
+/// record. Kind/arity validation beyond that is the verifier's job.
+pub(crate) fn admit_raw_node(
+    node: &PlanNode,
+    kinds: &HashMap<Var, ValueKind>,
+) -> Result<&'static [ValueKind], PlanError> {
+    for var in &node.inputs {
+        if !kinds.contains_key(var) {
+            return Err(PlanError::UndefinedVar { var: *var });
+        }
+    }
+    for out in &node.outputs {
+        if kinds.contains_key(out) {
+            return Err(PlanError::DuplicateDefinition { var: *out });
+        }
+    }
+    Ok(output_kinds(&node.op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+
+    fn q6_like() -> Plan {
+        let mut p = PlanBuilder::new();
+        let qty = p.bind("lineitem", "l_quantity");
+        let price = p.bind("lineitem", "l_extendedprice");
+        let disc = p.bind("lineitem", "l_discount");
+        let sel = p.select_range_i32(qty, 0, 23, None).unwrap();
+        let price_sel = p.fetch(price, sel).unwrap();
+        let disc_sel = p.fetch(disc, sel).unwrap();
+        let revenue = p.mul_f32(price_sel, disc_sel).unwrap();
+        let total = p.sum_f32(revenue).unwrap();
+        p.result(&[total]).unwrap();
+        p.finish()
+    }
+
+    #[test]
+    fn builder_plans_verify_clean() {
+        let report = verify(&q6_like());
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn q6_pipeline_is_statically_one_flush() {
+        assert_eq!(verify(&q6_like()).flush_bound, FlushBound::AtMost(1));
+    }
+
+    #[test]
+    fn sync_then_result_still_one_flush() {
+        let mut p = PlanBuilder::new();
+        let a = p.bind("t", "a");
+        let total = p.sum_f32(a).unwrap();
+        p.sync(&[total]).unwrap();
+        p.result(&[total]).unwrap();
+        assert_eq!(verify(&p.finish()).flush_bound, FlushBound::AtMost(1));
+    }
+
+    #[test]
+    fn joins_degrade_the_bound_to_data_dependent() {
+        let mut p = PlanBuilder::new();
+        let fk = p.bind("orders", "o_custkey");
+        let pk = p.bind("customer", "c_custkey");
+        let (fk_oids, _) = p.pkfk_join(fk, pk).unwrap();
+        p.result(&[fk_oids]).unwrap();
+        assert_eq!(
+            verify(&p.finish()).flush_bound,
+            FlushBound::DataDependent { boundary: 1, host_resolving: 1 }
+        );
+    }
+
+    #[test]
+    fn use_before_def_and_dangling_are_distinguished() {
+        let plan = Plan::from_nodes_unchecked(vec![
+            PlanNode { op: PlanOp::CastI32F32, inputs: vec![1], outputs: vec![0] },
+            PlanNode {
+                op: PlanOp::Bind { table: "t".into(), column: "a".into() },
+                inputs: vec![],
+                outputs: vec![1],
+            },
+            PlanNode { op: PlanOp::ExtractYear, inputs: vec![7], outputs: vec![2] },
+        ]);
+        let report = verify(&plan);
+        assert!(report.diagnostics.contains(&PlanDiagnostic::UseBeforeDef {
+            node: 0,
+            op: "cast_i32_f32",
+            var: 1,
+            defined_at: 1,
+        }));
+        assert!(report.diagnostics.contains(&PlanDiagnostic::UndefinedInput {
+            node: 2,
+            op: "extract_year",
+            var: 7
+        }));
+    }
+
+    #[test]
+    fn double_definition_is_flagged() {
+        let bind = |column: &str, out: Var| PlanNode {
+            op: PlanOp::Bind { table: "t".into(), column: column.into() },
+            inputs: vec![],
+            outputs: vec![out],
+        };
+        let report = verify(&Plan::from_nodes_unchecked(vec![bind("a", 0), bind("b", 0)]));
+        assert!(report.diagnostics.contains(&PlanDiagnostic::DoubleDefine {
+            node: 1,
+            op: "bind",
+            var: 0,
+            first: 0,
+        }));
+    }
+
+    #[test]
+    fn kind_and_arity_mismatches_are_flagged() {
+        let mut p = PlanBuilder::new();
+        let a = p.bind("t", "a");
+        let g = p.group_by(&[a]).unwrap();
+        p.result(&[a]).unwrap();
+        let mut nodes = p.finish().nodes().to_vec();
+        // A grouping fed to an element-wise multiply, plus a multiply with
+        // a single operand.
+        nodes.push(PlanNode { op: PlanOp::MulF32, inputs: vec![a, g], outputs: vec![9] });
+        nodes.push(PlanNode { op: PlanOp::MulF32, inputs: vec![a], outputs: vec![10] });
+        let report = verify(&Plan::from_nodes_unchecked(nodes));
+        assert!(report.diagnostics.iter().any(|d| matches!(
+            d,
+            PlanDiagnostic::InputKind { op: "mul_f32", found: ValueKind::Group, .. }
+        )));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, PlanDiagnostic::InputArity { op: "mul_f32", found: 1, .. })));
+    }
+
+    #[test]
+    fn stale_last_use_is_flagged() {
+        let mut p = PlanBuilder::new();
+        let a = p.bind("t", "a");
+        let b = p.cast_i32_f32(a).unwrap();
+        p.result(&[b]).unwrap();
+        let nodes = p.finish().nodes().to_vec();
+        // Register `a` is last read by node 1, but the map says node 2.
+        let plan = Plan::from_parts_unchecked(nodes, [(a, 2), (b, 2)].into_iter().collect());
+        let report = verify(&plan);
+        assert!(report.diagnostics.contains(&PlanDiagnostic::LastUseMismatch {
+            var: a,
+            recorded: Some(2),
+            actual: Some(1),
+        }));
+    }
+
+    #[test]
+    fn reports_render_one_line_per_diagnostic() {
+        let plan = Plan::from_nodes_unchecked(vec![PlanNode {
+            op: PlanOp::SumF32,
+            inputs: vec![3],
+            outputs: vec![0],
+        }]);
+        let rendered = verify(&plan).to_string();
+        assert!(rendered.contains("verification failed"), "{rendered}");
+        assert!(rendered.contains("v3"), "{rendered}");
+    }
+}

@@ -54,6 +54,7 @@
 //! configurations and modeled device time for the simulated GPU, which is
 //! what the benchmark harness records for every figure.
 
+pub mod analyze;
 pub mod backend;
 pub mod backends;
 pub mod mal;
@@ -63,6 +64,7 @@ pub mod scheduler;
 pub mod serve;
 pub mod session;
 
+pub use analyze::{verify, FlushBound, PlanDiagnostic, VerifyReport};
 pub use backend::{Backend, GroupHandle, ProfileMarker};
 pub use backends::{MonetParBackend, MonetSeqBackend, OcelotBackend};
 pub use ocelot_trace::{

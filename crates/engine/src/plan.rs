@@ -115,6 +115,13 @@ pub enum PlanError {
         /// The kind the register actually holds.
         found: ValueKind,
     },
+    /// A raw node tried to define a register an earlier node already
+    /// defined (single assignment violated — see
+    /// [`PlanBuilder::push_node`]).
+    DuplicateDefinition {
+        /// The register in question.
+        var: Var,
+    },
     /// `group_by` was called with no key columns.
     EmptyGroupBy,
     /// A node ran out of device memory and the OOM-restart protocol could
@@ -167,6 +174,9 @@ impl fmt::Display for PlanError {
             PlanError::UndefinedVar { var } => write!(f, "variable {var} is undefined"),
             PlanError::KindMismatch { var, expected, found } => {
                 write!(f, "variable {var} holds a {found}, expected a {expected}")
+            }
+            PlanError::DuplicateDefinition { var } => {
+                write!(f, "variable {var} is defined more than once")
             }
             PlanError::EmptyGroupBy => write!(f, "group_by needs at least one key column"),
             PlanError::OutOfDeviceMemory { requested, available } => write!(
@@ -423,6 +433,29 @@ impl Plan {
     /// The nodes in execution (topological) order.
     pub fn nodes(&self) -> &[PlanNode] {
         &self.nodes
+    }
+
+    /// Assembles a plan from raw nodes **without any checking**, computing
+    /// the last-use map honestly from the node inputs. Ill-formed node
+    /// lists are accepted deliberately: this is the entry point for
+    /// feeding negative cases to [`crate::analyze::verify`]. Executing an
+    /// unverified plan built this way is undefined (the executor trusts
+    /// plan invariants).
+    pub fn from_nodes_unchecked(nodes: Vec<PlanNode>) -> Plan {
+        let mut last_use = HashMap::new();
+        for (index, node) in nodes.iter().enumerate() {
+            for var in &node.inputs {
+                last_use.insert(*var, index);
+            }
+        }
+        Plan { nodes, last_use, source: None }
+    }
+
+    /// Like [`Plan::from_nodes_unchecked`], but with an explicit —
+    /// possibly inconsistent — last-use map, for exercising the
+    /// verifier's liveness check.
+    pub fn from_parts_unchecked(nodes: Vec<PlanNode>, last_use: HashMap<Var, usize>) -> Plan {
+        Plan { nodes, last_use, source: None }
     }
 
     /// Attaches the logical query this plan was lowered from (called by
@@ -908,6 +941,30 @@ impl PlanBuilder {
             inputs: vars.to_vec(),
             outputs: Vec::new(),
         });
+        Ok(())
+    }
+
+    /// Appends a raw node, checking definitions: every input must already
+    /// be defined and every output must be fresh — a repeated output is
+    /// rejected with [`PlanError::DuplicateDefinition`] (the SSA methods
+    /// above cannot produce one, but raw appends — plan tools, compilers
+    /// building nodes directly — can). Output registers take the
+    /// operator's signature kinds and advance the builder's register
+    /// counter past them. Kind and arity validation beyond the definition
+    /// discipline is [`crate::analyze::verify`]'s job.
+    pub fn push_node(
+        &mut self,
+        op: PlanOp,
+        inputs: Vec<Var>,
+        outputs: Vec<Var>,
+    ) -> Result<(), PlanError> {
+        let node = PlanNode { op, inputs, outputs };
+        let kinds = crate::analyze::admit_raw_node(&node, &self.kinds)?;
+        for (position, out) in node.outputs.iter().enumerate() {
+            self.kinds.insert(*out, kinds.get(position).copied().unwrap_or(ValueKind::Column));
+            self.next_var = self.next_var.max(*out + 1);
+        }
+        self.nodes.push(node);
         Ok(())
     }
 

@@ -300,6 +300,11 @@ impl Scheduler {
         jobs: &[QueryJob<'_, B>],
         probe: Option<impl Fn(&B) -> DeviceClock>,
     ) -> DriveOutcome {
+        #[cfg(debug_assertions)]
+        for (index, job) in jobs.iter().enumerate() {
+            let report = crate::analyze::verify(job.plan);
+            debug_assert!(report.is_ok(), "ill-formed plan admitted (job {index}):\n{report}");
+        }
         let mut results: Vec<Option<Result<Vec<QueryValue>, PlanError>>> =
             (0..jobs.len()).map(|_| None).collect();
         let mut traces = Vec::new();

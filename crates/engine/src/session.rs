@@ -100,10 +100,24 @@ impl<B: Backend> Session<B> {
     /// device-loss failover protocol when a fallback is armed (module
     /// docs).
     pub fn run(&self, plan: &Plan, catalog: &Catalog) -> Result<Vec<QueryValue>, PlanError> {
+        #[cfg(debug_assertions)]
+        {
+            let report = self.verify_plan(plan);
+            debug_assert!(report.is_ok(), "ill-formed plan admitted:\n{report}");
+        }
         match self.run_local(plan, catalog) {
             Err(PlanError::DeviceLost) => self.fail_over(plan, catalog),
             outcome => outcome,
         }
+    }
+
+    /// Statically verifies a plan against the full check list of
+    /// [`crate::analyze`] (definition discipline, operator signatures,
+    /// register liveness) and computes its conservative flush bound.
+    /// Available in every build; [`Session::run`] re-checks admission
+    /// automatically in debug builds.
+    pub fn verify_plan(&self, plan: &Plan) -> crate::analyze::VerifyReport {
+        crate::analyze::verify(plan)
     }
 
     /// One plan run on this session's own backend, recovery bookkeeping

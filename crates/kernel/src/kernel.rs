@@ -74,6 +74,16 @@ pub trait Kernel: Send + Sync {
     fn cost(&self, launch: &LaunchConfig) -> KernelCost {
         KernelCost::streaming(launch.n)
     }
+
+    /// Declared buffer access sets for the device-phase race detector
+    /// (see [`crate::race`]). `None` — the default — means the kernel does
+    /// not declare its accesses and the detector skips it conservatively.
+    /// Kernels that use tier-2 slice views should override this with the
+    /// buffer word ranges they read and write under the given launch.
+    fn declared_accesses(&self, launch: &LaunchConfig) -> Option<crate::race::KernelAccesses> {
+        let _ = launch;
+        None
+    }
 }
 
 /// Work-group local memory: a small arena of 32-bit atomic cells shared by

@@ -82,6 +82,7 @@ pub mod fault;
 pub mod gpu_sim;
 pub mod kernel;
 pub mod queue;
+pub mod race;
 pub mod scheduling;
 pub mod thread_pool;
 
@@ -93,6 +94,10 @@ pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec, FaultStats};
 pub use gpu_sim::{GpuConfig, GpuCostModel};
 pub use kernel::{Kernel, KernelCost, LocalMem, WorkGroupCtx, WorkItem};
 pub use queue::{FlushStats, KernelProfile, Queue};
+pub use race::{
+    AccessMode, AccessTier, BitmapClaim, BufferAccess, KernelAccesses, RaceDetector,
+    RaceDiagnostic, RaceStats,
+};
 pub use scheduling::LaunchConfig;
 pub use thread_pool::ThreadPool;
 

@@ -19,6 +19,7 @@ use crate::error::{KernelError, Result};
 use crate::event::{EventId, EventKind, EventRegistry};
 use crate::fault::FaultSite;
 use crate::kernel::Kernel;
+use crate::race::RaceDetector;
 use crate::scheduling::LaunchConfig;
 use ocelot_trace::{MetricsRegistry, TraceEventKind, TraceHandle};
 use parking_lot::Mutex;
@@ -162,6 +163,7 @@ pub struct Queue {
     totals: Mutex<FlushStats>,
     flushes: AtomicU64,
     trace: TraceHandle,
+    race: RaceDetector,
 }
 
 impl Queue {
@@ -175,7 +177,15 @@ impl Queue {
             totals: Mutex::new(FlushStats::default()),
             flushes: AtomicU64::new(0),
             trace: TraceHandle::new(),
+            race: RaceDetector::new(),
         }
+    }
+
+    /// The queue's race-detector shadow state (see [`crate::race`]).
+    /// Disarmed by default; arm it to record kernel access declarations at
+    /// enqueue and check the buffer phase contract at flush.
+    pub fn race(&self) -> &RaceDetector {
+        &self.race
     }
 
     /// The queue's trace attachment point: attach a shared
@@ -250,6 +260,9 @@ impl Queue {
         // later wait-list to trip over.
         self.device.fault_preflight(FaultSite::KernelLaunch)?;
         let event = self.events.issue(EventKind::Kernel(kernel.name().to_string()));
+        if self.race.armed() {
+            self.race.record(&*kernel, &launch, wait, event);
+        }
         self.pending.lock().push(PendingOp::Kernel { kernel, launch, wait: wait.to_vec(), event });
         Ok(event)
     }
@@ -338,6 +351,11 @@ impl Queue {
         }
         let traced = self.trace.armed() && effective;
         let flush_start = traced.then(Instant::now);
+        // Phase analysis runs over the shadow batch *before* execution (the
+        // event graph is fully known here); bitmap claims are checked after
+        // their producer completes, below.
+        let bitmap_claims =
+            if self.race.armed() { self.race.analyze_batch(&self.events) } else { Vec::new() };
         let mut stats = FlushStats::default();
         for op in ops {
             // Wait-list sanity: in-order execution means every dependency
@@ -353,6 +371,11 @@ impl Queue {
                 PendingOp::Kernel { kernel, launch, .. } => {
                     let report = self.device.execute_kernel(&kernel, &launch);
                     self.events.complete(event, report.host_ns, report.modeled_ns);
+                    for (claim_event, producer, claim) in &bitmap_claims {
+                        if *claim_event == event {
+                            self.race.check_bitmap(producer, claim);
+                        }
+                    }
                     stats.kernels += 1;
                     stats.host_ns += report.host_ns;
                     stats.modeled_ns += report.modeled_ns;
@@ -642,6 +665,64 @@ mod tests {
         queue.enqueue_kernel(Arc::new(Increment { buf }), launch, &[]).unwrap();
         queue.flush().unwrap();
         assert_eq!(sink.len(), before, "detached queue emits nothing");
+    }
+
+    struct DeclaredWriter {
+        buf: Buffer,
+        range: std::ops::Range<usize>,
+    }
+
+    impl Kernel for DeclaredWriter {
+        fn name(&self) -> &str {
+            "declared_writer"
+        }
+        fn run_group(&self, _group: &mut WorkGroupCtx) {}
+        fn declared_accesses(&self, _launch: &LaunchConfig) -> Option<crate::race::KernelAccesses> {
+            Some(crate::race::KernelAccesses::of(vec![crate::race::BufferAccess::slice_write(
+                &self.buf,
+                self.range.clone(),
+            )]))
+        }
+    }
+
+    #[test]
+    fn race_detector_flags_unordered_overlap_and_accepts_ordered_writes() {
+        let device = Device::cpu_sequential();
+        let buf = device.alloc(64, "shared").unwrap();
+        let queue = device.create_queue();
+        queue.race().arm();
+        let launch = device.launch_config(64);
+
+        // Two event-unordered kernels with overlapping tier-2 writes.
+        let a = DeclaredWriter { buf: buf.clone(), range: 0..40 };
+        let b = DeclaredWriter { buf: buf.clone(), range: 32..64 };
+        queue.enqueue_kernel(Arc::new(a), launch.clone(), &[]).unwrap();
+        queue.enqueue_kernel(Arc::new(b), launch.clone(), &[]).unwrap();
+        queue.flush().unwrap();
+        let diags = queue.race().take_diagnostics();
+        assert_eq!(diags.len(), 1, "overlap must surface as a diagnostic, not a panic");
+        assert!(matches!(diags[0], crate::race::RaceDiagnostic::WriteWriteOverlap { .. }));
+
+        // The same pair ordered by an event is clean.
+        let a = DeclaredWriter { buf: buf.clone(), range: 0..40 };
+        let b = DeclaredWriter { buf: buf.clone(), range: 32..64 };
+        let first = queue.enqueue_kernel(Arc::new(a), launch.clone(), &[]).unwrap();
+        queue.enqueue_kernel(Arc::new(b), launch.clone(), &[first]).unwrap();
+        queue.flush().unwrap();
+        assert!(queue.race().diagnostics().is_empty());
+
+        // Disjoint unordered writes are clean too.
+        let a = DeclaredWriter { buf: buf.clone(), range: 0..32 };
+        let b = DeclaredWriter { buf, range: 32..64 };
+        queue.enqueue_kernel(Arc::new(a), launch.clone(), &[]).unwrap();
+        queue.enqueue_kernel(Arc::new(b), launch, &[]).unwrap();
+        queue.flush().unwrap();
+        assert!(queue.race().diagnostics().is_empty());
+        let stats = queue.race().stats();
+        assert_eq!(stats.kernels_observed, 6);
+        assert_eq!(stats.kernels_declared, 6);
+        assert_eq!(stats.violations, 1);
+        queue.race().disarm();
     }
 
     #[test]
